@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 1: the Edgeworth box of feasible allocations for the
+ * Section 3 running example, including the worked point where user 1
+ * holds (6 GB/s, 8 MB) and user 2 the complement (18 GB/s, 4 MB).
+ */
+
+#include <iostream>
+
+#include <benchmark/benchmark.h>
+
+#include "common.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace ref;
+
+void
+printFigure()
+{
+    bench::printBanner("Figure 1",
+                       "Edgeworth box of feasible allocations");
+    const auto box = bench::paperExampleBox();
+    std::cout << "box width  (memory bandwidth): " << box.width()
+              << " GB/s\n"
+              << "box height (cache size):       " << box.height()
+              << " MB\n\n";
+
+    Table table({"user1 bandwidth", "user1 cache", "user2 bandwidth",
+                 "user2 cache", "feasible"});
+    // A coarse grid of box points plus the paper's worked example.
+    for (double x1 : {0.0, 6.0, 12.0, 18.0, 24.0}) {
+        for (double y1 : {0.0, 4.0, 8.0, 12.0}) {
+            const auto allocation = box.toAllocation(x1, y1);
+            table.addRow({formatFixed(x1, 1), formatFixed(y1, 1),
+                          formatFixed(box.width() - x1, 1),
+                          formatFixed(box.height() - y1, 1),
+                          allocation.feasible(box.capacity()) ? "yes"
+                                                              : "no"});
+        }
+    }
+    table.print(std::cout);
+
+    const auto example = box.toAllocation(6.0, 8.0);
+    std::cout << "\nworked example: user1 = (6 GB/s, 8 MB) "
+              << "=> user2 = (" << example.at(1, 0) << " GB/s, "
+              << example.at(1, 1) << " MB)\n";
+}
+
+void
+BM_BoxPointToAllocation(benchmark::State &state)
+{
+    const auto box = bench::paperExampleBox();
+    for (auto _ : state) {
+        auto allocation = box.toAllocation(6.0, 8.0);
+        benchmark::DoNotOptimize(allocation);
+    }
+}
+BENCHMARK(BM_BoxPointToAllocation);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

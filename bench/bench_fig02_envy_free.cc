@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Figure 2: the envy-free regions of both users (Eqs. 6-7). For each
+ * bandwidth amount x1 we print the boundary cache amount at which the
+ * user becomes indifferent between the two bundles; user 1 is
+ * envy-free above its boundary, user 2 below its own. The midpoint
+ * and the two corners are checked to be EF, as the paper notes.
+ */
+
+#include <iostream>
+
+#include <benchmark/benchmark.h>
+
+#include "common.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace ref;
+
+void
+printFigure()
+{
+    bench::printBanner("Figure 2", "envy-free regions (Eqs. 6-7)");
+    const auto box = bench::paperExampleBox();
+
+    Table table({"x1 (GB/s)", "EF boundary user1 (MB)",
+                 "EF boundary user2 (MB)", "midpoint EF?"});
+    for (double x1 = 2.0; x1 < 24.0; x1 += 2.0) {
+        const auto b1 = box.envyBoundary(1, x1);
+        const auto b2 = box.envyBoundary(2, x1);
+        table.addRow({formatFixed(x1, 1),
+                      b1 ? formatFixed(*b1, 3) : "-",
+                      b2 ? formatFixed(*b2, 3) : "-",
+                      box.isEnvyFree(x1, 6.0) ? "yes" : "no"});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nalways-EF points (Section 3.2):\n"
+              << "  midpoint (12, 6):   "
+              << (box.isEnvyFree(12.0, 6.0) ? "EF" : "NOT EF") << "\n"
+              << "  corner (0, 12):     "
+              << (box.isEnvyFree(0.0, 12.0) ? "EF" : "NOT EF") << "\n"
+              << "  corner (24, 0):     "
+              << (box.isEnvyFree(24.0, 0.0) ? "EF" : "NOT EF") << "\n";
+}
+
+void
+BM_EnvyBoundary(benchmark::State &state)
+{
+    const auto box = bench::paperExampleBox();
+    for (auto _ : state) {
+        auto boundary = box.envyBoundary(1, 10.0);
+        benchmark::DoNotOptimize(boundary);
+    }
+}
+BENCHMARK(BM_EnvyBoundary);
+
+void
+BM_EnvyFreePointTest(benchmark::State &state)
+{
+    const auto box = bench::paperExampleBox();
+    for (auto _ : state) {
+        bool ef = box.isEnvyFree(10.0, 5.0);
+        benchmark::DoNotOptimize(ef);
+    }
+}
+BENCHMARK(BM_EnvyFreePointTest);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

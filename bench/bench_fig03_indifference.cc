@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Figure 3: Cobb-Douglas indifference curves for user 1 and the
+ * marginal rate of substitution along them (Eq. 9). Three curves at
+ * increasing utility levels, as in the paper.
+ */
+
+#include <iostream>
+
+#include <benchmark/benchmark.h>
+
+#include "common.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace ref;
+
+void
+printFigure()
+{
+    bench::printBanner(
+        "Figure 3",
+        "Cobb-Douglas indifference curves and MRS (Eq. 9)");
+    const auto box = bench::paperExampleBox();
+    const auto &u1 = box.user1().utility();
+
+    // Three reference bundles define curves I1 < I2 < I3.
+    const std::vector<core::Vector> anchors{
+        {4.0, 2.0}, {8.0, 4.0}, {14.0, 7.0}};
+    for (std::size_t curve = 0; curve < anchors.size(); ++curve) {
+        std::cout << "I" << curve + 1
+                  << " (u = " << formatFixed(u1.value(anchors[curve]), 4)
+                  << "):\n";
+        Table table({"bandwidth x", "cache y", "MRS = (0.6/0.4)(y/x)"});
+        for (double x = 2.0; x <= 22.0; x += 4.0) {
+            const double y =
+                box.indifferenceCurve(1, anchors[curve], x);
+            table.addRow(
+                {formatFixed(x, 1), formatFixed(y, 3),
+                 formatFixed(
+                     u1.marginalRateOfSubstitution(0, 1, {x, y}), 3)});
+        }
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+
+    std::cout << "substitution example (Section 3.3): user 1 trades "
+                 "(4 GB/s, 1 MB) for (1 GB/s, "
+              << formatFixed(
+                     box.indifferenceCurve(1, {4.0, 1.0}, 1.0), 3)
+              << " MB) at equal utility\n";
+}
+
+void
+BM_IndifferenceCurvePoint(benchmark::State &state)
+{
+    const auto box = bench::paperExampleBox();
+    const core::Vector anchor{8.0, 4.0};
+    for (auto _ : state) {
+        double y = box.indifferenceCurve(1, anchor, 5.0);
+        benchmark::DoNotOptimize(y);
+    }
+}
+BENCHMARK(BM_IndifferenceCurvePoint);
+
+void
+BM_MarginalRateOfSubstitution(benchmark::State &state)
+{
+    const core::CobbDouglasUtility u({0.6, 0.4});
+    const core::Vector x{6.0, 8.0};
+    for (auto _ : state) {
+        double mrs = u.marginalRateOfSubstitution(0, 1, x);
+        benchmark::DoNotOptimize(mrs);
+    }
+}
+BENCHMARK(BM_MarginalRateOfSubstitution);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

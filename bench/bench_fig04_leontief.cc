@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Figure 4: Leontief (perfect-complement) indifference curves for the
+ * paper's Eq. 8 example u = min{x, 2y} — demand vector 2 GB/s of
+ * bandwidth per 1 MB of cache. Shows the L-shape (no substitution)
+ * and the wasted amounts of disproportional allocations.
+ */
+
+#include <iostream>
+
+#include <benchmark/benchmark.h>
+
+#include "common.hh"
+#include "core/leontief.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace ref;
+
+void
+printFigure()
+{
+    bench::printBanner("Figure 4",
+                       "Leontief indifference curves (Eq. 8)");
+    const core::LeontiefUtility u({2.0, 1.0});  // u = min{x/2, y}.
+
+    std::cout << "u = min{x1, 2 y1} in the paper's form; demand "
+                 "vector (2 GB/s, 1 MB)\n\n";
+
+    Table table({"bandwidth x", "cache y", "utility",
+                 "binding resource", "wasted bandwidth",
+                 "wasted cache"});
+    const std::vector<core::Vector> points{
+        {4.0, 2.0}, {10.0, 2.0}, {4.0, 10.0},
+        {8.0, 4.0}, {16.0, 4.0}, {6.0, 3.0}};
+    for (const auto &point : points) {
+        const auto minimal = u.minimalEquivalent(point);
+        const auto binding = u.bindingResources(point);
+        std::string binding_name =
+            binding.size() == 2
+                ? "both"
+                : (binding[0] == 0 ? "bandwidth" : "cache");
+        table.addRow({formatFixed(point[0], 1),
+                      formatFixed(point[1], 1),
+                      formatFixed(u.value(point), 3), binding_name,
+                      formatFixed(point[0] - minimal[0], 1),
+                      formatFixed(point[1] - minimal[1], 1)});
+    }
+    table.print(std::cout);
+
+    std::cout
+        << "\n(4, 2), (10, 2) and (4, 10) all give utility "
+        << formatFixed(u.value({4.0, 2.0}), 2)
+        << ": disproportional amounts are wasted, no substitution — "
+           "contrast with Figure 3.\n";
+}
+
+void
+BM_LeontiefValue(benchmark::State &state)
+{
+    const core::LeontiefUtility u({2.0, 1.0});
+    const core::Vector x{8.0, 4.0};
+    for (auto _ : state) {
+        double value = u.value(x);
+        benchmark::DoNotOptimize(value);
+    }
+}
+BENCHMARK(BM_LeontiefValue);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

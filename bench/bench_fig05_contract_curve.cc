@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Figure 5: the contract curve — all Pareto-efficient allocations,
+ * where the two users' marginal rates of substitution are equal
+ * (Eq. 10).
+ */
+
+#include <iostream>
+
+#include <benchmark/benchmark.h>
+
+#include "common.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace ref;
+
+void
+printFigure()
+{
+    bench::printBanner("Figure 5",
+                       "contract curve: Pareto-efficient set "
+                       "(Eq. 10)");
+    const auto box = bench::paperExampleBox();
+
+    Table table({"x1 (GB/s)", "y1 on contract curve (MB)",
+                 "MRS user1", "MRS user2", "PE?"});
+    for (double x1 = 2.0; x1 < 24.0; x1 += 2.0) {
+        const double y1 = box.contractCurve(x1);
+        const double mrs1 =
+            box.user1().utility().marginalRateOfSubstitution(
+                0, 1, {x1, y1});
+        const double mrs2 =
+            box.user2().utility().marginalRateOfSubstitution(
+                0, 1, {box.width() - x1, box.height() - y1});
+        table.addRow({formatFixed(x1, 1), formatFixed(y1, 3),
+                      formatFixed(mrs1, 4), formatFixed(mrs2, 4),
+                      box.isParetoEfficient(x1, y1) ? "yes" : "no"});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nboth origins are PE corner cases "
+                 "(one user's utility is zero there); off-curve "
+                 "points fail the tangency test, e.g. the midpoint: "
+              << (box.isParetoEfficient(12.0, 6.0) ? "PE" : "not PE")
+              << "\n";
+}
+
+void
+BM_ContractCurvePoint(benchmark::State &state)
+{
+    const auto box = bench::paperExampleBox();
+    for (auto _ : state) {
+        double y1 = box.contractCurve(12.0);
+        benchmark::DoNotOptimize(y1);
+    }
+}
+BENCHMARK(BM_ContractCurvePoint);
+
+void
+BM_ParetoPointTest(benchmark::State &state)
+{
+    const auto box = bench::paperExampleBox();
+    for (auto _ : state) {
+        bool pe = box.isParetoEfficient(12.0, 1.714);
+        benchmark::DoNotOptimize(pe);
+    }
+}
+BENCHMARK(BM_ParetoPointTest);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 6: the fair allocation set — the intersection of both
+ * users' envy-free sets with the contract curve.
+ */
+
+#include <iostream>
+
+#include <benchmark/benchmark.h>
+
+#include "common.hh"
+#include "core/fairness.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace ref;
+
+void
+printFigure()
+{
+    bench::printBanner("Figure 6",
+                       "fair set = envy-free ∩ contract curve");
+    const auto box = bench::paperExampleBox();
+    const auto segment = box.fairSegment(false);
+
+    std::cout << "fair segment of the contract curve: x1 in ["
+              << formatFixed(segment.x1Low, 3) << ", "
+              << formatFixed(segment.x1High, 3) << "] GB/s\n\n";
+
+    Table table({"x1 (GB/s)", "y1 (MB)", "EF?", "PE?", "fair?"});
+    for (double x1 = 10.0; x1 <= 22.0; x1 += 1.0) {
+        const double y1 = box.contractCurve(x1);
+        const bool ef = box.isEnvyFree(x1, y1);
+        const bool pe = box.isParetoEfficient(x1, y1);
+        table.addRow({formatFixed(x1, 1), formatFixed(y1, 3),
+                      ef ? "yes" : "no", pe ? "yes" : "no",
+                      ef && pe ? "FAIR" : "-"});
+    }
+    table.print(std::cout);
+
+    // The REF allocation lies inside the fair set.
+    std::cout << "\nproportional elasticity point (18 GB/s, 4 MB) in "
+                 "the fair segment: "
+              << (segment.x1Low <= 18.0 && 18.0 <= segment.x1High
+                      ? "yes"
+                      : "NO")
+              << "\n";
+}
+
+void
+BM_FairSegment(benchmark::State &state)
+{
+    const auto box = bench::paperExampleBox();
+    for (auto _ : state) {
+        auto segment = box.fairSegment(false);
+        benchmark::DoNotOptimize(segment);
+    }
+}
+BENCHMARK(BM_FairSegment);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Figure 7: adding sharing incentives further constrains the fair
+ * set. Compares the EF∩PE segment (Figure 6) with the segment that
+ * additionally satisfies SI for both users.
+ */
+
+#include <iostream>
+
+#include <benchmark/benchmark.h>
+
+#include "common.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace ref;
+
+void
+printFigure()
+{
+    bench::printBanner("Figure 7",
+                       "sharing incentives shrink the fair set");
+    const auto box = bench::paperExampleBox();
+    const auto fair = box.fairSegment(false);
+    const auto fair_si = box.fairSegment(true);
+
+    Table table({"constraint set", "x1 low (GB/s)", "x1 high (GB/s)",
+                 "length"});
+    table.addRow({"EF + PE (Fig. 6)", formatFixed(fair.x1Low, 3),
+                  formatFixed(fair.x1High, 3),
+                  formatFixed(fair.x1High - fair.x1Low, 3)});
+    table.addRow({"EF + PE + SI (Fig. 7)",
+                  formatFixed(fair_si.x1Low, 3),
+                  formatFixed(fair_si.x1High, 3),
+                  formatFixed(fair_si.x1High - fair_si.x1Low, 3)});
+    table.print(std::cout);
+
+    std::cout << "\nSI boundaries along the contract curve:\n";
+    Table boundary({"x1 (GB/s)", "y1 (MB)", "SI both?", "EF both?"});
+    for (double x1 = 15.0; x1 <= 21.0; x1 += 0.5) {
+        const double y1 = box.contractCurve(x1);
+        boundary.addRow(
+            {formatFixed(x1, 2), formatFixed(y1, 3),
+             box.hasSharingIncentives(x1, y1) ? "yes" : "no",
+             box.isEnvyFree(x1, y1) ? "yes" : "no"});
+    }
+    boundary.print(std::cout);
+
+    std::cout << "\nREF point (18 GB/s, 4 MB) satisfies SI: "
+              << (box.hasSharingIncentives(18.0, 4.0) ? "yes" : "NO")
+              << "\n";
+}
+
+void
+BM_FairSegmentWithSi(benchmark::State &state)
+{
+    const auto box = bench::paperExampleBox();
+    for (auto _ : state) {
+        auto segment = box.fairSegment(true);
+        benchmark::DoNotOptimize(segment);
+    }
+}
+BENCHMARK(BM_FairSegmentWithSi);
+
+void
+BM_SharingIncentivePointTest(benchmark::State &state)
+{
+    const auto box = bench::paperExampleBox();
+    for (auto _ : state) {
+        bool si = box.hasSharingIncentives(18.0, 4.0);
+        benchmark::DoNotOptimize(si);
+    }
+}
+BENCHMARK(BM_SharingIncentivePointTest);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

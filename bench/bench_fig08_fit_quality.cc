@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Figure 8: quality of the Cobb-Douglas fits.
+ *  (a) R-squared for all 28 benchmarks;
+ *  (b) simulated vs fitted IPC for high-R-squared representatives
+ *      (ferret, fmm);
+ *  (c) the same for low-R-squared representatives (radiosity,
+ *      string_match).
+ */
+
+#include <iostream>
+
+#include <benchmark/benchmark.h>
+
+#include "common.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace ref;
+
+constexpr std::size_t kTraceOps = 80000;
+
+void
+printRSquaredTable()
+{
+    std::cout << "--- Figure 8a: coefficient of determination ---\n";
+    const auto profiler = bench::defaultProfiler(kTraceOps);
+    Table table({"benchmark", "R^2 (log fit)", "R^2 (raw IPC)",
+                 "class"});
+    for (const auto &workload : sim::allWorkloads()) {
+        const auto fit = profiler.profileAndFit(workload);
+        table.addRow({workload.name, formatFixed(fit.rSquaredLog, 3),
+                      formatFixed(fit.rSquaredLinear, 3),
+                      std::string(1, workload.expectedClass)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+}
+
+void
+printSimVsFit(const std::string &name)
+{
+    const auto profiler = bench::defaultProfiler(kTraceOps);
+    const auto &workload = sim::workloadByName(name);
+    const auto points = profiler.sweep(workload);
+    const auto fit = core::fitCobbDouglas(
+        sim::Profiler::toPerformanceProfile(points));
+
+    std::cout << name << " (R^2 = " << formatFixed(fit.rSquaredLog, 3)
+              << "):\n";
+    Table table({"bandwidth (GB/s)", "cache (MB)", "simulated IPC",
+                 "fitted IPC"});
+    for (const auto &point : points) {
+        table.addRow(
+            {formatFixed(point.bandwidthGBps, 1),
+             formatFixed(point.cacheMB, 3), formatFixed(point.ipc, 4),
+             formatFixed(
+                 fit.predict({point.bandwidthGBps, point.cacheMB}),
+                 4)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+}
+
+void
+printFigure()
+{
+    bench::printBanner("Figure 8",
+                       "Cobb-Douglas fit quality across the 5x5 "
+                       "Table 1 sweep");
+    printRSquaredTable();
+    std::cout << "--- Figure 8b: high-R^2 representatives ---\n";
+    printSimVsFit("ferret");
+    printSimVsFit("fmm");
+    std::cout << "--- Figure 8c: low-R^2 representatives ---\n";
+    printSimVsFit("radiosity");
+    printSimVsFit("string_match");
+}
+
+void
+BM_ProfileAndFitOneWorkload(benchmark::State &state)
+{
+    const auto profiler = bench::defaultProfiler(20000);
+    const auto &workload = sim::workloadByName("ferret");
+    for (auto _ : state) {
+        auto fit = profiler.profileAndFit(workload);
+        benchmark::DoNotOptimize(fit);
+    }
+}
+BENCHMARK(BM_ProfileAndFitOneWorkload)->Unit(benchmark::kMillisecond);
+
+void
+BM_FitOnly(benchmark::State &state)
+{
+    const auto profiler = bench::defaultProfiler(20000);
+    const auto profile = sim::Profiler::toPerformanceProfile(
+        profiler.sweep(sim::workloadByName("ferret")));
+    for (auto _ : state) {
+        auto fit = core::fitCobbDouglas(profile);
+        benchmark::DoNotOptimize(fit);
+    }
+}
+BENCHMARK(BM_FitOnly);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

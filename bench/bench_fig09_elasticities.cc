@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure 9: re-scaled elasticities (Eq. 12) for every workload, and
+ * the resulting C/M classification: class M demands memory bandwidth
+ * (alpha_mem > 0.5), class C demands cache capacity.
+ */
+
+#include <iostream>
+
+#include <benchmark/benchmark.h>
+
+#include "common.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace ref;
+
+void
+printFigure()
+{
+    bench::printBanner(
+        "Figure 9", "re-scaled resource elasticities and C/M classes");
+    const auto profiler = bench::defaultProfiler(80000);
+
+    Table table({"benchmark", "alpha_mem (rescaled)",
+                 "alpha_cache (rescaled)", "fitted class",
+                 "paper class", "match"});
+    int matches = 0;
+    for (const auto &workload : sim::allWorkloads()) {
+        const auto fit = profiler.profileAndFit(workload);
+        const auto rescaled = fit.utility.rescaled();
+        const char fitted_class =
+            rescaled.elasticity(0) > 0.5 ? 'M' : 'C';
+        matches += fitted_class == workload.expectedClass;
+        table.addRow({workload.name,
+                      formatFixed(rescaled.elasticity(0), 3),
+                      formatFixed(rescaled.elasticity(1), 3),
+                      std::string(1, fitted_class),
+                      std::string(1, workload.expectedClass),
+                      fitted_class == workload.expectedClass ? "yes"
+                                                             : "NO"});
+    }
+    table.print(std::cout);
+    std::cout << "\nclassification agreement: " << matches << "/"
+              << sim::allWorkloads().size() << "\n";
+}
+
+void
+BM_RescaleElasticities(benchmark::State &state)
+{
+    const core::CobbDouglasUtility utility(0.8, {0.45, 0.3});
+    for (auto _ : state) {
+        auto rescaled = utility.rescaled();
+        benchmark::DoNotOptimize(rescaled);
+    }
+}
+BENCHMARK(BM_RescaleElasticities);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printFigure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 10 / Example 1: histogram (C) sharing with dedup (M). Both
+ * mechanisms allocate more cache to histogram and more bandwidth to
+ * dedup; in this particular pairing even equal slowdown happens to
+ * satisfy SI, EF and PE — though it cannot guarantee them.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common.hh"
+#include "core/proportional_elasticity.hh"
+
+namespace {
+
+using namespace ref;
+
+void
+BM_RefAllocationForPair(benchmark::State &state)
+{
+    const auto agents = bench::fitAgents({"histogram", "dedup"}, 20000);
+    const auto capacity =
+        core::SystemCapacity::cacheAndBandwidthExample();
+    const core::ProportionalElasticityMechanism mechanism;
+    for (auto _ : state) {
+        auto allocation = mechanism.allocate(agents, capacity);
+        benchmark::DoNotOptimize(allocation);
+    }
+}
+BENCHMARK(BM_RefAllocationForPair);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ref::bench::printBanner(
+        "Figure 10",
+        "histogram (C) + dedup (M): equal slowdown vs proportional "
+        "elasticity — a pairing where both are fair");
+    ref::bench::printPairComparison("histogram", "dedup");
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

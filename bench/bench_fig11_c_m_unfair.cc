@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 11 / Example 2: barnes (C) sharing with canneal (M). Equal
+ * slowdown hands canneal less than half of BOTH resources, violating
+ * SI and EF; proportional elasticity gives canneal more than half of
+ * the bandwidth, restoring its incentive to share.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common.hh"
+#include "core/welfare_mechanisms.hh"
+
+namespace {
+
+using namespace ref;
+
+void
+BM_EqualSlowdownSolveForPair(benchmark::State &state)
+{
+    const auto agents = bench::fitAgents({"barnes", "canneal"}, 20000);
+    const auto capacity =
+        core::SystemCapacity::cacheAndBandwidthExample();
+    const auto mechanism = core::makeEqualSlowdown();
+    for (auto _ : state) {
+        auto allocation = mechanism.allocate(agents, capacity);
+        benchmark::DoNotOptimize(allocation);
+    }
+}
+BENCHMARK(BM_EqualSlowdownSolveForPair)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ref::bench::printBanner(
+        "Figure 11",
+        "barnes (C) + canneal (M): equal slowdown violates SI and EF "
+        "for canneal");
+    ref::bench::printPairComparison("barnes", "canneal");
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Figure 13: weighted system throughput for the 4-core mixes WD1-WD5
+ * under the four allocation mechanisms of Section 5.5. Expected
+ * shape: unfair max welfare on top, REF == fairness-constrained max
+ * welfare within a <10% penalty, equal slowdown below the unfair
+ * bound.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common.hh"
+#include "core/proportional_elasticity.hh"
+#include "core/welfare_mechanisms.hh"
+#include "throughput.hh"
+
+namespace {
+
+using namespace ref;
+
+void
+BM_ClosedFormAllocationFourAgents(benchmark::State &state)
+{
+    const auto agents = bench::fitAgents(
+        sim::table2FourCoreMixes()[0].members, 20000);
+    const auto capacity =
+        core::SystemCapacity::cacheAndBandwidthExample();
+    const core::ProportionalElasticityMechanism mechanism;
+    for (auto _ : state) {
+        auto allocation = mechanism.allocate(agents, capacity);
+        benchmark::DoNotOptimize(allocation);
+    }
+}
+BENCHMARK(BM_ClosedFormAllocationFourAgents);
+
+void
+BM_GpSolveFourAgents(benchmark::State &state)
+{
+    const auto agents = bench::fitAgents(
+        sim::table2FourCoreMixes()[0].members, 20000);
+    const auto capacity =
+        core::SystemCapacity::cacheAndBandwidthExample();
+    const auto mechanism = core::makeMaxWelfareFair();
+    for (auto _ : state) {
+        auto allocation = mechanism.allocate(agents, capacity);
+        benchmark::DoNotOptimize(allocation);
+    }
+}
+BENCHMARK(BM_GpSolveFourAgents)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ref::bench::printBanner(
+        "Figure 13",
+        "weighted system throughput, 4-core mixes WD1-WD5");
+    ref::bench::printThroughputComparison(
+        ref::sim::table2FourCoreMixes());
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

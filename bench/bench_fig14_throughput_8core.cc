@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Figure 14: weighted system throughput for the 8-core mixes
+ * WD6-WD10. As in the paper, with more agents the equal-slowdown
+ * mechanism's max-min objective grows costlier — it can fall to or
+ * below the proportional elasticity mechanism while still providing
+ * no game-theoretic guarantees.
+ */
+
+#include <iostream>
+
+#include <benchmark/benchmark.h>
+
+#include "common.hh"
+#include "core/proportional_elasticity.hh"
+#include "core/welfare.hh"
+#include "core/welfare_mechanisms.hh"
+#include "throughput.hh"
+
+namespace {
+
+using namespace ref;
+
+void
+printSlowdownVersusRef()
+{
+    // The Figure 14 headline: count mixes where equal slowdown does
+    // not beat REF.
+    const auto capacity =
+        core::SystemCapacity::cacheAndBandwidthExample();
+    const core::ProportionalElasticityMechanism proportional;
+    const auto equal_slowdown = core::makeEqualSlowdown();
+    int ref_at_least = 0;
+    for (const auto &mix : sim::table2EightCoreMixes()) {
+        const auto agents = bench::fitAgents(mix.members, 60000);
+        const double ref_throughput = core::weightedSystemThroughput(
+            agents, proportional.allocate(agents, capacity), capacity);
+        const double es_throughput = core::weightedSystemThroughput(
+            agents, equal_slowdown.allocate(agents, capacity),
+            capacity);
+        ref_at_least += ref_throughput >= es_throughput - 1e-6;
+    }
+    std::cout << "mixes where proportional elasticity >= equal "
+                 "slowdown: "
+              << ref_at_least << "/5\n";
+}
+
+void
+BM_ClosedFormAllocationEightAgents(benchmark::State &state)
+{
+    const auto agents = bench::fitAgents(
+        sim::table2EightCoreMixes()[0].members, 20000);
+    const auto capacity =
+        core::SystemCapacity::cacheAndBandwidthExample();
+    const core::ProportionalElasticityMechanism mechanism;
+    for (auto _ : state) {
+        auto allocation = mechanism.allocate(agents, capacity);
+        benchmark::DoNotOptimize(allocation);
+    }
+}
+BENCHMARK(BM_ClosedFormAllocationEightAgents);
+
+void
+BM_GpSolveEightAgents(benchmark::State &state)
+{
+    const auto agents = bench::fitAgents(
+        sim::table2EightCoreMixes()[0].members, 20000);
+    const auto capacity =
+        core::SystemCapacity::cacheAndBandwidthExample();
+    const auto mechanism = core::makeMaxWelfareFair();
+    for (auto _ : state) {
+        auto allocation = mechanism.allocate(agents, capacity);
+        benchmark::DoNotOptimize(allocation);
+    }
+}
+BENCHMARK(BM_GpSolveEightAgents)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ref::bench::printBanner(
+        "Figure 14",
+        "weighted system throughput, 8-core mixes WD6-WD10");
+    ref::bench::printThroughputComparison(
+        ref::sim::table2EightCoreMixes());
+    printSlowdownVersusRef();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

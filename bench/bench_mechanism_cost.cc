@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Section 4.1/4.5 ablation: "the mechanism is computationally
+ * trivial". Compares the closed-form proportional elasticity
+ * allocation (Eq. 13) against the geometric-programming mechanisms
+ * that require an iterative convex solve, across population sizes
+ * and resource counts.
+ */
+
+#include <iostream>
+
+#include <benchmark/benchmark.h>
+
+#include "common.hh"
+#include "core/proportional_elasticity.hh"
+#include "core/welfare_mechanisms.hh"
+#include "util/random.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace ref;
+
+core::AgentList
+randomAgents(std::size_t n, std::size_t resources, std::uint64_t seed)
+{
+    Rng rng(seed);
+    core::AgentList agents;
+    for (std::size_t i = 0; i < n; ++i) {
+        core::Vector alphas(resources);
+        for (auto &alpha : alphas)
+            alpha = rng.uniform(0.05, 1.0);
+        agents.emplace_back("agent-" + std::to_string(i),
+                            core::CobbDouglasUtility(alphas));
+    }
+    return agents;
+}
+
+core::SystemCapacity
+capacityFor(std::size_t resources)
+{
+    core::Vector caps(resources);
+    for (std::size_t r = 0; r < resources; ++r)
+        caps[r] = 10.0 * static_cast<double>(r + 1);
+    return core::SystemCapacity::fromCapacities(caps);
+}
+
+void
+printHeadline()
+{
+    bench::printBanner(
+        "Mechanism cost ablation",
+        "closed-form Eq. 13 vs geometric programming");
+    std::cout
+        << "The timing table below (google-benchmark) quantifies the "
+           "gap the paper\ncalls 'computationally trivial': the "
+           "closed form is O(N*R) arithmetic while\nthe welfare "
+           "mechanisms run an iterative penalty/Newton solve per "
+           "allocation.\n";
+}
+
+void
+BM_ClosedForm(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto r = static_cast<std::size_t>(state.range(1));
+    const auto agents = randomAgents(n, r, 5);
+    const auto capacity = capacityFor(r);
+    const core::ProportionalElasticityMechanism mechanism;
+    for (auto _ : state) {
+        auto allocation = mechanism.allocate(agents, capacity);
+        benchmark::DoNotOptimize(allocation);
+    }
+}
+BENCHMARK(BM_ClosedForm)
+    ->Args({2, 2})
+    ->Args({8, 2})
+    ->Args({64, 2})
+    ->Args({8, 4})
+    ->Args({8, 8});
+
+void
+BM_GpMaxWelfareUnfair(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto r = static_cast<std::size_t>(state.range(1));
+    const auto agents = randomAgents(n, r, 5);
+    const auto capacity = capacityFor(r);
+    const auto mechanism = core::makeMaxWelfareUnfair();
+    for (auto _ : state) {
+        auto allocation = mechanism.allocate(agents, capacity);
+        benchmark::DoNotOptimize(allocation);
+    }
+}
+BENCHMARK(BM_GpMaxWelfareUnfair)
+    ->Args({2, 2})
+    ->Args({8, 2})
+    ->Args({8, 4})
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_GpMaxWelfareFair(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto r = static_cast<std::size_t>(state.range(1));
+    const auto agents = randomAgents(n, r, 5);
+    const auto capacity = capacityFor(r);
+    const auto mechanism = core::makeMaxWelfareFair();
+    for (auto _ : state) {
+        auto allocation = mechanism.allocate(agents, capacity);
+        benchmark::DoNotOptimize(allocation);
+    }
+}
+BENCHMARK(BM_GpMaxWelfareFair)
+    ->Args({2, 2})
+    ->Args({8, 2})
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_GpEqualSlowdown(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto agents = randomAgents(n, 2, 5);
+    const auto capacity = capacityFor(2);
+    const auto mechanism = core::makeEqualSlowdown();
+    for (auto _ : state) {
+        auto allocation = mechanism.allocate(agents, capacity);
+        benchmark::DoNotOptimize(allocation);
+    }
+}
+BENCHMARK(BM_GpEqualSlowdown)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printHeadline();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

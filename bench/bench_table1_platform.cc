@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Table 1: platform parameters, plus a sanity run of the simulator
+ * at the sweep's corner configurations.
+ */
+
+#include <iostream>
+
+#include <benchmark/benchmark.h>
+
+#include "common.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace ref;
+
+void
+printTable()
+{
+    bench::printBanner("Table 1", "platform parameters");
+    const auto config = sim::PlatformConfig::table1();
+
+    Table table({"component", "specification"});
+    table.addRow({"Processor",
+                  formatFixed(config.core.clockGHz, 0) +
+                      " GHz OOO cores, " +
+                      std::to_string(config.core.issueWidth) +
+                      "-width issue and commit"});
+    table.addRow({"L1 Cache",
+                  std::to_string(config.l1.sizeBytes / 1024) + " KB, " +
+                      std::to_string(config.l1.associativity) +
+                      "-way set associative, " +
+                      std::to_string(config.l1.blockBytes) +
+                      "-byte block size, " +
+                      std::to_string(config.l1.latencyCycles) +
+                      "-cycle latency"});
+    std::string l2_sizes;
+    for (auto size : sim::table1CacheSizes()) {
+        if (!l2_sizes.empty())
+            l2_sizes += ", ";
+        l2_sizes += size >= 1024 * 1024
+                        ? std::to_string(size / (1024 * 1024)) + " MB"
+                        : std::to_string(size / 1024) + " KB";
+    }
+    table.addRow({"L2 Cache",
+                  "[" + l2_sizes + "], " +
+                      std::to_string(config.l2.associativity) +
+                      "-way set associative, " +
+                      std::to_string(config.l2.blockBytes) +
+                      "-byte block size, " +
+                      std::to_string(config.l2.latencyCycles) +
+                      "-cycle latency"});
+    table.addRow({"DRAM Controller",
+                  "Closed-page, banked, round-robin service"});
+    std::string bandwidths;
+    for (double bandwidth : sim::table1Bandwidths()) {
+        if (!bandwidths.empty())
+            bandwidths += ", ";
+        bandwidths += formatFixed(bandwidth, 1) + " GB/s";
+    }
+    table.addRow({"DRAM Bandwidth",
+                  "[" + bandwidths + "], single channel"});
+    table.print(std::cout);
+
+    // Exercise the extreme configurations once.
+    std::cout << "\nsanity: histogram IPC at sweep corners\n";
+    const auto profiler = bench::defaultProfiler(40000);
+    const auto points = profiler.sweep(
+        sim::workloadByName("histogram"), {0.8, 12.8},
+        {128 * 1024, 2 * 1024 * 1024});
+    Table corners({"bandwidth (GB/s)", "L2 (MB)", "IPC"});
+    for (const auto &point : points) {
+        corners.addRow({formatFixed(point.bandwidthGBps, 1),
+                        formatFixed(point.cacheMB, 3),
+                        formatFixed(point.ipc, 4)});
+    }
+    corners.print(std::cout);
+}
+
+void
+BM_SimulateHundredKOps(benchmark::State &state)
+{
+    const auto &workload = sim::workloadByName("histogram");
+    sim::TraceGenerator generator(workload.trace);
+    const auto trace = generator.generate(100000);
+    const auto config = sim::PlatformConfig::table1();
+    for (auto _ : state) {
+        sim::CmpSystem system(config);
+        auto result = system.run(trace, workload.timing);
+        benchmark::DoNotOptimize(result);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 100000);
+}
+BENCHMARK(BM_SimulateHundredKOps)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printTable();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Table 2: the ten multiprogrammed workload mixes WD1-WD10 with
+ * their C/M compositions, as used by Figures 13 and 14.
+ */
+
+#include <iostream>
+
+#include <benchmark/benchmark.h>
+
+#include "common.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace ref;
+
+void
+printTable()
+{
+    bench::printBanner("Table 2", "workload characterization");
+    Table table({"name", "benchmarks", "C/M"});
+    for (const auto &mix : sim::table2AllMixes()) {
+        std::string members;
+        for (const auto &member : mix.members) {
+            if (!members.empty())
+                members += ", ";
+            members += member;
+        }
+        table.addRow({mix.name, members, mix.composition});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nnote: streamcluster follows Table 2's arithmetic "
+                 "(class C); the paper's Section 5.3 prose calls it "
+                 "streaming — see DESIGN.md.\n";
+}
+
+void
+BM_MixLookup(benchmark::State &state)
+{
+    for (auto _ : state) {
+        auto mixes = sim::table2AllMixes();
+        benchmark::DoNotOptimize(mixes);
+    }
+}
+BENCHMARK(BM_MixLookup);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printTable();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

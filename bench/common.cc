@@ -1,0 +1,128 @@
+#include "common.hh"
+
+#include <iostream>
+
+#include "core/fairness.hh"
+#include "core/proportional_elasticity.hh"
+#include "core/welfare_mechanisms.hh"
+#include "util/table.hh"
+
+namespace ref::bench {
+
+core::EdgeworthBox
+paperExampleBox()
+{
+    return core::EdgeworthBox(
+        core::Agent("user1", core::CobbDouglasUtility({0.6, 0.4})),
+        core::Agent("user2", core::CobbDouglasUtility({0.2, 0.8})),
+        core::SystemCapacity::cacheAndBandwidthExample());
+}
+
+core::AgentList
+paperExampleAgents()
+{
+    core::AgentList agents;
+    agents.emplace_back("user1", core::CobbDouglasUtility({0.6, 0.4}));
+    agents.emplace_back("user2", core::CobbDouglasUtility({0.2, 0.8}));
+    return agents;
+}
+
+sim::Profiler
+defaultProfiler(std::size_t trace_ops)
+{
+    return sim::Profiler(sim::PlatformConfig::table1(), trace_ops);
+}
+
+core::CobbDouglasFit
+fitWorkload(const std::string &name, std::size_t trace_ops)
+{
+    return defaultProfiler(trace_ops)
+        .profileAndFit(sim::workloadByName(name));
+}
+
+core::AgentList
+fitAgents(const std::vector<std::string> &names, std::size_t trace_ops)
+{
+    const auto profiler = defaultProfiler(trace_ops);
+    core::AgentList agents;
+    for (const auto &name : names) {
+        agents.emplace_back(
+            name,
+            profiler.profileAndFit(sim::workloadByName(name)).utility);
+    }
+    return agents;
+}
+
+void
+printBanner(const std::string &figure, const std::string &title)
+{
+    std::cout << "\n=== " << figure << ": " << title << " ===\n"
+              << "    (REF reproduction; see EXPERIMENTS.md for the "
+                 "paper-vs-measured record)\n\n";
+}
+
+void
+printPairComparison(const std::string &workload_a,
+                    const std::string &workload_b,
+                    std::size_t trace_ops)
+{
+    const auto capacity =
+        core::SystemCapacity::cacheAndBandwidthExample();
+    const auto agents = fitAgents({workload_a, workload_b}, trace_ops);
+
+    std::cout << "fitted re-scaled elasticities:\n";
+    for (const auto &agent : agents) {
+        const auto rescaled = agent.utility().rescaled();
+        std::cout << "  " << agent.name() << ": alpha_mem = "
+                  << formatFixed(rescaled.elasticity(0), 3)
+                  << ", alpha_cache = "
+                  << formatFixed(rescaled.elasticity(1), 3) << "\n";
+    }
+    std::cout << "\n";
+
+    const core::ProportionalElasticityMechanism proportional;
+    const auto equal_slowdown = core::makeEqualSlowdown();
+
+    for (const core::AllocationMechanism *mechanism :
+         {static_cast<const core::AllocationMechanism *>(
+              &equal_slowdown),
+          static_cast<const core::AllocationMechanism *>(
+              &proportional)}) {
+        const auto allocation =
+            mechanism->allocate(agents, capacity);
+        std::cout << "--- " << mechanism->name() << " ---\n";
+        Table table({"agent", "bandwidth (% of total)",
+                     "cache (% of total)"});
+        for (std::size_t i = 0; i < agents.size(); ++i) {
+            const auto fractions =
+                allocation.fractions(i, capacity);
+            table.addRow({agents[i].name(),
+                          formatPercent(fractions[0], 1),
+                          formatPercent(fractions[1], 1)});
+        }
+        table.print(std::cout);
+
+        core::FairnessTolerance tol;
+        tol.utility = 1e-4;
+        tol.mrs = 1e-2;
+        tol.capacity = 1e-6;
+        const auto report =
+            core::checkFairness(agents, capacity, allocation, tol);
+        std::cout << "SI: "
+                  << (report.sharingIncentives.satisfied
+                          ? "satisfied"
+                          : "VIOLATED (" +
+                                report.sharingIncentives.binding + ")")
+                  << "\nEF: "
+                  << (report.envyFreeness.satisfied
+                          ? "satisfied"
+                          : "VIOLATED (" +
+                                report.envyFreeness.binding + ")")
+                  << "\nPE: "
+                  << (report.paretoEfficiency.satisfied ? "satisfied"
+                                                        : "violated")
+                  << "\n\n";
+    }
+}
+
+} // namespace ref::bench

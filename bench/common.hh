@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Shared helpers for the experiment harnesses.
+ *
+ * Every bench binary reproduces one table or figure of the paper:
+ * it first prints the paper-shaped rows/series (so EXPERIMENTS.md can
+ * be checked against the output), then runs google-benchmark timings
+ * of the code path under test.
+ */
+
+#ifndef REF_BENCH_COMMON_HH
+#define REF_BENCH_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "core/agent.hh"
+#include "core/edgeworth.hh"
+#include "core/fitting.hh"
+#include "sim/profiler.hh"
+
+namespace ref::bench {
+
+/** The Section 3 running example: u1 = x^0.6 y^0.4, u2 = x^0.2 y^0.8
+ *  over 24 GB/s and 12 MB. */
+core::EdgeworthBox paperExampleBox();
+
+/** Agents of the running example. */
+core::AgentList paperExampleAgents();
+
+/** Default profiler over the Table 1 platform. */
+sim::Profiler defaultProfiler(std::size_t trace_ops = 80000);
+
+/** Profile and fit one named workload. */
+core::CobbDouglasFit fitWorkload(const std::string &name,
+                                 std::size_t trace_ops = 80000);
+
+/** Fit a list of workloads into an agent list (names preserved). */
+core::AgentList fitAgents(const std::vector<std::string> &names,
+                          std::size_t trace_ops = 80000);
+
+/** Print the standard figure banner. */
+void printBanner(const std::string &figure, const std::string &title);
+
+/**
+ * The shared harness behind Figures 10-12: fit the pair's utilities,
+ * allocate with equal slowdown and with proportional elasticity,
+ * print both allocations as percentages of total capacity, and
+ * report each mechanism's SI/EF/PE outcome.
+ */
+void printPairComparison(const std::string &workload_a,
+                         const std::string &workload_b,
+                         std::size_t trace_ops = 80000);
+
+} // namespace ref::bench
+
+#endif // REF_BENCH_COMMON_HH

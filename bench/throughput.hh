@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Shared harness for Figures 13 and 14: weighted system throughput
+ * (Eq. 17) of four mechanisms over Table 2 workload mixes.
+ */
+
+#ifndef REF_BENCH_THROUGHPUT_HH
+#define REF_BENCH_THROUGHPUT_HH
+
+#include <vector>
+
+#include "sim/workloads.hh"
+
+namespace ref::bench {
+
+/**
+ * For each mix, fit utilities for its members, run the four
+ * mechanisms of Section 5.5 — Max Welfare with fairness,
+ * Proportional Elasticity, Max Welfare without fairness, Equal
+ * Slowdown without fairness — and print the weighted system
+ * throughput plus the fairness penalty relative to the unfair upper
+ * bound. Returns false if any paper-shape expectation fails
+ * (penalty above the threshold, REF diverging from constrained max
+ * welfare).
+ */
+bool printThroughputComparison(
+    const std::vector<sim::WorkloadMix> &mixes,
+    std::size_t trace_ops = 60000, double penalty_threshold = 0.12);
+
+} // namespace ref::bench
+
+#endif // REF_BENCH_THROUGHPUT_HH

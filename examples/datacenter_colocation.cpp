@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Datacenter co-location scenario (the paper's motivating setting).
+ *
+ * Four tenant workloads are to be consolidated onto one socket.
+ * The operator:
+ *  1. profiles each tenant offline over the Table 1 cache/bandwidth
+ *     sweep (cycle-approximate simulation stands in for the
+ *     co-location profiling of Mars et al. that the paper cites);
+ *  2. fits Cobb-Douglas utilities by log-linear regression;
+ *  3. allocates shares with REF and with equal slowdown, comparing
+ *     fairness and throughput;
+ *  4. enforces the REF shares with way partitioning + weighted fair
+ *     queuing and reports allocated vs delivered service.
+ */
+
+#include <iostream>
+
+#include "core/fairness.hh"
+#include "core/proportional_elasticity.hh"
+#include "core/welfare.hh"
+#include "core/welfare_mechanisms.hh"
+#include "sched/enforce.hh"
+#include "sim/profiler.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace ref;
+
+    const std::vector<std::string> tenants{
+        "histogram", "freqmine", "canneal", "dedup"};
+    const auto capacity =
+        core::SystemCapacity::cacheAndBandwidthExample();
+
+    // --- 1 & 2: profile and fit -----------------------------------
+    std::cout << "profiling " << tenants.size()
+              << " tenants over the 5x5 Table 1 sweep...\n\n";
+    const sim::Profiler profiler(sim::PlatformConfig::table1(), 80000);
+    core::AgentList agents;
+    Table fits({"tenant", "alpha_mem", "alpha_cache", "R^2",
+                "class"});
+    for (const auto &name : tenants) {
+        const auto &workload = sim::workloadByName(name);
+        const auto fit = profiler.profileAndFit(workload);
+        const auto rescaled = fit.utility.rescaled();
+        fits.addRow({name, formatFixed(rescaled.elasticity(0), 3),
+                     formatFixed(rescaled.elasticity(1), 3),
+                     formatFixed(fit.rSquaredLog, 2),
+                     rescaled.elasticity(0) > 0.5 ? "M" : "C"});
+        agents.emplace_back(name, fit.utility);
+    }
+    fits.print(std::cout);
+
+    // --- 3: allocate and compare ----------------------------------
+    const core::ProportionalElasticityMechanism ref_mechanism;
+    const auto equal_slowdown = core::makeEqualSlowdown();
+
+    for (const core::AllocationMechanism *mechanism :
+         {static_cast<const core::AllocationMechanism *>(
+              &ref_mechanism),
+          static_cast<const core::AllocationMechanism *>(
+              &equal_slowdown)}) {
+        const auto allocation =
+            mechanism->allocate(agents, capacity);
+        std::cout << "\n--- " << mechanism->name() << " ---\n";
+        Table table({"tenant", "bandwidth (GB/s)", "cache (MB)",
+                     "U_i"});
+        for (std::size_t i = 0; i < agents.size(); ++i) {
+            table.addRow(
+                {agents[i].name(),
+                 formatFixed(allocation.at(i, 0), 2),
+                 formatFixed(allocation.at(i, 1), 2),
+                 formatFixed(core::weightedUtility(
+                                 agents[i],
+                                 allocation.agentShare(i), capacity),
+                             4)});
+        }
+        table.print(std::cout);
+        const auto report =
+            core::checkFairness(agents, capacity, allocation,
+                                {1e-4, 1e-2, 1e-6});
+        std::cout << "SI " << (report.sharingIncentives.satisfied
+                                   ? "ok" : "VIOLATED")
+                  << " | EF " << (report.envyFreeness.satisfied
+                                      ? "ok" : "VIOLATED")
+                  << " | PE " << (report.paretoEfficiency.satisfied
+                                      ? "ok" : "violated")
+                  << " | throughput "
+                  << formatFixed(core::weightedSystemThroughput(
+                                     agents, allocation, capacity),
+                                 3)
+                  << "\n";
+    }
+
+    // --- 4: enforce the REF shares --------------------------------
+    const auto allocation = ref_mechanism.allocate(agents, capacity);
+    std::vector<double> cache_fractions, bandwidth_fractions;
+    for (std::size_t i = 0; i < agents.size(); ++i) {
+        const auto fractions = allocation.fractions(i, capacity);
+        bandwidth_fractions.push_back(fractions[0]);
+        cache_fractions.push_back(fractions[1]);
+    }
+
+    sim::PlatformConfig platform = sim::PlatformConfig::table1();
+    platform.dram.bandwidthGBps = 6.4;
+    sched::EnforcedCmpSystem system(platform, cache_fractions,
+                                    bandwidth_fractions);
+    std::vector<sim::Trace> traces;
+    std::vector<sim::TimingParams> timings;
+    for (const auto &name : tenants) {
+        const auto &workload = sim::workloadByName(name);
+        traces.push_back(
+            sim::TraceGenerator(workload.trace).generate(30000));
+        timings.push_back(workload.timing);
+    }
+    const auto results = system.run(traces, timings);
+
+    std::cout << "\n--- enforcement: way partitioning + WFQ ---\n";
+    Table enforced({"tenant", "cache ways", "allocated bw",
+                    "measured bw (contended)", "IPC"});
+    for (std::size_t i = 0; i < tenants.size(); ++i) {
+        enforced.addRow(
+            {tenants[i],
+             std::to_string(system.partition().ways[i]),
+             formatPercent(bandwidth_fractions[i], 1),
+             formatPercent(results[i].bandwidthShare, 1),
+             formatFixed(results[i].ipc, 3)});
+    }
+    enforced.print(std::cout);
+    return 0;
+}

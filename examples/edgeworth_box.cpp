@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Emit the curves of the paper's Figures 1-7 as CSV on stdout:
+ * contract curve, envy-free boundaries, sharing-incentive
+ * boundaries, indifference curves, and the fair segment endpoints.
+ * Pipe into a plotting tool to regenerate the figures graphically.
+ */
+
+#include <iostream>
+
+#include "core/edgeworth.hh"
+#include "util/csv.hh"
+
+int
+main()
+{
+    using namespace ref;
+
+    const core::EdgeworthBox box(
+        core::Agent("user1", core::CobbDouglasUtility({0.6, 0.4})),
+        core::Agent("user2", core::CobbDouglasUtility({0.2, 0.8})),
+        core::SystemCapacity::cacheAndBandwidthExample());
+
+    CsvWriter csv(std::cout,
+                  {"series", "x1_bandwidth_gbps", "y1_cache_mb"});
+
+    const int samples = 200;
+    const double step = box.width() / (samples + 1);
+
+    // Figure 5: the contract curve.
+    for (int i = 1; i <= samples; ++i) {
+        const double x1 = i * step;
+        csv.writeRow({"contract_curve", std::to_string(x1),
+                      std::to_string(box.contractCurve(x1))});
+    }
+
+    // Figure 2: envy-free boundaries for both users.
+    for (int user = 1; user <= 2; ++user) {
+        const std::string name =
+            "envy_boundary_user" + std::to_string(user);
+        for (int i = 1; i <= samples; ++i) {
+            const double x1 = i * step;
+            const auto boundary = box.envyBoundary(user, x1);
+            if (boundary) {
+                csv.writeRow({name, std::to_string(x1),
+                              std::to_string(*boundary)});
+            }
+        }
+    }
+
+    // Figure 7: sharing-incentive boundaries.
+    for (int user = 1; user <= 2; ++user) {
+        const std::string name =
+            "si_boundary_user" + std::to_string(user);
+        for (int i = 1; i <= samples; ++i) {
+            const double x1 = i * step;
+            const auto boundary =
+                box.sharingIncentiveBoundary(user, x1);
+            if (boundary) {
+                csv.writeRow({name, std::to_string(x1),
+                              std::to_string(*boundary)});
+            }
+        }
+    }
+
+    // Figure 3: three indifference curves for user 1.
+    const std::vector<core::Vector> anchors{
+        {4.0, 2.0}, {8.0, 4.0}, {14.0, 7.0}};
+    for (std::size_t curve = 0; curve < anchors.size(); ++curve) {
+        const std::string name =
+            "indifference_I" + std::to_string(curve + 1);
+        for (int i = 1; i <= samples; ++i) {
+            const double x = i * step;
+            const double y =
+                box.indifferenceCurve(1, anchors[curve], x);
+            if (y <= box.height()) {
+                csv.writeRow(
+                    {name, std::to_string(x), std::to_string(y)});
+            }
+        }
+    }
+
+    // Figures 6 and 7: fair segment endpoints on the contract curve.
+    for (bool with_si : {false, true}) {
+        const auto segment = box.fairSegment(with_si);
+        const std::string name =
+            with_si ? "fair_segment_with_si" : "fair_segment";
+        for (double x1 : {segment.x1Low, segment.x1High}) {
+            csv.writeRow({name, std::to_string(x1),
+                          std::to_string(box.contractCurve(x1))});
+        }
+    }
+
+    // Figure 1's worked point.
+    csv.writeRow({"example_point", "6", "8"});
+    return 0;
+}

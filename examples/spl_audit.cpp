@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Strategy-proofness audit (paper Section 4.3).
+ *
+ * A strategic tenant tries to game the proportional elasticity
+ * mechanism by mis-reporting its elasticities. We search for its
+ * best response at increasing system sizes and report the achievable
+ * gain: profitable in tiny systems, vanishing once tens of agents
+ * share the hardware (strategy-proofness in the large).
+ */
+
+#include <iostream>
+
+#include "core/strategic.hh"
+#include "util/random.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace ref;
+
+    const auto capacity =
+        core::SystemCapacity::cacheAndBandwidthExample();
+    Rng rng(2026);
+
+    // The strategic tenant's true preferences.
+    const core::CobbDouglasUtility truth({0.7, 0.3});
+
+    Table table({"co-tenants", "best report (mem, cache)",
+                 "gain from lying", "verdict"});
+    for (std::size_t others : {1, 3, 7, 15, 31, 63, 127}) {
+        core::AgentList agents;
+        agents.emplace_back("strategist", truth);
+        for (std::size_t i = 0; i < others; ++i) {
+            agents.emplace_back(
+                "tenant-" + std::to_string(i),
+                core::CobbDouglasUtility(
+                    {rng.uniform(0.05, 1.0), rng.uniform(0.05, 1.0)}));
+        }
+
+        const core::StrategicAnalysis analysis(agents, capacity);
+        const auto best = analysis.bestResponse(0);
+        const double gain_percent = (best.gainRatio - 1.0) * 100.0;
+        table.addRow(
+            {std::to_string(others),
+             "(" + formatFixed(best.report[0], 3) + ", " +
+                 formatFixed(best.report[1], 3) + ")",
+             formatFixed(gain_percent, 3) + "%",
+             gain_percent > 1.0
+                 ? "lying pays"
+                 : (gain_percent > 0.05 ? "marginal" : "truthful")});
+    }
+    table.print(std::cout);
+
+    std::cout << "\ntrue elasticities: (0.7, 0.3). With tens of "
+                 "co-tenants the optimal report collapses onto the "
+                 "truth: the mechanism is strategy-proof in the "
+                 "large.\n";
+    return 0;
+}

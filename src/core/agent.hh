@@ -1,0 +1,45 @@
+/**
+ * @file
+ * An agent (user/task) sharing the system, identified by name and
+ * described by its Cobb-Douglas utility.
+ */
+
+#ifndef REF_CORE_AGENT_HH
+#define REF_CORE_AGENT_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/cobb_douglas.hh"
+
+namespace ref::core {
+
+/** One user of the shared system. */
+class Agent
+{
+  public:
+    Agent(std::string name, CobbDouglasUtility utility)
+        : name_(std::move(name)), utility_(std::move(utility))
+    {}
+
+    const std::string &name() const { return name_; }
+    const CobbDouglasUtility &utility() const { return utility_; }
+
+    /** Replace the utility (used by on-line profiling, §4.4). */
+    void setUtility(CobbDouglasUtility utility)
+    {
+        utility_ = std::move(utility);
+    }
+
+  private:
+    std::string name_;
+    CobbDouglasUtility utility_;
+};
+
+/** Agents participating in an allocation round. */
+using AgentList = std::vector<Agent>;
+
+} // namespace ref::core
+
+#endif // REF_CORE_AGENT_HH

@@ -1,0 +1,128 @@
+#include "ceei.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ref::core {
+
+CeeiMarket::CeeiMarket(AgentList agents, SystemCapacity capacity)
+    : agents_(std::move(agents)), capacity_(std::move(capacity))
+{
+    REF_REQUIRE(!agents_.empty(), "market needs at least one agent");
+    for (auto &agent : agents_) {
+        REF_REQUIRE(agent.utility().resources() == capacity_.count(),
+                    "agent '" << agent.name()
+                        << "' utility does not span the capacity");
+        agent.setUtility(agent.utility().rescaled());
+    }
+}
+
+Vector
+CeeiMarket::demand(std::size_t agent, const Vector &prices,
+                   double budget) const
+{
+    REF_REQUIRE(agent < agents_.size(), "agent index out of range");
+    REF_REQUIRE(prices.size() == capacity_.count(),
+                "price vector size mismatch");
+    REF_REQUIRE(budget > 0, "budget must be positive");
+
+    // A Cobb-Douglas consumer spends the elasticity fraction of its
+    // budget on each resource.
+    const auto &alphas = agents_[agent].utility().elasticities();
+    Vector bundle(prices.size());
+    for (std::size_t r = 0; r < prices.size(); ++r) {
+        REF_REQUIRE(prices[r] > 0, "price " << r << " must be positive");
+        bundle[r] = alphas[r] * budget / prices[r];
+    }
+    return bundle;
+}
+
+CeeiSolution
+CeeiMarket::solveClosedForm() const
+{
+    const std::size_t n = agents_.size();
+    const double budget = 1.0 / static_cast<double>(n);
+
+    CeeiSolution solution;
+    solution.prices.resize(capacity_.count());
+    for (std::size_t r = 0; r < capacity_.count(); ++r) {
+        double elasticity_sum = 0;
+        for (const auto &agent : agents_)
+            elasticity_sum += agent.utility().elasticity(r);
+        solution.prices[r] =
+            elasticity_sum * budget / capacity_.capacity(r);
+    }
+
+    solution.allocation = Allocation(n, capacity_.count());
+    for (std::size_t i = 0; i < n; ++i) {
+        solution.allocation.setAgentShare(
+            i, demand(i, solution.prices, budget));
+    }
+    solution.converged = true;
+    return solution;
+}
+
+CeeiSolution
+CeeiMarket::solveTatonnement(const TatonnementOptions &options) const
+{
+    const std::size_t n = agents_.size();
+    const std::size_t r_count = capacity_.count();
+    const double budget = 1.0 / static_cast<double>(n);
+
+    // Start from uniform value shares: every resource carries the
+    // same total expenditure.
+    Vector prices(r_count);
+    for (std::size_t r = 0; r < r_count; ++r) {
+        prices[r] = 1.0 / (static_cast<double>(r_count) *
+                           capacity_.capacity(r));
+    }
+
+    CeeiSolution solution;
+    for (int iter = 0; iter < options.maxIterations; ++iter) {
+        // Aggregate demand at current prices.
+        Vector total_demand(r_count, 0.0);
+        for (std::size_t i = 0; i < n; ++i) {
+            const Vector bundle = demand(i, prices, budget);
+            for (std::size_t r = 0; r < r_count; ++r)
+                total_demand[r] += bundle[r];
+        }
+
+        double worst_excess = 0;
+        for (std::size_t r = 0; r < r_count; ++r) {
+            const double relative_excess =
+                (total_demand[r] - capacity_.capacity(r)) /
+                capacity_.capacity(r);
+            worst_excess =
+                std::max(worst_excess, std::abs(relative_excess));
+        }
+
+        solution.iterations = iter + 1;
+        if (worst_excess <= options.tolerance) {
+            solution.converged = true;
+            break;
+        }
+
+        // Raise prices of over-demanded resources, lower the rest.
+        for (std::size_t r = 0; r < r_count; ++r) {
+            const double relative_excess =
+                (total_demand[r] - capacity_.capacity(r)) /
+                capacity_.capacity(r);
+            prices[r] *= 1.0 + options.stepSize * relative_excess;
+        }
+        // Re-normalize so total market value stays at 1.
+        double market_value = 0;
+        for (std::size_t r = 0; r < r_count; ++r)
+            market_value += prices[r] * capacity_.capacity(r);
+        for (std::size_t r = 0; r < r_count; ++r)
+            prices[r] /= market_value;
+    }
+
+    solution.prices = prices;
+    solution.allocation = Allocation(n, r_count);
+    for (std::size_t i = 0; i < n; ++i)
+        solution.allocation.setAgentShare(i, demand(i, prices, budget));
+    return solution;
+}
+
+} // namespace ref::core

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Competitive Equilibrium from Equal Incomes (CEEI), paper
+ * Section 4.2.
+ *
+ * In CEEI every agent receives an equal budget, prices clear the
+ * market, and agents buy their utility-maximizing bundles. For
+ * re-scaled (homogeneous) Cobb-Douglas utilities the CEEI outcome
+ * coincides with the Nash bargaining solution and hence with the
+ * proportional elasticity allocation — the equivalence behind the
+ * paper's SI/EF/PE proof. We provide both the closed form and a
+ * tatonnement (iterative price adjustment) solver; their agreement
+ * is checked by tests.
+ */
+
+#ifndef REF_CORE_CEEI_HH
+#define REF_CORE_CEEI_HH
+
+#include "core/agent.hh"
+#include "core/allocation.hh"
+
+namespace ref::core {
+
+/** Market equilibrium: prices and the allocation they induce. */
+struct CeeiSolution
+{
+    /**
+     * Per-resource prices, normalized so that the total market value
+     * sum_r p_r C_r equals 1 (the sum of all agents' budgets).
+     */
+    Vector prices;
+    Allocation allocation;
+    int iterations = 0;
+    bool converged = false;
+};
+
+/** Options for the tatonnement price-adjustment loop. */
+struct TatonnementOptions
+{
+    double stepSize = 0.5;        //!< Price update gain.
+    double tolerance = 1e-10;     //!< Relative excess demand to stop.
+    int maxIterations = 10000;
+};
+
+/** CEEI market for agents with Cobb-Douglas utilities. */
+class CeeiMarket
+{
+  public:
+    /**
+     * @param agents Utilities are re-scaled internally (Eq. 12), as
+     *        CEEI equivalence requires homogeneous utilities.
+     */
+    CeeiMarket(AgentList agents, SystemCapacity capacity);
+
+    /**
+     * Closed form: with equal budgets 1/N, a Cobb-Douglas agent
+     * spends fraction a^_ir of its budget on resource r, so market
+     * clearing gives p_r = sum_i a^_ir / (N C_r).
+     */
+    CeeiSolution solveClosedForm() const;
+
+    /**
+     * Walrasian tatonnement: adjust prices proportionally to excess
+     * demand until the market clears. Slower but makes no use of the
+     * closed form; used to validate it.
+     */
+    CeeiSolution solveTatonnement(
+        const TatonnementOptions &options = {}) const;
+
+    /** Demand of agent i at prices p with budget b. */
+    Vector demand(std::size_t agent, const Vector &prices,
+                  double budget) const;
+
+  private:
+    AgentList agents_;
+    SystemCapacity capacity_;
+};
+
+} // namespace ref::core
+
+#endif // REF_CORE_CEEI_HH

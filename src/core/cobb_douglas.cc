@@ -1,0 +1,128 @@
+#include "cobb_douglas.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+#include "util/math.hh"
+
+namespace ref::core {
+
+CobbDouglasUtility::CobbDouglasUtility(double scale, Vector elasticities)
+    : scale_(scale), elasticities_(std::move(elasticities))
+{
+    REF_REQUIRE(scale_ > 0, "scale a0 must be positive, got " << scale_);
+    REF_REQUIRE(!elasticities_.empty(),
+                "utility needs at least one resource");
+    for (std::size_t r = 0; r < elasticities_.size(); ++r) {
+        REF_REQUIRE(elasticities_[r] > 0,
+                    "elasticity " << r << " must be positive, got "
+                        << elasticities_[r]);
+    }
+}
+
+CobbDouglasUtility::CobbDouglasUtility(Vector elasticities)
+    : CobbDouglasUtility(1.0, std::move(elasticities))
+{
+}
+
+double
+CobbDouglasUtility::elasticity(std::size_t r) const
+{
+    REF_REQUIRE(r < elasticities_.size(),
+                "resource " << r << " outside " << elasticities_.size());
+    return elasticities_[r];
+}
+
+double
+CobbDouglasUtility::elasticitySum() const
+{
+    double total = 0;
+    for (double alpha : elasticities_)
+        total += alpha;
+    return total;
+}
+
+double
+CobbDouglasUtility::value(const Vector &allocation) const
+{
+    const double log_value = logValue(allocation);
+    return std::isinf(log_value) ? 0.0 : std::exp(log_value);
+}
+
+double
+CobbDouglasUtility::logValue(const Vector &allocation) const
+{
+    REF_REQUIRE(allocation.size() == elasticities_.size(),
+                "allocation has " << allocation.size()
+                    << " resources, utility has " << elasticities_.size());
+    double total = std::log(scale_);
+    for (std::size_t r = 0; r < allocation.size(); ++r) {
+        REF_REQUIRE(allocation[r] >= 0,
+                    "negative allocation " << allocation[r]
+                        << " for resource " << r);
+        if (allocation[r] == 0)
+            return -std::numeric_limits<double>::infinity();
+        total += elasticities_[r] * std::log(allocation[r]);
+    }
+    return total;
+}
+
+double
+CobbDouglasUtility::marginalRateOfSubstitution(
+    std::size_t r, std::size_t s, const Vector &allocation) const
+{
+    REF_REQUIRE(r < resources() && s < resources(),
+                "resource pair (" << r << "," << s << ") outside "
+                    << resources());
+    REF_REQUIRE(allocation.size() == resources(),
+                "allocation size mismatch");
+    REF_REQUIRE(allocation[r] > 0 && allocation[s] > 0,
+                "MRS undefined at a zero allocation");
+    return (elasticities_[r] / elasticities_[s]) *
+           (allocation[s] / allocation[r]);
+}
+
+CobbDouglasUtility
+CobbDouglasUtility::rescaled() const
+{
+    return CobbDouglasUtility(1.0, normalizeToUnitSum(elasticities_));
+}
+
+bool
+CobbDouglasUtility::isRescaled(double tolerance) const
+{
+    return std::abs(elasticitySum() - 1.0) <= tolerance &&
+           almostEqual(scale_, 1.0, tolerance);
+}
+
+bool
+CobbDouglasUtility::strictlyPrefers(const Vector &x,
+                                    const Vector &y) const
+{
+    return logValue(x) > logValue(y);
+}
+
+bool
+CobbDouglasUtility::indifferent(const Vector &x, const Vector &y,
+                                double tolerance) const
+{
+    const double lx = logValue(x);
+    const double ly = logValue(y);
+    if (std::isinf(lx) && std::isinf(ly))
+        return true;
+    return std::abs(lx - ly) <= tolerance;
+}
+
+bool
+CobbDouglasUtility::weaklyPrefers(const Vector &x, const Vector &y,
+                                  double tolerance) const
+{
+    const double lx = logValue(x);
+    const double ly = logValue(y);
+    if (std::isinf(ly))
+        return true;
+    return lx >= ly - tolerance;
+}
+
+} // namespace ref::core

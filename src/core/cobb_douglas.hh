@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Cobb-Douglas utility functions (paper Eq. 1).
+ *
+ * u(x) = a0 * prod_r x_r^{a_r}. The exponents a_r are the resource
+ * elasticities: they capture diminishing marginal returns and
+ * substitution effects that linear Leontief preferences cannot.
+ */
+
+#ifndef REF_CORE_COBB_DOUGLAS_HH
+#define REF_CORE_COBB_DOUGLAS_HH
+
+#include <vector>
+
+#include "linalg/matrix.hh"
+
+namespace ref::core {
+
+using linalg::Vector;
+
+/** A Cobb-Douglas utility over R resources. */
+class CobbDouglasUtility
+{
+  public:
+    /**
+     * @param scale Multiplicative constant a0 > 0.
+     * @param elasticities Exponents a_r; each must be positive (an
+     *        agent with a zero elasticity does not demand the
+     *        resource at all and should model it explicitly).
+     */
+    CobbDouglasUtility(double scale, Vector elasticities);
+
+    /** Utility with a0 = 1. */
+    explicit CobbDouglasUtility(Vector elasticities);
+
+    /** Number of resources R. */
+    std::size_t resources() const { return elasticities_.size(); }
+
+    double scale() const { return scale_; }
+
+    /** Elasticity a_r. */
+    double elasticity(std::size_t r) const;
+
+    const Vector &elasticities() const { return elasticities_; }
+
+    /** Sum of all elasticities (1 exactly when rescaled). */
+    double elasticitySum() const;
+
+    /**
+     * Evaluate u(x). Zero if any x_r is zero ("the user requires
+     * both resources for progress"). @pre x_r >= 0 for all r.
+     */
+    double value(const Vector &allocation) const;
+
+    /**
+     * Evaluate log u(x); -infinity when any x_r is zero. Preferred
+     * for comparisons since it avoids overflow/underflow.
+     */
+    double logValue(const Vector &allocation) const;
+
+    /**
+     * Marginal rate of substitution between resources r and s at x
+     * (paper Eq. 9): MRS_{rs} = (a_r / a_s) * (x_s / x_r), the rate
+     * at which the agent trades resource s for resource r.
+     * @pre x_r > 0.
+     */
+    double marginalRateOfSubstitution(std::size_t r, std::size_t s,
+                                      const Vector &allocation) const;
+
+    /**
+     * Re-scaled utility (paper Eq. 12): elasticities normalized to
+     * sum to one and a0 set to 1, making the utility homogeneous of
+     * degree one — the property behind the Nash-bargaining and CEEI
+     * equivalences.
+     */
+    CobbDouglasUtility rescaled() const;
+
+    /** True when the elasticities already sum to one (within tol). */
+    bool isRescaled(double tolerance = 1e-9) const;
+
+    /** @name Preference relations (paper Section 3). */
+    ///@{
+    /** x is strictly preferred to y. */
+    bool strictlyPrefers(const Vector &x, const Vector &y) const;
+    /** Indifferent between x and y (within tolerance). */
+    bool indifferent(const Vector &x, const Vector &y,
+                     double tolerance = 1e-9) const;
+    /** x is weakly preferred to y (within tolerance). */
+    bool weaklyPrefers(const Vector &x, const Vector &y,
+                       double tolerance = 1e-9) const;
+    ///@}
+
+  private:
+    double scale_;
+    Vector elasticities_;
+};
+
+} // namespace ref::core
+
+#endif // REF_CORE_COBB_DOUGLAS_HH

@@ -1,0 +1,114 @@
+#include "drf.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace ref::core {
+
+double
+dominantShare(const LeontiefUtility &utility, double tasks,
+              const SystemCapacity &capacity)
+{
+    REF_REQUIRE(utility.resources() == capacity.count(),
+                "utility/capacity resource mismatch");
+    double share = 0;
+    for (std::size_t r = 0; r < capacity.count(); ++r) {
+        share = std::max(share, tasks * utility.demand(r) /
+                                    capacity.capacity(r));
+    }
+    return share;
+}
+
+DrfResult
+allocateDrf(const std::vector<LeontiefAgent> &agents,
+            const SystemCapacity &capacity)
+{
+    const std::size_t n = agents.size();
+    REF_REQUIRE(n > 0, "no agents to allocate to");
+    const std::size_t r_count = capacity.count();
+    for (const auto &agent : agents) {
+        REF_REQUIRE(agent.utility().resources() == r_count,
+                    "agent '" << agent.name()
+                        << "' demand vector does not span the "
+                           "capacity");
+    }
+
+    // Per-unit-of-dominant-share consumption: growing agent i's
+    // dominant share by ds consumes ds * d_ir / domFactor_i of
+    // resource r, where domFactor_i = max_r d_ir / C_r.
+    std::vector<double> dom_factor(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        dom_factor[i] =
+            dominantShare(agents[i].utility(), 1.0, capacity);
+        REF_ASSERT(dom_factor[i] > 0, "zero dominant factor");
+    }
+
+    std::vector<double> tasks(n, 0.0);
+    std::vector<bool> frozen(n, false);
+    Vector remaining = capacity.capacities();
+
+    // Progressive filling: raise all active agents' dominant shares
+    // in lock-step until a resource saturates; freeze the agents
+    // that demand it; repeat on the leftovers.
+    for (std::size_t round = 0; round <= n; ++round) {
+        // Aggregate consumption rate per resource for active agents.
+        Vector rate(r_count, 0.0);
+        bool any_active = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (frozen[i])
+                continue;
+            any_active = true;
+            for (std::size_t r = 0; r < r_count; ++r) {
+                rate[r] +=
+                    agents[i].utility().demand(r) / dom_factor[i];
+            }
+        }
+        if (!any_active)
+            break;
+
+        double delta = std::numeric_limits<double>::infinity();
+        for (std::size_t r = 0; r < r_count; ++r) {
+            if (rate[r] > 0)
+                delta = std::min(delta, remaining[r] / rate[r]);
+        }
+        REF_ASSERT(std::isfinite(delta),
+                   "active agents consume no resource");
+
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!frozen[i])
+                tasks[i] += delta / dom_factor[i];
+        }
+        for (std::size_t r = 0; r < r_count; ++r)
+            remaining[r] -= rate[r] * delta;
+
+        // Freeze agents that demand any saturated resource.
+        for (std::size_t r = 0; r < r_count; ++r) {
+            if (remaining[r] > 1e-12 * capacity.capacity(r))
+                continue;
+            remaining[r] = std::max(remaining[r], 0.0);
+            for (std::size_t i = 0; i < n; ++i) {
+                if (agents[i].utility().demand(r) > 0)
+                    frozen[i] = true;
+            }
+        }
+    }
+
+    DrfResult result;
+    result.allocation = Allocation(n, r_count);
+    result.tasksGranted = tasks;
+    result.dominantShares.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        Vector bundle(r_count);
+        for (std::size_t r = 0; r < r_count; ++r)
+            bundle[r] = tasks[i] * agents[i].utility().demand(r);
+        result.allocation.setAgentShare(i, bundle);
+        result.dominantShares[i] =
+            dominantShare(agents[i].utility(), tasks[i], capacity);
+    }
+    return result;
+}
+
+} // namespace ref::core

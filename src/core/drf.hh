@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Dominant Resource Fairness (Ghodsi et al., NSDI'11) — the paper's
+ * main related-work comparison point (Section 6).
+ *
+ * DRF serves agents with Leontief preferences: each agent states a
+ * demand vector and the mechanism equalizes dominant shares (the
+ * maximum share any agent holds of any resource). It provides SI,
+ * EF, PE and full SP — but only on the Leontief domain; the paper's
+ * argument is that Leontief cannot express the diminishing returns
+ * and substitution that hardware resources exhibit (Figures 3-4).
+ * Implementing DRF lets the repository demonstrate that trade-off
+ * quantitatively (bench_drf_comparison).
+ */
+
+#ifndef REF_CORE_DRF_HH
+#define REF_CORE_DRF_HH
+
+#include <string>
+#include <vector>
+
+#include "core/allocation.hh"
+#include "core/leontief.hh"
+
+namespace ref::core {
+
+/** An agent with Leontief preferences (a demand vector). */
+class LeontiefAgent
+{
+  public:
+    LeontiefAgent(std::string name, LeontiefUtility utility)
+        : name_(std::move(name)), utility_(std::move(utility))
+    {}
+
+    const std::string &name() const { return name_; }
+    const LeontiefUtility &utility() const { return utility_; }
+
+  private:
+    std::string name_;
+    LeontiefUtility utility_;
+};
+
+/** Result of a DRF allocation. */
+struct DrfResult
+{
+    Allocation allocation;
+    /** Tasks (demand-vector multiples) granted to each agent. */
+    std::vector<double> tasksGranted;
+    /** Final dominant share of each agent. */
+    std::vector<double> dominantShares;
+};
+
+/**
+ * Water-filling (continuous) DRF: grow every agent's task count so
+ * all dominant shares stay equal until some resource saturates;
+ * agents whose demands the saturated resource binds stop growing,
+ * the rest continue ("progressive filling").
+ *
+ * @pre every agent demands a positive amount of at least one
+ *      resource with positive capacity.
+ */
+DrfResult allocateDrf(const std::vector<LeontiefAgent> &agents,
+                      const SystemCapacity &capacity);
+
+/**
+ * The dominant share of a bundle for a Leontief agent: its maximum
+ * fractional usage of any resource.
+ */
+double dominantShare(const LeontiefUtility &utility, double tasks,
+                     const SystemCapacity &capacity);
+
+} // namespace ref::core
+
+#endif // REF_CORE_DRF_HH

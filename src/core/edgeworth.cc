@@ -1,0 +1,229 @@
+#include "edgeworth.hh"
+
+#include <cmath>
+
+#include "solver/scalar.hh"
+#include "util/logging.hh"
+
+namespace ref::core {
+
+namespace {
+
+/** Relative margin keeping bisection brackets off the box edges. */
+constexpr double kEdge = 1e-12;
+
+} // namespace
+
+EdgeworthBox::EdgeworthBox(Agent user1, Agent user2,
+                           SystemCapacity capacity)
+    : user1_(std::move(user1)), user2_(std::move(user2)),
+      capacity_(std::move(capacity))
+{
+    REF_REQUIRE(capacity_.count() == 2,
+                "Edgeworth box covers exactly two resources, got "
+                    << capacity_.count());
+    REF_REQUIRE(user1_.utility().resources() == 2 &&
+                    user2_.utility().resources() == 2,
+                "both users must have two-resource utilities");
+}
+
+Vector
+EdgeworthBox::bundleOf(int user, double x1, double y1) const
+{
+    REF_REQUIRE(user == 1 || user == 2, "user must be 1 or 2");
+    if (user == 1)
+        return {x1, y1};
+    return {width() - x1, height() - y1};
+}
+
+Allocation
+EdgeworthBox::toAllocation(double x1, double y1) const
+{
+    REF_REQUIRE(x1 >= 0 && x1 <= width() && y1 >= 0 && y1 <= height(),
+                "point (" << x1 << "," << y1 << ") outside the box");
+    Allocation allocation(2, 2);
+    allocation.setAgentShare(0, bundleOf(1, x1, y1));
+    allocation.setAgentShare(1, bundleOf(2, x1, y1));
+    return allocation;
+}
+
+double
+EdgeworthBox::contractCurve(double x1) const
+{
+    REF_REQUIRE(x1 > 0 && x1 < width(),
+                "contract curve needs 0 < x1 < width");
+    const auto &u1 = user1_.utility();
+    const auto &u2 = user2_.utility();
+    const double k1 = u1.elasticity(0) / u1.elasticity(1);
+    const double k2 = u2.elasticity(0) / u2.elasticity(1);
+    // Tangency (Eq. 10): k1 y1 / x1 = k2 (Cy - y1) / (Cx - x1).
+    return k2 * height() * x1 / (k1 * (width() - x1) + k2 * x1);
+}
+
+std::optional<double>
+EdgeworthBox::envyBoundary(int user, double x1) const
+{
+    REF_REQUIRE(user == 1 || user == 2, "user must be 1 or 2");
+    REF_REQUIRE(x1 > 0 && x1 < width(),
+                "envy boundary needs 0 < x1 < width");
+
+    const auto &utility =
+        (user == 1 ? user1_ : user2_).utility();
+    // Positive when the user weakly prefers its own bundle.
+    const auto slack = [&](double y1) {
+        return utility.logValue(bundleOf(user, x1, y1)) -
+               utility.logValue(bundleOf(user == 1 ? 2 : 1, x1, y1));
+    };
+
+    const double lo = kEdge * height();
+    const double hi = height() - kEdge * height();
+    const double slack_lo = slack(lo);
+    const double slack_hi = slack(hi);
+    if (slack_lo * slack_hi > 0)
+        return std::nullopt;  // Indifference never crossed in the box.
+    const auto root = solver::bisectRoot(slack, lo, hi,
+                                         1e-12 * height());
+    return root.x;
+}
+
+std::optional<double>
+EdgeworthBox::sharingIncentiveBoundary(int user, double x1) const
+{
+    REF_REQUIRE(user == 1 || user == 2, "user must be 1 or 2");
+    REF_REQUIRE(x1 > 0 && x1 < width(),
+                "SI boundary needs 0 < x1 < width");
+
+    const auto &utility = (user == 1 ? user1_ : user2_).utility();
+    const Vector equal_split = capacity_.equalShare(2);
+    const double target = utility.logValue(equal_split);
+
+    // Solve a_x log(own_x) + a_y log(own_y) + log a0 = target in the
+    // user's own coordinates, then map back to box coordinates.
+    const double own_x = user == 1 ? x1 : width() - x1;
+    const double log_own_y =
+        (target - std::log(utility.scale()) -
+         utility.elasticity(0) * std::log(own_x)) /
+        utility.elasticity(1);
+    const double own_y = std::exp(log_own_y);
+    if (own_y <= 0 || own_y >= height())
+        return std::nullopt;
+    return user == 1 ? own_y : height() - own_y;
+}
+
+double
+EdgeworthBox::indifferenceCurve(int user, const Vector &through,
+                                double x) const
+{
+    REF_REQUIRE(user == 1 || user == 2, "user must be 1 or 2");
+    REF_REQUIRE(x > 0, "indifference curve needs x > 0");
+    const auto &utility = (user == 1 ? user1_ : user2_).utility();
+    const double level = utility.logValue(through);
+    REF_REQUIRE(std::isfinite(level),
+                "reference bundle must have positive utility");
+    return std::exp((level - std::log(utility.scale()) -
+                     utility.elasticity(0) * std::log(x)) /
+                    utility.elasticity(1));
+}
+
+bool
+EdgeworthBox::isEnvyFree(double x1, double y1, double tol) const
+{
+    const Vector b1 = bundleOf(1, x1, y1);
+    const Vector b2 = bundleOf(2, x1, y1);
+    return user1_.utility().weaklyPrefers(b1, b2, tol) &&
+           user2_.utility().weaklyPrefers(b2, b1, tol);
+}
+
+bool
+EdgeworthBox::hasSharingIncentives(double x1, double y1,
+                                   double tol) const
+{
+    const Vector equal_split = capacity_.equalShare(2);
+    return user1_.utility().weaklyPrefers(bundleOf(1, x1, y1),
+                                          equal_split, tol) &&
+           user2_.utility().weaklyPrefers(bundleOf(2, x1, y1),
+                                          equal_split, tol);
+}
+
+bool
+EdgeworthBox::isParetoEfficient(double x1, double y1, double tol) const
+{
+    if (x1 <= 0 || x1 >= width() || y1 <= 0 || y1 >= height())
+        return false;
+    const double mrs1 = user1_.utility().marginalRateOfSubstitution(
+        0, 1, bundleOf(1, x1, y1));
+    const double mrs2 = user2_.utility().marginalRateOfSubstitution(
+        0, 1, bundleOf(2, x1, y1));
+    return std::abs(std::log(mrs1) - std::log(mrs2)) <= tol;
+}
+
+EdgeworthBox::Segment
+EdgeworthBox::fairSegment(bool with_sharing_incentives) const
+{
+    const Vector equal_split = capacity_.equalShare(2);
+
+    // Slacks along the contract curve; positive when the constraint
+    // holds. EF1/SI1 increase with x1 (user 1 gains resources along
+    // the curve); EF2/SI2 decrease.
+    const auto ef1 = [&](double x1) {
+        const double y1 = contractCurve(x1);
+        return user1_.utility().logValue(bundleOf(1, x1, y1)) -
+               user1_.utility().logValue(bundleOf(2, x1, y1));
+    };
+    const auto ef2 = [&](double x1) {
+        const double y1 = contractCurve(x1);
+        return user2_.utility().logValue(bundleOf(2, x1, y1)) -
+               user2_.utility().logValue(bundleOf(1, x1, y1));
+    };
+    const auto si1 = [&](double x1) {
+        const double y1 = contractCurve(x1);
+        return user1_.utility().logValue(bundleOf(1, x1, y1)) -
+               user1_.utility().logValue(equal_split);
+    };
+    const auto si2 = [&](double x1) {
+        const double y1 = contractCurve(x1);
+        return user2_.utility().logValue(bundleOf(2, x1, y1)) -
+               user2_.utility().logValue(equal_split);
+    };
+
+    const double lo_edge = kEdge * width();
+    const double hi_edge = width() - kEdge * width();
+
+    // Lower endpoint: where an increasing slack turns non-negative.
+    const auto lower_root = [&](const auto &slack) {
+        if (slack(lo_edge) >= 0)
+            return lo_edge;
+        if (slack(hi_edge) < 0)
+            return hi_edge;  // Never satisfied; empty segment.
+        return solver::bisectRoot(slack, lo_edge, hi_edge,
+                                  1e-12 * width())
+            .x;
+    };
+    // Upper endpoint: where a decreasing slack turns negative.
+    const auto upper_root = [&](const auto &slack) {
+        if (slack(hi_edge) >= 0)
+            return hi_edge;
+        if (slack(lo_edge) < 0)
+            return lo_edge;
+        return solver::bisectRoot(slack, lo_edge, hi_edge,
+                                  1e-12 * width())
+            .x;
+    };
+
+    double lo = lower_root(ef1);
+    double hi = upper_root(ef2);
+    if (with_sharing_incentives) {
+        lo = std::max(lo, lower_root(si1));
+        hi = std::min(hi, upper_root(si2));
+    }
+
+    Segment segment;
+    if (lo < hi) {
+        segment.x1Low = lo;
+        segment.x1High = hi;
+        segment.empty = false;
+    }
+    return segment;
+}
+
+} // namespace ref::core

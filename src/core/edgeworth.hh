@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Edgeworth-box analysis for two agents sharing two resources
+ * (paper Section 3, Figures 1-7).
+ *
+ * Coordinates follow the paper: (x1, y1) is user 1's bundle of
+ * resource 0 (box width, e.g. memory bandwidth) and resource 1 (box
+ * height, e.g. cache); user 2 implicitly holds the complement
+ * (C0 - x1, C1 - y1).
+ */
+
+#ifndef REF_CORE_EDGEWORTH_HH
+#define REF_CORE_EDGEWORTH_HH
+
+#include <optional>
+
+#include "core/agent.hh"
+#include "core/allocation.hh"
+
+namespace ref::core {
+
+/** Two-agent, two-resource analysis toolkit. */
+class EdgeworthBox
+{
+  public:
+    /**
+     * @pre capacity spans exactly two resources; both agents'
+     *      utilities span two resources.
+     */
+    EdgeworthBox(Agent user1, Agent user2, SystemCapacity capacity);
+
+    /** Box width: total of resource 0. */
+    double width() const { return capacity_.capacity(0); }
+
+    /** Box height: total of resource 1. */
+    double height() const { return capacity_.capacity(1); }
+
+    const Agent &user1() const { return user1_; }
+    const Agent &user2() const { return user2_; }
+    const SystemCapacity &capacity() const { return capacity_; }
+
+    /** Expand a point to the full two-agent allocation. */
+    Allocation toAllocation(double x1, double y1) const;
+
+    /**
+     * The contract curve (Eq. 10): for user 1's amount x1 of
+     * resource 0, the y1 making both users' MRS equal. Closed form
+     * for Cobb-Douglas. @pre 0 < x1 < width().
+     */
+    double contractCurve(double x1) const;
+
+    /**
+     * Envy-free boundary for a user (1 or 2): the y1 at which that
+     * user is exactly indifferent between the two bundles, if it
+     * exists in (0, height()). User 1 is envy-free above its
+     * boundary; user 2 below its own. @pre 0 < x1 < width().
+     */
+    std::optional<double> envyBoundary(int user, double x1) const;
+
+    /**
+     * Sharing-incentive boundary for a user: the y1 at which the
+     * user's utility equals its equal-split utility, if any. User 1
+     * satisfies SI above its boundary; user 2 below its own.
+     * @pre 0 < x1 < width().
+     */
+    std::optional<double> sharingIncentiveBoundary(int user,
+                                                   double x1) const;
+
+    /**
+     * Indifference curve of a user through a reference bundle: the
+     * y (in that user's own coordinates) giving the same utility at
+     * amount x of resource 0.
+     */
+    double indifferenceCurve(int user, const Vector &through,
+                             double x) const;
+
+    /** Point predicates on box coordinates (x1, y1). */
+    bool isEnvyFree(double x1, double y1, double tol = 1e-9) const;
+    bool hasSharingIncentives(double x1, double y1,
+                              double tol = 1e-9) const;
+    bool isParetoEfficient(double x1, double y1,
+                           double tol = 1e-6) const;
+
+    /** A segment [x1Low, x1High] of the contract curve. */
+    struct Segment
+    {
+        double x1Low = 0;
+        double x1High = 0;
+        bool empty = true;
+    };
+
+    /**
+     * The fair set (Fig. 6): the part of the contract curve that is
+     * envy-free for both users; optionally also constrained by SI
+     * (Fig. 7). Endpoints located by bisection.
+     */
+    Segment fairSegment(bool with_sharing_incentives) const;
+
+  private:
+    /** Bundle of the given user implied by box point (x1, y1). */
+    Vector bundleOf(int user, double x1, double y1) const;
+
+    Agent user1_;
+    Agent user2_;
+    SystemCapacity capacity_;
+};
+
+} // namespace ref::core
+
+#endif // REF_CORE_EDGEWORTH_HH

@@ -1,0 +1,238 @@
+#include "fairness.hh"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace ref::core {
+
+namespace {
+
+void
+requireShapes(const AgentList &agents, const Allocation &allocation)
+{
+    REF_REQUIRE(!agents.empty(), "no agents to check");
+    REF_REQUIRE(agents.size() == allocation.agents(),
+                "allocation covers " << allocation.agents()
+                    << " agents, got " << agents.size());
+    for (const Agent &agent : agents) {
+        REF_REQUIRE(agent.utility().resources() ==
+                        allocation.resources(),
+                    "agent '" << agent.name() << "' utility covers "
+                        << agent.utility().resources()
+                        << " resources, allocation has "
+                        << allocation.resources());
+    }
+}
+
+} // namespace
+
+PropertyCheck
+checkSharingIncentives(const AgentList &agents,
+                       const SystemCapacity &capacity,
+                       const Allocation &allocation,
+                       const FairnessTolerance &tol)
+{
+    requireShapes(agents, allocation);
+    REF_REQUIRE(capacity.count() == allocation.resources(),
+                "capacity/allocation resource mismatch");
+
+    const Vector equal_share = capacity.equalShare(agents.size());
+
+    PropertyCheck check;
+    check.worstSlack = std::numeric_limits<double>::infinity();
+    check.satisfied = true;
+    for (std::size_t i = 0; i < agents.size(); ++i) {
+        const auto &utility = agents[i].utility();
+        const double own = utility.logValue(allocation.agentShare(i));
+        const double split = utility.logValue(equal_share);
+        const double slack = own - split;
+        if (slack < check.worstSlack) {
+            check.worstSlack = slack;
+            std::ostringstream detail;
+            detail << "agent '" << agents[i].name()
+                   << "' vs equal split (log-utility slack " << slack
+                   << ")";
+            check.binding = detail.str();
+        }
+        if (slack < -tol.utility)
+            check.satisfied = false;
+    }
+    return check;
+}
+
+PropertyCheck
+checkEnvyFreeness(const AgentList &agents, const Allocation &allocation,
+                  const FairnessTolerance &tol)
+{
+    requireShapes(agents, allocation);
+
+    PropertyCheck check;
+    check.worstSlack = std::numeric_limits<double>::infinity();
+    check.satisfied = true;
+    for (std::size_t i = 0; i < agents.size(); ++i) {
+        const auto &utility = agents[i].utility();
+        const double own = utility.logValue(allocation.agentShare(i));
+        for (std::size_t j = 0; j < agents.size(); ++j) {
+            if (i == j)
+                continue;
+            const double other =
+                utility.logValue(allocation.agentShare(j));
+            // Both bundles worthless: no envy either way.
+            double slack;
+            if (std::isinf(own) && std::isinf(other)) {
+                slack = 0;
+            } else {
+                slack = own - other;
+            }
+            if (slack < check.worstSlack) {
+                check.worstSlack = slack;
+                std::ostringstream detail;
+                detail << "agent '" << agents[i].name()
+                       << "' vs bundle of '" << agents[j].name()
+                       << "' (log-utility slack " << slack << ")";
+                check.binding = detail.str();
+            }
+            if (slack < -tol.utility)
+                check.satisfied = false;
+        }
+    }
+    return check;
+}
+
+PropertyCheck
+checkParetoEfficiency(const AgentList &agents,
+                      const SystemCapacity &capacity,
+                      const Allocation &allocation,
+                      const FairnessTolerance &tol)
+{
+    requireShapes(agents, allocation);
+    REF_REQUIRE(capacity.count() == allocation.resources(),
+                "capacity/allocation resource mismatch");
+
+    PropertyCheck check;
+    check.satisfied = true;
+    check.worstSlack = std::numeric_limits<double>::infinity();
+
+    // (a) No resource may be left on the table: a Cobb-Douglas agent
+    // always benefits from more of any resource.
+    const Vector sums = allocation.totals();
+    for (std::size_t r = 0; r < capacity.count(); ++r) {
+        const double cap = capacity.capacity(r);
+        const double slack_frac = (cap - sums[r]) / cap;
+        const double slack = -slack_frac;  // negative when wasteful
+        if (slack < check.worstSlack) {
+            check.worstSlack = slack;
+            std::ostringstream detail;
+            detail << "resource '" << capacity.resource(r).name
+                   << "' leaves " << slack_frac * 100
+                   << "% of capacity unallocated";
+            check.binding = detail.str();
+        }
+        if (slack_frac > tol.capacity + tol.mrs)
+            check.satisfied = false;
+    }
+
+    // (b) Interior tangency: all agents' MRS agree (Eq. 10). A zero
+    // amount makes the MRS undefined; such corner allocations are
+    // reported as not PE (see header).
+    for (std::size_t i = 0; i < agents.size(); ++i) {
+        for (std::size_t r = 0; r < allocation.resources(); ++r) {
+            if (allocation.at(i, r) <= 0) {
+                check.satisfied = false;
+                std::ostringstream detail;
+                detail << "agent '" << agents[i].name()
+                       << "' holds none of resource '"
+                       << capacity.resource(r).name << "'";
+                check.binding = detail.str();
+                check.worstSlack =
+                    -std::numeric_limits<double>::infinity();
+                return check;
+            }
+        }
+    }
+
+    for (std::size_t r = 1; r < allocation.resources(); ++r) {
+        const double reference_mrs =
+            agents[0].utility().marginalRateOfSubstitution(
+                r, 0, allocation.agentShare(0));
+        for (std::size_t i = 1; i < agents.size(); ++i) {
+            const double mrs =
+                agents[i].utility().marginalRateOfSubstitution(
+                    r, 0, allocation.agentShare(i));
+            const double mismatch =
+                std::abs(std::log(mrs) - std::log(reference_mrs));
+            const double slack = tol.mrs - mismatch;
+            if (slack < check.worstSlack) {
+                check.worstSlack = slack;
+                std::ostringstream detail;
+                detail << "MRS(" << capacity.resource(r).name << "/"
+                       << capacity.resource(0).name << ") of '"
+                       << agents[i].name() << "' differs from '"
+                       << agents[0].name() << "' by factor "
+                       << std::exp(mismatch);
+                check.binding = detail.str();
+            }
+            if (mismatch > tol.mrs)
+                check.satisfied = false;
+        }
+    }
+    return check;
+}
+
+PropertyCheck
+checkCapacity(const SystemCapacity &capacity,
+              const Allocation &allocation, const FairnessTolerance &tol)
+{
+    REF_REQUIRE(capacity.count() == allocation.resources(),
+                "capacity/allocation resource mismatch");
+
+    PropertyCheck check;
+    check.satisfied = true;
+    check.worstSlack = std::numeric_limits<double>::infinity();
+
+    for (std::size_t i = 0; i < allocation.agents(); ++i) {
+        for (std::size_t r = 0; r < allocation.resources(); ++r) {
+            if (allocation.at(i, r) < 0) {
+                check.satisfied = false;
+                check.worstSlack = allocation.at(i, r);
+                check.binding = "negative amount";
+                return check;
+            }
+        }
+    }
+
+    const Vector sums = allocation.totals();
+    for (std::size_t r = 0; r < capacity.count(); ++r) {
+        const double cap = capacity.capacity(r);
+        const double slack = (cap - sums[r]) / cap;
+        if (slack < check.worstSlack) {
+            check.worstSlack = slack;
+            std::ostringstream detail;
+            detail << "resource '" << capacity.resource(r).name
+                   << "' allocated " << sums[r] << " of " << cap;
+            check.binding = detail.str();
+        }
+        if (slack < -tol.capacity)
+            check.satisfied = false;
+    }
+    return check;
+}
+
+FairnessReport
+checkFairness(const AgentList &agents, const SystemCapacity &capacity,
+              const Allocation &allocation, const FairnessTolerance &tol)
+{
+    FairnessReport report;
+    report.sharingIncentives =
+        checkSharingIncentives(agents, capacity, allocation, tol);
+    report.envyFreeness = checkEnvyFreeness(agents, allocation, tol);
+    report.paretoEfficiency =
+        checkParetoEfficiency(agents, capacity, allocation, tol);
+    report.capacity = checkCapacity(capacity, allocation, tol);
+    return report;
+}
+
+} // namespace ref::core

@@ -1,0 +1,76 @@
+#include "fitting.hh"
+
+#include <cmath>
+
+#include "stats/descriptive.hh"
+#include "stats/linear_model.hh"
+#include "util/logging.hh"
+
+namespace ref::core {
+
+CobbDouglasFit
+fitCobbDouglas(const PerformanceProfile &profile,
+               const FitOptions &options)
+{
+    REF_REQUIRE(!profile.empty(), "cannot fit an empty profile");
+    const std::size_t resources = profile.front().allocation.size();
+    REF_REQUIRE(resources > 0, "profile points need resources");
+
+    linalg::Matrix log_predictors(profile.size(), resources);
+    std::vector<double> log_response(profile.size());
+    for (std::size_t n = 0; n < profile.size(); ++n) {
+        const auto &point = profile[n];
+        REF_REQUIRE(point.allocation.size() == resources,
+                    "profile point " << n << " has "
+                        << point.allocation.size()
+                        << " resources, expected " << resources);
+        REF_REQUIRE(point.performance > 0,
+                    "profile point " << n
+                        << " has non-positive performance "
+                        << point.performance);
+        for (std::size_t r = 0; r < resources; ++r) {
+            REF_REQUIRE(point.allocation[r] > 0,
+                        "profile point " << n
+                            << " has non-positive allocation for "
+                               "resource " << r);
+            log_predictors(n, r) = std::log(point.allocation[r]);
+        }
+        log_response[n] = std::log(point.performance);
+    }
+
+    const stats::LinearModel model(log_predictors, log_response, true);
+
+    Vector elasticities = model.slopes();
+    int clamped = 0;
+    for (double &alpha : elasticities) {
+        if (alpha < options.elasticityFloor) {
+            alpha = options.elasticityFloor;
+            ++clamped;
+        }
+    }
+    if (clamped > 0) {
+        REF_WARN("clamped " << clamped << " non-positive fitted "
+                 "elasticities to " << options.elasticityFloor
+                 << "; the profile shows no positive sensitivity to "
+                    "some resource");
+    }
+
+    CobbDouglasFit fit{
+        CobbDouglasUtility(std::exp(model.intercept()), elasticities),
+        model.rSquared(), 0.0, clamped};
+
+    // Linear-scale R-squared against the raw performance values.
+    std::vector<double> response(profile.size());
+    double rss = 0;
+    for (std::size_t n = 0; n < profile.size(); ++n) {
+        response[n] = profile[n].performance;
+        const double predicted = fit.predict(profile[n].allocation);
+        rss += (response[n] - predicted) * (response[n] - predicted);
+    }
+    const double tss = stats::totalSumOfSquares(response);
+    fit.rSquaredLinear = tss > 0 ? 1.0 - rss / tss
+                                 : (rss == 0 ? 1.0 : 0.0);
+    return fit;
+}
+
+} // namespace ref::core

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fitting Cobb-Douglas utilities from performance profiles (paper
+ * Section 4.4, Eq. 16).
+ *
+ * Given (allocation, performance) samples — e.g. IPC measured over a
+ * sweep of cache sizes and memory bandwidths — take logs to obtain a
+ * linear model log u = log a0 + sum_r a_r log x_r, and fit the
+ * elasticities by ordinary least squares.
+ */
+
+#ifndef REF_CORE_FITTING_HH
+#define REF_CORE_FITTING_HH
+
+#include <vector>
+
+#include "core/cobb_douglas.hh"
+
+namespace ref::core {
+
+/** One profiled sample: the allocation tried and the performance. */
+struct ProfilePoint
+{
+    Vector allocation;    //!< Resource amounts, all positive.
+    double performance;   //!< e.g. IPC; must be positive.
+};
+
+/** A performance profile over varied allocations. */
+using PerformanceProfile = std::vector<ProfilePoint>;
+
+/** A fitted Cobb-Douglas utility with fit diagnostics. */
+struct CobbDouglasFit
+{
+    CobbDouglasUtility utility;
+    /** R-squared of the log-linear regression (the paper's metric). */
+    double rSquaredLog = 0;
+    /** R-squared recomputed on raw (de-logged) performance. */
+    double rSquaredLinear = 0;
+    /** Number of elasticities clamped to the positivity floor. */
+    int clampedElasticities = 0;
+
+    /** Predicted performance for an allocation. */
+    double predict(const Vector &allocation) const
+    {
+        return utility.value(allocation);
+    }
+};
+
+/** Options controlling the fit. */
+struct FitOptions
+{
+    /**
+     * Fitted elasticities at or below zero (possible for flat,
+     * noisy profiles like radiosity's) are clamped to this floor;
+     * the mechanism requires strictly positive elasticities.
+     */
+    double elasticityFloor = 1e-3;
+};
+
+/**
+ * Fit a Cobb-Douglas utility to a profile.
+ *
+ * @pre profile has more points than resources + 1, all allocations
+ *      and performances positive, and the allocations are not
+ *      collinear in log space.
+ */
+CobbDouglasFit fitCobbDouglas(const PerformanceProfile &profile,
+                              const FitOptions &options = {});
+
+} // namespace ref::core
+
+#endif // REF_CORE_FITTING_HH

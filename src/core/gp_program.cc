@@ -1,0 +1,175 @@
+#include "gp_program.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ref::core::gp {
+
+using solver::LambdaFunction;
+using solver::Vector;
+
+double
+logWeightedUtility(const ProgramShape &shape, const AgentList &agents,
+                   const SystemCapacity &capacity, const Vector &y,
+                   std::size_t i)
+{
+    const auto &alphas = agents[i].utility().elasticities();
+    double total = 0;
+    for (std::size_t r = 0; r < shape.resources; ++r) {
+        total += alphas[r] *
+                 (y[shape.index(i, r)] - std::log(capacity.capacity(r)));
+    }
+    return total;
+}
+
+std::shared_ptr<const LambdaFunction>
+makeCapacityConstraint(const ProgramShape &shape,
+                       const SystemCapacity &capacity, std::size_t r)
+{
+    const double log_cap = std::log(capacity.capacity(r));
+    auto value = [shape, r, log_cap](const Vector &y) {
+        double peak = -std::numeric_limits<double>::infinity();
+        for (std::size_t i = 0; i < shape.agents; ++i)
+            peak = std::max(peak, y[shape.index(i, r)]);
+        double total = 0;
+        for (std::size_t i = 0; i < shape.agents; ++i)
+            total += std::exp(y[shape.index(i, r)] - peak);
+        return peak + std::log(total) - log_cap;
+    };
+    auto gradient = [shape, r](const Vector &y) {
+        double peak = -std::numeric_limits<double>::infinity();
+        for (std::size_t i = 0; i < shape.agents; ++i)
+            peak = std::max(peak, y[shape.index(i, r)]);
+        double total = 0;
+        for (std::size_t i = 0; i < shape.agents; ++i)
+            total += std::exp(y[shape.index(i, r)] - peak);
+        Vector grad(y.size(), 0.0);
+        for (std::size_t i = 0; i < shape.agents; ++i) {
+            grad[shape.index(i, r)] =
+                std::exp(y[shape.index(i, r)] - peak) / total;
+        }
+        return grad;
+    };
+    return std::make_shared<LambdaFunction>(value, gradient);
+}
+
+std::shared_ptr<const LambdaFunction>
+makeSharingIncentiveConstraint(const ProgramShape &shape,
+                               const AgentList &agents,
+                               const SystemCapacity &capacity,
+                               std::size_t i)
+{
+    const Vector alphas = agents[i].utility().elasticities();
+    const double n = static_cast<double>(shape.agents);
+    double log_equal_split_utility = 0;
+    for (std::size_t r = 0; r < shape.resources; ++r) {
+        log_equal_split_utility +=
+            alphas[r] * std::log(capacity.capacity(r) / n);
+    }
+    auto value = [shape, alphas, i,
+                  log_equal_split_utility](const Vector &y) {
+        double own = 0;
+        for (std::size_t r = 0; r < shape.resources; ++r)
+            own += alphas[r] * y[shape.index(i, r)];
+        return log_equal_split_utility - own;
+    };
+    auto gradient = [shape, alphas, i](const Vector &y) {
+        Vector grad(y.size(), 0.0);
+        for (std::size_t r = 0; r < shape.resources; ++r)
+            grad[shape.index(i, r)] = -alphas[r];
+        return grad;
+    };
+    return std::make_shared<LambdaFunction>(value, gradient);
+}
+
+std::shared_ptr<const LambdaFunction>
+makeEnvyFreeConstraint(const ProgramShape &shape,
+                       const AgentList &agents, std::size_t i,
+                       std::size_t j)
+{
+    const Vector alphas = agents[i].utility().elasticities();
+    auto value = [shape, alphas, i, j](const Vector &y) {
+        double diff = 0;
+        for (std::size_t r = 0; r < shape.resources; ++r) {
+            diff += alphas[r] *
+                    (y[shape.index(j, r)] - y[shape.index(i, r)]);
+        }
+        return diff;
+    };
+    auto gradient = [shape, alphas, i, j](const Vector &y) {
+        Vector grad(y.size(), 0.0);
+        for (std::size_t r = 0; r < shape.resources; ++r) {
+            grad[shape.index(j, r)] += alphas[r];
+            grad[shape.index(i, r)] -= alphas[r];
+        }
+        return grad;
+    };
+    return std::make_shared<LambdaFunction>(value, gradient);
+}
+
+std::shared_ptr<const LambdaFunction>
+makeParetoConstraint(const ProgramShape &shape, const AgentList &agents,
+                     std::size_t i, std::size_t r)
+{
+    const auto &alpha_i = agents[i].utility().elasticities();
+    const auto &alpha_0 = agents[0].utility().elasticities();
+    const double constant = std::log(alpha_i[r]) - std::log(alpha_i[0]) -
+                            std::log(alpha_0[r]) + std::log(alpha_0[0]);
+    auto value = [shape, i, r, constant](const Vector &y) {
+        return constant + (y[shape.index(i, 0)] - y[shape.index(i, r)]) -
+               (y[shape.index(0, 0)] - y[shape.index(0, r)]);
+    };
+    auto gradient = [shape, i, r](const Vector &y) {
+        Vector grad(y.size(), 0.0);
+        grad[shape.index(i, 0)] += 1;
+        grad[shape.index(i, r)] -= 1;
+        grad[shape.index(0, 0)] -= 1;
+        grad[shape.index(0, r)] += 1;
+        return grad;
+    };
+    return std::make_shared<LambdaFunction>(value, gradient);
+}
+
+void
+appendFairnessConstraints(const ProgramShape &shape,
+                          const AgentList &agents,
+                          const SystemCapacity &capacity,
+                          solver::ConstrainedProgram &program)
+{
+    for (std::size_t i = 0; i < shape.agents; ++i) {
+        program.inequalities.push_back(
+            makeSharingIncentiveConstraint(shape, agents, capacity, i));
+    }
+    for (std::size_t i = 0; i < shape.agents; ++i) {
+        for (std::size_t j = 0; j < shape.agents; ++j) {
+            if (i != j) {
+                program.inequalities.push_back(
+                    makeEnvyFreeConstraint(shape, agents, i, j));
+            }
+        }
+    }
+    for (std::size_t i = 1; i < shape.agents; ++i) {
+        for (std::size_t r = 1; r < shape.resources; ++r) {
+            program.equalities.push_back(
+                makeParetoConstraint(shape, agents, i, r));
+        }
+    }
+}
+
+Vector
+equalSplitStart(const ProgramShape &shape,
+                const SystemCapacity &capacity)
+{
+    Vector start(shape.variables(), 0.0);
+    const double n = static_cast<double>(shape.agents);
+    for (std::size_t i = 0; i < shape.agents; ++i) {
+        for (std::size_t r = 0; r < shape.resources; ++r) {
+            start[shape.index(i, r)] =
+                std::log(0.9 * capacity.capacity(r) / n);
+        }
+    }
+    return start;
+}
+
+} // namespace ref::core::gp

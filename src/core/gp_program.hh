@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Shared building blocks for the log-space (geometric-programming)
+ * mechanism formulations: variable layout and the constraint
+ * functions used by the welfare and utilitarian mechanisms.
+ *
+ * Internal to ref::core; the public mechanism interfaces live in
+ * welfare_mechanisms.hh and utilitarian.hh.
+ */
+
+#ifndef REF_CORE_GP_PROGRAM_HH
+#define REF_CORE_GP_PROGRAM_HH
+
+#include <memory>
+
+#include "core/agent.hh"
+#include "core/resource.hh"
+#include "solver/function.hh"
+#include "solver/program.hh"
+
+namespace ref::core::gp {
+
+/**
+ * Variable layout: y[i * R + r] = log x_ir; max-min programs append
+ * one epigraph variable s at index N * R.
+ */
+struct ProgramShape
+{
+    std::size_t agents;
+    std::size_t resources;
+    bool hasEpigraph;
+
+    std::size_t index(std::size_t i, std::size_t r) const
+    {
+        return i * resources + r;
+    }
+
+    std::size_t variables() const
+    {
+        return agents * resources + (hasEpigraph ? 1 : 0);
+    }
+};
+
+/** log U_i(y) = sum_r a_ir (y_ir - log C_r). */
+double logWeightedUtility(const ProgramShape &shape,
+                          const AgentList &agents,
+                          const SystemCapacity &capacity,
+                          const solver::Vector &y, std::size_t i);
+
+/** Capacity for resource r: logsumexp_i y_ir <= log C_r. */
+std::shared_ptr<const solver::LambdaFunction> makeCapacityConstraint(
+    const ProgramShape &shape, const SystemCapacity &capacity,
+    std::size_t r);
+
+/** SI for agent i: log u_i(C/N) - log u_i(x_i) <= 0. */
+std::shared_ptr<const solver::LambdaFunction>
+makeSharingIncentiveConstraint(const ProgramShape &shape,
+                               const AgentList &agents,
+                               const SystemCapacity &capacity,
+                               std::size_t i);
+
+/** EF for pair (i, j): log u_i(x_j) - log u_i(x_i) <= 0. */
+std::shared_ptr<const solver::LambdaFunction> makeEnvyFreeConstraint(
+    const ProgramShape &shape, const AgentList &agents, std::size_t i,
+    std::size_t j);
+
+/** PE tangency (Eq. 10) between agent i and agent 0, resources
+ *  (r, 0): linear equality in y. */
+std::shared_ptr<const solver::LambdaFunction> makeParetoConstraint(
+    const ProgramShape &shape, const AgentList &agents, std::size_t i,
+    std::size_t r);
+
+/** Append SI + EF + PE constraints for all agents to a program. */
+void appendFairnessConstraints(const ProgramShape &shape,
+                               const AgentList &agents,
+                               const SystemCapacity &capacity,
+                               solver::ConstrainedProgram &program);
+
+/** Start point: every agent at 90% of the equal split (log space). */
+solver::Vector equalSplitStart(const ProgramShape &shape,
+                               const SystemCapacity &capacity);
+
+} // namespace ref::core::gp
+
+#endif // REF_CORE_GP_PROGRAM_HH

@@ -1,0 +1,80 @@
+#include "leontief.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace ref::core {
+
+LeontiefUtility::LeontiefUtility(Vector demands)
+    : demands_(std::move(demands))
+{
+    REF_REQUIRE(!demands_.empty(), "utility needs at least one resource");
+    bool any_positive = false;
+    for (std::size_t r = 0; r < demands_.size(); ++r) {
+        REF_REQUIRE(demands_[r] >= 0,
+                    "demand " << r << " must be non-negative, got "
+                        << demands_[r]);
+        any_positive = any_positive || demands_[r] > 0;
+    }
+    REF_REQUIRE(any_positive, "at least one demand must be positive");
+}
+
+double
+LeontiefUtility::demand(std::size_t r) const
+{
+    REF_REQUIRE(r < demands_.size(),
+                "resource " << r << " outside " << demands_.size());
+    return demands_[r];
+}
+
+double
+LeontiefUtility::value(const Vector &allocation) const
+{
+    REF_REQUIRE(allocation.size() == demands_.size(),
+                "allocation has " << allocation.size()
+                    << " resources, utility has " << demands_.size());
+    double result = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < allocation.size(); ++r) {
+        REF_REQUIRE(allocation[r] >= 0,
+                    "negative allocation " << allocation[r]);
+        if (demands_[r] > 0)
+            result = std::min(result, allocation[r] / demands_[r]);
+    }
+    return result;
+}
+
+std::vector<std::size_t>
+LeontiefUtility::bindingResources(const Vector &allocation,
+                                  double tolerance) const
+{
+    const double level = value(allocation);
+    std::vector<std::size_t> binding;
+    for (std::size_t r = 0; r < allocation.size(); ++r) {
+        if (demands_[r] > 0 &&
+            allocation[r] / demands_[r] <= level + tolerance) {
+            binding.push_back(r);
+        }
+    }
+    return binding;
+}
+
+Vector
+LeontiefUtility::minimalEquivalent(const Vector &allocation) const
+{
+    const double level = value(allocation);
+    Vector minimal(demands_.size());
+    for (std::size_t r = 0; r < demands_.size(); ++r)
+        minimal[r] = level * demands_[r];
+    return minimal;
+}
+
+bool
+LeontiefUtility::weaklyPrefers(const Vector &x, const Vector &y,
+                               double tolerance) const
+{
+    return value(x) >= value(y) - tolerance;
+}
+
+} // namespace ref::core

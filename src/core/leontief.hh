@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Leontief (perfect-complement) utilities, the preference domain of
+ * prior multi-resource fairness work (DRF). Implemented for the
+ * paper's comparison: Leontief permits no substitution, so its
+ * indifference curves are L-shaped (Fig. 4) and its MRS is 0 or
+ * infinite.
+ */
+
+#ifndef REF_CORE_LEONTIEF_HH
+#define REF_CORE_LEONTIEF_HH
+
+#include "linalg/matrix.hh"
+
+namespace ref::core {
+
+using linalg::Vector;
+
+/**
+ * u(x) = min over demanded resources of x_r / d_r for a demand
+ * vector d (e.g. "2 CPUs, 4 GB DRAM" per task in DRF). Resources
+ * with zero demand are ignored (a CPU-only task does not care about
+ * DRAM), matching the DRF formulation.
+ */
+class LeontiefUtility
+{
+  public:
+    /** @pre demands non-negative with at least one positive. */
+    explicit LeontiefUtility(Vector demands);
+
+    std::size_t resources() const { return demands_.size(); }
+
+    /** Demand d_r for resource r. */
+    double demand(std::size_t r) const;
+
+    const Vector &demands() const { return demands_; }
+
+    /** Evaluate u(x) = min_r x_r / d_r. @pre x_r >= 0. */
+    double value(const Vector &allocation) const;
+
+    /**
+     * The resource(s) that bind at x: indices attaining the min.
+     * Extra amounts of non-binding resources are wasted.
+     */
+    std::vector<std::size_t> bindingResources(
+        const Vector &allocation, double tolerance = 1e-12) const;
+
+    /**
+     * The cheapest allocation giving the same utility as x — the
+     * corner of x's L-shaped indifference curve. Everything beyond
+     * it is waste.
+     */
+    Vector minimalEquivalent(const Vector &allocation) const;
+
+    /** x weakly preferred to y. */
+    bool weaklyPrefers(const Vector &x, const Vector &y,
+                       double tolerance = 1e-12) const;
+
+  private:
+    Vector demands_;
+};
+
+} // namespace ref::core
+
+#endif // REF_CORE_LEONTIEF_HH

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Allocation mechanism interface.
+ */
+
+#ifndef REF_CORE_MECHANISM_HH
+#define REF_CORE_MECHANISM_HH
+
+#include <string>
+
+#include "core/agent.hh"
+#include "core/allocation.hh"
+
+namespace ref::core {
+
+/**
+ * A mechanism maps reported agent utilities and system capacities to
+ * an allocation. Implementations: the paper's proportional
+ * elasticity mechanism (closed form), and the geometric-programming
+ * alternatives of Section 4.5 used as comparison points.
+ */
+class AllocationMechanism
+{
+  public:
+    virtual ~AllocationMechanism() = default;
+
+    /** Human-readable mechanism name for reports. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Compute the allocation for the given agents.
+     * @pre at least one agent; all utilities span capacity.count()
+     *      resources.
+     */
+    virtual Allocation allocate(const AgentList &agents,
+                                const SystemCapacity &capacity) const = 0;
+};
+
+} // namespace ref::core
+
+#endif // REF_CORE_MECHANISM_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Persistence for performance profiles and fitted utilities.
+ *
+ * Profiling runs are expensive (the paper's 25-configuration sweeps
+ * took full-system simulations); a deployable mechanism stores the
+ * profiles and the fitted elasticities and reloads them at
+ * allocation time. Plain CSV keeps the artifacts inspectable and
+ * plottable.
+ */
+
+#ifndef REF_CORE_PROFILE_IO_HH
+#define REF_CORE_PROFILE_IO_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/agent.hh"
+#include "core/fitting.hh"
+
+namespace ref::core {
+
+/**
+ * Write a profile as CSV: header "x0,x1,...,performance", one row
+ * per sample.
+ */
+void writeProfileCsv(std::ostream &os,
+                     const PerformanceProfile &profile);
+
+/**
+ * Parse a profile written by writeProfileCsv (or by hand: any CSV
+ * whose last column is performance and whose other columns are
+ * resource amounts). Throws FatalError on malformed input.
+ */
+PerformanceProfile readProfileCsv(std::istream &is);
+
+/**
+ * Write agents as CSV: header "name,scale,alpha0,alpha1,...", one
+ * row per agent. All agents must span the same resource count.
+ */
+void writeAgentsCsv(std::ostream &os, const AgentList &agents);
+
+/**
+ * Parse agents written by writeAgentsCsv. Throws FatalError on
+ * malformed input (bad numbers, inconsistent widths, non-positive
+ * elasticities).
+ */
+AgentList readAgentsCsv(std::istream &is);
+
+} // namespace ref::core
+
+#endif // REF_CORE_PROFILE_IO_HH

@@ -1,0 +1,54 @@
+#include "proportional_elasticity.hh"
+
+#include "util/logging.hh"
+#include "util/math.hh"
+
+namespace ref::core {
+
+linalg::Matrix
+ProportionalElasticityMechanism::rescaledElasticities(
+    const AgentList &agents)
+{
+    REF_REQUIRE(!agents.empty(), "no agents to allocate to");
+    const std::size_t resources = agents.front().utility().resources();
+    linalg::Matrix rescaled(agents.size(), resources);
+    for (std::size_t i = 0; i < agents.size(); ++i) {
+        const auto &utility = agents[i].utility();
+        REF_REQUIRE(utility.resources() == resources,
+                    "agent '" << agents[i].name() << "' covers "
+                        << utility.resources()
+                        << " resources, expected " << resources);
+        const Vector normalized =
+            normalizeToUnitSum(utility.elasticities());
+        for (std::size_t r = 0; r < resources; ++r)
+            rescaled(i, r) = normalized[r];
+    }
+    return rescaled;
+}
+
+Allocation
+ProportionalElasticityMechanism::allocate(
+    const AgentList &agents, const SystemCapacity &capacity) const
+{
+    const linalg::Matrix rescaled = rescaledElasticities(agents);
+    REF_REQUIRE(rescaled.cols() == capacity.count(),
+                "agents cover " << rescaled.cols()
+                    << " resources, capacity has " << capacity.count());
+
+    Allocation allocation(agents.size(), capacity.count());
+    for (std::size_t r = 0; r < capacity.count(); ++r) {
+        double denominator = 0;
+        for (std::size_t j = 0; j < agents.size(); ++j)
+            denominator += rescaled(j, r);
+        REF_ASSERT(denominator > 0,
+                   "re-scaled elasticities sum to zero for resource "
+                       << r);
+        for (std::size_t i = 0; i < agents.size(); ++i) {
+            allocation.at(i, r) =
+                rescaled(i, r) / denominator * capacity.capacity(r);
+        }
+    }
+    return allocation;
+}
+
+} // namespace ref::core

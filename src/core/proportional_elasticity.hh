@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The paper's contribution: the proportional elasticity mechanism
+ * (Section 4.1).
+ *
+ * Procedure: re-scale each agent's elasticities to sum to one
+ * (Eq. 12), then allocate each resource in proportion to the
+ * re-scaled elasticities (Eq. 13):
+ *
+ *   x_ir = a^_ir / (sum_j a^_jr) * C_r
+ *
+ * The allocation is the Nash bargaining solution and the CEEI
+ * outcome for the re-scaled utilities, hence provides SI, EF and PE;
+ * it is also strategy-proof in the large (Section 4.3).
+ */
+
+#ifndef REF_CORE_PROPORTIONAL_ELASTICITY_HH
+#define REF_CORE_PROPORTIONAL_ELASTICITY_HH
+
+#include "core/mechanism.hh"
+
+namespace ref::core {
+
+/** Closed-form REF mechanism. */
+class ProportionalElasticityMechanism : public AllocationMechanism
+{
+  public:
+    std::string name() const override
+    {
+        return "proportional-elasticity";
+    }
+
+    Allocation allocate(const AgentList &agents,
+                        const SystemCapacity &capacity) const override;
+
+    /**
+     * The re-scaled elasticity matrix (agents x resources) the
+     * mechanism derives from reported utilities; exposed for
+     * inspection and tests.
+     */
+    static linalg::Matrix rescaledElasticities(const AgentList &agents);
+};
+
+} // namespace ref::core
+
+#endif // REF_CORE_PROPORTIONAL_ELASTICITY_HH

@@ -1,0 +1,130 @@
+#include "strategic.hh"
+
+#include <cmath>
+
+#include "solver/nelder_mead.hh"
+#include "solver/scalar.hh"
+#include "util/logging.hh"
+#include "util/math.hh"
+
+namespace ref::core {
+
+StrategicAnalysis::StrategicAnalysis(AgentList agents,
+                                     SystemCapacity capacity)
+    : agents_(std::move(agents)), capacity_(std::move(capacity))
+{
+    REF_REQUIRE(agents_.size() >= 2,
+                "strategic analysis needs at least two agents");
+    for (auto &agent : agents_) {
+        REF_REQUIRE(agent.utility().resources() == capacity_.count(),
+                    "agent '" << agent.name()
+                        << "' utility does not span the capacity");
+        agent.setUtility(agent.utility().rescaled());
+    }
+}
+
+Vector
+StrategicAnalysis::othersElasticitySum(std::size_t agent) const
+{
+    Vector sums(capacity_.count(), 0.0);
+    for (std::size_t j = 0; j < agents_.size(); ++j) {
+        if (j == agent)
+            continue;
+        const auto &alphas = agents_[j].utility().elasticities();
+        for (std::size_t r = 0; r < sums.size(); ++r)
+            sums[r] += alphas[r];
+    }
+    return sums;
+}
+
+double
+StrategicAnalysis::utilityFromReport(std::size_t agent,
+                                     const Vector &report) const
+{
+    REF_REQUIRE(agent < agents_.size(), "agent index out of range");
+    REF_REQUIRE(report.size() == capacity_.count(),
+                "report size mismatch");
+    const Vector rescaled_report = normalizeToUnitSum(report);
+    const Vector others = othersElasticitySum(agent);
+    const auto &true_alphas = agents_[agent].utility().elasticities();
+
+    // Allocation share induced by the report, valued with the true
+    // elasticities (Eq. 15).
+    double log_utility = 0;
+    for (std::size_t r = 0; r < capacity_.count(); ++r) {
+        const double share = rescaled_report[r] /
+                             (rescaled_report[r] + others[r]) *
+                             capacity_.capacity(r);
+        log_utility += true_alphas[r] * std::log(share);
+    }
+    return std::exp(log_utility);
+}
+
+BestResponse
+StrategicAnalysis::bestResponse(std::size_t agent) const
+{
+    REF_REQUIRE(agent < agents_.size(), "agent index out of range");
+    const std::size_t r_count = capacity_.count();
+    const auto &true_alphas = agents_[agent].utility().elasticities();
+
+    BestResponse response;
+    response.truthfulUtility = utilityFromReport(agent, true_alphas);
+
+    if (r_count == 2) {
+        // One free variable: the report is (t, 1 - t).
+        constexpr double edge = 1e-9;
+        const auto objective = [&](double t) {
+            return -utilityFromReport(agent, {t, 1.0 - t});
+        };
+        const auto best =
+            solver::brentMinimize(objective, edge, 1.0 - edge, 1e-14);
+        response.report = {best.x, 1.0 - best.x};
+        response.utility = -best.value;
+    } else {
+        // Softmax parameterization keeps the search unconstrained;
+        // coordinate 0 is pinned to zero to remove the scale
+        // degeneracy.
+        const auto to_simplex = [r_count](const Vector &z) {
+            Vector report(r_count);
+            double total = 1.0;  // exp(0) for the pinned coordinate.
+            report[0] = 1.0;
+            for (std::size_t r = 1; r < r_count; ++r) {
+                report[r] = std::exp(z[r - 1]);
+                total += report[r];
+            }
+            for (double &value : report)
+                value /= total;
+            return report;
+        };
+
+        Vector start(r_count - 1);
+        for (std::size_t r = 1; r < r_count; ++r)
+            start[r - 1] = std::log(true_alphas[r] / true_alphas[0]);
+
+        const auto objective = [&](const Vector &z) {
+            return -utilityFromReport(agent, to_simplex(z));
+        };
+        solver::NelderMeadOptions options;
+        options.maxIterations = 5000;
+        options.tolerance = 1e-14;
+        const auto best = solver::nelderMead(objective, start, options);
+        response.report = to_simplex(best.point);
+        response.utility = -best.value;
+    }
+
+    // Numerical search can end epsilon below truthful; lying never
+    // loses relative to the truthful report it could always make.
+    if (response.utility < response.truthfulUtility) {
+        response.utility = response.truthfulUtility;
+        response.report = true_alphas;
+    }
+    response.gainRatio = response.utility / response.truthfulUtility;
+    for (std::size_t r = 0; r < r_count; ++r) {
+        response.reportDeviation =
+            std::max(response.reportDeviation,
+                     std::abs(response.report[r] - true_alphas[r]));
+    }
+    return response;
+}
+
+} // namespace ref::core

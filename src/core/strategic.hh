@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Strategic manipulation analysis: strategy-proofness in the large
+ * (paper Section 4.3 and Appendix A).
+ *
+ * A strategic agent i may report elasticities a' different from its
+ * true a to shift its proportional share. Its realized utility from
+ * a report (Eq. 15) is
+ *
+ *   u_i(a') = prod_r ( a'_ir / (a'_ir + sum_{j!=i} a_jr) * C_r )^{a_ir}
+ *
+ * evaluated with the TRUE elasticities. We compute the best response
+ * numerically and measure the gain over truthful reporting; in large
+ * systems (sum_j a_jr >> 1) the gain vanishes — SPL.
+ */
+
+#ifndef REF_CORE_STRATEGIC_HH
+#define REF_CORE_STRATEGIC_HH
+
+#include "core/agent.hh"
+#include "core/allocation.hh"
+
+namespace ref::core {
+
+/** Result of a best-response search for one strategic agent. */
+struct BestResponse
+{
+    Vector report;            //!< Utility-maximizing reported a'.
+    double utility = 0;       //!< True utility achieved by the report.
+    double truthfulUtility = 0;  //!< True utility when reporting a.
+    /** utility / truthfulUtility; 1 means lying does not pay. */
+    double gainRatio = 1;
+    /** Largest |report_r - true_r| over resources (both rescaled). */
+    double reportDeviation = 0;
+};
+
+/** Analysis of strategic behaviour under proportional elasticity. */
+class StrategicAnalysis
+{
+  public:
+    /**
+     * @param agents All participants; utilities are re-scaled
+     *        internally, matching what the mechanism consumes.
+     */
+    StrategicAnalysis(AgentList agents, SystemCapacity capacity);
+
+    /**
+     * True utility agent i realizes when it reports @p report
+     * (re-scaled internally) while all others report truthfully.
+     */
+    double utilityFromReport(std::size_t agent,
+                             const Vector &report) const;
+
+    /**
+     * Numerically maximize agent i's utility over its reported
+     * elasticity simplex. Uses Brent for two resources and
+     * Nelder-Mead over a softmax parameterization otherwise.
+     */
+    BestResponse bestResponse(std::size_t agent) const;
+
+  private:
+    AgentList agents_;
+    SystemCapacity capacity_;
+    /** Per-resource sums of others' re-scaled elasticities. */
+    Vector othersElasticitySum(std::size_t agent) const;
+};
+
+} // namespace ref::core
+
+#endif // REF_CORE_STRATEGIC_HH

@@ -1,0 +1,180 @@
+#include "utilitarian.hh"
+
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "core/gp_program.hh"
+#include "core/welfare.hh"
+#include "solver/penalty.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace ref::core {
+
+namespace {
+
+using gp::ProgramShape;
+using solver::LambdaFunction;
+using solver::Vector;
+
+/**
+ * Minimize -sum_i U_i(y) with U_i = exp(log U_i). Convex (a sum of
+ * exponentials of linear forms), so MAXIMIZING it is the non-convex
+ * part: local optima sit on the capacity boundary and multi-start is
+ * required.
+ */
+std::shared_ptr<const LambdaFunction>
+makeUtilitarianObjective(const ProgramShape &shape,
+                         const AgentList &agents,
+                         const SystemCapacity &capacity)
+{
+    std::vector<Vector> alphas;
+    std::vector<double> offsets;
+    for (const auto &agent : agents) {
+        alphas.push_back(agent.utility().elasticities());
+        double offset = 0;
+        for (std::size_t r = 0; r < shape.resources; ++r) {
+            offset += alphas.back()[r] *
+                      std::log(capacity.capacity(r));
+        }
+        offsets.push_back(offset);
+    }
+
+    auto log_u = [shape, alphas, offsets](const Vector &y,
+                                          std::size_t i) {
+        double total = -offsets[i];
+        for (std::size_t r = 0; r < shape.resources; ++r)
+            total += alphas[i][r] * y[shape.index(i, r)];
+        return total;
+    };
+    auto value = [shape, log_u](const Vector &y) {
+        double total = 0;
+        for (std::size_t i = 0; i < shape.agents; ++i)
+            total += std::exp(log_u(y, i));
+        return -total;
+    };
+    auto gradient = [shape, alphas, log_u](const Vector &y) {
+        Vector grad(y.size(), 0.0);
+        for (std::size_t i = 0; i < shape.agents; ++i) {
+            const double u = std::exp(log_u(y, i));
+            for (std::size_t r = 0; r < shape.resources; ++r)
+                grad[shape.index(i, r)] = -u * alphas[i][r];
+        }
+        return grad;
+    };
+    return std::make_shared<LambdaFunction>(value, gradient);
+}
+
+} // namespace
+
+UtilitarianMechanism::UtilitarianMechanism()
+    : UtilitarianMechanism(Options{})
+{
+}
+
+UtilitarianMechanism::UtilitarianMechanism(Options options)
+    : options_(options)
+{
+}
+
+std::string
+UtilitarianMechanism::name() const
+{
+    return options_.withFairness ? "utilitarian+fairness"
+                                 : "utilitarian";
+}
+
+Allocation
+UtilitarianMechanism::allocate(const AgentList &agents,
+                               const SystemCapacity &capacity) const
+{
+    REF_REQUIRE(!agents.empty(), "no agents to allocate to");
+    for (const auto &agent : agents) {
+        REF_REQUIRE(agent.utility().resources() == capacity.count(),
+                    "agent '" << agent.name()
+                        << "' utility does not span the capacity");
+    }
+
+    const ProgramShape shape{agents.size(), capacity.count(), false};
+
+    solver::ConstrainedProgram program;
+    program.objective =
+        makeUtilitarianObjective(shape, agents, capacity);
+    for (std::size_t r = 0; r < shape.resources; ++r) {
+        program.inequalities.push_back(
+            gp::makeCapacityConstraint(shape, capacity, r));
+    }
+    if (options_.withFairness)
+        gp::appendFairnessConstraints(shape, agents, capacity, program);
+
+    // Deterministic starts: the equal split and one corner-biased
+    // start per agent (that agent near full capacity), plus random
+    // restarts. The corner starts matter: the global utilitarian
+    // optimum often hands most of the machine to the most efficient
+    // agent.
+    std::vector<Vector> starts;
+    starts.push_back(gp::equalSplitStart(shape, capacity));
+    for (std::size_t winner = 0; winner < shape.agents; ++winner) {
+        Vector start(shape.variables());
+        for (std::size_t i = 0; i < shape.agents; ++i) {
+            const double share = i == winner ? 0.8 : 0.1 /
+                static_cast<double>(std::max<std::size_t>(
+                    1, shape.agents - 1));
+            for (std::size_t r = 0; r < shape.resources; ++r) {
+                start[shape.index(i, r)] =
+                    std::log(share * capacity.capacity(r));
+            }
+        }
+        starts.push_back(start);
+    }
+    Rng rng(options_.seed);
+    for (int extra = 0; extra < options_.randomStarts; ++extra) {
+        Vector start(shape.variables());
+        // Random Dirichlet-ish shares per resource.
+        for (std::size_t r = 0; r < shape.resources; ++r) {
+            double total = 0;
+            std::vector<double> weights(shape.agents);
+            for (auto &w : weights) {
+                w = rng.exponential(1.0);
+                total += w;
+            }
+            for (std::size_t i = 0; i < shape.agents; ++i) {
+                start[shape.index(i, r)] = std::log(
+                    0.9 * weights[i] / total * capacity.capacity(r));
+            }
+        }
+        starts.push_back(start);
+    }
+
+    Vector best_point;
+    double best_value = std::numeric_limits<double>::infinity();
+    for (const auto &start : starts) {
+        const auto solution = solver::solvePenalty(program, start);
+        if (solution.maxViolation > 1e-5)
+            continue;
+        if (solution.objectiveValue < best_value) {
+            best_value = solution.objectiveValue;
+            best_point = solution.point;
+        }
+    }
+    REF_REQUIRE(!best_point.empty(),
+                "no utilitarian start converged to a feasible point");
+
+    Allocation allocation(shape.agents, shape.resources);
+    for (std::size_t i = 0; i < shape.agents; ++i) {
+        for (std::size_t r = 0; r < shape.resources; ++r) {
+            allocation.at(i, r) =
+                std::exp(best_point[shape.index(i, r)]);
+        }
+    }
+    const Vector sums = allocation.totals();
+    for (std::size_t r = 0; r < shape.resources; ++r) {
+        const double factor = capacity.capacity(r) / sums[r];
+        for (std::size_t i = 0; i < shape.agents; ++i)
+            allocation.at(i, r) *= factor;
+    }
+    return allocation;
+}
+
+} // namespace ref::core

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Approximate utilitarian welfare maximization (paper Section 4.5).
+ *
+ * The paper notes that max sum_i U_i(x_i) is computationally
+ * intractable (maximizing a convex function — each U_i is a
+ * monomial, convex in log space) and substitutes the Nash product.
+ * We provide the utilitarian objective anyway as an approximate
+ * mechanism: multi-start local search with the penalty solver.
+ * Useful as an empirical upper bound on weighted system throughput
+ * — by construction it can only exceed the Nash-welfare optimum on
+ * that metric.
+ */
+
+#ifndef REF_CORE_UTILITARIAN_HH
+#define REF_CORE_UTILITARIAN_HH
+
+#include "core/mechanism.hh"
+
+namespace ref::core {
+
+/** Multi-start local maximization of sum_i U_i. */
+class UtilitarianMechanism : public AllocationMechanism
+{
+  public:
+    struct Options
+    {
+        /** Random restarts beyond the deterministic seeds. */
+        int randomStarts = 6;
+        std::uint64_t seed = 1;
+        bool withFairness = false;  //!< Add SI/EF/PE constraints.
+    };
+
+    UtilitarianMechanism();
+    explicit UtilitarianMechanism(Options options);
+
+    std::string name() const override;
+
+    Allocation allocate(const AgentList &agents,
+                        const SystemCapacity &capacity) const override;
+
+  private:
+    Options options_;
+};
+
+} // namespace ref::core
+
+#endif // REF_CORE_UTILITARIAN_HH

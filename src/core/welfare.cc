@@ -1,0 +1,84 @@
+#include "welfare.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ref::core {
+
+double
+weightedUtility(const Agent &agent, const Vector &bundle,
+                const SystemCapacity &capacity)
+{
+    const auto &utility = agent.utility();
+    REF_REQUIRE(utility.resources() == capacity.count(),
+                "utility/capacity resource mismatch");
+    const double log_own = utility.logValue(bundle);
+    const double log_full = utility.logValue(capacity.capacities());
+    if (std::isinf(log_own))
+        return 0.0;
+    return std::exp(log_own - log_full);
+}
+
+std::vector<double>
+weightedUtilities(const AgentList &agents, const Allocation &allocation,
+                  const SystemCapacity &capacity)
+{
+    REF_REQUIRE(agents.size() == allocation.agents(),
+                "agents/allocation size mismatch");
+    std::vector<double> utilities(agents.size());
+    for (std::size_t i = 0; i < agents.size(); ++i) {
+        utilities[i] = weightedUtility(agents[i],
+                                       allocation.agentShare(i),
+                                       capacity);
+    }
+    return utilities;
+}
+
+double
+weightedSystemThroughput(const AgentList &agents,
+                         const Allocation &allocation,
+                         const SystemCapacity &capacity)
+{
+    double total = 0;
+    for (double value : weightedUtilities(agents, allocation, capacity))
+        total += value;
+    return total;
+}
+
+double
+nashWelfare(const AgentList &agents, const Allocation &allocation,
+            const SystemCapacity &capacity)
+{
+    double product = 1;
+    for (double value : weightedUtilities(agents, allocation, capacity))
+        product *= value;
+    return product;
+}
+
+double
+egalitarianWelfare(const AgentList &agents, const Allocation &allocation,
+                   const SystemCapacity &capacity)
+{
+    const auto utilities =
+        weightedUtilities(agents, allocation, capacity);
+    return *std::min_element(utilities.begin(), utilities.end());
+}
+
+double
+unfairnessIndex(const AgentList &agents, const Allocation &allocation,
+                const SystemCapacity &capacity)
+{
+    const auto utilities =
+        weightedUtilities(agents, allocation, capacity);
+    const double worst =
+        *std::min_element(utilities.begin(), utilities.end());
+    const double best =
+        *std::max_element(utilities.begin(), utilities.end());
+    REF_REQUIRE(worst > 0, "unfairness index undefined when an agent "
+                           "has zero utility");
+    return best / worst;
+}
+
+} // namespace ref::core

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Welfare metrics (paper Section 4.5 and Eq. 17).
+ *
+ * Weighted utility U_i(x_i) = u_i(x_i) / u_i(C) normalizes each
+ * agent's utility by what it would achieve owning the whole machine;
+ * it is the utility-space analogue of weighted progress / slowdown
+ * used in prior architecture work.
+ */
+
+#ifndef REF_CORE_WELFARE_HH
+#define REF_CORE_WELFARE_HH
+
+#include "core/agent.hh"
+#include "core/allocation.hh"
+
+namespace ref::core {
+
+/** U_i(x_i) = u_i(x_i) / u_i(C) for one agent. */
+double weightedUtility(const Agent &agent, const Vector &bundle,
+                       const SystemCapacity &capacity);
+
+/** All agents' weighted utilities under an allocation. */
+std::vector<double> weightedUtilities(const AgentList &agents,
+                                      const Allocation &allocation,
+                                      const SystemCapacity &capacity);
+
+/**
+ * Weighted system throughput (Eq. 17): sum_i U_i(x_i), the metric
+ * of Figures 13 and 14.
+ */
+double weightedSystemThroughput(const AgentList &agents,
+                                const Allocation &allocation,
+                                const SystemCapacity &capacity);
+
+/** Nash social welfare prod_i U_i(x_i) (Section 4.5). */
+double nashWelfare(const AgentList &agents, const Allocation &allocation,
+                   const SystemCapacity &capacity);
+
+/** Egalitarian welfare min_i U_i(x_i). */
+double egalitarianWelfare(const AgentList &agents,
+                          const Allocation &allocation,
+                          const SystemCapacity &capacity);
+
+/**
+ * The unfairness index of prior work [13, 28]:
+ * max_i U_i / min_j U_j. Equal-slowdown mechanisms drive this
+ * toward 1.
+ */
+double unfairnessIndex(const AgentList &agents,
+                       const Allocation &allocation,
+                       const SystemCapacity &capacity);
+
+} // namespace ref::core
+
+#endif // REF_CORE_WELFARE_HH

@@ -1,0 +1,211 @@
+#include "welfare_mechanisms.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "core/gp_program.hh"
+#include "solver/function.hh"
+#include "util/logging.hh"
+
+namespace ref::core {
+
+namespace {
+
+using gp::ProgramShape;
+using solver::LambdaFunction;
+using solver::Vector;
+
+/** Nash objective: minimize -sum_i log U_i. */
+std::shared_ptr<const LambdaFunction>
+makeNashObjective(const ProgramShape &shape, const AgentList &agents,
+                  const SystemCapacity &capacity)
+{
+    std::vector<Vector> alphas;
+    alphas.reserve(agents.size());
+    for (const auto &agent : agents)
+        alphas.push_back(agent.utility().elasticities());
+    double offset = 0;
+    for (std::size_t i = 0; i < shape.agents; ++i)
+        for (std::size_t r = 0; r < shape.resources; ++r)
+            offset += alphas[i][r] * std::log(capacity.capacity(r));
+
+    auto value = [shape, alphas, offset](const Vector &y) {
+        double total = 0;
+        for (std::size_t i = 0; i < shape.agents; ++i)
+            for (std::size_t r = 0; r < shape.resources; ++r)
+                total += alphas[i][r] * y[shape.index(i, r)];
+        return offset - total;
+    };
+    auto gradient = [shape, alphas](const Vector &y) {
+        Vector grad(y.size(), 0.0);
+        for (std::size_t i = 0; i < shape.agents; ++i)
+            for (std::size_t r = 0; r < shape.resources; ++r)
+                grad[shape.index(i, r)] = -alphas[i][r];
+        return grad;
+    };
+    return std::make_shared<LambdaFunction>(value, gradient);
+}
+
+/** Max-min epigraph objective: minimize -s. */
+std::shared_ptr<const LambdaFunction>
+makeEpigraphObjective(const ProgramShape &shape)
+{
+    const std::size_t s_index = shape.agents * shape.resources;
+    auto value = [s_index](const Vector &y) { return -y[s_index]; };
+    auto gradient = [s_index](const Vector &y) {
+        Vector grad(y.size(), 0.0);
+        grad[s_index] = -1;
+        return grad;
+    };
+    return std::make_shared<LambdaFunction>(value, gradient);
+}
+
+/** Epigraph constraint for agent i: s - log U_i(y) <= 0. */
+std::shared_ptr<const LambdaFunction>
+makeEpigraphConstraint(const ProgramShape &shape, const AgentList &agents,
+                       const SystemCapacity &capacity, std::size_t i)
+{
+    const Vector alphas = agents[i].utility().elasticities();
+    const std::size_t s_index = shape.agents * shape.resources;
+    double offset = 0;
+    for (std::size_t r = 0; r < shape.resources; ++r)
+        offset += alphas[r] * std::log(capacity.capacity(r));
+
+    auto value = [shape, alphas, i, s_index, offset](const Vector &y) {
+        double log_u = -offset;
+        for (std::size_t r = 0; r < shape.resources; ++r)
+            log_u += alphas[r] * y[shape.index(i, r)];
+        return y[s_index] - log_u;
+    };
+    auto gradient = [shape, alphas, i, s_index](const Vector &y) {
+        Vector grad(y.size(), 0.0);
+        grad[s_index] = 1;
+        for (std::size_t r = 0; r < shape.resources; ++r)
+            grad[shape.index(i, r)] = -alphas[r];
+        return grad;
+    };
+    return std::make_shared<LambdaFunction>(value, gradient);
+}
+
+} // namespace
+
+WelfareMechanism::WelfareMechanism(WelfareObjective objective,
+                                   bool with_fairness)
+    : WelfareMechanism(objective, with_fairness, Options{})
+{
+}
+
+WelfareMechanism::WelfareMechanism(WelfareObjective objective,
+                                   bool with_fairness, Options options)
+    : objective_(objective), withFairness_(with_fairness),
+      options_(std::move(options))
+{
+}
+
+std::string
+WelfareMechanism::name() const
+{
+    std::string base = objective_ == WelfareObjective::NashProduct
+                           ? "max-welfare"
+                           : "equal-slowdown";
+    return base + (withFairness_ ? "+fairness" : "");
+}
+
+Allocation
+WelfareMechanism::allocate(const AgentList &agents,
+                           const SystemCapacity &capacity) const
+{
+    REF_REQUIRE(!agents.empty(), "no agents to allocate to");
+    for (const auto &agent : agents) {
+        REF_REQUIRE(agent.utility().resources() == capacity.count(),
+                    "agent '" << agent.name()
+                        << "' utility does not span the capacity");
+    }
+
+    const ProgramShape shape{
+        agents.size(), capacity.count(),
+        objective_ == WelfareObjective::MaxMin};
+
+    solver::ConstrainedProgram program;
+    if (objective_ == WelfareObjective::NashProduct) {
+        program.objective = makeNashObjective(shape, agents, capacity);
+    } else {
+        program.objective = makeEpigraphObjective(shape);
+        for (std::size_t i = 0; i < shape.agents; ++i) {
+            program.inequalities.push_back(
+                makeEpigraphConstraint(shape, agents, capacity, i));
+        }
+    }
+
+    for (std::size_t r = 0; r < shape.resources; ++r) {
+        program.inequalities.push_back(
+            gp::makeCapacityConstraint(shape, capacity, r));
+    }
+    if (withFairness_)
+        gp::appendFairnessConstraints(shape, agents, capacity, program);
+
+    Vector start = gp::equalSplitStart(shape, capacity);
+    if (shape.hasEpigraph) {
+        double worst = std::numeric_limits<double>::infinity();
+        for (std::size_t i = 0; i < shape.agents; ++i) {
+            worst = std::min(
+                worst, gp::logWeightedUtility(shape, agents, capacity,
+                                              start, i));
+        }
+        start[shape.agents * shape.resources] = worst;
+    }
+
+    const auto solution =
+        solver::solvePenalty(program, start, options_.penalty);
+    if (!solution.converged) {
+        REF_WARN("welfare mechanism '"
+                 << name() << "' left residual constraint violation "
+                 << solution.maxViolation);
+    }
+
+    Allocation allocation(shape.agents, shape.resources);
+    for (std::size_t i = 0; i < shape.agents; ++i) {
+        for (std::size_t r = 0; r < shape.resources; ++r) {
+            allocation.at(i, r) =
+                std::exp(solution.point[shape.index(i, r)]);
+        }
+    }
+
+    if (options_.projectToCapacity) {
+        const Vector sums = allocation.totals();
+        for (std::size_t r = 0; r < shape.resources; ++r) {
+            const double factor = capacity.capacity(r) / sums[r];
+            for (std::size_t i = 0; i < shape.agents; ++i)
+                allocation.at(i, r) *= factor;
+        }
+    }
+    return allocation;
+}
+
+WelfareMechanism
+makeMaxWelfareUnfair()
+{
+    return WelfareMechanism(WelfareObjective::NashProduct, false);
+}
+
+WelfareMechanism
+makeEqualSlowdown()
+{
+    return WelfareMechanism(WelfareObjective::MaxMin, false);
+}
+
+WelfareMechanism
+makeMaxWelfareFair()
+{
+    return WelfareMechanism(WelfareObjective::NashProduct, true);
+}
+
+WelfareMechanism
+makeEgalitarianFair()
+{
+    return WelfareMechanism(WelfareObjective::MaxMin, true);
+}
+
+} // namespace ref::core

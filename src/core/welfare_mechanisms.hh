@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Optimization-based allocation mechanisms (paper Section 4.5).
+ *
+ * The paper compares proportional elasticity against mechanisms that
+ * explicitly optimize welfare, solved with geometric programming:
+ *
+ *  - "Max Welfare w/o Fairness": maximize Nash social welfare
+ *    prod_i U_i subject only to capacity (empirical upper bound).
+ *  - "Equal Slowdown w/o Fairness": maximize min_i U_i (the max-min
+ *    objective that equalizes slowdown, prior work's approach).
+ *  - "Max Welfare w/ Fairness": Nash welfare subject to the SI, EF,
+ *    and PE conditions of Eq. 11.
+ *  - "Egalitarian w/ Fairness": max-min subject to the same
+ *    conditions (empirical lower bound on fair performance).
+ *
+ * All are monomial/posynomial programs: after the change of
+ * variables y = log x the objective and the SI/EF/PE conditions are
+ * linear and capacity becomes log-sum-exp, so each program is smooth
+ * and convex. We solve them with the quadratic-penalty solver (the
+ * fairness-constrained feasible sets can have an empty interior, so
+ * a barrier method is not generally applicable).
+ */
+
+#ifndef REF_CORE_WELFARE_MECHANISMS_HH
+#define REF_CORE_WELFARE_MECHANISMS_HH
+
+#include "core/mechanism.hh"
+#include "solver/penalty.hh"
+
+namespace ref::core {
+
+/** Objective choices for WelfareMechanism. */
+enum class WelfareObjective
+{
+    NashProduct,  //!< maximize prod_i U_i (log-sum objective).
+    MaxMin,       //!< maximize min_i U_i (equal slowdown).
+};
+
+/** Geometric-programming welfare mechanism. */
+class WelfareMechanism : public AllocationMechanism
+{
+  public:
+    /** Tuning for the underlying penalty solve. */
+    struct Options
+    {
+        solver::PenaltyOptions penalty;
+        /**
+         * Scale solved totals so each resource is exactly fully
+         * allocated; keeps reports clean against round-off.
+         */
+        bool projectToCapacity = true;
+    };
+
+    WelfareMechanism(WelfareObjective objective, bool with_fairness);
+
+    WelfareMechanism(WelfareObjective objective, bool with_fairness,
+                     Options options);
+
+    std::string name() const override;
+
+    Allocation allocate(const AgentList &agents,
+                        const SystemCapacity &capacity) const override;
+
+    WelfareObjective objective() const { return objective_; }
+    bool withFairness() const { return withFairness_; }
+
+  private:
+    WelfareObjective objective_;
+    bool withFairness_;
+    Options options_;
+};
+
+/** "Max Welfare w/o Fairness": the empirical throughput upper bound. */
+WelfareMechanism makeMaxWelfareUnfair();
+
+/** "Equal Slowdown w/o Fairness": prior work's max-min objective. */
+WelfareMechanism makeEqualSlowdown();
+
+/** "Max Welfare w/ Fairness": Nash welfare under Eq. 11 conditions. */
+WelfareMechanism makeMaxWelfareFair();
+
+/** "Egalitarian w/ Fairness": max-min under Eq. 11 conditions. */
+WelfareMechanism makeEgalitarianFair();
+
+} // namespace ref::core
+
+#endif // REF_CORE_WELFARE_MECHANISMS_HH

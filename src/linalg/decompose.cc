@@ -1,0 +1,175 @@
+#include "decompose.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ref::linalg {
+
+Cholesky::Cholesky(const Matrix &a)
+    : lower_(a.rows(), a.cols())
+{
+    REF_REQUIRE(a.rows() == a.cols(), "Cholesky of non-square matrix");
+    const std::size_t n = a.rows();
+
+    for (std::size_t j = 0; j < n; ++j) {
+        double diag = a(j, j);
+        for (std::size_t k = 0; k < j; ++k)
+            diag -= lower_(j, k) * lower_(j, k);
+        REF_REQUIRE(diag > 0,
+                    "matrix is not positive definite (pivot " << j
+                        << " = " << diag << ")");
+        lower_(j, j) = std::sqrt(diag);
+
+        for (std::size_t i = j + 1; i < n; ++i) {
+            double off = a(i, j);
+            for (std::size_t k = 0; k < j; ++k)
+                off -= lower_(i, k) * lower_(j, k);
+            lower_(i, j) = off / lower_(j, j);
+        }
+    }
+}
+
+Vector
+Cholesky::solve(const Vector &b) const
+{
+    const std::size_t n = dimension();
+    REF_REQUIRE(b.size() == n, "rhs size mismatch");
+
+    // Forward substitution: L y = b.
+    Vector y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double value = b[i];
+        for (std::size_t k = 0; k < i; ++k)
+            value -= lower_(i, k) * y[k];
+        y[i] = value / lower_(i, i);
+    }
+
+    // Back substitution: L^T x = y.
+    Vector x(n);
+    for (std::size_t i = n; i-- > 0;) {
+        double value = y[i];
+        for (std::size_t k = i + 1; k < n; ++k)
+            value -= lower_(k, i) * x[k];
+        x[i] = value / lower_(i, i);
+    }
+    return x;
+}
+
+HouseholderQr::HouseholderQr(const Matrix &a)
+    : qr_(a), reflectorBeta_(std::min(a.rows(), a.cols()), 0.0)
+{
+    REF_REQUIRE(a.rows() >= a.cols(),
+                "QR expects rows >= cols, got " << a.rows() << "x"
+                    << a.cols());
+    const std::size_t m = qr_.rows();
+    const std::size_t n = qr_.cols();
+
+    for (std::size_t k = 0; k < n; ++k) {
+        // Build the Householder reflector for column k.
+        double norm_x = 0;
+        for (std::size_t i = k; i < m; ++i)
+            norm_x += qr_(i, k) * qr_(i, k);
+        norm_x = std::sqrt(norm_x);
+
+        if (norm_x == 0.0) {
+            reflectorBeta_[k] = 0.0;
+            continue;
+        }
+
+        const double alpha = qr_(k, k) >= 0 ? -norm_x : norm_x;
+        // v = x - alpha e1, stored in place below the diagonal with
+        // v_k normalized to 1 (beta carries the scaling).
+        const double v_k = qr_(k, k) - alpha;
+        qr_(k, k) = alpha;
+        for (std::size_t i = k + 1; i < m; ++i)
+            qr_(i, k) /= v_k;
+        reflectorBeta_[k] = -v_k / alpha;
+
+        // Apply the reflector to the remaining columns.
+        for (std::size_t j = k + 1; j < n; ++j) {
+            double proj = qr_(k, j);
+            for (std::size_t i = k + 1; i < m; ++i)
+                proj += qr_(i, k) * qr_(i, j);
+            proj *= reflectorBeta_[k];
+            qr_(k, j) -= proj;
+            for (std::size_t i = k + 1; i < m; ++i)
+                qr_(i, j) -= proj * qr_(i, k);
+        }
+    }
+}
+
+Vector
+HouseholderQr::applyQTranspose(const Vector &b) const
+{
+    const std::size_t m = qr_.rows();
+    const std::size_t n = qr_.cols();
+    Vector y = b;
+
+    for (std::size_t k = 0; k < n; ++k) {
+        if (reflectorBeta_[k] == 0.0)
+            continue;
+        double proj = y[k];
+        for (std::size_t i = k + 1; i < m; ++i)
+            proj += qr_(i, k) * y[i];
+        proj *= reflectorBeta_[k];
+        y[k] -= proj;
+        for (std::size_t i = k + 1; i < m; ++i)
+            y[i] -= proj * qr_(i, k);
+    }
+    return y;
+}
+
+Vector
+HouseholderQr::solve(const Vector &b) const
+{
+    const std::size_t m = qr_.rows();
+    const std::size_t n = qr_.cols();
+    REF_REQUIRE(b.size() == m, "rhs size mismatch");
+    REF_REQUIRE(fullRank(),
+                "rank-deficient least-squares system has no unique "
+                "solution");
+
+    const Vector y = applyQTranspose(b);
+
+    // Back substitution against the R block.
+    Vector x(n);
+    for (std::size_t i = n; i-- > 0;) {
+        double value = y[i];
+        for (std::size_t k = i + 1; k < n; ++k)
+            value -= qr_(i, k) * x[k];
+        x[i] = value / qr_(i, i);
+    }
+    return x;
+}
+
+Matrix
+HouseholderQr::r() const
+{
+    const std::size_t n = qr_.cols();
+    Matrix result(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i; j < n; ++j)
+            result(i, j) = qr_(i, j);
+    return result;
+}
+
+bool
+HouseholderQr::fullRank(double tolerance) const
+{
+    for (std::size_t k = 0; k < qr_.cols(); ++k) {
+        if (std::abs(qr_(k, k)) <= tolerance)
+            return false;
+    }
+    return true;
+}
+
+Vector
+solveLinearSystem(const Matrix &a, const Vector &b)
+{
+    REF_REQUIRE(a.rows() == a.cols(), "solveLinearSystem needs a square "
+                                      "matrix");
+    return HouseholderQr(a).solve(b);
+}
+
+} // namespace ref::linalg

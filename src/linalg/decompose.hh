@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Matrix factorizations: Cholesky for SPD systems and Householder QR
+ * for least squares.
+ */
+
+#ifndef REF_LINALG_DECOMPOSE_HH
+#define REF_LINALG_DECOMPOSE_HH
+
+#include "linalg/matrix.hh"
+
+namespace ref::linalg {
+
+/**
+ * Cholesky factorization A = L L^T of a symmetric positive definite
+ * matrix, with forward/back substitution solves.
+ *
+ * Throws FatalError if the matrix is not SPD (a non-positive pivot is
+ * encountered).
+ */
+class Cholesky
+{
+  public:
+    /** Factor the SPD matrix @p a. */
+    explicit Cholesky(const Matrix &a);
+
+    /** Solve A x = b. @pre b.size() == dimension(). */
+    Vector solve(const Vector &b) const;
+
+    /** Dimension of the factored matrix. */
+    std::size_t dimension() const { return lower_.rows(); }
+
+    /** The lower-triangular factor L. */
+    const Matrix &lower() const { return lower_; }
+
+  private:
+    Matrix lower_;
+};
+
+/**
+ * Householder QR factorization A = Q R of an m x n matrix with
+ * m >= n, used for numerically stable linear least squares.
+ */
+class HouseholderQr
+{
+  public:
+    /** Factor @p a. @pre a.rows() >= a.cols(). */
+    explicit HouseholderQr(const Matrix &a);
+
+    /**
+     * Minimize ||A x - b||_2.
+     *
+     * Throws FatalError if A is rank deficient (an |R_kk| below the
+     * tolerance), since a unique least-squares solution then does
+     * not exist.
+     */
+    Vector solve(const Vector &b) const;
+
+    /** Upper-triangular factor R (n x n block). */
+    Matrix r() const;
+
+    /** True if all diagonal entries of R exceed the tolerance. */
+    bool fullRank(double tolerance = 1e-12) const;
+
+  private:
+    /** Apply the stored Householder reflections to a vector. */
+    Vector applyQTranspose(const Vector &b) const;
+
+    Matrix qr_;          //!< Packed reflectors and R.
+    Vector reflectorBeta_;
+};
+
+/** Solve the square system A x = b via QR. @pre A square. */
+Vector solveLinearSystem(const Matrix &a, const Vector &b);
+
+} // namespace ref::linalg
+
+#endif // REF_LINALG_DECOMPOSE_HH

@@ -1,0 +1,22 @@
+#include "least_squares.hh"
+
+#include "linalg/decompose.hh"
+#include "util/logging.hh"
+
+namespace ref::linalg {
+
+LeastSquaresResult
+leastSquares(const Matrix &a, const Vector &b)
+{
+    REF_REQUIRE(a.rows() == b.size(),
+                "design matrix has " << a.rows() << " rows but rhs has "
+                    << b.size() << " entries");
+
+    LeastSquaresResult result;
+    result.coefficients = HouseholderQr(a).solve(b);
+    result.residuals = subtract(b, a * result.coefficients);
+    result.residualNorm = norm2(result.residuals);
+    return result;
+}
+
+} // namespace ref::linalg

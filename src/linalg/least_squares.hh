@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Linear least squares via Householder QR.
+ */
+
+#ifndef REF_LINALG_LEAST_SQUARES_HH
+#define REF_LINALG_LEAST_SQUARES_HH
+
+#include "linalg/matrix.hh"
+
+namespace ref::linalg {
+
+/** Result of an ordinary least squares solve. */
+struct LeastSquaresResult
+{
+    Vector coefficients;   //!< Minimizer of ||A x - b||_2.
+    Vector residuals;      //!< b - A x at the minimizer.
+    double residualNorm;   //!< ||residuals||_2.
+};
+
+/**
+ * Minimize ||A x - b||_2 for a full-column-rank A (rows >= cols).
+ *
+ * Throws FatalError on shape mismatch or rank deficiency.
+ */
+LeastSquaresResult leastSquares(const Matrix &a, const Vector &b);
+
+} // namespace ref::linalg
+
+#endif // REF_LINALG_LEAST_SQUARES_HH

@@ -1,0 +1,376 @@
+#include "enforce.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <memory>
+
+#include "util/logging.hh"
+
+namespace ref::sched {
+
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/** One agent's execution state during the co-scheduled run. */
+struct AgentState
+{
+    explicit AgentState(const sim::CacheConfig &l1_config)
+        : l1(l1_config)
+    {}
+
+    const sim::Trace *trace = nullptr;
+    sim::TimingParams timing;
+    std::size_t opIndex = 0;
+    double cycles = 0;
+    sim::Cache l1;
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t l2Misses = 0;
+    unsigned mshrs = 1;
+
+    /** Completion cycles of outstanding misses; kInfinity = still
+     *  queued at the memory controller. */
+    std::deque<double> outstanding;
+    /** Global ids of the queued (unresolved) requests, oldest first. */
+    std::deque<std::uint64_t> unresolvedIds;
+
+    bool
+    finished() const
+    {
+        return opIndex >= trace->ops.size();
+    }
+
+    /** Earliest cycle at which this agent can do useful work. */
+    double
+    readyTime() const
+    {
+        if (outstanding.size() >= mshrs)
+            return outstanding.front();  // Must retire the oldest.
+        return cycles;
+    }
+};
+
+} // namespace
+
+namespace {
+
+/**
+ * Memory-channel arbiter interface: WFQ when shares are enforced,
+ * FIFO by arrival when the channel is unmanaged.
+ */
+class Arbiter
+{
+  public:
+    virtual ~Arbiter() = default;
+    virtual void enqueue(std::size_t flow, std::uint64_t tag,
+                         std::uint64_t units) = 0;
+    virtual bool empty() const = 0;
+    virtual WfqScheduler::Grant pop() = 0;
+    virtual double serviceShare(std::size_t flow) const = 0;
+};
+
+class WfqArbiter : public Arbiter
+{
+  public:
+    explicit WfqArbiter(std::vector<double> weights)
+        : wfq_(std::move(weights))
+    {}
+
+    void
+    enqueue(std::size_t flow, std::uint64_t tag,
+            std::uint64_t units) override
+    {
+        wfq_.enqueue(flow, tag, units);
+    }
+
+    bool empty() const override { return wfq_.empty(); }
+    WfqScheduler::Grant pop() override { return wfq_.pop(); }
+
+    double
+    serviceShare(std::size_t flow) const override
+    {
+        return wfq_.serviceShare(flow);
+    }
+
+  private:
+    WfqScheduler wfq_;
+};
+
+class FifoArbiter : public Arbiter
+{
+  public:
+    explicit FifoArbiter(std::size_t flows)
+        : unitsServed_(flows, 0)
+    {}
+
+    void
+    enqueue(std::size_t flow, std::uint64_t tag,
+            std::uint64_t units) override
+    {
+        queue_.push_back(WfqScheduler::Grant{flow, tag, units});
+    }
+
+    bool empty() const override { return queue_.empty(); }
+
+    WfqScheduler::Grant
+    pop() override
+    {
+        REF_REQUIRE(!queue_.empty(), "pop from an empty arbiter");
+        const auto grant = queue_.front();
+        queue_.pop_front();
+        unitsServed_[grant.flow] += grant.serviceUnits;
+        totalUnits_ += grant.serviceUnits;
+        return grant;
+    }
+
+    double
+    serviceShare(std::size_t flow) const override
+    {
+        REF_REQUIRE(flow < unitsServed_.size(), "flow out of range");
+        if (totalUnits_ == 0)
+            return 0.0;
+        return static_cast<double>(unitsServed_[flow]) /
+               static_cast<double>(totalUnits_);
+    }
+
+  private:
+    std::deque<WfqScheduler::Grant> queue_;
+    std::vector<std::uint64_t> unitsServed_;
+    std::uint64_t totalUnits_ = 0;
+};
+
+/** Masks for a free-for-all cache: every way allowed for everyone. */
+WayPartition
+unpartitioned(std::size_t agents, unsigned associativity)
+{
+    WayPartition partition;
+    partition.ways.assign(agents, associativity);
+    partition.masks.assign(agents, 0);  // 0 = all ways in Cache.
+    partition.realizedFractions.assign(agents, 1.0);
+    return partition;
+}
+
+} // namespace
+
+EnforcedCmpSystem::EnforcedCmpSystem(
+    const sim::PlatformConfig &config,
+    const std::vector<double> &cache_fractions,
+    const std::vector<double> &bandwidth_fractions,
+    EnforcementPolicy policy)
+    : config_(config), bandwidthFractions_(bandwidth_fractions),
+      partition_(policy.partitionCache
+                     ? partitionWays(
+                           cache_fractions,
+                           static_cast<unsigned>(
+                               config.l2.associativity))
+                     : unpartitioned(
+                           cache_fractions.size(),
+                           static_cast<unsigned>(
+                               config.l2.associativity))),
+      policy_(policy)
+{
+    REF_REQUIRE(cache_fractions.size() == bandwidth_fractions.size(),
+                "cache and bandwidth share lists differ in length");
+    for (double fraction : bandwidthFractions_) {
+        REF_REQUIRE(fraction > 0, "bandwidth fractions must be "
+                                  "positive");
+    }
+}
+
+std::vector<EnforcedAgentResult>
+EnforcedCmpSystem::run(const std::vector<sim::Trace> &traces,
+                       const std::vector<sim::TimingParams> &timings)
+{
+    const std::size_t n = bandwidthFractions_.size();
+    REF_REQUIRE(traces.size() == n && timings.size() == n,
+                "need one trace and one timing per agent");
+
+    sim::Cache l2(config_.l2);
+    sim::DramModel dram(config_.dram, config_.core,
+                        config_.l2.blockBytes);
+    std::unique_ptr<Arbiter> arbiter;
+    if (policy_.wfqBandwidth) {
+        arbiter = std::make_unique<WfqArbiter>(bandwidthFractions_);
+    } else {
+        arbiter = std::make_unique<FifoArbiter>(n);
+    }
+    Arbiter &wfq = *arbiter;
+
+    std::vector<AgentState> agents;
+    agents.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        agents.emplace_back(config_.l1);
+        agents.back().trace = &traces[i];
+        agents.back().timing = timings[i];
+        agents.back().mshrs = std::max(
+            1u, static_cast<unsigned>(std::lround(timings[i].mlp)));
+    }
+
+    const double issue_cpi =
+        1.0 / static_cast<double>(config_.core.issueWidth);
+    double bus_free_at = 0;
+    std::uint64_t next_request_id = 1;
+    // Request id -> owning agent / issue time (0 = writeback,
+    // untracked).
+    std::vector<std::size_t> request_owner(1, 0);
+    std::vector<double> request_issue(1, 0.0);
+
+    // Serve the WFQ-chosen queued request on the bus and resolve its
+    // owner's outstanding completion.
+    const auto serve_one = [&]() {
+        const auto grant = wfq.pop();
+        const double issue =
+            grant.tag != 0 ? request_issue[grant.tag] : bus_free_at;
+        const double bus_start = std::max(bus_free_at, issue);
+        const double completion =
+            bus_start + static_cast<double>(dram.accessCycles() +
+                                            dram.transferCycles());
+        bus_free_at = bus_start +
+                      static_cast<double>(dram.transferCycles());
+
+        if (grant.tag != 0) {
+            AgentState &owner = agents[request_owner[grant.tag]];
+            REF_ASSERT(!owner.unresolvedIds.empty(),
+                       "grant for an agent with no queued requests");
+            // Requests are FIFO per agent, so the oldest unresolved
+            // id is the one granted (WFQ preserves per-flow order).
+            owner.unresolvedIds.pop_front();
+            for (double &slot : owner.outstanding) {
+                if (std::isinf(slot)) {
+                    slot = completion;
+                    break;
+                }
+            }
+        }
+    };
+
+    // Shares under full contention: snapshot when the first agent
+    // completes its trace.
+    std::vector<double> contended_shares(n, 0.0);
+    bool shares_snapshotted = false;
+    const auto snapshot_shares = [&]() {
+        for (std::size_t i = 0; i < n; ++i)
+            contended_shares[i] = wfq.serviceShare(i);
+        shares_snapshotted = true;
+    };
+
+    while (true) {
+        // Pick the next agent able to make progress.
+        std::size_t best = n;
+        double best_time = kInfinity;
+        bool any_unfinished = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (agents[i].finished()) {
+                if (!shares_snapshotted)
+                    snapshot_shares();
+                continue;
+            }
+            any_unfinished = true;
+            const double ready = agents[i].readyTime();
+            if (ready < best_time) {
+                best_time = ready;
+                best = i;
+            }
+        }
+        if (!any_unfinished)
+            break;
+        if (best == n) {
+            // Everyone is blocked on queued requests: the bus must
+            // serve one (WFQ decides whose).
+            REF_ASSERT(!wfq.empty(), "all agents blocked but memory "
+                                     "queue empty");
+            serve_one();
+            continue;
+        }
+
+        AgentState &agent = agents[best];
+
+        // Retire any misses that have completed by now.
+        while (!agent.outstanding.empty() &&
+               agent.outstanding.front() <= agent.cycles) {
+            agent.outstanding.pop_front();
+        }
+        if (agent.outstanding.size() >= agent.mshrs) {
+            const double oldest = agent.outstanding.front();
+            if (std::isinf(oldest)) {
+                // Oldest miss still queued: force bus progress.
+                REF_ASSERT(!wfq.empty(), "blocked on an unqueued miss");
+                serve_one();
+                continue;
+            }
+            agent.cycles = std::max(agent.cycles, oldest);
+            agent.outstanding.pop_front();
+            continue;
+        }
+
+        // Execute one memory operation.
+        const sim::MemOp &op = agent.trace->ops[agent.opIndex++];
+        agent.cycles += op.gapInstructions *
+                            (issue_cpi + agent.timing.nonMemCpi) +
+                        issue_cpi;
+
+        const auto l1_result = agent.l1.access(op.address, op.isWrite);
+        if (l1_result.hit)
+            continue;
+
+        if (l1_result.evictedDirty)
+            l2.access(l1_result.victimAddress, true,
+                      partition_.masks[best]);
+
+        ++agent.l2Accesses;
+        const auto l2_result =
+            l2.access(op.address, op.isWrite, partition_.masks[best]);
+        if (l2_result.hit) {
+            agent.cycles += config_.l2.latencyCycles /
+                            std::min(agent.timing.mlp, 2.0);
+            continue;
+        }
+
+        // Shared-memory miss: queue at the WFQ memory controller.
+        ++agent.l2Misses;
+        agent.cycles += config_.l2.latencyCycles;
+        const std::uint64_t id = next_request_id++;
+        request_owner.push_back(best);
+        request_issue.push_back(agent.cycles);
+        agent.outstanding.push_back(kInfinity);
+        agent.unresolvedIds.push_back(id);
+        wfq.enqueue(best, id, dram.transferCycles());
+
+        // Dirty victims consume WFQ bandwidth but nobody waits on
+        // them (tag 0 marks them untracked).
+        if (l2_result.evictedDirty)
+            wfq.enqueue(best, 0, dram.transferCycles());
+
+        // Let the bus catch up with anything it could already have
+        // served before this agent's local time.
+        while (!wfq.empty() && bus_free_at <= agent.cycles)
+            serve_one();
+    }
+
+    // Drain the queue so writeback accounting is complete.
+    while (!wfq.empty())
+        serve_one();
+    if (!shares_snapshotted)
+        snapshot_shares();
+
+    std::vector<EnforcedAgentResult> results(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        EnforcedAgentResult &result = results[i];
+        result.instructions = agents[i].trace->instructions;
+        result.cycles = agents[i].cycles;
+        result.ipc = result.cycles > 0
+                         ? static_cast<double>(result.instructions) /
+                               result.cycles
+                         : 0.0;
+        result.l1 = agents[i].l1.stats();
+        result.l2Accesses = agents[i].l2Accesses;
+        result.l2Misses = agents[i].l2Misses;
+        result.bandwidthShare = contended_shares[i];
+        result.cacheShare = partition_.realizedFractions[i];
+    }
+    return results;
+}
+
+} // namespace ref::sched

@@ -1,0 +1,78 @@
+#include "lottery.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace ref::sched {
+
+LotteryScheduler::LotteryScheduler(std::vector<double> tickets,
+                                   std::uint64_t seed)
+    : tickets_(std::move(tickets)), rng_(seed)
+{
+    REF_REQUIRE(!tickets_.empty(), "lottery needs at least one holder");
+    for (std::size_t h = 0; h < tickets_.size(); ++h) {
+        REF_REQUIRE(tickets_[h] > 0,
+                    "holder " << h << " has non-positive tickets "
+                        << tickets_[h]);
+    }
+    wins_.assign(tickets_.size(), 0);
+}
+
+void
+LotteryScheduler::rebuildCumulative()
+{
+    cumulative_.resize(tickets_.size());
+    double total = 0;
+    for (std::size_t h = 0; h < tickets_.size(); ++h) {
+        total += tickets_[h];
+        cumulative_[h] = total;
+    }
+    cumulativeStale_ = false;
+}
+
+std::size_t
+LotteryScheduler::draw()
+{
+    if (cumulativeStale_)
+        rebuildCumulative();
+
+    const double ticket = rng_.uniform(0.0, cumulative_.back());
+    const auto it = std::upper_bound(cumulative_.begin(),
+                                     cumulative_.end(), ticket);
+    const std::size_t winner = std::min<std::size_t>(
+        static_cast<std::size_t>(it - cumulative_.begin()),
+        tickets_.size() - 1);
+
+    ++wins_[winner];
+    ++totalQuanta_;
+    return winner;
+}
+
+std::uint64_t
+LotteryScheduler::quantaWon(std::size_t holder) const
+{
+    REF_REQUIRE(holder < wins_.size(), "holder out of range");
+    return wins_[holder];
+}
+
+double
+LotteryScheduler::shareWon(std::size_t holder) const
+{
+    REF_REQUIRE(holder < wins_.size(), "holder out of range");
+    if (totalQuanta_ == 0)
+        return 0.0;
+    return static_cast<double>(wins_[holder]) /
+           static_cast<double>(totalQuanta_);
+}
+
+void
+LotteryScheduler::setTickets(std::size_t holder, double tickets)
+{
+    REF_REQUIRE(holder < tickets_.size(), "holder out of range");
+    REF_REQUIRE(tickets > 0, "tickets must be positive");
+    tickets_[holder] = tickets;
+    cumulativeStale_ = true;
+}
+
+} // namespace ref::sched

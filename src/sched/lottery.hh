@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Lottery scheduling (Waldspurger & Weihl [38]).
+ *
+ * The second enforcement option the paper names: holders receive
+ * tickets in proportion to their share, and each scheduling quantum
+ * goes to the holder of a uniformly drawn ticket. Probabilistically
+ * proportional; tests bound the deviation.
+ */
+
+#ifndef REF_SCHED_LOTTERY_HH
+#define REF_SCHED_LOTTERY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.hh"
+
+namespace ref::sched {
+
+/** A lottery scheduler over a fixed set of ticket holders. */
+class LotteryScheduler
+{
+  public:
+    /**
+     * @param tickets Positive ticket count (or fractional weight)
+     *        per holder.
+     * @param seed Seed for the internal deterministic RNG.
+     */
+    LotteryScheduler(std::vector<double> tickets,
+                     std::uint64_t seed = 1);
+
+    std::size_t holders() const { return tickets_.size(); }
+
+    /** Draw the next quantum's winner. */
+    std::size_t draw();
+
+    /** Quanta won by a holder so far. */
+    std::uint64_t quantaWon(std::size_t holder) const;
+
+    /** Fraction of all quanta won by a holder (0 before any draw). */
+    double shareWon(std::size_t holder) const;
+
+    /** Total quanta drawn. */
+    std::uint64_t totalQuanta() const { return totalQuanta_; }
+
+    /**
+     * Adjust a holder's tickets (e.g. after a re-allocation round).
+     * @pre tickets > 0.
+     */
+    void setTickets(std::size_t holder, double tickets);
+
+  private:
+    std::vector<double> tickets_;
+    std::vector<double> cumulative_;  //!< Prefix sums for draws.
+    std::vector<std::uint64_t> wins_;
+    std::uint64_t totalQuanta_ = 0;
+    Rng rng_;
+    bool cumulativeStale_ = true;
+
+    void rebuildCumulative();
+};
+
+} // namespace ref::sched
+
+#endif // REF_SCHED_LOTTERY_HH

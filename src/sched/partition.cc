@@ -1,0 +1,85 @@
+#include "partition.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.hh"
+
+namespace ref::sched {
+
+WayPartition
+partitionWays(const std::vector<double> &fractions,
+              unsigned associativity)
+{
+    const std::size_t agents = fractions.size();
+    REF_REQUIRE(agents > 0, "no agents to partition among");
+    REF_REQUIRE(associativity >= agents,
+                "associativity " << associativity << " cannot give "
+                    << agents << " agents a way each");
+    REF_REQUIRE(associativity <= 64, "way masks are 64 bits wide");
+
+    double total = 0;
+    for (double fraction : fractions) {
+        REF_REQUIRE(fraction >= 0, "negative share fraction");
+        total += fraction;
+    }
+    REF_REQUIRE(std::abs(total - 1.0) <= 1e-6,
+                "fractions sum to " << total << ", expected 1");
+
+    // Largest-remainder rounding of the ideal (fractional) ways,
+    // then a one-way floor per agent, funded by the largest holders.
+    WayPartition partition;
+    partition.ways.assign(agents, 0);
+    unsigned assigned = 0;
+    std::vector<double> remainders(agents);
+    for (std::size_t i = 0; i < agents; ++i) {
+        const double ideal = fractions[i] * associativity;
+        partition.ways[i] = static_cast<unsigned>(std::floor(ideal));
+        assigned += partition.ways[i];
+        remainders[i] = ideal - partition.ways[i];
+    }
+
+    std::vector<std::size_t> order(agents);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return remainders[a] > remainders[b];
+              });
+    for (std::size_t k = 0; assigned < associativity; ++k) {
+        partition.ways[order[k % agents]] += 1;
+        ++assigned;
+    }
+    REF_ASSERT(assigned == associativity,
+               "assigned " << assigned << " ways of " << associativity);
+
+    // An agent with zero ways could never cache anything: promote it
+    // to one way, taking from whoever currently holds the most.
+    for (std::size_t i = 0; i < agents; ++i) {
+        while (partition.ways[i] == 0) {
+            const std::size_t richest = static_cast<std::size_t>(
+                std::max_element(partition.ways.begin(),
+                                 partition.ways.end()) -
+                partition.ways.begin());
+            REF_ASSERT(partition.ways[richest] > 1,
+                       "cannot fund a one-way floor");
+            partition.ways[richest] -= 1;
+            partition.ways[i] += 1;
+        }
+    }
+
+    // Contiguous masks, lowest ways first.
+    partition.masks.assign(agents, 0);
+    partition.realizedFractions.assign(agents, 0);
+    unsigned next_way = 0;
+    for (std::size_t i = 0; i < agents; ++i) {
+        for (unsigned w = 0; w < partition.ways[i]; ++w)
+            partition.masks[i] |= std::uint64_t{1} << (next_way + w);
+        next_way += partition.ways[i];
+        partition.realizedFractions[i] =
+            static_cast<double>(partition.ways[i]) / associativity;
+    }
+    return partition;
+}
+
+} // namespace ref::sched

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Cache way-partitioning: translating REF's continuous cache-share
+ * fractions into integral per-agent way assignments.
+ */
+
+#ifndef REF_SCHED_PARTITION_HH
+#define REF_SCHED_PARTITION_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace ref::sched {
+
+/** Integral division of a cache's ways among agents. */
+struct WayPartition
+{
+    /** Ways assigned to each agent; sums to the associativity. */
+    std::vector<unsigned> ways;
+
+    /** Replacement mask (bit per way) for each agent. */
+    std::vector<std::uint64_t> masks;
+
+    /** The fraction each agent actually receives. */
+    std::vector<double> realizedFractions;
+};
+
+/**
+ * Partition @p associativity ways according to @p fractions using
+ * largest-remainder rounding, guaranteeing every agent at least one
+ * way (an agent with zero ways could never cache anything).
+ *
+ * @pre fractions sum to ~1; associativity >= number of agents;
+ *      associativity <= 64 (mask width).
+ */
+WayPartition partitionWays(const std::vector<double> &fractions,
+                           unsigned associativity);
+
+} // namespace ref::sched
+
+#endif // REF_SCHED_PARTITION_HH

@@ -1,0 +1,63 @@
+#include "stride.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace ref::sched {
+
+StrideScheduler::StrideScheduler(std::vector<double> tickets)
+    : tickets_(std::move(tickets))
+{
+    REF_REQUIRE(!tickets_.empty(), "stride needs at least one holder");
+    for (std::size_t h = 0; h < tickets_.size(); ++h) {
+        REF_REQUIRE(tickets_[h] > 0,
+                    "holder " << h << " has non-positive tickets "
+                        << tickets_[h]);
+    }
+    // Start everyone half a stride in, the standard fix for the
+    // initial tie (otherwise holder 0 wins every first-round tie).
+    passes_.resize(tickets_.size());
+    for (std::size_t h = 0; h < tickets_.size(); ++h)
+        passes_[h] = 0.5 * kStrideScale / tickets_[h];
+    grants_.assign(tickets_.size(), 0);
+}
+
+std::size_t
+StrideScheduler::next()
+{
+    const std::size_t winner = static_cast<std::size_t>(
+        std::min_element(passes_.begin(), passes_.end()) -
+        passes_.begin());
+    passes_[winner] += kStrideScale / tickets_[winner];
+    ++grants_[winner];
+    ++totalQuanta_;
+    return winner;
+}
+
+std::uint64_t
+StrideScheduler::quantaGranted(std::size_t holder) const
+{
+    REF_REQUIRE(holder < grants_.size(), "holder out of range");
+    return grants_[holder];
+}
+
+double
+StrideScheduler::shareGranted(std::size_t holder) const
+{
+    REF_REQUIRE(holder < grants_.size(), "holder out of range");
+    if (totalQuanta_ == 0)
+        return 0.0;
+    return static_cast<double>(grants_[holder]) /
+           static_cast<double>(totalQuanta_);
+}
+
+void
+StrideScheduler::setTickets(std::size_t holder, double tickets)
+{
+    REF_REQUIRE(holder < tickets_.size(), "holder out of range");
+    REF_REQUIRE(tickets > 0, "tickets must be positive");
+    tickets_[holder] = tickets;
+}
+
+} // namespace ref::sched

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Stride scheduling (Waldspurger's deterministic successor to
+ * lottery scheduling [38]).
+ *
+ * Each holder advances a virtual "pass" by a stride inversely
+ * proportional to its tickets; every quantum goes to the holder with
+ * the smallest pass. Proportional like the lottery but with O(1)
+ * deviation instead of probabilistic convergence — the natural
+ * choice when REF's shares must hold over short windows.
+ */
+
+#ifndef REF_SCHED_STRIDE_HH
+#define REF_SCHED_STRIDE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace ref::sched {
+
+/** A stride scheduler over a fixed set of ticket holders. */
+class StrideScheduler
+{
+  public:
+    /** @param tickets Positive ticket count per holder. */
+    explicit StrideScheduler(std::vector<double> tickets);
+
+    std::size_t holders() const { return tickets_.size(); }
+
+    /** Select the next quantum's holder (smallest pass wins). */
+    std::size_t next();
+
+    /** Quanta granted to a holder so far. */
+    std::uint64_t quantaGranted(std::size_t holder) const;
+
+    /** Fraction of all quanta granted (0 before any call). */
+    double shareGranted(std::size_t holder) const;
+
+    std::uint64_t totalQuanta() const { return totalQuanta_; }
+
+    /**
+     * Adjust a holder's tickets; its stride changes from the next
+     * quantum on, its accumulated pass is preserved.
+     */
+    void setTickets(std::size_t holder, double tickets);
+
+  private:
+    static constexpr double kStrideScale = 1 << 20;
+
+    std::vector<double> tickets_;
+    std::vector<double> passes_;
+    std::vector<std::uint64_t> grants_;
+    std::uint64_t totalQuanta_ = 0;
+};
+
+} // namespace ref::sched
+
+#endif // REF_SCHED_STRIDE_HH

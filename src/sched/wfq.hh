@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Weighted fair queuing (Demers, Keshav, Shenker [8]).
+ *
+ * The paper enforces bandwidth shares with "existing approaches,
+ * such as weighted fair queuing". This is a generic start-time
+ * virtual-finish-time WFQ arbiter: each flow accrues virtual finish
+ * times inversely proportional to its weight, and the arbiter always
+ * serves the eligible request with the smallest finish tag. Used by
+ * the enforcement experiments to share the DRAM channel according to
+ * REF's bandwidth fractions.
+ */
+
+#ifndef REF_SCHED_WFQ_HH
+#define REF_SCHED_WFQ_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace ref::sched {
+
+/** Per-flow service statistics. */
+struct FlowStats
+{
+    std::uint64_t requestsServed = 0;
+    std::uint64_t unitsServed = 0;  //!< Total service units consumed.
+};
+
+/** A weighted-fair-queuing arbiter over a fixed set of flows. */
+class WfqScheduler
+{
+  public:
+    /**
+     * @param weights One positive weight per flow; service converges
+     *        to these proportions whenever flows stay backlogged.
+     */
+    explicit WfqScheduler(std::vector<double> weights);
+
+    std::size_t flows() const { return weights_.size(); }
+
+    /**
+     * Enqueue a request for @p flow costing @p service_units (e.g.
+     * bus cycles for one block transfer).
+     * @param tag Caller-defined payload identifier returned by pop().
+     */
+    void enqueue(std::size_t flow, std::uint64_t tag,
+                 std::uint64_t service_units);
+
+    /** True when no request is queued. */
+    bool empty() const { return queuedRequests_ == 0; }
+
+    /** Total queued requests across flows. */
+    std::size_t size() const { return queuedRequests_; }
+
+    /** A dequeued request. */
+    struct Grant
+    {
+        std::size_t flow = 0;
+        std::uint64_t tag = 0;
+        std::uint64_t serviceUnits = 0;
+    };
+
+    /**
+     * Dequeue the request with the smallest virtual finish time.
+     * @pre !empty().
+     */
+    Grant pop();
+
+    /** Service accounting per flow. */
+    const FlowStats &flowStats(std::size_t flow) const;
+
+    /**
+     * Fraction of total service units received by a flow so far;
+     * 0 when nothing has been served.
+     */
+    double serviceShare(std::size_t flow) const;
+
+  private:
+    struct Request
+    {
+        std::uint64_t tag;
+        std::uint64_t serviceUnits;
+        double virtualFinish;
+    };
+
+    std::vector<double> weights_;
+    std::vector<std::deque<Request>> queues_;
+    std::vector<double> lastFinish_;   //!< Per-flow last finish tag.
+    std::vector<FlowStats> stats_;
+    double virtualTime_ = 0;
+    std::size_t queuedRequests_ = 0;
+    std::uint64_t totalUnitsServed_ = 0;
+};
+
+} // namespace ref::sched
+
+#endif // REF_SCHED_WFQ_HH

@@ -1,0 +1,109 @@
+#include "cache.hh"
+
+#include "util/logging.hh"
+#include "util/math.hh"
+
+namespace ref::sim {
+
+Cache::Cache(const CacheConfig &config)
+    : config_(config)
+{
+    REF_REQUIRE(config_.blockBytes > 0 && isPowerOfTwo(config_.blockBytes),
+                "block size must be a power of two, got "
+                    << config_.blockBytes);
+    REF_REQUIRE(config_.associativity > 0, "associativity must be "
+                                           "positive");
+    REF_REQUIRE(config_.sizeBytes > 0, "cache size must be positive");
+    const std::size_t line_capacity =
+        config_.blockBytes * config_.associativity;
+    REF_REQUIRE(config_.sizeBytes % line_capacity == 0,
+                "cache size " << config_.sizeBytes
+                    << " not divisible by block*associativity "
+                    << line_capacity);
+
+    sets_ = config_.sizeBytes / line_capacity;
+    blockShift_ = log2Exact(config_.blockBytes);
+    lines_.resize(sets_ * config_.associativity);
+}
+
+std::uint64_t
+Cache::blockNumber(std::uint64_t address) const
+{
+    return address >> blockShift_;
+}
+
+std::size_t
+Cache::setIndex(std::uint64_t block) const
+{
+    return static_cast<std::size_t>(block % sets_);
+}
+
+CacheAccessResult
+Cache::access(std::uint64_t address, bool is_write,
+              std::uint64_t way_mask)
+{
+    ++stats_.accesses;
+    ++useClock_;
+
+    const std::uint64_t block = blockNumber(address);
+    const std::size_t set = setIndex(block);
+    Line *const set_lines = &lines_[set * config_.associativity];
+
+    CacheAccessResult result;
+
+    // Lookup may hit in any way regardless of the partition mask.
+    for (std::size_t way = 0; way < config_.associativity; ++way) {
+        Line &line = set_lines[way];
+        if (line.valid && line.tag == block) {
+            line.lastUse = useClock_;
+            line.dirty = line.dirty || is_write;
+            result.hit = true;
+            ++stats_.hits;
+            return result;
+        }
+    }
+
+    // Miss: pick the LRU victim among the allowed ways.
+    ++stats_.misses;
+    const std::uint64_t allowed =
+        way_mask == 0 ? ~std::uint64_t{0} : way_mask;
+    Line *victim = nullptr;
+    for (std::size_t way = 0; way < config_.associativity; ++way) {
+        if (!(allowed & (std::uint64_t{1} << way)))
+            continue;
+        Line &line = set_lines[way];
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (victim == nullptr || line.lastUse < victim->lastUse)
+            victim = &line;
+    }
+    REF_REQUIRE(victim != nullptr,
+                "way mask " << way_mask
+                    << " selects no way in a cache with associativity "
+                    << config_.associativity);
+
+    if (victim->valid && victim->dirty) {
+        result.evictedDirty = true;
+        result.victimAddress = victim->tag << blockShift_;
+        ++stats_.writebacks;
+    }
+
+    victim->valid = true;
+    victim->tag = block;
+    victim->lastUse = useClock_;
+    victim->dirty = is_write;
+    return result;
+}
+
+void
+Cache::flush()
+{
+    for (Line &line : lines_) {
+        line.valid = false;
+        line.dirty = false;
+    }
+}
+
+} // namespace ref::sim

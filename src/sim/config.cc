@@ -1,0 +1,29 @@
+#include "config.hh"
+
+namespace ref::sim {
+
+PlatformConfig
+PlatformConfig::table1()
+{
+    PlatformConfig config;
+    config.core = CoreConfig{3.0, 4, 16};
+    config.l1 = CacheConfig{32 * 1024, 4, 64, 2};
+    config.l2 = CacheConfig{2 * 1024 * 1024, 8, 64, 20};
+    config.dram = DramConfig{};
+    return config;
+}
+
+std::vector<std::size_t>
+table1CacheSizes()
+{
+    return {128 * 1024, 256 * 1024, 512 * 1024, 1024 * 1024,
+            2 * 1024 * 1024};
+}
+
+std::vector<double>
+table1Bandwidths()
+{
+    return {0.8, 1.6, 3.2, 6.4, 12.8};
+}
+
+} // namespace ref::sim

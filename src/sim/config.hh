@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Platform configuration (paper Table 1).
+ *
+ * 3 GHz out-of-order cores, 4-wide issue/commit; 32 KB 4-way L1;
+ * L2 swept over {128 KB, 256 KB, 512 KB, 1 MB, 2 MB}; single-channel
+ * DRAM swept over {0.8, 1.6, 3.2, 6.4, 12.8} GB/s with a closed-page
+ * controller.
+ */
+
+#ifndef REF_SIM_CONFIG_HH
+#define REF_SIM_CONFIG_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ref::sim {
+
+/** One cache level. */
+struct CacheConfig
+{
+    std::size_t sizeBytes = 0;
+    std::size_t associativity = 0;
+    std::size_t blockBytes = 64;
+    unsigned latencyCycles = 0;   //!< Hit latency.
+};
+
+/** DRAM row-buffer management policy. */
+enum class PagePolicy
+{
+    Closed,  //!< Precharge after every access (Table 1's policy).
+    Open,    //!< Keep rows open; hits skip the activate.
+};
+
+/** The DRAM channel(s) and controller. */
+struct DramConfig
+{
+    double bandwidthGBps = 12.8;  //!< Peak bandwidth across channels.
+    unsigned channels = 1;        //!< Independent channels.
+    unsigned banks = 8;           //!< Banks per channel.
+    double rowCycleNs = 45.0;     //!< tRC: closed-page bank busy time.
+    double accessNs = 26.0;       //!< Activate + CAS before data.
+    double casNs = 13.0;          //!< CAS only (open-page row hit).
+    unsigned controllerCycles = 10;  //!< Queue/controller overhead.
+    PagePolicy pagePolicy = PagePolicy::Closed;
+    std::size_t rowBytes = 2048;  //!< Row-buffer reach per bank.
+};
+
+/** The out-of-order core timing model. */
+struct CoreConfig
+{
+    double clockGHz = 3.0;
+    unsigned issueWidth = 4;
+    unsigned missQueueSize = 16;  //!< MSHRs: max outstanding misses.
+    /**
+     * Next-line prefetcher at the L2: on a demand miss, also fetch
+     * the following block. Hides streaming latency at the cost of
+     * extra bus traffic. Off in the Table 1 configuration.
+     */
+    bool nextLinePrefetch = false;
+};
+
+/** A full single-core platform. */
+struct PlatformConfig
+{
+    CoreConfig core;
+    CacheConfig l1;
+    CacheConfig l2;
+    DramConfig dram;
+
+    /** Cycles per nanosecond for this core clock. */
+    double cyclesPerNs() const { return core.clockGHz; }
+
+    /** Table 1 defaults with the largest L2 and bandwidth. */
+    static PlatformConfig table1();
+};
+
+/** The five L2 capacities of the Table 1 sweep, in bytes. */
+std::vector<std::size_t> table1CacheSizes();
+
+/** The five DRAM bandwidths of the Table 1 sweep, in GB/s. */
+std::vector<double> table1Bandwidths();
+
+} // namespace ref::sim
+
+#endif // REF_SIM_CONFIG_HH

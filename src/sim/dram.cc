@@ -1,0 +1,113 @@
+#include "dram.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ref::sim {
+
+DramModel::DramModel(const DramConfig &config, const CoreConfig &core,
+                     std::size_t block_bytes)
+    : config_(config), clockGHz_(core.clockGHz), blockBytes_(block_bytes)
+{
+    REF_REQUIRE(config_.bandwidthGBps > 0, "bandwidth must be positive");
+    REF_REQUIRE(config_.channels > 0, "need at least one channel");
+    REF_REQUIRE(config_.banks > 0, "need at least one bank");
+    REF_REQUIRE(config_.rowBytes >= blockBytes_,
+                "row buffer smaller than a block");
+    REF_REQUIRE(clockGHz_ > 0, "core clock must be positive");
+
+    // One block over a channel's data bus: the configured bandwidth
+    // is the aggregate, so each channel carries its share.
+    const double channel_bandwidth =
+        config_.bandwidthGBps / config_.channels;
+    const double transfer_ns =
+        static_cast<double>(blockBytes_) / channel_bandwidth;
+    transferCycles_ = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(std::llround(
+               transfer_ns * clockGHz_)));
+    accessCycles_ = static_cast<std::uint64_t>(
+        std::llround(config_.accessNs * clockGHz_));
+    casCycles_ = static_cast<std::uint64_t>(
+        std::llround(config_.casNs * clockGHz_));
+    rowCycleCycles_ = static_cast<std::uint64_t>(
+        std::llround(config_.rowCycleNs * clockGHz_));
+    banks_.assign(
+        static_cast<std::size_t>(config_.channels) * config_.banks,
+        Bank{});
+    busFreeAt_.assign(config_.channels, 0);
+}
+
+std::uint64_t
+DramModel::access(std::uint64_t issue_cycle, std::uint64_t address)
+{
+    ++stats_.requests;
+
+    const std::uint64_t block = address / blockBytes_;
+    const std::size_t channel =
+        static_cast<std::size_t>(block % config_.channels);
+    const std::uint64_t row = address / config_.rowBytes;
+    // Address mapping follows the page policy, as real controllers
+    // do: closed page interleaves banks at block granularity (the
+    // Table 1 round-robin, maximizing bank parallelism); open page
+    // keeps each row inside one bank so that consecutive blocks can
+    // hit the open row.
+    const std::size_t bank_in_channel =
+        config_.pagePolicy == PagePolicy::Closed
+            ? static_cast<std::size_t>(
+                  (block / config_.channels) % config_.banks)
+            : static_cast<std::size_t>(row % config_.banks);
+    Bank &bank = banks_[channel * config_.banks + bank_in_channel];
+
+    // Controller pipeline, then wait for the bank.
+    const std::uint64_t at_controller =
+        issue_cycle + config_.controllerCycles;
+
+    std::uint64_t data_ready;
+    if (config_.pagePolicy == PagePolicy::Open &&
+        bank.openRow == row) {
+        // Row hit: CAS commands pipeline under earlier transfers, so
+        // a hit never serializes on the bank — only the CAS latency
+        // and the shared bus apply.
+        data_ready = at_controller + casCycles_;
+        ++stats_.rowHits;
+    } else {
+        const std::uint64_t bank_ready =
+            std::max(at_controller, bank.freeAt);
+        data_ready = bank_ready + accessCycles_;
+        if (config_.pagePolicy == PagePolicy::Open) {
+            // Row miss: precharge + activate occupy the bank, then
+            // the new row stays open.
+            bank.freeAt = data_ready;
+            bank.openRow = row;
+        } else {
+            // Closed page: precharge keeps the bank busy for tRC.
+            bank.freeAt = bank_ready + rowCycleCycles_;
+            bank.openRow = ~std::uint64_t{0};
+        }
+    }
+
+    const std::uint64_t bus_start =
+        std::max(data_ready, busFreeAt_[channel]);
+    const std::uint64_t completion = bus_start + transferCycles_;
+    busFreeAt_[channel] = bus_start + transferCycles_;
+
+    ++stats_.blocksTransferred;
+    stats_.busBusyCycles += transferCycles_;
+    stats_.totalLatencyCycles += completion - issue_cycle;
+    return completion;
+}
+
+double
+DramModel::deliveredBandwidthGBps(std::uint64_t elapsed_cycles) const
+{
+    if (elapsed_cycles == 0)
+        return 0.0;
+    const double bytes = static_cast<double>(
+        stats_.blocksTransferred * blockBytes_);
+    const double ns = static_cast<double>(elapsed_cycles) / clockGHz_;
+    return bytes / ns;
+}
+
+} // namespace ref::sim

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Event-driven DRAM model.
+ *
+ * Closed-page policy (Table 1): every access activates a row,
+ * transfers one cache block, and precharges, keeping its bank busy
+ * for tRC. Open-page mode keeps rows open so that consecutive
+ * accesses to the same row skip the activate (CAS-only latency) —
+ * useful for studying locality-sensitive controllers beyond the
+ * paper's configuration.
+ *
+ * Each channel owns a data bus that serializes block transfers at
+ * the per-channel share of the configured bandwidth — the quantity
+ * the Table 1 sweep varies. Queueing delay emerges from bank and bus
+ * contention rather than from an analytic formula, standing in for
+ * DRAMSim2 (see DESIGN.md). Blocks interleave across channels, then
+ * across banks.
+ */
+
+#ifndef REF_SIM_DRAM_HH
+#define REF_SIM_DRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.hh"
+
+namespace ref::sim {
+
+/** Aggregate DRAM statistics. */
+struct DramStats
+{
+    std::uint64_t requests = 0;
+    std::uint64_t blocksTransferred = 0;
+    std::uint64_t totalLatencyCycles = 0;
+    std::uint64_t busBusyCycles = 0;
+    std::uint64_t rowHits = 0;   //!< Open-page row-buffer hits.
+
+    double averageLatency() const
+    {
+        return requests == 0 ? 0.0
+                             : static_cast<double>(totalLatencyCycles) /
+                                   static_cast<double>(requests);
+    }
+
+    double rowHitRate() const
+    {
+        return requests == 0 ? 0.0
+                             : static_cast<double>(rowHits) /
+                                   static_cast<double>(requests);
+    }
+};
+
+/** One or more DRAM channels with banked timing, in core cycles. */
+class DramModel
+{
+  public:
+    DramModel(const DramConfig &config, const CoreConfig &core,
+              std::size_t block_bytes = 64);
+
+    /**
+     * Issue a block request at core cycle @p issue_cycle; returns
+     * the completion cycle. Requests may be issued with
+     * non-decreasing or out-of-order timestamps; each is serviced
+     * no earlier than its issue time.
+     */
+    std::uint64_t access(std::uint64_t issue_cycle,
+                         std::uint64_t address);
+
+    /**
+     * Delivered bandwidth in GB/s over the given elapsed interval.
+     */
+    double deliveredBandwidthGBps(std::uint64_t elapsed_cycles) const;
+
+    /** Cycles one channel's bus needs for one block transfer. */
+    std::uint64_t transferCycles() const { return transferCycles_; }
+
+    /** Cycles from activate to first data (tRCD + CAS). */
+    std::uint64_t accessCycles() const { return accessCycles_; }
+
+    /** Cycles for a row-buffer hit (CAS only). */
+    std::uint64_t casCycles() const { return casCycles_; }
+
+    const DramStats &stats() const { return stats_; }
+    void clearStats() { stats_ = DramStats{}; }
+
+  private:
+    struct Bank
+    {
+        std::uint64_t freeAt = 0;
+        std::uint64_t openRow = ~std::uint64_t{0};
+    };
+
+    DramConfig config_;
+    double clockGHz_;
+    std::size_t blockBytes_;
+    std::uint64_t transferCycles_;
+    std::uint64_t accessCycles_;
+    std::uint64_t casCycles_;
+    std::uint64_t rowCycleCycles_;
+    std::vector<Bank> banks_;            //!< channels * banks.
+    std::vector<std::uint64_t> busFreeAt_;  //!< Per channel.
+    DramStats stats_;
+};
+
+} // namespace ref::sim
+
+#endif // REF_SIM_DRAM_HH

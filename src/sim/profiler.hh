@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Performance profiling over the Table 1 sweep (paper Section 5.1):
+ * 25 architectures spanning five L2 capacities and five memory
+ * bandwidths, producing the profiles the Cobb-Douglas fitter
+ * consumes.
+ *
+ * Resource convention throughout the repository: resource 0 is
+ * memory bandwidth in GB/s, resource 1 is cache capacity in MB —
+ * matching the paper's u = x^{a_x} y^{a_y} with x bandwidth and y
+ * cache.
+ */
+
+#ifndef REF_SIM_PROFILER_HH
+#define REF_SIM_PROFILER_HH
+
+#include <vector>
+
+#include "core/fitting.hh"
+#include "sim/system.hh"
+#include "sim/workloads.hh"
+
+namespace ref::sim {
+
+/** One point of the sweep. */
+struct SweepPoint
+{
+    double bandwidthGBps = 0;
+    double cacheMB = 0;
+    double ipc = 0;
+    RunResult detail;
+};
+
+/** Sweeps workloads across cache-size/bandwidth configurations. */
+class Profiler
+{
+  public:
+    /**
+     * @param base Platform whose L2 size and DRAM bandwidth the
+     *        sweep overrides; everything else (core, L1) is held.
+     * @param trace_ops Memory operations simulated per point. The
+     *        trace is generated once per workload and replayed on
+     *        every configuration.
+     */
+    explicit Profiler(PlatformConfig base,
+                      std::size_t trace_ops = 200000);
+
+    /** Profile one workload across the full 5 x 5 Table 1 grid. */
+    std::vector<SweepPoint> sweep(const WorkloadSpec &workload) const;
+
+    /**
+     * Profile across explicit (bandwidth GB/s, cache bytes) lists;
+     * used by enforcement experiments that need off-grid points.
+     */
+    std::vector<SweepPoint> sweep(
+        const WorkloadSpec &workload,
+        const std::vector<double> &bandwidths,
+        const std::vector<std::size_t> &cache_sizes) const;
+
+    /** Convert sweep points to the fitter's profile format. */
+    static core::PerformanceProfile toPerformanceProfile(
+        const std::vector<SweepPoint> &points);
+
+    /** Sweep and fit in one step. */
+    core::CobbDouglasFit profileAndFit(
+        const WorkloadSpec &workload) const;
+
+  private:
+    PlatformConfig base_;
+    std::size_t traceOps_;
+};
+
+} // namespace ref::sim
+
+#endif // REF_SIM_PROFILER_HH

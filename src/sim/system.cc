@@ -1,0 +1,124 @@
+#include "system.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace ref::sim {
+
+CmpSystem::CmpSystem(const PlatformConfig &config)
+    : config_(config), l1_(config.l1), l2_(config.l2),
+      dram_(config.dram, config.core, config.l2.blockBytes)
+{
+    REF_REQUIRE(config_.core.issueWidth > 0, "issue width must be "
+                                             "positive");
+}
+
+RunResult
+CmpSystem::run(const Trace &trace, const TimingParams &timing,
+               double warmup_fraction)
+{
+    REF_REQUIRE(timing.mlp >= 1.0, "mlp must be at least 1");
+    REF_REQUIRE(timing.nonMemCpi >= 0, "nonMemCpi must be "
+                                       "non-negative");
+    REF_REQUIRE(warmup_fraction >= 0 && warmup_fraction < 1,
+                "warmup fraction must be in [0, 1)");
+
+    const double issue_cpi =
+        1.0 / static_cast<double>(config_.core.issueWidth);
+    // L2 hits overlap with independent work about two deep.
+    const double l2_hit_overlap = std::min(timing.mlp, 2.0);
+
+    const std::size_t warmup_ops = static_cast<std::size_t>(
+        warmup_fraction * static_cast<double>(trace.ops.size()));
+
+    double cycles = 0;
+    double warmup_cycles = 0;
+    std::uint64_t warmup_instructions = 0;
+    std::uint64_t prefetches = 0;
+    std::size_t op_index = 0;
+    for (const MemOp &op : trace.ops) {
+        if (op_index++ == warmup_ops && warmup_ops > 0) {
+            // Cache and DRAM state carry over; only the counters
+            // restart.
+            warmup_cycles = cycles;
+            l1_.clearStats();
+            l2_.clearStats();
+            dram_.clearStats();
+        }
+        if (op_index <= warmup_ops) {
+            warmup_instructions += 1 + op.gapInstructions;
+        }
+        // Non-memory instructions since the last access, then the
+        // access itself at issue width.
+        cycles += op.gapInstructions * (issue_cpi + timing.nonMemCpi);
+        cycles += issue_cpi;
+
+        const auto l1_result = l1_.access(op.address, op.isWrite);
+        if (l1_result.hit)
+            continue;  // Pipelined L1 hit: no extra exposure.
+
+        // Dirty L1 victims write back into L2 (no stall, but they
+        // disturb L2 recency and may trigger DRAM writebacks below).
+        if (l1_result.evictedDirty)
+            l2_.access(l1_result.victimAddress, true);
+
+        const auto l2_result = l2_.access(op.address, op.isWrite);
+        if (l2_result.hit) {
+            cycles +=
+                config_.l2.latencyCycles / l2_hit_overlap;
+            continue;
+        }
+
+        // L2 miss: fetch the block from DRAM. The exposed stall is
+        // the queued latency divided by the workload's MLP.
+        const auto issue = static_cast<std::uint64_t>(cycles);
+        const std::uint64_t completion = dram_.access(issue, op.address);
+        const double latency =
+            static_cast<double>(completion - issue);
+        cycles += config_.l2.latencyCycles +
+                  latency / timing.mlp;
+
+        // Dirty L2 victims consume bus bandwidth but are buffered,
+        // so they cost no core stall.
+        if (l2_result.evictedDirty)
+            dram_.access(issue, l2_result.victimAddress);
+
+        // Next-line prefetch: fetch the following block into L2
+        // without stalling. It consumes bus bandwidth and may evict;
+        // a dirty prefetch victim writes back like any other.
+        if (config_.core.nextLinePrefetch) {
+            const std::uint64_t next_block_address =
+                (op.address / config_.l2.blockBytes + 1) *
+                config_.l2.blockBytes;
+            const auto prefetch_result =
+                l2_.access(next_block_address, false);
+            if (!prefetch_result.hit) {
+                ++prefetches;
+                dram_.access(issue, next_block_address);
+                if (prefetch_result.evictedDirty) {
+                    dram_.access(issue,
+                                 prefetch_result.victimAddress);
+                }
+            }
+        }
+    }
+
+    RunResult result;
+    result.instructions = trace.instructions - warmup_instructions;
+    result.cycles = cycles - warmup_cycles;
+    result.ipc =
+        result.cycles > 0
+            ? static_cast<double>(result.instructions) / result.cycles
+            : 0.0;
+    result.l1 = l1_.stats();
+    result.l2 = l2_.stats();
+    result.dram = dram_.stats();
+    result.avgDramLatencyCycles = dram_.stats().averageLatency();
+    result.deliveredBandwidthGBps = dram_.deliveredBandwidthGBps(
+        static_cast<std::uint64_t>(result.cycles));
+    result.prefetchesIssued = prefetches;
+    return result;
+}
+
+} // namespace ref::sim

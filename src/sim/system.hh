@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Single-core CMP system: OOO core timing + L1 + L2 + DRAM.
+ *
+ * Stands in for MARSSx86 (see DESIGN.md). The core is an interval
+ * model of a 4-wide out-of-order machine: instructions retire at
+ * issue width, L2 hits are partially hidden, and DRAM misses are
+ * overlapped up to the workload's memory-level parallelism, with
+ * miss latencies produced by the event-driven DRAM model so that
+ * bandwidth contention shows up as queueing.
+ */
+
+#ifndef REF_SIM_SYSTEM_HH
+#define REF_SIM_SYSTEM_HH
+
+#include "sim/cache.hh"
+#include "sim/config.hh"
+#include "sim/dram.hh"
+#include "sim/trace.hh"
+
+namespace ref::sim {
+
+/** Per-workload core-timing behaviour. */
+struct TimingParams
+{
+    /**
+     * Average number of overlapped outstanding DRAM misses; the
+     * exposed stall per miss is latency / mlp. Streaming,
+     * prefetch-friendly codes have high MLP; pointer-chasing codes
+     * sit near 1.
+     */
+    double mlp = 2.0;
+    /** Extra CPI on non-memory instructions (dependency stalls). */
+    double nonMemCpi = 0.0;
+};
+
+/** Result of one simulation run. */
+struct RunResult
+{
+    std::uint64_t instructions = 0;
+    double cycles = 0;
+    double ipc = 0;
+    CacheStats l1;
+    CacheStats l2;
+    DramStats dram;
+    double avgDramLatencyCycles = 0;
+    double deliveredBandwidthGBps = 0;
+    std::uint64_t prefetchesIssued = 0;
+};
+
+/** A single-core system with private L1/L2 and one DRAM channel. */
+class CmpSystem
+{
+  public:
+    explicit CmpSystem(const PlatformConfig &config);
+
+    /**
+     * Run a trace to completion and report timing.
+     *
+     * @param warmup_fraction Leading share of the trace used only to
+     *        warm caches and the DRAM queue state; statistics and
+     *        IPC cover the remainder, so cold misses do not
+     *        masquerade as capacity misses.
+     */
+    RunResult run(const Trace &trace, const TimingParams &timing,
+                  double warmup_fraction = 0.0);
+
+    const PlatformConfig &config() const { return config_; }
+
+  private:
+    PlatformConfig config_;
+    Cache l1_;
+    Cache l2_;
+    DramModel dram_;
+};
+
+} // namespace ref::sim
+
+#endif // REF_SIM_SYSTEM_HH

@@ -1,0 +1,110 @@
+#include "trace.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.hh"
+
+namespace ref::sim {
+
+namespace {
+
+/** Address-space bases keeping the two components disjoint. */
+constexpr std::uint64_t kReuseBase = 0x1000'0000ULL;
+constexpr std::uint64_t kStreamBase = 0x8000'0000ULL;
+
+/**
+ * Each seed gets its own 4 GiB address window, so co-scheduled
+ * workloads (distinct seeds) never share cache blocks — they model
+ * separate processes. The offset is a multiple of every bank/set
+ * stride in use, leaving single-workload behaviour untouched.
+ */
+constexpr std::uint64_t kSeedWindow = 0x1'0000'0000ULL;
+
+} // namespace
+
+TraceGenerator::TraceGenerator(const TraceParams &params,
+                               std::size_t block_bytes)
+    : params_(params), blockBytes_(block_bytes),
+      workingSetBlocks_(
+          std::max<std::size_t>(1, params.workingSetBytes / block_bytes)),
+      rng_(params.seed),
+      zipf_(workingSetBlocks_, params.zipfExponent),
+      streamPointer_(kStreamBase + params.seed * kSeedWindow)
+{
+    REF_REQUIRE(block_bytes > 0, "block size must be positive");
+    REF_REQUIRE(params_.memIntensity > 0 && params_.memIntensity <= 1,
+                "memIntensity must be in (0, 1], got "
+                    << params_.memIntensity);
+    REF_REQUIRE(params_.streamFraction >= 0 &&
+                    params_.streamFraction <= 1,
+                "streamFraction must be in [0, 1]");
+    REF_REQUIRE(params_.writeFraction >= 0 &&
+                    params_.writeFraction <= 1,
+                "writeFraction must be in [0, 1]");
+    REF_REQUIRE(params_.burstiness >= 0 && params_.burstiness < 1,
+                "burstiness must be in [0, 1)");
+}
+
+std::uint64_t
+TraceGenerator::reuseAddress()
+{
+    // Zipf rank over the working set, scrambled so popular blocks
+    // spread across the address space (and hence across cache sets)
+    // instead of clustering at its start. Multiplying by a prime and
+    // reducing modulo the working-set size is a bijection whenever
+    // the size is not a multiple of the prime — always true for
+    // realistic working sets, so no two ranks alias.
+    const std::size_t rank = zipf_(rng_);
+    const std::size_t scrambled =
+        (rank * 2654435761ULL) % workingSetBlocks_;
+    return kReuseBase + params_.seed * kSeedWindow +
+           scrambled * blockBytes_;
+}
+
+std::uint64_t
+TraceGenerator::streamAddress()
+{
+    // One access per block: the post-L1 view of a sequential sweep.
+    const std::uint64_t address = streamPointer_;
+    streamPointer_ += blockBytes_;
+    return address;
+}
+
+std::uint32_t
+TraceGenerator::nextGap()
+{
+    // Mean gap chosen so ops / (ops + gaps) == memIntensity.
+    const double mean_gap = 1.0 / params_.memIntensity - 1.0;
+    if (mean_gap <= 0)
+        return 0;
+    if (params_.burstiness > 0 && rng_.bernoulli(params_.burstiness))
+        return 0;
+    // Remaining gaps are exponential with a compensated mean so the
+    // overall average is preserved despite the zero-gap bursts.
+    const double compensated = mean_gap / (1.0 - params_.burstiness);
+    const double gap = rng_.exponential(1.0 / compensated);
+    return static_cast<std::uint32_t>(std::min(gap, 1e6));
+}
+
+Trace
+TraceGenerator::generate(std::size_t operations)
+{
+    Trace trace;
+    trace.ops.reserve(operations);
+    for (std::size_t n = 0; n < operations; ++n) {
+        MemOp op;
+        const bool streaming =
+            params_.streamFraction > 0 &&
+            rng_.bernoulli(params_.streamFraction);
+        op.address = streaming ? streamAddress() : reuseAddress();
+        op.isWrite = rng_.bernoulli(params_.writeFraction);
+        op.gapInstructions = nextGap();
+        trace.instructions += 1 + op.gapInstructions;
+        trace.ops.push_back(op);
+    }
+    return trace;
+}
+
+} // namespace ref::sim

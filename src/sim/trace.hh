@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Synthetic memory reference traces.
+ *
+ * Stands in for the paper's PARSEC/SPLASH-2x/Phoenix binaries (see
+ * DESIGN.md substitution table). A trace interleaves two reference
+ * components whose mix is the main behavioural knob:
+ *
+ *  - a *re-use* component: accesses to a fixed working set with
+ *    Zipf-distributed block popularity — tunable temporal locality
+ *    that rewards cache capacity;
+ *  - a *streaming* component: an ever-advancing sequential pointer
+ *    with no re-use — it defeats any cache and demands bandwidth.
+ *
+ * Non-memory work appears as per-access instruction gaps whose mean
+ * encodes memory intensity and whose burstiness models clustered
+ * misses.
+ */
+
+#ifndef REF_SIM_TRACE_HH
+#define REF_SIM_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.hh"
+
+namespace ref::sim {
+
+/** One memory operation in a trace. */
+struct MemOp
+{
+    std::uint64_t address = 0;
+    bool isWrite = false;
+    /** Non-memory instructions executed since the previous MemOp. */
+    std::uint32_t gapInstructions = 0;
+};
+
+/** A reference stream plus its instruction count. */
+struct Trace
+{
+    std::vector<MemOp> ops;
+    std::uint64_t instructions = 0;  //!< Total including memory ops.
+};
+
+/** Behavioural parameters of a synthetic workload's trace. */
+struct TraceParams
+{
+    std::size_t workingSetBytes = 1024 * 1024;
+    double zipfExponent = 0.8;    //!< Re-use skew; 0 = uniform.
+    double memIntensity = 0.1;    //!< Memory ops per instruction.
+    double streamFraction = 0.0;  //!< Share of streaming accesses.
+    double writeFraction = 0.3;
+    /**
+     * Probability that the next access follows immediately (gap 0),
+     * creating bursts; remaining gaps are geometric so that the
+     * overall mean matches memIntensity.
+     */
+    double burstiness = 0.0;
+    std::uint64_t seed = 1;
+};
+
+/** Deterministic generator for synthetic reference streams. */
+class TraceGenerator
+{
+  public:
+    explicit TraceGenerator(const TraceParams &params,
+                            std::size_t block_bytes = 64);
+
+    /** Generate a trace with the given number of memory operations. */
+    Trace generate(std::size_t operations);
+
+  private:
+    std::uint64_t reuseAddress();
+    std::uint64_t streamAddress();
+    std::uint32_t nextGap();
+
+    TraceParams params_;
+    std::size_t blockBytes_;
+    std::size_t workingSetBlocks_;
+    Rng rng_;
+    ZipfDistribution zipf_;
+    std::uint64_t streamPointer_;
+};
+
+} // namespace ref::sim
+
+#endif // REF_SIM_TRACE_HH

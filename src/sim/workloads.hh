@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The 28-benchmark catalog: synthetic stand-ins for PARSEC,
+ * SPLASH-2x, and Phoenix MapReduce workloads (paper Section 5.1),
+ * plus the Table 2 workload mixes WD1-WD10.
+ *
+ * Each entry's trace/timing parameters are tuned so the fitted
+ * Cobb-Douglas elasticities land in the paper's class: C (cache,
+ * alpha_cache > 0.5) or M (memory bandwidth, alpha_mem > 0.5). The
+ * catalog follows Table 2's arithmetic where the paper's prose
+ * disagrees with it (streamcluster: see DESIGN.md).
+ */
+
+#ifndef REF_SIM_WORKLOADS_HH
+#define REF_SIM_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/system.hh"
+#include "sim/trace.hh"
+
+namespace ref::sim {
+
+/** Benchmark suite of origin. */
+enum class Suite { Parsec, Splash2x, Phoenix };
+
+/** One synthetic benchmark. */
+struct WorkloadSpec
+{
+    std::string name;
+    Suite suite;
+    TraceParams trace;
+    TimingParams timing;
+    /** Paper classification: 'C' (cache) or 'M' (bandwidth). */
+    char expectedClass = 'C';
+};
+
+/** All 28 benchmarks in the paper's Figure 8a order. */
+const std::vector<WorkloadSpec> &allWorkloads();
+
+/** Look up a benchmark by name; throws FatalError if unknown. */
+const WorkloadSpec &workloadByName(const std::string &name);
+
+/** A Table 2 multiprogrammed mix. */
+struct WorkloadMix
+{
+    std::string name;          //!< e.g. "WD1".
+    std::vector<std::string> members;  //!< Benchmark names (repeats ok).
+    std::string composition;   //!< e.g. "4C" or "3C-1M".
+};
+
+/** WD1-WD5: the 4-core mixes of Figure 13. */
+const std::vector<WorkloadMix> &table2FourCoreMixes();
+
+/** WD6-WD10: the 8-core mixes of Figure 14. */
+const std::vector<WorkloadMix> &table2EightCoreMixes();
+
+/** All ten Table 2 mixes. */
+std::vector<WorkloadMix> table2AllMixes();
+
+} // namespace ref::sim
+
+#endif // REF_SIM_WORKLOADS_HH

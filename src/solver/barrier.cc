@@ -1,0 +1,95 @@
+#include "barrier.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace ref::solver {
+
+namespace {
+
+/** t*f0(y) - sum log(-g_k(y)), +inf outside the strict interior. */
+class BarrierObjective : public DifferentiableFunction
+{
+  public:
+    BarrierObjective(const ConstrainedProgram &program, double t)
+        : program_(program), t_(t)
+    {}
+
+    double
+    value(const Vector &point) const override
+    {
+        double total = t_ * program_.objective->value(point);
+        for (const auto &g : program_.inequalities) {
+            const double gv = g->value(point);
+            if (gv >= 0)
+                return std::numeric_limits<double>::infinity();
+            total -= std::log(-gv);
+        }
+        return total;
+    }
+
+    Vector
+    gradient(const Vector &point) const override
+    {
+        Vector grad =
+            linalg::scale(program_.objective->gradient(point), t_);
+        for (const auto &g : program_.inequalities) {
+            const double gv = g->value(point);
+            REF_ASSERT(gv < 0, "gradient requested outside interior");
+            grad = linalg::axpy(grad, -1.0 / gv, g->gradient(point));
+        }
+        return grad;
+    }
+
+  private:
+    const ConstrainedProgram &program_;
+    double t_;
+};
+
+} // namespace
+
+ConstrainedResult
+solveBarrier(const ConstrainedProgram &program, const Vector &start,
+             const BarrierOptions &options)
+{
+    REF_REQUIRE(program.objective != nullptr, "program needs an objective");
+    REF_REQUIRE(program.equalities.empty(),
+                "barrier method does not support equality constraints; "
+                "use solvePenalty");
+    for (std::size_t k = 0; k < program.inequalities.size(); ++k) {
+        const double gv = program.inequalities[k]->value(start);
+        REF_REQUIRE(gv < 0, "start point violates constraint " << k
+                                << " (g = " << gv << ")");
+    }
+
+    ConstrainedResult result;
+    result.point = start;
+
+    const double m =
+        static_cast<double>(std::max<std::size_t>(
+            program.inequalities.size(), 1));
+    double t = options.initialT;
+    while (true) {
+        BarrierObjective objective(program, t);
+        const auto sub =
+            newtonMinimize(objective, result.point, options.inner);
+        result.point = sub.point;
+        ++result.outerIterations;
+
+        result.objectiveValue = program.objective->value(result.point);
+        result.maxViolation =
+            maxConstraintViolation(program, result.point);
+        if (m / t <= options.dualityGapTolerance) {
+            result.converged = true;
+            return result;
+        }
+        t *= options.tGrowth;
+        // Guard against a run-away outer loop if tolerances are odd.
+        if (result.outerIterations > 200)
+            return result;
+    }
+}
+
+} // namespace ref::solver

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Log-barrier interior-point solver for inequality-constrained
+ * smooth convex programs.
+ *
+ * Used when a strictly feasible start exists (e.g., welfare
+ * maximization subject only to capacity); the quadratic penalty
+ * method (penalty.hh) covers programs whose feasible interior may be
+ * empty.
+ */
+
+#ifndef REF_SOLVER_BARRIER_HH
+#define REF_SOLVER_BARRIER_HH
+
+#include "solver/descent.hh"
+#include "solver/program.hh"
+
+namespace ref::solver {
+
+/** Options for the barrier method. */
+struct BarrierOptions
+{
+    double initialT = 1.0;       //!< Initial barrier sharpness.
+    double tGrowth = 20.0;       //!< Multiplier per centering step.
+    double dualityGapTolerance = 1e-8;  //!< Stop when m/t below this.
+    MinimizeOptions inner;
+};
+
+/**
+ * Solve min f0 s.t. g_k <= 0 with the classic barrier sequence
+ * min t*f0 - sum log(-g_k), t increasing geometrically.
+ *
+ * @param start Must be strictly feasible: g_k(start) < 0 for all k.
+ *              Equality constraints are not supported here; use
+ *              solvePenalty for those.
+ *
+ * Throws FatalError if @p start is infeasible or the program has
+ * equality constraints.
+ */
+ConstrainedResult solveBarrier(const ConstrainedProgram &program,
+                               const Vector &start,
+                               const BarrierOptions &options = {});
+
+} // namespace ref::solver
+
+#endif // REF_SOLVER_BARRIER_HH

@@ -1,0 +1,158 @@
+#include "descent.hh"
+
+#include <cmath>
+
+#include "linalg/decompose.hh"
+#include "util/logging.hh"
+
+namespace ref::solver {
+
+namespace {
+
+/** Forward-difference Hessian from the analytic gradient. */
+linalg::Matrix
+finiteDifferenceHessian(const DifferentiableFunction &objective,
+                        const Vector &point, const Vector &grad)
+{
+    const std::size_t n = point.size();
+    linalg::Matrix hessian(n, n);
+    Vector probe = point;
+    for (std::size_t j = 0; j < n; ++j) {
+        double h = 1e-6 * std::max(1.0, std::abs(point[j]));
+        const double saved = probe[j];
+        // Barrier-style objectives are only differentiable on their
+        // open domain; flip to a backward difference if the forward
+        // probe leaves it.
+        probe[j] = saved + h;
+        if (!std::isfinite(objective.value(probe))) {
+            h = -h;
+            probe[j] = saved + h;
+        }
+        if (!std::isfinite(objective.value(probe))) {
+            // Boxed in along this coordinate: leave the column to
+            // the ridge regularization.
+            probe[j] = saved;
+            hessian(j, j) = 1.0;
+            continue;
+        }
+        const Vector grad_j = objective.gradient(probe);
+        probe[j] = saved;
+        for (std::size_t i = 0; i < n; ++i)
+            hessian(i, j) = (grad_j[i] - grad[i]) / h;
+    }
+    // Symmetrize; finite differences break symmetry slightly.
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            const double avg = 0.5 * (hessian(i, j) + hessian(j, i));
+            hessian(i, j) = avg;
+            hessian(j, i) = avg;
+        }
+    }
+    return hessian;
+}
+
+} // namespace
+
+MinimizeResult
+gradientDescent(const DifferentiableFunction &objective,
+                const Vector &start, const MinimizeOptions &options)
+{
+    MinimizeResult result;
+    result.point = start;
+    result.value = objective.value(start);
+    REF_REQUIRE(std::isfinite(result.value),
+                "gradient descent must start inside the domain");
+
+    for (int iter = 0; iter < options.maxIterations; ++iter) {
+        const Vector grad = objective.gradient(result.point);
+        if (linalg::normInf(grad) <= options.gradientTolerance) {
+            result.converged = true;
+            result.iterations = iter;
+            return result;
+        }
+
+        const Vector direction = linalg::scale(grad, -1.0);
+        const double slope = linalg::dot(grad, direction);
+        const auto search = backtrackingLineSearch(
+            objective, result.point, direction, result.value, slope,
+            options.lineSearch);
+        if (!search.accepted) {
+            // Cannot make progress along the gradient; treat the
+            // current point as the (numerical) minimizer.
+            result.iterations = iter;
+            result.converged =
+                linalg::normInf(grad) <= 1e3 * options.gradientTolerance;
+            return result;
+        }
+        result.point =
+            linalg::axpy(result.point, search.step, direction);
+        result.value = search.value;
+        result.iterations = iter + 1;
+    }
+    return result;
+}
+
+MinimizeResult
+newtonMinimize(const DifferentiableFunction &objective,
+               const Vector &start, const MinimizeOptions &options)
+{
+    MinimizeResult result;
+    result.point = start;
+    result.value = objective.value(start);
+    REF_REQUIRE(std::isfinite(result.value),
+                "Newton must start inside the domain");
+
+    for (int iter = 0; iter < options.maxIterations; ++iter) {
+        const Vector grad = objective.gradient(result.point);
+        if (linalg::normInf(grad) <= options.gradientTolerance) {
+            result.converged = true;
+            result.iterations = iter;
+            return result;
+        }
+
+        linalg::Matrix hessian =
+            finiteDifferenceHessian(objective, result.point, grad);
+
+        // Ridge-regularize until the factorization succeeds so the
+        // Newton step is guaranteed to descend.
+        Vector direction;
+        double ridge = 0;
+        for (int attempt = 0; attempt < 12; ++attempt) {
+            try {
+                linalg::Matrix damped = hessian;
+                if (ridge > 0) {
+                    for (std::size_t i = 0; i < damped.rows(); ++i)
+                        damped(i, i) += ridge;
+                }
+                direction = linalg::Cholesky(damped).solve(
+                    linalg::scale(grad, -1.0));
+                break;
+            } catch (const FatalError &) {
+                ridge = ridge == 0 ? 1e-8 * (1 + hessian.maxAbs())
+                                   : ridge * 100;
+            }
+        }
+        if (direction.empty() ||
+            linalg::dot(grad, direction) >= 0) {
+            direction = linalg::scale(grad, -1.0);
+        }
+
+        const double slope = linalg::dot(grad, direction);
+        const auto search = backtrackingLineSearch(
+            objective, result.point, direction, result.value, slope,
+            options.lineSearch);
+        if (!search.accepted) {
+            result.iterations = iter;
+            result.converged =
+                linalg::normInf(grad) <= 1e3 * options.gradientTolerance;
+            return result;
+        }
+        result.point =
+            linalg::axpy(result.point, search.step, direction);
+        result.value = search.value;
+        result.iterations = iter + 1;
+    }
+    return result;
+}
+
+} // namespace ref::solver

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Unconstrained smooth minimization: gradient descent and a damped
+ * Newton method with finite-difference Hessians.
+ *
+ * Problem sizes in REF are tiny (N agents x R resources variables),
+ * so a dense finite-difference Hessian plus Cholesky is cheap and
+ * gives quadratic local convergence; gradient descent remains as a
+ * simpler fallback and as the inner engine for ill-conditioned
+ * penalty subproblems.
+ */
+
+#ifndef REF_SOLVER_DESCENT_HH
+#define REF_SOLVER_DESCENT_HH
+
+#include "solver/function.hh"
+#include "solver/line_search.hh"
+
+namespace ref::solver {
+
+/** Common result type for the unconstrained minimizers. */
+struct MinimizeResult
+{
+    Vector point;          //!< Best point found.
+    double value = 0;      //!< Objective at that point.
+    int iterations = 0;
+    bool converged = false;
+};
+
+/** Options for the unconstrained minimizers. */
+struct MinimizeOptions
+{
+    int maxIterations = 500;
+    double gradientTolerance = 1e-9;  //!< Stop when ||g||_inf below.
+    LineSearchOptions lineSearch;
+};
+
+/**
+ * Minimize with steepest descent plus backtracking.
+ *
+ * The objective may return +inf outside its implicit domain; the
+ * line search backtracks into the domain, so the start point must be
+ * interior.
+ */
+MinimizeResult gradientDescent(const DifferentiableFunction &objective,
+                               const Vector &start,
+                               const MinimizeOptions &options = {});
+
+/**
+ * Minimize with a damped Newton method.
+ *
+ * The Hessian is built by forward differences of the analytic
+ * gradient and regularized (diagonal ridge) until it is positive
+ * definite, so the search direction is always a descent direction.
+ */
+MinimizeResult newtonMinimize(const DifferentiableFunction &objective,
+                              const Vector &start,
+                              const MinimizeOptions &options = {});
+
+} // namespace ref::solver
+
+#endif // REF_SOLVER_DESCENT_HH

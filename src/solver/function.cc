@@ -1,0 +1,57 @@
+#include "function.hh"
+
+#include <cmath>
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace ref::solver {
+
+LambdaFunction::LambdaFunction(ValueFn value, GradientFn gradient)
+    : valueFn_(std::move(value)), gradientFn_(std::move(gradient))
+{
+    REF_REQUIRE(static_cast<bool>(valueFn_), "null value closure");
+    REF_REQUIRE(static_cast<bool>(gradientFn_), "null gradient closure");
+}
+
+LambdaFunction::LambdaFunction(ValueFn value)
+    : valueFn_(std::move(value))
+{
+    REF_REQUIRE(static_cast<bool>(valueFn_), "null value closure");
+    gradientFn_ = [this](const Vector &point) {
+        return numericalGradient(valueFn_, point);
+    };
+}
+
+double
+LambdaFunction::value(const Vector &point) const
+{
+    return valueFn_(point);
+}
+
+Vector
+LambdaFunction::gradient(const Vector &point) const
+{
+    return gradientFn_(point);
+}
+
+Vector
+numericalGradient(const std::function<double(const Vector &)> &fn,
+                  const Vector &point, double step)
+{
+    Vector grad(point.size());
+    Vector probe = point;
+    for (std::size_t i = 0; i < point.size(); ++i) {
+        const double h = step * std::max(1.0, std::abs(point[i]));
+        const double saved = probe[i];
+        probe[i] = saved + h;
+        const double above = fn(probe);
+        probe[i] = saved - h;
+        const double below = fn(probe);
+        probe[i] = saved;
+        grad[i] = (above - below) / (2.0 * h);
+    }
+    return grad;
+}
+
+} // namespace ref::solver

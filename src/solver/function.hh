@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Function interfaces for the optimization substrate.
+ *
+ * The paper solves its alternative mechanisms (Nash welfare with and
+ * without fairness constraints, equal slowdown) with geometric
+ * programming via CVX. We replace CVX with our own solvers; every
+ * program is expressed through this interface after the log change
+ * of variables that makes it convex.
+ */
+
+#ifndef REF_SOLVER_FUNCTION_HH
+#define REF_SOLVER_FUNCTION_HH
+
+#include <functional>
+
+#include "linalg/matrix.hh"
+
+namespace ref::solver {
+
+using linalg::Vector;
+
+/** A scalar function of a vector with a first derivative. */
+class DifferentiableFunction
+{
+  public:
+    virtual ~DifferentiableFunction() = default;
+
+    /** Evaluate the function. */
+    virtual double value(const Vector &point) const = 0;
+
+    /** Evaluate the gradient. */
+    virtual Vector gradient(const Vector &point) const = 0;
+};
+
+/**
+ * Adapter wrapping closures as a DifferentiableFunction.
+ *
+ * When no gradient closure is supplied, a central finite difference
+ * of the value closure is used.
+ */
+class LambdaFunction : public DifferentiableFunction
+{
+  public:
+    using ValueFn = std::function<double(const Vector &)>;
+    using GradientFn = std::function<Vector(const Vector &)>;
+
+    /** Analytic value and gradient. */
+    LambdaFunction(ValueFn value, GradientFn gradient);
+
+    /** Value only; gradient by central finite differences. */
+    explicit LambdaFunction(ValueFn value);
+
+    double value(const Vector &point) const override;
+    Vector gradient(const Vector &point) const override;
+
+  private:
+    ValueFn valueFn_;
+    GradientFn gradientFn_;
+};
+
+/**
+ * Central-difference numerical gradient of an arbitrary callable.
+ * Step size scales with the coordinate magnitude.
+ */
+Vector numericalGradient(
+    const std::function<double(const Vector &)> &fn, const Vector &point,
+    double step = 1e-6);
+
+} // namespace ref::solver
+
+#endif // REF_SOLVER_FUNCTION_HH

@@ -1,0 +1,38 @@
+#include "line_search.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ref::solver {
+
+LineSearchResult
+backtrackingLineSearch(const DifferentiableFunction &objective,
+                       const Vector &point, const Vector &direction,
+                       double value_at_point,
+                       double directional_derivative,
+                       const LineSearchOptions &options)
+{
+    REF_REQUIRE(directional_derivative < 0,
+                "line search needs a descent direction (g.d = "
+                    << directional_derivative << ")");
+
+    LineSearchResult result;
+    double step = options.initialStep;
+    for (int attempt = 0; attempt < options.maxBacktracks; ++attempt) {
+        const Vector candidate = linalg::axpy(point, step, direction);
+        const double value = objective.value(candidate);
+        const double target = value_at_point +
+            options.armijoSlope * step * directional_derivative;
+        if (std::isfinite(value) && value <= target) {
+            result.step = step;
+            result.value = value;
+            result.accepted = true;
+            return result;
+        }
+        step *= options.shrink;
+    }
+    return result;
+}
+
+} // namespace ref::solver

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Backtracking (Armijo) line search shared by the descent methods.
+ */
+
+#ifndef REF_SOLVER_LINE_SEARCH_HH
+#define REF_SOLVER_LINE_SEARCH_HH
+
+#include <functional>
+
+#include "solver/function.hh"
+
+namespace ref::solver {
+
+/** Tuning knobs for backtracking line search. */
+struct LineSearchOptions
+{
+    double initialStep = 1.0;
+    double shrink = 0.5;         //!< Step multiplier per backtrack.
+    double armijoSlope = 1e-4;   //!< Sufficient-decrease parameter.
+    int maxBacktracks = 60;
+};
+
+/** Outcome of a line search. */
+struct LineSearchResult
+{
+    double step = 0;       //!< Accepted step length (0 on failure).
+    double value = 0;      //!< Objective value at the accepted point.
+    bool accepted = false;
+};
+
+/**
+ * Find a step t along @p direction from @p point satisfying the
+ * Armijo condition f(x + t d) <= f(x) + c t g.d.
+ *
+ * The objective may return +inf outside its domain (e.g., a barrier
+ * function); such steps are simply backtracked past.
+ *
+ * @param directional_derivative Must be negative (descent direction).
+ */
+LineSearchResult backtrackingLineSearch(
+    const DifferentiableFunction &objective, const Vector &point,
+    const Vector &direction, double value_at_point,
+    double directional_derivative,
+    const LineSearchOptions &options = {});
+
+} // namespace ref::solver
+
+#endif // REF_SOLVER_LINE_SEARCH_HH

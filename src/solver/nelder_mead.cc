@@ -1,0 +1,123 @@
+#include "nelder_mead.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.hh"
+
+namespace ref::solver {
+
+NelderMeadResult
+nelderMead(const std::function<double(const linalg::Vector &)> &fn,
+           const linalg::Vector &start, const NelderMeadOptions &options)
+{
+    using linalg::Vector;
+    const std::size_t n = start.size();
+    REF_REQUIRE(n > 0, "Nelder-Mead needs at least one dimension");
+
+    // Standard coefficients: reflection, expansion, contraction,
+    // shrink.
+    constexpr double alpha = 1.0, gamma = 2.0, rho = 0.5, sigma = 0.5;
+
+    std::vector<Vector> simplex(n + 1, start);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double step =
+            options.initialScale * std::max(1.0, std::abs(start[i]));
+        simplex[i + 1][i] += step;
+    }
+
+    std::vector<double> values(n + 1);
+    for (std::size_t i = 0; i <= n; ++i)
+        values[i] = fn(simplex[i]);
+
+    std::vector<std::size_t> order(n + 1);
+    NelderMeadResult result;
+
+    for (int iter = 0; iter < options.maxIterations; ++iter) {
+        std::iota(order.begin(), order.end(), 0);
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return values[a] < values[b];
+                  });
+        const std::size_t best = order.front();
+        const std::size_t worst = order.back();
+        const std::size_t second_worst = order[n - 1];
+
+        result.iterations = iter;
+        double diameter = 0;
+        for (std::size_t i = 0; i <= n; ++i) {
+            diameter = std::max(
+                diameter, linalg::normInf(linalg::subtract(
+                              simplex[i], simplex[best])));
+        }
+        const double scale =
+            std::max(1.0, linalg::normInf(simplex[best]));
+        if (std::isfinite(values[best]) &&
+            std::abs(values[worst] - values[best]) <=
+                options.tolerance *
+                    (std::abs(values[best]) + options.tolerance) &&
+            diameter <= options.sizeTolerance * scale) {
+            result.converged = true;
+            break;
+        }
+
+        // Centroid of all but the worst vertex.
+        Vector centroid(n, 0.0);
+        for (std::size_t i = 0; i <= n; ++i) {
+            if (i == worst)
+                continue;
+            centroid = linalg::add(centroid, simplex[i]);
+        }
+        centroid = linalg::scale(centroid, 1.0 / static_cast<double>(n));
+
+        auto blend = [&](double t) {
+            return linalg::axpy(centroid, t,
+                                linalg::subtract(centroid,
+                                                 simplex[worst]));
+        };
+
+        const Vector reflected = blend(alpha);
+        const double f_reflected = fn(reflected);
+
+        if (f_reflected < values[best]) {
+            const Vector expanded = blend(gamma);
+            const double f_expanded = fn(expanded);
+            if (f_expanded < f_reflected) {
+                simplex[worst] = expanded;
+                values[worst] = f_expanded;
+            } else {
+                simplex[worst] = reflected;
+                values[worst] = f_reflected;
+            }
+        } else if (f_reflected < values[second_worst]) {
+            simplex[worst] = reflected;
+            values[worst] = f_reflected;
+        } else {
+            const Vector contracted = blend(-rho);
+            const double f_contracted = fn(contracted);
+            if (f_contracted < values[worst]) {
+                simplex[worst] = contracted;
+                values[worst] = f_contracted;
+            } else {
+                // Shrink toward the best vertex.
+                for (std::size_t i = 0; i <= n; ++i) {
+                    if (i == best)
+                        continue;
+                    simplex[i] = linalg::axpy(
+                        simplex[best], sigma,
+                        linalg::subtract(simplex[i], simplex[best]));
+                    values[i] = fn(simplex[i]);
+                }
+            }
+        }
+    }
+
+    const std::size_t best = static_cast<std::size_t>(
+        std::min_element(values.begin(), values.end()) - values.begin());
+    result.point = simplex[best];
+    result.value = values[best];
+    return result;
+}
+
+} // namespace ref::solver

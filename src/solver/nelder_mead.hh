@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Nelder-Mead derivative-free simplex minimization.
+ *
+ * Fallback engine for objectives that are awkward to differentiate,
+ * e.g., a strategic agent's utility-from-lying over the elasticity
+ * simplex with more than two resources (Eq. 15).
+ */
+
+#ifndef REF_SOLVER_NELDER_MEAD_HH
+#define REF_SOLVER_NELDER_MEAD_HH
+
+#include <functional>
+
+#include "linalg/matrix.hh"
+
+namespace ref::solver {
+
+/** Options for the Nelder-Mead simplex search. */
+struct NelderMeadOptions
+{
+    int maxIterations = 2000;
+    double tolerance = 1e-12;    //!< Spread of simplex values to stop.
+    /**
+     * Maximum simplex diameter (relative to the best vertex) to
+     * stop. Both criteria must hold: a symmetric objective can give
+     * equal vertex values across a wide simplex.
+     */
+    double sizeTolerance = 1e-7;
+    double initialScale = 0.1;   //!< Relative size of the start simplex.
+};
+
+/** Result of a Nelder-Mead run. */
+struct NelderMeadResult
+{
+    linalg::Vector point;
+    double value = 0;
+    int iterations = 0;
+    bool converged = false;
+};
+
+/**
+ * Minimize @p fn starting from @p start. The objective may return
+ * +inf to mark infeasible points (the simplex contracts away).
+ */
+NelderMeadResult nelderMead(
+    const std::function<double(const linalg::Vector &)> &fn,
+    const linalg::Vector &start, const NelderMeadOptions &options = {});
+
+} // namespace ref::solver
+
+#endif // REF_SOLVER_NELDER_MEAD_HH

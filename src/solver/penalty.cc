@@ -1,0 +1,106 @@
+#include "penalty.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ref::solver {
+
+double
+maxConstraintViolation(const ConstrainedProgram &program,
+                       const Vector &point)
+{
+    double violation = 0;
+    for (const auto &g : program.inequalities)
+        violation = std::max(violation, g->value(point));
+    for (const auto &h : program.equalities)
+        violation = std::max(violation, std::abs(h->value(point)));
+    return violation;
+}
+
+namespace {
+
+/** The penalized objective for one fixed weight mu. */
+class PenalizedObjective : public DifferentiableFunction
+{
+  public:
+    PenalizedObjective(const ConstrainedProgram &program, double weight)
+        : program_(program), weight_(weight)
+    {}
+
+    double
+    value(const Vector &point) const override
+    {
+        double total = program_.objective->value(point);
+        for (const auto &g : program_.inequalities) {
+            const double gv = g->value(point);
+            if (gv > 0)
+                total += weight_ * gv * gv;
+        }
+        for (const auto &h : program_.equalities) {
+            const double hv = h->value(point);
+            total += weight_ * hv * hv;
+        }
+        return total;
+    }
+
+    Vector
+    gradient(const Vector &point) const override
+    {
+        Vector grad = program_.objective->gradient(point);
+        for (const auto &g : program_.inequalities) {
+            const double gv = g->value(point);
+            if (gv > 0)
+                grad = linalg::axpy(grad, 2.0 * weight_ * gv,
+                                    g->gradient(point));
+        }
+        for (const auto &h : program_.equalities) {
+            const double hv = h->value(point);
+            grad = linalg::axpy(grad, 2.0 * weight_ * hv,
+                                h->gradient(point));
+        }
+        return grad;
+    }
+
+  private:
+    const ConstrainedProgram &program_;
+    double weight_;
+    };
+
+} // namespace
+
+ConstrainedResult
+solvePenalty(const ConstrainedProgram &program, const Vector &start,
+             const PenaltyOptions &options)
+{
+    REF_REQUIRE(program.objective != nullptr, "program needs an objective");
+
+    ConstrainedResult result;
+    result.point = start;
+
+    double weight = options.initialWeight;
+    while (true) {
+        PenalizedObjective penalized(program, weight);
+        // Loosen the inner gradient tolerance in step with the
+        // penalty scale; the subproblem conditioning grows with mu.
+        MinimizeOptions inner = options.inner;
+        inner.gradientTolerance =
+            std::max(inner.gradientTolerance, 1e-10 * weight);
+        const auto sub = newtonMinimize(penalized, result.point, inner);
+        result.point = sub.point;
+        ++result.outerIterations;
+
+        result.maxViolation = maxConstraintViolation(program, result.point);
+        result.objectiveValue = program.objective->value(result.point);
+        if (result.maxViolation <= options.violationTolerance) {
+            result.converged = true;
+            return result;
+        }
+        if (weight >= options.maxWeight)
+            return result;
+        weight *= options.weightGrowth;
+    }
+}
+
+} // namespace ref::solver

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Quadratic-penalty solver for smooth constrained programs.
+ *
+ * The fairness-constrained programs can have feasible sets with an
+ * empty interior (e.g., envy-freeness binds with equality for
+ * symmetric agents), which rules out interior-point methods. The
+ * exterior quadratic penalty converges to such boundary solutions
+ * and also handles equality constraints (the explicit Pareto
+ * condition of Eq. 11) directly.
+ */
+
+#ifndef REF_SOLVER_PENALTY_HH
+#define REF_SOLVER_PENALTY_HH
+
+#include "solver/descent.hh"
+#include "solver/program.hh"
+
+namespace ref::solver {
+
+/** Options for the penalty method. */
+struct PenaltyOptions
+{
+    double initialWeight = 10.0;     //!< First penalty weight mu.
+    double weightGrowth = 10.0;      //!< mu multiplier per outer step.
+    double maxWeight = 1e9;
+    double violationTolerance = 1e-7;
+    MinimizeOptions inner;           //!< Inner Newton options.
+};
+
+/**
+ * Solve a constrained program by minimizing
+ * f0 + mu * sum max(0, g_k)^2 + mu * sum h_l^2 for increasing mu,
+ * warm-starting each subproblem at the previous solution.
+ */
+ConstrainedResult solvePenalty(const ConstrainedProgram &program,
+                               const Vector &start,
+                               const PenaltyOptions &options = {});
+
+} // namespace ref::solver
+
+#endif // REF_SOLVER_PENALTY_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Smooth constrained program description shared by the penalty and
+ * barrier solvers.
+ */
+
+#ifndef REF_SOLVER_PROGRAM_HH
+#define REF_SOLVER_PROGRAM_HH
+
+#include <memory>
+#include <vector>
+
+#include "solver/function.hh"
+
+namespace ref::solver {
+
+/**
+ * minimize f0(y)
+ * subject to g_k(y) <= 0  (inequalities)
+ *            h_l(y) == 0  (equalities)
+ *
+ * All functions smooth; for the REF mechanisms they are convex after
+ * the log change of variables (linear fairness constraints plus
+ * log-sum-exp capacity constraints).
+ */
+struct ConstrainedProgram
+{
+    std::shared_ptr<const DifferentiableFunction> objective;
+    std::vector<std::shared_ptr<const DifferentiableFunction>>
+        inequalities;
+    std::vector<std::shared_ptr<const DifferentiableFunction>>
+        equalities;
+};
+
+/** Result of a constrained solve. */
+struct ConstrainedResult
+{
+    Vector point;
+    double objectiveValue = 0;
+    double maxViolation = 0;   //!< Largest constraint violation.
+    int outerIterations = 0;
+    bool converged = false;
+};
+
+/** Largest violation max(g_k(y), |h_l(y)|) over all constraints. */
+double maxConstraintViolation(const ConstrainedProgram &program,
+                              const Vector &point);
+
+} // namespace ref::solver
+
+#endif // REF_SOLVER_PROGRAM_HH

@@ -1,0 +1,133 @@
+#include "scalar.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ref::solver {
+
+ScalarResult
+brentMinimize(const std::function<double(double)> &fn, double lo,
+              double hi, double tolerance, int max_iterations)
+{
+    REF_REQUIRE(lo < hi, "empty bracket [" << lo << ", " << hi << "]");
+
+    constexpr double golden = 0.3819660112501051;
+    double a = lo, b = hi;
+    double x = a + golden * (b - a);
+    double w = x, v = x;
+    double fx = fn(x), fw = fx, fv = fx;
+    double d = 0, e = 0;
+
+    ScalarResult result;
+    for (int iter = 0; iter < max_iterations; ++iter) {
+        const double mid = 0.5 * (a + b);
+        const double tol1 = tolerance * std::abs(x) + 1e-15;
+        const double tol2 = 2 * tol1;
+        if (std::abs(x - mid) <= tol2 - 0.5 * (b - a)) {
+            result.converged = true;
+            result.iterations = iter;
+            break;
+        }
+
+        bool use_golden = true;
+        if (std::abs(e) > tol1) {
+            // Try a parabolic step through x, v, w.
+            const double r = (x - w) * (fx - fv);
+            double q = (x - v) * (fx - fw);
+            double p = (x - v) * q - (x - w) * r;
+            q = 2 * (q - r);
+            if (q > 0)
+                p = -p;
+            q = std::abs(q);
+            const double e_prev = e;
+            e = d;
+            if (std::abs(p) < std::abs(0.5 * q * e_prev) &&
+                p > q * (a - x) && p < q * (b - x)) {
+                d = p / q;
+                const double u = x + d;
+                if (u - a < tol2 || b - u < tol2)
+                    d = mid > x ? tol1 : -tol1;
+                use_golden = false;
+            }
+        }
+        if (use_golden) {
+            e = (x < mid ? b : a) - x;
+            d = golden * e;
+        }
+
+        const double u =
+            std::abs(d) >= tol1 ? x + d : x + (d > 0 ? tol1 : -tol1);
+        const double fu = fn(u);
+        if (fu <= fx) {
+            if (u < x)
+                b = x;
+            else
+                a = x;
+            v = w; fv = fw;
+            w = x; fw = fx;
+            x = u; fx = fu;
+        } else {
+            if (u < x)
+                a = u;
+            else
+                b = u;
+            if (fu <= fw || w == x) {
+                v = w; fv = fw;
+                w = u; fw = fu;
+            } else if (fu <= fv || v == x || v == w) {
+                v = u; fv = fu;
+            }
+        }
+        result.iterations = iter + 1;
+    }
+
+    result.x = x;
+    result.value = fx;
+    return result;
+}
+
+ScalarResult
+bisectRoot(const std::function<double(double)> &fn, double lo, double hi,
+           double tolerance, int max_iterations)
+{
+    REF_REQUIRE(lo <= hi, "empty bracket [" << lo << ", " << hi << "]");
+    double f_lo = fn(lo);
+    double f_hi = fn(hi);
+    REF_REQUIRE(f_lo * f_hi <= 0,
+                "bisection needs a sign change: f(" << lo << ") = " << f_lo
+                    << ", f(" << hi << ") = " << f_hi);
+
+    ScalarResult result;
+    if (f_lo == 0) {
+        result = {lo, 0, 0, true};
+        return result;
+    }
+    if (f_hi == 0) {
+        result = {hi, 0, 0, true};
+        return result;
+    }
+
+    for (int iter = 0; iter < max_iterations; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        const double f_mid = fn(mid);
+        result.iterations = iter + 1;
+        if (f_mid == 0 || hi - lo < tolerance) {
+            result.x = mid;
+            result.value = f_mid;
+            result.converged = true;
+            return result;
+        }
+        if (f_lo * f_mid < 0) {
+            hi = mid;
+        } else {
+            lo = mid;
+            f_lo = f_mid;
+        }
+    }
+    result.x = 0.5 * (lo + hi);
+    result.value = fn(result.x);
+    return result;
+}
+
+} // namespace ref::solver

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * One-dimensional solvers: Brent minimization and bisection root
+ * finding. Used for strategic best-response searches (Eq. 15 with
+ * two resources reduces to one free variable) and for boundary
+ * crossings of the Edgeworth-box regions.
+ */
+
+#ifndef REF_SOLVER_SCALAR_HH
+#define REF_SOLVER_SCALAR_HH
+
+#include <functional>
+
+namespace ref::solver {
+
+/** Result of a scalar minimization or root find. */
+struct ScalarResult
+{
+    double x = 0;
+    double value = 0;
+    int iterations = 0;
+    bool converged = false;
+};
+
+/**
+ * Minimize a unimodal function on [lo, hi] with Brent's method
+ * (golden-section plus parabolic interpolation).
+ */
+ScalarResult brentMinimize(const std::function<double(double)> &fn,
+                           double lo, double hi, double tolerance = 1e-10,
+                           int max_iterations = 200);
+
+/**
+ * Find a root of a continuous function on [lo, hi] by bisection.
+ * @pre fn(lo) and fn(hi) must have opposite signs (or one be zero).
+ */
+ScalarResult bisectRoot(const std::function<double(double)> &fn,
+                        double lo, double hi, double tolerance = 1e-12,
+                        int max_iterations = 200);
+
+} // namespace ref::solver
+
+#endif // REF_SOLVER_SCALAR_HH

@@ -1,0 +1,101 @@
+#include "descriptive.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ref::stats {
+
+double
+mean(const std::vector<double> &sample)
+{
+    REF_REQUIRE(!sample.empty(), "mean of empty sample");
+    double total = 0;
+    for (double value : sample)
+        total += value;
+    return total / static_cast<double>(sample.size());
+}
+
+double
+variance(const std::vector<double> &sample)
+{
+    const double mu = mean(sample);
+    double total = 0;
+    for (double value : sample)
+        total += (value - mu) * (value - mu);
+    return total / static_cast<double>(sample.size());
+}
+
+double
+sampleVariance(const std::vector<double> &sample)
+{
+    REF_REQUIRE(sample.size() >= 2,
+                "sample variance needs at least two points");
+    const double mu = mean(sample);
+    double total = 0;
+    for (double value : sample)
+        total += (value - mu) * (value - mu);
+    return total / static_cast<double>(sample.size() - 1);
+}
+
+double
+stddev(const std::vector<double> &sample)
+{
+    return std::sqrt(variance(sample));
+}
+
+double
+minimum(const std::vector<double> &sample)
+{
+    REF_REQUIRE(!sample.empty(), "minimum of empty sample");
+    return *std::min_element(sample.begin(), sample.end());
+}
+
+double
+maximum(const std::vector<double> &sample)
+{
+    REF_REQUIRE(!sample.empty(), "maximum of empty sample");
+    return *std::max_element(sample.begin(), sample.end());
+}
+
+double
+median(std::vector<double> sample)
+{
+    REF_REQUIRE(!sample.empty(), "median of empty sample");
+    std::sort(sample.begin(), sample.end());
+    const std::size_t n = sample.size();
+    if (n % 2 == 1)
+        return sample[n / 2];
+    return 0.5 * (sample[n / 2 - 1] + sample[n / 2]);
+}
+
+double
+totalSumOfSquares(const std::vector<double> &sample)
+{
+    const double mu = mean(sample);
+    double total = 0;
+    for (double value : sample)
+        total += (value - mu) * (value - mu);
+    return total;
+}
+
+double
+correlation(const std::vector<double> &a, const std::vector<double> &b)
+{
+    REF_REQUIRE(a.size() == b.size() && a.size() >= 2,
+                "correlation needs two equal-length samples of size >= 2");
+    const double mean_a = mean(a);
+    const double mean_b = mean(b);
+    double cov = 0, var_a = 0, var_b = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        cov += (a[i] - mean_a) * (b[i] - mean_b);
+        var_a += (a[i] - mean_a) * (a[i] - mean_a);
+        var_b += (b[i] - mean_b) * (b[i] - mean_b);
+    }
+    REF_REQUIRE(var_a > 0 && var_b > 0,
+                "correlation undefined for a constant sample");
+    return cov / std::sqrt(var_a * var_b);
+}
+
+} // namespace ref::stats

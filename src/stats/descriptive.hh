@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Descriptive statistics used by the fitting and evaluation code.
+ */
+
+#ifndef REF_STATS_DESCRIPTIVE_HH
+#define REF_STATS_DESCRIPTIVE_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace ref::stats {
+
+/** Arithmetic mean of a non-empty sample. */
+double mean(const std::vector<double> &sample);
+
+/** Population variance (divide by n) of a non-empty sample. */
+double variance(const std::vector<double> &sample);
+
+/** Sample variance (divide by n-1); requires at least two points. */
+double sampleVariance(const std::vector<double> &sample);
+
+/** Population standard deviation. */
+double stddev(const std::vector<double> &sample);
+
+/** Minimum of a non-empty sample. */
+double minimum(const std::vector<double> &sample);
+
+/** Maximum of a non-empty sample. */
+double maximum(const std::vector<double> &sample);
+
+/** Median (average of the middle pair for even sizes). */
+double median(std::vector<double> sample);
+
+/** Total sum of squares around the mean: sum (y_i - mean)^2. */
+double totalSumOfSquares(const std::vector<double> &sample);
+
+/** Pearson correlation of two equal-length samples. */
+double correlation(const std::vector<double> &a,
+                   const std::vector<double> &b);
+
+} // namespace ref::stats
+
+#endif // REF_STATS_DESCRIPTIVE_HH

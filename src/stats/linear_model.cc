@@ -1,0 +1,82 @@
+#include "linear_model.hh"
+
+#include <cmath>
+
+#include "linalg/least_squares.hh"
+#include "stats/descriptive.hh"
+#include "util/logging.hh"
+
+namespace ref::stats {
+
+LinearModel::LinearModel(const linalg::Matrix &predictors,
+                         const std::vector<double> &response,
+                         bool with_intercept)
+    : withIntercept_(with_intercept), observations_(response.size())
+{
+    const std::size_t n = predictors.rows();
+    const std::size_t p = predictors.cols();
+    REF_REQUIRE(n == response.size(),
+                "design matrix has " << n << " rows but response has "
+                    << response.size());
+    const std::size_t parameters = p + (with_intercept ? 1 : 0);
+    REF_REQUIRE(n > parameters,
+                "need more observations (" << n << ") than parameters ("
+                    << parameters << ")");
+
+    linalg::Matrix design(n, parameters);
+    for (std::size_t r = 0; r < n; ++r) {
+        std::size_t c = 0;
+        if (with_intercept)
+            design(r, c++) = 1.0;
+        for (std::size_t j = 0; j < p; ++j)
+            design(r, c++) = predictors(r, j);
+    }
+
+    const auto fit = linalg::leastSquares(design, response);
+    std::size_t c = 0;
+    if (with_intercept)
+        intercept_ = fit.coefficients[c++];
+    slopes_.assign(fit.coefficients.begin() +
+                       static_cast<std::ptrdiff_t>(c),
+                   fit.coefficients.end());
+
+    const double rss = fit.residualNorm * fit.residualNorm;
+    const double tss = totalSumOfSquares(response);
+    // A constant response has no variance to explain; define R^2 = 1
+    // when the fit is (numerically) exact, 0 otherwise, rather than
+    // dividing by 0.
+    double response_scale = 0;
+    for (double value : response)
+        response_scale += value * value;
+    if (tss > 1e-12 * std::max(1.0, response_scale)) {
+        rSquared_ = 1.0 - rss / tss;
+    } else {
+        rSquared_ =
+            rss <= 1e-12 * std::max(1.0, response_scale) ? 1.0 : 0.0;
+    }
+    const double n_d = static_cast<double>(n);
+    const double p_d = static_cast<double>(parameters);
+    adjustedRSquared_ =
+        1.0 - (1.0 - rSquared_) * (n_d - 1.0) / (n_d - p_d);
+    residualStdError_ = std::sqrt(rss / (n_d - p_d));
+}
+
+double
+LinearModel::intercept() const
+{
+    return withIntercept_ ? intercept_ : 0.0;
+}
+
+double
+LinearModel::predict(const std::vector<double> &predictors) const
+{
+    REF_REQUIRE(predictors.size() == slopes_.size(),
+                "predict got " << predictors.size()
+                    << " predictors, model has " << slopes_.size());
+    double value = intercept();
+    for (std::size_t j = 0; j < slopes_.size(); ++j)
+        value += slopes_[j] * predictors[j];
+    return value;
+}
+
+} // namespace ref::stats

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Ordinary least squares linear regression.
+ *
+ * This is the statistical engine behind Cobb-Douglas fitting
+ * (paper Eq. 16): after log transformation the utility model is a
+ * standard linear model whose parameters are the elasticities.
+ */
+
+#ifndef REF_STATS_LINEAR_MODEL_HH
+#define REF_STATS_LINEAR_MODEL_HH
+
+#include <vector>
+
+#include "linalg/matrix.hh"
+
+namespace ref::stats {
+
+/** A fitted ordinary-least-squares linear model. */
+class LinearModel
+{
+  public:
+    /**
+     * Fit y ~ X (optionally with an intercept prepended).
+     *
+     * @param predictors n x p design matrix (without intercept column).
+     * @param response n observations.
+     * @param with_intercept Prepend a constant-1 column when true.
+     *
+     * Requires n > p (+1 with intercept) and a full-rank design.
+     */
+    LinearModel(const linalg::Matrix &predictors,
+                const std::vector<double> &response,
+                bool with_intercept = true);
+
+    /** Fitted intercept; 0 when the model has none. */
+    double intercept() const;
+
+    /** Fitted slope coefficients, one per predictor column. */
+    const std::vector<double> &slopes() const { return slopes_; }
+
+    /** Predict the response for one predictor row. */
+    double predict(const std::vector<double> &predictors) const;
+
+    /** Coefficient of determination on the training data. */
+    double rSquared() const { return rSquared_; }
+
+    /** R-squared penalized for model size. */
+    double adjustedRSquared() const { return adjustedRSquared_; }
+
+    /** Residual standard error (sqrt of RSS / (n - p)). */
+    double residualStdError() const { return residualStdError_; }
+
+    /** Number of observations used in the fit. */
+    std::size_t observations() const { return observations_; }
+
+  private:
+    bool withIntercept_;
+    double intercept_ = 0;
+    std::vector<double> slopes_;
+    double rSquared_ = 0;
+    double adjustedRSquared_ = 0;
+    double residualStdError_ = 0;
+    std::size_t observations_ = 0;
+};
+
+} // namespace ref::stats
+
+#endif // REF_STATS_LINEAR_MODEL_HH

@@ -1,0 +1,69 @@
+#include "csv.hh"
+
+#include <ostream>
+#include <sstream>
+
+#include "logging.hh"
+
+namespace ref {
+
+std::string
+csvEscape(const std::string &cell)
+{
+    const bool needs_quotes =
+        cell.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quotes)
+        return cell;
+
+    std::string escaped = "\"";
+    for (char ch : cell) {
+        if (ch == '"')
+            escaped += '"';
+        escaped += ch;
+    }
+    escaped += '"';
+    return escaped;
+}
+
+CsvWriter::CsvWriter(std::ostream &os, std::vector<std::string> header)
+    : os_(os), columns_(header.size())
+{
+    REF_REQUIRE(columns_ > 0, "CSV needs at least one column");
+    emitRow(header);
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &cells)
+{
+    REF_REQUIRE(cells.size() == columns_,
+                "row has " << cells.size() << " cells, expected "
+                           << columns_);
+    emitRow(cells);
+    ++rows_;
+}
+
+void
+CsvWriter::writeRow(const std::vector<double> &values)
+{
+    std::vector<std::string> cells;
+    cells.reserve(values.size());
+    for (double value : values) {
+        std::ostringstream cell;
+        cell << value;
+        cells.push_back(cell.str());
+    }
+    writeRow(cells);
+}
+
+void
+CsvWriter::emitRow(const std::vector<std::string> &cells)
+{
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+        if (c > 0)
+            os_ << ',';
+        os_ << csvEscape(cells[c]);
+    }
+    os_ << '\n';
+}
+
+} // namespace ref

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * CSV emission for figure series.
+ *
+ * The Edgeworth-box figures (Figs. 1-7) are curves; examples and
+ * benches emit them as CSV so they can be plotted externally.
+ */
+
+#ifndef REF_UTIL_CSV_HH
+#define REF_UTIL_CSV_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ref {
+
+/**
+ * Incremental CSV writer with RFC-4180 style quoting.
+ *
+ * Cells containing commas, quotes, or newlines are quoted; embedded
+ * quotes are doubled.
+ */
+class CsvWriter
+{
+  public:
+    /** Write to an externally owned stream; emits the header row. */
+    CsvWriter(std::ostream &os, std::vector<std::string> header);
+
+    /** Append a row of string cells; must match the header width. */
+    void writeRow(const std::vector<std::string> &cells);
+
+    /** Append a row of numeric cells; must match the header width. */
+    void writeRow(const std::vector<double> &values);
+
+    /** Rows written so far, excluding the header. */
+    std::size_t rowsWritten() const { return rows_; }
+
+  private:
+    void emitRow(const std::vector<std::string> &cells);
+
+    std::ostream &os_;
+    std::size_t columns_;
+    std::size_t rows_ = 0;
+};
+
+/** Quote a single CSV cell if needed. */
+std::string csvEscape(const std::string &cell);
+
+} // namespace ref
+
+#endif // REF_UTIL_CSV_HH

@@ -1,0 +1,153 @@
+#include "random.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "logging.hh"
+
+namespace ref {
+
+namespace {
+
+std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : state_)
+        word = splitMix64(sm);
+}
+
+Rng::result_type
+Rng::operator()()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits give a uniform double in [0, 1).
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    REF_REQUIRE(lo <= hi, "empty interval [" << lo << ", " << hi << ")");
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t n)
+{
+    REF_REQUIRE(n > 0, "uniformInt needs a positive range");
+    // Rejection sampling to remove modulo bias.
+    const std::uint64_t limit = max() - max() % n;
+    std::uint64_t draw;
+    do {
+        draw = (*this)();
+    } while (draw >= limit);
+    return draw % n;
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    REF_REQUIRE(lo <= hi, "empty range [" << lo << ", " << hi << "]");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(uniformInt(span));
+}
+
+double
+Rng::exponential(double rate)
+{
+    REF_REQUIRE(rate > 0, "exponential rate must be positive");
+    return -std::log1p(-uniform()) / rate;
+}
+
+double
+Rng::normal()
+{
+    // Box-Muller; uniform() can return 0, so nudge away from log(0).
+    double u1 = uniform();
+    if (u1 <= 0)
+        u1 = 0x1.0p-53;
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    REF_REQUIRE(stddev >= 0, "negative standard deviation");
+    return mean + stddev * normal();
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    REF_REQUIRE(p >= 0 && p <= 1, "probability " << p << " outside [0,1]");
+    return uniform() < p;
+}
+
+Rng
+Rng::fork()
+{
+    return Rng((*this)());
+}
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double s)
+    : exponent_(s)
+{
+    REF_REQUIRE(n > 0, "Zipf needs at least one rank");
+    REF_REQUIRE(s >= 0, "Zipf exponent must be non-negative");
+
+    cdf_.resize(n);
+    double total = 0;
+    for (std::size_t k = 0; k < n; ++k) {
+        total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+        cdf_[k] = total;
+    }
+    for (auto &entry : cdf_)
+        entry /= total;
+    cdf_.back() = 1.0;
+}
+
+std::size_t
+ZipfDistribution::operator()(Rng &rng) const
+{
+    const double u = rng.uniform();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+} // namespace ref

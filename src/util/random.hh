@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for REF.
+ *
+ * Simulations and property tests need reproducible streams that are
+ * cheap to fork (one independent stream per workload or per agent).
+ * We implement xoshiro256** (Blackman & Vigna), a small, fast, well
+ * tested generator, plus the distributions the simulator needs:
+ * uniform, exponential, normal, and Zipf (for reuse-distance
+ * locality).
+ */
+
+#ifndef REF_UTIL_RANDOM_HH
+#define REF_UTIL_RANDOM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace ref {
+
+/**
+ * xoshiro256** pseudo-random generator with distribution helpers.
+ *
+ * Satisfies the UniformRandomBitGenerator concept so it can also be
+ * handed to <random> distributions when needed.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Seed via SplitMix64 so that nearby seeds give unrelated streams. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~result_type{0}; }
+
+    /** Next raw 64-bit output. */
+    result_type operator()();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). @pre n > 0. */
+    std::uint64_t uniformInt(std::uint64_t n);
+
+    /** Uniform integer in [lo, hi]. @pre lo <= hi. */
+    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+    /** Exponential with the given rate (mean 1/rate). @pre rate > 0. */
+    double exponential(double rate);
+
+    /** Standard normal via Box-Muller. */
+    double normal();
+
+    /** Normal with the given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /** Bernoulli trial with success probability p in [0, 1]. */
+    bool bernoulli(double p);
+
+    /**
+     * Fork an independent child stream. The child is seeded from this
+     * stream's output, so forking N children from one parent yields N
+     * decorrelated streams.
+     */
+    Rng fork();
+
+  private:
+    std::uint64_t state_[4];
+};
+
+/**
+ * Zipf-distributed integers over {0, ..., n-1} with exponent s.
+ *
+ * P(k) is proportional to 1 / (k+1)^s. Sampling uses an inverted
+ * cumulative table, built once at construction, so draws are
+ * O(log n). Zipf reuse ranks are the standard way to synthesize
+ * cache-friendly reference streams with tunable locality: larger s
+ * concentrates references on recently used data.
+ */
+class ZipfDistribution
+{
+  public:
+    /**
+     * @param n Number of ranks; must be positive.
+     * @param s Skew exponent; s = 0 degenerates to uniform.
+     */
+    ZipfDistribution(std::size_t n, double s);
+
+    /** Draw one rank in [0, n). */
+    std::size_t operator()(Rng &rng) const;
+
+    std::size_t size() const { return cdf_.size(); }
+    double exponent() const { return exponent_; }
+
+  private:
+    std::vector<double> cdf_;
+    double exponent_;
+};
+
+} // namespace ref
+
+#endif // REF_UTIL_RANDOM_HH

@@ -1,0 +1,69 @@
+#include "table.hh"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "logging.hh"
+
+namespace ref {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    REF_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    REF_REQUIRE(cells.size() == headers_.size(),
+                "row has " << cells.size() << " cells, expected "
+                           << headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << (c == 0 ? "" : "  ")
+               << std::left << std::setw(static_cast<int>(widths[c]))
+               << row[c];
+        }
+        os << "\n";
+    };
+
+    print_row(headers_);
+    std::size_t rule_width = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        rule_width += widths[c] + (c == 0 ? 0 : 2);
+    os << std::string(rule_width, '-') << "\n";
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+std::string
+formatFixed(double value, int decimals)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(decimals) << value;
+    return os.str();
+}
+
+std::string
+formatPercent(double fraction, int decimals)
+{
+    return formatFixed(fraction * 100.0, decimals) + "%";
+}
+
+} // namespace ref

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * ASCII table formatting for benchmark and example output.
+ *
+ * Every experiment harness prints paper-shaped rows; this keeps the
+ * formatting in one place so bench output stays uniform and easy to
+ * diff against EXPERIMENTS.md.
+ */
+
+#ifndef REF_UTIL_TABLE_HH
+#define REF_UTIL_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ref {
+
+/**
+ * A simple column-aligned ASCII table.
+ *
+ * Usage:
+ * @code
+ *   Table t({"workload", "alpha_cache", "alpha_mem", "class"});
+ *   t.addRow({"dedup", "0.18", "0.82", "M"});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must have exactly one cell per column. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Number of data rows. */
+    std::size_t rows() const { return rows_.size(); }
+
+    /** Number of columns. */
+    std::size_t columns() const { return headers_.size(); }
+
+    /** Render with a header rule and column padding. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with the given number of decimal places. */
+std::string formatFixed(double value, int decimals = 3);
+
+/** Format a fraction as a percentage string, e.g. "42.0%". */
+std::string formatPercent(double fraction, int decimals = 1);
+
+} // namespace ref
+
+#endif // REF_UTIL_TABLE_HH

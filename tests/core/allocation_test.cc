@@ -1,0 +1,89 @@
+#include "core/allocation.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace {
+
+using ref::core::Allocation;
+using ref::core::SystemCapacity;
+using ref::core::Vector;
+
+TEST(Allocation, EqualSplitMatchesCapacityOverN)
+{
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    const auto allocation = Allocation::equalSplit(3, capacity);
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_DOUBLE_EQ(allocation.at(i, 0), 8.0);
+        EXPECT_DOUBLE_EQ(allocation.at(i, 1), 4.0);
+    }
+    EXPECT_TRUE(allocation.exhaustive(capacity));
+}
+
+TEST(Allocation, AgentShareRoundTrips)
+{
+    Allocation allocation(2, 2);
+    allocation.setAgentShare(0, {18.0, 4.0});
+    allocation.setAgentShare(1, {6.0, 8.0});
+    EXPECT_EQ(allocation.agentShare(0), (Vector{18.0, 4.0}));
+    EXPECT_EQ(allocation.agentShare(1), (Vector{6.0, 8.0}));
+    EXPECT_DOUBLE_EQ(allocation.at(1, 1), 8.0);
+}
+
+TEST(Allocation, TotalsSumPerResource)
+{
+    Allocation allocation(2, 2);
+    allocation.setAgentShare(0, {18.0, 4.0});
+    allocation.setAgentShare(1, {6.0, 8.0});
+    EXPECT_EQ(allocation.totals(), (Vector{24.0, 12.0}));
+}
+
+TEST(Allocation, FeasibilityDetectsOverAllocation)
+{
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    Allocation allocation(2, 2);
+    allocation.setAgentShare(0, {20.0, 4.0});
+    allocation.setAgentShare(1, {6.0, 8.0});  // 26 > 24 GB/s.
+    EXPECT_FALSE(allocation.feasible(capacity));
+}
+
+TEST(Allocation, FeasibilityDetectsNegativeAmounts)
+{
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    Allocation allocation(2, 2);
+    allocation.setAgentShare(0, {-1.0, 4.0});
+    allocation.setAgentShare(1, {6.0, 8.0});
+    EXPECT_FALSE(allocation.feasible(capacity));
+}
+
+TEST(Allocation, UnderAllocationFeasibleButNotExhaustive)
+{
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    Allocation allocation(2, 2);
+    allocation.setAgentShare(0, {10.0, 4.0});
+    allocation.setAgentShare(1, {6.0, 6.0});
+    EXPECT_TRUE(allocation.feasible(capacity));
+    EXPECT_FALSE(allocation.exhaustive(capacity));
+}
+
+TEST(Allocation, FractionsAgainstCapacity)
+{
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    Allocation allocation(2, 2);
+    allocation.setAgentShare(0, {18.0, 4.0});
+    allocation.setAgentShare(1, {6.0, 8.0});
+    const Vector fractions = allocation.fractions(0, capacity);
+    EXPECT_DOUBLE_EQ(fractions[0], 0.75);
+    EXPECT_DOUBLE_EQ(fractions[1], 1.0 / 3.0);
+}
+
+TEST(Allocation, RejectsDegenerateShapes)
+{
+    EXPECT_THROW(Allocation(0, 2), ref::FatalError);
+    EXPECT_THROW(Allocation(2, 0), ref::FatalError);
+    Allocation allocation(2, 2);
+    EXPECT_THROW(allocation.setAgentShare(0, {1.0}), ref::FatalError);
+}
+
+} // namespace

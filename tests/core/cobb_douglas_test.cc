@@ -1,0 +1,169 @@
+#include "core/cobb_douglas.hh"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace {
+
+using ref::core::CobbDouglasUtility;
+using ref::core::Vector;
+
+TEST(CobbDouglas, EvaluatesPaperExample)
+{
+    // u1 = x^0.6 y^0.4 from Section 3.
+    const CobbDouglasUtility u1({0.6, 0.4});
+    EXPECT_NEAR(u1.value({18.0, 4.0}),
+                std::pow(18.0, 0.6) * std::pow(4.0, 0.4), 1e-12);
+}
+
+TEST(CobbDouglas, ScaleMultiplies)
+{
+    const CobbDouglasUtility u(2.5, {0.5, 0.5});
+    EXPECT_NEAR(u.value({4.0, 9.0}), 2.5 * 6.0, 1e-12);
+}
+
+TEST(CobbDouglas, ZeroAllocationGivesZeroUtility)
+{
+    const CobbDouglasUtility u({0.6, 0.4});
+    EXPECT_DOUBLE_EQ(u.value({0.0, 5.0}), 0.0);
+    EXPECT_DOUBLE_EQ(u.value({5.0, 0.0}), 0.0);
+    EXPECT_TRUE(std::isinf(u.logValue({0.0, 5.0})));
+}
+
+TEST(CobbDouglas, LogValueConsistentWithValue)
+{
+    const CobbDouglasUtility u(1.5, {0.3, 0.7});
+    const Vector x{2.0, 8.0};
+    EXPECT_NEAR(std::exp(u.logValue(x)), u.value(x), 1e-12);
+}
+
+TEST(CobbDouglas, MrsMatchesEquationNine)
+{
+    // MRS_{x,y} = (0.6/0.4) * (y/x) for user 1 of the example.
+    const CobbDouglasUtility u1({0.6, 0.4});
+    EXPECT_NEAR(u1.marginalRateOfSubstitution(0, 1, {6.0, 8.0}),
+                (0.6 / 0.4) * (8.0 / 6.0), 1e-12);
+}
+
+TEST(CobbDouglas, MrsIsReciprocalUnderSwap)
+{
+    const CobbDouglasUtility u({0.25, 0.75});
+    const Vector x{3.0, 5.0};
+    EXPECT_NEAR(u.marginalRateOfSubstitution(0, 1, x) *
+                    u.marginalRateOfSubstitution(1, 0, x),
+                1.0, 1e-12);
+}
+
+TEST(CobbDouglas, RescaledSumsToOne)
+{
+    const CobbDouglasUtility u(3.0, {0.9, 0.3, 0.6});
+    const CobbDouglasUtility rescaled = u.rescaled();
+    EXPECT_NEAR(rescaled.elasticitySum(), 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(rescaled.scale(), 1.0);
+    EXPECT_NEAR(rescaled.elasticity(0), 0.5, 1e-12);
+    EXPECT_NEAR(rescaled.elasticity(1), 1.0 / 6.0, 1e-12);
+    EXPECT_TRUE(rescaled.isRescaled());
+    EXPECT_FALSE(u.isRescaled());
+}
+
+TEST(CobbDouglas, RescalingPreservesPreferences)
+{
+    // Rescaling is a monotone transform: orderings survive.
+    ref::Rng rng(5);
+    const CobbDouglasUtility u(2.0, {0.8, 0.5});
+    const CobbDouglasUtility rescaled = u.rescaled();
+    for (int trial = 0; trial < 200; ++trial) {
+        const Vector a{rng.uniform(0.1, 10.0), rng.uniform(0.1, 10.0)};
+        const Vector b{rng.uniform(0.1, 10.0), rng.uniform(0.1, 10.0)};
+        EXPECT_EQ(u.strictlyPrefers(a, b),
+                  rescaled.strictlyPrefers(a, b));
+    }
+}
+
+TEST(CobbDouglas, RescaledIsHomogeneousOfDegreeOne)
+{
+    // u(kx) = k u(x), the property behind the CEEI equivalence.
+    const CobbDouglasUtility u =
+        CobbDouglasUtility(4.0, {0.7, 0.2, 0.4}).rescaled();
+    const Vector x{1.0, 2.0, 3.0};
+    const Vector doubled{2.0, 4.0, 6.0};
+    EXPECT_NEAR(u.value(doubled), 2.0 * u.value(x), 1e-12);
+}
+
+TEST(CobbDouglas, UnscaledIsNotHomogeneousOfDegreeOne)
+{
+    const CobbDouglasUtility u({0.9, 0.9});  // Degree 1.8.
+    const Vector x{1.0, 1.0};
+    EXPECT_GT(u.value({2.0, 2.0}), 2.0 * u.value(x) + 0.5);
+}
+
+TEST(CobbDouglas, PreferenceRelations)
+{
+    const CobbDouglasUtility u({0.6, 0.4});
+    const Vector better{10.0, 10.0};
+    const Vector worse{1.0, 1.0};
+    EXPECT_TRUE(u.strictlyPrefers(better, worse));
+    EXPECT_FALSE(u.strictlyPrefers(worse, better));
+    EXPECT_TRUE(u.weaklyPrefers(better, worse));
+    EXPECT_TRUE(u.weaklyPrefers(better, better));
+    EXPECT_TRUE(u.indifferent(better, better));
+    EXPECT_FALSE(u.indifferent(better, worse));
+}
+
+TEST(CobbDouglas, IndifferenceAlongSubstitution)
+{
+    // (4, 1) and (1, 8): the Section 3 substitution example requires
+    // equal utility for elasticities (0.6, 0.4) scaled suitably; use
+    // exact algebra: x^a y^b equal when x1^a y1^b == x2^a y2^b.
+    const CobbDouglasUtility u({0.5, 0.5});
+    EXPECT_TRUE(u.indifferent({4.0, 1.0}, {1.0, 4.0}));
+}
+
+TEST(CobbDouglas, BothBundlesWorthlessAreIndifferent)
+{
+    const CobbDouglasUtility u({0.6, 0.4});
+    EXPECT_TRUE(u.indifferent({0.0, 5.0}, {3.0, 0.0}));
+    EXPECT_TRUE(u.weaklyPrefers({0.0, 1.0}, {0.0, 2.0}));
+}
+
+TEST(CobbDouglas, RejectsInvalidConstruction)
+{
+    EXPECT_THROW(CobbDouglasUtility(0.0, {0.5}), ref::FatalError);
+    EXPECT_THROW(CobbDouglasUtility({}), ref::FatalError);
+    EXPECT_THROW(CobbDouglasUtility({0.5, 0.0}), ref::FatalError);
+    EXPECT_THROW(CobbDouglasUtility({0.5, -0.1}), ref::FatalError);
+}
+
+TEST(CobbDouglas, RejectsInvalidEvaluation)
+{
+    const CobbDouglasUtility u({0.5, 0.5});
+    EXPECT_THROW(u.value({1.0}), ref::FatalError);
+    EXPECT_THROW(u.value({1.0, -1.0}), ref::FatalError);
+    EXPECT_THROW(u.marginalRateOfSubstitution(0, 1, {0.0, 1.0}),
+                 ref::FatalError);
+    EXPECT_THROW(u.marginalRateOfSubstitution(2, 0, {1.0, 1.0}),
+                 ref::FatalError);
+}
+
+TEST(CobbDouglas, DiminishingMarginalReturns)
+{
+    // Doubling one resource less than doubles utility when its
+    // elasticity is below one.
+    const CobbDouglasUtility u({0.6, 0.4});
+    const double base = u.value({2.0, 3.0});
+    const double more = u.value({4.0, 3.0});
+    EXPECT_GT(more, base);
+    EXPECT_LT(more, 2.0 * base);
+    // And each additional unit of the resource is worth less than
+    // the previous one (concavity in the resource amount).
+    const double gain_first = u.value({3.0, 3.0}) - u.value({2.0, 3.0});
+    const double gain_second =
+        u.value({4.0, 3.0}) - u.value({3.0, 3.0});
+    EXPECT_LT(gain_second, gain_first);
+}
+
+} // namespace

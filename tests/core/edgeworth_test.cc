@@ -1,0 +1,239 @@
+#include "core/edgeworth.hh"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/fairness.hh"
+#include "core/proportional_elasticity.hh"
+#include "util/random.hh"
+#include "util/logging.hh"
+
+namespace {
+
+using namespace ref::core;
+
+EdgeworthBox
+paperBox()
+{
+    return EdgeworthBox(
+        Agent("user1", CobbDouglasUtility({0.6, 0.4})),
+        Agent("user2", CobbDouglasUtility({0.2, 0.8})),
+        SystemCapacity::cacheAndBandwidthExample());
+}
+
+TEST(Edgeworth, DimensionsMatchCapacities)
+{
+    const auto box = paperBox();
+    EXPECT_DOUBLE_EQ(box.width(), 24.0);
+    EXPECT_DOUBLE_EQ(box.height(), 12.0);
+}
+
+TEST(Edgeworth, ToAllocationComplements)
+{
+    // Figure 1's example point: user 1 at (6 GB/s, 8 MB) leaves
+    // user 2 with (18 GB/s, 4 MB).
+    const auto allocation = paperBox().toAllocation(6.0, 8.0);
+    EXPECT_DOUBLE_EQ(allocation.at(1, 0), 18.0);
+    EXPECT_DOUBLE_EQ(allocation.at(1, 1), 4.0);
+}
+
+TEST(Edgeworth, ContractCurveSatisfiesTangency)
+{
+    const auto box = paperBox();
+    for (double x1 : {2.0, 6.0, 12.0, 18.0, 22.0}) {
+        const double y1 = box.contractCurve(x1);
+        ASSERT_GT(y1, 0.0);
+        ASSERT_LT(y1, box.height());
+        // Eq. 10: (0.6/0.4)(y1/x1) == (0.2/0.8)(y2/x2).
+        const double lhs = (0.6 / 0.4) * (y1 / x1);
+        const double rhs =
+            (0.2 / 0.8) * ((12.0 - y1) / (24.0 - x1));
+        EXPECT_NEAR(lhs, rhs, 1e-9);
+        EXPECT_TRUE(box.isParetoEfficient(x1, y1, 1e-6));
+    }
+}
+
+TEST(Edgeworth, ContractCurveEndsAtOrigins)
+{
+    const auto box = paperBox();
+    EXPECT_NEAR(box.contractCurve(1e-9), 0.0, 1e-6);
+    EXPECT_NEAR(box.contractCurve(24.0 - 1e-9), 12.0, 1e-6);
+}
+
+TEST(Edgeworth, RefPointLiesOnContractCurve)
+{
+    const auto box = paperBox();
+    EXPECT_NEAR(box.contractCurve(18.0), 4.0, 1e-9);
+}
+
+TEST(Edgeworth, MidpointAndCornersAreEnvyFree)
+{
+    // Section 3.2: the midpoint and the two corners are always EF.
+    const auto box = paperBox();
+    EXPECT_TRUE(box.isEnvyFree(12.0, 6.0));
+    EXPECT_TRUE(box.isEnvyFree(0.0, 12.0));
+    EXPECT_TRUE(box.isEnvyFree(24.0, 0.0));
+}
+
+TEST(Edgeworth, EnvyBoundarySeparatesRegions)
+{
+    const auto box = paperBox();
+    const auto boundary = box.envyBoundary(1, 10.0);
+    ASSERT_TRUE(boundary.has_value());
+    // User 1 is envy-free above its boundary, envious below.
+    const Vector above{10.0, *boundary + 0.5};
+    const Vector below{10.0, *boundary - 0.5};
+    const auto &u1 = box.user1().utility();
+    EXPECT_TRUE(u1.weaklyPrefers(
+        above, {24.0 - 10.0, 12.0 - above[1]}));
+    EXPECT_FALSE(u1.weaklyPrefers(
+        below, {24.0 - 10.0, 12.0 - below[1]}, 1e-9));
+}
+
+TEST(Edgeworth, SharingIncentiveBoundaryPassesThroughMidpoint)
+{
+    const auto box = paperBox();
+    const auto boundary = box.sharingIncentiveBoundary(1, 12.0);
+    ASSERT_TRUE(boundary.has_value());
+    EXPECT_NEAR(*boundary, 6.0, 1e-9);
+    EXPECT_TRUE(box.hasSharingIncentives(12.0, 6.0));
+}
+
+TEST(Edgeworth, IndifferenceCurvePreservesUtility)
+{
+    const auto box = paperBox();
+    const Vector through{6.0, 8.0};
+    const auto &u1 = box.user1().utility();
+    const double level = u1.logValue(through);
+    for (double x : {2.0, 6.0, 10.0, 20.0}) {
+        const double y = box.indifferenceCurve(1, through, x);
+        EXPECT_NEAR(u1.logValue({x, y}), level, 1e-9);
+    }
+}
+
+TEST(Edgeworth, IndifferenceCurveSlopesDownward)
+{
+    const auto box = paperBox();
+    const Vector through{6.0, 8.0};
+    const double y_left = box.indifferenceCurve(1, through, 4.0);
+    const double y_right = box.indifferenceCurve(1, through, 8.0);
+    EXPECT_GT(y_left, y_right);
+}
+
+TEST(Edgeworth, FairSegmentContainsRefPoint)
+{
+    // Figures 6-7: the REF allocation lies on the contract curve,
+    // inside the EF set, and inside the SI-constrained fair set.
+    const auto box = paperBox();
+    const auto fair = box.fairSegment(false);
+    ASSERT_FALSE(fair.empty);
+    EXPECT_LE(fair.x1Low, 18.0);
+    EXPECT_GE(fair.x1High, 18.0);
+    const auto fair_si = box.fairSegment(true);
+    ASSERT_FALSE(fair_si.empty);
+    EXPECT_LE(fair_si.x1Low, 18.0);
+    EXPECT_GE(fair_si.x1High, 18.0);
+}
+
+TEST(Edgeworth, SharingIncentivesShrinkTheFairSet)
+{
+    // Figure 7: SI constrains the fair set further.
+    const auto box = paperBox();
+    const auto fair = box.fairSegment(false);
+    const auto fair_si = box.fairSegment(true);
+    EXPECT_GE(fair_si.x1Low, fair.x1Low - 1e-9);
+    EXPECT_LE(fair_si.x1High, fair.x1High + 1e-9);
+    EXPECT_LT(fair_si.x1High - fair_si.x1Low,
+              fair.x1High - fair.x1Low);
+}
+
+TEST(Edgeworth, FairSegmentPointsSatisfyAllProperties)
+{
+    const auto box = paperBox();
+    const auto segment = box.fairSegment(true);
+    ASSERT_FALSE(segment.empty);
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    AgentList agents{box.user1(), box.user2()};
+    for (double t : {0.1, 0.5, 0.9}) {
+        const double x1 =
+            segment.x1Low + t * (segment.x1High - segment.x1Low);
+        const double y1 = box.contractCurve(x1);
+        FairnessTolerance tol;
+        tol.utility = 1e-6;
+        tol.mrs = 1e-6;
+        const auto report = checkFairness(
+            agents, capacity, box.toAllocation(x1, y1), tol);
+        EXPECT_TRUE(report.allHold()) << "x1 = " << x1;
+    }
+}
+
+TEST(Edgeworth, SymmetricUsersFairPointIsMidpoint)
+{
+    const EdgeworthBox box(
+        Agent("a", CobbDouglasUtility({0.5, 0.5})),
+        Agent("b", CobbDouglasUtility({0.5, 0.5})),
+        SystemCapacity::fromCapacities({10.0, 10.0}));
+    const double mid = box.contractCurve(5.0);
+    EXPECT_NEAR(mid, 5.0, 1e-9);
+    EXPECT_TRUE(box.isEnvyFree(5.0, 5.0));
+    EXPECT_TRUE(box.hasSharingIncentives(5.0, 5.0));
+}
+
+/**
+ * Property sweep: for ANY pair of Cobb-Douglas users, the REF
+ * allocation lies on the contract curve inside the SI-constrained
+ * fair set — the geometric form of the paper's Section 4.2 theorem.
+ */
+class EdgeworthFairSetProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(EdgeworthFairSetProperty, RefPointInsideFairSegment)
+{
+    ref::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 7);
+    for (int trial = 0; trial < 20; ++trial) {
+        const CobbDouglasUtility u1(
+            {rng.uniform(0.05, 0.95), rng.uniform(0.05, 0.95)});
+        const CobbDouglasUtility u2(
+            {rng.uniform(0.05, 0.95), rng.uniform(0.05, 0.95)});
+        const auto capacity = SystemCapacity::fromCapacities(
+            {rng.uniform(1.0, 50.0), rng.uniform(1.0, 50.0)});
+        const EdgeworthBox box(Agent("u1", u1), Agent("u2", u2),
+                               capacity);
+
+        AgentList agents{box.user1(), box.user2()};
+        const auto allocation =
+            ProportionalElasticityMechanism().allocate(agents,
+                                                       capacity);
+        const double x1 = allocation.at(0, 0);
+        const double y1 = allocation.at(0, 1);
+
+        // On the contract curve...
+        EXPECT_NEAR(box.contractCurve(x1), y1, 1e-9 * box.height())
+            << "trial " << trial;
+        // ...inside the SI-constrained fair segment.
+        const auto segment = box.fairSegment(true);
+        ASSERT_FALSE(segment.empty) << "trial " << trial;
+        EXPECT_GE(x1, segment.x1Low - 1e-9) << "trial " << trial;
+        EXPECT_LE(x1, segment.x1High + 1e-9) << "trial " << trial;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EdgeworthFairSetProperty,
+                         ::testing::Values(1, 2, 3));
+
+TEST(Edgeworth, RejectsBadConstruction)
+{
+    const auto cap3 = SystemCapacity::fromCapacities({1.0, 2.0, 3.0});
+    EXPECT_THROW(
+        EdgeworthBox(Agent("a", CobbDouglasUtility({0.5, 0.5})),
+                     Agent("b", CobbDouglasUtility({0.5, 0.5})), cap3),
+        ref::FatalError);
+    const auto box = paperBox();
+    EXPECT_THROW(box.contractCurve(0.0), ref::FatalError);
+    EXPECT_THROW(box.contractCurve(24.0), ref::FatalError);
+    EXPECT_THROW(box.envyBoundary(3, 5.0), ref::FatalError);
+    EXPECT_THROW(box.toAllocation(-1.0, 5.0), ref::FatalError);
+}
+
+} // namespace

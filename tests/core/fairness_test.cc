@@ -1,0 +1,176 @@
+#include "core/fairness.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace {
+
+using namespace ref::core;
+
+AgentList
+paperAgents()
+{
+    AgentList agents;
+    agents.emplace_back("user1", CobbDouglasUtility({0.6, 0.4}));
+    agents.emplace_back("user2", CobbDouglasUtility({0.2, 0.8}));
+    return agents;
+}
+
+Allocation
+paperRefAllocation()
+{
+    Allocation allocation(2, 2);
+    allocation.setAgentShare(0, {18.0, 4.0});
+    allocation.setAgentShare(1, {6.0, 8.0});
+    return allocation;
+}
+
+TEST(Fairness, PaperAllocationSatisfiesEverything)
+{
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    const auto report = checkFairness(paperAgents(), capacity,
+                                      paperRefAllocation());
+    EXPECT_TRUE(report.sharingIncentives.satisfied);
+    EXPECT_TRUE(report.envyFreeness.satisfied);
+    EXPECT_TRUE(report.paretoEfficiency.satisfied);
+    EXPECT_TRUE(report.capacity.satisfied);
+    EXPECT_TRUE(report.fair());
+    EXPECT_TRUE(report.allHold());
+}
+
+TEST(Fairness, EqualSplitIsEnvyFreeButNotPareto)
+{
+    // The midpoint is always EF and SI (weakly), but the two users'
+    // MRS differ there, so it is not PE.
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    const auto equal = Allocation::equalSplit(2, capacity);
+    const auto report = checkFairness(paperAgents(), capacity, equal);
+    EXPECT_TRUE(report.sharingIncentives.satisfied);
+    EXPECT_TRUE(report.envyFreeness.satisfied);
+    EXPECT_FALSE(report.paretoEfficiency.satisfied);
+}
+
+TEST(Fairness, LopsidedAllocationViolatesSiAndEf)
+{
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    Allocation lopsided(2, 2);
+    lopsided.setAgentShare(0, {22.0, 11.0});
+    lopsided.setAgentShare(1, {2.0, 1.0});
+    const auto agents = paperAgents();
+    const auto si = checkSharingIncentives(agents, capacity, lopsided);
+    const auto ef = checkEnvyFreeness(agents, lopsided);
+    EXPECT_FALSE(si.satisfied);
+    EXPECT_FALSE(ef.satisfied);
+    // The starved agent is the binding one.
+    EXPECT_NE(si.binding.find("user2"), std::string::npos);
+    EXPECT_LT(si.worstSlack, 0.0);
+    EXPECT_LT(ef.worstSlack, 0.0);
+}
+
+TEST(Fairness, WastefulAllocationIsNotPareto)
+{
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    Allocation wasteful(2, 2);
+    wasteful.setAgentShare(0, {9.0, 2.0});
+    wasteful.setAgentShare(1, {3.0, 4.0});  // Half of everything idle.
+    const auto pe = checkParetoEfficiency(paperAgents(), capacity,
+                                          wasteful);
+    EXPECT_FALSE(pe.satisfied);
+    EXPECT_NE(pe.binding.find("unallocated"), std::string::npos);
+}
+
+TEST(Fairness, CornerAllocationReportedNotPareto)
+{
+    // All of one resource to each user: zero utilities, EF holds
+    // trivially, but we report PE false (degenerate corner).
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    Allocation corner(2, 2);
+    corner.setAgentShare(0, {24.0, 0.0});
+    corner.setAgentShare(1, {0.0, 12.0});
+    const auto agents = paperAgents();
+    EXPECT_TRUE(checkEnvyFreeness(agents, corner).satisfied);
+    EXPECT_FALSE(
+        checkParetoEfficiency(agents, capacity, corner).satisfied);
+}
+
+TEST(Fairness, CapacityCheckCatchesViolations)
+{
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    Allocation over(2, 2);
+    over.setAgentShare(0, {20.0, 8.0});
+    over.setAgentShare(1, {6.0, 8.0});
+    EXPECT_FALSE(checkCapacity(capacity, over).satisfied);
+
+    Allocation negative(2, 2);
+    negative.setAgentShare(0, {25.0, 4.0});
+    negative.setAgentShare(1, {-1.0, 8.0});
+    const auto check = checkCapacity(capacity, negative);
+    EXPECT_FALSE(check.satisfied);
+    EXPECT_EQ(check.binding, "negative amount");
+}
+
+TEST(Fairness, MrsMismatchScalesWithDistanceFromContractCurve)
+{
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    const auto agents = paperAgents();
+    // Start at the fair point and push user 1 off the curve.
+    Allocation near = paperRefAllocation();
+    near.at(0, 1) += 0.1;
+    near.at(1, 1) -= 0.1;
+    Allocation far = paperRefAllocation();
+    far.at(0, 1) += 2.0;
+    far.at(1, 1) -= 2.0;
+    const auto near_pe =
+        checkParetoEfficiency(agents, capacity, near);
+    const auto far_pe = checkParetoEfficiency(agents, capacity, far);
+    EXPECT_FALSE(near_pe.satisfied);
+    EXPECT_FALSE(far_pe.satisfied);
+    EXPECT_GT(near_pe.worstSlack, far_pe.worstSlack);
+}
+
+TEST(Fairness, SingleAgentGetsEverything)
+{
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    AgentList agents;
+    agents.emplace_back("solo", CobbDouglasUtility({0.5, 0.5}));
+    Allocation allocation(1, 2);
+    allocation.setAgentShare(0, capacity.capacities());
+    const auto report = checkFairness(agents, capacity, allocation);
+    EXPECT_TRUE(report.allHold());
+}
+
+TEST(Fairness, RejectsShapeMismatches)
+{
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    const auto agents = paperAgents();
+    Allocation wrong_agents(3, 2);
+    EXPECT_THROW(checkFairness(agents, capacity, wrong_agents),
+                 ref::FatalError);
+    Allocation wrong_resources(2, 3);
+    EXPECT_THROW(checkFairness(agents, capacity, wrong_resources),
+                 ref::FatalError);
+    EXPECT_THROW(checkFairness({}, capacity, Allocation(1, 2)),
+                 ref::FatalError);
+}
+
+TEST(Fairness, ToleranceControlsStrictness)
+{
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    Allocation almost = paperRefAllocation();
+    almost.at(0, 0) -= 1e-5;  // Leaves 1e-5 GB/s unallocated.
+    FairnessTolerance loose;
+    loose.mrs = 1e-2;
+    loose.capacity = 1e-4;
+    FairnessTolerance strict;
+    strict.mrs = 1e-9;
+    strict.capacity = 1e-12;
+    EXPECT_TRUE(checkParetoEfficiency(paperAgents(), capacity, almost,
+                                      loose)
+                    .satisfied);
+    EXPECT_FALSE(checkParetoEfficiency(paperAgents(), capacity, almost,
+                                       strict)
+                     .satisfied);
+}
+
+} // namespace

@@ -1,0 +1,155 @@
+#include "core/fitting.hh"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace {
+
+using namespace ref::core;
+
+PerformanceProfile
+syntheticProfile(double a0, double ax, double ay, double noise_sd,
+                 std::uint64_t seed)
+{
+    ref::Rng rng(seed);
+    PerformanceProfile profile;
+    for (double x : {0.8, 1.6, 3.2, 6.4, 12.8}) {
+        for (double y : {0.125, 0.25, 0.5, 1.0, 2.0}) {
+            const double clean =
+                a0 * std::pow(x, ax) * std::pow(y, ay);
+            const double noisy =
+                clean * std::exp(rng.normal(0.0, noise_sd));
+            profile.push_back(ProfilePoint{{x, y}, noisy});
+        }
+    }
+    return profile;
+}
+
+TEST(Fitting, RecoversExactCobbDouglas)
+{
+    const auto profile = syntheticProfile(0.7, 0.6, 0.4, 0.0, 1);
+    const auto fit = fitCobbDouglas(profile);
+    EXPECT_NEAR(fit.utility.scale(), 0.7, 1e-9);
+    EXPECT_NEAR(fit.utility.elasticity(0), 0.6, 1e-9);
+    EXPECT_NEAR(fit.utility.elasticity(1), 0.4, 1e-9);
+    EXPECT_NEAR(fit.rSquaredLog, 1.0, 1e-12);
+    EXPECT_NEAR(fit.rSquaredLinear, 1.0, 1e-9);
+    EXPECT_EQ(fit.clampedElasticities, 0);
+}
+
+TEST(Fitting, RecoversUnderModerateNoise)
+{
+    const auto profile = syntheticProfile(1.2, 0.3, 0.7, 0.05, 2);
+    const auto fit = fitCobbDouglas(profile);
+    EXPECT_NEAR(fit.utility.elasticity(0), 0.3, 0.05);
+    EXPECT_NEAR(fit.utility.elasticity(1), 0.7, 0.1);
+    EXPECT_GT(fit.rSquaredLog, 0.9);
+    EXPECT_LT(fit.rSquaredLog, 1.0);
+}
+
+TEST(Fitting, PredictMatchesUtilityEvaluation)
+{
+    const auto profile = syntheticProfile(1.0, 0.5, 0.5, 0.0, 3);
+    const auto fit = fitCobbDouglas(profile);
+    EXPECT_NEAR(fit.predict({4.0, 1.0}), 2.0, 1e-9);
+}
+
+TEST(Fitting, HeavyNoiseLowersRSquared)
+{
+    const auto clean = fitCobbDouglas(
+        syntheticProfile(1.0, 0.5, 0.5, 0.02, 4));
+    const auto noisy = fitCobbDouglas(
+        syntheticProfile(1.0, 0.5, 0.5, 0.5, 4));
+    EXPECT_LT(noisy.rSquaredLog, clean.rSquaredLog);
+}
+
+TEST(Fitting, FlatProfileClampsElasticities)
+{
+    // Performance independent of both resources: slopes ~0, clamped
+    // to the floor (the radiosity case).
+    ref::Rng rng(5);
+    PerformanceProfile profile;
+    for (double x : {1.0, 2.0, 4.0}) {
+        for (double y : {1.0, 2.0, 4.0}) {
+            profile.push_back(ProfilePoint{
+                {x, y}, 0.9 * std::exp(rng.normal(0.0, 0.01))});
+        }
+    }
+    const auto saved = ref::logLevel();
+    ref::setLogLevel(ref::LogLevel::Silent);
+    const auto fit = fitCobbDouglas(profile);
+    ref::setLogLevel(saved);
+    EXPECT_GT(fit.utility.elasticity(0), 0.0);
+    EXPECT_GT(fit.utility.elasticity(1), 0.0);
+    EXPECT_LE(fit.utility.elasticity(0), 0.02);
+}
+
+TEST(Fitting, NegativeSlopeClampedToFloor)
+{
+    // Performance decreasing in resource 1: elasticity would be
+    // negative; the fit floors it and reports the clamp.
+    PerformanceProfile profile;
+    for (double x : {1.0, 2.0, 4.0, 8.0}) {
+        for (double y : {1.0, 2.0, 4.0, 8.0}) {
+            profile.push_back(ProfilePoint{
+                {x, y}, std::pow(x, 0.5) * std::pow(y, -0.2)});
+        }
+    }
+    const auto saved = ref::logLevel();
+    ref::setLogLevel(ref::LogLevel::Silent);
+    FitOptions options;
+    options.elasticityFloor = 1e-3;
+    const auto fit = fitCobbDouglas(profile, options);
+    ref::setLogLevel(saved);
+    EXPECT_EQ(fit.clampedElasticities, 1);
+    EXPECT_DOUBLE_EQ(fit.utility.elasticity(1), 1e-3);
+    EXPECT_NEAR(fit.utility.elasticity(0), 0.5, 1e-6);
+}
+
+TEST(Fitting, RejectsDegenerateProfiles)
+{
+    EXPECT_THROW(fitCobbDouglas({}), ref::FatalError);
+
+    PerformanceProfile bad_perf{{{1.0, 1.0}, 0.0}};
+    EXPECT_THROW(fitCobbDouglas(bad_perf), ref::FatalError);
+
+    PerformanceProfile bad_alloc{{{0.0, 1.0}, 1.0}};
+    EXPECT_THROW(fitCobbDouglas(bad_alloc), ref::FatalError);
+
+    // Too few points for 2 resources + intercept.
+    PerformanceProfile tiny{{{1.0, 1.0}, 1.0}, {{2.0, 2.0}, 2.0}};
+    EXPECT_THROW(fitCobbDouglas(tiny), ref::FatalError);
+
+    // Collinear in log space: x always equals y.
+    PerformanceProfile collinear;
+    for (double v : {1.0, 2.0, 4.0, 8.0})
+        collinear.push_back(ProfilePoint{{v, v}, v});
+    EXPECT_THROW(fitCobbDouglas(collinear), ref::FatalError);
+
+    PerformanceProfile mismatched{{{1.0, 1.0}, 1.0},
+                                  {{2.0}, 2.0}};
+    EXPECT_THROW(fitCobbDouglas(mismatched), ref::FatalError);
+}
+
+TEST(Fitting, ThreeResourceFit)
+{
+    ref::Rng rng(7);
+    PerformanceProfile profile;
+    for (int n = 0; n < 60; ++n) {
+        const Vector x{rng.uniform(0.5, 8.0), rng.uniform(0.5, 8.0),
+                       rng.uniform(0.5, 8.0)};
+        const double u = 2.0 * std::pow(x[0], 0.2) *
+                         std::pow(x[1], 0.5) * std::pow(x[2], 0.3);
+        profile.push_back(ProfilePoint{x, u});
+    }
+    const auto fit = fitCobbDouglas(profile);
+    EXPECT_NEAR(fit.utility.elasticity(0), 0.2, 1e-9);
+    EXPECT_NEAR(fit.utility.elasticity(1), 0.5, 1e-9);
+    EXPECT_NEAR(fit.utility.elasticity(2), 0.3, 1e-9);
+}
+
+} // namespace

@@ -1,0 +1,89 @@
+#include "core/leontief.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace {
+
+using ref::core::LeontiefUtility;
+using ref::core::Vector;
+
+TEST(Leontief, EvaluatesPaperEquationEight)
+{
+    // u1 = min{x1, 2 y1}: demand vector (2 GB/s, 1 MB) scaled so the
+    // paper's example demands 2:1 bandwidth:cache.
+    const LeontiefUtility u({2.0, 1.0});
+    EXPECT_DOUBLE_EQ(u.value({4.0, 2.0}), 2.0);
+    // Disproportional allocations give the same utility (waste).
+    EXPECT_DOUBLE_EQ(u.value({10.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(u.value({4.0, 10.0}), 2.0);
+}
+
+TEST(Leontief, NoSubstitution)
+{
+    // Unlike Cobb-Douglas, extra cache cannot compensate for less
+    // bandwidth.
+    const LeontiefUtility u({2.0, 1.0});
+    EXPECT_LT(u.value({1.0, 8.0}), u.value({4.0, 2.0}));
+}
+
+TEST(Leontief, BindingResources)
+{
+    const LeontiefUtility u({2.0, 1.0});
+    const auto binding = u.bindingResources({10.0, 2.0});
+    ASSERT_EQ(binding.size(), 1u);
+    EXPECT_EQ(binding[0], 1u);
+    const auto both = u.bindingResources({4.0, 2.0});
+    EXPECT_EQ(both.size(), 2u);
+}
+
+TEST(Leontief, MinimalEquivalentRemovesWaste)
+{
+    const LeontiefUtility u({2.0, 1.0});
+    const Vector minimal = u.minimalEquivalent({10.0, 2.0});
+    EXPECT_DOUBLE_EQ(minimal[0], 4.0);
+    EXPECT_DOUBLE_EQ(minimal[1], 2.0);
+    EXPECT_DOUBLE_EQ(u.value(minimal), u.value({10.0, 2.0}));
+}
+
+TEST(Leontief, WeakPreference)
+{
+    const LeontiefUtility u({1.0, 1.0});
+    EXPECT_TRUE(u.weaklyPrefers({2.0, 2.0}, {1.0, 5.0}));
+    EXPECT_FALSE(u.weaklyPrefers({1.0, 5.0}, {2.0, 2.0}));
+    EXPECT_TRUE(u.weaklyPrefers({1.0, 5.0}, {5.0, 1.0}));
+}
+
+TEST(Leontief, ZeroAllocationZeroUtility)
+{
+    const LeontiefUtility u({1.0, 2.0});
+    EXPECT_DOUBLE_EQ(u.value({0.0, 4.0}), 0.0);
+}
+
+TEST(Leontief, RejectsInvalidInput)
+{
+    EXPECT_THROW(LeontiefUtility({}), ref::FatalError);
+    EXPECT_THROW(LeontiefUtility({0.0, 0.0}), ref::FatalError);
+    EXPECT_THROW(LeontiefUtility({1.0, -0.5}), ref::FatalError);
+    const LeontiefUtility u({1.0, 1.0});
+    EXPECT_THROW(u.value({1.0}), ref::FatalError);
+    EXPECT_THROW(u.value({-1.0, 1.0}), ref::FatalError);
+    EXPECT_THROW(u.demand(2), ref::FatalError);
+}
+
+TEST(Leontief, ZeroDemandResourcesAreIgnored)
+{
+    // A CPU-only task (DRF-style): utility set by resource 0 alone.
+    const LeontiefUtility u({2.0, 0.0});
+    EXPECT_DOUBLE_EQ(u.value({4.0, 0.0}), 2.0);
+    EXPECT_DOUBLE_EQ(u.value({4.0, 100.0}), 2.0);
+    const auto binding = u.bindingResources({4.0, 0.0});
+    ASSERT_EQ(binding.size(), 1u);
+    EXPECT_EQ(binding[0], 0u);
+    // Minimal equivalent holds none of the undemanded resource.
+    const Vector minimal = u.minimalEquivalent({4.0, 100.0});
+    EXPECT_DOUBLE_EQ(minimal[1], 0.0);
+}
+
+} // namespace

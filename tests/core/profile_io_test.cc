@@ -1,0 +1,127 @@
+#include "core/profile_io.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/fitting.hh"
+#include "util/logging.hh"
+
+namespace {
+
+using namespace ref::core;
+
+TEST(ProfileIo, ProfileRoundTrips)
+{
+    PerformanceProfile original{
+        {{0.8, 0.125}, 0.05}, {{12.8, 2.0}, 0.35}, {{3.2, 1.0}, 0.2}};
+    std::stringstream buffer;
+    writeProfileCsv(buffer, original);
+    const auto loaded = readProfileCsv(buffer);
+    ASSERT_EQ(loaded.size(), original.size());
+    for (std::size_t n = 0; n < original.size(); ++n) {
+        EXPECT_EQ(loaded[n].allocation, original[n].allocation);
+        EXPECT_DOUBLE_EQ(loaded[n].performance,
+                         original[n].performance);
+    }
+}
+
+TEST(ProfileIo, LoadedProfileFitsIdentically)
+{
+    PerformanceProfile original;
+    for (double x : {1.0, 2.0, 4.0, 8.0}) {
+        for (double y : {1.0, 2.0, 4.0}) {
+            original.push_back(ProfilePoint{
+                {x, y}, 0.7 * std::pow(x, 0.6) * std::pow(y, 0.4)});
+        }
+    }
+    std::stringstream buffer;
+    writeProfileCsv(buffer, original);
+    const auto fit = fitCobbDouglas(readProfileCsv(buffer));
+    EXPECT_NEAR(fit.utility.elasticity(0), 0.6, 1e-6);
+    EXPECT_NEAR(fit.utility.elasticity(1), 0.4, 1e-6);
+}
+
+TEST(ProfileIo, ProfileHeaderShape)
+{
+    PerformanceProfile profile{{{1.0, 2.0, 3.0}, 0.5}};
+    std::stringstream buffer;
+    writeProfileCsv(buffer, profile);
+    std::string header;
+    std::getline(buffer, header);
+    EXPECT_EQ(header, "x0,x1,x2,performance");
+}
+
+TEST(ProfileIo, ReadProfileRejectsMalformedInput)
+{
+    std::stringstream empty;
+    EXPECT_THROW(readProfileCsv(empty), ref::FatalError);
+
+    std::stringstream header_only("x0,performance\n");
+    EXPECT_THROW(readProfileCsv(header_only), ref::FatalError);
+
+    std::stringstream short_row("x0,x1,performance\n1.0,2.0\n");
+    EXPECT_THROW(readProfileCsv(short_row), ref::FatalError);
+
+    std::stringstream bad_number(
+        "x0,performance\nnot-a-number,1.0\n");
+    EXPECT_THROW(readProfileCsv(bad_number), ref::FatalError);
+
+    std::stringstream trailing("x0,performance\n1.0x,1.0\n");
+    EXPECT_THROW(readProfileCsv(trailing), ref::FatalError);
+}
+
+TEST(ProfileIo, ReadProfileSkipsBlankLines)
+{
+    std::stringstream buffer("x0,performance\n1.0,0.5\n\n2.0,0.7\n");
+    const auto profile = readProfileCsv(buffer);
+    EXPECT_EQ(profile.size(), 2u);
+}
+
+TEST(ProfileIo, AgentsRoundTrip)
+{
+    AgentList original;
+    original.emplace_back("user1",
+                          CobbDouglasUtility(1.5, {0.6, 0.4}));
+    original.emplace_back("user2",
+                          CobbDouglasUtility({0.2, 0.8}));
+    std::stringstream buffer;
+    writeAgentsCsv(buffer, original);
+    const auto loaded = readAgentsCsv(buffer);
+    ASSERT_EQ(loaded.size(), 2u);
+    EXPECT_EQ(loaded[0].name(), "user1");
+    EXPECT_NEAR(loaded[0].utility().scale(), 1.5, 1e-6);
+    EXPECT_NEAR(loaded[0].utility().elasticity(0), 0.6, 1e-6);
+    EXPECT_NEAR(loaded[1].utility().elasticity(1), 0.8, 1e-6);
+}
+
+TEST(ProfileIo, ReadAgentsRejectsMalformedInput)
+{
+    std::stringstream empty;
+    EXPECT_THROW(readAgentsCsv(empty), ref::FatalError);
+
+    std::stringstream no_elasticities("name,scale\nuser,1.0\n");
+    EXPECT_THROW(readAgentsCsv(no_elasticities), ref::FatalError);
+
+    // Non-positive elasticity rejected by the utility invariant.
+    std::stringstream bad_alpha(
+        "name,scale,alpha0,alpha1\nuser,1.0,0.5,-0.5\n");
+    EXPECT_THROW(readAgentsCsv(bad_alpha), ref::FatalError);
+
+    std::stringstream bad_scale(
+        "name,scale,alpha0\nuser,0.0,0.5\n");
+    EXPECT_THROW(readAgentsCsv(bad_scale), ref::FatalError);
+}
+
+TEST(ProfileIo, WriteRejectsDegenerateInput)
+{
+    std::stringstream buffer;
+    EXPECT_THROW(writeProfileCsv(buffer, {}), ref::FatalError);
+    EXPECT_THROW(writeAgentsCsv(buffer, {}), ref::FatalError);
+    // Inconsistent widths.
+    PerformanceProfile mixed{{{1.0, 2.0}, 0.5}, {{1.0}, 0.5}};
+    EXPECT_THROW(writeProfileCsv(buffer, mixed), ref::FatalError);
+}
+
+} // namespace

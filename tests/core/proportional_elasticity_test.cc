@@ -1,0 +1,149 @@
+#include "core/proportional_elasticity.hh"
+
+#include <gtest/gtest.h>
+
+#include "core/fairness.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace {
+
+using namespace ref::core;
+
+TEST(ProportionalElasticity, ReproducesPaperSection41Example)
+{
+    // Elasticities (0.6, 0.4) and (0.2, 0.8) over 24 GB/s and 12 MB
+    // must yield (18, 4) and (6, 8) — the worked example.
+    AgentList agents;
+    agents.emplace_back("user1", CobbDouglasUtility({0.6, 0.4}));
+    agents.emplace_back("user2", CobbDouglasUtility({0.2, 0.8}));
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    const auto allocation =
+        ProportionalElasticityMechanism().allocate(agents, capacity);
+    EXPECT_NEAR(allocation.at(0, 0), 18.0, 1e-12);
+    EXPECT_NEAR(allocation.at(0, 1), 4.0, 1e-12);
+    EXPECT_NEAR(allocation.at(1, 0), 6.0, 1e-12);
+    EXPECT_NEAR(allocation.at(1, 1), 8.0, 1e-12);
+}
+
+TEST(ProportionalElasticity, InvariantToElasticityScaling)
+{
+    // The mechanism re-scales internally (Eq. 12), so multiplying an
+    // agent's elasticities by a constant changes nothing.
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    AgentList a;
+    a.emplace_back("u1", CobbDouglasUtility({0.6, 0.4}));
+    a.emplace_back("u2", CobbDouglasUtility({0.2, 0.8}));
+    AgentList b;
+    b.emplace_back("u1", CobbDouglasUtility(5.0, {1.2, 0.8}));
+    b.emplace_back("u2", CobbDouglasUtility(0.1, {0.05, 0.2}));
+    const ProportionalElasticityMechanism mechanism;
+    const auto alloc_a = mechanism.allocate(a, capacity);
+    const auto alloc_b = mechanism.allocate(b, capacity);
+    for (std::size_t i = 0; i < 2; ++i)
+        for (std::size_t r = 0; r < 2; ++r)
+            EXPECT_NEAR(alloc_a.at(i, r), alloc_b.at(i, r), 1e-12);
+}
+
+TEST(ProportionalElasticity, IdenticalAgentsSplitEqually)
+{
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    AgentList agents;
+    for (int i = 0; i < 4; ++i) {
+        agents.emplace_back("clone-" + std::to_string(i),
+                            CobbDouglasUtility({0.5, 0.5}));
+    }
+    const auto allocation =
+        ProportionalElasticityMechanism().allocate(agents, capacity);
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_NEAR(allocation.at(i, 0), 6.0, 1e-12);
+        EXPECT_NEAR(allocation.at(i, 1), 3.0, 1e-12);
+    }
+}
+
+TEST(ProportionalElasticity, ExhaustsEveryResource)
+{
+    const auto capacity = SystemCapacity::fromCapacities({7.0, 3.0, 11.0});
+    AgentList agents;
+    agents.emplace_back("a", CobbDouglasUtility({0.5, 0.3, 0.2}));
+    agents.emplace_back("b", CobbDouglasUtility({0.1, 0.8, 0.1}));
+    agents.emplace_back("c", CobbDouglasUtility({0.3, 0.3, 0.4}));
+    const auto allocation =
+        ProportionalElasticityMechanism().allocate(agents, capacity);
+    EXPECT_TRUE(allocation.exhaustive(capacity, 1e-9));
+}
+
+TEST(ProportionalElasticity, RescaledElasticitiesExposed)
+{
+    AgentList agents;
+    agents.emplace_back("a", CobbDouglasUtility({0.9, 0.3}));
+    agents.emplace_back("b", CobbDouglasUtility({0.2, 0.2}));
+    const auto rescaled =
+        ProportionalElasticityMechanism::rescaledElasticities(agents);
+    EXPECT_NEAR(rescaled(0, 0), 0.75, 1e-12);
+    EXPECT_NEAR(rescaled(0, 1), 0.25, 1e-12);
+    EXPECT_NEAR(rescaled(1, 0), 0.5, 1e-12);
+    EXPECT_NEAR(rescaled(1, 1), 0.5, 1e-12);
+}
+
+TEST(ProportionalElasticity, RejectsMismatchedShapes)
+{
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    AgentList agents;
+    agents.emplace_back("a", CobbDouglasUtility({0.5, 0.3, 0.2}));
+    EXPECT_THROW(
+        ProportionalElasticityMechanism().allocate(agents, capacity),
+        ref::FatalError);
+    EXPECT_THROW(
+        ProportionalElasticityMechanism().allocate({}, capacity),
+        ref::FatalError);
+}
+
+/**
+ * Property sweep: for random agent populations, the REF allocation
+ * always satisfies SI, EF, PE, and capacity — the paper's central
+ * theorem (Section 4.2).
+ */
+class RefFairnessProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{};
+
+TEST_P(RefFairnessProperty, AlwaysFair)
+{
+    const auto [n_agents, n_resources, seed] = GetParam();
+    ref::Rng rng(static_cast<std::uint64_t>(seed));
+
+    std::vector<double> capacities(n_resources);
+    for (auto &cap : capacities)
+        cap = rng.uniform(1.0, 100.0);
+    const auto capacity = SystemCapacity::fromCapacities(capacities);
+
+    AgentList agents;
+    for (int i = 0; i < n_agents; ++i) {
+        Vector alphas(n_resources);
+        for (auto &alpha : alphas)
+            alpha = rng.uniform(0.05, 1.0);
+        agents.emplace_back("agent-" + std::to_string(i),
+                            CobbDouglasUtility(rng.uniform(0.5, 2.0),
+                                               alphas));
+    }
+
+    const auto allocation =
+        ProportionalElasticityMechanism().allocate(agents, capacity);
+    const auto report = checkFairness(agents, capacity, allocation);
+    EXPECT_TRUE(report.sharingIncentives.satisfied)
+        << report.sharingIncentives.binding;
+    EXPECT_TRUE(report.envyFreeness.satisfied)
+        << report.envyFreeness.binding;
+    EXPECT_TRUE(report.paretoEfficiency.satisfied)
+        << report.paretoEfficiency.binding;
+    EXPECT_TRUE(report.capacity.satisfied) << report.capacity.binding;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RefFairnessProperty,
+    ::testing::Combine(::testing::Values(2, 3, 4, 8, 16, 64),
+                       ::testing::Values(2, 3, 5),
+                       ::testing::Values(1, 2, 3)));
+
+} // namespace

@@ -1,0 +1,58 @@
+#include "core/resource.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace {
+
+using ref::core::Resource;
+using ref::core::SystemCapacity;
+
+TEST(SystemCapacity, ExampleMatchesPaper)
+{
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    EXPECT_EQ(capacity.count(), 2u);
+    EXPECT_DOUBLE_EQ(capacity.capacity(0), 24.0);
+    EXPECT_DOUBLE_EQ(capacity.capacity(1), 12.0);
+    EXPECT_EQ(capacity.resource(0).unit, "GB/s");
+    EXPECT_EQ(capacity.resource(1).unit, "MB");
+}
+
+TEST(SystemCapacity, FromCapacitiesNamesResources)
+{
+    const auto capacity =
+        SystemCapacity::fromCapacities({1.0, 2.0, 3.0});
+    EXPECT_EQ(capacity.count(), 3u);
+    EXPECT_EQ(capacity.resource(2).name, "resource-2");
+    EXPECT_DOUBLE_EQ(capacity.capacity(2), 3.0);
+}
+
+TEST(SystemCapacity, CapacitiesVectorRoundTrips)
+{
+    const auto capacity = SystemCapacity::fromCapacities({4.0, 8.0});
+    const auto caps = capacity.capacities();
+    EXPECT_EQ(caps, (ref::core::Vector{4.0, 8.0}));
+}
+
+TEST(SystemCapacity, EqualShareDividesEveryResource)
+{
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    const auto share = capacity.equalShare(4);
+    EXPECT_DOUBLE_EQ(share[0], 6.0);
+    EXPECT_DOUBLE_EQ(share[1], 3.0);
+}
+
+TEST(SystemCapacity, RejectsDegenerateInput)
+{
+    EXPECT_THROW(SystemCapacity({}), ref::FatalError);
+    EXPECT_THROW(SystemCapacity({Resource{"x", "", 0.0}}),
+                 ref::FatalError);
+    EXPECT_THROW(SystemCapacity({Resource{"x", "", -1.0}}),
+                 ref::FatalError);
+    const auto capacity = SystemCapacity::fromCapacities({1.0});
+    EXPECT_THROW(capacity.capacity(1), ref::FatalError);
+    EXPECT_THROW(capacity.equalShare(0), ref::FatalError);
+}
+
+} // namespace

@@ -1,0 +1,137 @@
+#include "core/strategic.hh"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace {
+
+using namespace ref::core;
+
+AgentList
+uniformRandomAgents(std::size_t n, std::size_t resources,
+                    std::uint64_t seed)
+{
+    ref::Rng rng(seed);
+    AgentList agents;
+    for (std::size_t i = 0; i < n; ++i) {
+        Vector alphas(resources);
+        for (auto &alpha : alphas)
+            alpha = rng.uniform(0.05, 1.0);
+        agents.emplace_back("agent-" + std::to_string(i),
+                            CobbDouglasUtility(alphas));
+    }
+    return agents;
+}
+
+TEST(Strategic, TruthfulUtilityMatchesRefAllocation)
+{
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    AgentList agents;
+    agents.emplace_back("u1", CobbDouglasUtility({0.6, 0.4}));
+    agents.emplace_back("u2", CobbDouglasUtility({0.2, 0.8}));
+    const StrategicAnalysis analysis(agents, capacity);
+    // Truthful report yields the (18, 4) bundle valued with the true
+    // rescaled utility.
+    const double expected =
+        std::pow(18.0, 0.6) * std::pow(4.0, 0.4);
+    EXPECT_NEAR(analysis.utilityFromReport(0, {0.6, 0.4}), expected,
+                1e-9);
+}
+
+TEST(Strategic, ReportIsScaleInvariant)
+{
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    const auto agents = uniformRandomAgents(3, 2, 7);
+    const StrategicAnalysis analysis(agents, capacity);
+    EXPECT_NEAR(analysis.utilityFromReport(0, {0.3, 0.7}),
+                analysis.utilityFromReport(0, {3.0, 7.0}), 1e-9);
+}
+
+TEST(Strategic, SmallSystemRewardsLying)
+{
+    // With only two agents, strategy-proofness fails: the best
+    // response deviates from the truth and gains.
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    AgentList agents;
+    agents.emplace_back("u1", CobbDouglasUtility({0.6, 0.4}));
+    agents.emplace_back("u2", CobbDouglasUtility({0.2, 0.8}));
+    const StrategicAnalysis analysis(agents, capacity);
+    const auto best = analysis.bestResponse(0);
+    EXPECT_GT(best.gainRatio, 1.01);
+    EXPECT_GT(best.reportDeviation, 0.05);
+}
+
+TEST(Strategic, GainNeverBelowTruthful)
+{
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        const auto agents = uniformRandomAgents(4, 2, seed);
+        const StrategicAnalysis analysis(agents, capacity);
+        const auto best = analysis.bestResponse(0);
+        EXPECT_GE(best.gainRatio, 1.0);
+    }
+}
+
+/**
+ * SPL property (Section 4.3): as the population grows, the best
+ * response converges to the truth and the gain ratio to one. The
+ * paper's example uses 64 tasks with uniform elasticities.
+ */
+class SplConvergence : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(SplConvergence, GainShrinksWithPopulation)
+{
+    const int n = GetParam();
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    const auto agents = uniformRandomAgents(
+        static_cast<std::size_t>(n), 2, 42);
+    const StrategicAnalysis analysis(agents, capacity);
+    const auto best = analysis.bestResponse(0);
+    // Thresholds loose for small n, tight for the 64-task example.
+    const double bound = n >= 64 ? 1.0005 : (n >= 16 ? 1.01 : 1.2);
+    EXPECT_LT(best.gainRatio, bound) << "n = " << n;
+    if (n >= 64)
+        EXPECT_LT(best.reportDeviation, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SplConvergence,
+                         ::testing::Values(2, 4, 16, 64, 128));
+
+TEST(Strategic, ThreeResourceBestResponseUsesSimplexSearch)
+{
+    const auto capacity =
+        SystemCapacity::fromCapacities({10.0, 20.0, 30.0});
+    const auto agents = uniformRandomAgents(32, 3, 11);
+    const StrategicAnalysis analysis(agents, capacity);
+    const auto best = analysis.bestResponse(3);
+    EXPECT_GE(best.gainRatio, 1.0);
+    EXPECT_LT(best.gainRatio, 1.01);
+    // Report stays on the simplex.
+    double total = 0;
+    for (double v : best.report)
+        total += v;
+    EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+TEST(Strategic, RejectsBadInput)
+{
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    AgentList one;
+    one.emplace_back("solo", CobbDouglasUtility({0.5, 0.5}));
+    EXPECT_THROW(StrategicAnalysis(one, capacity), ref::FatalError);
+
+    const auto agents = uniformRandomAgents(2, 2, 1);
+    const StrategicAnalysis analysis(agents, capacity);
+    EXPECT_THROW(analysis.utilityFromReport(5, {0.5, 0.5}),
+                 ref::FatalError);
+    EXPECT_THROW(analysis.utilityFromReport(0, {0.5}),
+                 ref::FatalError);
+    EXPECT_THROW(analysis.bestResponse(9), ref::FatalError);
+}
+
+} // namespace

@@ -1,0 +1,137 @@
+#include "core/utilitarian.hh"
+
+#include <gtest/gtest.h>
+
+#include "core/fairness.hh"
+#include "core/proportional_elasticity.hh"
+#include "core/welfare.hh"
+#include "core/welfare_mechanisms.hh"
+#include "util/logging.hh"
+
+namespace {
+
+using namespace ref::core;
+
+AgentList
+paperAgents()
+{
+    AgentList agents;
+    agents.emplace_back("user1", CobbDouglasUtility({0.6, 0.4}));
+    agents.emplace_back("user2", CobbDouglasUtility({0.2, 0.8}));
+    return agents;
+}
+
+TEST(Utilitarian, FeasibleAndExhaustive)
+{
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    const auto allocation =
+        UtilitarianMechanism().allocate(paperAgents(), capacity);
+    EXPECT_TRUE(allocation.exhaustive(capacity, 1e-6));
+}
+
+TEST(Utilitarian, UpperBoundsNashOptimumOnThroughput)
+{
+    // The (approximate) utilitarian optimum targets exactly the
+    // weighted-throughput metric, so it must beat or match the Nash
+    // product optimum on it.
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    const auto agents = paperAgents();
+    const double utilitarian = weightedSystemThroughput(
+        agents, UtilitarianMechanism().allocate(agents, capacity),
+        capacity);
+    const double nash = weightedSystemThroughput(
+        agents, makeMaxWelfareUnfair().allocate(agents, capacity),
+        capacity);
+    EXPECT_GE(utilitarian + 1e-4, nash);
+}
+
+TEST(Utilitarian, SingleAgentGetsEverything)
+{
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    AgentList solo;
+    solo.emplace_back("solo", CobbDouglasUtility({0.5, 0.5}));
+    const auto allocation =
+        UtilitarianMechanism().allocate(solo, capacity);
+    EXPECT_NEAR(allocation.at(0, 0), 24.0, 1e-6);
+    EXPECT_NEAR(allocation.at(0, 1), 12.0, 1e-6);
+}
+
+TEST(Utilitarian, IdenticalHomogeneousAgentsAreInterchangeable)
+{
+    // With identical degree-one agents, any capacity-exhausting
+    // split gives the same total; the mechanism must return a valid
+    // one.
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    AgentList agents;
+    agents.emplace_back("a", CobbDouglasUtility({0.5, 0.5}));
+    agents.emplace_back("b", CobbDouglasUtility({0.5, 0.5}));
+    const auto allocation =
+        UtilitarianMechanism().allocate(agents, capacity);
+    EXPECT_TRUE(allocation.feasible(capacity, 1e-6));
+    const double total = weightedSystemThroughput(agents, allocation,
+                                                  capacity);
+    // Degree-one utilities: best achievable sum over any split of
+    // matched proportions is 1.
+    EXPECT_NEAR(total, 1.0, 1e-3);
+}
+
+TEST(Utilitarian, FairVariantSatisfiesFairness)
+{
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    const auto agents = paperAgents();
+    UtilitarianMechanism::Options options;
+    options.withFairness = true;
+    const auto allocation =
+        UtilitarianMechanism(options).allocate(agents, capacity);
+    FairnessTolerance tol;
+    tol.utility = 1e-3;
+    tol.mrs = 5e-2;
+    tol.capacity = 1e-6;
+    const auto report =
+        checkFairness(agents, capacity, allocation, tol);
+    EXPECT_TRUE(report.sharingIncentives.satisfied)
+        << report.sharingIncentives.binding;
+    EXPECT_TRUE(report.envyFreeness.satisfied)
+        << report.envyFreeness.binding;
+}
+
+TEST(Utilitarian, FairVariantCostsThroughput)
+{
+    // Fairness constraints can only reduce the attainable sum.
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    AgentList agents;
+    agents.emplace_back("flat", CobbDouglasUtility({0.3, 0.1}));
+    agents.emplace_back("steep", CobbDouglasUtility({0.9, 0.9}));
+    UtilitarianMechanism::Options fair_options;
+    fair_options.withFairness = true;
+    const double unconstrained = weightedSystemThroughput(
+        agents, UtilitarianMechanism().allocate(agents, capacity),
+        capacity);
+    const double constrained = weightedSystemThroughput(
+        agents,
+        UtilitarianMechanism(fair_options).allocate(agents, capacity),
+        capacity);
+    EXPECT_GE(unconstrained + 1e-4, constrained);
+}
+
+TEST(Utilitarian, NamesReflectVariant)
+{
+    EXPECT_EQ(UtilitarianMechanism().name(), "utilitarian");
+    UtilitarianMechanism::Options options;
+    options.withFairness = true;
+    EXPECT_EQ(UtilitarianMechanism(options).name(),
+              "utilitarian+fairness");
+}
+
+TEST(Utilitarian, RejectsBadShapes)
+{
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    EXPECT_THROW(UtilitarianMechanism().allocate({}, capacity),
+                 ref::FatalError);
+    AgentList agents;
+    agents.emplace_back("a", CobbDouglasUtility({0.5, 0.3, 0.2}));
+    EXPECT_THROW(UtilitarianMechanism().allocate(agents, capacity),
+                 ref::FatalError);
+}
+
+} // namespace

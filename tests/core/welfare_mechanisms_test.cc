@@ -1,0 +1,283 @@
+#include "core/welfare_mechanisms.hh"
+
+#include <gtest/gtest.h>
+
+#include "core/fairness.hh"
+#include "core/proportional_elasticity.hh"
+#include "core/welfare.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace {
+
+using namespace ref::core;
+
+AgentList
+paperAgents()
+{
+    AgentList agents;
+    agents.emplace_back("user1", CobbDouglasUtility({0.6, 0.4}));
+    agents.emplace_back("user2", CobbDouglasUtility({0.2, 0.8}));
+    return agents;
+}
+
+AgentList
+randomAgents(std::size_t n, std::size_t resources, ref::Rng &rng)
+{
+    AgentList agents;
+    for (std::size_t i = 0; i < n; ++i) {
+        Vector alphas(resources);
+        for (auto &alpha : alphas)
+            alpha = rng.uniform(0.1, 1.0);
+        agents.emplace_back("agent-" + std::to_string(i),
+                            CobbDouglasUtility(alphas));
+    }
+    return agents;
+}
+
+TEST(MaxWelfareUnfair, MatchesClosedFormRawProportionality)
+{
+    // Maximizing prod U_i subject only to capacity has the closed
+    // form x_ir = a_ir / sum_j a_jr * C_r with RAW elasticities —
+    // the analytic check for the GP solver.
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    AgentList agents;
+    agents.emplace_back("a", CobbDouglasUtility({0.9, 0.3}));
+    agents.emplace_back("b", CobbDouglasUtility({0.2, 0.6}));
+    const auto allocation =
+        makeMaxWelfareUnfair().allocate(agents, capacity);
+    EXPECT_NEAR(allocation.at(0, 0), 0.9 / 1.1 * 24.0, 1e-3);
+    EXPECT_NEAR(allocation.at(0, 1), 0.3 / 0.9 * 12.0, 1e-3);
+    EXPECT_NEAR(allocation.at(1, 0), 0.2 / 1.1 * 24.0, 1e-3);
+    EXPECT_NEAR(allocation.at(1, 1), 0.6 / 0.9 * 12.0, 1e-3);
+}
+
+TEST(MaxWelfareUnfair, EqualsRefForRescaledElasticities)
+{
+    // When all reported elasticities already sum to one, raw == re-
+    // scaled proportionality, so the unfair Nash optimum IS the REF
+    // point (the paper's Nash-bargaining equivalence, Eq. 14).
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    const auto agents = paperAgents();
+    const auto gp = makeMaxWelfareUnfair().allocate(agents, capacity);
+    const auto ref_alloc =
+        ProportionalElasticityMechanism().allocate(agents, capacity);
+    for (std::size_t i = 0; i < 2; ++i)
+        for (std::size_t r = 0; r < 2; ++r)
+            EXPECT_NEAR(gp.at(i, r), ref_alloc.at(i, r), 1e-3);
+}
+
+TEST(EqualSlowdown, EqualizesWeightedUtilities)
+{
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    const auto agents = paperAgents();
+    const auto allocation =
+        makeEqualSlowdown().allocate(agents, capacity);
+    const auto utilities =
+        weightedUtilities(agents, allocation, capacity);
+    EXPECT_NEAR(utilities[0], utilities[1], 1e-3);
+    EXPECT_NEAR(unfairnessIndex(agents, allocation, capacity), 1.0,
+                1e-3);
+}
+
+TEST(EqualSlowdown, BeatsEqualSplitForTheWorstAgent)
+{
+    // The max-min optimum can be no worse than the equal split's
+    // minimum weighted utility.
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    ref::Rng rng(17);
+    const auto agents = randomAgents(4, 2, rng);
+    const auto allocation =
+        makeEqualSlowdown().allocate(agents, capacity);
+    const auto equal = Allocation::equalSplit(4, capacity);
+    EXPECT_GE(egalitarianWelfare(agents, allocation, capacity) + 1e-4,
+              egalitarianWelfare(agents, equal, capacity));
+}
+
+TEST(MaxWelfareFair, SatisfiesAllFairnessProperties)
+{
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    const auto agents = paperAgents();
+    const auto allocation =
+        makeMaxWelfareFair().allocate(agents, capacity);
+    FairnessTolerance tol;
+    tol.utility = 1e-3;
+    tol.mrs = 1e-2;
+    tol.capacity = 1e-6;
+    const auto report =
+        checkFairness(agents, capacity, allocation, tol);
+    EXPECT_TRUE(report.allHold());
+}
+
+TEST(MaxWelfareFair, CoincidesWithRefOnPaperExample)
+{
+    // Figures 13-14 find "no performance difference" between REF and
+    // welfare maximization under fairness constraints; on the 2x2
+    // example the allocations themselves coincide.
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    const auto agents = paperAgents();
+    const auto gp = makeMaxWelfareFair().allocate(agents, capacity);
+    const auto ref_alloc =
+        ProportionalElasticityMechanism().allocate(agents, capacity);
+    for (std::size_t i = 0; i < 2; ++i)
+        for (std::size_t r = 0; r < 2; ++r)
+            EXPECT_NEAR(gp.at(i, r), ref_alloc.at(i, r), 0.05);
+}
+
+TEST(WelfareMechanisms, UnfairUpperBoundsConstrainedWelfare)
+{
+    // Adding fairness constraints can only reduce attainable Nash
+    // welfare.
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    ref::Rng rng(23);
+    const auto agents = randomAgents(4, 2, rng);
+    const auto unfair =
+        makeMaxWelfareUnfair().allocate(agents, capacity);
+    const auto fair = makeMaxWelfareFair().allocate(agents, capacity);
+    EXPECT_GE(nashWelfare(agents, unfair, capacity) + 1e-6,
+              nashWelfare(agents, fair, capacity));
+}
+
+TEST(WelfareMechanisms, NamesDistinguishVariants)
+{
+    EXPECT_EQ(makeMaxWelfareUnfair().name(), "max-welfare");
+    EXPECT_EQ(makeMaxWelfareFair().name(), "max-welfare+fairness");
+    EXPECT_EQ(makeEqualSlowdown().name(), "equal-slowdown");
+    EXPECT_EQ(makeEgalitarianFair().name(),
+              "equal-slowdown+fairness");
+}
+
+TEST(WelfareMechanisms, EgalitarianFairSatisfiesFairness)
+{
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    const auto agents = paperAgents();
+    const auto allocation =
+        makeEgalitarianFair().allocate(agents, capacity);
+    FairnessTolerance tol;
+    tol.utility = 1e-3;
+    tol.mrs = 5e-2;
+    tol.capacity = 1e-6;
+    const auto report =
+        checkFairness(agents, capacity, allocation, tol);
+    EXPECT_TRUE(report.allHold())
+        << "SI: " << report.sharingIncentives.binding
+        << " EF: " << report.envyFreeness.binding
+        << " PE: " << report.paretoEfficiency.binding;
+}
+
+TEST(WelfareMechanisms, ProjectionExhaustsCapacity)
+{
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    const auto agents = paperAgents();
+    for (const auto &mechanism :
+         {makeMaxWelfareUnfair(), makeEqualSlowdown(),
+          makeMaxWelfareFair()}) {
+        const auto allocation = mechanism.allocate(agents, capacity);
+        EXPECT_TRUE(allocation.exhaustive(capacity, 1e-6))
+            << mechanism.name();
+    }
+}
+
+TEST(WelfareMechanisms, RejectBadShapes)
+{
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    AgentList agents;
+    agents.emplace_back("a", CobbDouglasUtility({0.5, 0.3, 0.2}));
+    EXPECT_THROW(makeMaxWelfareUnfair().allocate(agents, capacity),
+                 ref::FatalError);
+    EXPECT_THROW(makeEqualSlowdown().allocate({}, capacity),
+                 ref::FatalError);
+}
+
+/**
+ * Property sweep: fairness-constrained welfare mechanisms satisfy SI
+ * and EF for random populations, and equal slowdown equalizes the
+ * weighted utilities it optimizes.
+ */
+class WelfareMechanismProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{};
+
+TEST_P(WelfareMechanismProperty, FairVariantsSatisfySiAndEf)
+{
+    const auto [n, seed] = GetParam();
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    ref::Rng rng(static_cast<std::uint64_t>(seed) * 7 + 1);
+    const auto agents =
+        randomAgents(static_cast<std::size_t>(n), 2, rng);
+    const auto allocation =
+        makeMaxWelfareFair().allocate(agents, capacity);
+    FairnessTolerance tol;
+    tol.utility = 2e-3;
+    tol.mrs = 5e-2;
+    tol.capacity = 1e-6;
+    const auto report =
+        checkFairness(agents, capacity, allocation, tol);
+    EXPECT_TRUE(report.sharingIncentives.satisfied)
+        << report.sharingIncentives.binding;
+    EXPECT_TRUE(report.envyFreeness.satisfied)
+        << report.envyFreeness.binding;
+}
+
+TEST_P(WelfareMechanismProperty, EqualSlowdownEqualizes)
+{
+    const auto [n, seed] = GetParam();
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    ref::Rng rng(static_cast<std::uint64_t>(seed) * 11 + 3);
+    const auto agents =
+        randomAgents(static_cast<std::size_t>(n), 2, rng);
+    const auto allocation =
+        makeEqualSlowdown().allocate(agents, capacity);
+    EXPECT_NEAR(unfairnessIndex(agents, allocation, capacity), 1.0,
+                0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, WelfareMechanismProperty,
+                         ::testing::Combine(::testing::Values(2, 3, 5),
+                                            ::testing::Values(1, 2)));
+
+TEST(WelfareMechanisms, ThreeResourceFairVariant)
+{
+    const auto capacity =
+        SystemCapacity::fromCapacities({10.0, 20.0, 30.0});
+    AgentList agents;
+    agents.emplace_back("a", CobbDouglasUtility({0.5, 0.3, 0.2}));
+    agents.emplace_back("b", CobbDouglasUtility({0.2, 0.2, 0.6}));
+    agents.emplace_back("c", CobbDouglasUtility({0.3, 0.5, 0.2}));
+    const auto allocation =
+        makeMaxWelfareFair().allocate(agents, capacity);
+    FairnessTolerance tol;
+    tol.utility = 2e-3;
+    tol.mrs = 5e-2;
+    tol.capacity = 1e-6;
+    const auto report =
+        checkFairness(agents, capacity, allocation, tol);
+    EXPECT_TRUE(report.allHold())
+        << "SI: " << report.sharingIncentives.binding
+        << " EF: " << report.envyFreeness.binding
+        << " PE: " << report.paretoEfficiency.binding;
+}
+
+TEST(WelfareMechanisms, FourAgentMixedPopulation)
+{
+    // A C-heavy and M-heavy mix: fairness-constrained welfare must
+    // sit between the REF point's welfare and the unfair optimum.
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    AgentList agents;
+    agents.emplace_back("c1", CobbDouglasUtility({0.3, 0.7}));
+    agents.emplace_back("c2", CobbDouglasUtility({0.4, 0.6}));
+    agents.emplace_back("m1", CobbDouglasUtility({0.8, 0.2}));
+    agents.emplace_back("m2", CobbDouglasUtility({0.7, 0.3}));
+    const auto ref_alloc =
+        ProportionalElasticityMechanism().allocate(agents, capacity);
+    const auto fair = makeMaxWelfareFair().allocate(agents, capacity);
+    const auto unfair =
+        makeMaxWelfareUnfair().allocate(agents, capacity);
+    const double w_ref = nashWelfare(agents, ref_alloc, capacity);
+    const double w_fair = nashWelfare(agents, fair, capacity);
+    const double w_unfair = nashWelfare(agents, unfair, capacity);
+    EXPECT_GE(w_fair + 1e-6, w_ref);
+    EXPECT_GE(w_unfair + 1e-6, w_fair);
+}
+
+} // namespace

@@ -1,0 +1,102 @@
+#include "core/welfare.hh"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace {
+
+using namespace ref::core;
+
+AgentList
+paperAgents()
+{
+    AgentList agents;
+    agents.emplace_back("user1", CobbDouglasUtility({0.6, 0.4}));
+    agents.emplace_back("user2", CobbDouglasUtility({0.2, 0.8}));
+    return agents;
+}
+
+TEST(Welfare, WeightedUtilityIsOneAtFullCapacity)
+{
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    const auto agents = paperAgents();
+    EXPECT_NEAR(weightedUtility(agents[0], capacity.capacities(),
+                                capacity),
+                1.0, 1e-12);
+}
+
+TEST(Welfare, WeightedUtilityIgnoresScaleConstant)
+{
+    // U = u(x)/u(C) cancels a0, matching the slowdown analogy.
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    const Agent plain("p", CobbDouglasUtility({0.6, 0.4}));
+    const Agent scaled("s", CobbDouglasUtility(7.0, {0.6, 0.4}));
+    const Vector bundle{6.0, 3.0};
+    EXPECT_NEAR(weightedUtility(plain, bundle, capacity),
+                weightedUtility(scaled, bundle, capacity), 1e-12);
+}
+
+TEST(Welfare, EqualSplitWeightedUtilityForHomogeneousAgent)
+{
+    // With rescaled elasticities, U(C/N) = 1/N exactly.
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    const Agent agent("h", CobbDouglasUtility({0.6, 0.4}));
+    EXPECT_NEAR(weightedUtility(agent, capacity.equalShare(2),
+                                capacity),
+                0.5, 1e-12);
+}
+
+TEST(Welfare, ThroughputSumsWeightedUtilities)
+{
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    const auto agents = paperAgents();
+    Allocation allocation(2, 2);
+    allocation.setAgentShare(0, {18.0, 4.0});
+    allocation.setAgentShare(1, {6.0, 8.0});
+    const auto utilities =
+        weightedUtilities(agents, allocation, capacity);
+    EXPECT_NEAR(weightedSystemThroughput(agents, allocation, capacity),
+                utilities[0] + utilities[1], 1e-12);
+    EXPECT_NEAR(nashWelfare(agents, allocation, capacity),
+                utilities[0] * utilities[1], 1e-12);
+    EXPECT_NEAR(egalitarianWelfare(agents, allocation, capacity),
+                std::min(utilities[0], utilities[1]), 1e-12);
+}
+
+TEST(Welfare, UnfairnessIndexIsOneForEqualSlowdowns)
+{
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    AgentList agents;
+    agents.emplace_back("a", CobbDouglasUtility({0.5, 0.5}));
+    agents.emplace_back("b", CobbDouglasUtility({0.5, 0.5}));
+    const auto equal = Allocation::equalSplit(2, capacity);
+    EXPECT_NEAR(unfairnessIndex(agents, equal, capacity), 1.0, 1e-12);
+}
+
+TEST(Welfare, UnfairnessIndexGrowsWithImbalance)
+{
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    const auto agents = paperAgents();
+    Allocation lopsided(2, 2);
+    lopsided.setAgentShare(0, {20.0, 10.0});
+    lopsided.setAgentShare(1, {4.0, 2.0});
+    EXPECT_GT(unfairnessIndex(agents, lopsided, capacity), 2.0);
+}
+
+TEST(Welfare, ZeroBundleGivesZeroWeightedUtility)
+{
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    const auto agents = paperAgents();
+    EXPECT_DOUBLE_EQ(
+        weightedUtility(agents[0], {0.0, 5.0}, capacity), 0.0);
+    Allocation with_zero(2, 2);
+    with_zero.setAgentShare(0, {24.0, 12.0});
+    with_zero.setAgentShare(1, {0.0, 0.0});
+    EXPECT_THROW(unfairnessIndex(agents, with_zero, capacity),
+                 ref::FatalError);
+}
+
+} // namespace

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Cross-mechanism equivalences the paper proves in Section 4.2:
+ * proportional elasticity == Nash bargaining argmax == CEEI, and the
+ * role of rescaling in those equivalences.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/ceei.hh"
+#include "core/proportional_elasticity.hh"
+#include "core/welfare.hh"
+#include "core/welfare_mechanisms.hh"
+#include "util/random.hh"
+
+namespace {
+
+using namespace ref::core;
+
+AgentList
+randomAgents(std::size_t n, std::size_t resources, std::uint64_t seed,
+             bool rescaled)
+{
+    ref::Rng rng(seed);
+    AgentList agents;
+    for (std::size_t i = 0; i < n; ++i) {
+        Vector alphas(resources);
+        for (auto &alpha : alphas)
+            alpha = rng.uniform(0.1, 1.0);
+        CobbDouglasUtility utility(alphas);
+        agents.emplace_back("agent-" + std::to_string(i),
+                            rescaled ? utility.rescaled() : utility);
+    }
+    return agents;
+}
+
+class EquivalenceSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{};
+
+TEST_P(EquivalenceSweep, RefEqualsCeeiClosedForm)
+{
+    const auto [n, seed] = GetParam();
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    const auto agents = randomAgents(static_cast<std::size_t>(n), 2,
+                                     static_cast<std::uint64_t>(seed),
+                                     false);
+    const auto ref_alloc =
+        ProportionalElasticityMechanism().allocate(agents, capacity);
+    const auto ceei = CeeiMarket(agents, capacity).solveClosedForm();
+    for (std::size_t i = 0; i < agents.size(); ++i)
+        for (std::size_t r = 0; r < 2; ++r)
+            EXPECT_NEAR(ref_alloc.at(i, r), ceei.allocation.at(i, r),
+                        1e-9);
+}
+
+TEST_P(EquivalenceSweep, RefEqualsNashBargainingForRescaledAgents)
+{
+    // Eq. 14: for rescaled utilities, maximizing the Nash product
+    // subject to capacity lands exactly on the REF allocation. The
+    // GP solver provides the independent maximization.
+    const auto [n, seed] = GetParam();
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    const auto agents = randomAgents(static_cast<std::size_t>(n), 2,
+                                     static_cast<std::uint64_t>(seed),
+                                     true);
+    const auto ref_alloc =
+        ProportionalElasticityMechanism().allocate(agents, capacity);
+    const auto nash = makeMaxWelfareUnfair().allocate(agents, capacity);
+    for (std::size_t i = 0; i < agents.size(); ++i) {
+        for (std::size_t r = 0; r < 2; ++r) {
+            EXPECT_NEAR(nash.at(i, r), ref_alloc.at(i, r),
+                        1e-2 * capacity.capacity(r));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EquivalenceSweep,
+                         ::testing::Combine(::testing::Values(2, 3, 5),
+                                            ::testing::Values(1, 2)));
+
+TEST(Equivalence, RescalingMattersForNashEquivalence)
+{
+    // With RAW (unnormalized) elasticities, Nash welfare maximizes
+    // proportionally to raw alphas, which differs from REF whenever
+    // agents' elasticity sums differ — the reason Eq. 12 exists.
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    AgentList agents;
+    agents.emplace_back("low-sum", CobbDouglasUtility({0.3, 0.1}));
+    agents.emplace_back("high-sum", CobbDouglasUtility({0.9, 0.9}));
+    const auto ref_alloc =
+        ProportionalElasticityMechanism().allocate(agents, capacity);
+    const auto nash = makeMaxWelfareUnfair().allocate(agents, capacity);
+    // REF rescales: agent 0 gets 0.75 of resource 0's elasticity
+    // weight; raw Nash gives it only 0.3/1.2.
+    EXPECT_NEAR(ref_alloc.at(0, 0), 0.75 / 1.25 * 24.0, 1e-9);
+    EXPECT_NEAR(nash.at(0, 0), 0.3 / 1.2 * 24.0, 0.1);
+    EXPECT_GT(ref_alloc.at(0, 0) - nash.at(0, 0), 5.0);
+}
+
+TEST(Equivalence, NashProductIsMaximalAtRefPointForRescaledAgents)
+{
+    // Perturbing the REF allocation along the capacity surface can
+    // only reduce the Nash product of rescaled utilities.
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    const auto agents = randomAgents(3, 2, 9, true);
+    const auto ref_alloc =
+        ProportionalElasticityMechanism().allocate(agents, capacity);
+    const double base = nashWelfare(agents, ref_alloc, capacity);
+    ref::Rng rng(10);
+    for (int trial = 0; trial < 50; ++trial) {
+        Allocation perturbed = ref_alloc;
+        // Transfer a small amount of each resource between a random
+        // pair of agents: still feasible, still exhaustive.
+        for (std::size_t r = 0; r < 2; ++r) {
+            const auto from = rng.uniformInt(std::uint64_t{3});
+            const auto to = rng.uniformInt(std::uint64_t{3});
+            const double amount =
+                0.05 * capacity.capacity(r) * rng.uniform();
+            if (perturbed.at(from, r) > amount) {
+                perturbed.at(from, r) -= amount;
+                perturbed.at(to, r) += amount;
+            }
+        }
+        EXPECT_LE(nashWelfare(agents, perturbed, capacity),
+                  base + 1e-12);
+    }
+}
+
+} // namespace

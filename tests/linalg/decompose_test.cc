@@ -1,0 +1,141 @@
+#include "linalg/decompose.hh"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace {
+
+using ref::linalg::Cholesky;
+using ref::linalg::HouseholderQr;
+using ref::linalg::Matrix;
+using ref::linalg::Vector;
+
+Matrix
+randomSpd(std::size_t n, ref::Rng &rng)
+{
+    // A^T A + n I is symmetric positive definite.
+    Matrix a(n, n);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < n; ++c)
+            a(r, c) = rng.uniform(-1.0, 1.0);
+    Matrix spd = a.transposed() * a;
+    for (std::size_t i = 0; i < n; ++i)
+        spd(i, i) += static_cast<double>(n);
+    return spd;
+}
+
+TEST(Cholesky, FactorsKnownMatrix)
+{
+    const Matrix a = Matrix::fromRows({{4, 2}, {2, 3}});
+    const Cholesky chol(a);
+    const Matrix &l = chol.lower();
+    EXPECT_DOUBLE_EQ(l(0, 0), 2.0);
+    EXPECT_DOUBLE_EQ(l(1, 0), 1.0);
+    EXPECT_NEAR(l(1, 1), std::sqrt(2.0), 1e-12);
+}
+
+TEST(Cholesky, SolveRecoversKnownSolution)
+{
+    const Matrix a = Matrix::fromRows({{4, 2}, {2, 3}});
+    const Vector x_true{1.0, -2.0};
+    const Vector b = a * x_true;
+    const Vector x = Cholesky(a).solve(b);
+    EXPECT_NEAR(x[0], x_true[0], 1e-12);
+    EXPECT_NEAR(x[1], x_true[1], 1e-12);
+}
+
+TEST(Cholesky, RejectsNonSquareAndIndefinite)
+{
+    EXPECT_THROW(Cholesky(Matrix(2, 3)), ref::FatalError);
+    const Matrix indefinite = Matrix::fromRows({{1, 2}, {2, 1}});
+    EXPECT_THROW(Cholesky{indefinite}, ref::FatalError);
+}
+
+TEST(Cholesky, RandomSpdRoundTrip)
+{
+    ref::Rng rng(7);
+    for (int trial = 0; trial < 20; ++trial) {
+        const std::size_t n = 1 + trial % 8;
+        const Matrix a = randomSpd(n, rng);
+        Vector x_true(n);
+        for (auto &v : x_true)
+            v = rng.uniform(-5.0, 5.0);
+        const Vector x = Cholesky(a).solve(a * x_true);
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_NEAR(x[i], x_true[i], 1e-8);
+    }
+}
+
+TEST(HouseholderQr, RFactorIsUpperTriangularAndReproducesNorms)
+{
+    const Matrix a =
+        Matrix::fromRows({{1, 2}, {3, 4}, {5, 6}});
+    const HouseholderQr qr(a);
+    const Matrix r = qr.r();
+    EXPECT_DOUBLE_EQ(r(1, 0), 0.0);
+    // |R(0,0)| equals the norm of A's first column.
+    EXPECT_NEAR(std::abs(r(0, 0)), std::sqrt(1.0 + 9.0 + 25.0), 1e-12);
+}
+
+TEST(HouseholderQr, SolvesExactSquareSystem)
+{
+    const Matrix a = Matrix::fromRows({{2, 1}, {1, 3}});
+    const Vector x = HouseholderQr(a).solve({5, 10});
+    EXPECT_NEAR(x[0], 1.0, 1e-12);
+    EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(HouseholderQr, LeastSquaresMatchesNormalEquations)
+{
+    // Overdetermined: y = 2x fit through three noisy points.
+    const Matrix a = Matrix::fromRows({{1}, {2}, {3}});
+    const Vector b{2.1, 3.9, 6.0};
+    const Vector x = HouseholderQr(a).solve(b);
+    // Normal equations: x = (a.b) / (a.a) = (2.1+7.8+18)/14.
+    EXPECT_NEAR(x[0], (2.1 + 7.8 + 18.0) / 14.0, 1e-12);
+}
+
+TEST(HouseholderQr, DetectsRankDeficiency)
+{
+    const Matrix a = Matrix::fromRows({{1, 2}, {2, 4}, {3, 6}});
+    const HouseholderQr qr(a);
+    EXPECT_FALSE(qr.fullRank(1e-9));
+    EXPECT_THROW(qr.solve({1, 2, 3}), ref::FatalError);
+}
+
+TEST(HouseholderQr, RejectsWideMatrices)
+{
+    EXPECT_THROW(HouseholderQr(Matrix(2, 3)), ref::FatalError);
+}
+
+TEST(HouseholderQr, RandomRoundTrip)
+{
+    ref::Rng rng(11);
+    for (int trial = 0; trial < 20; ++trial) {
+        const std::size_t n = 2 + trial % 6;
+        const std::size_t m = n + trial % 4;
+        Matrix a(m, n);
+        for (std::size_t r = 0; r < m; ++r)
+            for (std::size_t c = 0; c < n; ++c)
+                a(r, c) = rng.uniform(-2.0, 2.0);
+        Vector x_true(n);
+        for (auto &v : x_true)
+            v = rng.uniform(-3.0, 3.0);
+        // Consistent system: exact recovery expected.
+        const Vector x = HouseholderQr(a).solve(a * x_true);
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_NEAR(x[i], x_true[i], 1e-8);
+    }
+}
+
+TEST(SolveLinearSystem, RequiresSquare)
+{
+    EXPECT_THROW(ref::linalg::solveLinearSystem(Matrix(3, 2), {1, 2, 3}),
+                 ref::FatalError);
+}
+
+} // namespace

@@ -1,0 +1,52 @@
+#include "linalg/least_squares.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace {
+
+using ref::linalg::leastSquares;
+using ref::linalg::Matrix;
+using ref::linalg::Vector;
+
+TEST(LeastSquares, ExactSystemHasZeroResidual)
+{
+    const Matrix a = Matrix::fromRows({{1, 0}, {0, 1}, {1, 1}});
+    const Vector x_true{2.0, -1.0};
+    const auto fit = leastSquares(a, a * x_true);
+    EXPECT_NEAR(fit.coefficients[0], 2.0, 1e-12);
+    EXPECT_NEAR(fit.coefficients[1], -1.0, 1e-12);
+    EXPECT_NEAR(fit.residualNorm, 0.0, 1e-12);
+}
+
+TEST(LeastSquares, ResidualIsOrthogonalToColumnSpace)
+{
+    const Matrix a = Matrix::fromRows({{1, 1}, {1, 2}, {1, 3}, {1, 4}});
+    const Vector b{1.0, 3.0, 2.0, 5.0};
+    const auto fit = leastSquares(a, b);
+    // A^T r == 0 characterizes the least-squares minimizer.
+    const Vector atr = a.transposed() * fit.residuals;
+    EXPECT_NEAR(atr[0], 0.0, 1e-10);
+    EXPECT_NEAR(atr[1], 0.0, 1e-10);
+}
+
+TEST(LeastSquares, KnownRegressionLine)
+{
+    // y = 1 + 2 t at t = 1..4 with symmetric noise (+e, -e, -e, +e)
+    // leaves the slope and intercept unchanged.
+    const Matrix a = Matrix::fromRows({{1, 1}, {1, 2}, {1, 3}, {1, 4}});
+    const Vector b{3.1, 4.9, 6.9, 9.1};
+    const auto fit = leastSquares(a, b);
+    EXPECT_NEAR(fit.coefficients[0], 1.0, 0.2);
+    EXPECT_NEAR(fit.coefficients[1], 2.0, 0.1);
+    EXPECT_GT(fit.residualNorm, 0.0);
+}
+
+TEST(LeastSquares, RejectsShapeMismatch)
+{
+    EXPECT_THROW(leastSquares(Matrix(3, 2), {1.0, 2.0}),
+                 ref::FatalError);
+}
+
+} // namespace

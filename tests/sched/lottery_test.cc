@@ -1,0 +1,79 @@
+#include "sched/lottery.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace {
+
+using ref::sched::LotteryScheduler;
+
+TEST(Lottery, SharesConvergeToTicketRatios)
+{
+    LotteryScheduler lottery({3.0, 1.0}, 42);
+    constexpr int quanta = 100000;
+    for (int i = 0; i < quanta; ++i)
+        lottery.draw();
+    EXPECT_NEAR(lottery.shareWon(0), 0.75, 0.01);
+    EXPECT_NEAR(lottery.shareWon(1), 0.25, 0.01);
+    EXPECT_EQ(lottery.quantaWon(0) + lottery.quantaWon(1),
+              static_cast<std::uint64_t>(quanta));
+}
+
+TEST(Lottery, DeterministicForEqualSeeds)
+{
+    LotteryScheduler a({1.0, 2.0, 3.0}, 7);
+    LotteryScheduler b({1.0, 2.0, 3.0}, 7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.draw(), b.draw());
+}
+
+TEST(Lottery, FractionalTicketsWork)
+{
+    LotteryScheduler lottery({0.6, 0.4}, 11);
+    for (int i = 0; i < 50000; ++i)
+        lottery.draw();
+    EXPECT_NEAR(lottery.shareWon(0), 0.6, 0.02);
+}
+
+TEST(Lottery, SetTicketsRebalances)
+{
+    LotteryScheduler lottery({1.0, 1.0}, 13);
+    for (int i = 0; i < 10000; ++i)
+        lottery.draw();
+    // Starve holder 1 going forward.
+    lottery.setTickets(0, 9.0);
+    const auto before = lottery.quantaWon(1);
+    for (int i = 0; i < 50000; ++i)
+        lottery.draw();
+    const double late_share =
+        static_cast<double>(lottery.quantaWon(1) - before) / 50000.0;
+    EXPECT_NEAR(late_share, 0.1, 0.02);
+}
+
+TEST(Lottery, SingleHolderAlwaysWins)
+{
+    LotteryScheduler lottery({5.0}, 17);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(lottery.draw(), 0u);
+    EXPECT_DOUBLE_EQ(lottery.shareWon(0), 1.0);
+}
+
+TEST(Lottery, ShareIsZeroBeforeAnyDraw)
+{
+    LotteryScheduler lottery({1.0, 1.0}, 19);
+    EXPECT_DOUBLE_EQ(lottery.shareWon(0), 0.0);
+    EXPECT_EQ(lottery.totalQuanta(), 0u);
+}
+
+TEST(Lottery, RejectsBadInput)
+{
+    EXPECT_THROW(LotteryScheduler({}), ref::FatalError);
+    EXPECT_THROW(LotteryScheduler({1.0, 0.0}), ref::FatalError);
+    LotteryScheduler lottery({1.0});
+    EXPECT_THROW(lottery.setTickets(1, 1.0), ref::FatalError);
+    EXPECT_THROW(lottery.setTickets(0, 0.0), ref::FatalError);
+    EXPECT_THROW(lottery.quantaWon(3), ref::FatalError);
+}
+
+} // namespace

@@ -1,0 +1,94 @@
+#include "sched/partition.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace {
+
+using ref::sched::partitionWays;
+
+TEST(Partition, ExactFractionsGiveExactWays)
+{
+    const auto partition = partitionWays({0.5, 0.25, 0.25}, 8);
+    EXPECT_EQ(partition.ways[0], 4u);
+    EXPECT_EQ(partition.ways[1], 2u);
+    EXPECT_EQ(partition.ways[2], 2u);
+}
+
+TEST(Partition, WaysSumToAssociativity)
+{
+    const auto partition = partitionWays({0.37, 0.21, 0.42}, 8);
+    unsigned total = 0;
+    for (unsigned w : partition.ways)
+        total += w;
+    EXPECT_EQ(total, 8u);
+}
+
+TEST(Partition, EveryAgentGetsAtLeastOneWay)
+{
+    const auto partition =
+        partitionWays({0.94, 0.02, 0.02, 0.02}, 8);
+    for (unsigned w : partition.ways)
+        EXPECT_GE(w, 1u);
+}
+
+TEST(Partition, LargestRemainderFavorsClosestFraction)
+{
+    // Ideal ways: 5.6, 1.2, 1.2 -> floors 5,1,1 leave one extra way
+    // for the largest remainder (agent 0).
+    const auto partition = partitionWays({0.7, 0.15, 0.15}, 8);
+    EXPECT_EQ(partition.ways[0], 6u);
+    EXPECT_EQ(partition.ways[1], 1u);
+    EXPECT_EQ(partition.ways[2], 1u);
+}
+
+TEST(Partition, MasksAreDisjointAndCoverAllWays)
+{
+    const auto partition = partitionWays({0.4, 0.35, 0.25}, 16);
+    std::uint64_t combined = 0;
+    for (std::size_t i = 0; i < partition.masks.size(); ++i) {
+        EXPECT_EQ(combined & partition.masks[i], 0u)
+            << "overlap at agent " << i;
+        combined |= partition.masks[i];
+    }
+    EXPECT_EQ(combined, (std::uint64_t{1} << 16) - 1);
+}
+
+TEST(Partition, MaskPopcountMatchesWays)
+{
+    const auto partition = partitionWays({0.6, 0.4}, 8);
+    for (std::size_t i = 0; i < 2; ++i) {
+        EXPECT_EQ(static_cast<unsigned>(
+                      __builtin_popcountll(partition.masks[i])),
+                  partition.ways[i]);
+    }
+}
+
+TEST(Partition, RealizedFractionsSumToOne)
+{
+    const auto partition = partitionWays({0.3, 0.3, 0.4}, 8);
+    double total = 0;
+    for (double f : partition.realizedFractions)
+        total += f;
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Partition, SingleAgentOwnsEverything)
+{
+    const auto partition = partitionWays({1.0}, 8);
+    EXPECT_EQ(partition.ways[0], 8u);
+    EXPECT_EQ(partition.masks[0], 0xFFu);
+}
+
+TEST(Partition, RejectsBadInput)
+{
+    EXPECT_THROW(partitionWays({}, 8), ref::FatalError);
+    EXPECT_THROW(partitionWays({0.5, 0.5}, 1), ref::FatalError);
+    EXPECT_THROW(partitionWays({0.9, 0.3}, 8), ref::FatalError);
+    EXPECT_THROW(partitionWays({0.5, -0.5}, 8), ref::FatalError);
+    std::vector<double> too_many(65, 1.0 / 65.0);
+    EXPECT_THROW(partitionWays(too_many, 65), ref::FatalError);
+}
+
+} // namespace

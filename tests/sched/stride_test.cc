@@ -1,0 +1,94 @@
+#include "sched/stride.hh"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace {
+
+using ref::sched::StrideScheduler;
+
+TEST(Stride, ExactProportionsOverRoundMultiples)
+{
+    StrideScheduler stride({3.0, 1.0});
+    for (int i = 0; i < 4000; ++i)
+        stride.next();
+    EXPECT_EQ(stride.quantaGranted(0), 3000u);
+    EXPECT_EQ(stride.quantaGranted(1), 1000u);
+}
+
+TEST(Stride, DeviationBoundedByOneQuantum)
+{
+    // Stride's headline property: at every prefix, each holder's
+    // grant count is within one quantum of its entitlement.
+    StrideScheduler stride({5.0, 2.0, 1.0});
+    const double total = 8.0;
+    const std::vector<double> entitled{5.0 / total, 2.0 / total,
+                                       1.0 / total};
+    for (int t = 1; t <= 5000; ++t) {
+        stride.next();
+        for (std::size_t h = 0; h < 3; ++h) {
+            const double expected = entitled[h] * t;
+            EXPECT_LE(std::abs(static_cast<double>(
+                          stride.quantaGranted(h)) -
+                          expected),
+                      1.0 + 1e-9)
+                << "holder " << h << " at quantum " << t;
+        }
+    }
+}
+
+TEST(Stride, DeterministicSequence)
+{
+    StrideScheduler a({2.0, 1.0});
+    StrideScheduler b({2.0, 1.0});
+    for (int i = 0; i < 300; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Stride, EqualTicketsInterleave)
+{
+    StrideScheduler stride({1.0, 1.0});
+    int first = 0;
+    for (int i = 0; i < 100; ++i)
+        first += stride.next() == 0;
+    EXPECT_EQ(first, 50);
+}
+
+TEST(Stride, SetTicketsRebalancesGoingForward)
+{
+    StrideScheduler stride({1.0, 1.0});
+    for (int i = 0; i < 1000; ++i)
+        stride.next();
+    stride.setTickets(0, 4.0);
+    const auto before = stride.quantaGranted(0);
+    for (int i = 0; i < 5000; ++i)
+        stride.next();
+    const double late_share =
+        static_cast<double>(stride.quantaGranted(0) - before) / 5000.0;
+    EXPECT_NEAR(late_share, 0.8, 0.02);
+}
+
+TEST(Stride, ShareGrantedTracksQuanta)
+{
+    StrideScheduler stride({1.0, 3.0});
+    EXPECT_DOUBLE_EQ(stride.shareGranted(0), 0.0);
+    for (int i = 0; i < 400; ++i)
+        stride.next();
+    EXPECT_NEAR(stride.shareGranted(1), 0.75, 0.01);
+    EXPECT_EQ(stride.totalQuanta(), 400u);
+}
+
+TEST(Stride, RejectsBadInput)
+{
+    EXPECT_THROW(StrideScheduler({}), ref::FatalError);
+    EXPECT_THROW(StrideScheduler({1.0, 0.0}), ref::FatalError);
+    StrideScheduler stride({1.0});
+    EXPECT_THROW(stride.setTickets(1, 1.0), ref::FatalError);
+    EXPECT_THROW(stride.setTickets(0, -1.0), ref::FatalError);
+    EXPECT_THROW(stride.quantaGranted(2), ref::FatalError);
+}
+
+} // namespace

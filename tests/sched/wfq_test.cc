@@ -1,0 +1,129 @@
+#include "sched/wfq.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace {
+
+using ref::sched::WfqScheduler;
+
+TEST(Wfq, FifoWithinOneFlow)
+{
+    WfqScheduler wfq({1.0});
+    wfq.enqueue(0, 11, 10);
+    wfq.enqueue(0, 22, 10);
+    wfq.enqueue(0, 33, 10);
+    EXPECT_EQ(wfq.pop().tag, 11u);
+    EXPECT_EQ(wfq.pop().tag, 22u);
+    EXPECT_EQ(wfq.pop().tag, 33u);
+    EXPECT_TRUE(wfq.empty());
+}
+
+TEST(Wfq, EqualWeightsInterleave)
+{
+    WfqScheduler wfq({1.0, 1.0});
+    for (std::uint64_t i = 0; i < 4; ++i) {
+        wfq.enqueue(0, 100 + i, 10);
+        wfq.enqueue(1, 200 + i, 10);
+    }
+    int flow0_in_first_four = 0;
+    for (int i = 0; i < 4; ++i)
+        flow0_in_first_four += wfq.pop().flow == 0;
+    EXPECT_EQ(flow0_in_first_four, 2);
+}
+
+TEST(Wfq, ServiceConvergesToWeights)
+{
+    // 3:1 weights with equal-cost requests: the heavy flow gets ~75%
+    // of the service while both stay backlogged.
+    WfqScheduler wfq({3.0, 1.0});
+    for (std::uint64_t i = 0; i < 400; ++i) {
+        wfq.enqueue(0, i, 10);
+        wfq.enqueue(1, 1000 + i, 10);
+    }
+    for (int i = 0; i < 400; ++i)
+        wfq.pop();
+    EXPECT_NEAR(wfq.serviceShare(0), 0.75, 0.02);
+    EXPECT_NEAR(wfq.serviceShare(1), 0.25, 0.02);
+}
+
+TEST(Wfq, WeightsRespectedWithUnequalRequestSizes)
+{
+    // Flow 0 sends big requests, flow 1 small ones; service units
+    // (not request counts) follow the 1:1 weights.
+    WfqScheduler wfq({1.0, 1.0});
+    for (std::uint64_t i = 0; i < 300; ++i) {
+        wfq.enqueue(0, i, 40);
+        wfq.enqueue(1, 1000 + i, 10);
+    }
+    for (int i = 0; i < 350; ++i)
+        wfq.pop();
+    EXPECT_NEAR(wfq.serviceShare(0), 0.5, 0.1);
+}
+
+TEST(Wfq, IdleFlowDoesNotStarveOthers)
+{
+    WfqScheduler wfq({1.0, 1.0, 1.0});
+    // Only flow 2 is active.
+    for (std::uint64_t i = 0; i < 10; ++i)
+        wfq.enqueue(2, i, 5);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(wfq.pop().flow, 2u);
+    EXPECT_DOUBLE_EQ(wfq.serviceShare(2), 1.0);
+}
+
+TEST(Wfq, LateArrivalDoesNotInheritOldVirtualTime)
+{
+    // Flow 1 arrives after flow 0 consumed service; its first
+    // request competes from the current virtual time, not from 0, so
+    // it does not monopolize the scheduler to "catch up".
+    WfqScheduler wfq({1.0, 1.0});
+    for (std::uint64_t i = 0; i < 50; ++i)
+        wfq.enqueue(0, i, 10);
+    for (int i = 0; i < 50; ++i)
+        wfq.pop();
+    // Both flows now backlogged.
+    for (std::uint64_t i = 0; i < 100; ++i) {
+        wfq.enqueue(0, 1000 + i, 10);
+        wfq.enqueue(1, 2000 + i, 10);
+    }
+    std::uint64_t flow1_served = 0;
+    for (int i = 0; i < 100; ++i)
+        flow1_served += wfq.pop().flow == 1;
+    EXPECT_NEAR(static_cast<double>(flow1_served), 50.0, 2.0);
+}
+
+TEST(Wfq, SizeTracksQueuedRequests)
+{
+    WfqScheduler wfq({1.0, 2.0});
+    EXPECT_TRUE(wfq.empty());
+    wfq.enqueue(0, 1, 10);
+    wfq.enqueue(1, 2, 10);
+    EXPECT_EQ(wfq.size(), 2u);
+    wfq.pop();
+    EXPECT_EQ(wfq.size(), 1u);
+}
+
+TEST(Wfq, FlowStatsCount)
+{
+    WfqScheduler wfq({1.0, 1.0});
+    wfq.enqueue(0, 1, 30);
+    wfq.pop();
+    EXPECT_EQ(wfq.flowStats(0).requestsServed, 1u);
+    EXPECT_EQ(wfq.flowStats(0).unitsServed, 30u);
+    EXPECT_EQ(wfq.flowStats(1).requestsServed, 0u);
+}
+
+TEST(Wfq, RejectsBadUsage)
+{
+    EXPECT_THROW(WfqScheduler({}), ref::FatalError);
+    EXPECT_THROW(WfqScheduler({1.0, 0.0}), ref::FatalError);
+    WfqScheduler wfq({1.0});
+    EXPECT_THROW(wfq.pop(), ref::FatalError);
+    EXPECT_THROW(wfq.enqueue(1, 0, 10), ref::FatalError);
+    EXPECT_THROW(wfq.enqueue(0, 0, 0), ref::FatalError);
+    EXPECT_THROW(wfq.flowStats(2), ref::FatalError);
+}
+
+} // namespace

@@ -1,0 +1,204 @@
+#include "sim/cache.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace {
+
+using ref::sim::Cache;
+using ref::sim::CacheConfig;
+
+CacheConfig
+smallCache(std::size_t size = 1024, std::size_t assoc = 2,
+           std::size_t block = 64)
+{
+    return CacheConfig{size, assoc, block, 1};
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache cache(smallCache());
+    EXPECT_FALSE(cache.access(0x1000, false).hit);
+    EXPECT_TRUE(cache.access(0x1000, false).hit);
+    EXPECT_EQ(cache.stats().accesses, 2u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(Cache, SameBlockDifferentOffsetHits)
+{
+    Cache cache(smallCache());
+    cache.access(0x1000, false);
+    EXPECT_TRUE(cache.access(0x103F, false).hit);
+    EXPECT_FALSE(cache.access(0x1040, false).hit);
+}
+
+TEST(Cache, LruEvictionOrder)
+{
+    // 2-way cache, one set exercised with three conflicting blocks.
+    const CacheConfig config{2 * 64, 2, 64, 1};  // One set.
+    Cache cache(config);
+    cache.access(0x0000, false);   // A
+    cache.access(0x1000, false);   // B
+    cache.access(0x0000, false);   // Touch A: B becomes LRU.
+    cache.access(0x2000, false);   // C evicts B.
+    EXPECT_TRUE(cache.access(0x0000, false).hit);
+    EXPECT_FALSE(cache.access(0x1000, false).hit);  // B gone.
+}
+
+TEST(Cache, DirtyEvictionReportsVictim)
+{
+    const CacheConfig config{2 * 64, 2, 64, 1};
+    Cache cache(config);
+    cache.access(0x0000, true);    // Dirty A.
+    cache.access(0x1000, false);
+    const auto result = cache.access(0x2000, false);  // Evicts A.
+    EXPECT_TRUE(result.evictedDirty);
+    EXPECT_EQ(result.victimAddress, 0x0000u);
+    EXPECT_EQ(cache.stats().writebacks, 1u);
+}
+
+TEST(Cache, CleanEvictionHasNoWriteback)
+{
+    const CacheConfig config{2 * 64, 2, 64, 1};
+    Cache cache(config);
+    cache.access(0x0000, false);
+    cache.access(0x1000, false);
+    EXPECT_FALSE(cache.access(0x2000, false).evictedDirty);
+    EXPECT_EQ(cache.stats().writebacks, 0u);
+}
+
+TEST(Cache, WriteHitMarksLineDirty)
+{
+    const CacheConfig config{2 * 64, 2, 64, 1};
+    Cache cache(config);
+    cache.access(0x0000, false);   // Clean fill.
+    cache.access(0x0000, true);    // Dirty it on a hit.
+    cache.access(0x1000, false);
+    const auto result = cache.access(0x2000, false);
+    EXPECT_TRUE(result.evictedDirty);
+}
+
+TEST(Cache, FlushDropsContents)
+{
+    Cache cache(smallCache());
+    cache.access(0x1000, true);
+    cache.flush();
+    EXPECT_FALSE(cache.access(0x1000, false).hit);
+    // Flushed dirty data is dropped, not written back.
+    EXPECT_EQ(cache.stats().writebacks, 0u);
+}
+
+TEST(Cache, WayMaskRestrictsReplacement)
+{
+    // 4-way, one set; victim selection restricted to way 0 keeps
+    // evicting the same slot while other ways persist.
+    const CacheConfig config{4 * 64, 4, 64, 1};
+    Cache cache(config);
+    cache.access(0x0000, false, 0b1110);  // Fill somewhere in 1-3.
+    cache.access(0x1000, false, 0b0001);  // Way 0.
+    cache.access(0x2000, false, 0b0001);  // Evicts the way-0 block.
+    EXPECT_FALSE(cache.access(0x1000, false, 0b0001).hit);
+    EXPECT_TRUE(cache.access(0x0000, false, 0b1110).hit);
+}
+
+TEST(Cache, LookupHitsAcrossPartitions)
+{
+    // Way-partitioning restricts replacement, not lookup.
+    const CacheConfig config{4 * 64, 4, 64, 1};
+    Cache cache(config);
+    cache.access(0x0000, false, 0b0011);
+    EXPECT_TRUE(cache.access(0x0000, false, 0b1100).hit);
+}
+
+TEST(Cache, MaskSelectingNoWayIsRejected)
+{
+    const CacheConfig config{4 * 64, 4, 64, 1};
+    Cache cache(config);
+    EXPECT_THROW(cache.access(0x0000, false, 0b10000),
+                 ref::FatalError);
+}
+
+TEST(Cache, CapacityScalingReducesMisses)
+{
+    // Zipf-reuse stream: a larger cache of equal associativity must
+    // not miss more.
+    ref::Rng rng(3);
+    ref::ZipfDistribution zipf(4096, 0.8);
+    std::vector<std::uint64_t> addresses;
+    for (int i = 0; i < 50000; ++i)
+        addresses.push_back(0x10000 + zipf(rng) * 64);
+
+    std::uint64_t previous_misses = ~0ULL;
+    for (std::size_t size : {16 * 1024, 64 * 1024, 256 * 1024}) {
+        Cache cache(CacheConfig{size, 8, 64, 1});
+        for (auto address : addresses)
+            cache.access(address, false);
+        EXPECT_LT(cache.stats().misses, previous_misses);
+        previous_misses = cache.stats().misses;
+    }
+}
+
+TEST(Cache, FullyAssociativeStackInclusion)
+{
+    // LRU stack property: every hit in a smaller fully associative
+    // cache is also a hit in a larger one (same block size) on the
+    // same reference stream.
+    ref::Rng rng(9);
+    ref::ZipfDistribution zipf(512, 0.7);
+    std::vector<std::uint64_t> addresses;
+    for (int i = 0; i < 20000; ++i)
+        addresses.push_back(zipf(rng) * 64);
+
+    Cache small(CacheConfig{16 * 64, 16, 64, 1});   // Fully assoc.
+    Cache large(CacheConfig{64 * 64, 64, 64, 1});   // Fully assoc.
+    for (auto address : addresses) {
+        const bool small_hit = small.access(address, false).hit;
+        const bool large_hit = large.access(address, false).hit;
+        ASSERT_FALSE(small_hit && !large_hit)
+            << "stack inclusion violated at " << address;
+    }
+}
+
+TEST(Cache, StatsClearKeepsContents)
+{
+    Cache cache(smallCache());
+    cache.access(0x1000, false);
+    cache.clearStats();
+    EXPECT_EQ(cache.stats().accesses, 0u);
+    EXPECT_TRUE(cache.access(0x1000, false).hit);
+}
+
+TEST(Cache, MissRateComputation)
+{
+    Cache cache(smallCache());
+    cache.access(0x1000, false);
+    cache.access(0x1000, false);
+    cache.access(0x2000, false);
+    cache.access(0x2000, false);
+    EXPECT_DOUBLE_EQ(cache.stats().missRate(), 0.5);
+    Cache untouched(smallCache());
+    EXPECT_DOUBLE_EQ(untouched.stats().missRate(), 0.0);
+}
+
+TEST(Cache, RejectsBadGeometry)
+{
+    EXPECT_THROW(Cache(CacheConfig{0, 2, 64, 1}), ref::FatalError);
+    EXPECT_THROW(Cache(CacheConfig{1024, 0, 64, 1}), ref::FatalError);
+    EXPECT_THROW(Cache(CacheConfig{1024, 2, 48, 1}), ref::FatalError);
+    EXPECT_THROW(Cache(CacheConfig{1000, 2, 64, 1}), ref::FatalError);
+}
+
+TEST(Cache, NonPowerOfTwoSetCountWorks)
+{
+    // 24576 sets (12 MB / 8 ways / 64 B) is not a power of two; the
+    // modulo indexing must still spread blocks.
+    Cache cache(CacheConfig{12 * 1024 * 1024, 8, 64, 1});
+    EXPECT_EQ(cache.sets(), 24576u);
+    cache.access(0x0, false);
+    EXPECT_TRUE(cache.access(0x0, false).hit);
+}
+
+} // namespace

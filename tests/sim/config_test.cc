@@ -1,0 +1,48 @@
+#include "sim/config.hh"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace ref::sim;
+
+TEST(Config, Table1DefaultsMatchPaper)
+{
+    const auto config = PlatformConfig::table1();
+    EXPECT_DOUBLE_EQ(config.core.clockGHz, 3.0);
+    EXPECT_EQ(config.core.issueWidth, 4u);
+    EXPECT_EQ(config.l1.sizeBytes, 32u * 1024);
+    EXPECT_EQ(config.l1.associativity, 4u);
+    EXPECT_EQ(config.l1.blockBytes, 64u);
+    EXPECT_EQ(config.l1.latencyCycles, 2u);
+    EXPECT_EQ(config.l2.associativity, 8u);
+    EXPECT_EQ(config.l2.latencyCycles, 20u);
+}
+
+TEST(Config, SweepListsMatchTable1)
+{
+    const auto sizes = table1CacheSizes();
+    ASSERT_EQ(sizes.size(), 5u);
+    EXPECT_EQ(sizes.front(), 128u * 1024);
+    EXPECT_EQ(sizes.back(), 2u * 1024 * 1024);
+
+    const auto bandwidths = table1Bandwidths();
+    ASSERT_EQ(bandwidths.size(), 5u);
+    EXPECT_DOUBLE_EQ(bandwidths.front(), 0.8);
+    EXPECT_DOUBLE_EQ(bandwidths.back(), 12.8);
+    // Each step doubles.
+    for (std::size_t i = 1; i < 5; ++i) {
+        EXPECT_DOUBLE_EQ(bandwidths[i], 2 * bandwidths[i - 1]);
+        EXPECT_EQ(sizes[i], 2 * sizes[i - 1]);
+    }
+}
+
+TEST(Config, CyclesPerNsFollowsClock)
+{
+    PlatformConfig config = PlatformConfig::table1();
+    EXPECT_DOUBLE_EQ(config.cyclesPerNs(), 3.0);
+    config.core.clockGHz = 2.0;
+    EXPECT_DOUBLE_EQ(config.cyclesPerNs(), 2.0);
+}
+
+} // namespace

@@ -1,0 +1,210 @@
+#include "sim/dram.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace {
+
+using namespace ref::sim;
+
+DramModel
+makeDram(double bandwidth_gbps, unsigned banks = 8)
+{
+    DramConfig dram;
+    dram.bandwidthGBps = bandwidth_gbps;
+    dram.banks = banks;
+    CoreConfig core;
+    return DramModel(dram, core);
+}
+
+TEST(Dram, TransferCyclesScaleInverselyWithBandwidth)
+{
+    // 64 B at 12.8 GB/s = 5 ns = 15 cycles at 3 GHz.
+    EXPECT_EQ(makeDram(12.8).transferCycles(), 15u);
+    // 64 B at 0.8 GB/s = 80 ns = 240 cycles.
+    EXPECT_EQ(makeDram(0.8).transferCycles(), 240u);
+}
+
+TEST(Dram, UnloadedLatencyIsAccessPlusTransfer)
+{
+    DramModel dram = makeDram(12.8);
+    const auto completion = dram.access(1000, 0x1000);
+    // Controller (10) + access (26 ns * 3) + transfer (15).
+    EXPECT_EQ(completion, 1000u + 10 + 78 + 15);
+}
+
+TEST(Dram, BusSerializesBackToBackRequests)
+{
+    DramModel dram = makeDram(0.8);
+    // Two simultaneous requests to different banks share one bus.
+    const auto first = dram.access(0, 0x0000);
+    const auto second = dram.access(0, 0x0040);  // Next bank.
+    EXPECT_EQ(second - first, dram.transferCycles());
+}
+
+TEST(Dram, BankConflictAddsRowCycleDelay)
+{
+    DramModel dram = makeDram(12.8, 8);
+    const auto first = dram.access(0, 0x0000);
+    // Same bank (stride = banks * block): must wait out tRC.
+    const auto second = dram.access(0, 8 * 64);
+    EXPECT_GT(second, first);
+    // Row cycle is 45 ns = 135 cycles; the second access cannot
+    // begin its CAS before the bank frees.
+    EXPECT_GE(second, 135u);
+}
+
+TEST(Dram, QueueingLatencyGrowsUnderLoad)
+{
+    DramModel dram = makeDram(0.8);
+    std::uint64_t last = 0;
+    for (int i = 0; i < 64; ++i)
+        last = dram.access(0, static_cast<std::uint64_t>(i) * 64);
+    // 64 serialized transfers at 240 cycles each dominate.
+    EXPECT_GE(last, 64u * 240u);
+    EXPECT_GT(dram.stats().averageLatency(), 240.0);
+}
+
+TEST(Dram, LaterIssueTimesReduceQueueing)
+{
+    DramModel contended = makeDram(0.8);
+    std::uint64_t contended_last = 0;
+    for (int i = 0; i < 16; ++i)
+        contended_last =
+            contended.access(0, static_cast<std::uint64_t>(i) * 64);
+
+    DramModel paced = makeDram(0.8);
+    std::uint64_t paced_last = 0;
+    for (int i = 0; i < 16; ++i) {
+        paced_last = paced.access(
+            static_cast<std::uint64_t>(i) * 1000,
+            static_cast<std::uint64_t>(i) * 64);
+    }
+    EXPECT_LT(paced.stats().averageLatency(),
+              contended.stats().averageLatency());
+    EXPECT_LE(paced_last, contended_last + 16000);
+}
+
+TEST(Dram, DeliveredBandwidthApproachesPeakUnderSaturation)
+{
+    DramModel dram = makeDram(6.4);
+    std::uint64_t last = 0;
+    for (int i = 0; i < 2000; ++i)
+        last = dram.access(0, static_cast<std::uint64_t>(i) * 64);
+    const double delivered = dram.deliveredBandwidthGBps(last);
+    EXPECT_GT(delivered, 0.9 * 6.4);
+    EXPECT_LE(delivered, 6.4 * 1.01);
+}
+
+TEST(Dram, StatsAccumulateAndClear)
+{
+    DramModel dram = makeDram(12.8);
+    dram.access(0, 0x0);
+    dram.access(0, 0x40);
+    EXPECT_EQ(dram.stats().requests, 2u);
+    EXPECT_EQ(dram.stats().blocksTransferred, 2u);
+    dram.clearStats();
+    EXPECT_EQ(dram.stats().requests, 0u);
+    EXPECT_DOUBLE_EQ(dram.deliveredBandwidthGBps(100), 0.0);
+}
+
+TEST(Dram, TwoChannelsDoubleSaturatedThroughput)
+{
+    // Same aggregate bandwidth, but independent buses let two
+    // channels overlap bank time; under saturation both configs
+    // approach the same aggregate bandwidth, while a single faster
+    // channel and two half-rate channels must be within ~10%.
+    DramConfig one = DramConfig{};
+    one.bandwidthGBps = 6.4;
+    one.channels = 1;
+    DramConfig two = DramConfig{};
+    two.bandwidthGBps = 6.4;
+    two.channels = 2;
+    DramModel single(one, CoreConfig{});
+    DramModel dual(two, CoreConfig{});
+
+    std::uint64_t single_last = 0, dual_last = 0;
+    for (int i = 0; i < 4000; ++i) {
+        const auto address = static_cast<std::uint64_t>(i) * 64;
+        single_last = single.access(0, address);
+        dual_last = dual.access(0, address);
+    }
+    const double single_bw =
+        single.deliveredBandwidthGBps(single_last);
+    const double dual_bw = dual.deliveredBandwidthGBps(dual_last);
+    EXPECT_NEAR(dual_bw, single_bw, 0.12 * single_bw);
+    EXPECT_GT(dual_bw, 0.85 * 6.4);
+}
+
+TEST(Dram, ChannelsInterleaveByBlock)
+{
+    // With two channels, consecutive blocks land on different
+    // buses: two simultaneous requests overlap fully instead of
+    // serializing.
+    DramConfig config = DramConfig{};
+    config.bandwidthGBps = 1.6;
+    config.channels = 2;
+    DramModel dram(config, CoreConfig{});
+    const auto first = dram.access(0, 0 * 64);
+    const auto second = dram.access(0, 1 * 64);
+    EXPECT_EQ(first, second);  // Different channels, same timing.
+}
+
+TEST(Dram, OpenPageRowHitsAreFaster)
+{
+    DramConfig open = DramConfig{};
+    open.bandwidthGBps = 12.8;
+    open.pagePolicy = PagePolicy::Open;
+    DramModel dram(open, CoreConfig{});
+    const auto first = dram.access(0, 0x0000);
+    // Same row (within rowBytes), same bank: row hit, CAS only.
+    const auto second = dram.access(first, 0x0040);
+    const auto first_latency = first;
+    const auto second_latency = second - first;
+    EXPECT_LT(second_latency, first_latency);
+    EXPECT_EQ(dram.stats().rowHits, 1u);
+    EXPECT_GT(dram.stats().rowHitRate(), 0.4);
+}
+
+TEST(Dram, ClosedPageNeverRowHits)
+{
+    DramModel dram = makeDram(12.8);
+    dram.access(0, 0x0000);
+    dram.access(1000, 0x0040);
+    EXPECT_EQ(dram.stats().rowHits, 0u);
+}
+
+TEST(Dram, OpenPageRowMissPaysFullAccess)
+{
+    DramConfig open = DramConfig{};
+    open.bandwidthGBps = 12.8;
+    open.pagePolicy = PagePolicy::Open;
+    open.rowBytes = 2048;
+    DramModel dram(open, CoreConfig{});
+    dram.access(0, 0x0000);
+    // Same bank (stride channels*banks*block = 512B... choose an
+    // address in a different row mapping to the same bank: row size
+    // 2048 covers blocks 0-31; block 32 maps to bank 0 again only if
+    // 32 % 8 == 0 — it is, and 32*64 = 2048 starts a new row.
+    dram.access(100000, 2048);
+    EXPECT_EQ(dram.stats().rowHits, 0u);
+}
+
+TEST(Dram, RejectsBadConfig)
+{
+    DramConfig dram;
+    dram.bandwidthGBps = 0.0;
+    EXPECT_THROW(DramModel(dram, CoreConfig{}), ref::FatalError);
+    dram = DramConfig{};
+    dram.banks = 0;
+    EXPECT_THROW(DramModel(dram, CoreConfig{}), ref::FatalError);
+    dram = DramConfig{};
+    dram.channels = 0;
+    EXPECT_THROW(DramModel(dram, CoreConfig{}), ref::FatalError);
+    dram = DramConfig{};
+    dram.rowBytes = 32;  // Smaller than a block.
+    EXPECT_THROW(DramModel(dram, CoreConfig{}), ref::FatalError);
+}
+
+} // namespace

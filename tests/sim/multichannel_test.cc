@@ -1,0 +1,109 @@
+/**
+ * @file
+ * System-level tests of the extended substrate features: multiple
+ * channels, open-page policy, and the prefetcher interacting with
+ * the full cache hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/profiler.hh"
+#include "sim/system.hh"
+#include "util/logging.hh"
+
+namespace {
+
+using namespace ref::sim;
+
+Trace
+streamingTrace(std::size_t ops = 40000)
+{
+    TraceParams params;
+    params.workingSetBytes = 64 * 1024;
+    params.memIntensity = 0.25;
+    params.streamFraction = 0.9;
+    params.seed = 5;
+    return TraceGenerator(params).generate(ops);
+}
+
+Trace
+rowLocalTrace(std::size_t ops = 40000)
+{
+    // Low-skew reuse over a set slightly larger than L2: misses are
+    // frequent and spatially clustered within rows.
+    TraceParams params;
+    params.workingSetBytes = 4 * 1024 * 1024;
+    params.zipfExponent = 0.2;
+    params.memIntensity = 0.25;
+    params.seed = 6;
+    return TraceGenerator(params).generate(ops);
+}
+
+TEST(SystemSubstrate, DualChannelHelpsBandwidthBoundWork)
+{
+    // Doubling the channels at double aggregate bandwidth must not
+    // hurt; and at EQUAL aggregate bandwidth the dual-channel system
+    // performs comparably (parallelism compensates the slower per-
+    // channel bus).
+    const Trace trace = streamingTrace();
+    PlatformConfig one = PlatformConfig::table1();
+    one.dram.bandwidthGBps = 3.2;
+    PlatformConfig two = one;
+    two.dram.channels = 2;
+
+    const double ipc_one =
+        CmpSystem(one).run(trace, TimingParams{6.0, 0.0}, 0.2).ipc;
+    const double ipc_two =
+        CmpSystem(two).run(trace, TimingParams{6.0, 0.0}, 0.2).ipc;
+    EXPECT_GT(ipc_two, 0.7 * ipc_one);
+    EXPECT_LT(ipc_two, 1.5 * ipc_one);
+}
+
+TEST(SystemSubstrate, OpenPageHelpsRowLocalMissStreams)
+{
+    // Sequential streams touch consecutive blocks of each row: the
+    // open-page policy turns most accesses into row hits.
+    const Trace trace = streamingTrace();
+    PlatformConfig closed = PlatformConfig::table1();
+    closed.dram.bandwidthGBps = 6.4;
+    PlatformConfig open = closed;
+    open.dram.pagePolicy = PagePolicy::Open;
+
+    const auto closed_run =
+        CmpSystem(closed).run(trace, TimingParams{4.0, 0.0}, 0.2);
+    const auto open_run =
+        CmpSystem(open).run(trace, TimingParams{4.0, 0.0}, 0.2);
+    EXPECT_GT(open_run.dram.rowHitRate(), 0.5);
+    EXPECT_EQ(closed_run.dram.rowHits, 0u);
+    EXPECT_GE(open_run.ipc, closed_run.ipc * 0.95);
+}
+
+TEST(SystemSubstrate, OpenPageRowHitRateLowForScatteredMisses)
+{
+    const Trace trace = rowLocalTrace();
+    PlatformConfig open = PlatformConfig::table1();
+    open.dram.bandwidthGBps = 6.4;
+    open.dram.pagePolicy = PagePolicy::Open;
+    open.l2.sizeBytes = 128 * 1024;  // Force misses.
+    const auto run =
+        CmpSystem(open).run(trace, TimingParams{4.0, 0.0}, 0.2);
+    // Zipf-scattered misses rarely hit an open row.
+    EXPECT_LT(run.dram.rowHitRate(), 0.3);
+}
+
+TEST(SystemSubstrate, ProfilerWorksOnExtendedConfigs)
+{
+    // The profiler must run cleanly on every substrate variant: the
+    // ablation benches depend on it.
+    PlatformConfig config = PlatformConfig::table1();
+    config.dram.channels = 2;
+    config.dram.pagePolicy = PagePolicy::Open;
+    config.core.nextLinePrefetch = true;
+    const Profiler profiler(config, 10000);
+    const auto fit =
+        profiler.profileAndFit(workloadByName("dedup"));
+    EXPECT_GT(fit.utility.elasticity(0), 0.0);
+    EXPECT_GT(fit.rSquaredLog, 0.3);
+}
+
+} // namespace

@@ -1,0 +1,89 @@
+#include "sim/profiler.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace {
+
+using namespace ref::sim;
+
+TEST(Profiler, SweepCoversFullTable1Grid)
+{
+    const Profiler profiler(PlatformConfig::table1(), 20000);
+    const auto points = profiler.sweep(workloadByName("histogram"));
+    EXPECT_EQ(points.size(), 25u);
+    // All five bandwidths and cache sizes appear.
+    double min_bw = 1e9, max_bw = 0, min_mb = 1e9, max_mb = 0;
+    for (const auto &point : points) {
+        min_bw = std::min(min_bw, point.bandwidthGBps);
+        max_bw = std::max(max_bw, point.bandwidthGBps);
+        min_mb = std::min(min_mb, point.cacheMB);
+        max_mb = std::max(max_mb, point.cacheMB);
+        EXPECT_GT(point.ipc, 0.0);
+    }
+    EXPECT_DOUBLE_EQ(min_bw, 0.8);
+    EXPECT_DOUBLE_EQ(max_bw, 12.8);
+    EXPECT_DOUBLE_EQ(min_mb, 0.125);
+    EXPECT_DOUBLE_EQ(max_mb, 2.0);
+}
+
+TEST(Profiler, BestConfigurationHasBestIpc)
+{
+    const Profiler profiler(PlatformConfig::table1(), 20000);
+    const auto points = profiler.sweep(workloadByName("histogram"));
+    double best_corner = 0, worst_corner = 1e9;
+    double best_overall = 0, worst_overall = 1e9;
+    for (const auto &point : points) {
+        best_overall = std::max(best_overall, point.ipc);
+        worst_overall = std::min(worst_overall, point.ipc);
+        if (point.bandwidthGBps == 12.8 && point.cacheMB == 2.0)
+            best_corner = point.ipc;
+        if (point.bandwidthGBps == 0.8 && point.cacheMB == 0.125)
+            worst_corner = point.ipc;
+    }
+    EXPECT_NEAR(best_corner, best_overall, 1e-12);
+    EXPECT_NEAR(worst_corner, worst_overall, 1e-12);
+}
+
+TEST(Profiler, CustomSweepAxes)
+{
+    const Profiler profiler(PlatformConfig::table1(), 10000);
+    const auto points = profiler.sweep(
+        workloadByName("dedup"), {1.6, 6.4},
+        {256 * 1024, 1024 * 1024, 2 * 1024 * 1024});
+    EXPECT_EQ(points.size(), 6u);
+}
+
+TEST(Profiler, ToPerformanceProfilePreservesOrder)
+{
+    const Profiler profiler(PlatformConfig::table1(), 10000);
+    const auto points = profiler.sweep(
+        workloadByName("dedup"), {1.6}, {256 * 1024});
+    const auto profile = Profiler::toPerformanceProfile(points);
+    ASSERT_EQ(profile.size(), 1u);
+    EXPECT_DOUBLE_EQ(profile[0].allocation[0], 1.6);
+    EXPECT_DOUBLE_EQ(profile[0].allocation[1], 0.25);
+    EXPECT_DOUBLE_EQ(profile[0].performance, points[0].ipc);
+}
+
+TEST(Profiler, ProfileAndFitProducesUsableUtility)
+{
+    const Profiler profiler(PlatformConfig::table1(), 30000);
+    const auto fit = profiler.profileAndFit(workloadByName("dedup"));
+    EXPECT_GT(fit.rSquaredLog, 0.5);
+    EXPECT_EQ(fit.utility.resources(), 2u);
+    // dedup is class M: bandwidth elasticity dominates.
+    EXPECT_GT(fit.utility.elasticity(0), fit.utility.elasticity(1));
+}
+
+TEST(Profiler, RejectsEmptySweep)
+{
+    const Profiler profiler(PlatformConfig::table1(), 10000);
+    EXPECT_THROW(profiler.sweep(workloadByName("dedup"), {}, {}),
+                 ref::FatalError);
+    EXPECT_THROW(Profiler(PlatformConfig::table1(), 0),
+                 ref::FatalError);
+}
+
+} // namespace

@@ -1,0 +1,177 @@
+#include "sim/trace.hh"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace {
+
+using namespace ref::sim;
+
+TraceParams
+baseParams()
+{
+    TraceParams params;
+    params.workingSetBytes = 64 * 1024;
+    params.zipfExponent = 0.8;
+    params.memIntensity = 0.2;
+    params.streamFraction = 0.0;
+    params.writeFraction = 0.25;
+    params.seed = 7;
+    return params;
+}
+
+TEST(Trace, DeterministicForEqualSeeds)
+{
+    TraceGenerator a(baseParams());
+    TraceGenerator b(baseParams());
+    const Trace ta = a.generate(1000);
+    const Trace tb = b.generate(1000);
+    ASSERT_EQ(ta.ops.size(), tb.ops.size());
+    for (std::size_t i = 0; i < ta.ops.size(); ++i) {
+        EXPECT_EQ(ta.ops[i].address, tb.ops[i].address);
+        EXPECT_EQ(ta.ops[i].isWrite, tb.ops[i].isWrite);
+        EXPECT_EQ(ta.ops[i].gapInstructions, tb.ops[i].gapInstructions);
+    }
+}
+
+TEST(Trace, InstructionCountConsistent)
+{
+    TraceGenerator generator(baseParams());
+    const Trace trace = generator.generate(5000);
+    std::uint64_t expected = 0;
+    for (const auto &op : trace.ops)
+        expected += 1 + op.gapInstructions;
+    EXPECT_EQ(trace.instructions, expected);
+}
+
+TEST(Trace, MemIntensityControlsInstructionGaps)
+{
+    TraceParams params = baseParams();
+    params.memIntensity = 0.1;
+    const Trace trace = TraceGenerator(params).generate(50000);
+    const double intensity =
+        static_cast<double>(trace.ops.size()) /
+        static_cast<double>(trace.instructions);
+    EXPECT_NEAR(intensity, 0.1, 0.01);
+}
+
+TEST(Trace, BurstinessPreservesMeanIntensity)
+{
+    TraceParams params = baseParams();
+    params.memIntensity = 0.1;
+    params.burstiness = 0.4;
+    const Trace trace = TraceGenerator(params).generate(50000);
+    const double intensity =
+        static_cast<double>(trace.ops.size()) /
+        static_cast<double>(trace.instructions);
+    EXPECT_NEAR(intensity, 0.1, 0.015);
+    // And produces zero gaps.
+    int zero_gaps = 0;
+    for (const auto &op : trace.ops)
+        zero_gaps += op.gapInstructions == 0;
+    EXPECT_GT(zero_gaps, trace.ops.size() / 4);
+}
+
+TEST(Trace, ReuseAddressesStayInWorkingSet)
+{
+    TraceParams params = baseParams();
+    const Trace trace = TraceGenerator(params).generate(20000);
+    // Each seed owns a 4 GiB window starting at the reuse base.
+    const std::uint64_t base =
+        0x1000'0000ULL + params.seed * 0x1'0000'0000ULL;
+    for (const auto &op : trace.ops) {
+        EXPECT_GE(op.address, base);
+        EXPECT_LT(op.address, base + params.workingSetBytes);
+    }
+}
+
+TEST(Trace, DistinctSeedsUseDisjointAddressWindows)
+{
+    TraceParams a = baseParams();
+    a.seed = 1;
+    TraceParams b = baseParams();
+    b.seed = 2;
+    std::set<std::uint64_t> blocks_a;
+    for (const auto &op : TraceGenerator(a).generate(5000).ops)
+        blocks_a.insert(op.address / 64);
+    for (const auto &op : TraceGenerator(b).generate(5000).ops)
+        EXPECT_EQ(blocks_a.count(op.address / 64), 0u);
+}
+
+TEST(Trace, StreamingAddressesNeverRepeat)
+{
+    TraceParams params = baseParams();
+    params.streamFraction = 1.0;
+    const Trace trace = TraceGenerator(params).generate(20000);
+    std::set<std::uint64_t> seen;
+    for (const auto &op : trace.ops)
+        EXPECT_TRUE(seen.insert(op.address).second);
+}
+
+TEST(Trace, ZipfSkewConcentratesReuse)
+{
+    // High skew touches far fewer distinct blocks than uniform.
+    TraceParams skewed = baseParams();
+    skewed.zipfExponent = 1.4;
+    TraceParams uniform = baseParams();
+    uniform.zipfExponent = 0.0;
+
+    const auto distinct = [](const Trace &trace) {
+        std::set<std::uint64_t> blocks;
+        for (const auto &op : trace.ops)
+            blocks.insert(op.address / 64);
+        return blocks.size();
+    };
+    const auto skewed_trace = TraceGenerator(skewed).generate(20000);
+    const auto uniform_trace = TraceGenerator(uniform).generate(20000);
+    EXPECT_LT(distinct(skewed_trace),
+              static_cast<std::size_t>(
+                  0.85 * static_cast<double>(distinct(uniform_trace))));
+}
+
+TEST(Trace, WriteFractionApproximatelyHonored)
+{
+    TraceParams params = baseParams();
+    params.writeFraction = 0.25;
+    const Trace trace = TraceGenerator(params).generate(40000);
+    int writes = 0;
+    for (const auto &op : trace.ops)
+        writes += op.isWrite;
+    EXPECT_NEAR(static_cast<double>(writes) / trace.ops.size(), 0.25,
+                0.02);
+}
+
+TEST(Trace, RejectsInvalidParameters)
+{
+    TraceParams params = baseParams();
+    params.memIntensity = 0.0;
+    EXPECT_THROW(TraceGenerator{params}, ref::FatalError);
+    params = baseParams();
+    params.memIntensity = 1.5;
+    EXPECT_THROW(TraceGenerator{params}, ref::FatalError);
+    params = baseParams();
+    params.streamFraction = -0.1;
+    EXPECT_THROW(TraceGenerator{params}, ref::FatalError);
+    params = baseParams();
+    params.burstiness = 1.0;
+    EXPECT_THROW(TraceGenerator{params}, ref::FatalError);
+    params = baseParams();
+    params.writeFraction = 2.0;
+    EXPECT_THROW(TraceGenerator{params}, ref::FatalError);
+}
+
+TEST(Trace, FullIntensityHasNoGaps)
+{
+    TraceParams params = baseParams();
+    params.memIntensity = 1.0;
+    params.burstiness = 0.0;
+    const Trace trace = TraceGenerator(params).generate(1000);
+    for (const auto &op : trace.ops)
+        EXPECT_EQ(op.gapInstructions, 0u);
+    EXPECT_EQ(trace.instructions, 1000u);
+}
+
+} // namespace

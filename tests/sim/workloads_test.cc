@@ -1,0 +1,146 @@
+#include "sim/workloads.hh"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "sim/profiler.hh"
+#include "util/logging.hh"
+
+namespace {
+
+using namespace ref::sim;
+
+TEST(Workloads, CatalogHasTwentyEightUniqueBenchmarks)
+{
+    const auto &catalog = allWorkloads();
+    EXPECT_EQ(catalog.size(), 28u);
+    std::set<std::string> names;
+    for (const auto &workload : catalog)
+        EXPECT_TRUE(names.insert(workload.name).second)
+            << "duplicate " << workload.name;
+}
+
+TEST(Workloads, ClassSplitMatchesPaper)
+{
+    // 20 class-C and 8 class-M per the Table 2 arithmetic.
+    int c = 0, m = 0;
+    for (const auto &workload : allWorkloads()) {
+        if (workload.expectedClass == 'C')
+            ++c;
+        else if (workload.expectedClass == 'M')
+            ++m;
+    }
+    EXPECT_EQ(c, 20);
+    EXPECT_EQ(m, 8);
+}
+
+TEST(Workloads, KeyExamplesClassifiedAsInPaper)
+{
+    EXPECT_EQ(workloadByName("histogram").expectedClass, 'C');
+    EXPECT_EQ(workloadByName("dedup").expectedClass, 'M');
+    EXPECT_EQ(workloadByName("barnes").expectedClass, 'C');
+    EXPECT_EQ(workloadByName("canneal").expectedClass, 'M');
+    EXPECT_EQ(workloadByName("freqmine").expectedClass, 'C');
+    EXPECT_EQ(workloadByName("linear_regression").expectedClass, 'C');
+    EXPECT_EQ(workloadByName("raytrace").expectedClass, 'C');
+    EXPECT_EQ(workloadByName("facesim").expectedClass, 'M');
+}
+
+TEST(Workloads, LookupThrowsOnUnknownName)
+{
+    EXPECT_THROW(workloadByName("no-such-benchmark"),
+                 ref::FatalError);
+}
+
+TEST(Workloads, SuitesAreRepresented)
+{
+    int parsec = 0, splash = 0, phoenix = 0;
+    for (const auto &workload : allWorkloads()) {
+        switch (workload.suite) {
+          case Suite::Parsec:
+            ++parsec;
+            break;
+          case Suite::Splash2x:
+            ++splash;
+            break;
+          case Suite::Phoenix:
+            ++phoenix;
+            break;
+        }
+    }
+    EXPECT_GT(parsec, 5);
+    EXPECT_GT(splash, 5);
+    EXPECT_EQ(phoenix, 4);  // histogram, linear_regression,
+                            // string_match, word_count.
+}
+
+TEST(Workloads, Table2MixesMatchPaper)
+{
+    const auto &four = table2FourCoreMixes();
+    ASSERT_EQ(four.size(), 5u);
+    for (const auto &mix : four)
+        EXPECT_EQ(mix.members.size(), 4u) << mix.name;
+
+    const auto &eight = table2EightCoreMixes();
+    ASSERT_EQ(eight.size(), 5u);
+    for (const auto &mix : eight)
+        EXPECT_EQ(mix.members.size(), 8u) << mix.name;
+
+    EXPECT_EQ(table2AllMixes().size(), 10u);
+}
+
+TEST(Workloads, MixCompositionsMatchMemberClasses)
+{
+    for (const auto &mix : table2AllMixes()) {
+        int c = 0, m = 0;
+        for (const auto &member : mix.members) {
+            const auto &workload = workloadByName(member);
+            if (workload.expectedClass == 'C')
+                ++c;
+            else
+                ++m;
+        }
+        std::string expected;
+        if (m == 0) {
+            expected = std::to_string(c) + "C";
+        } else if (c == 0) {
+            expected = std::to_string(m) + "M";
+        } else {
+            expected = std::to_string(c) + "C-" + std::to_string(m) +
+                       "M";
+        }
+        EXPECT_EQ(mix.composition, expected) << mix.name;
+    }
+}
+
+TEST(Workloads, Wd1MatchesPaperList)
+{
+    const auto &wd1 = table2FourCoreMixes()[0];
+    EXPECT_EQ(wd1.name, "WD1");
+    EXPECT_EQ(wd1.composition, "4C");
+    const std::vector<std::string> expected{
+        "histogram", "linear_regression", "water_nsquared",
+        "bodytrack"};
+    EXPECT_EQ(wd1.members, expected);
+}
+
+TEST(Workloads, FittedClassificationMatchesExpected)
+{
+    // The headline calibration property: the fitted elasticities of
+    // the paired Figure 10-12 workloads land in the paper's classes.
+    const Profiler profiler(PlatformConfig::table1(), 60000);
+    for (const char *name :
+         {"histogram", "dedup", "barnes", "canneal", "freqmine",
+          "linear_regression"}) {
+        const auto &workload = workloadByName(name);
+        const auto fit = profiler.profileAndFit(workload);
+        const double alpha_mem = fit.utility.elasticity(0);
+        const double alpha_cache = fit.utility.elasticity(1);
+        const char fitted_class =
+            alpha_mem / (alpha_mem + alpha_cache) > 0.5 ? 'M' : 'C';
+        EXPECT_EQ(fitted_class, workload.expectedClass) << name;
+    }
+}
+
+} // namespace

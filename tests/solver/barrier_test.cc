@@ -1,0 +1,108 @@
+#include "solver/barrier.hh"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+#include "solver/penalty.hh"
+
+namespace {
+
+using ref::solver::ConstrainedProgram;
+using ref::solver::LambdaFunction;
+using ref::solver::solveBarrier;
+using ref::solver::solvePenalty;
+using ref::solver::Vector;
+
+std::shared_ptr<const LambdaFunction>
+fn(LambdaFunction::ValueFn value, LambdaFunction::GradientFn gradient)
+{
+    return std::make_shared<LambdaFunction>(std::move(value),
+                                            std::move(gradient));
+}
+
+ConstrainedProgram
+boxConstrainedQuadratic()
+{
+    // min (x-3)^2 s.t. x <= 1.
+    ConstrainedProgram program;
+    program.objective = fn(
+        [](const Vector &x) { return (x[0] - 3) * (x[0] - 3); },
+        [](const Vector &x) { return Vector{2 * (x[0] - 3)}; });
+    program.inequalities.push_back(fn(
+        [](const Vector &x) { return x[0] - 1.0; },
+        [](const Vector &) { return Vector{1.0}; }));
+    return program;
+}
+
+TEST(Barrier, SolvesActiveConstraintProblem)
+{
+    const auto result = solveBarrier(boxConstrainedQuadratic(), {0.0});
+    EXPECT_TRUE(result.converged);
+    EXPECT_NEAR(result.point[0], 1.0, 1e-5);
+    // Interior-point iterates never violate constraints.
+    EXPECT_LE(result.maxViolation, 0.0);
+}
+
+TEST(Barrier, RejectsInfeasibleStart)
+{
+    EXPECT_THROW(solveBarrier(boxConstrainedQuadratic(), {2.0}),
+                 ref::FatalError);
+}
+
+TEST(Barrier, RejectsEqualityConstraints)
+{
+    ConstrainedProgram program = boxConstrainedQuadratic();
+    program.equalities.push_back(fn(
+        [](const Vector &x) { return x[0]; },
+        [](const Vector &) { return Vector{1.0}; }));
+    EXPECT_THROW(solveBarrier(program, {0.0}), ref::FatalError);
+}
+
+TEST(Barrier, AgreesWithPenaltyOnSharedProgram)
+{
+    // min -log(x) - log(y) s.t. x + y <= 4 (in exp space via
+    // log-sum-exp): symmetric optimum.
+    ConstrainedProgram program;
+    program.objective = fn(
+        [](const Vector &x) { return -(x[0] + x[1]); },
+        [](const Vector &) { return Vector{-1.0, -1.0}; });
+    program.inequalities.push_back(fn(
+        [](const Vector &x) {
+            return std::log(std::exp(x[0]) + std::exp(x[1])) -
+                   std::log(4.0);
+        },
+        [](const Vector &x) {
+            const double total = std::exp(x[0]) + std::exp(x[1]);
+            return Vector{std::exp(x[0]) / total,
+                          std::exp(x[1]) / total};
+        }));
+    const Vector start{0.0, 0.0};  // e^0 + e^0 = 2 < 4: interior.
+    const auto barrier = solveBarrier(program, start);
+    const auto penalty = solvePenalty(program, start);
+    EXPECT_NEAR(barrier.point[0], penalty.point[0], 1e-3);
+    EXPECT_NEAR(barrier.point[1], penalty.point[1], 1e-3);
+    EXPECT_NEAR(barrier.point[0], std::log(2.0), 1e-4);
+}
+
+TEST(Barrier, MultipleConstraintsPickBindingOne)
+{
+    // min -x s.t. x <= 2, x <= 5: the tighter bound binds.
+    ConstrainedProgram program;
+    program.objective = fn(
+        [](const Vector &x) { return -x[0]; },
+        [](const Vector &) { return Vector{-1.0}; });
+    program.inequalities.push_back(fn(
+        [](const Vector &x) { return x[0] - 2.0; },
+        [](const Vector &) { return Vector{1.0}; }));
+    program.inequalities.push_back(fn(
+        [](const Vector &x) { return x[0] - 5.0; },
+        [](const Vector &) { return Vector{1.0}; }));
+    const auto result = solveBarrier(program, {0.0});
+    EXPECT_NEAR(result.point[0], 2.0, 1e-5);
+}
+
+} // namespace

@@ -1,0 +1,131 @@
+#include "solver/descent.hh"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace {
+
+using ref::solver::gradientDescent;
+using ref::solver::LambdaFunction;
+using ref::solver::MinimizeOptions;
+using ref::solver::newtonMinimize;
+using ref::solver::Vector;
+
+const LambdaFunction kSphere(
+    [](const Vector &x) {
+        double total = 0;
+        for (double v : x)
+            total += v * v;
+        return total;
+    },
+    [](const Vector &x) {
+        Vector grad(x.size());
+        for (std::size_t i = 0; i < x.size(); ++i)
+            grad[i] = 2 * x[i];
+        return grad;
+    });
+
+/** Rosenbrock: the classic hard valley, minimum at (1, 1). */
+const LambdaFunction kRosenbrock(
+    [](const Vector &x) {
+        const double a = 1 - x[0];
+        const double b = x[1] - x[0] * x[0];
+        return a * a + 100 * b * b;
+    },
+    [](const Vector &x) {
+        const double b = x[1] - x[0] * x[0];
+        return Vector{-2 * (1 - x[0]) - 400 * x[0] * b, 200 * b};
+    });
+
+TEST(GradientDescent, SolvesSphere)
+{
+    const auto result = gradientDescent(kSphere, {3.0, -4.0, 5.0});
+    EXPECT_TRUE(result.converged);
+    EXPECT_NEAR(result.value, 0.0, 1e-12);
+    for (double v : result.point)
+        EXPECT_NEAR(v, 0.0, 1e-6);
+}
+
+TEST(GradientDescent, HandlesIllConditionedQuadratic)
+{
+    const LambdaFunction fn(
+        [](const Vector &x) {
+            return x[0] * x[0] + 100 * x[1] * x[1];
+        },
+        [](const Vector &x) {
+            return Vector{2 * x[0], 200 * x[1]};
+        });
+    MinimizeOptions options;
+    options.maxIterations = 5000;
+    const auto result = gradientDescent(fn, {1.0, 1.0}, options);
+    EXPECT_NEAR(result.value, 0.0, 1e-10);
+}
+
+TEST(NewtonMinimize, SolvesSphereInFewIterations)
+{
+    const auto result = newtonMinimize(kSphere, {10.0, -20.0});
+    EXPECT_TRUE(result.converged);
+    EXPECT_LT(result.iterations, 5);
+    EXPECT_NEAR(result.value, 0.0, 1e-12);
+}
+
+TEST(NewtonMinimize, SolvesRosenbrock)
+{
+    const auto result = newtonMinimize(kRosenbrock, {-1.2, 1.0});
+    EXPECT_NEAR(result.point[0], 1.0, 1e-5);
+    EXPECT_NEAR(result.point[1], 1.0, 1e-5);
+}
+
+TEST(NewtonMinimize, MinimizesLogBarrierStyleObjective)
+{
+    // -log(x) + x has its minimum at x = 1 and an implicit domain
+    // boundary at 0, exercising the +inf handling.
+    const LambdaFunction fn(
+        [](const Vector &x) {
+            if (x[0] <= 0)
+                return std::numeric_limits<double>::infinity();
+            return -std::log(x[0]) + x[0];
+        },
+        [](const Vector &x) { return Vector{-1.0 / x[0] + 1.0}; });
+    const auto result = newtonMinimize(fn, {0.1});
+    EXPECT_NEAR(result.point[0], 1.0, 1e-7);
+}
+
+TEST(NewtonMinimize, NonConvexStartFallsBackGracefully)
+{
+    // f(x) = x^4 - x^2 has a concave region around 0; Newton must
+    // still find one of the +-1/sqrt(2) minima.
+    const LambdaFunction fn(
+        [](const Vector &x) {
+            return std::pow(x[0], 4) - x[0] * x[0];
+        },
+        [](const Vector &x) {
+            return Vector{4 * std::pow(x[0], 3) - 2 * x[0]};
+        });
+    const auto result = newtonMinimize(fn, {0.05});
+    EXPECT_NEAR(std::abs(result.point[0]), 1.0 / std::sqrt(2.0), 1e-6);
+}
+
+TEST(Minimizers, StartMustBeInsideDomain)
+{
+    const LambdaFunction fn(
+        [](const Vector &x) {
+            return x[0] > 0 ? x[0]
+                            : std::numeric_limits<double>::infinity();
+        },
+        [](const Vector &) { return Vector{1.0}; });
+    EXPECT_THROW(gradientDescent(fn, {-1.0}), ref::FatalError);
+    EXPECT_THROW(newtonMinimize(fn, {-1.0}), ref::FatalError);
+}
+
+TEST(Minimizers, AlreadyOptimalStopsImmediately)
+{
+    const auto result = newtonMinimize(kSphere, {0.0, 0.0});
+    EXPECT_TRUE(result.converged);
+    EXPECT_EQ(result.iterations, 0);
+}
+
+} // namespace

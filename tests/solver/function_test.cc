@@ -1,0 +1,95 @@
+#include "solver/function.hh"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "solver/line_search.hh"
+#include "util/logging.hh"
+
+namespace {
+
+using ref::solver::LambdaFunction;
+using ref::solver::Vector;
+
+TEST(LambdaFunction, ForwardsValueAndGradient)
+{
+    const LambdaFunction fn(
+        [](const Vector &x) { return x[0] * x[0] + 2 * x[1]; },
+        [](const Vector &x) { return Vector{2 * x[0], 2.0}; });
+    EXPECT_DOUBLE_EQ(fn.value({3.0, 1.0}), 11.0);
+    const Vector grad = fn.gradient({3.0, 1.0});
+    EXPECT_DOUBLE_EQ(grad[0], 6.0);
+    EXPECT_DOUBLE_EQ(grad[1], 2.0);
+}
+
+TEST(LambdaFunction, NumericalGradientFallback)
+{
+    const LambdaFunction fn(
+        [](const Vector &x) { return std::sin(x[0]) * x[1]; });
+    const Vector grad = fn.gradient({0.7, 2.0});
+    EXPECT_NEAR(grad[0], 2.0 * std::cos(0.7), 1e-6);
+    EXPECT_NEAR(grad[1], std::sin(0.7), 1e-6);
+}
+
+TEST(NumericalGradient, ScalesStepWithMagnitude)
+{
+    const auto quadratic = [](const Vector &x) {
+        return 0.5 * x[0] * x[0];
+    };
+    const Vector grad =
+        ref::solver::numericalGradient(quadratic, {1e6});
+    EXPECT_NEAR(grad[0], 1e6, 1.0);
+}
+
+TEST(LineSearch, AcceptsFullStepOnQuadratic)
+{
+    const LambdaFunction fn(
+        [](const Vector &x) { return x[0] * x[0]; },
+        [](const Vector &x) { return Vector{2 * x[0]}; });
+    const Vector point{1.0};
+    const Vector direction{-1.0};
+    const auto result = ref::solver::backtrackingLineSearch(
+        fn, point, direction, 1.0, -2.0);
+    EXPECT_TRUE(result.accepted);
+    EXPECT_GT(result.step, 0.0);
+    EXPECT_LT(result.value, 1.0);
+}
+
+TEST(LineSearch, BacktracksThroughInfiniteRegion)
+{
+    // Objective is +inf for x >= 1 (a barrier); its minimum is at
+    // 0.5 and the descent direction from 0 points straight at the
+    // domain boundary, so the unit step must be backtracked.
+    const LambdaFunction fn(
+        [](const Vector &x) {
+            if (x[0] >= 1)
+                return std::numeric_limits<double>::infinity();
+            return -std::log(1.0 - x[0]) - 2.0 * x[0];
+        },
+        [](const Vector &x) {
+            return Vector{1.0 / (1.0 - x[0]) - 2.0};
+        });
+    const Vector point{0.0};
+    const Vector direction{1.0};  // Leaves the domain at t = 1.
+    const double value = fn.value(point);
+    const double slope = ref::linalg::dot(fn.gradient(point), direction);
+    ASSERT_LT(slope, 0.0);
+    const auto result = ref::solver::backtrackingLineSearch(
+        fn, point, direction, value, slope);
+    EXPECT_TRUE(result.accepted);
+    EXPECT_LT(result.step, 1.0);
+    EXPECT_LT(result.value, value);
+}
+
+TEST(LineSearch, RejectsAscentDirection)
+{
+    const LambdaFunction fn(
+        [](const Vector &x) { return x[0] * x[0]; },
+        [](const Vector &x) { return Vector{2 * x[0]}; });
+    EXPECT_THROW(ref::solver::backtrackingLineSearch(fn, {1.0}, {1.0},
+                                                     1.0, 2.0),
+                 ref::FatalError);
+}
+
+} // namespace

@@ -1,0 +1,70 @@
+#include "solver/nelder_mead.hh"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace {
+
+using ref::linalg::Vector;
+using ref::solver::nelderMead;
+using ref::solver::NelderMeadOptions;
+
+TEST(NelderMead, SolvesSphere)
+{
+    const auto result = nelderMead(
+        [](const Vector &x) {
+            return x[0] * x[0] + x[1] * x[1] + x[2] * x[2];
+        },
+        {1.0, -2.0, 3.0});
+    EXPECT_TRUE(result.converged);
+    for (double v : result.point)
+        EXPECT_NEAR(v, 0.0, 1e-4);
+}
+
+TEST(NelderMead, SolvesRosenbrock)
+{
+    NelderMeadOptions options;
+    options.maxIterations = 10000;
+    const auto result = nelderMead(
+        [](const Vector &x) {
+            const double a = 1 - x[0];
+            const double b = x[1] - x[0] * x[0];
+            return a * a + 100 * b * b;
+        },
+        {-1.2, 1.0}, options);
+    EXPECT_NEAR(result.point[0], 1.0, 1e-3);
+    EXPECT_NEAR(result.point[1], 1.0, 1e-3);
+}
+
+TEST(NelderMead, AvoidsInfiniteRegions)
+{
+    // Minimum of -log(x) + x at x = 1 with infinity left of zero.
+    const auto result = nelderMead(
+        [](const Vector &x) {
+            if (x[0] <= 0)
+                return std::numeric_limits<double>::infinity();
+            return -std::log(x[0]) + x[0];
+        },
+        {0.5});
+    EXPECT_NEAR(result.point[0], 1.0, 1e-4);
+}
+
+TEST(NelderMead, OneDimensionalQuadratic)
+{
+    const auto result = nelderMead(
+        [](const Vector &x) { return (x[0] - 7) * (x[0] - 7); },
+        {0.0});
+    EXPECT_NEAR(result.point[0], 7.0, 1e-4);
+}
+
+TEST(NelderMead, RejectsEmptyStart)
+{
+    EXPECT_THROW(nelderMead([](const Vector &) { return 0.0; }, {}),
+                 ref::FatalError);
+}
+
+} // namespace

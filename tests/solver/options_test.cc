@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Option-knob coverage for the solvers: tolerances, iteration caps,
+ * and penalty weights behave as documented.
+ */
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "solver/barrier.hh"
+#include "solver/penalty.hh"
+#include "util/logging.hh"
+
+namespace {
+
+using namespace ref::solver;
+
+std::shared_ptr<const LambdaFunction>
+fn(LambdaFunction::ValueFn value, LambdaFunction::GradientFn gradient)
+{
+    return std::make_shared<LambdaFunction>(std::move(value),
+                                            std::move(gradient));
+}
+
+ConstrainedProgram
+cappedLinear()
+{
+    // min -x s.t. x <= 3.
+    ConstrainedProgram program;
+    program.objective = fn(
+        [](const Vector &x) { return -x[0]; },
+        [](const Vector &) { return Vector{-1.0}; });
+    program.inequalities.push_back(fn(
+        [](const Vector &x) { return x[0] - 3.0; },
+        [](const Vector &) { return Vector{1.0}; }));
+    return program;
+}
+
+TEST(SolverOptions, PenaltyWeightCapLimitsAccuracy)
+{
+    // With a tiny weight cap, the penalty solve stops early and
+    // reports non-convergence with a residual violation.
+    PenaltyOptions loose;
+    loose.initialWeight = 1.0;
+    loose.maxWeight = 1.0;
+    loose.violationTolerance = 1e-12;
+    const auto result = solvePenalty(cappedLinear(), {0.0}, loose);
+    EXPECT_FALSE(result.converged);
+    EXPECT_GT(result.maxViolation, 1e-12);
+}
+
+TEST(SolverOptions, TighterViolationToleranceImprovesFeasibility)
+{
+    PenaltyOptions strict;
+    strict.violationTolerance = 1e-9;
+    const auto result = solvePenalty(cappedLinear(), {0.0}, strict);
+    EXPECT_TRUE(result.converged);
+    EXPECT_LE(result.maxViolation, 1e-9);
+    EXPECT_NEAR(result.point[0], 3.0, 1e-4);
+}
+
+TEST(SolverOptions, BarrierGapToleranceControlsSuboptimality)
+{
+    // The duality gap bound m/t translates directly into objective
+    // suboptimality for this linear program.
+    BarrierOptions coarse;
+    coarse.dualityGapTolerance = 1e-2;
+    const auto rough = solveBarrier(cappedLinear(), {0.0}, coarse);
+    BarrierOptions fine;
+    fine.dualityGapTolerance = 1e-9;
+    const auto sharp = solveBarrier(cappedLinear(), {0.0}, fine);
+    EXPECT_LT(std::abs(sharp.point[0] - 3.0),
+              std::abs(rough.point[0] - 3.0) + 1e-12);
+    EXPECT_NEAR(sharp.point[0], 3.0, 1e-6);
+}
+
+TEST(SolverOptions, InnerIterationCapRespected)
+{
+    MinimizeOptions inner;
+    inner.maxIterations = 1;
+    PenaltyOptions options;
+    options.inner = inner;
+    options.maxWeight = 10.0;
+    // One Newton step per subproblem and a capped weight: the solve
+    // terminates quickly (bounded outer iterations) regardless of
+    // convergence.
+    const auto result = solvePenalty(cappedLinear(), {0.0}, options);
+    EXPECT_LE(result.outerIterations, 2);
+}
+
+TEST(SolverOptions, GradientDescentToleranceStopsEarly)
+{
+    const LambdaFunction sphere(
+        [](const Vector &x) { return x[0] * x[0]; },
+        [](const Vector &x) { return Vector{2 * x[0]}; });
+    MinimizeOptions loose;
+    loose.gradientTolerance = 1e-1;
+    const auto rough = gradientDescent(sphere, {4.0}, loose);
+    MinimizeOptions tight;
+    tight.gradientTolerance = 1e-12;
+    const auto sharp = gradientDescent(sphere, {4.0}, tight);
+    EXPECT_TRUE(rough.converged);
+    EXPECT_LE(rough.iterations, sharp.iterations);
+    EXPECT_LT(std::abs(sharp.point[0]), std::abs(rough.point[0]) + 1e-12);
+}
+
+TEST(SolverOptions, LineSearchBacktrackCapFails)
+{
+    // A pathological objective that rises along the descent
+    // direction everywhere reachable: the search gives up cleanly.
+    const LambdaFunction bumpy(
+        [](const Vector &x) {
+            return x[0] <= 0 ? -x[0] * 1e-9 : 1.0 + x[0];
+        },
+        [](const Vector &) { return Vector{-1e-9}; });
+    LineSearchOptions options;
+    options.maxBacktracks = 3;
+    const auto result = backtrackingLineSearch(
+        bumpy, {0.0}, {1.0}, 0.0, -1e-9, options);
+    EXPECT_FALSE(result.accepted);
+    EXPECT_DOUBLE_EQ(result.step, 0.0);
+}
+
+} // namespace

@@ -1,0 +1,156 @@
+#include "solver/penalty.hh"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace {
+
+using ref::solver::ConstrainedProgram;
+using ref::solver::LambdaFunction;
+using ref::solver::solvePenalty;
+using ref::solver::Vector;
+
+std::shared_ptr<const LambdaFunction>
+fn(LambdaFunction::ValueFn value, LambdaFunction::GradientFn gradient)
+{
+    return std::make_shared<LambdaFunction>(std::move(value),
+                                            std::move(gradient));
+}
+
+TEST(Penalty, UnconstrainedReducesToNewton)
+{
+    ConstrainedProgram program;
+    program.objective = fn(
+        [](const Vector &x) {
+            return (x[0] - 3) * (x[0] - 3) + x[1] * x[1];
+        },
+        [](const Vector &x) {
+            return Vector{2 * (x[0] - 3), 2 * x[1]};
+        });
+    const auto result = solvePenalty(program, {0.0, 5.0});
+    EXPECT_TRUE(result.converged);
+    EXPECT_NEAR(result.point[0], 3.0, 1e-6);
+    EXPECT_NEAR(result.point[1], 0.0, 1e-6);
+}
+
+TEST(Penalty, ActiveInequalityConstraint)
+{
+    // min (x-3)^2 s.t. x <= 1  ->  x* = 1.
+    ConstrainedProgram program;
+    program.objective = fn(
+        [](const Vector &x) { return (x[0] - 3) * (x[0] - 3); },
+        [](const Vector &x) { return Vector{2 * (x[0] - 3)}; });
+    program.inequalities.push_back(fn(
+        [](const Vector &x) { return x[0] - 1.0; },
+        [](const Vector &) { return Vector{1.0}; }));
+    const auto result = solvePenalty(program, {0.0});
+    EXPECT_TRUE(result.converged);
+    EXPECT_NEAR(result.point[0], 1.0, 1e-4);
+    EXPECT_LE(result.maxViolation, 1e-7);
+}
+
+TEST(Penalty, InactiveConstraintLeavesOptimumAlone)
+{
+    // min (x-3)^2 s.t. x <= 10: constraint slack at the optimum.
+    ConstrainedProgram program;
+    program.objective = fn(
+        [](const Vector &x) { return (x[0] - 3) * (x[0] - 3); },
+        [](const Vector &x) { return Vector{2 * (x[0] - 3)}; });
+    program.inequalities.push_back(fn(
+        [](const Vector &x) { return x[0] - 10.0; },
+        [](const Vector &) { return Vector{1.0}; }));
+    const auto result = solvePenalty(program, {0.0});
+    EXPECT_NEAR(result.point[0], 3.0, 1e-6);
+}
+
+TEST(Penalty, EqualityConstraint)
+{
+    // min x^2 + y^2 s.t. x + y = 2  ->  (1, 1).
+    ConstrainedProgram program;
+    program.objective = fn(
+        [](const Vector &x) { return x[0] * x[0] + x[1] * x[1]; },
+        [](const Vector &x) { return Vector{2 * x[0], 2 * x[1]}; });
+    program.equalities.push_back(fn(
+        [](const Vector &x) { return x[0] + x[1] - 2.0; },
+        [](const Vector &) { return Vector{1.0, 1.0}; }));
+    const auto result = solvePenalty(program, {0.0, 0.0});
+    EXPECT_TRUE(result.converged);
+    EXPECT_NEAR(result.point[0], 1.0, 1e-4);
+    EXPECT_NEAR(result.point[1], 1.0, 1e-4);
+}
+
+TEST(Penalty, MixedConstraints)
+{
+    // min (x-2)^2 + (y-2)^2 s.t. x + y = 2, x <= 0.5
+    // -> x = 0.5, y = 1.5.
+    ConstrainedProgram program;
+    program.objective = fn(
+        [](const Vector &x) {
+            return (x[0] - 2) * (x[0] - 2) + (x[1] - 2) * (x[1] - 2);
+        },
+        [](const Vector &x) {
+            return Vector{2 * (x[0] - 2), 2 * (x[1] - 2)};
+        });
+    program.equalities.push_back(fn(
+        [](const Vector &x) { return x[0] + x[1] - 2.0; },
+        [](const Vector &) { return Vector{1.0, 1.0}; }));
+    program.inequalities.push_back(fn(
+        [](const Vector &x) { return x[0] - 0.5; },
+        [](const Vector &) { return Vector{1.0, 0.0}; }));
+    const auto result = solvePenalty(program, {0.0, 0.0});
+    EXPECT_NEAR(result.point[0], 0.5, 1e-3);
+    EXPECT_NEAR(result.point[1], 1.5, 1e-3);
+}
+
+TEST(Penalty, LogSumExpCapacityStyleProgram)
+{
+    // max x0 + x1 (log-utilities) s.t. log(e^x0 + e^x1) <= log(10):
+    // symmetric optimum x0 = x1 = log(5).
+    ConstrainedProgram program;
+    program.objective = fn(
+        [](const Vector &x) { return -(x[0] + x[1]); },
+        [](const Vector &) { return Vector{-1.0, -1.0}; });
+    program.inequalities.push_back(fn(
+        [](const Vector &x) {
+            return std::log(std::exp(x[0]) + std::exp(x[1])) -
+                   std::log(10.0);
+        },
+        [](const Vector &x) {
+            const double total = std::exp(x[0]) + std::exp(x[1]);
+            return Vector{std::exp(x[0]) / total,
+                          std::exp(x[1]) / total};
+        }));
+    const auto result = solvePenalty(program, {0.0, 0.0});
+    EXPECT_NEAR(result.point[0], std::log(5.0), 1e-3);
+    EXPECT_NEAR(result.point[1], std::log(5.0), 1e-3);
+}
+
+TEST(Penalty, EmptyInteriorFeasibleSetStillSolved)
+{
+    // x <= 1 and x >= 1 leave only the boundary point x = 1; barrier
+    // methods cannot start here but the penalty method converges.
+    ConstrainedProgram program;
+    program.objective = fn(
+        [](const Vector &x) { return x[0] * x[0]; },
+        [](const Vector &x) { return Vector{2 * x[0]}; });
+    program.inequalities.push_back(fn(
+        [](const Vector &x) { return x[0] - 1.0; },
+        [](const Vector &) { return Vector{1.0}; }));
+    program.inequalities.push_back(fn(
+        [](const Vector &x) { return 1.0 - x[0]; },
+        [](const Vector &) { return Vector{-1.0}; }));
+    const auto result = solvePenalty(program, {5.0});
+    EXPECT_NEAR(result.point[0], 1.0, 1e-4);
+}
+
+TEST(Penalty, RequiresObjective)
+{
+    ConstrainedProgram program;
+    EXPECT_THROW(solvePenalty(program, {0.0}), ref::FatalError);
+}
+
+} // namespace

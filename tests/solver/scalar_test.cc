@@ -1,0 +1,81 @@
+#include "solver/scalar.hh"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace {
+
+using ref::solver::bisectRoot;
+using ref::solver::brentMinimize;
+
+TEST(Brent, FindsQuadraticMinimum)
+{
+    const auto result = brentMinimize(
+        [](double x) { return (x - 2.5) * (x - 2.5) + 1.0; }, 0.0, 10.0);
+    EXPECT_TRUE(result.converged);
+    EXPECT_NEAR(result.x, 2.5, 1e-8);
+    EXPECT_NEAR(result.value, 1.0, 1e-12);
+}
+
+TEST(Brent, FindsNonPolynomialMinimum)
+{
+    // x - log(x) has its minimum at x = 1.
+    const auto result = brentMinimize(
+        [](double x) { return x - std::log(x); }, 0.01, 10.0);
+    EXPECT_NEAR(result.x, 1.0, 1e-7);
+}
+
+TEST(Brent, HandlesMinimumAtBracketEdge)
+{
+    const auto result =
+        brentMinimize([](double x) { return x; }, 0.0, 1.0);
+    EXPECT_NEAR(result.x, 0.0, 1e-6);
+}
+
+TEST(Brent, RejectsEmptyBracket)
+{
+    EXPECT_THROW(brentMinimize([](double x) { return x; }, 1.0, 1.0),
+                 ref::FatalError);
+}
+
+TEST(Brent, AsymmetricValleyStillConverges)
+{
+    const auto result = brentMinimize(
+        [](double x) { return std::exp(x) - 3 * x; }, -2.0, 4.0);
+    EXPECT_NEAR(result.x, std::log(3.0), 1e-7);
+}
+
+TEST(Bisection, FindsSquareRoot)
+{
+    const auto result = bisectRoot(
+        [](double x) { return x * x - 2.0; }, 0.0, 2.0);
+    EXPECT_TRUE(result.converged);
+    EXPECT_NEAR(result.x, std::sqrt(2.0), 1e-9);
+}
+
+TEST(Bisection, HandlesRootAtEndpoint)
+{
+    const auto at_lo = bisectRoot(
+        [](double x) { return x; }, 0.0, 1.0);
+    EXPECT_TRUE(at_lo.converged);
+    EXPECT_DOUBLE_EQ(at_lo.x, 0.0);
+}
+
+TEST(Bisection, DecreasingFunction)
+{
+    const auto result = bisectRoot(
+        [](double x) { return 5.0 - x; }, 0.0, 10.0);
+    EXPECT_NEAR(result.x, 5.0, 1e-9);
+}
+
+TEST(Bisection, RejectsNoSignChange)
+{
+    EXPECT_THROW(bisectRoot([](double x) { return x * x + 1.0; },
+                            -1.0, 1.0),
+                 ref::FatalError);
+}
+
+} // namespace

@@ -1,0 +1,69 @@
+#include "stats/descriptive.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace {
+
+namespace stats = ref::stats;
+
+TEST(Descriptive, MeanAndVariance)
+{
+    const std::vector<double> sample{2.0, 4.0, 4.0, 4.0, 5.0, 5.0,
+                                     7.0, 9.0};
+    EXPECT_DOUBLE_EQ(stats::mean(sample), 5.0);
+    EXPECT_DOUBLE_EQ(stats::variance(sample), 4.0);
+    EXPECT_DOUBLE_EQ(stats::stddev(sample), 2.0);
+}
+
+TEST(Descriptive, SampleVarianceUsesBesselCorrection)
+{
+    const std::vector<double> sample{1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(stats::variance(sample), 2.0 / 3.0);
+    EXPECT_DOUBLE_EQ(stats::sampleVariance(sample), 1.0);
+}
+
+TEST(Descriptive, MinMaxMedian)
+{
+    const std::vector<double> sample{3.0, 1.0, 4.0, 1.0, 5.0};
+    EXPECT_DOUBLE_EQ(stats::minimum(sample), 1.0);
+    EXPECT_DOUBLE_EQ(stats::maximum(sample), 5.0);
+    EXPECT_DOUBLE_EQ(stats::median(sample), 3.0);
+    EXPECT_DOUBLE_EQ(stats::median({1.0, 2.0, 3.0, 4.0}), 2.5);
+}
+
+TEST(Descriptive, TotalSumOfSquares)
+{
+    EXPECT_DOUBLE_EQ(stats::totalSumOfSquares({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(stats::totalSumOfSquares({5.0, 5.0}), 0.0);
+}
+
+TEST(Descriptive, CorrelationDetectsPerfectAndInverse)
+{
+    const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+    const std::vector<double> y{2.0, 4.0, 6.0, 8.0};
+    std::vector<double> neg_y{-2.0, -4.0, -6.0, -8.0};
+    EXPECT_NEAR(stats::correlation(x, y), 1.0, 1e-12);
+    EXPECT_NEAR(stats::correlation(x, neg_y), -1.0, 1e-12);
+}
+
+TEST(Descriptive, CorrelationNearZeroForOrthogonalPattern)
+{
+    const std::vector<double> x{-1.0, 0.0, 1.0};
+    const std::vector<double> y{1.0, -2.0, 1.0};
+    EXPECT_NEAR(stats::correlation(x, y), 0.0, 1e-12);
+}
+
+TEST(Descriptive, RejectsDegenerateInput)
+{
+    EXPECT_THROW(stats::mean({}), ref::FatalError);
+    EXPECT_THROW(stats::minimum({}), ref::FatalError);
+    EXPECT_THROW(stats::median({}), ref::FatalError);
+    EXPECT_THROW(stats::sampleVariance({1.0}), ref::FatalError);
+    EXPECT_THROW(stats::correlation({1.0}, {1.0}), ref::FatalError);
+    EXPECT_THROW(stats::correlation({1.0, 1.0}, {1.0, 2.0}),
+                 ref::FatalError);
+}
+
+} // namespace

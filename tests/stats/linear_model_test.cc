@@ -1,0 +1,120 @@
+#include "stats/linear_model.hh"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace {
+
+using ref::linalg::Matrix;
+using ref::stats::LinearModel;
+
+TEST(LinearModel, RecoversExactLine)
+{
+    const Matrix x = Matrix::fromRows({{1}, {2}, {3}, {4}});
+    const std::vector<double> y{3, 5, 7, 9};  // y = 1 + 2x.
+    const LinearModel model(x, y);
+    EXPECT_NEAR(model.intercept(), 1.0, 1e-10);
+    EXPECT_NEAR(model.slopes()[0], 2.0, 1e-10);
+    EXPECT_NEAR(model.rSquared(), 1.0, 1e-12);
+    EXPECT_NEAR(model.residualStdError(), 0.0, 1e-10);
+}
+
+TEST(LinearModel, PredictMatchesCoefficients)
+{
+    const Matrix x = Matrix::fromRows({{1, 0}, {0, 1}, {1, 1}, {2, 1}});
+    const std::vector<double> y{3, 4, 6, 8};  // y = 1 + 2a + 3b.
+    const LinearModel model(x, y);
+    EXPECT_NEAR(model.predict({2.0, 2.0}), 11.0, 1e-9);
+}
+
+TEST(LinearModel, NoInterceptFitsThroughOrigin)
+{
+    const Matrix x = Matrix::fromRows({{1}, {2}, {3}});
+    const std::vector<double> y{2, 4, 6};
+    const LinearModel model(x, y, false);
+    EXPECT_DOUBLE_EQ(model.intercept(), 0.0);
+    EXPECT_NEAR(model.slopes()[0], 2.0, 1e-12);
+}
+
+TEST(LinearModel, RSquaredPenalizesNoise)
+{
+    ref::Rng rng(3);
+    const std::size_t n = 200;
+    Matrix x(n, 1);
+    std::vector<double> y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        x(i, 0) = rng.uniform(0.0, 10.0);
+        y[i] = 1.0 + 2.0 * x(i, 0) + rng.normal(0.0, 2.0);
+    }
+    const LinearModel model(x, y);
+    EXPECT_GT(model.rSquared(), 0.8);
+    EXPECT_LT(model.rSquared(), 1.0);
+    EXPECT_NEAR(model.slopes()[0], 2.0, 0.1);
+    EXPECT_NEAR(model.residualStdError(), 2.0, 0.4);
+    EXPECT_LT(model.adjustedRSquared(), model.rSquared());
+}
+
+TEST(LinearModel, MultivariateRecovery)
+{
+    ref::Rng rng(5);
+    const std::size_t n = 300;
+    Matrix x(n, 3);
+    std::vector<double> y(n);
+    const std::vector<double> beta{0.5, -1.5, 3.0};
+    for (std::size_t i = 0; i < n; ++i) {
+        double value = 2.0;
+        for (std::size_t j = 0; j < 3; ++j) {
+            x(i, j) = rng.uniform(-1.0, 1.0);
+            value += beta[j] * x(i, j);
+        }
+        y[i] = value + rng.normal(0.0, 0.05);
+    }
+    const LinearModel model(x, y);
+    EXPECT_NEAR(model.intercept(), 2.0, 0.02);
+    for (std::size_t j = 0; j < 3; ++j)
+        EXPECT_NEAR(model.slopes()[j], beta[j], 0.03);
+}
+
+TEST(LinearModel, ConstantResponseYieldsZeroSlopes)
+{
+    const Matrix x = Matrix::fromRows({{1}, {2}, {3}, {4}});
+    const std::vector<double> y{5, 5, 5, 5};
+    const LinearModel model(x, y);
+    EXPECT_NEAR(model.slopes()[0], 0.0, 1e-12);
+    EXPECT_NEAR(model.intercept(), 5.0, 1e-12);
+    // Zero variance explained exactly: defined as R^2 = 1.
+    EXPECT_DOUBLE_EQ(model.rSquared(), 1.0);
+}
+
+TEST(LinearModel, RejectsUnderdeterminedFits)
+{
+    const Matrix x = Matrix::fromRows({{1}, {2}});
+    EXPECT_THROW(LinearModel(x, {1.0, 2.0}), ref::FatalError);
+}
+
+TEST(LinearModel, RejectsSizeMismatch)
+{
+    const Matrix x = Matrix::fromRows({{1}, {2}, {3}});
+    EXPECT_THROW(LinearModel(x, {1.0, 2.0}), ref::FatalError);
+}
+
+TEST(LinearModel, RejectsCollinearPredictors)
+{
+    const Matrix x =
+        Matrix::fromRows({{1, 2}, {2, 4}, {3, 6}, {4, 8}});
+    EXPECT_THROW(LinearModel(x, {1.0, 2.0, 3.0, 4.0}),
+                 ref::FatalError);
+}
+
+TEST(LinearModel, PredictRejectsWrongArity)
+{
+    const Matrix x = Matrix::fromRows({{1}, {2}, {3}});
+    const LinearModel model(x, {1.0, 2.0, 3.0});
+    EXPECT_THROW(model.predict({1.0, 2.0}), ref::FatalError);
+}
+
+} // namespace

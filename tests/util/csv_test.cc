@@ -1,0 +1,60 @@
+#include "util/csv.hh"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace {
+
+using ref::CsvWriter;
+
+TEST(CsvEscape, PlainCellsPassThrough)
+{
+    EXPECT_EQ(ref::csvEscape("hello"), "hello");
+    EXPECT_EQ(ref::csvEscape("12.5"), "12.5");
+}
+
+TEST(CsvEscape, QuotesCellsWithSpecials)
+{
+    EXPECT_EQ(ref::csvEscape("a,b"), "\"a,b\"");
+    EXPECT_EQ(ref::csvEscape("line\nbreak"), "\"line\nbreak\"");
+    EXPECT_EQ(ref::csvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvWriter, EmitsHeaderImmediately)
+{
+    std::ostringstream os;
+    CsvWriter writer(os, {"x", "y"});
+    EXPECT_EQ(os.str(), "x,y\n");
+    EXPECT_EQ(writer.rowsWritten(), 0u);
+}
+
+TEST(CsvWriter, WritesStringAndNumericRows)
+{
+    std::ostringstream os;
+    CsvWriter writer(os, {"name", "value"});
+    writer.writeRow(std::vector<std::string>{"cache", "12"});
+    writer.writeRow(std::vector<double>{1.5, 2.0});
+    EXPECT_EQ(writer.rowsWritten(), 2u);
+    EXPECT_EQ(os.str(), "name,value\ncache,12\n1.5,2\n");
+}
+
+TEST(CsvWriter, RejectsWrongWidthRows)
+{
+    std::ostringstream os;
+    CsvWriter writer(os, {"a", "b"});
+    EXPECT_THROW(writer.writeRow(std::vector<std::string>{"1"}),
+                 ref::FatalError);
+    EXPECT_THROW(writer.writeRow(std::vector<double>{1, 2, 3}),
+                 ref::FatalError);
+}
+
+TEST(CsvWriter, RejectsEmptyHeader)
+{
+    std::ostringstream os;
+    EXPECT_THROW(CsvWriter(os, {}), ref::FatalError);
+}
+
+} // namespace

@@ -1,0 +1,96 @@
+#include "util/math.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace {
+
+TEST(AlmostEqual, ExactValuesCompareEqual)
+{
+    EXPECT_TRUE(ref::almostEqual(1.0, 1.0));
+    EXPECT_TRUE(ref::almostEqual(0.0, 0.0));
+}
+
+TEST(AlmostEqual, RelativeToleranceScalesWithMagnitude)
+{
+    EXPECT_TRUE(ref::almostEqual(1e12, 1e12 * (1 + 1e-10)));
+    EXPECT_FALSE(ref::almostEqual(1e12, 1e12 * (1 + 1e-6)));
+}
+
+TEST(AlmostEqual, AbsoluteToleranceNearZero)
+{
+    EXPECT_TRUE(ref::almostEqual(1e-13, 0.0));
+    EXPECT_FALSE(ref::almostEqual(1e-6, 0.0));
+}
+
+TEST(GeometricMean, MatchesHandComputation)
+{
+    EXPECT_DOUBLE_EQ(ref::geometricMean({4.0, 9.0}), 6.0);
+    EXPECT_DOUBLE_EQ(ref::geometricMean({8.0}), 8.0);
+}
+
+TEST(GeometricMean, RejectsBadInput)
+{
+    EXPECT_THROW(ref::geometricMean({}), ref::FatalError);
+    EXPECT_THROW(ref::geometricMean({1.0, 0.0}), ref::FatalError);
+    EXPECT_THROW(ref::geometricMean({-1.0}), ref::FatalError);
+}
+
+TEST(Sum, HandlesEmptyAndMixed)
+{
+    EXPECT_DOUBLE_EQ(ref::sum({}), 0.0);
+    EXPECT_DOUBLE_EQ(ref::sum({1.5, -0.5, 2.0}), 3.0);
+}
+
+TEST(NormalizeToUnitSum, ProducesUnitSum)
+{
+    const auto normalized = ref::normalizeToUnitSum({2.0, 6.0});
+    EXPECT_DOUBLE_EQ(normalized[0], 0.25);
+    EXPECT_DOUBLE_EQ(normalized[1], 0.75);
+}
+
+TEST(NormalizeToUnitSum, PreservesRatios)
+{
+    const auto normalized = ref::normalizeToUnitSum({0.3, 0.6, 0.9});
+    EXPECT_NEAR(normalized[1] / normalized[0], 2.0, 1e-12);
+    EXPECT_NEAR(normalized[2] / normalized[0], 3.0, 1e-12);
+}
+
+TEST(NormalizeToUnitSum, RejectsBadInput)
+{
+    EXPECT_THROW(ref::normalizeToUnitSum({}), ref::FatalError);
+    EXPECT_THROW(ref::normalizeToUnitSum({0.0, 0.0}), ref::FatalError);
+    EXPECT_THROW(ref::normalizeToUnitSum({1.0, -1.0}), ref::FatalError);
+}
+
+TEST(PowerOfTwo, NextPowerOfTwoRoundsUp)
+{
+    EXPECT_EQ(ref::nextPowerOfTwo(0), 1u);
+    EXPECT_EQ(ref::nextPowerOfTwo(1), 1u);
+    EXPECT_EQ(ref::nextPowerOfTwo(3), 4u);
+    EXPECT_EQ(ref::nextPowerOfTwo(64), 64u);
+    EXPECT_EQ(ref::nextPowerOfTwo(65), 128u);
+}
+
+TEST(PowerOfTwo, IsPowerOfTwoDetects)
+{
+    EXPECT_FALSE(ref::isPowerOfTwo(0));
+    EXPECT_TRUE(ref::isPowerOfTwo(1));
+    EXPECT_TRUE(ref::isPowerOfTwo(4096));
+    EXPECT_FALSE(ref::isPowerOfTwo(24576));
+}
+
+TEST(PowerOfTwo, Log2ExactMatches)
+{
+    EXPECT_EQ(ref::log2Exact(1), 0u);
+    EXPECT_EQ(ref::log2Exact(64), 6u);
+    EXPECT_EQ(ref::log2Exact(1u << 20), 20u);
+}
+
+TEST(PowerOfTwo, Log2ExactRejectsNonPowers)
+{
+    EXPECT_THROW(ref::log2Exact(12), ref::FatalError);
+}
+
+} // namespace

@@ -1,0 +1,211 @@
+#include "util/random.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace {
+
+using ref::Rng;
+using ref::ZipfDistribution;
+
+TEST(Rng, DeterministicForEqualSeeds)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += a() == b();
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformStaysInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(11);
+    double total = 0;
+    constexpr int n = 100000;
+    for (int i = 0; i < n; ++i)
+        total += rng.uniform();
+    EXPECT_NEAR(total / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-2.0, 5.0);
+        EXPECT_GE(u, -2.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformRejectsEmptyInterval)
+{
+    Rng rng(3);
+    EXPECT_THROW(rng.uniform(2.0, 1.0), ref::FatalError);
+}
+
+TEST(Rng, UniformIntCoversRangeWithoutBias)
+{
+    Rng rng(5);
+    std::vector<int> counts(10, 0);
+    constexpr int draws = 100000;
+    for (int i = 0; i < draws; ++i)
+        ++counts[rng.uniformInt(std::uint64_t{10})];
+    for (int bucket : counts)
+        EXPECT_NEAR(bucket, draws / 10, draws / 10 * 0.1);
+}
+
+TEST(Rng, UniformIntInclusiveBounds)
+{
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = rng.uniformInt(std::int64_t{-3}, std::int64_t{3});
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo = saw_lo || v == -3;
+        saw_hi = saw_hi || v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntRejectsZeroRange)
+{
+    Rng rng(1);
+    EXPECT_THROW(rng.uniformInt(std::uint64_t{0}), ref::FatalError);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate)
+{
+    Rng rng(13);
+    double total = 0;
+    constexpr int n = 100000;
+    for (int i = 0; i < n; ++i)
+        total += rng.exponential(2.0);
+    EXPECT_NEAR(total / n, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveRate)
+{
+    Rng rng(1);
+    EXPECT_THROW(rng.exponential(0.0), ref::FatalError);
+}
+
+TEST(Rng, NormalMeanAndVariance)
+{
+    Rng rng(17);
+    constexpr int n = 100000;
+    double total = 0, total_sq = 0;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal(3.0, 2.0);
+        total += x;
+        total_sq += x * x;
+    }
+    const double mean = total / n;
+    const double var = total_sq / n - mean * mean;
+    EXPECT_NEAR(mean, 3.0, 0.05);
+    EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Rng, BernoulliFrequencyMatchesProbability)
+{
+    Rng rng(19);
+    constexpr int n = 100000;
+    int hits = 0;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliRejectsOutOfRangeProbability)
+{
+    Rng rng(1);
+    EXPECT_THROW(rng.bernoulli(1.5), ref::FatalError);
+    EXPECT_THROW(rng.bernoulli(-0.1), ref::FatalError);
+}
+
+TEST(Rng, ForkedStreamsAreDecorrelated)
+{
+    Rng parent(23);
+    Rng child_a = parent.fork();
+    Rng child_b = parent.fork();
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += child_a() == child_b();
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Zipf, RejectsBadParameters)
+{
+    EXPECT_THROW(ZipfDistribution(0, 1.0), ref::FatalError);
+    EXPECT_THROW(ZipfDistribution(10, -1.0), ref::FatalError);
+}
+
+TEST(Zipf, ZeroExponentIsUniform)
+{
+    ZipfDistribution zipf(8, 0.0);
+    Rng rng(29);
+    std::vector<int> counts(8, 0);
+    constexpr int draws = 80000;
+    for (int i = 0; i < draws; ++i)
+        ++counts[zipf(rng)];
+    for (int bucket : counts)
+        EXPECT_NEAR(bucket, draws / 8, draws / 8 * 0.1);
+}
+
+TEST(Zipf, SkewFavorsLowRanks)
+{
+    ZipfDistribution zipf(1000, 1.0);
+    Rng rng(31);
+    std::vector<int> counts(1000, 0);
+    for (int i = 0; i < 200000; ++i)
+        ++counts[zipf(rng)];
+    EXPECT_GT(counts[0], counts[9] * 5);
+    EXPECT_GT(counts[0], counts[99] * 50);
+}
+
+TEST(Zipf, RanksStayInRange)
+{
+    ZipfDistribution zipf(17, 1.3);
+    Rng rng(37);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(zipf(rng), 17u);
+}
+
+TEST(Zipf, RatioMatchesPowerLaw)
+{
+    // P(0)/P(1) should be 2^s for Zipf with exponent s.
+    ZipfDistribution zipf(100, 2.0);
+    Rng rng(41);
+    int rank0 = 0, rank1 = 0;
+    for (int i = 0; i < 400000; ++i) {
+        const auto rank = zipf(rng);
+        rank0 += rank == 0;
+        rank1 += rank == 1;
+    }
+    EXPECT_NEAR(static_cast<double>(rank0) / rank1, 4.0, 0.3);
+}
+
+} // namespace

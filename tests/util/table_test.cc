@@ -1,0 +1,65 @@
+#include "util/table.hh"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace {
+
+using ref::Table;
+
+TEST(Table, RejectsEmptyHeaderAndMismatchedRows)
+{
+    EXPECT_THROW(Table({}), ref::FatalError);
+    Table table({"a", "b"});
+    EXPECT_THROW(table.addRow({"only-one"}), ref::FatalError);
+}
+
+TEST(Table, CountsRowsAndColumns)
+{
+    Table table({"x", "y", "z"});
+    EXPECT_EQ(table.columns(), 3u);
+    EXPECT_EQ(table.rows(), 0u);
+    table.addRow({"1", "2", "3"});
+    table.addRow({"4", "5", "6"});
+    EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(Table, PrintAlignsColumns)
+{
+    Table table({"name", "v"});
+    table.addRow({"long-workload-name", "1"});
+    table.addRow({"x", "22"});
+    std::ostringstream os;
+    table.print(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("name"), std::string::npos);
+    EXPECT_NE(text.find("long-workload-name"), std::string::npos);
+    // Header rule present.
+    EXPECT_NE(text.find("----"), std::string::npos);
+    // All rows share the position of the second column.
+    std::istringstream lines(text);
+    std::string header, rule, row1, row2;
+    std::getline(lines, header);
+    std::getline(lines, rule);
+    std::getline(lines, row1);
+    std::getline(lines, row2);
+    EXPECT_EQ(row1.find('1'), row2.find("22"));
+}
+
+TEST(FormatFixed, RoundsToRequestedDecimals)
+{
+    EXPECT_EQ(ref::formatFixed(3.14159, 2), "3.14");
+    EXPECT_EQ(ref::formatFixed(2.0, 0), "2");
+    EXPECT_EQ(ref::formatFixed(-1.005, 1), "-1.0");
+}
+
+TEST(FormatPercent, ConvertsFractions)
+{
+    EXPECT_EQ(ref::formatPercent(0.42), "42.0%");
+    EXPECT_EQ(ref::formatPercent(1.0, 0), "100%");
+}
+
+} // namespace

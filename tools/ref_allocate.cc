@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Command-line allocator: read agents (fitted Cobb-Douglas
+ * utilities) from a CSV, allocate a set of resource capacities with
+ * a chosen mechanism, print the allocation and its fairness report.
+ *
+ * Usage:
+ *   ref_allocate --agents agents.csv --capacity 24,12
+ *                [--mechanism ref|equal-slowdown|max-welfare|
+ *                             max-welfare-fair|utilitarian]
+ *                [--csv]
+ *
+ * Agents CSV format (see core/profile_io.hh):
+ *   name,scale,alpha0,alpha1,...
+ *   user1,1.0,0.6,0.4
+ *   user2,1.0,0.2,0.8
+ */
+
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "core/fairness.hh"
+#include "core/profile_io.hh"
+#include "core/proportional_elasticity.hh"
+#include "core/utilitarian.hh"
+#include "core/welfare.hh"
+#include "core/welfare_mechanisms.hh"
+#include "util/csv.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace ref;
+
+struct CliOptions
+{
+    std::string agentsPath;
+    std::string capacityList;
+    std::string mechanism = "ref";
+    bool csvOutput = false;
+};
+
+[[noreturn]] void
+usage(const char *argv0, const std::string &error = "")
+{
+    if (!error.empty())
+        std::cerr << "error: " << error << "\n\n";
+    std::cerr
+        << "usage: " << argv0
+        << " --agents FILE --capacity C0,C1,...\n"
+           "          [--mechanism ref|equal-slowdown|max-welfare|"
+           "max-welfare-fair|utilitarian]\n"
+           "          [--csv]\n\n"
+           "Reads agents (name,scale,alpha0,alpha1,...) from FILE,\n"
+           "allocates the given capacities, prints the allocation\n"
+           "and its SI/EF/PE report.\n";
+    std::exit(2);
+}
+
+CliOptions
+parseArgs(int argc, char **argv)
+{
+    CliOptions options;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(argv[0], "missing value for " + arg);
+            return argv[++i];
+        };
+        if (arg == "--agents") {
+            options.agentsPath = next();
+        } else if (arg == "--capacity") {
+            options.capacityList = next();
+        } else if (arg == "--mechanism") {
+            options.mechanism = next();
+        } else if (arg == "--csv") {
+            options.csvOutput = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+        } else {
+            usage(argv[0], "unknown argument " + arg);
+        }
+    }
+    if (options.agentsPath.empty())
+        usage(argv[0], "--agents is required");
+    if (options.capacityList.empty())
+        usage(argv[0], "--capacity is required");
+    return options;
+}
+
+core::SystemCapacity
+parseCapacity(const std::string &list)
+{
+    std::vector<double> capacities;
+    std::stringstream stream(list);
+    std::string cell;
+    while (std::getline(stream, cell, ','))
+        capacities.push_back(std::stod(cell));
+    return core::SystemCapacity::fromCapacities(capacities);
+}
+
+std::unique_ptr<core::AllocationMechanism>
+makeMechanism(const std::string &name)
+{
+    using namespace core;
+    if (name == "ref")
+        return std::make_unique<ProportionalElasticityMechanism>();
+    if (name == "equal-slowdown")
+        return std::make_unique<WelfareMechanism>(makeEqualSlowdown());
+    if (name == "max-welfare")
+        return std::make_unique<WelfareMechanism>(
+            makeMaxWelfareUnfair());
+    if (name == "max-welfare-fair")
+        return std::make_unique<WelfareMechanism>(makeMaxWelfareFair());
+    if (name == "utilitarian")
+        return std::make_unique<UtilitarianMechanism>();
+    REF_FATAL("unknown mechanism '" << name << "'");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliOptions options = parseArgs(argc, argv);
+    try {
+        std::ifstream agents_file(options.agentsPath);
+        REF_REQUIRE(agents_file.good(),
+                    "cannot open '" << options.agentsPath << "'");
+        const auto agents = core::readAgentsCsv(agents_file);
+        const auto capacity = parseCapacity(options.capacityList);
+        const auto mechanism = makeMechanism(options.mechanism);
+
+        const auto allocation =
+            mechanism->allocate(agents, capacity);
+        const auto report = core::checkFairness(
+            agents, capacity, allocation, {1e-4, 1e-2, 1e-6});
+
+        if (options.csvOutput) {
+            std::vector<std::string> header{"name"};
+            for (std::size_t r = 0; r < capacity.count(); ++r)
+                header.push_back(capacity.resource(r).name);
+            header.push_back("weighted_utility");
+            CsvWriter csv(std::cout, header);
+            for (std::size_t i = 0; i < agents.size(); ++i) {
+                std::vector<std::string> row{agents[i].name()};
+                for (std::size_t r = 0; r < capacity.count(); ++r)
+                    row.push_back(
+                        std::to_string(allocation.at(i, r)));
+                row.push_back(std::to_string(core::weightedUtility(
+                    agents[i], allocation.agentShare(i), capacity)));
+                csv.writeRow(row);
+            }
+        } else {
+            std::cout << "mechanism: " << mechanism->name() << "\n\n";
+            std::vector<std::string> header{"agent"};
+            for (std::size_t r = 0; r < capacity.count(); ++r)
+                header.push_back(capacity.resource(r).name);
+            header.push_back("U_i");
+            Table table(header);
+            for (std::size_t i = 0; i < agents.size(); ++i) {
+                std::vector<std::string> row{agents[i].name()};
+                for (std::size_t r = 0; r < capacity.count(); ++r)
+                    row.push_back(
+                        formatFixed(allocation.at(i, r), 4));
+                row.push_back(formatFixed(
+                    core::weightedUtility(agents[i],
+                                          allocation.agentShare(i),
+                                          capacity),
+                    4));
+                table.addRow(row);
+            }
+            table.print(std::cout);
+            std::cout << "\nSI: "
+                      << (report.sharingIncentives.satisfied
+                              ? "satisfied" : "VIOLATED")
+                      << "  EF: "
+                      << (report.envyFreeness.satisfied ? "satisfied"
+                                                        : "VIOLATED")
+                      << "  PE: "
+                      << (report.paretoEfficiency.satisfied
+                              ? "satisfied" : "violated")
+                      << "\nweighted system throughput: "
+                      << formatFixed(
+                             core::weightedSystemThroughput(
+                                 agents, allocation, capacity),
+                             4)
+                      << "\n";
+        }
+        return report.allHold() ? 0 : 1;
+    } catch (const std::exception &error) {
+        std::cerr << "error: " << error.what() << "\n";
+        return 2;
+    }
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Command-line profiler: sweep a cataloged workload across the
+ * Table 1 cache/bandwidth grid on the bundled simulator and emit the
+ * performance profile as CSV (columns x0 = bandwidth GB/s,
+ * x1 = cache MB, performance = IPC). Composes with ref_fit:
+ *
+ *   ref_profile --workload dedup | ref_fit --profile -
+ *
+ * Usage:
+ *   ref_profile --workload NAME [--ops N] [--list]
+ */
+
+#include <iostream>
+#include <string>
+
+#include "core/profile_io.hh"
+#include "sim/profiler.hh"
+#include "util/logging.hh"
+
+namespace {
+
+[[noreturn]] void
+usage(const char *argv0, const std::string &error = "")
+{
+    if (!error.empty())
+        std::cerr << "error: " << error << "\n\n";
+    std::cerr << "usage: " << argv0
+              << " --workload NAME [--ops N] [--list]\n\n"
+                 "Profiles a cataloged synthetic workload over the "
+                 "Table 1 sweep\nand writes the profile CSV to "
+                 "stdout. --list prints the catalog.\n";
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace ref;
+
+    std::string workload_name;
+    std::size_t ops = 80000;
+    bool list = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(argv[0], "missing value for " + arg);
+            return argv[++i];
+        };
+        if (arg == "--workload") {
+            workload_name = next();
+        } else if (arg == "--ops") {
+            ops = static_cast<std::size_t>(std::stoull(next()));
+        } else if (arg == "--list") {
+            list = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+        } else {
+            usage(argv[0], "unknown argument " + arg);
+        }
+    }
+
+    try {
+        if (list) {
+            for (const auto &workload : sim::allWorkloads()) {
+                std::cout << workload.name << " ("
+                          << workload.expectedClass << ")\n";
+            }
+            return 0;
+        }
+        if (workload_name.empty())
+            usage(argv[0], "--workload is required");
+
+        const auto &workload = sim::workloadByName(workload_name);
+        const sim::Profiler profiler(sim::PlatformConfig::table1(),
+                                     ops);
+        const auto profile = sim::Profiler::toPerformanceProfile(
+            profiler.sweep(workload));
+        core::writeProfileCsv(std::cout, profile);
+        return 0;
+    } catch (const std::exception &error) {
+        std::cerr << "error: " << error.what() << "\n";
+        return 2;
+    }
+}
