@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rescaling.dir/bench_ablation_rescaling.cc.o"
+  "CMakeFiles/bench_ablation_rescaling.dir/bench_ablation_rescaling.cc.o.d"
+  "bench_ablation_rescaling"
+  "bench_ablation_rescaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rescaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_drf_comparison.dir/bench_drf_comparison.cc.o"
+  "CMakeFiles/bench_drf_comparison.dir/bench_drf_comparison.cc.o.d"
+  "bench_drf_comparison"
+  "bench_drf_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_drf_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

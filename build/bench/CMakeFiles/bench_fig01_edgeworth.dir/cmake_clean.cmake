@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_edgeworth.dir/bench_fig01_edgeworth.cc.o"
+  "CMakeFiles/bench_fig01_edgeworth.dir/bench_fig01_edgeworth.cc.o.d"
+  "bench_fig01_edgeworth"
+  "bench_fig01_edgeworth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_edgeworth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_envy_free.dir/bench_fig02_envy_free.cc.o"
+  "CMakeFiles/bench_fig02_envy_free.dir/bench_fig02_envy_free.cc.o.d"
+  "bench_fig02_envy_free"
+  "bench_fig02_envy_free.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_envy_free.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_indifference.dir/bench_fig03_indifference.cc.o"
+  "CMakeFiles/bench_fig03_indifference.dir/bench_fig03_indifference.cc.o.d"
+  "bench_fig03_indifference"
+  "bench_fig03_indifference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_indifference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

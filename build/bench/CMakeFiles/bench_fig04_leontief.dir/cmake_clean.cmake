@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_leontief.dir/bench_fig04_leontief.cc.o"
+  "CMakeFiles/bench_fig04_leontief.dir/bench_fig04_leontief.cc.o.d"
+  "bench_fig04_leontief"
+  "bench_fig04_leontief.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_leontief.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_fair_set.dir/bench_fig06_fair_set.cc.o"
+  "CMakeFiles/bench_fig06_fair_set.dir/bench_fig06_fair_set.cc.o.d"
+  "bench_fig06_fair_set"
+  "bench_fig06_fair_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_fair_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

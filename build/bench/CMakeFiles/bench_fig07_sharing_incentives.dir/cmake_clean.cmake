@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_sharing_incentives.dir/bench_fig07_sharing_incentives.cc.o"
+  "CMakeFiles/bench_fig07_sharing_incentives.dir/bench_fig07_sharing_incentives.cc.o.d"
+  "bench_fig07_sharing_incentives"
+  "bench_fig07_sharing_incentives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_sharing_incentives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_elasticities.dir/bench_fig09_elasticities.cc.o"
+  "CMakeFiles/bench_fig09_elasticities.dir/bench_fig09_elasticities.cc.o.d"
+  "bench_fig09_elasticities"
+  "bench_fig09_elasticities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_elasticities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig10_c_m_fair.cc" "bench/CMakeFiles/bench_fig10_c_m_fair.dir/bench_fig10_c_m_fair.cc.o" "gcc" "bench/CMakeFiles/bench_fig10_c_m_fair.dir/bench_fig10_c_m_fair.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/ref_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/ref_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ref_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ref_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/ref_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ref_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ref_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ref_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_c_m_unfair.dir/bench_fig11_c_m_unfair.cc.o"
+  "CMakeFiles/bench_fig11_c_m_unfair.dir/bench_fig11_c_m_unfair.cc.o.d"
+  "bench_fig11_c_m_unfair"
+  "bench_fig11_c_m_unfair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_c_m_unfair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

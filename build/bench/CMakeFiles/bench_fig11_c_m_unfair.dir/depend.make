@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig11_c_m_unfair.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_c_c_unfair.dir/bench_fig12_c_c_unfair.cc.o"
+  "CMakeFiles/bench_fig12_c_c_unfair.dir/bench_fig12_c_c_unfair.cc.o.d"
+  "bench_fig12_c_c_unfair"
+  "bench_fig12_c_c_unfair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_c_c_unfair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_throughput_4core.dir/bench_fig13_throughput_4core.cc.o"
+  "CMakeFiles/bench_fig13_throughput_4core.dir/bench_fig13_throughput_4core.cc.o.d"
+  "bench_fig13_throughput_4core"
+  "bench_fig13_throughput_4core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_throughput_4core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

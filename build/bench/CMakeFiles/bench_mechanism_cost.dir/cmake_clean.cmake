@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mechanism_cost.dir/bench_mechanism_cost.cc.o"
+  "CMakeFiles/bench_mechanism_cost.dir/bench_mechanism_cost.cc.o.d"
+  "bench_mechanism_cost"
+  "bench_mechanism_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mechanism_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spl_large_systems.dir/bench_spl_large_systems.cc.o"
+  "CMakeFiles/bench_spl_large_systems.dir/bench_spl_large_systems.cc.o.d"
+  "bench_spl_large_systems"
+  "bench_spl_large_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spl_large_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

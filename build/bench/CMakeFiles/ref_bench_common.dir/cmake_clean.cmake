@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ref_bench_common.dir/common.cc.o"
+  "CMakeFiles/ref_bench_common.dir/common.cc.o.d"
+  "CMakeFiles/ref_bench_common.dir/throughput.cc.o"
+  "CMakeFiles/ref_bench_common.dir/throughput.cc.o.d"
+  "libref_bench_common.a"
+  "libref_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ref_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_colocation.dir/datacenter_colocation.cpp.o"
+  "CMakeFiles/datacenter_colocation.dir/datacenter_colocation.cpp.o.d"
+  "datacenter_colocation"
+  "datacenter_colocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_colocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

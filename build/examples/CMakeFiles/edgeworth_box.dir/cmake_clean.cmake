@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgeworth_box.dir/edgeworth_box.cpp.o"
+  "CMakeFiles/edgeworth_box.dir/edgeworth_box.cpp.o.d"
+  "edgeworth_box"
+  "edgeworth_box.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgeworth_box.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_profiling.dir/online_profiling.cpp.o"
+  "CMakeFiles/online_profiling.dir/online_profiling.cpp.o.d"
+  "online_profiling"
+  "online_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

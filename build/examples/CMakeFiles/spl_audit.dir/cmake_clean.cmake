@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spl_audit.dir/spl_audit.cpp.o"
+  "CMakeFiles/spl_audit.dir/spl_audit.cpp.o.d"
+  "spl_audit"
+  "spl_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spl_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

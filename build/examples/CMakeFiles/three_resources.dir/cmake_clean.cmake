@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/three_resources.dir/three_resources.cpp.o"
+  "CMakeFiles/three_resources.dir/three_resources.cpp.o.d"
+  "three_resources"
+  "three_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/three_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/allocation.cc" "src/core/CMakeFiles/ref_core.dir/allocation.cc.o" "gcc" "src/core/CMakeFiles/ref_core.dir/allocation.cc.o.d"
+  "/root/repo/src/core/ceei.cc" "src/core/CMakeFiles/ref_core.dir/ceei.cc.o" "gcc" "src/core/CMakeFiles/ref_core.dir/ceei.cc.o.d"
+  "/root/repo/src/core/cobb_douglas.cc" "src/core/CMakeFiles/ref_core.dir/cobb_douglas.cc.o" "gcc" "src/core/CMakeFiles/ref_core.dir/cobb_douglas.cc.o.d"
+  "/root/repo/src/core/drf.cc" "src/core/CMakeFiles/ref_core.dir/drf.cc.o" "gcc" "src/core/CMakeFiles/ref_core.dir/drf.cc.o.d"
+  "/root/repo/src/core/edgeworth.cc" "src/core/CMakeFiles/ref_core.dir/edgeworth.cc.o" "gcc" "src/core/CMakeFiles/ref_core.dir/edgeworth.cc.o.d"
+  "/root/repo/src/core/fairness.cc" "src/core/CMakeFiles/ref_core.dir/fairness.cc.o" "gcc" "src/core/CMakeFiles/ref_core.dir/fairness.cc.o.d"
+  "/root/repo/src/core/fitting.cc" "src/core/CMakeFiles/ref_core.dir/fitting.cc.o" "gcc" "src/core/CMakeFiles/ref_core.dir/fitting.cc.o.d"
+  "/root/repo/src/core/gp_program.cc" "src/core/CMakeFiles/ref_core.dir/gp_program.cc.o" "gcc" "src/core/CMakeFiles/ref_core.dir/gp_program.cc.o.d"
+  "/root/repo/src/core/leontief.cc" "src/core/CMakeFiles/ref_core.dir/leontief.cc.o" "gcc" "src/core/CMakeFiles/ref_core.dir/leontief.cc.o.d"
+  "/root/repo/src/core/profile_io.cc" "src/core/CMakeFiles/ref_core.dir/profile_io.cc.o" "gcc" "src/core/CMakeFiles/ref_core.dir/profile_io.cc.o.d"
+  "/root/repo/src/core/proportional_elasticity.cc" "src/core/CMakeFiles/ref_core.dir/proportional_elasticity.cc.o" "gcc" "src/core/CMakeFiles/ref_core.dir/proportional_elasticity.cc.o.d"
+  "/root/repo/src/core/resource.cc" "src/core/CMakeFiles/ref_core.dir/resource.cc.o" "gcc" "src/core/CMakeFiles/ref_core.dir/resource.cc.o.d"
+  "/root/repo/src/core/strategic.cc" "src/core/CMakeFiles/ref_core.dir/strategic.cc.o" "gcc" "src/core/CMakeFiles/ref_core.dir/strategic.cc.o.d"
+  "/root/repo/src/core/utilitarian.cc" "src/core/CMakeFiles/ref_core.dir/utilitarian.cc.o" "gcc" "src/core/CMakeFiles/ref_core.dir/utilitarian.cc.o.d"
+  "/root/repo/src/core/welfare.cc" "src/core/CMakeFiles/ref_core.dir/welfare.cc.o" "gcc" "src/core/CMakeFiles/ref_core.dir/welfare.cc.o.d"
+  "/root/repo/src/core/welfare_mechanisms.cc" "src/core/CMakeFiles/ref_core.dir/welfare_mechanisms.cc.o" "gcc" "src/core/CMakeFiles/ref_core.dir/welfare_mechanisms.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/solver/CMakeFiles/ref_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ref_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ref_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ref_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

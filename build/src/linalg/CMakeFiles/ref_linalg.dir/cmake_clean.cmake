@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ref_linalg.dir/decompose.cc.o"
+  "CMakeFiles/ref_linalg.dir/decompose.cc.o.d"
+  "CMakeFiles/ref_linalg.dir/least_squares.cc.o"
+  "CMakeFiles/ref_linalg.dir/least_squares.cc.o.d"
+  "CMakeFiles/ref_linalg.dir/matrix.cc.o"
+  "CMakeFiles/ref_linalg.dir/matrix.cc.o.d"
+  "libref_linalg.a"
+  "libref_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ref_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

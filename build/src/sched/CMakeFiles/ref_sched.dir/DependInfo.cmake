@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/enforce.cc" "src/sched/CMakeFiles/ref_sched.dir/enforce.cc.o" "gcc" "src/sched/CMakeFiles/ref_sched.dir/enforce.cc.o.d"
+  "/root/repo/src/sched/lottery.cc" "src/sched/CMakeFiles/ref_sched.dir/lottery.cc.o" "gcc" "src/sched/CMakeFiles/ref_sched.dir/lottery.cc.o.d"
+  "/root/repo/src/sched/partition.cc" "src/sched/CMakeFiles/ref_sched.dir/partition.cc.o" "gcc" "src/sched/CMakeFiles/ref_sched.dir/partition.cc.o.d"
+  "/root/repo/src/sched/stride.cc" "src/sched/CMakeFiles/ref_sched.dir/stride.cc.o" "gcc" "src/sched/CMakeFiles/ref_sched.dir/stride.cc.o.d"
+  "/root/repo/src/sched/wfq.cc" "src/sched/CMakeFiles/ref_sched.dir/wfq.cc.o" "gcc" "src/sched/CMakeFiles/ref_sched.dir/wfq.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ref_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ref_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ref_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/ref_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ref_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ref_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

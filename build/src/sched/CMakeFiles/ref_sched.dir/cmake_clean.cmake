@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ref_sched.dir/enforce.cc.o"
+  "CMakeFiles/ref_sched.dir/enforce.cc.o.d"
+  "CMakeFiles/ref_sched.dir/lottery.cc.o"
+  "CMakeFiles/ref_sched.dir/lottery.cc.o.d"
+  "CMakeFiles/ref_sched.dir/partition.cc.o"
+  "CMakeFiles/ref_sched.dir/partition.cc.o.d"
+  "CMakeFiles/ref_sched.dir/stride.cc.o"
+  "CMakeFiles/ref_sched.dir/stride.cc.o.d"
+  "CMakeFiles/ref_sched.dir/wfq.cc.o"
+  "CMakeFiles/ref_sched.dir/wfq.cc.o.d"
+  "libref_sched.a"
+  "libref_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ref_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

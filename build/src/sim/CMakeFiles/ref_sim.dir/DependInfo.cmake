@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cc" "src/sim/CMakeFiles/ref_sim.dir/cache.cc.o" "gcc" "src/sim/CMakeFiles/ref_sim.dir/cache.cc.o.d"
+  "/root/repo/src/sim/config.cc" "src/sim/CMakeFiles/ref_sim.dir/config.cc.o" "gcc" "src/sim/CMakeFiles/ref_sim.dir/config.cc.o.d"
+  "/root/repo/src/sim/dram.cc" "src/sim/CMakeFiles/ref_sim.dir/dram.cc.o" "gcc" "src/sim/CMakeFiles/ref_sim.dir/dram.cc.o.d"
+  "/root/repo/src/sim/profiler.cc" "src/sim/CMakeFiles/ref_sim.dir/profiler.cc.o" "gcc" "src/sim/CMakeFiles/ref_sim.dir/profiler.cc.o.d"
+  "/root/repo/src/sim/system.cc" "src/sim/CMakeFiles/ref_sim.dir/system.cc.o" "gcc" "src/sim/CMakeFiles/ref_sim.dir/system.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/ref_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/ref_sim.dir/trace.cc.o.d"
+  "/root/repo/src/sim/workloads.cc" "src/sim/CMakeFiles/ref_sim.dir/workloads.cc.o" "gcc" "src/sim/CMakeFiles/ref_sim.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ref_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ref_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/ref_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ref_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ref_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ref_sim.dir/cache.cc.o"
+  "CMakeFiles/ref_sim.dir/cache.cc.o.d"
+  "CMakeFiles/ref_sim.dir/config.cc.o"
+  "CMakeFiles/ref_sim.dir/config.cc.o.d"
+  "CMakeFiles/ref_sim.dir/dram.cc.o"
+  "CMakeFiles/ref_sim.dir/dram.cc.o.d"
+  "CMakeFiles/ref_sim.dir/profiler.cc.o"
+  "CMakeFiles/ref_sim.dir/profiler.cc.o.d"
+  "CMakeFiles/ref_sim.dir/system.cc.o"
+  "CMakeFiles/ref_sim.dir/system.cc.o.d"
+  "CMakeFiles/ref_sim.dir/trace.cc.o"
+  "CMakeFiles/ref_sim.dir/trace.cc.o.d"
+  "CMakeFiles/ref_sim.dir/workloads.cc.o"
+  "CMakeFiles/ref_sim.dir/workloads.cc.o.d"
+  "libref_sim.a"
+  "libref_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ref_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libref_sim.a"
+)

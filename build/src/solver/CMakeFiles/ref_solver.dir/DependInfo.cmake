@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/barrier.cc" "src/solver/CMakeFiles/ref_solver.dir/barrier.cc.o" "gcc" "src/solver/CMakeFiles/ref_solver.dir/barrier.cc.o.d"
+  "/root/repo/src/solver/descent.cc" "src/solver/CMakeFiles/ref_solver.dir/descent.cc.o" "gcc" "src/solver/CMakeFiles/ref_solver.dir/descent.cc.o.d"
+  "/root/repo/src/solver/function.cc" "src/solver/CMakeFiles/ref_solver.dir/function.cc.o" "gcc" "src/solver/CMakeFiles/ref_solver.dir/function.cc.o.d"
+  "/root/repo/src/solver/line_search.cc" "src/solver/CMakeFiles/ref_solver.dir/line_search.cc.o" "gcc" "src/solver/CMakeFiles/ref_solver.dir/line_search.cc.o.d"
+  "/root/repo/src/solver/nelder_mead.cc" "src/solver/CMakeFiles/ref_solver.dir/nelder_mead.cc.o" "gcc" "src/solver/CMakeFiles/ref_solver.dir/nelder_mead.cc.o.d"
+  "/root/repo/src/solver/penalty.cc" "src/solver/CMakeFiles/ref_solver.dir/penalty.cc.o" "gcc" "src/solver/CMakeFiles/ref_solver.dir/penalty.cc.o.d"
+  "/root/repo/src/solver/scalar.cc" "src/solver/CMakeFiles/ref_solver.dir/scalar.cc.o" "gcc" "src/solver/CMakeFiles/ref_solver.dir/scalar.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/ref_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ref_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ref_solver.dir/barrier.cc.o"
+  "CMakeFiles/ref_solver.dir/barrier.cc.o.d"
+  "CMakeFiles/ref_solver.dir/descent.cc.o"
+  "CMakeFiles/ref_solver.dir/descent.cc.o.d"
+  "CMakeFiles/ref_solver.dir/function.cc.o"
+  "CMakeFiles/ref_solver.dir/function.cc.o.d"
+  "CMakeFiles/ref_solver.dir/line_search.cc.o"
+  "CMakeFiles/ref_solver.dir/line_search.cc.o.d"
+  "CMakeFiles/ref_solver.dir/nelder_mead.cc.o"
+  "CMakeFiles/ref_solver.dir/nelder_mead.cc.o.d"
+  "CMakeFiles/ref_solver.dir/penalty.cc.o"
+  "CMakeFiles/ref_solver.dir/penalty.cc.o.d"
+  "CMakeFiles/ref_solver.dir/scalar.cc.o"
+  "CMakeFiles/ref_solver.dir/scalar.cc.o.d"
+  "libref_solver.a"
+  "libref_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ref_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/descriptive.cc" "src/stats/CMakeFiles/ref_stats.dir/descriptive.cc.o" "gcc" "src/stats/CMakeFiles/ref_stats.dir/descriptive.cc.o.d"
+  "/root/repo/src/stats/linear_model.cc" "src/stats/CMakeFiles/ref_stats.dir/linear_model.cc.o" "gcc" "src/stats/CMakeFiles/ref_stats.dir/linear_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/ref_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ref_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

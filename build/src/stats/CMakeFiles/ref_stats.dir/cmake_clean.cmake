@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ref_stats.dir/descriptive.cc.o"
+  "CMakeFiles/ref_stats.dir/descriptive.cc.o.d"
+  "CMakeFiles/ref_stats.dir/linear_model.cc.o"
+  "CMakeFiles/ref_stats.dir/linear_model.cc.o.d"
+  "libref_stats.a"
+  "libref_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ref_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ref_stats.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ref_util.dir/csv.cc.o"
+  "CMakeFiles/ref_util.dir/csv.cc.o.d"
+  "CMakeFiles/ref_util.dir/logging.cc.o"
+  "CMakeFiles/ref_util.dir/logging.cc.o.d"
+  "CMakeFiles/ref_util.dir/math.cc.o"
+  "CMakeFiles/ref_util.dir/math.cc.o.d"
+  "CMakeFiles/ref_util.dir/random.cc.o"
+  "CMakeFiles/ref_util.dir/random.cc.o.d"
+  "CMakeFiles/ref_util.dir/table.cc.o"
+  "CMakeFiles/ref_util.dir/table.cc.o.d"
+  "libref_util.a"
+  "libref_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ref_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

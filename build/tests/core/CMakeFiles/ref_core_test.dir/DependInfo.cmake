@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/allocation_test.cc" "tests/core/CMakeFiles/ref_core_test.dir/allocation_test.cc.o" "gcc" "tests/core/CMakeFiles/ref_core_test.dir/allocation_test.cc.o.d"
+  "/root/repo/tests/core/ceei_test.cc" "tests/core/CMakeFiles/ref_core_test.dir/ceei_test.cc.o" "gcc" "tests/core/CMakeFiles/ref_core_test.dir/ceei_test.cc.o.d"
+  "/root/repo/tests/core/cobb_douglas_test.cc" "tests/core/CMakeFiles/ref_core_test.dir/cobb_douglas_test.cc.o" "gcc" "tests/core/CMakeFiles/ref_core_test.dir/cobb_douglas_test.cc.o.d"
+  "/root/repo/tests/core/drf_test.cc" "tests/core/CMakeFiles/ref_core_test.dir/drf_test.cc.o" "gcc" "tests/core/CMakeFiles/ref_core_test.dir/drf_test.cc.o.d"
+  "/root/repo/tests/core/edgeworth_test.cc" "tests/core/CMakeFiles/ref_core_test.dir/edgeworth_test.cc.o" "gcc" "tests/core/CMakeFiles/ref_core_test.dir/edgeworth_test.cc.o.d"
+  "/root/repo/tests/core/fairness_test.cc" "tests/core/CMakeFiles/ref_core_test.dir/fairness_test.cc.o" "gcc" "tests/core/CMakeFiles/ref_core_test.dir/fairness_test.cc.o.d"
+  "/root/repo/tests/core/fitting_test.cc" "tests/core/CMakeFiles/ref_core_test.dir/fitting_test.cc.o" "gcc" "tests/core/CMakeFiles/ref_core_test.dir/fitting_test.cc.o.d"
+  "/root/repo/tests/core/gp_program_test.cc" "tests/core/CMakeFiles/ref_core_test.dir/gp_program_test.cc.o" "gcc" "tests/core/CMakeFiles/ref_core_test.dir/gp_program_test.cc.o.d"
+  "/root/repo/tests/core/leontief_test.cc" "tests/core/CMakeFiles/ref_core_test.dir/leontief_test.cc.o" "gcc" "tests/core/CMakeFiles/ref_core_test.dir/leontief_test.cc.o.d"
+  "/root/repo/tests/core/profile_io_test.cc" "tests/core/CMakeFiles/ref_core_test.dir/profile_io_test.cc.o" "gcc" "tests/core/CMakeFiles/ref_core_test.dir/profile_io_test.cc.o.d"
+  "/root/repo/tests/core/proportional_elasticity_test.cc" "tests/core/CMakeFiles/ref_core_test.dir/proportional_elasticity_test.cc.o" "gcc" "tests/core/CMakeFiles/ref_core_test.dir/proportional_elasticity_test.cc.o.d"
+  "/root/repo/tests/core/resource_test.cc" "tests/core/CMakeFiles/ref_core_test.dir/resource_test.cc.o" "gcc" "tests/core/CMakeFiles/ref_core_test.dir/resource_test.cc.o.d"
+  "/root/repo/tests/core/strategic_test.cc" "tests/core/CMakeFiles/ref_core_test.dir/strategic_test.cc.o" "gcc" "tests/core/CMakeFiles/ref_core_test.dir/strategic_test.cc.o.d"
+  "/root/repo/tests/core/utilitarian_test.cc" "tests/core/CMakeFiles/ref_core_test.dir/utilitarian_test.cc.o" "gcc" "tests/core/CMakeFiles/ref_core_test.dir/utilitarian_test.cc.o.d"
+  "/root/repo/tests/core/welfare_mechanisms_test.cc" "tests/core/CMakeFiles/ref_core_test.dir/welfare_mechanisms_test.cc.o" "gcc" "tests/core/CMakeFiles/ref_core_test.dir/welfare_mechanisms_test.cc.o.d"
+  "/root/repo/tests/core/welfare_test.cc" "tests/core/CMakeFiles/ref_core_test.dir/welfare_test.cc.o" "gcc" "tests/core/CMakeFiles/ref_core_test.dir/welfare_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/ref_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ref_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ref_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/ref_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ref_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ref_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ref_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

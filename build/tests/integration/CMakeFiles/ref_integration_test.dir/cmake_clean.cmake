@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ref_integration_test.dir/drf_vs_ref_test.cc.o"
+  "CMakeFiles/ref_integration_test.dir/drf_vs_ref_test.cc.o.d"
+  "CMakeFiles/ref_integration_test.dir/end_to_end_test.cc.o"
+  "CMakeFiles/ref_integration_test.dir/end_to_end_test.cc.o.d"
+  "CMakeFiles/ref_integration_test.dir/mechanism_equivalence_test.cc.o"
+  "CMakeFiles/ref_integration_test.dir/mechanism_equivalence_test.cc.o.d"
+  "CMakeFiles/ref_integration_test.dir/pipeline_property_test.cc.o"
+  "CMakeFiles/ref_integration_test.dir/pipeline_property_test.cc.o.d"
+  "ref_integration_test"
+  "ref_integration_test.pdb"
+  "ref_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ref_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

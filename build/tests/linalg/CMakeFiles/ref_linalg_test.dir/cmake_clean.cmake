@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ref_linalg_test.dir/decompose_test.cc.o"
+  "CMakeFiles/ref_linalg_test.dir/decompose_test.cc.o.d"
+  "CMakeFiles/ref_linalg_test.dir/least_squares_test.cc.o"
+  "CMakeFiles/ref_linalg_test.dir/least_squares_test.cc.o.d"
+  "CMakeFiles/ref_linalg_test.dir/matrix_test.cc.o"
+  "CMakeFiles/ref_linalg_test.dir/matrix_test.cc.o.d"
+  "ref_linalg_test"
+  "ref_linalg_test.pdb"
+  "ref_linalg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ref_linalg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

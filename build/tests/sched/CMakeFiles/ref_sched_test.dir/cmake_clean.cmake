@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ref_sched_test.dir/enforce_test.cc.o"
+  "CMakeFiles/ref_sched_test.dir/enforce_test.cc.o.d"
+  "CMakeFiles/ref_sched_test.dir/lottery_test.cc.o"
+  "CMakeFiles/ref_sched_test.dir/lottery_test.cc.o.d"
+  "CMakeFiles/ref_sched_test.dir/partition_test.cc.o"
+  "CMakeFiles/ref_sched_test.dir/partition_test.cc.o.d"
+  "CMakeFiles/ref_sched_test.dir/stride_test.cc.o"
+  "CMakeFiles/ref_sched_test.dir/stride_test.cc.o.d"
+  "CMakeFiles/ref_sched_test.dir/wfq_test.cc.o"
+  "CMakeFiles/ref_sched_test.dir/wfq_test.cc.o.d"
+  "ref_sched_test"
+  "ref_sched_test.pdb"
+  "ref_sched_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ref_sched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

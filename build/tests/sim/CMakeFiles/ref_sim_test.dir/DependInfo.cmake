@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/cache_test.cc" "tests/sim/CMakeFiles/ref_sim_test.dir/cache_test.cc.o" "gcc" "tests/sim/CMakeFiles/ref_sim_test.dir/cache_test.cc.o.d"
+  "/root/repo/tests/sim/config_test.cc" "tests/sim/CMakeFiles/ref_sim_test.dir/config_test.cc.o" "gcc" "tests/sim/CMakeFiles/ref_sim_test.dir/config_test.cc.o.d"
+  "/root/repo/tests/sim/dram_test.cc" "tests/sim/CMakeFiles/ref_sim_test.dir/dram_test.cc.o" "gcc" "tests/sim/CMakeFiles/ref_sim_test.dir/dram_test.cc.o.d"
+  "/root/repo/tests/sim/multichannel_test.cc" "tests/sim/CMakeFiles/ref_sim_test.dir/multichannel_test.cc.o" "gcc" "tests/sim/CMakeFiles/ref_sim_test.dir/multichannel_test.cc.o.d"
+  "/root/repo/tests/sim/profiler_test.cc" "tests/sim/CMakeFiles/ref_sim_test.dir/profiler_test.cc.o" "gcc" "tests/sim/CMakeFiles/ref_sim_test.dir/profiler_test.cc.o.d"
+  "/root/repo/tests/sim/system_test.cc" "tests/sim/CMakeFiles/ref_sim_test.dir/system_test.cc.o" "gcc" "tests/sim/CMakeFiles/ref_sim_test.dir/system_test.cc.o.d"
+  "/root/repo/tests/sim/trace_test.cc" "tests/sim/CMakeFiles/ref_sim_test.dir/trace_test.cc.o" "gcc" "tests/sim/CMakeFiles/ref_sim_test.dir/trace_test.cc.o.d"
+  "/root/repo/tests/sim/workloads_test.cc" "tests/sim/CMakeFiles/ref_sim_test.dir/workloads_test.cc.o" "gcc" "tests/sim/CMakeFiles/ref_sim_test.dir/workloads_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/ref_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ref_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ref_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/ref_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ref_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ref_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ref_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ref_sim_test.dir/cache_test.cc.o"
+  "CMakeFiles/ref_sim_test.dir/cache_test.cc.o.d"
+  "CMakeFiles/ref_sim_test.dir/config_test.cc.o"
+  "CMakeFiles/ref_sim_test.dir/config_test.cc.o.d"
+  "CMakeFiles/ref_sim_test.dir/dram_test.cc.o"
+  "CMakeFiles/ref_sim_test.dir/dram_test.cc.o.d"
+  "CMakeFiles/ref_sim_test.dir/multichannel_test.cc.o"
+  "CMakeFiles/ref_sim_test.dir/multichannel_test.cc.o.d"
+  "CMakeFiles/ref_sim_test.dir/profiler_test.cc.o"
+  "CMakeFiles/ref_sim_test.dir/profiler_test.cc.o.d"
+  "CMakeFiles/ref_sim_test.dir/system_test.cc.o"
+  "CMakeFiles/ref_sim_test.dir/system_test.cc.o.d"
+  "CMakeFiles/ref_sim_test.dir/trace_test.cc.o"
+  "CMakeFiles/ref_sim_test.dir/trace_test.cc.o.d"
+  "CMakeFiles/ref_sim_test.dir/workloads_test.cc.o"
+  "CMakeFiles/ref_sim_test.dir/workloads_test.cc.o.d"
+  "ref_sim_test"
+  "ref_sim_test.pdb"
+  "ref_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ref_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/solver/barrier_test.cc" "tests/solver/CMakeFiles/ref_solver_test.dir/barrier_test.cc.o" "gcc" "tests/solver/CMakeFiles/ref_solver_test.dir/barrier_test.cc.o.d"
+  "/root/repo/tests/solver/descent_test.cc" "tests/solver/CMakeFiles/ref_solver_test.dir/descent_test.cc.o" "gcc" "tests/solver/CMakeFiles/ref_solver_test.dir/descent_test.cc.o.d"
+  "/root/repo/tests/solver/function_test.cc" "tests/solver/CMakeFiles/ref_solver_test.dir/function_test.cc.o" "gcc" "tests/solver/CMakeFiles/ref_solver_test.dir/function_test.cc.o.d"
+  "/root/repo/tests/solver/nelder_mead_test.cc" "tests/solver/CMakeFiles/ref_solver_test.dir/nelder_mead_test.cc.o" "gcc" "tests/solver/CMakeFiles/ref_solver_test.dir/nelder_mead_test.cc.o.d"
+  "/root/repo/tests/solver/options_test.cc" "tests/solver/CMakeFiles/ref_solver_test.dir/options_test.cc.o" "gcc" "tests/solver/CMakeFiles/ref_solver_test.dir/options_test.cc.o.d"
+  "/root/repo/tests/solver/penalty_test.cc" "tests/solver/CMakeFiles/ref_solver_test.dir/penalty_test.cc.o" "gcc" "tests/solver/CMakeFiles/ref_solver_test.dir/penalty_test.cc.o.d"
+  "/root/repo/tests/solver/scalar_test.cc" "tests/solver/CMakeFiles/ref_solver_test.dir/scalar_test.cc.o" "gcc" "tests/solver/CMakeFiles/ref_solver_test.dir/scalar_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/ref_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ref_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ref_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/ref_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ref_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ref_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ref_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ref_solver_test.dir/barrier_test.cc.o"
+  "CMakeFiles/ref_solver_test.dir/barrier_test.cc.o.d"
+  "CMakeFiles/ref_solver_test.dir/descent_test.cc.o"
+  "CMakeFiles/ref_solver_test.dir/descent_test.cc.o.d"
+  "CMakeFiles/ref_solver_test.dir/function_test.cc.o"
+  "CMakeFiles/ref_solver_test.dir/function_test.cc.o.d"
+  "CMakeFiles/ref_solver_test.dir/nelder_mead_test.cc.o"
+  "CMakeFiles/ref_solver_test.dir/nelder_mead_test.cc.o.d"
+  "CMakeFiles/ref_solver_test.dir/options_test.cc.o"
+  "CMakeFiles/ref_solver_test.dir/options_test.cc.o.d"
+  "CMakeFiles/ref_solver_test.dir/penalty_test.cc.o"
+  "CMakeFiles/ref_solver_test.dir/penalty_test.cc.o.d"
+  "CMakeFiles/ref_solver_test.dir/scalar_test.cc.o"
+  "CMakeFiles/ref_solver_test.dir/scalar_test.cc.o.d"
+  "ref_solver_test"
+  "ref_solver_test.pdb"
+  "ref_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ref_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

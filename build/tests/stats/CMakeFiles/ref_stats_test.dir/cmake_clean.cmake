@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ref_stats_test.dir/descriptive_test.cc.o"
+  "CMakeFiles/ref_stats_test.dir/descriptive_test.cc.o.d"
+  "CMakeFiles/ref_stats_test.dir/linear_model_test.cc.o"
+  "CMakeFiles/ref_stats_test.dir/linear_model_test.cc.o.d"
+  "ref_stats_test"
+  "ref_stats_test.pdb"
+  "ref_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ref_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ref_util_test.dir/csv_test.cc.o"
+  "CMakeFiles/ref_util_test.dir/csv_test.cc.o.d"
+  "CMakeFiles/ref_util_test.dir/logging_test.cc.o"
+  "CMakeFiles/ref_util_test.dir/logging_test.cc.o.d"
+  "CMakeFiles/ref_util_test.dir/math_test.cc.o"
+  "CMakeFiles/ref_util_test.dir/math_test.cc.o.d"
+  "CMakeFiles/ref_util_test.dir/random_test.cc.o"
+  "CMakeFiles/ref_util_test.dir/random_test.cc.o.d"
+  "CMakeFiles/ref_util_test.dir/table_test.cc.o"
+  "CMakeFiles/ref_util_test.dir/table_test.cc.o.d"
+  "ref_util_test"
+  "ref_util_test.pdb"
+  "ref_util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ref_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ref_allocate.dir/ref_allocate.cc.o"
+  "CMakeFiles/ref_allocate.dir/ref_allocate.cc.o.d"
+  "ref_allocate"
+  "ref_allocate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ref_allocate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ref_fit.dir/ref_fit.cc.o"
+  "CMakeFiles/ref_fit.dir/ref_fit.cc.o.d"
+  "ref_fit"
+  "ref_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ref_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

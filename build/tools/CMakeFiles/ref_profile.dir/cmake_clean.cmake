@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ref_profile.dir/ref_profile.cc.o"
+  "CMakeFiles/ref_profile.dir/ref_profile.cc.o.d"
+  "ref_profile"
+  "ref_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ref_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

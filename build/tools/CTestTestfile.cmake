@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli.ref_allocate.ref "/root/repo/build/tools/ref_allocate" "--agents" "example_agents.csv" "--capacity" "24,12")
+set_tests_properties(cli.ref_allocate.ref PROPERTIES  WORKING_DIRECTORY "/root/repo/build/tools" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;29;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.ref_allocate.csv_output "/root/repo/build/tools/ref_allocate" "--agents" "example_agents.csv" "--capacity" "24,12" "--mechanism" "max-welfare-fair" "--csv")
+set_tests_properties(cli.ref_allocate.csv_output PROPERTIES  WORKING_DIRECTORY "/root/repo/build/tools" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;31;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.ref_allocate.rejects_unknown_mechanism "/root/repo/build/tools/ref_allocate" "--agents" "example_agents.csv" "--capacity" "24,12" "--mechanism" "nonsense")
+set_tests_properties(cli.ref_allocate.rejects_unknown_mechanism PROPERTIES  WILL_FAIL "TRUE" WORKING_DIRECTORY "/root/repo/build/tools" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;34;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.ref_fit.report "/root/repo/build/tools/ref_fit" "--profile" "example_profile.csv")
+set_tests_properties(cli.ref_fit.report PROPERTIES  WORKING_DIRECTORY "/root/repo/build/tools" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;39;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.ref_profile.list "/root/repo/build/tools/ref_profile" "--list")
+set_tests_properties(cli.ref_profile.list PROPERTIES  PASS_REGULAR_EXPRESSION "dedup" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;41;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.ref_profile.emits_csv "/root/repo/build/tools/ref_profile" "--workload" "radiosity" "--ops" "5000")
+set_tests_properties(cli.ref_profile.emits_csv PROPERTIES  PASS_REGULAR_EXPRESSION "x0,x1,performance" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;45;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.ref_fit.append_row "/root/repo/build/tools/ref_fit" "--profile" "example_profile.csv" "--append" "demo")
+set_tests_properties(cli.ref_fit.append_row PROPERTIES  PASS_REGULAR_EXPRESSION "^demo," WORKING_DIRECTORY "/root/repo/build/tools" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;49;add_test;/root/repo/tools/CMakeLists.txt;0;")
