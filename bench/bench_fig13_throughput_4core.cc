@@ -48,6 +48,35 @@ BM_GpSolveFourAgents(benchmark::State &state)
 }
 BENCHMARK(BM_GpSolveFourAgents)->Unit(benchmark::kMillisecond);
 
+/**
+ * The fig13 input pipeline: profile the WD1 mix's four workloads
+ * over the Table 1 grid with a given number of sweep jobs. The
+ * jobs=1 vs jobs=N ratio is the profiling speedup on this machine;
+ * profiles are bit-identical for every N.
+ */
+void
+BM_Fig13ProfileSweep(benchmark::State &state)
+{
+    const auto jobs = static_cast<std::size_t>(state.range(0));
+    std::vector<sim::WorkloadSpec> workloads;
+    for (const auto &name : sim::table2FourCoreMixes()[0].members)
+        workloads.push_back(sim::workloadByName(name));
+    for (auto _ : state) {
+        // Fresh runner per iteration: a warm cell cache would turn
+        // every iteration after the first into pure lookups.
+        sim::SweepRunner runner(sim::PlatformConfig::table1(), 20000,
+                                {.jobs = jobs});
+        auto sweeps = runner.sweepMany(workloads);
+        benchmark::DoNotOptimize(sweeps);
+    }
+}
+BENCHMARK(BM_Fig13ProfileSweep)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
 } // namespace
 
 int

@@ -28,9 +28,10 @@ paperExampleAgents()
 }
 
 sim::Profiler
-defaultProfiler(std::size_t trace_ops)
+defaultProfiler(std::size_t trace_ops, std::size_t jobs)
 {
-    return sim::Profiler(sim::PlatformConfig::table1(), trace_ops);
+    return sim::Profiler(sim::PlatformConfig::table1(), trace_ops,
+                         {.jobs = jobs});
 }
 
 core::CobbDouglasFit
@@ -44,11 +45,19 @@ core::AgentList
 fitAgents(const std::vector<std::string> &names, std::size_t trace_ops)
 {
     const auto profiler = defaultProfiler(trace_ops);
+    std::vector<sim::WorkloadSpec> workloads;
+    workloads.reserve(names.size());
+    for (const auto &name : names)
+        workloads.push_back(sim::workloadByName(name));
+
+    const auto sweeps = profiler.runner().sweepMany(workloads);
     core::AgentList agents;
-    for (const auto &name : names) {
+    for (std::size_t i = 0; i < names.size(); ++i) {
         agents.emplace_back(
-            name,
-            profiler.profileAndFit(sim::workloadByName(name)).utility);
+            names[i],
+            core::fitCobbDouglas(
+                sim::toPerformanceProfile(sweeps[i]))
+                .utility);
     }
     return agents;
 }

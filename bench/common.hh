@@ -28,14 +28,24 @@ core::EdgeworthBox paperExampleBox();
 /** Agents of the running example. */
 core::AgentList paperExampleAgents();
 
-/** Default profiler over the Table 1 platform. */
-sim::Profiler defaultProfiler(std::size_t trace_ops = 80000);
+/**
+ * Default profiler over the Table 1 platform. jobs = 0 honours
+ * REF_JOBS and falls back to the hardware concurrency; pass 1 to
+ * force a serial sweep. Profiles are bit-identical for every jobs
+ * value.
+ */
+sim::Profiler defaultProfiler(std::size_t trace_ops = 80000,
+                              std::size_t jobs = 0);
 
 /** Profile and fit one named workload. */
 core::CobbDouglasFit fitWorkload(const std::string &name,
                                  std::size_t trace_ops = 80000);
 
-/** Fit a list of workloads into an agent list (names preserved). */
+/**
+ * Fit a list of workloads into an agent list (names preserved).
+ * Batched through SweepRunner::sweepMany, so all workloads' cells
+ * share one fan-out.
+ */
 core::AgentList fitAgents(const std::vector<std::string> &names,
                           std::size_t trace_ops = 80000);
 

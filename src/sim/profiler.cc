@@ -1,23 +1,17 @@
 #include "profiler.hh"
 
-#include <algorithm>
-
-#include "util/logging.hh"
-
 namespace ref::sim {
 
-Profiler::Profiler(PlatformConfig base, std::size_t trace_ops)
-    : base_(base), traceOps_(trace_ops)
-{
-    REF_REQUIRE(traceOps_ > 0, "need a positive trace length");
-}
+Profiler::Profiler(PlatformConfig base, std::size_t trace_ops,
+                   SweepOptions options)
+    : runner_(
+          std::make_shared<SweepRunner>(base, trace_ops, options))
+{}
 
 std::vector<SweepPoint>
 Profiler::sweep(const WorkloadSpec &workload) const
 {
-    std::vector<std::size_t> cache_sizes = table1CacheSizes();
-    std::vector<double> bandwidths = table1Bandwidths();
-    return sweep(workload, bandwidths, cache_sizes);
+    return runner_->sweep(workload);
 }
 
 std::vector<SweepPoint>
@@ -25,61 +19,19 @@ Profiler::sweep(const WorkloadSpec &workload,
                 const std::vector<double> &bandwidths,
                 const std::vector<std::size_t> &cache_sizes) const
 {
-    REF_REQUIRE(!bandwidths.empty() && !cache_sizes.empty(),
-                "sweep needs at least one configuration");
-
-    // One trace per workload, replayed on every configuration so
-    // the only variation across points is architectural. The trace
-    // must dwarf the working set or cold misses drown capacity
-    // misses; the leading 35% only warms the caches.
-    const std::size_t working_set_blocks =
-        workload.trace.workingSetBytes / base_.l2.blockBytes;
-    const std::size_t ops =
-        std::max(traceOps_, 4 * working_set_blocks);
-    constexpr double warmup_fraction = 0.35;
-
-    TraceGenerator generator(workload.trace, base_.l2.blockBytes);
-    const Trace trace = generator.generate(ops);
-
-    std::vector<SweepPoint> points;
-    points.reserve(bandwidths.size() * cache_sizes.size());
-    for (double bandwidth : bandwidths) {
-        for (std::size_t cache_bytes : cache_sizes) {
-            PlatformConfig config = base_;
-            config.l2.sizeBytes = cache_bytes;
-            config.dram.bandwidthGBps = bandwidth;
-
-            CmpSystem system(config);
-            SweepPoint point;
-            point.bandwidthGBps = bandwidth;
-            point.cacheMB =
-                static_cast<double>(cache_bytes) / (1024.0 * 1024.0);
-            point.detail =
-                system.run(trace, workload.timing, warmup_fraction);
-            point.ipc = point.detail.ipc;
-            points.push_back(point);
-        }
-    }
-    return points;
+    return runner_->sweep(workload, bandwidths, cache_sizes);
 }
 
 core::PerformanceProfile
 Profiler::toPerformanceProfile(const std::vector<SweepPoint> &points)
 {
-    core::PerformanceProfile profile;
-    profile.reserve(points.size());
-    for (const auto &point : points) {
-        profile.push_back(core::ProfilePoint{
-            {point.bandwidthGBps, point.cacheMB}, point.ipc});
-    }
-    return profile;
+    return sim::toPerformanceProfile(points);
 }
 
 core::CobbDouglasFit
 Profiler::profileAndFit(const WorkloadSpec &workload) const
 {
-    return core::fitCobbDouglas(
-        toPerformanceProfile(sweep(workload)));
+    return runner_->profileAndFit(workload);
 }
 
 } // namespace ref::sim

@@ -5,6 +5,12 @@
  * bandwidths, producing the profiles the Cobb-Douglas fitter
  * consumes.
  *
+ * The Profiler is a thin facade over the parallel SweepRunner
+ * (sim/sweep_runner.hh): cell simulation is a pure function of
+ * (trace, config, seed), cells fan out across a work-stealing
+ * thread pool, and a bounded cache dedupes repeated cells. Copies
+ * of a Profiler share one runner, and with it the cell cache.
+ *
  * Resource convention throughout the repository: resource 0 is
  * memory bandwidth in GB/s, resource 1 is cache capacity in MB —
  * matching the paper's u = x^{a_x} y^{a_y} with x bandwidth and y
@@ -14,22 +20,15 @@
 #ifndef REF_SIM_PROFILER_HH
 #define REF_SIM_PROFILER_HH
 
+#include <memory>
 #include <vector>
 
 #include "core/fitting.hh"
+#include "sim/sweep_runner.hh"
 #include "sim/system.hh"
 #include "sim/workloads.hh"
 
 namespace ref::sim {
-
-/** One point of the sweep. */
-struct SweepPoint
-{
-    double bandwidthGBps = 0;
-    double cacheMB = 0;
-    double ipc = 0;
-    RunResult detail;
-};
 
 /** Sweeps workloads across cache-size/bandwidth configurations. */
 class Profiler
@@ -41,9 +40,13 @@ class Profiler
      * @param trace_ops Memory operations simulated per point. The
      *        trace is generated once per workload and replayed on
      *        every configuration.
+     * @param options Parallelism and caching knobs; the default
+     *        honours REF_JOBS and falls back to the hardware
+     *        concurrency.
      */
     explicit Profiler(PlatformConfig base,
-                      std::size_t trace_ops = 200000);
+                      std::size_t trace_ops = 200000,
+                      SweepOptions options = {});
 
     /** Profile one workload across the full 5 x 5 Table 1 grid. */
     std::vector<SweepPoint> sweep(const WorkloadSpec &workload) const;
@@ -65,9 +68,14 @@ class Profiler
     core::CobbDouglasFit profileAndFit(
         const WorkloadSpec &workload) const;
 
+    /** Resolved worker count (1 = serial). */
+    std::size_t jobs() const { return runner_->jobs(); }
+
+    /** The shared sweep engine behind this profiler. */
+    SweepRunner &runner() const { return *runner_; }
+
   private:
-    PlatformConfig base_;
-    std::size_t traceOps_;
+    std::shared_ptr<SweepRunner> runner_;
 };
 
 } // namespace ref::sim

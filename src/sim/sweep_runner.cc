@@ -1,0 +1,377 @@
+#include "sweep_runner.hh"
+
+#include <algorithm>
+#include <bit>
+#include <future>
+#include <type_traits>
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace ref::sim {
+namespace {
+
+/** Leading share of each trace used only to warm caches. */
+constexpr double kWarmupFraction = 0.35;
+
+/** SplitMix64 finaliser: decorrelates structured inputs. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+template <typename Int,
+          std::enable_if_t<std::is_integral_v<Int>, int> = 0>
+std::uint64_t
+hashCombine(std::uint64_t h, Int value)
+{
+    return mix64(h ^ mix64(static_cast<std::uint64_t>(value)));
+}
+
+std::uint64_t
+hashCombine(std::uint64_t h, double value)
+{
+    return hashCombine(h, std::bit_cast<std::uint64_t>(value));
+}
+
+/** Trace identity: everything that determines the generated ops. */
+std::uint64_t
+traceId(const TraceParams &params, std::size_t block_bytes,
+        std::size_t operations)
+{
+    std::uint64_t h = 0x7261636549640001ULL;  // "traceId" tag.
+    h = hashCombine(h, params.workingSetBytes);
+    h = hashCombine(h, params.zipfExponent);
+    h = hashCombine(h, params.memIntensity);
+    h = hashCombine(h, params.streamFraction);
+    h = hashCombine(h, params.writeFraction);
+    h = hashCombine(h, params.burstiness);
+    h = hashCombine(h, params.seed);
+    h = hashCombine(h, block_bytes);
+    h = hashCombine(h, operations);
+    return h;
+}
+
+/** Config identity: everything that determines timing on a trace. */
+std::uint64_t
+configId(const PlatformConfig &config, const TimingParams &timing,
+         double warmup_fraction)
+{
+    std::uint64_t h = 0x636f6e6669674964ULL;  // "configId" tag.
+    h = hashCombine(h, config.core.clockGHz);
+    h = hashCombine(h, config.core.issueWidth);
+    h = hashCombine(h, config.core.missQueueSize);
+    h = hashCombine(h, config.core.nextLinePrefetch ? 1u : 0u);
+    for (const CacheConfig *cache : {&config.l1, &config.l2}) {
+        h = hashCombine(h, cache->sizeBytes);
+        h = hashCombine(h, cache->associativity);
+        h = hashCombine(h, cache->blockBytes);
+        h = hashCombine(h, cache->latencyCycles);
+    }
+    h = hashCombine(h, config.dram.bandwidthGBps);
+    h = hashCombine(h, config.dram.channels);
+    h = hashCombine(h, config.dram.banks);
+    h = hashCombine(h, config.dram.rowCycleNs);
+    h = hashCombine(h, config.dram.accessNs);
+    h = hashCombine(h, config.dram.casNs);
+    h = hashCombine(h, config.dram.controllerCycles);
+    h = hashCombine(h,
+                    static_cast<std::uint64_t>(config.dram.pagePolicy));
+    h = hashCombine(h, config.dram.rowBytes);
+    h = hashCombine(h, timing.mlp);
+    h = hashCombine(h, timing.nonMemCpi);
+    h = hashCombine(h, warmup_fraction);
+    return h;
+}
+
+/** Wait for every future, then rethrow the first stored exception. */
+template <typename T>
+void
+drain(std::vector<std::future<T>> &futures)
+{
+    for (auto &future : futures)
+        future.wait();
+    for (auto &future : futures)
+        future.get();
+}
+
+} // namespace
+
+std::size_t
+SweepCellKeyHash::operator()(const SweepCellKey &key) const
+{
+    return static_cast<std::size_t>(
+        hashCombine(key.traceId, key.configId));
+}
+
+std::uint64_t
+sweepCellSeed(std::uint64_t trace_seed, double bandwidth_gbps,
+              std::size_t cache_bytes)
+{
+    std::uint64_t h = 0x5357454550434cULL;  // "SWEEPCL" tag.
+    h = hashCombine(h, trace_seed);
+    h = hashCombine(h, bandwidth_gbps);
+    h = hashCombine(h, cache_bytes);
+    return h;
+}
+
+SweepPoint
+simulateSweepCell(const Trace &trace, const PlatformConfig &config,
+                  const TimingParams &timing, double warmup_fraction,
+                  std::uint64_t seed)
+{
+    CmpSystem system(config);
+    SweepPoint point;
+    point.bandwidthGBps = config.dram.bandwidthGBps;
+    point.cacheMB = static_cast<double>(config.l2.sizeBytes) /
+                    (1024.0 * 1024.0);
+    point.rngSeed = seed;
+    point.detail = system.run(trace, timing, warmup_fraction);
+    point.ipc = point.detail.ipc;
+    return point;
+}
+
+core::PerformanceProfile
+toPerformanceProfile(const std::vector<SweepPoint> &points)
+{
+    core::PerformanceProfile profile;
+    profile.reserve(points.size());
+    for (const auto &point : points) {
+        profile.push_back(core::ProfilePoint{
+            {point.bandwidthGBps, point.cacheMB}, point.ipc});
+    }
+    return profile;
+}
+
+ProfileCache::ProfileCache(std::size_t capacity) : capacity_(capacity)
+{}
+
+bool
+ProfileCache::lookup(const SweepCellKey &key, SweepPoint &point)
+{
+    if (capacity_ == 0)
+        return false;
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto found = index_.find(key);
+    if (found == index_.end()) {
+        ++stats_.misses;
+        return false;
+    }
+    lru_.splice(lru_.begin(), lru_, found->second);
+    point = found->second->second;
+    ++stats_.hits;
+    return true;
+}
+
+void
+ProfileCache::insert(const SweepCellKey &key, const SweepPoint &point)
+{
+    if (capacity_ == 0)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto found = index_.find(key);
+    if (found != index_.end()) {
+        // A concurrent sweep computed the same cell; both results
+        // are bit-identical, so keep the incumbent.
+        lru_.splice(lru_.begin(), lru_, found->second);
+        return;
+    }
+    lru_.emplace_front(key, point);
+    index_.emplace(key, lru_.begin());
+    while (index_.size() > capacity_) {
+        index_.erase(lru_.back().first);
+        lru_.pop_back();
+        ++stats_.evictions;
+    }
+}
+
+ProfileCacheStats
+ProfileCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+std::size_t
+ProfileCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return index_.size();
+}
+
+SweepRunner::SweepRunner(PlatformConfig base, std::size_t trace_ops,
+                         SweepOptions options)
+    : base_(base),
+      traceOps_(trace_ops),
+      jobs_(options.jobs == 0 ? ThreadPool::defaultJobs()
+                              : options.jobs),
+      cache_(options.cacheCells)
+{
+    REF_REQUIRE(traceOps_ > 0, "need a positive trace length");
+}
+
+ThreadPool &
+SweepRunner::pool()
+{
+    std::lock_guard<std::mutex> lock(poolMutex_);
+    if (!pool_)
+        pool_ = std::make_unique<ThreadPool>(jobs_);
+    return *pool_;
+}
+
+Trace
+SweepRunner::generateTrace(const WorkloadSpec &workload) const
+{
+    // One trace per workload, replayed on every configuration so
+    // the only variation across points is architectural. The trace
+    // must dwarf the working set or cold misses drown capacity
+    // misses; the leading warmup share only warms the caches.
+    const std::size_t working_set_blocks =
+        workload.trace.workingSetBytes / base_.l2.blockBytes;
+    const std::size_t ops =
+        std::max(traceOps_, 4 * working_set_blocks);
+    TraceGenerator generator(workload.trace, base_.l2.blockBytes);
+    return generator.generate(ops);
+}
+
+SweepPoint
+SweepRunner::runCell(const WorkloadSpec &workload, const Trace &trace,
+                     double bandwidth, std::size_t cache_bytes)
+{
+    PlatformConfig config = base_;
+    config.l2.sizeBytes = cache_bytes;
+    config.dram.bandwidthGBps = bandwidth;
+
+    const SweepCellKey key{
+        traceId(workload.trace, base_.l2.blockBytes,
+                trace.ops.size()),
+        configId(config, workload.timing, kWarmupFraction)};
+    SweepPoint point;
+    if (cache_.lookup(key, point))
+        return point;
+
+    point = simulateSweepCell(
+        trace, config, workload.timing, kWarmupFraction,
+        sweepCellSeed(workload.trace.seed, bandwidth, cache_bytes));
+    cache_.insert(key, point);
+    return point;
+}
+
+std::vector<SweepPoint>
+SweepRunner::sweep(const WorkloadSpec &workload)
+{
+    return sweep(workload, table1Bandwidths(), table1CacheSizes());
+}
+
+std::vector<SweepPoint>
+SweepRunner::sweep(const WorkloadSpec &workload,
+                   const std::vector<double> &bandwidths,
+                   const std::vector<std::size_t> &cache_sizes)
+{
+    REF_REQUIRE(!bandwidths.empty() && !cache_sizes.empty(),
+                "sweep needs at least one configuration");
+
+    const Trace trace = generateTrace(workload);
+
+    // Materialise the grid up front: cell i always lands in slot i,
+    // so the result order is independent of scheduling.
+    struct Cell
+    {
+        double bandwidth;
+        std::size_t cacheBytes;
+    };
+    std::vector<Cell> cells;
+    cells.reserve(bandwidths.size() * cache_sizes.size());
+    for (double bandwidth : bandwidths)
+        for (std::size_t cache_bytes : cache_sizes)
+            cells.push_back({bandwidth, cache_bytes});
+
+    std::vector<SweepPoint> points(cells.size());
+    if (jobs_ <= 1 || cells.size() <= 1) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            points[i] = runCell(workload, trace, cells[i].bandwidth,
+                                cells[i].cacheBytes);
+        }
+        return points;
+    }
+
+    std::vector<std::future<void>> futures;
+    futures.reserve(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        futures.push_back(pool().submit([this, &workload, &trace,
+                                         &cells, &points, i] {
+            points[i] = runCell(workload, trace, cells[i].bandwidth,
+                                cells[i].cacheBytes);
+        }));
+    }
+    drain(futures);
+    return points;
+}
+
+std::vector<std::vector<SweepPoint>>
+SweepRunner::sweepMany(const std::vector<WorkloadSpec> &workloads)
+{
+    const std::vector<double> bandwidths = table1Bandwidths();
+    const std::vector<std::size_t> cache_sizes = table1CacheSizes();
+    const std::size_t cells_per_workload =
+        bandwidths.size() * cache_sizes.size();
+
+    if (jobs_ <= 1 || workloads.size() * cells_per_workload <= 1) {
+        std::vector<std::vector<SweepPoint>> results;
+        results.reserve(workloads.size());
+        for (const auto &workload : workloads)
+            results.push_back(sweep(workload, bandwidths, cache_sizes));
+        return results;
+    }
+
+    // Phase 1: trace generation is itself a decent fraction of a
+    // sweep, so fan it out too.
+    std::vector<Trace> traces(workloads.size());
+    {
+        std::vector<std::future<void>> futures;
+        futures.reserve(workloads.size());
+        for (std::size_t w = 0; w < workloads.size(); ++w) {
+            futures.push_back(pool().submit([this, &workloads, &traces,
+                                             w] {
+                traces[w] = generateTrace(workloads[w]);
+            }));
+        }
+        drain(futures);
+    }
+
+    // Phase 2: all workloads' cells share one (workloads x cells)
+    // wide fan-out instead of draining one workload at a time.
+    std::vector<std::vector<SweepPoint>> results(workloads.size());
+    std::vector<std::future<void>> futures;
+    futures.reserve(workloads.size() * cells_per_workload);
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        results[w].resize(cells_per_workload);
+        std::size_t i = 0;
+        for (double bandwidth : bandwidths) {
+            for (std::size_t cache_bytes : cache_sizes) {
+                futures.push_back(pool().submit(
+                    [this, &workloads, &traces, &results, w, i,
+                     bandwidth, cache_bytes] {
+                        results[w][i] =
+                            runCell(workloads[w], traces[w],
+                                    bandwidth, cache_bytes);
+                    }));
+                ++i;
+            }
+        }
+    }
+    drain(futures);
+    return results;
+}
+
+core::CobbDouglasFit
+SweepRunner::profileAndFit(const WorkloadSpec &workload)
+{
+    return core::fitCobbDouglas(toPerformanceProfile(sweep(workload)));
+}
+
+} // namespace ref::sim

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Parallel profiling sweep engine.
+ *
+ * The REF input pipeline simulates every (workload, cache capacity,
+ * memory bandwidth) cell of the Table 1 grid to build the profiles
+ * the Cobb-Douglas fitter consumes. Cells are independent — each one
+ * replays the same immutable trace on its own CmpSystem — so the
+ * SweepRunner fans them out over a work-stealing thread pool.
+ *
+ * Determinism: the grid is materialised up front and every cell
+ * writes its pre-assigned slot, so result order never depends on
+ * scheduling; the trace is generated once per workload from the
+ * workload's own seed; and each cell carries a deterministic RNG
+ * seed derived from hash(trace seed, cache bytes, bandwidth), never
+ * from execution order, so any stochastic timing component stays
+ * bit-identical between serial and parallel sweeps. `jobs=1` and
+ * `jobs=N` produce byte-identical profile tables.
+ *
+ * A bounded in-memory LRU cache keyed by (trace id, config id)
+ * dedupes repeated cells, so mechanisms that re-profile the same
+ * workload on overlapping grids (figure harnesses, online
+ * re-profiling) pay for each distinct simulation once.
+ */
+
+#ifndef REF_SIM_SWEEP_RUNNER_HH
+#define REF_SIM_SWEEP_RUNNER_HH
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/fitting.hh"
+#include "sim/system.hh"
+#include "sim/workloads.hh"
+#include "util/thread_pool.hh"
+
+namespace ref::sim {
+
+/** One point of the sweep. */
+struct SweepPoint
+{
+    double bandwidthGBps = 0;
+    double cacheMB = 0;
+    double ipc = 0;
+    /**
+     * Deterministic per-cell RNG seed, a pure function of the
+     * workload's trace seed and the cell's (cache, bandwidth)
+     * configuration — see sweepCellSeed().
+     */
+    std::uint64_t rngSeed = 0;
+    RunResult detail;
+};
+
+/** Identity of one sweep cell: which trace on which machine. */
+struct SweepCellKey
+{
+    std::uint64_t traceId = 0;   //!< Trace parameters + length.
+    std::uint64_t configId = 0;  //!< Platform + timing + warmup.
+
+    bool operator==(const SweepCellKey &) const = default;
+};
+
+struct SweepCellKeyHash
+{
+    std::size_t operator()(const SweepCellKey &key) const;
+};
+
+/** Hit/miss counters for the profile cell cache. */
+struct ProfileCacheStats
+{
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t evictions = 0;
+};
+
+/**
+ * Bounded, thread-safe LRU cache of simulated sweep cells. Keys are
+ * pure functions of the simulation inputs, so a hit is bit-identical
+ * to re-running the cell.
+ */
+class ProfileCache
+{
+  public:
+    /** @param capacity Maximum cached cells; 0 disables caching. */
+    explicit ProfileCache(std::size_t capacity);
+
+    /** Look up a cell; promotes it to most-recently-used on hit. */
+    bool lookup(const SweepCellKey &key, SweepPoint &point);
+
+    /** Insert a cell, evicting the least-recently-used as needed. */
+    void insert(const SweepCellKey &key, const SweepPoint &point);
+
+    ProfileCacheStats stats() const;
+    std::size_t size() const;
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    using LruList = std::list<std::pair<SweepCellKey, SweepPoint>>;
+
+    std::size_t capacity_;
+    mutable std::mutex mutex_;
+    LruList lru_;  //!< Front = most recently used.
+    std::unordered_map<SweepCellKey, LruList::iterator,
+                       SweepCellKeyHash>
+        index_;
+    ProfileCacheStats stats_;
+};
+
+/** Tuning knobs for the sweep engine. */
+struct SweepOptions
+{
+    /**
+     * Worker threads for the cell fan-out; 0 defers to
+     * ThreadPool::defaultJobs() (REF_JOBS or the hardware), 1 runs
+     * strictly serially on the calling thread.
+     */
+    std::size_t jobs = 0;
+    /** Cell-cache capacity in cells; 0 disables deduplication. */
+    std::size_t cacheCells = 4096;
+};
+
+/**
+ * Deterministic RNG seed for one sweep cell, derived only from the
+ * trace seed and the cell configuration (SplitMix64-mixed), never
+ * from execution order.
+ */
+std::uint64_t sweepCellSeed(std::uint64_t trace_seed,
+                            double bandwidth_gbps,
+                            std::size_t cache_bytes);
+
+/**
+ * Simulate one sweep cell. Pure: every input is by const reference
+ * or value, the CmpSystem is constructed locally, and no global
+ * state is touched, so cells can run on any thread in any order.
+ */
+SweepPoint simulateSweepCell(const Trace &trace,
+                             const PlatformConfig &config,
+                             const TimingParams &timing,
+                             double warmup_fraction,
+                             std::uint64_t seed);
+
+/** Convert sweep points to the fitter's profile format. */
+core::PerformanceProfile
+toPerformanceProfile(const std::vector<SweepPoint> &points);
+
+/**
+ * Fans profile sweeps out across a thread pool. Thread-safe: one
+ * runner may serve concurrent sweeps, and all of them share the
+ * cell cache.
+ */
+class SweepRunner
+{
+  public:
+    /**
+     * @param base Platform whose L2 size and DRAM bandwidth the
+     *        sweep overrides; everything else (core, L1) is held.
+     * @param trace_ops Memory operations simulated per point (grown
+     *        to cover 4x the working set, as before).
+     */
+    explicit SweepRunner(PlatformConfig base,
+                         std::size_t trace_ops = 200000,
+                         SweepOptions options = {});
+
+    /** Profile one workload across the full 5 x 5 Table 1 grid. */
+    std::vector<SweepPoint> sweep(const WorkloadSpec &workload);
+
+    /** Profile across explicit (bandwidth GB/s, cache bytes) axes. */
+    std::vector<SweepPoint>
+    sweep(const WorkloadSpec &workload,
+          const std::vector<double> &bandwidths,
+          const std::vector<std::size_t> &cache_sizes);
+
+    /**
+     * Profile many workloads over the Table 1 grid in one batch:
+     * trace generation and all workloads' cells share the pool, so
+     * the grid is (workloads x cells) wide instead of draining one
+     * workload at a time.
+     */
+    std::vector<std::vector<SweepPoint>>
+    sweepMany(const std::vector<WorkloadSpec> &workloads);
+
+    /** Sweep and fit in one step. */
+    core::CobbDouglasFit profileAndFit(const WorkloadSpec &workload);
+
+    /** Resolved worker count (1 = serial). */
+    std::size_t jobs() const { return jobs_; }
+
+    std::size_t traceOps() const { return traceOps_; }
+    const PlatformConfig &base() const { return base_; }
+    ProfileCacheStats cacheStats() const { return cache_.stats(); }
+
+  private:
+    Trace generateTrace(const WorkloadSpec &workload) const;
+    SweepPoint runCell(const WorkloadSpec &workload,
+                       const Trace &trace, double bandwidth,
+                       std::size_t cache_bytes);
+    ThreadPool &pool();
+
+    PlatformConfig base_;
+    std::size_t traceOps_;
+    std::size_t jobs_;
+    ProfileCache cache_;
+    std::mutex poolMutex_;              //!< Guards pool_ creation.
+    std::unique_ptr<ThreadPool> pool_;  //!< Lazily built when jobs_ > 1.
+};
+
+} // namespace ref::sim
+
+#endif // REF_SIM_SWEEP_RUNNER_HH

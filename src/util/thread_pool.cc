@@ -1,0 +1,123 @@
+#include "thread_pool.hh"
+
+#include <cstdlib>
+#include <string>
+
+#include "util/logging.hh"
+
+namespace ref {
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    if (threads == 0)
+        threads = defaultJobs();
+    queues_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i)
+        queues_.push_back(std::make_unique<Queue>());
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(sleepMutex_);
+        stopping_.store(true, std::memory_order_relaxed);
+    }
+    wakeup_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::enqueue(Task task)
+{
+    REF_ASSERT(!stopping_.load(std::memory_order_relaxed),
+               "submit on a stopping ThreadPool");
+    const std::size_t index =
+        nextQueue_.fetch_add(1, std::memory_order_relaxed) %
+        queues_.size();
+    {
+        // Count before publishing the task: a worker that pops it
+        // decrements queued_, so incrementing afterwards could
+        // transiently underflow the counter. Taking the sleep mutex
+        // here also means a worker checking the wait predicate
+        // cannot miss the increment between its failed scan and its
+        // wait.
+        std::lock_guard<std::mutex> lock(sleepMutex_);
+        queued_.fetch_add(1, std::memory_order_relaxed);
+    }
+    {
+        std::lock_guard<std::mutex> lock(queues_[index]->mutex);
+        queues_[index]->tasks.push_back(std::move(task));
+    }
+    wakeup_.notify_one();
+}
+
+bool
+ThreadPool::popTask(std::size_t self, Task &task)
+{
+    // Own queue first, front (FIFO for the owner keeps submission
+    // order on a single worker)...
+    {
+        Queue &own = *queues_[self];
+        std::lock_guard<std::mutex> lock(own.mutex);
+        if (!own.tasks.empty()) {
+            task = std::move(own.tasks.front());
+            own.tasks.pop_front();
+            queued_.fetch_sub(1, std::memory_order_relaxed);
+            return true;
+        }
+    }
+    // ...then steal from the back of a sibling's queue.
+    for (std::size_t offset = 1; offset < queues_.size(); ++offset) {
+        Queue &victim = *queues_[(self + offset) % queues_.size()];
+        std::lock_guard<std::mutex> lock(victim.mutex);
+        if (!victim.tasks.empty()) {
+            task = std::move(victim.tasks.back());
+            victim.tasks.pop_back();
+            queued_.fetch_sub(1, std::memory_order_relaxed);
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(std::size_t self)
+{
+    for (;;) {
+        Task task;
+        if (popTask(self, task)) {
+            task();
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(sleepMutex_);
+        wakeup_.wait(lock, [this] {
+            return stopping_.load(std::memory_order_relaxed) ||
+                   queued_.load(std::memory_order_relaxed) > 0;
+        });
+        if (stopping_.load(std::memory_order_relaxed) &&
+            queued_.load(std::memory_order_relaxed) == 0) {
+            return;
+        }
+    }
+}
+
+std::size_t
+ThreadPool::defaultJobs()
+{
+    if (const char *env = std::getenv("REF_JOBS")) {
+        char *end = nullptr;
+        const long value = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && value > 0)
+            return static_cast<std::size_t>(value);
+        REF_WARN("ignoring REF_JOBS='"
+                 << env << "': not a positive integer");
+    }
+    const unsigned hardware = std::thread::hardware_concurrency();
+    return hardware > 0 ? hardware : 1;
+}
+
+} // namespace ref

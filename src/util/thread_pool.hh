@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Work-stealing thread pool for the parallel profiling sweep and any
+ * future fan-out (sharded allocation, online re-profiling).
+ *
+ * Each worker owns a deque: it pops its own work from the front and,
+ * when empty, steals from the back of a sibling's deque, so bursts
+ * submitted to one queue spread across idle cores. Tasks submitted
+ * from outside the pool are distributed round-robin. Results and
+ * exceptions travel through std::future, so a task that throws
+ * surfaces the original exception at future.get().
+ *
+ * Shutdown is graceful: the destructor drains every queued task
+ * before joining, so work submitted before destruction always runs.
+ */
+
+#ifndef REF_UTIL_THREAD_POOL_HH
+#define REF_UTIL_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace ref {
+
+/** Fixed-size pool of worker threads with per-worker deques. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads Worker count; 0 means defaultJobs().
+     */
+    explicit ThreadPool(std::size_t threads = 0);
+
+    /** Drains all queued tasks, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    std::size_t threadCount() const { return workers_.size(); }
+
+    /**
+     * Queue a nullary callable; its result (or exception) is
+     * delivered through the returned future. Safe to call from any
+     * thread, including pool workers. Throws PanicError once
+     * destruction has begun.
+     *
+     * Do not block inside a task on a future of another task queued
+     * on the same pool: with all workers occupied by blocked parents
+     * no worker is left to run the children.
+     */
+    template <typename Fn>
+    auto submit(Fn &&fn)
+        -> std::future<std::invoke_result_t<std::decay_t<Fn>>>
+    {
+        using Result = std::invoke_result_t<std::decay_t<Fn>>;
+        auto task = std::make_shared<std::packaged_task<Result()>>(
+            std::forward<Fn>(fn));
+        std::future<Result> future = task->get_future();
+        enqueue([task]() { (*task)(); });
+        return future;
+    }
+
+    /**
+     * Worker count implied by the environment: REF_JOBS when set to
+     * a positive integer, otherwise the hardware concurrency (at
+     * least 1).
+     */
+    static std::size_t defaultJobs();
+
+  private:
+    using Task = std::function<void()>;
+
+    /** One worker's deque; the owner pops the front, thieves the back. */
+    struct Queue
+    {
+        std::mutex mutex;
+        std::deque<Task> tasks;
+    };
+
+    void enqueue(Task task);
+    void workerLoop(std::size_t self);
+    bool popTask(std::size_t self, Task &task);
+
+    std::vector<std::unique_ptr<Queue>> queues_;
+    std::vector<std::thread> workers_;
+    std::mutex sleepMutex_;
+    std::condition_variable wakeup_;
+    std::atomic<std::size_t> nextQueue_{0};
+    std::atomic<std::size_t> queued_{0};  //!< Enqueued, not yet popped.
+    std::atomic<bool> stopping_{false};
+};
+
+} // namespace ref
+
+#endif // REF_UTIL_THREAD_POOL_HH

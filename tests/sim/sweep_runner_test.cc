@@ -1,0 +1,211 @@
+/**
+ * @file
+ * The parallel sweep engine's core guarantee: profiling with jobs=1
+ * and jobs=N produces byte-identical profile tables and identical
+ * fitted elasticities, and the cell cache dedupes without changing
+ * results. The suite is named sweep_determinism so that
+ * `ctest -R sweep_determinism` selects exactly these tests.
+ */
+
+#include "sim/sweep_runner.hh"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/profile_io.hh"
+#include "sim/profiler.hh"
+
+namespace {
+
+using namespace ref;
+using namespace ref::sim;
+
+constexpr std::size_t kOps = 20000;
+
+/** Every field of every point must match exactly — no tolerance. */
+void
+expectIdenticalPoints(const std::vector<SweepPoint> &lhs,
+                      const std::vector<SweepPoint> &rhs)
+{
+    ASSERT_EQ(lhs.size(), rhs.size());
+    for (std::size_t i = 0; i < lhs.size(); ++i) {
+        const SweepPoint &a = lhs[i];
+        const SweepPoint &b = rhs[i];
+        EXPECT_EQ(a.bandwidthGBps, b.bandwidthGBps);
+        EXPECT_EQ(a.cacheMB, b.cacheMB);
+        EXPECT_EQ(a.ipc, b.ipc);
+        EXPECT_EQ(a.rngSeed, b.rngSeed);
+        EXPECT_EQ(a.detail.instructions, b.detail.instructions);
+        EXPECT_EQ(a.detail.cycles, b.detail.cycles);
+        EXPECT_EQ(a.detail.ipc, b.detail.ipc);
+        EXPECT_EQ(a.detail.l1.accesses, b.detail.l1.accesses);
+        EXPECT_EQ(a.detail.l1.misses, b.detail.l1.misses);
+        EXPECT_EQ(a.detail.l2.accesses, b.detail.l2.accesses);
+        EXPECT_EQ(a.detail.l2.misses, b.detail.l2.misses);
+        EXPECT_EQ(a.detail.dram.requests, b.detail.dram.requests);
+        EXPECT_EQ(a.detail.dram.totalLatencyCycles,
+                  b.detail.dram.totalLatencyCycles);
+        EXPECT_EQ(a.detail.avgDramLatencyCycles,
+                  b.detail.avgDramLatencyCycles);
+        EXPECT_EQ(a.detail.deliveredBandwidthGBps,
+                  b.detail.deliveredBandwidthGBps);
+    }
+}
+
+/** The serialized profile table, byte for byte. */
+std::string
+profileTableBytes(const std::vector<SweepPoint> &points)
+{
+    std::ostringstream out;
+    core::writeProfileCsv(out, toPerformanceProfile(points));
+    return out.str();
+}
+
+TEST(sweep_determinism, ParallelSweepBitIdenticalToSerial)
+{
+    const auto &workload = workloadByName("dedup");
+    SweepRunner serial(PlatformConfig::table1(), kOps, {.jobs = 1});
+    SweepRunner parallel(PlatformConfig::table1(), kOps, {.jobs = 8});
+
+    const auto serial_points = serial.sweep(workload);
+    const auto parallel_points = parallel.sweep(workload);
+    EXPECT_EQ(serial.jobs(), 1u);
+    EXPECT_EQ(parallel.jobs(), 8u);
+    expectIdenticalPoints(serial_points, parallel_points);
+    EXPECT_EQ(profileTableBytes(serial_points),
+              profileTableBytes(parallel_points));
+}
+
+TEST(sweep_determinism, FittedElasticitiesIdentical)
+{
+    const auto &workload = workloadByName("canneal");
+    SweepRunner serial(PlatformConfig::table1(), kOps, {.jobs = 1});
+    SweepRunner parallel(PlatformConfig::table1(), kOps, {.jobs = 8});
+
+    const auto serial_fit = serial.profileAndFit(workload);
+    const auto parallel_fit = parallel.profileAndFit(workload);
+    ASSERT_EQ(serial_fit.utility.resources(),
+              parallel_fit.utility.resources());
+    EXPECT_EQ(serial_fit.utility.scale(),
+              parallel_fit.utility.scale());
+    for (std::size_t r = 0; r < serial_fit.utility.resources(); ++r) {
+        EXPECT_EQ(serial_fit.utility.elasticity(r),
+                  parallel_fit.utility.elasticity(r));
+    }
+    EXPECT_EQ(serial_fit.rSquaredLog, parallel_fit.rSquaredLog);
+    EXPECT_EQ(serial_fit.rSquaredLinear,
+              parallel_fit.rSquaredLinear);
+}
+
+TEST(sweep_determinism, SweepManyMatchesIndividualSerialSweeps)
+{
+    std::vector<WorkloadSpec> workloads = {
+        workloadByName("dedup"), workloadByName("canneal"),
+        workloadByName("histogram")};
+    SweepRunner serial(PlatformConfig::table1(), kOps, {.jobs = 1});
+    SweepRunner parallel(PlatformConfig::table1(), kOps, {.jobs = 8});
+
+    const auto batched = parallel.sweepMany(workloads);
+    ASSERT_EQ(batched.size(), workloads.size());
+    for (std::size_t w = 0; w < workloads.size(); ++w)
+        expectIdenticalPoints(serial.sweep(workloads[w]), batched[w]);
+}
+
+TEST(sweep_determinism, CellSeedIsPureFunctionOfCell)
+{
+    const std::uint64_t seed = sweepCellSeed(1, 12.8, 1 << 20);
+    EXPECT_EQ(seed, sweepCellSeed(1, 12.8, 1 << 20));
+    EXPECT_NE(seed, sweepCellSeed(2, 12.8, 1 << 20));
+    EXPECT_NE(seed, sweepCellSeed(1, 6.4, 1 << 20));
+    EXPECT_NE(seed, sweepCellSeed(1, 12.8, 1 << 19));
+}
+
+TEST(sweep_determinism, CustomAxesMatchAcrossJobCounts)
+{
+    const auto &workload = workloadByName("streamcluster");
+    const std::vector<double> bandwidths = {1.0, 3.0};
+    const std::vector<std::size_t> caches = {256 * 1024,
+                                             1024 * 1024};
+    SweepRunner serial(PlatformConfig::table1(), kOps, {.jobs = 1});
+    SweepRunner parallel(PlatformConfig::table1(), kOps, {.jobs = 4});
+    expectIdenticalPoints(
+        serial.sweep(workload, bandwidths, caches),
+        parallel.sweep(workload, bandwidths, caches));
+}
+
+TEST(sweep_determinism, ProfileCacheDedupesRepeatedCells)
+{
+    const auto &workload = workloadByName("dedup");
+    SweepRunner runner(PlatformConfig::table1(), kOps,
+                       {.jobs = 4, .cacheCells = 1024});
+
+    const auto first = runner.sweep(workload);
+    auto stats = runner.cacheStats();
+    EXPECT_EQ(stats.hits, 0u);
+    EXPECT_EQ(stats.misses, 25u);
+
+    const auto second = runner.sweep(workload);
+    stats = runner.cacheStats();
+    EXPECT_EQ(stats.hits, 25u);
+    EXPECT_EQ(stats.misses, 25u);
+    expectIdenticalPoints(first, second);
+
+    // Cache hits are bit-identical to an uncached run.
+    SweepRunner uncached(PlatformConfig::table1(), kOps,
+                         {.jobs = 1, .cacheCells = 0});
+    expectIdenticalPoints(uncached.sweep(workload), second);
+    EXPECT_EQ(uncached.cacheStats().hits, 0u);
+    EXPECT_EQ(uncached.cacheStats().misses, 0u);
+}
+
+TEST(sweep_determinism, ProfileCacheEvictsLeastRecentlyUsed)
+{
+    ProfileCache cache(2);
+    SweepPoint point;
+    const SweepCellKey k1{1, 1};
+    const SweepCellKey k2{2, 2};
+    const SweepCellKey k3{3, 3};
+
+    point.ipc = 1;
+    cache.insert(k1, point);
+    point.ipc = 2;
+    cache.insert(k2, point);
+
+    // Touch k1 so k2 is the LRU victim when k3 arrives.
+    ASSERT_TRUE(cache.lookup(k1, point));
+    EXPECT_EQ(point.ipc, 1.0);
+    point.ipc = 3;
+    cache.insert(k3, point);
+
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_TRUE(cache.lookup(k1, point));
+    EXPECT_FALSE(cache.lookup(k2, point));
+    EXPECT_TRUE(cache.lookup(k3, point));
+}
+
+TEST(sweep_determinism, ZeroCapacityCacheIsDisabled)
+{
+    ProfileCache cache(0);
+    SweepPoint point;
+    cache.insert({1, 1}, point);
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_FALSE(cache.lookup({1, 1}, point));
+    EXPECT_EQ(cache.stats().hits, 0u);
+    EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+TEST(sweep_determinism, ProfilerFacadeSharesRunnerAcrossCopies)
+{
+    const Profiler profiler(PlatformConfig::table1(), kOps,
+                            {.jobs = 2});
+    const Profiler copy = profiler;
+    copy.sweep(workloadByName("dedup"));
+    // The copy's sweep warmed the original's cache too.
+    EXPECT_EQ(profiler.runner().cacheStats().misses, 25u);
+    profiler.sweep(workloadByName("dedup"));
+    EXPECT_EQ(profiler.runner().cacheStats().hits, 25u);
+}
+
+} // namespace

@@ -1,0 +1,150 @@
+#include "util/thread_pool.hh"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace {
+
+using namespace ref;
+using namespace std::chrono_literals;
+
+TEST(ThreadPool, RunsSubmittedTasksAndReturnsResults)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threadCount(), 4u);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 100; ++i)
+        futures.push_back(pool.submit([i] { return i * i; }));
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(futures[i].get(), i * i);
+}
+
+TEST(ThreadPool, SingleWorkerPreservesSubmissionOrder)
+{
+    ThreadPool pool(1);
+    std::vector<int> order;
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 50; ++i) {
+        // Single worker, so the unguarded push_back cannot race.
+        futures.push_back(
+            pool.submit([&order, i] { order.push_back(i); }));
+    }
+    for (auto &future : futures)
+        future.get();
+    ASSERT_EQ(order.size(), 50u);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture)
+{
+    ThreadPool pool(2);
+    auto failing = pool.submit(
+        []() -> int { throw std::runtime_error("boom"); });
+    EXPECT_THROW(
+        {
+            try {
+                failing.get();
+            } catch (const std::runtime_error &error) {
+                EXPECT_STREQ(error.what(), "boom");
+                throw;
+            }
+        },
+        std::runtime_error);
+    // The worker that ran the throwing task keeps serving.
+    EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 64; ++i) {
+            pool.submit([&ran] {
+                std::this_thread::sleep_for(100us);
+                ran.fetch_add(1);
+            });
+        }
+        // Destructor runs here with most tasks still queued.
+    }
+    EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPool, IdleWorkerStealsFromBlockedSiblingsQueues)
+{
+    ThreadPool pool(4);
+    std::atomic<int> blockersRunning{0};
+    std::atomic<bool> release{false};
+    std::vector<std::future<void>> blockers;
+    for (int i = 0; i < 3; ++i) {
+        blockers.push_back(
+            pool.submit([&blockersRunning, &release] {
+                blockersRunning.fetch_add(1);
+                while (!release.load())
+                    std::this_thread::sleep_for(100us);
+            }));
+    }
+    while (blockersRunning.load() < 3)
+        std::this_thread::sleep_for(100us);
+
+    // Round-robin submission spreads these across all four queues,
+    // three of whose owners are blocked: the one free worker must
+    // steal their share to finish.
+    std::atomic<int> ran{0};
+    std::vector<std::future<void>> tasks;
+    for (int i = 0; i < 40; ++i)
+        tasks.push_back(pool.submit([&ran] { ran.fetch_add(1); }));
+    for (auto &task : tasks)
+        task.get();
+    EXPECT_EQ(ran.load(), 40);
+
+    release.store(true);
+    for (auto &blocker : blockers)
+        blocker.get();
+}
+
+TEST(ThreadPool, SubmitFromWorkerThread)
+{
+    ThreadPool pool(2);
+    auto outer = pool.submit(
+        [&pool] { return pool.submit([] { return 21; }); });
+    // The outer task only queues the inner one (it does not block on
+    // it), so this cannot deadlock even on a one-worker pool.
+    EXPECT_EQ(outer.get().get(), 21);
+}
+
+TEST(ThreadPool, DefaultJobsHonorsRefJobsEnvironment)
+{
+    ASSERT_EQ(setenv("REF_JOBS", "3", 1), 0);
+    EXPECT_EQ(ThreadPool::defaultJobs(), 3u);
+
+    const LogLevel saved = logLevel();
+    setLogLevel(LogLevel::Silent);
+    ASSERT_EQ(setenv("REF_JOBS", "not-a-number", 1), 0);
+    EXPECT_GE(ThreadPool::defaultJobs(), 1u);
+    ASSERT_EQ(setenv("REF_JOBS", "-2", 1), 0);
+    EXPECT_GE(ThreadPool::defaultJobs(), 1u);
+    setLogLevel(saved);
+
+    ASSERT_EQ(unsetenv("REF_JOBS"), 0);
+    EXPECT_GE(ThreadPool::defaultJobs(), 1u);
+}
+
+TEST(ThreadPool, ZeroThreadsMeansDefaultJobs)
+{
+    ASSERT_EQ(setenv("REF_JOBS", "2", 1), 0);
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.threadCount(), 2u);
+    ASSERT_EQ(unsetenv("REF_JOBS"), 0);
+}
+
+} // namespace

@@ -6,8 +6,13 @@
  * diagnostics. With --append NAME the output row can be
  * concatenated into a ref_allocate agents file.
  *
+ * With --workload NAME the profile is produced in-process on the
+ * bundled simulator (the parallel sweep engine; see --jobs) instead
+ * of being read from a file.
+ *
  * Usage:
  *   ref_fit --profile profile.csv [--append NAME]
+ *   ref_fit --workload dedup [--ops N] [--jobs N] [--append NAME]
  *   ref_profile --workload dedup | ref_fit --profile -
  */
 
@@ -17,6 +22,7 @@
 
 #include "core/fitting.hh"
 #include "core/profile_io.hh"
+#include "sim/profiler.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
 
@@ -28,11 +34,42 @@ usage(const char *argv0, const std::string &error = "")
     if (!error.empty())
         std::cerr << "error: " << error << "\n\n";
     std::cerr << "usage: " << argv0
-              << " --profile FILE [--append NAME]\n\n"
-                 "Fits a Cobb-Douglas utility to the profile CSV\n"
-                 "(columns x0,...,performance). With --append NAME,\n"
-                 "prints one agents-CSV row instead of a report.\n";
+              << " --profile FILE [--append NAME]\n"
+                 "       "
+              << argv0
+              << " --workload NAME [--ops N] [--jobs N] "
+                 "[--append NAME]\n\n"
+                 "Fits a Cobb-Douglas utility to a profile CSV\n"
+                 "(columns x0,...,performance), or profiles a\n"
+                 "cataloged workload in-process (--workload; --jobs\n"
+                 "fans the sweep over worker threads, default\n"
+                 "REF_JOBS else all hardware threads). With\n"
+                 "--append NAME, prints one agents-CSV row instead\n"
+                 "of a report.\n";
     std::exit(2);
+}
+
+[[noreturn]] void
+rejectCount(const char *argv0, const std::string &arg,
+            const std::string &value)
+{
+    usage(argv0, arg + " needs a non-negative integer, got '" +
+                     value + "'");
+}
+
+std::size_t
+parseCount(const char *argv0, const std::string &arg,
+           const std::string &value)
+{
+    try {
+        std::size_t consumed = 0;
+        const auto parsed = std::stoull(value, &consumed);
+        if (consumed != value.size())
+            rejectCount(argv0, arg, value);
+        return static_cast<std::size_t>(parsed);
+    } catch (const std::logic_error &) {
+        rejectCount(argv0, arg, value);
+    }
 }
 
 } // namespace
@@ -43,7 +80,10 @@ main(int argc, char **argv)
     using namespace ref;
 
     std::string profile_path;
+    std::string workload_name;
     std::string append_name;
+    std::size_t ops = 80000;
+    std::size_t jobs = 0;  // 0: REF_JOBS, else hardware threads.
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         const auto next = [&]() -> std::string {
@@ -53,6 +93,14 @@ main(int argc, char **argv)
         };
         if (arg == "--profile") {
             profile_path = next();
+        } else if (arg == "--workload") {
+            workload_name = next();
+        } else if (arg == "--ops") {
+            ops = parseCount(argv[0], arg, next());
+        } else if (arg == "--jobs") {
+            jobs = parseCount(argv[0], arg, next());
+            if (jobs == 0)
+                usage(argv[0], "--jobs must be positive");
         } else if (arg == "--append") {
             append_name = next();
         } else if (arg == "--help" || arg == "-h") {
@@ -61,12 +109,18 @@ main(int argc, char **argv)
             usage(argv[0], "unknown argument " + arg);
         }
     }
-    if (profile_path.empty())
-        usage(argv[0], "--profile is required");
+    if (profile_path.empty() == workload_name.empty())
+        usage(argv[0],
+              "exactly one of --profile and --workload is required");
 
     try {
         core::PerformanceProfile profile;
-        if (profile_path == "-") {
+        if (!workload_name.empty()) {
+            const sim::Profiler profiler(
+                sim::PlatformConfig::table1(), ops, {.jobs = jobs});
+            profile = sim::Profiler::toPerformanceProfile(
+                profiler.sweep(sim::workloadByName(workload_name)));
+        } else if (profile_path == "-") {
             profile = core::readProfileCsv(std::cin);
         } else {
             std::ifstream profile_file(profile_path);

@@ -8,7 +8,7 @@
  *   ref_profile --workload dedup | ref_fit --profile -
  *
  * Usage:
- *   ref_profile --workload NAME [--ops N] [--list]
+ *   ref_profile --workload NAME [--ops N] [--jobs N] [--list]
  */
 
 #include <iostream>
@@ -17,6 +17,7 @@
 #include "core/profile_io.hh"
 #include "sim/profiler.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace {
 
@@ -26,11 +27,37 @@ usage(const char *argv0, const std::string &error = "")
     if (!error.empty())
         std::cerr << "error: " << error << "\n\n";
     std::cerr << "usage: " << argv0
-              << " --workload NAME [--ops N] [--list]\n\n"
+              << " --workload NAME [--ops N] [--jobs N] [--list]\n\n"
                  "Profiles a cataloged synthetic workload over the "
                  "Table 1 sweep\nand writes the profile CSV to "
-                 "stdout. --list prints the catalog.\n";
+                 "stdout. --list prints the catalog.\n\n"
+                 "--jobs N fans the sweep out over N worker threads "
+                 "(default:\nREF_JOBS, else all hardware threads); "
+                 "results are bit-identical\nfor every N.\n";
     std::exit(2);
+}
+
+[[noreturn]] void
+rejectCount(const char *argv0, const std::string &arg,
+            const std::string &value)
+{
+    usage(argv0, arg + " needs a non-negative integer, got '" +
+                     value + "'");
+}
+
+std::size_t
+parseCount(const char *argv0, const std::string &arg,
+           const std::string &value)
+{
+    try {
+        std::size_t consumed = 0;
+        const auto parsed = std::stoull(value, &consumed);
+        if (consumed != value.size())
+            rejectCount(argv0, arg, value);
+        return static_cast<std::size_t>(parsed);
+    } catch (const std::logic_error &) {
+        rejectCount(argv0, arg, value);
+    }
 }
 
 } // namespace
@@ -42,6 +69,7 @@ main(int argc, char **argv)
 
     std::string workload_name;
     std::size_t ops = 80000;
+    std::size_t jobs = 0;  // 0: REF_JOBS, else hardware threads.
     bool list = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -53,7 +81,11 @@ main(int argc, char **argv)
         if (arg == "--workload") {
             workload_name = next();
         } else if (arg == "--ops") {
-            ops = static_cast<std::size_t>(std::stoull(next()));
+            ops = parseCount(argv[0], arg, next());
+        } else if (arg == "--jobs") {
+            jobs = parseCount(argv[0], arg, next());
+            if (jobs == 0)
+                usage(argv[0], "--jobs must be positive");
         } else if (arg == "--list") {
             list = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -76,7 +108,7 @@ main(int argc, char **argv)
 
         const auto &workload = sim::workloadByName(workload_name);
         const sim::Profiler profiler(sim::PlatformConfig::table1(),
-                                     ops);
+                                     ops, {.jobs = jobs});
         const auto profile = sim::Profiler::toPerformanceProfile(
             profiler.sweep(workload));
         core::writeProfileCsv(std::cout, profile);
