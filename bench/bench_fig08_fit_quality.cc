@@ -22,26 +22,27 @@ using namespace ref;
 constexpr std::size_t kTraceOps = 80000;
 
 void
-printRSquaredTable()
+printRSquaredTable(const sim::Profiler &profiler)
 {
     std::cout << "--- Figure 8a: coefficient of determination ---\n";
-    const auto profiler = bench::defaultProfiler(kTraceOps);
+    // One sweepMany batch: all 28 workloads' cells share the pool.
+    const auto &workloads = sim::allWorkloads();
+    const auto fits = bench::fitWorkloads(profiler, workloads);
     Table table({"benchmark", "R^2 (log fit)", "R^2 (raw IPC)",
                  "class"});
-    for (const auto &workload : sim::allWorkloads()) {
-        const auto fit = profiler.profileAndFit(workload);
-        table.addRow({workload.name, formatFixed(fit.rSquaredLog, 3),
-                      formatFixed(fit.rSquaredLinear, 3),
-                      std::string(1, workload.expectedClass)});
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        table.addRow({workloads[i].name,
+                      formatFixed(fits[i].rSquaredLog, 3),
+                      formatFixed(fits[i].rSquaredLinear, 3),
+                      std::string(1, workloads[i].expectedClass)});
     }
     table.print(std::cout);
     std::cout << "\n";
 }
 
 void
-printSimVsFit(const std::string &name)
+printSimVsFit(const sim::Profiler &profiler, const std::string &name)
 {
-    const auto profiler = bench::defaultProfiler(kTraceOps);
     const auto &workload = sim::workloadByName(name);
     const auto points = profiler.sweep(workload);
     const auto fit = core::fitCobbDouglas(
@@ -69,13 +70,16 @@ printFigure()
     bench::printBanner("Figure 8",
                        "Cobb-Douglas fit quality across the 5x5 "
                        "Table 1 sweep");
-    printRSquaredTable();
+    // One profiler for the whole figure: 8b/8c re-sweep workloads 8a
+    // already simulated, so their cells come out of the cell cache.
+    const auto profiler = bench::defaultProfiler(kTraceOps);
+    printRSquaredTable(profiler);
     std::cout << "--- Figure 8b: high-R^2 representatives ---\n";
-    printSimVsFit("ferret");
-    printSimVsFit("fmm");
+    printSimVsFit(profiler, "ferret");
+    printSimVsFit(profiler, "fmm");
     std::cout << "--- Figure 8c: low-R^2 representatives ---\n";
-    printSimVsFit("radiosity");
-    printSimVsFit("string_match");
+    printSimVsFit(profiler, "radiosity");
+    printSimVsFit(profiler, "string_match");
 }
 
 void

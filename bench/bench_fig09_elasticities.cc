@@ -22,14 +22,18 @@ printFigure()
     bench::printBanner(
         "Figure 9", "re-scaled resource elasticities and C/M classes");
     const auto profiler = bench::defaultProfiler(80000);
+    // One sweepMany batch over the whole catalog instead of 28
+    // sequential profileAndFit drains.
+    const auto &workloads = sim::allWorkloads();
+    const auto fits = bench::fitWorkloads(profiler, workloads);
 
     Table table({"benchmark", "alpha_mem (rescaled)",
                  "alpha_cache (rescaled)", "fitted class",
                  "paper class", "match"});
     int matches = 0;
-    for (const auto &workload : sim::allWorkloads()) {
-        const auto fit = profiler.profileAndFit(workload);
-        const auto rescaled = fit.utility.rescaled();
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        const auto &workload = workloads[i];
+        const auto rescaled = fits[i].utility.rescaled();
         const char fitted_class =
             rescaled.elasticity(0) > 0.5 ? 'M' : 'C';
         matches += fitted_class == workload.expectedClass;

@@ -41,25 +41,39 @@ fitWorkload(const std::string &name, std::size_t trace_ops)
         .profileAndFit(sim::workloadByName(name));
 }
 
-core::AgentList
-fitAgents(const std::vector<std::string> &names, std::size_t trace_ops)
+std::vector<core::CobbDouglasFit>
+fitWorkloads(const sim::Profiler &profiler,
+             const std::vector<sim::WorkloadSpec> &workloads)
 {
-    const auto profiler = defaultProfiler(trace_ops);
+    const auto sweeps = profiler.runner().sweepMany(workloads);
+    std::vector<core::CobbDouglasFit> fits;
+    fits.reserve(sweeps.size());
+    for (const auto &points : sweeps)
+        fits.push_back(
+            core::fitCobbDouglas(sim::toPerformanceProfile(points)));
+    return fits;
+}
+
+core::AgentList
+fitAgents(const sim::Profiler &profiler,
+          const std::vector<std::string> &names)
+{
     std::vector<sim::WorkloadSpec> workloads;
     workloads.reserve(names.size());
     for (const auto &name : names)
         workloads.push_back(sim::workloadByName(name));
 
-    const auto sweeps = profiler.runner().sweepMany(workloads);
+    const auto fits = fitWorkloads(profiler, workloads);
     core::AgentList agents;
-    for (std::size_t i = 0; i < names.size(); ++i) {
-        agents.emplace_back(
-            names[i],
-            core::fitCobbDouglas(
-                sim::toPerformanceProfile(sweeps[i]))
-                .utility);
-    }
+    for (std::size_t i = 0; i < names.size(); ++i)
+        agents.emplace_back(names[i], fits[i].utility);
     return agents;
+}
+
+core::AgentList
+fitAgents(const std::vector<std::string> &names, std::size_t trace_ops)
+{
+    return fitAgents(defaultProfiler(trace_ops), names);
 }
 
 void

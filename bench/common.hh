@@ -42,10 +42,23 @@ core::CobbDouglasFit fitWorkload(const std::string &name,
                                  std::size_t trace_ops = 80000);
 
 /**
- * Fit a list of workloads into an agent list (names preserved).
- * Batched through SweepRunner::sweepMany, so all workloads' cells
- * share one fan-out.
+ * Fit every workload in one SweepRunner::sweepMany batch on the
+ * caller's profiler (fits returned in input order). Sharing the
+ * profiler across calls shares its cell cache, so overlapping grids
+ * are simulated once per distinct cell.
  */
+std::vector<core::CobbDouglasFit>
+fitWorkloads(const sim::Profiler &profiler,
+             const std::vector<sim::WorkloadSpec> &workloads);
+
+/**
+ * Fit a list of workloads into an agent list (names preserved) on a
+ * caller-shared profiler, batched through sweepMany.
+ */
+core::AgentList fitAgents(const sim::Profiler &profiler,
+                          const std::vector<std::string> &names);
+
+/** Convenience overload: fitAgents on a fresh default profiler. */
 core::AgentList fitAgents(const std::vector<std::string> &names,
                           std::size_t trace_ops = 80000);
 

@@ -1,6 +1,7 @@
 #include "throughput.hh"
 
 #include <iostream>
+#include <unordered_map>
 
 #include "common.hh"
 #include "core/proportional_elasticity.hh"
@@ -26,9 +27,29 @@ printThroughputComparison(const std::vector<sim::WorkloadMix> &mixes,
                  "PropElasticity", "MaxWelfare (unfair)",
                  "EqualSlowdown (unfair)", "fairness penalty"});
 
+    // Mixes overlap heavily in membership, so fit each distinct
+    // benchmark exactly once: one shared profiler, one sweepMany
+    // batch over the union, then assemble the per-mix agent lists
+    // from the fitted utilities.
+    std::vector<std::string> distinct;
+    std::unordered_map<std::string, std::size_t> fitted_index;
+    for (const auto &mix : mixes) {
+        for (const auto &member : mix.members) {
+            if (fitted_index.emplace(member, distinct.size()).second)
+                distinct.push_back(member);
+        }
+    }
+    const auto profiler = defaultProfiler(trace_ops);
+    const auto fitted = fitAgents(profiler, distinct);
+
     bool shape_holds = true;
     for (const auto &mix : mixes) {
-        const auto agents = fitAgents(mix.members, trace_ops);
+        core::AgentList agents;
+        agents.reserve(mix.members.size());
+        for (const auto &member : mix.members) {
+            agents.emplace_back(
+                member, fitted[fitted_index.at(member)].utility());
+        }
 
         const auto throughput =
             [&](const core::AllocationMechanism &mechanism) {

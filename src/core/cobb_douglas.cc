@@ -11,12 +11,15 @@ namespace ref::core {
 CobbDouglasUtility::CobbDouglasUtility(double scale, Vector elasticities)
     : scale_(scale), elasticities_(std::move(elasticities))
 {
-    REF_REQUIRE(scale_ > 0, "scale a0 must be positive, got " << scale_);
+    REF_REQUIRE(std::isfinite(scale_) && scale_ > 0,
+                "scale a0 must be positive and finite, got " << scale_);
     REF_REQUIRE(!elasticities_.empty(),
                 "utility needs at least one resource");
     for (std::size_t r = 0; r < elasticities_.size(); ++r) {
-        REF_REQUIRE(elasticities_[r] > 0,
-                    "elasticity " << r << " must be positive, got "
+        REF_REQUIRE(std::isfinite(elasticities_[r]) &&
+                        elasticities_[r] > 0,
+                    "elasticity " << r
+                        << " must be positive and finite, got "
                         << elasticities_[r]);
     }
 }

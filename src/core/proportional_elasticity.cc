@@ -1,5 +1,8 @@
 #include "proportional_elasticity.hh"
 
+#include <cmath>
+
+#include "util/exact_sum.hh"
 #include "util/logging.hh"
 #include "util/math.hh"
 
@@ -18,6 +21,15 @@ ProportionalElasticityMechanism::rescaledElasticities(
                     "agent '" << agents[i].name() << "' covers "
                         << utility.resources()
                         << " resources, expected " << resources);
+        for (std::size_t r = 0; r < resources; ++r) {
+            const double alpha = utility.elasticity(r);
+            REF_REQUIRE(std::isfinite(alpha) && alpha > 0,
+                        "agent '" << agents[i].name()
+                            << "' reports elasticity " << alpha
+                            << " for resource " << r
+                            << "; elasticities must be positive and "
+                               "finite");
+        }
         const Vector normalized =
             normalizeToUnitSum(utility.elasticities());
         for (std::size_t r = 0; r < resources; ++r)
@@ -35,11 +47,17 @@ ProportionalElasticityMechanism::allocate(
                 "agents cover " << rescaled.cols()
                     << " resources, capacity has " << capacity.count());
 
+    // Each denominator is accumulated exactly and then correctly
+    // rounded, so it depends only on the set of agents, never on
+    // their order — the property that lets the online service
+    // maintain these sums incrementally (svc/agent_registry.hh) and
+    // still match this from-scratch path bit for bit.
     Allocation allocation(agents.size(), capacity.count());
     for (std::size_t r = 0; r < capacity.count(); ++r) {
-        double denominator = 0;
+        ExactSum sum;
         for (std::size_t j = 0; j < agents.size(); ++j)
-            denominator += rescaled(j, r);
+            sum.add(rescaled(j, r));
+        const double denominator = sum.round();
         REF_ASSERT(denominator > 0,
                    "re-scaled elasticities sum to zero for resource "
                        << r);

@@ -267,6 +267,24 @@ SweepRunner::sweep(const WorkloadSpec &workload)
     return sweep(workload, table1Bandwidths(), table1CacheSizes());
 }
 
+void
+SweepRunner::logCacheSummary(const char *scope, std::size_t cells,
+                             const ProfileCacheStats &before) const
+{
+    const ProfileCacheStats now = cache_.stats();
+    REF_INFORM("sweep cache [" << scope << "]: " << cells
+                               << " cells, hits="
+                               << now.hits - before.hits << " misses="
+                               << now.misses - before.misses
+                               << " evictions="
+                               << now.evictions - before.evictions
+                               << " (lifetime hits=" << now.hits
+                               << " misses=" << now.misses
+                               << " evictions=" << now.evictions
+                               << " resident=" << cache_.size() << "/"
+                               << cache_.capacity() << ")");
+}
+
 std::vector<SweepPoint>
 SweepRunner::sweep(const WorkloadSpec &workload,
                    const std::vector<double> &bandwidths,
@@ -275,6 +293,7 @@ SweepRunner::sweep(const WorkloadSpec &workload,
     REF_REQUIRE(!bandwidths.empty() && !cache_sizes.empty(),
                 "sweep needs at least one configuration");
 
+    const ProfileCacheStats before = cache_.stats();
     const Trace trace = generateTrace(workload);
 
     // Materialise the grid up front: cell i always lands in slot i,
@@ -296,6 +315,7 @@ SweepRunner::sweep(const WorkloadSpec &workload,
             points[i] = runCell(workload, trace, cells[i].bandwidth,
                                 cells[i].cacheBytes);
         }
+        logCacheSummary(workload.name.c_str(), cells.size(), before);
         return points;
     }
 
@@ -309,6 +329,7 @@ SweepRunner::sweep(const WorkloadSpec &workload,
         }));
     }
     drain(futures);
+    logCacheSummary(workload.name.c_str(), cells.size(), before);
     return points;
 }
 
@@ -319,6 +340,7 @@ SweepRunner::sweepMany(const std::vector<WorkloadSpec> &workloads)
     const std::vector<std::size_t> cache_sizes = table1CacheSizes();
     const std::size_t cells_per_workload =
         bandwidths.size() * cache_sizes.size();
+    const ProfileCacheStats before = cache_.stats();
 
     if (jobs_ <= 1 || workloads.size() * cells_per_workload <= 1) {
         std::vector<std::vector<SweepPoint>> results;
@@ -365,6 +387,8 @@ SweepRunner::sweepMany(const std::vector<WorkloadSpec> &workloads)
         }
     }
     drain(futures);
+    logCacheSummary("batch", workloads.size() * cells_per_workload,
+                    before);
     return results;
 }
 

@@ -194,6 +194,10 @@ class SweepRunner
     ProfileCacheStats cacheStats() const { return cache_.stats(); }
 
   private:
+    /** REF_INFORM one cache-effectiveness line at the end of a sweep:
+     *  this run's hit/miss/eviction deltas plus lifetime totals. */
+    void logCacheSummary(const char *scope, std::size_t cells,
+                         const ProfileCacheStats &before) const;
     Trace generateTrace(const WorkloadSpec &workload) const;
     SweepPoint runCell(const WorkloadSpec &workload,
                        const Trace &trace, double bandwidth,

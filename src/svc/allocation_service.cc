@@ -1,0 +1,108 @@
+#include "allocation_service.hh"
+
+#include "util/logging.hh"
+
+namespace ref::svc {
+
+std::size_t
+ServiceSnapshot::indexOf(const std::string &name) const
+{
+    for (std::size_t i = 0; i < agents.size(); ++i)
+        if (agents[i] == name)
+            return i;
+    return agents.size();
+}
+
+AllocationService::AllocationService(ServiceConfig config)
+    : config_(std::move(config)),
+      registry_(config_.capacity),
+      driver_(registry_, config_.epoch),
+      snapshot_(std::make_shared<const ServiceSnapshot>())
+{
+    if (config_.buildEnforcement) {
+        REF_REQUIRE(config_.capacity.count() == 2,
+                    "enforcement requires the bandwidth+cache pair; "
+                    "disable buildEnforcement for "
+                        << config_.capacity.count()
+                        << "-resource systems");
+    }
+}
+
+void
+AllocationService::admit(const std::string &name,
+                         const linalg::Vector &elasticities)
+{
+    std::lock_guard<std::mutex> lock(writeMutex_);
+    registry_.admit(name, elasticities, driver_.epoch());
+    metrics_.recordAdmit();
+}
+
+void
+AllocationService::depart(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(writeMutex_);
+    registry_.depart(name);
+    metrics_.recordDepart();
+}
+
+void
+AllocationService::update(const std::string &name,
+                          const linalg::Vector &elasticities)
+{
+    std::lock_guard<std::mutex> lock(writeMutex_);
+    registry_.update(name, elasticities);
+    metrics_.recordUpdate();
+}
+
+EpochResult
+AllocationService::tick()
+{
+    std::lock_guard<std::mutex> lock(writeMutex_);
+    EpochResult result = driver_.tick();
+    metrics_.recordEpoch(result);
+
+    auto next = std::make_shared<ServiceSnapshot>();
+    next->epoch = result.epoch;
+    next->agents = result.agentNames;
+    next->allocation = result.allocation;
+    next->propertiesChecked = result.propertiesChecked;
+    next->sharingIncentives = result.sharingIncentives;
+    next->envyFreeness = result.envyFreeness;
+    if (config_.buildEnforcement) {
+        if (result.enforcementChanged) {
+            next->enforcement = buildEnforcementPlan(
+                result.agentNames, result.allocation,
+                config_.capacity, config_.associativity);
+            next->enforcement.epoch = result.epoch;
+        } else {
+            // Hysteresis hold: enforcement keeps running the plan of
+            // the last enforced epoch.
+            next->enforcement = snapshot()->enforcement;
+        }
+    }
+    publish(std::move(next));
+    return result;
+}
+
+std::shared_ptr<const ServiceSnapshot>
+AllocationService::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(snapshotMutex_);
+    return snapshot_;
+}
+
+void
+AllocationService::publish(std::shared_ptr<const ServiceSnapshot> next)
+{
+    std::lock_guard<std::mutex> lock(snapshotMutex_);
+    snapshot_ = std::move(next);
+}
+
+std::size_t
+AllocationService::liveAgents() const
+{
+    std::lock_guard<std::mutex> lock(writeMutex_);
+    return registry_.size();
+}
+
+} // namespace ref::svc

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Thread-safe facade over the online REF runtime.
+ *
+ * Writers (admit/depart/update/tick) serialize on one mutex; readers
+ * never take it. Every tick publishes an immutable ServiceSnapshot
+ * behind a shared_ptr swapped under a tiny pointer lock, so queries
+ * cost one refcounted pointer copy and proceed concurrently with the
+ * next epoch's reallocation (copy-on-write: old snapshots stay valid
+ * for readers still holding them).
+ */
+
+#ifndef REF_SVC_ALLOCATION_SERVICE_HH
+#define REF_SVC_ALLOCATION_SERVICE_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "svc/agent_registry.hh"
+#include "svc/enforcement_bridge.hh"
+#include "svc/epoch_driver.hh"
+#include "svc/service_metrics.hh"
+
+namespace ref::svc {
+
+/** Service-wide configuration. */
+struct ServiceConfig
+{
+    core::SystemCapacity capacity =
+        core::SystemCapacity::cacheAndBandwidthExample();
+    EpochConfig epoch;
+    /** L2 ways available to the enforcement bridge. */
+    unsigned associativity = 16;
+    /** Derive enforcement artifacts each enforced epoch (requires
+     *  the 2-resource bandwidth+cache convention). */
+    bool buildEnforcement = true;
+};
+
+/** Immutable view of the service after some epoch. */
+struct ServiceSnapshot
+{
+    std::uint64_t epoch = 0;
+    std::vector<std::string> agents;  //!< Allocation-row order.
+    core::Allocation allocation;
+    /** Enforcement artifacts of the last *enforced* epoch (carried
+     *  forward unchanged across hysteresis holds). */
+    EnforcementPlan enforcement;
+    /** Last epoch's property-check outcomes. */
+    bool propertiesChecked = false;
+    core::PropertyCheck sharingIncentives;
+    core::PropertyCheck envyFreeness;
+
+    /** Row of @p name, or agents.size() when absent. */
+    std::size_t indexOf(const std::string &name) const;
+};
+
+/** Long-lived allocation service: registry + epochs + metrics. */
+class AllocationService
+{
+  public:
+    explicit AllocationService(ServiceConfig config = {});
+
+    /** @name Churn (validated; throws FatalError on bad input). */
+    ///@{
+    void admit(const std::string &name,
+               const linalg::Vector &elasticities);
+    void depart(const std::string &name);
+    void update(const std::string &name,
+                const linalg::Vector &elasticities);
+    ///@}
+
+    /** Advance one epoch, publish a fresh snapshot. */
+    EpochResult tick();
+
+    /**
+     * Current snapshot (never null; epoch 0 snapshot before the
+     * first tick). Safe to call concurrently with everything.
+     */
+    std::shared_ptr<const ServiceSnapshot> snapshot() const;
+
+    MetricsSnapshot metrics() const { return metrics_.snapshot(); }
+
+    /** Count a command rejected at the protocol layer. */
+    void noteRejected() { metrics_.recordRejected(); }
+
+    /** Count a query served from the snapshot. */
+    void noteQuery() { metrics_.recordQuery(); }
+
+    std::size_t liveAgents() const;
+    const ServiceConfig &config() const { return config_; }
+
+  private:
+    void publish(std::shared_ptr<const ServiceSnapshot> next);
+
+    ServiceConfig config_;
+    mutable std::mutex writeMutex_;  //!< Serializes churn and ticks.
+    AgentRegistry registry_;
+    EpochDriver driver_;
+    ServiceMetrics metrics_;
+
+    mutable std::mutex snapshotMutex_;  //!< Guards the pointer only.
+    std::shared_ptr<const ServiceSnapshot> snapshot_;
+};
+
+} // namespace ref::svc
+
+#endif // REF_SVC_ALLOCATION_SERVICE_HH

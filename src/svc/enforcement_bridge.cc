@@ -1,0 +1,59 @@
+#include "enforcement_bridge.hh"
+
+#include "util/logging.hh"
+
+namespace ref::svc {
+
+EnforcementPlan
+buildEnforcementPlan(const std::vector<std::string> &agents,
+                     const core::Allocation &allocation,
+                     const core::SystemCapacity &capacity,
+                     unsigned associativity)
+{
+    REF_REQUIRE(capacity.count() == 2,
+                "enforcement covers the bandwidth+cache pair; got "
+                    << capacity.count() << " resources");
+    REF_REQUIRE(associativity >= 1 && associativity <= 64,
+                "associativity " << associativity
+                    << " outside the 1..64 mask width");
+
+    EnforcementPlan plan;
+    if (agents.empty())
+        return plan;
+
+    REF_REQUIRE(allocation.agents() == agents.size() &&
+                    allocation.resources() == capacity.count(),
+                "allocation is " << allocation.agents() << "x"
+                    << allocation.resources() << ", expected "
+                    << agents.size() << "x" << capacity.count());
+
+    plan.agents = agents;
+    plan.wfqWeights.reserve(agents.size());
+    std::vector<double> cacheFractions;
+    cacheFractions.reserve(agents.size());
+    for (std::size_t i = 0; i < agents.size(); ++i) {
+        plan.wfqWeights.push_back(
+            allocation.at(i, kBandwidthResource) /
+            capacity.capacity(kBandwidthResource));
+        cacheFractions.push_back(
+            allocation.at(i, kCacheResource) /
+            capacity.capacity(kCacheResource));
+    }
+
+    if (agents.size() <= associativity) {
+        plan.partition =
+            sched::partitionWays(cacheFractions, associativity);
+        plan.hasPartition = true;
+    } else {
+        // More co-runners than ways: way partitioning cannot give
+        // everyone a way, so enforcement must fall back to shared
+        // LRU for the cache while WFQ still shapes bandwidth.
+        plan.partitionNote =
+            std::to_string(agents.size()) + " agents exceed " +
+            std::to_string(associativity) +
+            " ways; cache left unpartitioned";
+    }
+    return plan;
+}
+
+} // namespace ref::svc

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Hand-off from epoch allocations to the enforcement substrate.
+ *
+ * The service computes continuous shares; the hardware enforces
+ * discrete artifacts (paper §4.4): the cache share becomes an
+ * integral way partition (sched/partition.hh) and the bandwidth
+ * share becomes the weight vector of a WFQ arbiter (sched/wfq.hh).
+ * The bridge performs that translation once per enforced epoch,
+ * following the repository-wide resource convention (resource 0 =
+ * memory bandwidth, resource 1 = cache capacity).
+ */
+
+#ifndef REF_SVC_ENFORCEMENT_BRIDGE_HH
+#define REF_SVC_ENFORCEMENT_BRIDGE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/allocation.hh"
+#include "core/resource.hh"
+#include "sched/partition.hh"
+
+namespace ref::svc {
+
+/** Resource indices of the bandwidth/cache convention. */
+inline constexpr std::size_t kBandwidthResource = 0;
+inline constexpr std::size_t kCacheResource = 1;
+
+/** The artifacts enforcement needs for one epoch. */
+struct EnforcementPlan
+{
+    /** Epoch this plan was derived from. */
+    std::uint64_t epoch = 0;
+    /** Agents in allocation-row order. */
+    std::vector<std::string> agents;
+    /** Per-agent bandwidth fractions; the WFQ arbiter's weights. */
+    std::vector<double> wfqWeights;
+    /**
+     * Integral L2 way partition for the cache fractions; only
+     * meaningful when hasPartition (enough ways for every agent).
+     */
+    sched::WayPartition partition;
+    bool hasPartition = false;
+    /** Why hasPartition is false, for operators. */
+    std::string partitionNote;
+
+    bool empty() const { return agents.empty(); }
+};
+
+/**
+ * Build the enforcement plan for one epoch's allocation.
+ *
+ * @param agents Agent names in allocation-row order.
+ * @param allocation The epoch allocation; may be empty (idle system).
+ * @param capacity Must describe the bandwidth+cache pair (2
+ *        resources) — the only substrate sched/ enforces today.
+ * @param associativity L2 ways to partition (<= 64).
+ */
+EnforcementPlan buildEnforcementPlan(
+    const std::vector<std::string> &agents,
+    const core::Allocation &allocation,
+    const core::SystemCapacity &capacity, unsigned associativity);
+
+} // namespace ref::svc
+
+#endif // REF_SVC_ENFORCEMENT_BRIDGE_HH

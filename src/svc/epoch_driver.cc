@@ -1,0 +1,116 @@
+#include "epoch_driver.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace ref::svc {
+namespace {
+
+/** True when both allocations hold exactly the same doubles. */
+bool
+bitIdentical(const core::Allocation &a, const core::Allocation &b)
+{
+    if (a.agents() != b.agents() || a.resources() != b.resources())
+        return false;
+    for (std::size_t i = 0; i < a.agents(); ++i)
+        for (std::size_t r = 0; r < a.resources(); ++r)
+            if (a.at(i, r) != b.at(i, r))
+                return false;
+    return true;
+}
+
+/**
+ * Largest relative per-share movement between two allocations over
+ * the same agent set; +inf when the shapes differ.
+ */
+double
+maxRelativeChange(const core::Allocation &current,
+                  const core::Allocation &enforced)
+{
+    if (current.agents() != enforced.agents() ||
+        current.resources() != enforced.resources())
+        return std::numeric_limits<double>::infinity();
+    double worst = 0.0;
+    for (std::size_t i = 0; i < current.agents(); ++i) {
+        for (std::size_t r = 0; r < current.resources(); ++r) {
+            const double before = enforced.at(i, r);
+            const double after = current.at(i, r);
+            const double scale = std::max(std::abs(before),
+                                          std::abs(after));
+            if (scale == 0.0)
+                continue;
+            worst = std::max(worst, std::abs(after - before) / scale);
+        }
+    }
+    return worst;
+}
+
+} // namespace
+
+EpochDriver::EpochDriver(AgentRegistry &registry, EpochConfig config)
+    : registry_(registry), config_(config)
+{
+    REF_REQUIRE(config_.hysteresis >= 0 &&
+                    std::isfinite(config_.hysteresis),
+                "hysteresis must be a finite non-negative fraction, "
+                "got " << config_.hysteresis);
+}
+
+EpochResult
+EpochDriver::tick()
+{
+    const auto start = std::chrono::steady_clock::now();
+
+    EpochResult result;
+    result.epoch = ++epoch_;
+    result.agentNames.reserve(registry_.size());
+    for (const auto &agent : registry_.agents())
+        result.agentNames.push_back(agent.name);
+
+    if (registry_.empty()) {
+        // Idle system: publish the empty allocation and drop any
+        // stale enforcement.
+        result.enforcementChanged = !enforcedNames_.empty();
+        enforced_ = core::Allocation();
+        enforcedNames_.clear();
+        result.latency = std::chrono::steady_clock::now() - start;
+        return result;
+    }
+
+    result.allocation = registry_.allocate();
+
+    if (config_.verifyIncremental) {
+        result.incrementalMatchesScratch = bitIdentical(
+            result.allocation, registry_.allocateFromScratch());
+    }
+
+    if (config_.checkProperties) {
+        const core::AgentList agents = registry_.agentList();
+        result.sharingIncentives = core::checkSharingIncentives(
+            agents, registry_.capacity(), result.allocation,
+            config_.tolerance);
+        result.envyFreeness = core::checkEnvyFreeness(
+            agents, result.allocation, config_.tolerance);
+        result.propertiesChecked = true;
+    }
+
+    const bool sameAgents = result.agentNames == enforcedNames_;
+    result.maxRelativeChange =
+        sameAgents
+            ? maxRelativeChange(result.allocation, enforced_)
+            : std::numeric_limits<double>::infinity();
+    result.enforcementChanged =
+        result.maxRelativeChange > config_.hysteresis;
+    if (result.enforcementChanged) {
+        enforced_ = result.allocation;
+        enforcedNames_ = result.agentNames;
+    }
+
+    result.latency = std::chrono::steady_clock::now() - start;
+    return result;
+}
+
+} // namespace ref::svc

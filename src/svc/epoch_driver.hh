@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Epoch clock for the online allocation service.
+ *
+ * REF's closed form is cheap enough to rerun every scheduling epoch
+ * (the paper's strategy-proofness-in-the-large argument assumes
+ * exactly this dynamic setting). The driver owns the monotonic epoch
+ * counter: each tick() computes the current REF allocation from the
+ * registry's incremental state, optionally verifies it against a
+ * from-scratch recompute, runs the SI/EF property checks, and
+ * decides — via a configurable hysteresis threshold — whether the
+ * change is large enough to justify re-programming enforcement
+ * (way partitions and WFQ weights are not free to install).
+ */
+
+#ifndef REF_SVC_EPOCH_DRIVER_HH
+#define REF_SVC_EPOCH_DRIVER_HH
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/fairness.hh"
+#include "svc/agent_registry.hh"
+
+namespace ref::svc {
+
+/** Epoch policy knobs. */
+struct EpochConfig
+{
+    /**
+     * Reallocation hysteresis: when the same agent set is live and
+     * every share moved by less than this relative amount since the
+     * last enforced allocation, keep the old enforcement (the epoch
+     * still advances and the new allocation is still published to
+     * queries). 0 re-enforces every epoch.
+     */
+    double hysteresis = 0.0;
+    /**
+     * Verify each epoch's incremental allocation bit-for-bit against
+     * the from-scratch recompute (the soak and property tests run
+     * with this on).
+     */
+    bool verifyIncremental = false;
+    /** Run the SI and EF property checks each epoch. */
+    bool checkProperties = true;
+    /** Tolerances for the property checks. */
+    core::FairnessTolerance tolerance{1e-6, 1e-6, 1e-9};
+};
+
+/** Outcome of one epoch tick. */
+struct EpochResult
+{
+    std::uint64_t epoch = 0;
+    /** Live agents this epoch, admission order (allocation rows). */
+    std::vector<std::string> agentNames;
+    /** The epoch's allocation (empty when no agents are live). */
+    core::Allocation allocation;
+    /** False when hysteresis kept the previous enforcement. */
+    bool enforcementChanged = false;
+    /** Largest relative per-share change vs the enforced allocation;
+     *  +inf when the agent set changed. */
+    double maxRelativeChange = 0.0;
+    /** Self-check outcome; true when verification is off or passed. */
+    bool incrementalMatchesScratch = true;
+    /** SI/EF results (left defaulted when checks are off or no
+     *  agents are live). */
+    core::PropertyCheck sharingIncentives;
+    core::PropertyCheck envyFreeness;
+    bool propertiesChecked = false;
+    /** Wall time spent computing this tick. */
+    std::chrono::nanoseconds latency{0};
+};
+
+/** Monotonic epoch clock driving per-epoch reallocation. */
+class EpochDriver
+{
+  public:
+    /** @param registry Live-agent state; must outlive the driver. */
+    explicit EpochDriver(AgentRegistry &registry,
+                         EpochConfig config = {});
+
+    /** Advance one epoch and reallocate. */
+    EpochResult tick();
+
+    /** Epochs completed so far. */
+    std::uint64_t epoch() const { return epoch_; }
+
+    const EpochConfig &config() const { return config_; }
+
+    /** The allocation enforcement currently runs (for hysteresis). */
+    const core::Allocation &enforced() const { return enforced_; }
+
+  private:
+    AgentRegistry &registry_;
+    EpochConfig config_;
+    std::uint64_t epoch_ = 0;
+    core::Allocation enforced_;
+    std::vector<std::string> enforcedNames_;
+};
+
+} // namespace ref::svc
+
+#endif // REF_SVC_EPOCH_DRIVER_HH

@@ -1,0 +1,225 @@
+#include "protocol.hh"
+
+#include <charconv>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace ref::svc {
+namespace {
+
+/** Shortest decimal that round-trips the exact double. */
+std::string
+formatShare(double value)
+{
+    char buffer[32];
+    const auto [end, ec] = std::to_chars(
+        buffer, buffer + sizeof(buffer), value);
+    REF_ASSERT(ec == std::errc(), "to_chars failed");
+    return std::string(buffer, end);
+}
+
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::vector<std::string> tokens;
+    std::istringstream stream(line);
+    std::string token;
+    while (stream >> token)
+        tokens.push_back(token);
+    return tokens;
+}
+
+/**
+ * Parse one elasticity token. Unparseable text (including trailing
+ * junk) is a protocol error; the VALUE itself is validated by the
+ * registry so that zero/negative/inf/NaN all produce the registry's
+ * uniform diagnostics.
+ */
+double
+parseElasticity(const std::string &token)
+{
+    try {
+        std::size_t consumed = 0;
+        const double value = std::stod(token, &consumed);
+        REF_REQUIRE(consumed == token.size(),
+                    "'" << token << "' is not a number");
+        return value;
+    } catch (const std::logic_error &) {
+        REF_FATAL("'" << token << "' is not a number");
+    }
+}
+
+linalg::Vector
+parseElasticities(const std::vector<std::string> &tokens,
+                  std::size_t first)
+{
+    linalg::Vector elasticities;
+    for (std::size_t i = first; i < tokens.size(); ++i)
+        elasticities.push_back(parseElasticity(tokens[i]));
+    return elasticities;
+}
+
+void
+printEpoch(std::ostream &out, const EpochResult &result)
+{
+    out << "EPOCH " << result.epoch
+        << " agents=" << result.agentNames.size()
+        << " enforce=" << (result.enforcementChanged ? "update"
+                                                     : "hold");
+    if (result.propertiesChecked) {
+        out << " si=" << (result.sharingIncentives.satisfied
+                              ? "ok" : "VIOLATED")
+            << " ef=" << (result.envyFreeness.satisfied ? "ok"
+                                                        : "VIOLATED");
+    }
+    out << " selfcheck="
+        << (result.incrementalMatchesScratch ? "ok" : "FAIL") << "\n";
+}
+
+void
+printShares(std::ostream &out, const ServiceSnapshot &snapshot,
+            std::size_t row)
+{
+    out << "SHARE " << snapshot.agents[row];
+    for (std::size_t r = 0; r < snapshot.allocation.resources(); ++r)
+        out << " " << formatShare(snapshot.allocation.at(row, r));
+    out << "\n";
+}
+
+void
+printPlan(std::ostream &out, const EnforcementPlan &plan)
+{
+    if (plan.empty()) {
+        out << "PLAN epoch=" << plan.epoch << " empty\n";
+        return;
+    }
+    out << "PLAN epoch=" << plan.epoch
+        << " agents=" << plan.agents.size() << " cache="
+        << (plan.hasPartition ? "way-partition" : "shared-lru")
+        << "\n";
+    for (std::size_t i = 0; i < plan.agents.size(); ++i) {
+        out << "ENFORCE " << plan.agents[i]
+            << " wfq_weight=" << formatShare(plan.wfqWeights[i]);
+        if (plan.hasPartition) {
+            out << " ways=" << plan.partition.ways[i]
+                << " realized="
+                << formatShare(plan.partition.realizedFractions[i]);
+        }
+        out << "\n";
+    }
+    if (!plan.hasPartition && !plan.partitionNote.empty())
+        out << "NOTE " << plan.partitionNote << "\n";
+}
+
+} // namespace
+
+SessionResult
+runSession(AllocationService &service, std::istream &in,
+           std::ostream &out, const SessionOptions &options)
+{
+    SessionResult result;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        const auto tokens = tokenize(line);
+        if (tokens.empty() || tokens.front().front() == '#')
+            continue;
+        if (options.echo)
+            out << "> " << line << "\n";
+        ++result.commands;
+
+        const std::string &command = tokens.front();
+        try {
+            if (command == "ADMIT") {
+                REF_REQUIRE(tokens.size() >= 3,
+                            "usage: ADMIT <name> <e0> <e1> ...");
+                service.admit(tokens[1],
+                              parseElasticities(tokens, 2));
+                out << "OK admitted " << tokens[1] << " agents="
+                    << service.liveAgents() << "\n";
+            } else if (command == "UPDATE") {
+                REF_REQUIRE(tokens.size() >= 3,
+                            "usage: UPDATE <name> <e0> <e1> ...");
+                service.update(tokens[1],
+                               parseElasticities(tokens, 2));
+                out << "OK updated " << tokens[1] << "\n";
+            } else if (command == "DEPART") {
+                REF_REQUIRE(tokens.size() == 2,
+                            "usage: DEPART <name>");
+                service.depart(tokens[1]);
+                out << "OK departed " << tokens[1] << " agents="
+                    << service.liveAgents() << "\n";
+            } else if (command == "TICK") {
+                REF_REQUIRE(tokens.size() <= 2,
+                            "usage: TICK [count]");
+                std::uint64_t count = 1;
+                if (tokens.size() == 2) {
+                    const double parsed =
+                        parseElasticity(tokens[1]);
+                    REF_REQUIRE(parsed >= 1 && parsed <= 1e9 &&
+                                    parsed ==
+                                        static_cast<std::uint64_t>(
+                                            parsed),
+                                "TICK count must be a positive "
+                                "integer, got '"
+                                    << tokens[1] << "'");
+                    count = static_cast<std::uint64_t>(parsed);
+                }
+                for (std::uint64_t i = 0; i < count; ++i) {
+                    const EpochResult epoch = service.tick();
+                    if (!epoch.incrementalMatchesScratch ||
+                        (epoch.propertiesChecked &&
+                         (!epoch.sharingIncentives.satisfied ||
+                          !epoch.envyFreeness.satisfied)))
+                        ++result.epochFailures;
+                    printEpoch(out, epoch);
+                }
+            } else if (command == "QUERY") {
+                REF_REQUIRE(tokens.size() <= 2,
+                            "usage: QUERY [name]");
+                service.noteQuery();
+                const auto snapshot = service.snapshot();
+                if (tokens.size() == 2) {
+                    const std::size_t row =
+                        snapshot->indexOf(tokens[1]);
+                    REF_REQUIRE(row < snapshot->agents.size(),
+                                "agent '" << tokens[1]
+                                    << "' is not in the epoch "
+                                    << snapshot->epoch
+                                    << " snapshot");
+                    printShares(out, *snapshot, row);
+                } else {
+                    out << "SNAPSHOT epoch=" << snapshot->epoch
+                        << " agents=" << snapshot->agents.size()
+                        << "\n";
+                    for (std::size_t i = 0;
+                         i < snapshot->agents.size(); ++i)
+                        printShares(out, *snapshot, i);
+                }
+            } else if (command == "PLAN") {
+                REF_REQUIRE(tokens.size() == 1, "usage: PLAN");
+                service.noteQuery();
+                printPlan(out, service.snapshot()->enforcement);
+            } else if (command == "STATS") {
+                REF_REQUIRE(tokens.size() == 1, "usage: STATS");
+                printMetrics(out, service.metrics());
+            } else {
+                REF_FATAL("unknown command '" << command << "'");
+            }
+        } catch (const FatalError &error) {
+            service.noteRejected();
+            ++result.errors;
+            out << "ERR " << error.what() << "\n";
+        }
+    }
+    return result;
+}
+
+} // namespace ref::svc

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Deterministic line protocol for the allocation service.
+ *
+ * One command per line on an istream, one reply block per command on
+ * an ostream — the transport ref_serve speaks over stdin/stdout so
+ * the service is scriptable from tests and shell pipelines without
+ * sockets. Grammar:
+ *
+ *   ADMIT <name> <e0> <e1> ...   admit agent with raw elasticities
+ *   UPDATE <name> <e0> <e1> ...  replace an agent's elasticities
+ *   DEPART <name>                remove an agent
+ *   TICK [count]                 advance count epochs (default 1)
+ *   QUERY [name]                 print snapshot shares (one agent or
+ *                                all), no epoch advance
+ *   PLAN                         print the enforcement artifacts of
+ *                                the last enforced epoch
+ *   STATS                        print service metrics
+ *   # ...                        comment; blank lines are ignored
+ *
+ * Replies: "OK ..." / "EPOCH ..." / "SHARE ..." data lines, or
+ * "ERR <reason>" — invalid input never aborts the session (the
+ * offending command is rejected, counted, and the stream continues),
+ * matching the registry's validation contract.
+ */
+
+#ifndef REF_SVC_PROTOCOL_HH
+#define REF_SVC_PROTOCOL_HH
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "svc/allocation_service.hh"
+
+namespace ref::svc {
+
+/** Protocol-session knobs. */
+struct SessionOptions
+{
+    /** Echo each command line, prefixed "> ", before its reply —
+     *  turns a piped session into a readable transcript. */
+    bool echo = false;
+};
+
+/** What happened over one session. */
+struct SessionResult
+{
+    std::uint64_t commands = 0;
+    std::uint64_t errors = 0;  //!< ERR replies (rejected commands).
+    /** Epochs whose SI or EF check failed or whose incremental
+     *  allocation diverged from the from-scratch recompute. */
+    std::uint64_t epochFailures = 0;
+
+    bool clean() const { return errors == 0 && epochFailures == 0; }
+};
+
+/**
+ * Run commands from @p in against @p service until EOF, writing
+ * replies to @p out.
+ */
+SessionResult runSession(AllocationService &service, std::istream &in,
+                         std::ostream &out,
+                         const SessionOptions &options = {});
+
+} // namespace ref::svc
+
+#endif // REF_SVC_PROTOCOL_HH

@@ -1,0 +1,117 @@
+#include "service_metrics.hh"
+
+#include <algorithm>
+#include <ostream>
+
+#include "svc/epoch_driver.hh"
+
+namespace ref::svc {
+
+void
+ServiceMetrics::recordAdmit()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++data_.admits;
+}
+
+void
+ServiceMetrics::recordDepart()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++data_.departs;
+}
+
+void
+ServiceMetrics::recordUpdate()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++data_.updates;
+}
+
+void
+ServiceMetrics::recordQuery()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++data_.queries;
+}
+
+void
+ServiceMetrics::recordRejected()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++data_.rejected;
+}
+
+void
+ServiceMetrics::recordEpoch(const EpochResult &result)
+{
+    const auto nanoseconds = static_cast<std::uint64_t>(
+        std::max<std::chrono::nanoseconds::rep>(
+            result.latency.count(), 0));
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++data_.epochs;
+    if (result.enforcementChanged)
+        ++data_.enforcementUpdates;
+    else
+        ++data_.hysteresisHolds;
+    if (result.propertiesChecked) {
+        if (!result.sharingIncentives.satisfied)
+            ++data_.siViolations;
+        if (!result.envyFreeness.satisfied)
+            ++data_.efViolations;
+    }
+    if (!result.incrementalMatchesScratch)
+        ++data_.selfCheckFailures;
+
+    const std::uint64_t microseconds = nanoseconds / 1000;
+    std::size_t bucket = 0;
+    while (bucket + 1 < MetricsSnapshot::kLatencyBuckets &&
+           microseconds >= (std::uint64_t{1} << bucket))
+        ++bucket;
+    ++data_.latencyBuckets[bucket];
+    data_.latencyTotalNs += nanoseconds;
+    data_.latencyMaxNs = std::max(data_.latencyMaxNs, nanoseconds);
+    data_.latencyMinNs = data_.epochs == 1
+                             ? nanoseconds
+                             : std::min(data_.latencyMinNs,
+                                        nanoseconds);
+}
+
+MetricsSnapshot
+ServiceMetrics::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return data_;
+}
+
+void
+printMetrics(std::ostream &os, const MetricsSnapshot &snapshot)
+{
+    os << "admits=" << snapshot.admits << "\n"
+       << "departs=" << snapshot.departs << "\n"
+       << "updates=" << snapshot.updates << "\n"
+       << "queries=" << snapshot.queries << "\n"
+       << "rejected=" << snapshot.rejected << "\n"
+       << "epochs=" << snapshot.epochs << "\n"
+       << "enforcement_updates=" << snapshot.enforcementUpdates
+       << "\n"
+       << "hysteresis_holds=" << snapshot.hysteresisHolds << "\n"
+       << "si_violations=" << snapshot.siViolations << "\n"
+       << "ef_violations=" << snapshot.efViolations << "\n"
+       << "selfcheck_failures=" << snapshot.selfCheckFailures << "\n";
+    os << "epoch_latency_us_histogram=";
+    for (std::size_t b = 0; b < MetricsSnapshot::kLatencyBuckets;
+         ++b) {
+        if (b > 0)
+            os << ",";
+        os << snapshot.latencyBuckets[b];
+    }
+    os << "\n"
+       << "epoch_latency_ns_min=" << snapshot.latencyMinNs << "\n"
+       << "epoch_latency_ns_max=" << snapshot.latencyMaxNs << "\n"
+       << "epoch_latency_ns_mean="
+       << static_cast<std::uint64_t>(snapshot.meanLatencyNs()) << "\n";
+}
+
+} // namespace ref::svc

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Operational metrics for the online allocation service.
+ *
+ * Counts churn (admits/departs/updates), queries and epochs, tracks
+ * an epoch-latency histogram (power-of-two microsecond buckets), and
+ * aggregates the per-epoch SI/EF property-check and incremental
+ * self-check outcomes so a long-running service surfaces fairness
+ * regressions as metrics rather than silent drift.
+ */
+
+#ifndef REF_SVC_SERVICE_METRICS_HH
+#define REF_SVC_SERVICE_METRICS_HH
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+
+namespace ref::svc {
+
+struct EpochResult;
+
+/** Immutable copy of the metrics at one instant. */
+struct MetricsSnapshot
+{
+    std::uint64_t admits = 0;
+    std::uint64_t departs = 0;
+    std::uint64_t updates = 0;
+    std::uint64_t queries = 0;
+    std::uint64_t rejected = 0;  //!< Commands that threw FatalError.
+    std::uint64_t epochs = 0;
+    std::uint64_t enforcementUpdates = 0;  //!< Epochs that re-enforced.
+    std::uint64_t hysteresisHolds = 0;     //!< Epochs held by hysteresis.
+    std::uint64_t siViolations = 0;
+    std::uint64_t efViolations = 0;
+    std::uint64_t selfCheckFailures = 0;
+
+    /**
+     * Epoch latency histogram: bucket b counts epochs that took
+     * < 2^b microseconds (the last bucket is unbounded).
+     */
+    static constexpr std::size_t kLatencyBuckets = 16;
+    std::array<std::uint64_t, kLatencyBuckets> latencyBuckets{};
+    std::uint64_t latencyMinNs = 0;
+    std::uint64_t latencyMaxNs = 0;
+    std::uint64_t latencyTotalNs = 0;
+
+    /** Mean epoch latency in nanoseconds; 0 before the first epoch. */
+    double meanLatencyNs() const
+    {
+        return epochs == 0
+                   ? 0.0
+                   : static_cast<double>(latencyTotalNs) /
+                         static_cast<double>(epochs);
+    }
+};
+
+/**
+ * Render the snapshot as deterministic-order "key=value" lines
+ * (latency values are inherently run-dependent; everything else is
+ * reproducible for a scripted session).
+ */
+void printMetrics(std::ostream &os, const MetricsSnapshot &snapshot);
+
+/** Thread-safe metrics sink. */
+class ServiceMetrics
+{
+  public:
+    void recordAdmit();
+    void recordDepart();
+    void recordUpdate();
+    void recordQuery();
+    void recordRejected();
+    void recordEpoch(const EpochResult &result);
+
+    MetricsSnapshot snapshot() const;
+
+  private:
+    mutable std::mutex mutex_;
+    MetricsSnapshot data_;
+};
+
+} // namespace ref::svc
+
+#endif // REF_SVC_SERVICE_METRICS_HH

@@ -1,0 +1,66 @@
+#include "exact_sum.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ref {
+
+void
+ExactSum::add(double value)
+{
+    REF_REQUIRE(std::isfinite(value),
+                "ExactSum requires finite values, got " << value);
+    // Shewchuk grow-expansion: run the new value through every
+    // partial with two-sum, keeping the exact round-off terms. The
+    // partials stay non-overlapping and sorted by magnitude, and
+    // their real-number sum equals the exact sum of everything added.
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < partials_.size(); ++i) {
+        double x = value;
+        double y = partials_[i];
+        if (std::abs(x) < std::abs(y))
+            std::swap(x, y);
+        const double high = x + y;
+        const double low = y - (high - x);
+        if (low != 0.0)
+            partials_[kept++] = low;
+        value = high;
+    }
+    partials_.resize(kept);
+    if (value != 0.0 || partials_.empty())
+        partials_.push_back(value);
+}
+
+double
+ExactSum::round() const
+{
+    // Correctly rounded sum of the partials (CPython fsum's final
+    // step): accumulate from the largest partial down and, when the
+    // first non-zero round-off appears, inspect the next partial to
+    // resolve round-half-even ties exactly.
+    if (partials_.empty())
+        return 0.0;
+    std::size_t n = partials_.size();
+    double high = partials_[--n];
+    double low = 0.0;
+    while (n > 0) {
+        const double x = high;
+        const double y = partials_[--n];
+        high = x + y;
+        const double y_rounded = high - x;
+        low = y - y_rounded;
+        if (low != 0.0)
+            break;
+    }
+    if (n > 0 && ((low < 0.0 && partials_[n - 1] < 0.0) ||
+                  (low > 0.0 && partials_[n - 1] > 0.0))) {
+        const double y = low * 2.0;
+        const double x = high + y;
+        if (y == x - high)
+            high = x;
+    }
+    return high;
+}
+
+} // namespace ref

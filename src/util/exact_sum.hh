@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Order-independent exact accumulation of doubles.
+ *
+ * An ExactSum holds the EXACT real-number sum of every value added so
+ * far as a list of non-overlapping partials (Shewchuk's expansion
+ * arithmetic, as popularised by Python's math.fsum). round() returns
+ * that exact value correctly rounded to the nearest double, which is
+ * a pure function of the multiset of added values: insertion order
+ * never changes the result, and adding a value then its negation
+ * restores the previous state exactly.
+ *
+ * This is what lets the online allocation service maintain
+ * per-resource elasticity denominators incrementally (add on admit,
+ * subtract on depart) while staying bit-identical to a from-scratch
+ * recompute over the surviving agents — the property the epoch
+ * self-check and the churn property tests assert.
+ */
+
+#ifndef REF_UTIL_EXACT_SUM_HH
+#define REF_UTIL_EXACT_SUM_HH
+
+#include <vector>
+
+namespace ref {
+
+/**
+ * Exact, order-independent running sum of doubles.
+ *
+ * add() is amortised O(p) where p is the number of partials; for
+ * values of bounded magnitude p stays small (tens at most, bounded by
+ * the exponent range divided by the 53-bit mantissa width), so in
+ * practice add() is a handful of flops.
+ */
+class ExactSum
+{
+  public:
+    /** Add @p value to the sum. @pre value is finite. */
+    void add(double value);
+
+    /** Subtract @p value; exact inverse of add(value). */
+    void subtract(double value) { add(-value); }
+
+    /**
+     * The exact sum correctly rounded to the nearest double
+     * (round-half-even). Depends only on the multiset of added
+     * values, never on the order they were added or removed in.
+     */
+    double round() const;
+
+    /** Reset to an empty (zero) sum. */
+    void clear() { partials_.clear(); }
+
+    /** Number of non-overlapping partials currently held. */
+    std::size_t partials() const { return partials_.size(); }
+
+  private:
+    /** Non-overlapping partials in increasing magnitude order. */
+    std::vector<double> partials_;
+};
+
+} // namespace ref
+
+#endif // REF_UTIL_EXACT_SUM_HH

@@ -32,11 +32,14 @@ normalizeToUnitSum(const std::vector<double> &values)
     REF_REQUIRE(!values.empty(), "cannot normalize an empty vector");
     double total = 0;
     for (double value : values) {
+        REF_REQUIRE(std::isfinite(value),
+                    "cannot normalize non-finite value " << value);
         REF_REQUIRE(value >= 0, "cannot normalize negative value "
                                     << value);
         total += value;
     }
-    REF_REQUIRE(total > 0, "cannot normalize an all-zero vector");
+    REF_REQUIRE(total > 0 && std::isfinite(total),
+                "cannot normalize an all-zero vector");
 
     std::vector<double> normalized(values.size());
     for (std::size_t i = 0; i < values.size(); ++i)

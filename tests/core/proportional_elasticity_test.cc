@@ -1,5 +1,8 @@
 #include "core/proportional_elasticity.hh"
 
+#include <cmath>
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "core/fairness.hh"
@@ -97,6 +100,41 @@ TEST(ProportionalElasticity, RejectsMismatchedShapes)
     EXPECT_THROW(
         ProportionalElasticityMechanism().allocate({}, capacity),
         ref::FatalError);
+}
+
+// Regression: an infinite elasticity used to pass the "> 0" check in
+// CobbDouglasUtility and reach the mechanism, where the rescaling of
+// Eq. 12 turned it into NaN shares for EVERY agent. All non-positive
+// and non-finite elasticities (and scales) must be rejected at
+// construction with a clear diagnostic.
+TEST(ProportionalElasticity, RejectsNonPositiveAndNonFiniteInputs)
+{
+    const double inf = std::numeric_limits<double>::infinity();
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+
+    EXPECT_THROW(CobbDouglasUtility({0.0, 0.4}), ref::FatalError);
+    EXPECT_THROW(CobbDouglasUtility({-0.6, 0.4}), ref::FatalError);
+    EXPECT_THROW(CobbDouglasUtility({inf, 0.4}), ref::FatalError);
+    EXPECT_THROW(CobbDouglasUtility({0.6, nan}), ref::FatalError);
+    EXPECT_THROW(CobbDouglasUtility({}), ref::FatalError);
+
+    EXPECT_THROW(CobbDouglasUtility(0.0, {0.6, 0.4}), ref::FatalError);
+    EXPECT_THROW(CobbDouglasUtility(-1.0, {0.6, 0.4}),
+                 ref::FatalError);
+    EXPECT_THROW(CobbDouglasUtility(inf, {0.6, 0.4}), ref::FatalError);
+    EXPECT_THROW(CobbDouglasUtility(nan, {0.6, 0.4}), ref::FatalError);
+
+    // An honest population is unaffected by the rejections above, and
+    // its allocation stays finite — the property the validation
+    // protects.
+    AgentList agents;
+    agents.emplace_back("u1", CobbDouglasUtility({0.6, 0.4}));
+    agents.emplace_back("u2", CobbDouglasUtility({0.2, 0.8}));
+    const auto allocation = ProportionalElasticityMechanism().allocate(
+        agents, SystemCapacity::cacheAndBandwidthExample());
+    for (std::size_t i = 0; i < 2; ++i)
+        for (std::size_t r = 0; r < 2; ++r)
+            EXPECT_TRUE(std::isfinite(allocation.at(i, r)));
 }
 
 /**

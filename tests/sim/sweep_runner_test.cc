@@ -11,10 +11,12 @@
 
 #include <gtest/gtest.h>
 
+#include <iostream>
 #include <sstream>
 
 #include "core/profile_io.hh"
 #include "sim/profiler.hh"
+#include "util/logging.hh"
 
 namespace {
 
@@ -194,6 +196,27 @@ TEST(sweep_determinism, ZeroCapacityCacheIsDisabled)
     EXPECT_FALSE(cache.lookup({1, 1}, point));
     EXPECT_EQ(cache.stats().hits, 0u);
     EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+TEST(sweep_determinism, SweepEndLogsCacheEffectiveness)
+{
+    const auto &workload = workloadByName("dedup");
+    SweepRunner runner(PlatformConfig::table1(), kOps, {.jobs = 1});
+    runner.sweep(workload);  // Warm the cache silently (Warn level).
+
+    ref::setLogLevel(ref::LogLevel::Inform);
+    std::ostringstream captured;
+    std::streambuf *old = std::cerr.rdbuf(captured.rdbuf());
+    runner.sweep(workload);
+    std::cerr.rdbuf(old);
+    ref::setLogLevel(ref::LogLevel::Warn);
+
+    // The second sweep of the same grid is all hits, and the summary
+    // line says so.
+    EXPECT_NE(captured.str().find("sweep cache [dedup]: 25 cells, "
+                                  "hits=25 misses=0 evictions=0"),
+              std::string::npos)
+        << captured.str();
 }
 
 TEST(sweep_determinism, ProfilerFacadeSharesRunnerAcrossCopies)

@@ -1,0 +1,147 @@
+#include "svc/agent_registry.hh"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "core/proportional_elasticity.hh"
+#include "util/logging.hh"
+
+namespace {
+
+using namespace ref;
+using svc::AgentRegistry;
+
+AgentRegistry
+exampleRegistry()
+{
+    return AgentRegistry(
+        core::SystemCapacity::cacheAndBandwidthExample());
+}
+
+TEST(AgentRegistry, AdmitAllocateMatchesPaperExample)
+{
+    auto registry = exampleRegistry();
+    registry.admit("user1", {0.6, 0.4});
+    registry.admit("user2", {0.2, 0.8});
+    const auto allocation = registry.allocate();
+    EXPECT_NEAR(allocation.at(0, 0), 18.0, 1e-12);
+    EXPECT_NEAR(allocation.at(0, 1), 4.0, 1e-12);
+    EXPECT_NEAR(allocation.at(1, 0), 6.0, 1e-12);
+    EXPECT_NEAR(allocation.at(1, 1), 8.0, 1e-12);
+}
+
+TEST(AgentRegistry, IncrementalIsBitIdenticalToScratch)
+{
+    auto registry = exampleRegistry();
+    registry.admit("a", {0.61, 0.39});
+    registry.admit("b", {0.17, 0.83});
+    registry.admit("c", {0.5, 0.5});
+    registry.depart("b");
+    registry.admit("d", {0.9, 0.1});
+    registry.update("c", {0.33, 0.67});
+
+    const auto incremental = registry.allocate();
+    const auto scratch = registry.allocateFromScratch();
+    ASSERT_EQ(incremental.agents(), scratch.agents());
+    for (std::size_t i = 0; i < incremental.agents(); ++i) {
+        for (std::size_t r = 0; r < incremental.resources(); ++r) {
+            // Exact double equality on purpose: the incremental
+            // path must not drift from the from-scratch mechanism.
+            EXPECT_EQ(incremental.at(i, r), scratch.at(i, r));
+        }
+    }
+}
+
+TEST(AgentRegistry, DepartPreservesAdmissionOrder)
+{
+    auto registry = exampleRegistry();
+    registry.admit("a", {0.6, 0.4});
+    registry.admit("b", {0.2, 0.8});
+    registry.admit("c", {0.5, 0.5});
+    registry.depart("b");
+    ASSERT_EQ(registry.size(), 2u);
+    EXPECT_EQ(registry.agents()[0].name, "a");
+    EXPECT_EQ(registry.agents()[1].name, "c");
+    EXPECT_EQ(registry.indexOf("c"), 1u);
+    EXPECT_FALSE(registry.contains("b"));
+}
+
+TEST(AgentRegistry, RejectsDuplicateAndUnknownNames)
+{
+    auto registry = exampleRegistry();
+    registry.admit("a", {0.6, 0.4});
+    EXPECT_THROW(registry.admit("a", {0.5, 0.5}), FatalError);
+    EXPECT_THROW(registry.depart("ghost"), FatalError);
+    EXPECT_THROW(registry.update("ghost", {0.5, 0.5}), FatalError);
+    EXPECT_THROW(registry.admit("", {0.5, 0.5}), FatalError);
+    EXPECT_THROW(registry.admit("two words", {0.5, 0.5}), FatalError);
+}
+
+TEST(AgentRegistry, RejectsWrongResourceCount)
+{
+    auto registry = exampleRegistry();
+    EXPECT_THROW(registry.admit("a", {0.6}), FatalError);
+    EXPECT_THROW(registry.admit("a", {0.6, 0.3, 0.1}), FatalError);
+}
+
+// Regression: non-positive or non-finite elasticities used to be able
+// to reach the allocator (inf passed the positivity check) and poison
+// every agent's share with NaN. They must be rejected with a clear
+// error at admission instead.
+TEST(AgentRegistry, RejectsNonPositiveAndNonFiniteElasticities)
+{
+    const double inf = std::numeric_limits<double>::infinity();
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    auto registry = exampleRegistry();
+    registry.admit("honest", {0.6, 0.4});
+
+    EXPECT_THROW(registry.admit("zero", {0.0, 0.4}), FatalError);
+    EXPECT_THROW(registry.admit("negative", {-0.6, 0.4}), FatalError);
+    EXPECT_THROW(registry.admit("inf", {inf, 0.4}), FatalError);
+    EXPECT_THROW(registry.admit("nan", {nan, 0.4}), FatalError);
+    EXPECT_THROW(registry.update("honest", {0.6, inf}), FatalError);
+
+    // The failed admissions must not have corrupted the denominators.
+    ASSERT_EQ(registry.size(), 1u);
+    const auto allocation = registry.allocate();
+    for (std::size_t r = 0; r < allocation.resources(); ++r) {
+        EXPECT_TRUE(std::isfinite(allocation.at(0, r)));
+        EXPECT_NEAR(allocation.at(0, r),
+                    registry.capacity().capacity(r), 1e-12);
+    }
+}
+
+TEST(AgentRegistry, UpdateChangesSharesIncrementally)
+{
+    auto registry = exampleRegistry();
+    registry.admit("a", {0.6, 0.4});
+    registry.admit("b", {0.2, 0.8});
+    registry.update("a", {0.2, 0.8});
+    const auto allocation = registry.allocate();
+    // Identical agents split equally.
+    EXPECT_NEAR(allocation.at(0, 0), 12.0, 1e-12);
+    EXPECT_NEAR(allocation.at(1, 0), 12.0, 1e-12);
+    EXPECT_NEAR(allocation.at(0, 1), 6.0, 1e-12);
+    EXPECT_NEAR(allocation.at(1, 1), 6.0, 1e-12);
+}
+
+TEST(AgentRegistry, CountsChurnEvents)
+{
+    auto registry = exampleRegistry();
+    registry.admit("a", {0.6, 0.4});
+    registry.admit("b", {0.2, 0.8});
+    registry.update("a", {0.5, 0.5});
+    registry.depart("b");
+    EXPECT_EQ(registry.churnEvents(), 4u);
+}
+
+TEST(AgentRegistry, AllocateRequiresAgents)
+{
+    auto registry = exampleRegistry();
+    EXPECT_THROW(registry.allocate(), FatalError);
+    EXPECT_THROW(registry.allocateFromScratch(), FatalError);
+}
+
+} // namespace

@@ -1,0 +1,160 @@
+#include "svc/allocation_service.hh"
+
+#include <atomic>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace {
+
+using namespace ref;
+using svc::AllocationService;
+using svc::ServiceConfig;
+
+TEST(AllocationService, SnapshotBeforeFirstTickIsEmpty)
+{
+    AllocationService service;
+    const auto snapshot = service.snapshot();
+    EXPECT_EQ(snapshot->epoch, 0u);
+    EXPECT_TRUE(snapshot->agents.empty());
+}
+
+TEST(AllocationService, TickPublishesAllocationAndEnforcement)
+{
+    AllocationService service;
+    service.admit("user1", {0.6, 0.4});
+    service.admit("user2", {0.2, 0.8});
+    const auto result = service.tick();
+    EXPECT_EQ(result.epoch, 1u);
+
+    const auto snapshot = service.snapshot();
+    EXPECT_EQ(snapshot->epoch, 1u);
+    ASSERT_EQ(snapshot->agents.size(), 2u);
+    EXPECT_NEAR(snapshot->allocation.at(0, 0), 18.0, 1e-12);
+    ASSERT_TRUE(snapshot->enforcement.hasPartition);
+    EXPECT_EQ(snapshot->enforcement.epoch, 1u);
+}
+
+TEST(AllocationService, SnapshotIsImmutableUnderLaterChurn)
+{
+    AllocationService service;
+    service.admit("user1", {0.6, 0.4});
+    service.tick();
+    const auto before = service.snapshot();
+
+    service.admit("user2", {0.2, 0.8});
+    service.tick();
+
+    // The old snapshot still describes epoch 1 (copy-on-write).
+    EXPECT_EQ(before->epoch, 1u);
+    EXPECT_EQ(before->agents.size(), 1u);
+    EXPECT_EQ(service.snapshot()->agents.size(), 2u);
+}
+
+TEST(AllocationService, HysteresisCarriesEnforcementForward)
+{
+    ServiceConfig config;
+    config.epoch.hysteresis = 0.10;
+    AllocationService service(config);
+    service.admit("user1", {0.6, 0.4});
+    service.admit("user2", {0.2, 0.8});
+    service.tick();
+    const auto enforcedEpoch =
+        service.snapshot()->enforcement.epoch;
+
+    service.update("user1", {0.601, 0.399});  // Inside the band.
+    service.tick();
+    const auto snapshot = service.snapshot();
+    EXPECT_EQ(snapshot->epoch, 2u);
+    // Allocation is fresh but enforcement still names epoch 1.
+    EXPECT_EQ(snapshot->enforcement.epoch, enforcedEpoch);
+    EXPECT_EQ(service.metrics().hysteresisHolds, 1u);
+}
+
+TEST(AllocationService, MetricsCountChurnAndEpochs)
+{
+    AllocationService service;
+    service.admit("a", {0.6, 0.4});
+    service.admit("b", {0.2, 0.8});
+    service.update("a", {0.5, 0.5});
+    service.depart("b");
+    service.tick();
+    service.tick();
+
+    const auto metrics = service.metrics();
+    EXPECT_EQ(metrics.admits, 2u);
+    EXPECT_EQ(metrics.updates, 1u);
+    EXPECT_EQ(metrics.departs, 1u);
+    EXPECT_EQ(metrics.epochs, 2u);
+    EXPECT_EQ(metrics.siViolations, 0u);
+    EXPECT_EQ(metrics.efViolations, 0u);
+    EXPECT_GT(metrics.latencyMaxNs, 0u);
+}
+
+TEST(AllocationService, RejectsInvalidChurnWithoutCorruption)
+{
+    AllocationService service;
+    service.admit("a", {0.6, 0.4});
+    EXPECT_THROW(service.admit("a", {0.5, 0.5}), FatalError);
+    EXPECT_THROW(service.admit("b", {0.5}), FatalError);
+    service.tick();
+    EXPECT_EQ(service.snapshot()->agents.size(), 1u);
+}
+
+TEST(AllocationService, ConcurrentQueriesDuringChurnAndTicks)
+{
+    ServiceConfig config;
+    config.epoch.verifyIncremental = true;
+    AllocationService service(config);
+    service.admit("seed0", {0.6, 0.4});
+    service.admit("seed1", {0.2, 0.8});
+    service.tick();
+
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> reads{0};
+
+    // Readers hammer the snapshot while a writer churns and ticks;
+    // every observed snapshot must be internally consistent.
+    std::vector<std::thread> readers;
+    for (int t = 0; t < 3; ++t) {
+        readers.emplace_back([&] {
+            while (!stop.load(std::memory_order_relaxed)) {
+                const auto snapshot = service.snapshot();
+                ASSERT_EQ(snapshot->agents.size(),
+                          snapshot->allocation.agents());
+                double total = 0;
+                for (std::size_t i = 0;
+                     i < snapshot->allocation.agents(); ++i)
+                    total += snapshot->allocation.at(i, 0);
+                if (snapshot->allocation.agents() > 0) {
+                    ASSERT_NEAR(total, 24.0, 1e-6);
+                }
+                reads.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+
+    for (int round = 0; round < 50; ++round) {
+        const std::string name = "churn" + std::to_string(round);
+        service.admit(name, {0.3 + 0.01 * (round % 10), 0.5});
+        service.tick();
+        if (round % 3 == 0)
+            service.depart(name);
+        service.tick();
+    }
+    // On a loaded single-CPU host the readers may not have been
+    // scheduled yet; yield until each has plausibly observed a
+    // snapshot before asking them to stop.
+    while (reads.load(std::memory_order_relaxed) < 3)
+        std::this_thread::yield();
+    stop.store(true);
+    for (auto &reader : readers)
+        reader.join();
+
+    EXPECT_GT(reads.load(), 0u);
+    EXPECT_EQ(service.metrics().selfCheckFailures, 0u);
+}
+
+} // namespace

@@ -1,0 +1,135 @@
+#include "svc/epoch_driver.hh"
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace {
+
+using namespace ref;
+using svc::AgentRegistry;
+using svc::EpochConfig;
+using svc::EpochDriver;
+
+AgentRegistry
+exampleRegistry()
+{
+    return AgentRegistry(
+        core::SystemCapacity::cacheAndBandwidthExample());
+}
+
+TEST(EpochDriver, EpochCounterIsMonotonic)
+{
+    auto registry = exampleRegistry();
+    registry.admit("a", {0.6, 0.4});
+    EpochDriver driver(registry);
+    EXPECT_EQ(driver.tick().epoch, 1u);
+    EXPECT_EQ(driver.tick().epoch, 2u);
+    EXPECT_EQ(driver.epoch(), 2u);
+}
+
+TEST(EpochDriver, ChecksPropertiesEachEpoch)
+{
+    auto registry = exampleRegistry();
+    registry.admit("a", {0.6, 0.4});
+    registry.admit("b", {0.2, 0.8});
+    EpochDriver driver(registry);
+    const auto result = driver.tick();
+    ASSERT_TRUE(result.propertiesChecked);
+    EXPECT_TRUE(result.sharingIncentives.satisfied);
+    EXPECT_TRUE(result.envyFreeness.satisfied);
+    EXPECT_TRUE(result.incrementalMatchesScratch);
+}
+
+TEST(EpochDriver, SelfCheckPassesUnderChurn)
+{
+    auto registry = exampleRegistry();
+    EpochConfig config;
+    config.verifyIncremental = true;
+    EpochDriver driver(registry, config);
+    registry.admit("a", {0.6, 0.4});
+    driver.tick();
+    registry.admit("b", {0.2, 0.8});
+    registry.update("a", {0.3, 0.7});
+    const auto result = driver.tick();
+    EXPECT_TRUE(result.incrementalMatchesScratch);
+}
+
+TEST(EpochDriver, HysteresisHoldsSmallChanges)
+{
+    auto registry = exampleRegistry();
+    registry.admit("a", {0.6, 0.4});
+    registry.admit("b", {0.2, 0.8});
+    EpochConfig config;
+    config.hysteresis = 0.05;
+    EpochDriver driver(registry, config);
+
+    // First epoch always enforces.
+    EXPECT_TRUE(driver.tick().enforcementChanged);
+
+    // No churn: nothing moved, enforcement holds.
+    auto result = driver.tick();
+    EXPECT_FALSE(result.enforcementChanged);
+    EXPECT_EQ(result.maxRelativeChange, 0.0);
+
+    // A tiny preference nudge stays inside the 5% band.
+    registry.update("a", {0.6005, 0.3995});
+    result = driver.tick();
+    EXPECT_FALSE(result.enforcementChanged);
+    EXPECT_GT(result.maxRelativeChange, 0.0);
+    EXPECT_LT(result.maxRelativeChange, 0.05);
+
+    // A big swing crosses it.
+    registry.update("a", {0.1, 0.9});
+    result = driver.tick();
+    EXPECT_TRUE(result.enforcementChanged);
+}
+
+TEST(EpochDriver, AgentChurnAlwaysReenforces)
+{
+    auto registry = exampleRegistry();
+    registry.admit("a", {0.6, 0.4});
+    EpochConfig config;
+    config.hysteresis = 0.5;  // Generous band...
+    EpochDriver driver(registry, config);
+    driver.tick();
+    registry.admit("b", {0.6, 0.4});
+    // ...but a new agent changes the allocation shape, so the old
+    // enforcement cannot be kept regardless of the band.
+    const auto result = driver.tick();
+    EXPECT_TRUE(result.enforcementChanged);
+}
+
+TEST(EpochDriver, IdleSystemTicksCleanly)
+{
+    auto registry = exampleRegistry();
+    EpochDriver driver(registry);
+    const auto result = driver.tick();
+    EXPECT_EQ(result.epoch, 1u);
+    EXPECT_TRUE(result.agentNames.empty());
+    EXPECT_EQ(result.allocation.agents(), 0u);
+    EXPECT_FALSE(result.propertiesChecked);
+    EXPECT_TRUE(result.incrementalMatchesScratch);
+}
+
+TEST(EpochDriver, DepartToEmptyDropsEnforcement)
+{
+    auto registry = exampleRegistry();
+    registry.admit("a", {0.6, 0.4});
+    EpochDriver driver(registry);
+    driver.tick();
+    registry.depart("a");
+    const auto result = driver.tick();
+    EXPECT_TRUE(result.enforcementChanged);
+    EXPECT_EQ(driver.enforced().agents(), 0u);
+}
+
+TEST(EpochDriver, RejectsNegativeHysteresis)
+{
+    auto registry = exampleRegistry();
+    EpochConfig config;
+    config.hysteresis = -0.1;
+    EXPECT_THROW(EpochDriver(registry, config), FatalError);
+}
+
+} // namespace

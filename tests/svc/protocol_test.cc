@@ -1,0 +1,146 @@
+#include "svc/protocol.hh"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace ref;
+using svc::AllocationService;
+using svc::SessionOptions;
+using svc::SessionResult;
+
+SessionResult
+run(AllocationService &service, const std::string &script,
+    std::string &output, SessionOptions options = {})
+{
+    std::istringstream in(script);
+    std::ostringstream out;
+    const auto result = svc::runSession(service, in, out, options);
+    output = out.str();
+    return result;
+}
+
+TEST(Protocol, PaperExampleTranscript)
+{
+    AllocationService service;
+    std::string output;
+    const auto result = run(service,
+                            "ADMIT user1 0.6 0.4\n"
+                            "ADMIT user2 0.2 0.8\n"
+                            "TICK\n"
+                            "QUERY\n",
+                            output);
+    EXPECT_TRUE(result.clean());
+    EXPECT_EQ(result.commands, 4u);
+    EXPECT_NE(output.find("OK admitted user1 agents=1"),
+              std::string::npos);
+    EXPECT_NE(output.find("EPOCH 1 agents=2 enforce=update si=ok "
+                          "ef=ok selfcheck=ok"),
+              std::string::npos);
+    EXPECT_NE(output.find("SNAPSHOT epoch=1 agents=2"),
+              std::string::npos);
+    // Shortest round-trip formatting: exact whole shares print bare,
+    // and the one share that is not exactly 18 in IEEE arithmetic
+    // (0.6/0.8*24) prints its true value rather than a rounded lie.
+    EXPECT_NE(output.find("SHARE user1 17.999999999999996 4"),
+              std::string::npos);
+    EXPECT_NE(output.find("SHARE user2 6 8"), std::string::npos);
+}
+
+TEST(Protocol, CommentsBlanksAndCrLfAreTolerated)
+{
+    AllocationService service;
+    std::string output;
+    const auto result = run(service,
+                            "# a comment\r\n"
+                            "\n"
+                            "   \n"
+                            "ADMIT solo 0.5 0.5\r\n"
+                            "TICK\r\n",
+                            output);
+    EXPECT_TRUE(result.clean());
+    EXPECT_EQ(result.commands, 2u);
+}
+
+TEST(Protocol, ErrRepliesKeepSessionAlive)
+{
+    AllocationService service;
+    std::string output;
+    const auto result = run(service,
+                            "ADMIT user1 0.6 0.4\n"
+                            "ADMIT user1 0.5 0.5\n"  // duplicate
+                            "ADMIT cheat inf 0.4\n"  // invalid value
+                            "ADMIT bad 0.5 oops\n"   // not a number
+                            "FROB\n"                 // unknown verb
+                            "TICK 0\n"               // bad count
+                            "TICK 2.5\n"             // non-integer
+                            "DEPART ghost\n"
+                            "TICK\n"
+                            "QUERY user1\n",
+                            output);
+    EXPECT_EQ(result.errors, 7u);
+    EXPECT_EQ(result.epochFailures, 0u);
+    // The honest agent still gets everything after the rejections.
+    EXPECT_NE(output.find("SHARE user1 24 12"), std::string::npos);
+    EXPECT_EQ(service.metrics().rejected, 7u);
+}
+
+TEST(Protocol, QueryBeforeFirstTickSeesEmptySnapshot)
+{
+    AllocationService service;
+    std::string output;
+    run(service, "ADMIT user1 0.6 0.4\nQUERY\n", output);
+    EXPECT_NE(output.find("SNAPSHOT epoch=0 agents=0"),
+              std::string::npos);
+    // ...and querying the not-yet-published agent is an error.
+    const auto result = run(service, "QUERY user1\n", output);
+    EXPECT_EQ(result.errors, 1u);
+}
+
+TEST(Protocol, TickCountBatchesEpochs)
+{
+    AllocationService service;
+    std::string output;
+    const auto result =
+        run(service, "ADMIT a 0.5 0.5\nTICK 5\n", output);
+    EXPECT_TRUE(result.clean());
+    EXPECT_NE(output.find("EPOCH 5 "), std::string::npos);
+    EXPECT_EQ(service.metrics().epochs, 5u);
+}
+
+TEST(Protocol, PlanShowsEnforcementArtifacts)
+{
+    AllocationService service;
+    std::string output;
+    run(service,
+        "ADMIT user1 0.6 0.4\nADMIT user2 0.2 0.8\nTICK\nPLAN\n",
+        output);
+    EXPECT_NE(output.find("PLAN epoch=1 agents=2 cache=way-partition"),
+              std::string::npos);
+    EXPECT_NE(output.find("ENFORCE user1 wfq_weight=0.7499999999999999"
+                          " ways=5"),
+              std::string::npos);
+}
+
+TEST(Protocol, StatsPrintsMetrics)
+{
+    AllocationService service;
+    std::string output;
+    run(service, "ADMIT a 0.5 0.5\nTICK\nSTATS\n", output);
+    EXPECT_NE(output.find("admits=1"), std::string::npos);
+    EXPECT_NE(output.find("epochs=1"), std::string::npos);
+}
+
+TEST(Protocol, EchoProducesTranscript)
+{
+    AllocationService service;
+    std::string output;
+    SessionOptions options;
+    options.echo = true;
+    run(service, "ADMIT a 0.5 0.5\n", output, options);
+    EXPECT_NE(output.find("> ADMIT a 0.5 0.5"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,123 @@
+#include "util/exact_sum.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace {
+
+using ref::ExactSum;
+
+TEST(ExactSum, EmptySumIsZero)
+{
+    ExactSum sum;
+    EXPECT_EQ(sum.round(), 0.0);
+}
+
+TEST(ExactSum, SingleValueRoundTrips)
+{
+    ExactSum sum;
+    sum.add(0.1);
+    EXPECT_EQ(sum.round(), 0.1);
+}
+
+TEST(ExactSum, ExactWhereNaiveSummationLosesBits)
+{
+    // 1 + 1e100 + 1 - 1e100 is 2 exactly; naive left-to-right
+    // summation returns 0.
+    ExactSum sum;
+    sum.add(1.0);
+    sum.add(1e100);
+    sum.add(1.0);
+    sum.add(-1e100);
+    EXPECT_EQ(sum.round(), 2.0);
+}
+
+TEST(ExactSum, OrderIndependent)
+{
+    ref::Rng rng(0xE5EEDULL);
+    std::vector<double> values;
+    for (int i = 0; i < 200; ++i)
+        values.push_back(rng.uniform(-1.0, 1.0) *
+                         std::pow(10.0, rng.uniformInt(-12, 12)));
+
+    ExactSum forward;
+    for (double value : values)
+        forward.add(value);
+
+    std::vector<double> shuffled = values;
+    for (std::size_t i = shuffled.size(); i > 1; --i)
+        std::swap(shuffled[i - 1], shuffled[rng.uniformInt(i)]);
+    ExactSum permuted;
+    for (double value : shuffled)
+        permuted.add(value);
+
+    EXPECT_EQ(forward.round(), permuted.round());
+}
+
+TEST(ExactSum, SubtractIsExactInverseOfAdd)
+{
+    // Interleave adds and removals and compare against a sum built
+    // from scratch over the surviving values — the registry's
+    // admit/depart pattern.
+    ref::Rng rng(0xDEADULL);
+    std::vector<double> live;
+    ExactSum incremental;
+    for (int step = 0; step < 500; ++step) {
+        if (!live.empty() && rng.bernoulli(0.4)) {
+            const std::size_t victim = rng.uniformInt(live.size());
+            incremental.subtract(live[victim]);
+            live.erase(live.begin() + victim);
+        } else {
+            const double value = rng.uniform(1e-9, 1e9);
+            incremental.add(value);
+            live.push_back(value);
+        }
+        ExactSum scratch;
+        for (double value : live)
+            scratch.add(value);
+        ASSERT_EQ(incremental.round(), scratch.round())
+            << "diverged at step " << step;
+    }
+}
+
+TEST(ExactSum, PartialsStayBoundedUnderChurn)
+{
+    ref::Rng rng(0xBEEFULL);
+    ExactSum sum;
+    for (int i = 0; i < 10000; ++i) {
+        const double value = rng.uniform(1e-6, 1.0);
+        sum.add(value);
+        sum.subtract(value * 0.5);
+    }
+    // Non-overlapping partials of bounded-magnitude values cannot
+    // exceed the exponent range over the mantissa width (~40).
+    EXPECT_LE(sum.partials(), 64u);
+}
+
+TEST(ExactSum, ClearResets)
+{
+    ExactSum sum;
+    sum.add(3.5);
+    sum.clear();
+    EXPECT_EQ(sum.round(), 0.0);
+    sum.add(1.25);
+    EXPECT_EQ(sum.round(), 1.25);
+}
+
+TEST(ExactSum, RejectsNonFiniteValues)
+{
+    ExactSum sum;
+    EXPECT_THROW(sum.add(std::numeric_limits<double>::infinity()),
+                 ref::FatalError);
+    EXPECT_THROW(sum.add(std::numeric_limits<double>::quiet_NaN()),
+                 ref::FatalError);
+}
+
+} // namespace

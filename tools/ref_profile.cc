@@ -112,6 +112,10 @@ main(int argc, char **argv)
         const auto profile = sim::Profiler::toPerformanceProfile(
             profiler.sweep(workload));
         core::writeProfileCsv(std::cout, profile);
+        const auto stats = profiler.runner().cacheStats();
+        std::cerr << "sweep cache: hits=" << stats.hits
+                  << " misses=" << stats.misses
+                  << " evictions=" << stats.evictions << "\n";
         return 0;
     } catch (const std::exception &error) {
         std::cerr << "error: " << error.what() << "\n";

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Online allocation server: a long-lived REF runtime driven by a
+ * deterministic line protocol on stdin/stdout (svc/protocol.hh), so
+ * agent churn, epoch ticks and queries are scriptable from tests and
+ * shell pipelines without sockets.
+ *
+ * Usage:
+ *   ref_serve [--capacity C0,C1] [--hysteresis H] [--assoc N]
+ *             [--selfcheck] [--strict] [--echo] [--file PATH]
+ *
+ * Example session:
+ *   printf 'ADMIT user1 0.6 0.4\nADMIT user2 0.2 0.8\nTICK\nQUERY\n' \
+ *       | ref_serve --capacity 24,12
+ *
+ * --selfcheck verifies every epoch's incremental allocation
+ * bit-for-bit against a from-scratch recompute; --strict exits
+ * non-zero when any command was rejected or any epoch failed a
+ * property or self check (soak harnesses run with both).
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "svc/protocol.hh"
+#include "util/logging.hh"
+
+namespace {
+
+using namespace ref;
+
+struct CliOptions
+{
+    std::string capacityList = "24,12";
+    std::string sessionFile;  //!< Empty: read stdin.
+    double hysteresis = 0.0;
+    unsigned associativity = 16;
+    bool selfcheck = false;
+    bool strict = false;
+    bool echo = false;
+};
+
+[[noreturn]] void
+usage(const char *argv0, const std::string &error = "")
+{
+    if (!error.empty())
+        std::cerr << "error: " << error << "\n\n";
+    std::cerr
+        << "usage: " << argv0
+        << " [--capacity C0,C1] [--hysteresis H] [--assoc N]\n"
+           "          [--selfcheck] [--strict] [--echo] "
+           "[--file PATH]\n\n"
+           "Runs the online REF allocation service over a line\n"
+           "protocol on stdin (or PATH): ADMIT/UPDATE/DEPART agents,\n"
+           "TICK epochs, QUERY shares, PLAN enforcement, STATS\n"
+           "metrics. --selfcheck verifies each epoch's incremental\n"
+           "allocation against a from-scratch recompute; --strict\n"
+           "exits non-zero on any rejected command or failed check.\n";
+    std::exit(2);
+}
+
+double
+parseNumber(const char *argv0, const std::string &arg,
+            const std::string &value)
+{
+    try {
+        std::size_t consumed = 0;
+        const double parsed = std::stod(value, &consumed);
+        if (consumed != value.size())
+            usage(argv0, arg + " needs a number, got '" + value + "'");
+        return parsed;
+    } catch (const std::logic_error &) {
+        usage(argv0, arg + " needs a number, got '" + value + "'");
+    }
+}
+
+CliOptions
+parseArgs(int argc, char **argv)
+{
+    CliOptions options;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(argv[0], "missing value for " + arg);
+            return argv[++i];
+        };
+        if (arg == "--capacity") {
+            options.capacityList = next();
+        } else if (arg == "--file") {
+            options.sessionFile = next();
+        } else if (arg == "--hysteresis") {
+            options.hysteresis = parseNumber(argv[0], arg, next());
+        } else if (arg == "--assoc") {
+            options.associativity = static_cast<unsigned>(
+                parseNumber(argv[0], arg, next()));
+        } else if (arg == "--selfcheck") {
+            options.selfcheck = true;
+        } else if (arg == "--strict") {
+            options.strict = true;
+        } else if (arg == "--echo") {
+            options.echo = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+        } else {
+            usage(argv[0], "unknown argument " + arg);
+        }
+    }
+    return options;
+}
+
+core::SystemCapacity
+parseCapacity(const std::string &list)
+{
+    std::vector<double> capacities;
+    std::stringstream stream(list);
+    std::string cell;
+    while (std::getline(stream, cell, ','))
+        capacities.push_back(std::stod(cell));
+    return core::SystemCapacity::fromCapacities(capacities);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliOptions options = parseArgs(argc, argv);
+    try {
+        svc::ServiceConfig config;
+        config.capacity = parseCapacity(options.capacityList);
+        config.epoch.hysteresis = options.hysteresis;
+        config.epoch.verifyIncremental = options.selfcheck;
+        config.associativity = options.associativity;
+        config.buildEnforcement = config.capacity.count() == 2;
+        svc::AllocationService service(config);
+
+        svc::SessionOptions session;
+        session.echo = options.echo;
+
+        svc::SessionResult result;
+        if (options.sessionFile.empty()) {
+            result = svc::runSession(service, std::cin, std::cout,
+                                     session);
+        } else {
+            std::ifstream file(options.sessionFile);
+            REF_REQUIRE(file.good(), "cannot open '"
+                                         << options.sessionFile
+                                         << "'");
+            result = svc::runSession(service, file, std::cout,
+                                     session);
+        }
+
+        std::cerr << "session: " << result.commands << " commands, "
+                  << result.errors << " rejected, "
+                  << result.epochFailures << " epoch check failures\n";
+        return options.strict && !result.clean() ? 1 : 0;
+    } catch (const std::exception &error) {
+        std::cerr << "error: " << error.what() << "\n";
+        return 2;
+    }
+}
