@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Crash-recovery soak: repeatedly kill -9 a journaled ref_serve in
+# the middle of live churn, restart it on the same journal, and
+# require the recovered server to pass a strict self-checked epoch.
+# Every iteration uses fresh agent names so state accumulates across
+# kills exactly as it would for a long-lived deployment.
+set -u
+
+REF_SERVE=${1:?usage: crash_recovery_soak.sh <ref_serve> <workdir> [iterations]}
+WORKDIR=${2:?usage: crash_recovery_soak.sh <ref_serve> <workdir> [iterations]}
+ITERATIONS=${3:-20}
+
+rm -rf "$WORKDIR"
+mkdir -p "$WORKDIR"
+JOURNAL="$WORKDIR/journal"
+
+fail() {
+    echo "FAIL (iteration $i): $1" >&2
+    echo "--- churn stderr ---" >&2
+    cat "$WORKDIR/churn.err" >&2 2>/dev/null || true
+    echo "--- verify stderr ---" >&2
+    cat "$WORKDIR/verify.err" >&2 2>/dev/null || true
+    exit 1
+}
+
+feed_churn() {
+    # Endless churn, slowly, so kill -9 lands mid-session. Unique
+    # names per iteration keep replayed ADMITs collision-free.
+    local iter=$1 j=0
+    while :; do
+        j=$((j + 1))
+        echo "ADMIT soak_${iter}_${j} 0.6 0.4"
+        echo "TICK"
+        if [ $((j % 3)) -eq 0 ]; then
+            echo "DEPART soak_${iter}_${j}"
+        fi
+        sleep 0.002
+    done
+}
+
+for ((i = 1; i <= ITERATIONS; ++i)); do
+    feed_churn "$i" 2>/dev/null |
+        "$REF_SERVE" --capacity 24,12 --journal "$JOURNAL" \
+            > /dev/null 2> "$WORKDIR/churn.err" &
+    SERVER=$!  # Last element of the pipeline: ref_serve itself.
+
+    # Let some churn through, then kill without warning.
+    sleep "0.0$((RANDOM % 8 + 1))$((RANDOM % 10))"
+    kill -9 "$SERVER" 2>/dev/null
+    wait "$SERVER" 2>/dev/null
+
+    printf 'TICK\nQUERY\nSTATS\n' |
+        "$REF_SERVE" --capacity 24,12 --journal "$JOURNAL" \
+            --selfcheck --strict \
+            > "$WORKDIR/verify.out" 2> "$WORKDIR/verify.err"
+    [ $? -eq 0 ] || fail "restart failed strict verification"
+    grep -q 'recovery: outcome=' "$WORKDIR/verify.err" ||
+        fail "missing recovery summary"
+    grep -Eq 'recovery: outcome=(clean|truncated-tail|discarded-wal|fresh)' \
+        "$WORKDIR/verify.err" || fail "unexpected recovery outcome"
+    grep -q 'selfcheck=ok' "$WORKDIR/verify.out" ||
+        fail "recovered epoch failed the self-check"
+
+    outcome=$(grep -o 'recovery: outcome=[a-z-]*' "$WORKDIR/verify.err")
+    echo "iteration $i/$ITERATIONS: $outcome"
+done
+
+echo "ok: $ITERATIONS kill -9 + restart cycles recovered cleanly"

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# SIGTERM must produce a clean, journaled shutdown: exit 0, the
+# "(shutdown)" session marker, and the final STATS dump on stderr.
+# The server reads from a fifo so the signal lands while it is
+# blocked on a live session, not at EOF.
+set -u
+
+REF_SERVE=${1:?usage: serve_sigterm_test.sh <ref_serve> <workdir>}
+WORKDIR=${2:?usage: serve_sigterm_test.sh <ref_serve> <workdir>}
+
+rm -rf "$WORKDIR"
+mkdir -p "$WORKDIR"
+FIFO="$WORKDIR/stdin.fifo"
+mkfifo "$FIFO"
+
+fail() {
+    echo "FAIL: $1" >&2
+    echo "--- server stderr ---" >&2
+    cat "$WORKDIR/err" >&2 || true
+    exit 1
+}
+
+"$REF_SERVE" --capacity 24,12 --journal "$WORKDIR/journal" \
+    < "$FIFO" > "$WORKDIR/out" 2> "$WORKDIR/err" &
+SERVER=$!
+exec 3> "$FIFO"
+printf 'ADMIT user1 0.6 0.4\nTICK\n' >&3
+
+# Wait until the tick is processed so the signal interrupts a
+# blocked getline, then ask the server to stop.
+for _ in $(seq 1 200); do
+    grep -q 'EPOCH 1' "$WORKDIR/out" 2>/dev/null && break
+    sleep 0.05
+done
+grep -q 'EPOCH 1' "$WORKDIR/out" || fail "server never processed TICK"
+
+kill -TERM "$SERVER"
+wait "$SERVER"
+STATUS=$?
+exec 3>&-
+
+[ "$STATUS" -eq 0 ] || fail "expected exit 0 after SIGTERM, got $STATUS"
+grep -q '(shutdown)' "$WORKDIR/err" || fail "missing (shutdown) marker"
+grep -q 'final stats:' "$WORKDIR/err" || fail "missing final stats dump"
+grep -q 'journal_fsyncs=' "$WORKDIR/err" || fail "missing journal stats"
+grep -q 'journal_enabled=1' "$WORKDIR/err" || fail "journal not enabled"
+
+echo "ok: SIGTERM flushed the journal and exited cleanly"

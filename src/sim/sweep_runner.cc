@@ -2,11 +2,16 @@
 
 #include <algorithm>
 #include <bit>
+#include <filesystem>
+#include <fstream>
 #include <future>
+#include <iomanip>
+#include <sstream>
 #include <type_traits>
 #include <utility>
 
 #include "util/logging.hh"
+#include "util/record_io.hh"
 
 namespace ref::sim {
 namespace {
@@ -86,6 +91,80 @@ configId(const PlatformConfig &config, const TimingParams &timing,
     h = hashCombine(h, timing.nonMemCpi);
     h = hashCombine(h, warmup_fraction);
     return h;
+}
+
+/** Disk cell-file layout version; bump on any payload change. */
+constexpr std::uint32_t kCellMagic = 0x52465043;  // "RFPC".
+constexpr std::uint32_t kCellVersion = 1;
+
+/** Serialise one cached cell: key (verified on load) + every field
+ *  of the SweepPoint, doubles as raw IEEE-754 bits. */
+std::string
+encodeCell(const SweepCellKey &key, const SweepPoint &point)
+{
+    ByteWriter writer;
+    writer.u32(kCellMagic);
+    writer.u32(kCellVersion);
+    writer.u64(key.traceId);
+    writer.u64(key.configId);
+    writer.f64(point.bandwidthGBps);
+    writer.f64(point.cacheMB);
+    writer.f64(point.ipc);
+    writer.u64(point.rngSeed);
+    const RunResult &detail = point.detail;
+    writer.u64(detail.instructions);
+    writer.f64(detail.cycles);
+    writer.f64(detail.ipc);
+    for (const CacheStats *level : {&detail.l1, &detail.l2}) {
+        writer.u64(level->accesses);
+        writer.u64(level->hits);
+        writer.u64(level->misses);
+        writer.u64(level->writebacks);
+    }
+    writer.u64(detail.dram.requests);
+    writer.u64(detail.dram.blocksTransferred);
+    writer.u64(detail.dram.totalLatencyCycles);
+    writer.u64(detail.dram.busBusyCycles);
+    writer.u64(detail.dram.rowHits);
+    writer.f64(detail.avgDramLatencyCycles);
+    writer.f64(detail.deliveredBandwidthGBps);
+    writer.u64(detail.prefetchesIssued);
+    return writer.take();
+}
+
+/** Decode a cell payload; false if the header or key mismatches. */
+bool
+decodeCell(std::string_view payload, const SweepCellKey &key,
+           SweepPoint &point)
+{
+    ByteReader reader(payload);
+    if (reader.u32() != kCellMagic || reader.u32() != kCellVersion)
+        return false;
+    if (reader.u64() != key.traceId || reader.u64() != key.configId)
+        return false;
+    point.bandwidthGBps = reader.f64();
+    point.cacheMB = reader.f64();
+    point.ipc = reader.f64();
+    point.rngSeed = reader.u64();
+    RunResult &detail = point.detail;
+    detail.instructions = reader.u64();
+    detail.cycles = reader.f64();
+    detail.ipc = reader.f64();
+    for (CacheStats *level : {&detail.l1, &detail.l2}) {
+        level->accesses = reader.u64();
+        level->hits = reader.u64();
+        level->misses = reader.u64();
+        level->writebacks = reader.u64();
+    }
+    detail.dram.requests = reader.u64();
+    detail.dram.blocksTransferred = reader.u64();
+    detail.dram.totalLatencyCycles = reader.u64();
+    detail.dram.busBusyCycles = reader.u64();
+    detail.dram.rowHits = reader.u64();
+    detail.avgDramLatencyCycles = reader.f64();
+    detail.deliveredBandwidthGBps = reader.f64();
+    detail.prefetchesIssued = reader.u64();
+    return reader.atEnd();
 }
 
 /** Wait for every future, then rethrow the first stored exception. */
@@ -203,15 +282,41 @@ ProfileCache::size() const
     return index_.size();
 }
 
+void
+ProfileCache::noteDiskHit()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.diskHits;
+}
+
+void
+ProfileCache::noteDiskWrite()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.diskWrites;
+}
+
+void
+ProfileCache::noteDiskBadEntry()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.diskBadEntries;
+}
+
 SweepRunner::SweepRunner(PlatformConfig base, std::size_t trace_ops,
                          SweepOptions options)
     : base_(base),
       traceOps_(trace_ops),
       jobs_(options.jobs == 0 ? ThreadPool::defaultJobs()
                               : options.jobs),
-      cache_(options.cacheCells)
+      cache_(options.cacheCells),
+      cacheDir_(std::move(options.cacheDir))
 {
     REF_REQUIRE(traceOps_ > 0, "need a positive trace length");
+    if (!cacheDir_.empty()) {
+        std::error_code ignored;
+        std::filesystem::create_directories(cacheDir_, ignored);
+    }
 }
 
 ThreadPool &
@@ -253,12 +358,94 @@ SweepRunner::runCell(const WorkloadSpec &workload, const Trace &trace,
     SweepPoint point;
     if (cache_.lookup(key, point))
         return point;
+    if (loadCellFromDisk(key, point)) {
+        cache_.insert(key, point);
+        return point;
+    }
 
     point = simulateSweepCell(
         trace, config, workload.timing, kWarmupFraction,
         sweepCellSeed(workload.trace.seed, bandwidth, cache_bytes));
     cache_.insert(key, point);
+    storeCellToDisk(key, point);
     return point;
+}
+
+std::string
+SweepRunner::cellPath(const SweepCellKey &key) const
+{
+    std::ostringstream name;
+    name << "cell-" << std::hex << std::setfill('0') << std::setw(16)
+         << key.traceId << "-" << std::setw(16) << key.configId
+         << ".ref";
+    return (std::filesystem::path(cacheDir_) / name.str()).string();
+}
+
+bool
+SweepRunner::loadCellFromDisk(const SweepCellKey &key,
+                              SweepPoint &point)
+{
+    if (cacheDir_.empty())
+        return false;
+    const std::string path = cellPath(key);
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open())
+        return false;  // Never simulated here before: a plain miss.
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string bytes = buffer.str();
+
+    std::size_t offset = 0;
+    std::string_view payload;
+    bool decoded = false;
+    if (readFrame(bytes, offset, payload) == FrameStatus::Ok &&
+        offset == bytes.size()) {
+        try {
+            decoded = decodeCell(payload, key, point);
+        } catch (const FatalError &) {
+            // CRC-valid but semantically short: treat as corrupt.
+            decoded = false;
+        }
+    }
+    if (!decoded) {
+        // Torn, bit-rotted, or from an incompatible version: ignore
+        // it and recompute — the rewrite replaces the bad file.
+        cache_.noteDiskBadEntry();
+        return false;
+    }
+    cache_.noteDiskHit();
+    return true;
+}
+
+void
+SweepRunner::storeCellToDisk(const SweepCellKey &key,
+                             const SweepPoint &point)
+{
+    if (cacheDir_.empty())
+        return;
+    const std::string path = cellPath(key);
+    const std::string tmp = path + ".tmp";
+    const std::string frame = frameRecord(encodeCell(key, point));
+
+    // Writes are serialised in-process; across processes the rename
+    // is atomic and both writers produce bit-identical bytes, so the
+    // worst interleaving leaves a torn file that the next reader
+    // classifies as corrupt and recomputes.
+    std::lock_guard<std::mutex> lock(diskMutex_);
+    {
+        std::ofstream out(tmp,
+                          std::ios::binary | std::ios::trunc);
+        if (!out.is_open())
+            return;  // Unwritable cache dir: degrade to no disk tier.
+        out.write(frame.data(),
+                  static_cast<std::streamsize>(frame.size()));
+        if (!out.good())
+            return;
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (!ec)
+        cache_.noteDiskWrite();
 }
 
 std::vector<SweepPoint>
@@ -272,12 +459,20 @@ SweepRunner::logCacheSummary(const char *scope, std::size_t cells,
                              const ProfileCacheStats &before) const
 {
     const ProfileCacheStats now = cache_.stats();
+    std::ostringstream disk;
+    if (!cacheDir_.empty()) {
+        disk << " disk_hits=" << now.diskHits - before.diskHits
+             << " disk_writes=" << now.diskWrites - before.diskWrites
+             << " disk_bad=" << now.diskBadEntries -
+                                    before.diskBadEntries;
+    }
     REF_INFORM("sweep cache [" << scope << "]: " << cells
                                << " cells, hits="
                                << now.hits - before.hits << " misses="
                                << now.misses - before.misses
                                << " evictions="
                                << now.evictions - before.evictions
+                               << disk.str()
                                << " (lifetime hits=" << now.hits
                                << " misses=" << now.misses
                                << " evictions=" << now.evictions

@@ -20,7 +20,12 @@
  * A bounded in-memory LRU cache keyed by (trace id, config id)
  * dedupes repeated cells, so mechanisms that re-profile the same
  * workload on overlapping grids (figure harnesses, online
- * re-profiling) pay for each distinct simulation once.
+ * re-profiling) pay for each distinct simulation once. An optional
+ * disk tier (SweepOptions::cacheDir) persists each distinct cell as
+ * one CRC32-framed record file — the same util/record_io.hh framing
+ * the svc journal uses — so separate runs and separate processes
+ * share simulation work; corrupt or torn entries are detected by the
+ * frame CRC and silently recomputed.
  */
 
 #ifndef REF_SIM_SWEEP_RUNNER_HH
@@ -30,6 +35,7 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -72,9 +78,13 @@ struct SweepCellKeyHash
 /** Hit/miss counters for the profile cell cache. */
 struct ProfileCacheStats
 {
-    std::size_t hits = 0;
-    std::size_t misses = 0;
-    std::size_t evictions = 0;
+    std::size_t hits = 0;       //!< Memory-tier hits.
+    std::size_t misses = 0;     //!< Memory-tier misses.
+    std::size_t evictions = 0;  //!< Memory-tier LRU evictions.
+    std::size_t diskHits = 0;       //!< Cells loaded from cacheDir.
+    std::size_t diskWrites = 0;     //!< Cells persisted to cacheDir.
+    std::size_t diskBadEntries = 0; //!< Corrupt/mismatched entries
+                                    //!< ignored and recomputed.
 };
 
 /**
@@ -97,6 +107,12 @@ class ProfileCache
     ProfileCacheStats stats() const;
     std::size_t size() const;
     std::size_t capacity() const { return capacity_; }
+
+    /** Disk-tier counters, maintained by the owning SweepRunner so
+     *  both tiers report through one ProfileCacheStats. */
+    void noteDiskHit();
+    void noteDiskWrite();
+    void noteDiskBadEntry();
 
   private:
     using LruList = std::list<std::pair<SweepCellKey, SweepPoint>>;
@@ -121,6 +137,15 @@ struct SweepOptions
     std::size_t jobs = 0;
     /** Cell-cache capacity in cells; 0 disables deduplication. */
     std::size_t cacheCells = 4096;
+    /**
+     * Directory for the persistent cell cache; empty disables the
+     * disk tier. Each distinct (trace id, config id) cell is one
+     * CRC32-framed file, written atomically (tmp + rename), so
+     * concurrent runners — even in different processes — can share
+     * a directory: corrupt or torn entries fail the frame CRC and
+     * are recomputed, never trusted.
+     */
+    std::string cacheDir{};
 };
 
 /**
@@ -202,12 +227,18 @@ class SweepRunner
     SweepPoint runCell(const WorkloadSpec &workload,
                        const Trace &trace, double bandwidth,
                        std::size_t cache_bytes);
+    std::string cellPath(const SweepCellKey &key) const;
+    bool loadCellFromDisk(const SweepCellKey &key, SweepPoint &point);
+    void storeCellToDisk(const SweepCellKey &key,
+                         const SweepPoint &point);
     ThreadPool &pool();
 
     PlatformConfig base_;
     std::size_t traceOps_;
     std::size_t jobs_;
     ProfileCache cache_;
+    std::string cacheDir_;   //!< Empty: disk tier disabled.
+    std::mutex diskMutex_;   //!< Serialises disk-tier writes.
     std::mutex poolMutex_;              //!< Guards pool_ creation.
     std::unique_ptr<ThreadPool> pool_;  //!< Lazily built when jobs_ > 1.
 };

@@ -110,6 +110,17 @@ class AgentRegistry
     /** Total admits + departs + updates applied so far. */
     std::uint64_t churnEvents() const { return churnEvents_; }
 
+    /**
+     * Recovery only: restore the lifetime churn counter after a
+     * snapshot re-admitted the surviving agents (each re-admission
+     * bumped it once, which would otherwise undercount the departed
+     * agents' history).
+     */
+    void restoreChurnEvents(std::uint64_t events)
+    {
+        churnEvents_ = events;
+    }
+
   private:
     void validate(const std::string &name,
                   const linalg::Vector &elasticities) const;

@@ -26,6 +26,10 @@ AllocationService::AllocationService(ServiceConfig config)
                         << config_.capacity.count()
                         << "-resource systems");
     }
+    if (config_.journal.enabled()) {
+        journal_ = std::make_unique<Journal>(config_.journal);
+        recoverLocked();
+    }
 }
 
 void
@@ -33,8 +37,15 @@ AllocationService::admit(const std::string &name,
                          const linalg::Vector &elasticities)
 {
     std::lock_guard<std::mutex> lock(writeMutex_);
-    registry_.admit(name, elasticities, driver_.epoch());
+    const std::uint64_t epoch = driver_.epoch();
+    registry_.admit(name, elasticities, epoch);
     metrics_.recordAdmit();
+    JournalRecord record;
+    record.type = JournalRecord::Type::Admit;
+    record.name = name;
+    record.elasticities = elasticities;
+    record.epoch = epoch;
+    journalAppendLocked(record);
 }
 
 void
@@ -43,6 +54,10 @@ AllocationService::depart(const std::string &name)
     std::lock_guard<std::mutex> lock(writeMutex_);
     registry_.depart(name);
     metrics_.recordDepart();
+    JournalRecord record;
+    record.type = JournalRecord::Type::Depart;
+    record.name = name;
+    journalAppendLocked(record);
 }
 
 void
@@ -52,6 +67,11 @@ AllocationService::update(const std::string &name,
     std::lock_guard<std::mutex> lock(writeMutex_);
     registry_.update(name, elasticities);
     metrics_.recordUpdate();
+    JournalRecord record;
+    record.type = JournalRecord::Type::Update;
+    record.name = name;
+    record.elasticities = elasticities;
+    journalAppendLocked(record);
 }
 
 EpochResult
@@ -60,7 +80,17 @@ AllocationService::tick()
     std::lock_guard<std::mutex> lock(writeMutex_);
     EpochResult result = driver_.tick();
     metrics_.recordEpoch(result);
+    publishEpochLocked(result);
+    JournalRecord record;
+    record.type = JournalRecord::Type::Tick;
+    record.epoch = result.epoch;
+    journalAppendLocked(record);
+    return result;
+}
 
+void
+AllocationService::publishEpochLocked(const EpochResult &result)
+{
     auto next = std::make_shared<ServiceSnapshot>();
     next->epoch = result.epoch;
     next->agents = result.agentNames;
@@ -81,7 +111,6 @@ AllocationService::tick()
         }
     }
     publish(std::move(next));
-    return result;
 }
 
 std::shared_ptr<const ServiceSnapshot>
@@ -103,6 +132,199 @@ AllocationService::liveAgents() const
 {
     std::lock_guard<std::mutex> lock(writeMutex_);
     return registry_.size();
+}
+
+MetricsSnapshot
+AllocationService::metrics() const
+{
+    MetricsSnapshot snapshot = metrics_.snapshot();
+    std::lock_guard<std::mutex> lock(writeMutex_);
+    if (journal_)
+        snapshot.journal = journal_->stats();
+    snapshot.recovery = recovery_;
+    return snapshot;
+}
+
+void
+AllocationService::syncJournal()
+{
+    std::lock_guard<std::mutex> lock(writeMutex_);
+    if (journal_)
+        journal_->sync();
+}
+
+ServiceState
+AllocationService::captureStateLocked() const
+{
+    ServiceState state;
+    state.capacities = config_.capacity.capacities();
+    state.agents.reserve(registry_.size());
+    for (const auto &agent : registry_.agents()) {
+        state.agents.push_back(PersistedAgent{
+            agent.name, agent.elasticities, agent.admittedEpoch});
+    }
+    state.churnEvents = registry_.churnEvents();
+    state.epoch = driver_.epoch();
+    state.lastEnforcedEpoch = driver_.lastEnforcedEpoch();
+    state.enforcedNames = driver_.enforcedNames();
+    state.enforced = driver_.enforced();
+
+    const auto published = snapshot();
+    state.publishedEpoch = published->epoch;
+    state.publishedAgents = published->agents;
+    state.publishedAllocation = published->allocation;
+    state.propertiesChecked = published->propertiesChecked;
+    state.sharingIncentives = published->sharingIncentives;
+    state.envyFreeness = published->envyFreeness;
+    return state;
+}
+
+void
+AllocationService::applyRecordLocked(const JournalRecord &record)
+{
+    switch (record.type) {
+    case JournalRecord::Type::Admit:
+        registry_.admit(record.name, record.elasticities,
+                        record.epoch);
+        break;
+    case JournalRecord::Type::Update:
+        registry_.update(record.name, record.elasticities);
+        break;
+    case JournalRecord::Type::Depart:
+        registry_.depart(record.name);
+        break;
+    case JournalRecord::Type::Tick: {
+        const EpochResult result = driver_.tick();
+        // The journal only holds accepted operations, so replay is
+        // deterministic; a mismatched epoch means the wal and the
+        // process disagree about history — refuse to guess.
+        REF_REQUIRE(result.epoch == record.epoch,
+                    "journal tick record expects epoch "
+                        << record.epoch << ", replay reached "
+                        << result.epoch);
+        publishEpochLocked(result);
+        break;
+    }
+    case JournalRecord::Type::Begin:
+        REF_PANIC("Begin record leaked out of wal replay");
+    }
+}
+
+void
+AllocationService::recoverLocked()
+{
+    // 1. Snapshot, if any.
+    ServiceState state;
+    std::string error;
+    const SnapshotReadStatus status = readSnapshotFile(
+        journal_->snapshotPath(), state, error);
+    REF_REQUIRE(status != SnapshotReadStatus::Bad,
+                "cannot recover journal directory '"
+                    << config_.journal.directory << "': " << error);
+
+    std::uint64_t generation = 0;
+    if (status == SnapshotReadStatus::Ok) {
+        REF_REQUIRE(state.capacities ==
+                        config_.capacity.capacities(),
+                    "journal directory '"
+                        << config_.journal.directory
+                        << "' was written for a different capacity "
+                           "configuration");
+        for (const auto &agent : state.agents)
+            registry_.admit(agent.name, agent.elasticities,
+                            agent.admittedEpoch);
+        registry_.restoreChurnEvents(state.churnEvents);
+        driver_.restore(state.epoch, state.lastEnforcedEpoch,
+                        state.enforced, state.enforcedNames);
+
+        auto published = std::make_shared<ServiceSnapshot>();
+        published->epoch = state.publishedEpoch;
+        published->agents = state.publishedAgents;
+        published->allocation = state.publishedAllocation;
+        published->propertiesChecked = state.propertiesChecked;
+        published->sharingIncentives = state.sharingIncentives;
+        published->envyFreeness = state.envyFreeness;
+        if (config_.buildEnforcement &&
+            !state.enforcedNames.empty()) {
+            // The plan is a pure function of the enforced
+            // allocation, so re-deriving it beats persisting it.
+            published->enforcement = buildEnforcementPlan(
+                state.enforcedNames, state.enforced,
+                config_.capacity, config_.associativity);
+            published->enforcement.epoch = state.lastEnforcedEpoch;
+        }
+        publish(std::move(published));
+        generation = state.generation;
+        recovery_.snapshotLoaded = true;
+    }
+
+    // 2. Wal replay through the normal mutation paths.
+    const Journal::WalReplay wal = journal_->replay(generation);
+    for (const auto &record : wal.records)
+        applyRecordLocked(record);
+    recovery_.replayedRecords = wal.records.size();
+    recovery_.truncatedBytes = wal.truncatedBytes;
+    if (wal.discardedStale)
+        recovery_.outcome = RecoveryOutcome::DiscardedWal;
+    else if (wal.truncatedTail)
+        recovery_.outcome = RecoveryOutcome::TruncatedTail;
+    else if (!recovery_.snapshotLoaded && !wal.hadWal)
+        recovery_.outcome = RecoveryOutcome::Fresh;
+    else
+        recovery_.outcome = RecoveryOutcome::Clean;
+
+    // 3. Start this process's own generation: compact so the wal
+    // never re-grows across restarts and the torn tail (if any) is
+    // physically discarded.
+    generation_ = generation;
+    compactLocked();
+    recovery_.generation = generation_;
+}
+
+void
+AllocationService::journalAppendLocked(const JournalRecord &record)
+{
+    if (!journal_)
+        return;
+    if (journal_->degraded()) {
+        // The mutation is already applied in memory; if backoff says
+        // so, try to resync. Success or not, this record is covered:
+        // a successful resync snapshot captured post-mutation state.
+        if (journal_->noteSkippedAndMaybeRetry()) {
+            if (compactLocked())
+                journal_->noteReopened();
+        }
+        return;
+    }
+    if (!journal_->append(record))
+        return;  // Entered degraded mode; resync will re-capture.
+    if (config_.journal.snapshotEvery != 0 &&
+        journal_->recordsSinceBegin() >=
+            config_.journal.snapshotEvery &&
+        journal_->recordsSinceBegin() %
+                config_.journal.snapshotEvery ==
+            0)
+        compactLocked();
+}
+
+bool
+AllocationService::compactLocked()
+{
+    ServiceState state = captureStateLocked();
+    state.generation = generation_ + 1;
+    std::string error;
+    if (!writeSnapshotFile(config_.journal.directory,
+                           journal_->snapshotTmpPath(),
+                           journal_->snapshotPath(), state, error)) {
+        journal_->noteSnapshot(false);
+        REF_WARN("snapshot compaction failed ("
+                 << error << "); journal keeps the current wal");
+        return false;
+    }
+    journal_->noteSnapshot(true);
+    generation_ = state.generation;
+    return journal_->begin(generation_,
+                           config_.capacity.capacities());
 }
 
 } // namespace ref::svc

@@ -8,6 +8,17 @@
  * cost one refcounted pointer copy and proceed concurrently with the
  * next epoch's reallocation (copy-on-write: old snapshots stay valid
  * for readers still holding them).
+ *
+ * With a journal directory configured (svc/journal.hh), every
+ * accepted mutation and tick is appended to a CRC32-framed
+ * write-ahead log after it is applied, and construction first
+ * recovers whatever a previous process left behind: snapshot
+ * restore, wal replay through the exact same registry/driver code
+ * paths, tail truncation on torn frames, then a fresh compaction so
+ * the new process starts on its own generation. Journal IO errors
+ * degrade gracefully — the service keeps serving, skipped records
+ * are counted, and journaling resumes through a resync snapshot
+ * once the disk recovers.
  */
 
 #ifndef REF_SVC_ALLOCATION_SERVICE_HH
@@ -22,7 +33,9 @@
 #include "svc/agent_registry.hh"
 #include "svc/enforcement_bridge.hh"
 #include "svc/epoch_driver.hh"
+#include "svc/journal.hh"
 #include "svc/service_metrics.hh"
+#include "svc/snapshot.hh"
 
 namespace ref::svc {
 
@@ -37,6 +50,9 @@ struct ServiceConfig
     /** Derive enforcement artifacts each enforced epoch (requires
      *  the 2-resource bandwidth+cache convention). */
     bool buildEnforcement = true;
+    /** Durability; journal.directory empty keeps the service
+     *  memory-only. */
+    JournalConfig journal;
 };
 
 /** Immutable view of the service after some epoch. */
@@ -61,6 +77,12 @@ struct ServiceSnapshot
 class AllocationService
 {
   public:
+    /**
+     * With config.journal enabled, recovers the journal directory's
+     * state before accepting traffic. Throws FatalError when the
+     * directory holds a corrupt snapshot or state written for a
+     * different capacity configuration.
+     */
     explicit AllocationService(ServiceConfig config = {});
 
     /** @name Churn (validated; throws FatalError on bad input). */
@@ -81,7 +103,8 @@ class AllocationService
      */
     std::shared_ptr<const ServiceSnapshot> snapshot() const;
 
-    MetricsSnapshot metrics() const { return metrics_.snapshot(); }
+    /** Service metrics, journal/durability counters included. */
+    MetricsSnapshot metrics() const;
 
     /** Count a command rejected at the protocol layer. */
     void noteRejected() { metrics_.recordRejected(); }
@@ -89,17 +112,39 @@ class AllocationService
     /** Count a query served from the snapshot. */
     void noteQuery() { metrics_.recordQuery(); }
 
+    /** How construction-time recovery went. */
+    const RecoveryInfo &recovery() const { return recovery_; }
+
+    /** Flush + fsync the journal now (shutdown/signal path). */
+    void syncJournal();
+
     std::size_t liveAgents() const;
     const ServiceConfig &config() const { return config_; }
 
   private:
     void publish(std::shared_ptr<const ServiceSnapshot> next);
+    /** Build + publish the post-tick snapshot (tick and replay). */
+    void publishEpochLocked(const EpochResult &result);
+    /** Recover snapshot + wal from the journal directory. */
+    void recoverLocked();
+    /** Apply one replayed wal record through the normal paths. */
+    void applyRecordLocked(const JournalRecord &record);
+    /** Journal one accepted record; handles degraded mode. */
+    void journalAppendLocked(const JournalRecord &record);
+    /** Write snapshot generation+1, then restart the wal on it. */
+    bool compactLocked();
+    /** Full service state for a snapshot. */
+    ServiceState captureStateLocked() const;
 
     ServiceConfig config_;
     mutable std::mutex writeMutex_;  //!< Serializes churn and ticks.
     AgentRegistry registry_;
     EpochDriver driver_;
     ServiceMetrics metrics_;
+
+    std::unique_ptr<Journal> journal_;  //!< Null when disabled.
+    RecoveryInfo recovery_;
+    std::uint64_t generation_ = 0;  //!< Current snapshot generation.
 
     mutable std::mutex snapshotMutex_;  //!< Guards the pointer only.
     std::shared_ptr<const ServiceSnapshot> snapshot_;

@@ -74,6 +74,8 @@ EpochDriver::tick()
         // Idle system: publish the empty allocation and drop any
         // stale enforcement.
         result.enforcementChanged = !enforcedNames_.empty();
+        if (result.enforcementChanged)
+            lastEnforcedEpoch_ = epoch_;
         enforced_ = core::Allocation();
         enforcedNames_.clear();
         result.latency = std::chrono::steady_clock::now() - start;
@@ -107,10 +109,27 @@ EpochDriver::tick()
     if (result.enforcementChanged) {
         enforced_ = result.allocation;
         enforcedNames_ = result.agentNames;
+        lastEnforcedEpoch_ = epoch_;
     }
 
     result.latency = std::chrono::steady_clock::now() - start;
     return result;
+}
+
+void
+EpochDriver::restore(std::uint64_t epoch,
+                     std::uint64_t last_enforced_epoch,
+                     core::Allocation enforced,
+                     std::vector<std::string> enforced_names)
+{
+    REF_REQUIRE(enforced.agents() == enforced_names.size(),
+                "enforced allocation has " << enforced.agents()
+                    << " rows for " << enforced_names.size()
+                    << " agent names");
+    epoch_ = epoch;
+    lastEnforcedEpoch_ = last_enforced_epoch;
+    enforced_ = std::move(enforced);
+    enforcedNames_ = std::move(enforced_names);
 }
 
 } // namespace ref::svc

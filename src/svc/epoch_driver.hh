@@ -92,10 +92,34 @@ class EpochDriver
     /** The allocation enforcement currently runs (for hysteresis). */
     const core::Allocation &enforced() const { return enforced_; }
 
+    /** Agents of the enforced allocation, admission order. */
+    const std::vector<std::string> &enforcedNames() const
+    {
+        return enforcedNames_;
+    }
+
+    /** Epoch whose tick last re-programmed enforcement. */
+    std::uint64_t lastEnforcedEpoch() const
+    {
+        return lastEnforcedEpoch_;
+    }
+
+    /**
+     * Recovery only: restore the epoch clock and the hysteresis
+     * baseline exactly as a snapshot captured them, so the first
+     * post-recovery tick takes the same enforce-vs-hold branch a
+     * never-crashed service would.
+     */
+    void restore(std::uint64_t epoch,
+                 std::uint64_t last_enforced_epoch,
+                 core::Allocation enforced,
+                 std::vector<std::string> enforced_names);
+
   private:
     AgentRegistry &registry_;
     EpochConfig config_;
     std::uint64_t epoch_ = 0;
+    std::uint64_t lastEnforcedEpoch_ = 0;
     core::Allocation enforced_;
     std::vector<std::string> enforcedNames_;
 };

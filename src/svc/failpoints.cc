@@ -1,0 +1,143 @@
+#include "failpoints.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace ref::svc {
+
+Failpoints &
+Failpoints::instance()
+{
+    static Failpoints registry;
+    return registry;
+}
+
+void
+Failpoints::arm(const std::string &site, FailpointSpec spec)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    sites_[site] = Armed{spec, 0, 0};
+}
+
+void
+Failpoints::clear(const std::string &site)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    sites_.erase(site);
+}
+
+void
+Failpoints::clearAll()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    sites_.clear();
+}
+
+std::uint64_t
+Failpoints::firedCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return fired_;
+}
+
+std::optional<FailpointHit>
+Failpoints::check(const std::string &site)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto found = sites_.find(site);
+    if (found == sites_.end())
+        return std::nullopt;
+    Armed &armed = found->second;
+    if (armed.passes < armed.spec.skip) {
+        ++armed.passes;
+        return std::nullopt;
+    }
+    ++armed.passes;
+    ++armed.fired;
+    ++fired_;
+    const FailpointHit hit{armed.spec.action, armed.spec.errnoValue,
+                           armed.spec.exitProcess};
+    if (armed.spec.count != 0 && armed.fired >= armed.spec.count)
+        sites_.erase(found);
+    return hit;
+}
+
+void
+Failpoints::armFromSpec(const std::string &spec)
+{
+    std::stringstream entries(spec);
+    std::string entry;
+    while (std::getline(entries, entry, ',')) {
+        if (entry.empty())
+            continue;
+        const std::size_t eq = entry.find('=');
+        REF_REQUIRE(eq != std::string::npos && eq > 0,
+                    "failpoint entry '" << entry
+                        << "' is not site=action");
+        const std::string site = entry.substr(0, eq);
+        const std::string rest = entry.substr(eq + 1);
+
+        // The action name is the leading run of letters ("exit"
+        // contains an 'x', so modifiers are parsed positionally
+        // after it, never searched for).
+        std::size_t cursor = 0;
+        while (cursor < rest.size() &&
+               std::isalpha(
+                   static_cast<unsigned char>(rest[cursor])))
+            ++cursor;
+        const std::string action = rest.substr(0, cursor);
+
+        FailpointSpec armed;
+        const auto parseDigits = [&](std::uint64_t &into) {
+            const std::size_t start = cursor;
+            while (cursor < rest.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(rest[cursor])))
+                ++cursor;
+            REF_REQUIRE(cursor > start,
+                        "failpoint entry '"
+                            << entry << "' has a modifier with no "
+                            << "digits");
+            into = std::stoull(rest.substr(start, cursor - start));
+        };
+        while (cursor < rest.size()) {
+            if (rest[cursor] == '@') {
+                ++cursor;
+                parseDigits(armed.skip);
+            } else if (rest[cursor] == 'x') {
+                ++cursor;
+                parseDigits(armed.count);
+            } else {
+                REF_FATAL("failpoint entry '"
+                          << entry << "' has unexpected text '"
+                          << rest.substr(cursor) << "'");
+            }
+        }
+
+        if (action == "eio") {
+            armed.action = FailAction::Error;
+            armed.errnoValue = EIO;
+        } else if (action == "enospc") {
+            armed.action = FailAction::Error;
+            armed.errnoValue = ENOSPC;
+        } else if (action == "short") {
+            armed.action = FailAction::ShortWrite;
+            armed.errnoValue = ENOSPC;
+        } else if (action == "crash") {
+            armed.action = FailAction::Crash;
+        } else if (action == "exit") {
+            armed.action = FailAction::Crash;
+            armed.exitProcess = true;
+        } else {
+            REF_FATAL("failpoint entry '"
+                      << entry << "' has unknown action '" << action
+                      << "' (want eio|enospc|short|crash|exit)");
+        }
+        arm(site, armed);
+    }
+}
+
+} // namespace ref::svc

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Failpoint registry for fault-injection testing.
+ *
+ * Durable-IO call sites in the journal/snapshot layer (see the site
+ * names in svc/journal.cc) consult this registry before touching the
+ * OS, so tests can inject short writes, ENOSPC/EIO on write or
+ * fsync, and crash-at-point — deterministically, without root, and
+ * without a real failing disk. Production builds keep the registry
+ * compiled in but empty: an unarmed lookup is one mutex-guarded map
+ * probe on a cold path (file IO), which is noise next to the write
+ * itself.
+ *
+ * Crash semantics come in two flavours:
+ *  - throwing (default): the shim writes a partial frame, then
+ *    throws CrashInjected. In-process tests catch it, abandon the
+ *    service object, and recover from the directory exactly as a
+ *    restarted process would — the on-disk bytes are identical to a
+ *    real mid-write death.
+ *  - process exit: the shim writes the partial frame, then calls
+ *    _Exit(kCrashExitCode). CLI-level tests (REF_FAILPOINTS=...)
+ *    use this to kill a real ref_serve.
+ */
+
+#ifndef REF_SVC_FAILPOINTS_HH
+#define REF_SVC_FAILPOINTS_HH
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+namespace ref::svc {
+
+/** Thrown by a Crash-armed failpoint in throwing mode. */
+class CrashInjected : public std::runtime_error
+{
+  public:
+    explicit CrashInjected(const std::string &site)
+        : std::runtime_error("crash injected at failpoint '" + site +
+                             "'"),
+          site_(site)
+    {}
+
+    const std::string &site() const { return site_; }
+
+  private:
+    std::string site_;
+};
+
+/** Exit status a process-exit crash failpoint dies with. */
+inline constexpr int kCrashExitCode = 137;
+
+/** What an armed failpoint does when it fires. */
+enum class FailAction {
+    Error,       //!< The IO call fails with spec.errnoValue.
+    ShortWrite,  //!< Half the bytes land, then errnoValue failure.
+    Crash,       //!< Half the bytes land, then crash (see above).
+};
+
+/** One armed failpoint. */
+struct FailpointSpec
+{
+    FailAction action = FailAction::Error;
+    /** errno reported for Error/ShortWrite (EIO, ENOSPC, ...). */
+    int errnoValue = 5;  // EIO
+    /** Successful passes before the first firing (0 = fire now). */
+    std::uint64_t skip = 0;
+    /** Firings before auto-disarm; 0 = fire forever. */
+    std::uint64_t count = 1;
+    /** Crash flavour: exit the process instead of throwing. */
+    bool exitProcess = false;
+};
+
+/** What the shim should do for the current IO call. */
+struct FailpointHit
+{
+    FailAction action;
+    int errnoValue;
+    bool exitProcess;
+};
+
+/**
+ * Process-global registry of armed failpoints, keyed by site name.
+ * Thread-safe; tests arm/clear around the code under test.
+ */
+class Failpoints
+{
+  public:
+    static Failpoints &instance();
+
+    void arm(const std::string &site, FailpointSpec spec);
+    void clear(const std::string &site);
+    void clearAll();
+
+    /**
+     * Called by the IO shim at @p site: counts the pass and returns
+     * the action to inject, or nullopt to proceed normally.
+     */
+    std::optional<FailpointHit> check(const std::string &site);
+
+    /** Lifetime count of injected faults (all sites). */
+    std::uint64_t firedCount() const;
+
+    /**
+     * Arm failpoints from a spec string (the REF_FAILPOINTS
+     * environment variable):
+     *
+     *   site=action[@skip][xCount][,site=action...]
+     *
+     * with action one of eio | enospc | short | crash | exit
+     * (exit = Crash with exitProcess). "@skip" passes that many
+     * calls first; "xCount" fires that many times (x0 = forever).
+     * E.g. "journal.write=exit@7" kills the process on the 8th
+     * journal write. Throws FatalError on a malformed spec.
+     */
+    void armFromSpec(const std::string &spec);
+
+  private:
+    struct Armed
+    {
+        FailpointSpec spec;
+        std::uint64_t passes = 0;  //!< Calls seen so far.
+        std::uint64_t fired = 0;   //!< Faults injected so far.
+    };
+
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, Armed> sites_;
+    std::uint64_t fired_ = 0;
+};
+
+} // namespace ref::svc
+
+#endif // REF_SVC_FAILPOINTS_HH

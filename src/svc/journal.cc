@@ -1,0 +1,482 @@
+#include "journal.hh"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <optional>
+#include <utility>
+
+#include "svc/failpoints.hh"
+#include "util/logging.hh"
+#include "util/record_io.hh"
+
+namespace ref::svc {
+
+const char *
+toString(RecoveryOutcome outcome)
+{
+    switch (outcome) {
+    case RecoveryOutcome::Disabled: return "disabled";
+    case RecoveryOutcome::Fresh: return "fresh";
+    case RecoveryOutcome::Clean: return "clean";
+    case RecoveryOutcome::TruncatedTail: return "truncated-tail";
+    case RecoveryOutcome::DiscardedWal: return "discarded-wal";
+    }
+    return "unknown";
+}
+
+namespace io {
+namespace {
+
+/**
+ * Consult the failpoint registry for a write-shaped call. Returns
+ * the number of bytes to actually hand to the OS before failing, or
+ * nullopt to proceed normally. Crash actions do not return.
+ */
+std::optional<std::pair<std::size_t, int>>
+injectWrite(int fd, std::string_view bytes, const char *site)
+{
+    const auto hit = Failpoints::instance().check(site);
+    if (!hit)
+        return std::nullopt;
+    switch (hit->action) {
+    case FailAction::Error:
+        return std::make_pair(std::size_t{0}, hit->errnoValue);
+    case FailAction::ShortWrite:
+        return std::make_pair(bytes.size() / 2, hit->errnoValue);
+    case FailAction::Crash: {
+        // Land a torn prefix first, exactly like a process dying
+        // mid-write, then stop the world.
+        const std::string_view torn = bytes.substr(0, bytes.size() / 2);
+        if (fd >= 0 && !torn.empty()) {
+            const ssize_t written [[maybe_unused]] =
+                ::write(fd, torn.data(), torn.size());
+        }
+        if (hit->exitProcess)
+            std::_Exit(kCrashExitCode);
+        throw CrashInjected(site);
+    }
+    }
+    return std::nullopt;
+}
+
+/** Non-write failpoint sites (open/fsync/rename): error or crash. */
+int
+injectPlain(const char *site)
+{
+    const auto hit = Failpoints::instance().check(site);
+    if (!hit)
+        return 0;
+    if (hit->action == FailAction::Crash) {
+        if (hit->exitProcess)
+            std::_Exit(kCrashExitCode);
+        throw CrashInjected(site);
+    }
+    return hit->errnoValue;
+}
+
+int
+openWith(const std::string &path, int flags, int &fd,
+         const char *site)
+{
+    if (const int injected = injectPlain(site))
+        return injected;
+    fd = ::open(path.c_str(), flags, 0644);
+    return fd < 0 ? errno : 0;
+}
+
+} // namespace
+
+int
+openAppend(const std::string &path, int &fd, const char *site)
+{
+    return openWith(path, O_CREAT | O_WRONLY | O_APPEND, fd, site);
+}
+
+int
+openTrunc(const std::string &path, int &fd, const char *site)
+{
+    return openWith(path, O_CREAT | O_WRONLY | O_TRUNC, fd, site);
+}
+
+int
+writeAll(int fd, std::string_view bytes, const char *site)
+{
+    std::size_t limit = bytes.size();
+    int pendingErrno = 0;
+    if (const auto injected = injectWrite(fd, bytes, site)) {
+        limit = injected->first;
+        pendingErrno = injected->second;
+    }
+    std::size_t done = 0;
+    while (done < limit) {
+        const ssize_t written =
+            ::write(fd, bytes.data() + done, limit - done);
+        if (written < 0) {
+            if (errno == EINTR)
+                continue;
+            return errno;
+        }
+        done += static_cast<std::size_t>(written);
+    }
+    return pendingErrno;
+}
+
+int
+syncFd(int fd, const char *site)
+{
+    if (const int injected = injectPlain(site))
+        return injected;
+    return ::fsync(fd) < 0 ? errno : 0;
+}
+
+void
+closeFd(int &fd)
+{
+    if (fd >= 0)
+        ::close(fd);
+    fd = -1;
+}
+
+int
+renameFile(const std::string &from, const std::string &to,
+           const char *site)
+{
+    if (const int injected = injectPlain(site))
+        return injected;
+    return ::rename(from.c_str(), to.c_str()) < 0 ? errno : 0;
+}
+
+int
+syncDir(const std::string &directory, const char *site)
+{
+    if (const int injected = injectPlain(site))
+        return injected;
+    const int fd = ::open(directory.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0)
+        return errno;
+    const int result = ::fsync(fd) < 0 ? errno : 0;
+    ::close(fd);
+    return result;
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        return false;
+    out.clear();
+    char buffer[1 << 16];
+    std::size_t got;
+    while ((got = std::fread(buffer, 1, sizeof(buffer), file)) > 0)
+        out.append(buffer, got);
+    const bool ok = std::ferror(file) == 0;
+    std::fclose(file);
+    return ok;
+}
+
+} // namespace io
+
+std::string
+encodeJournalRecord(const JournalRecord &record)
+{
+    ByteWriter writer;
+    writer.u8(static_cast<std::uint8_t>(record.type));
+    writer.u64(record.epoch);
+    switch (record.type) {
+    case JournalRecord::Type::Begin:
+        writer.doubles(record.elasticities);
+        break;
+    case JournalRecord::Type::Admit:
+    case JournalRecord::Type::Update:
+        writer.str(record.name);
+        writer.doubles(record.elasticities);
+        break;
+    case JournalRecord::Type::Depart:
+        writer.str(record.name);
+        break;
+    case JournalRecord::Type::Tick:
+        break;
+    }
+    return writer.take();
+}
+
+JournalRecord
+decodeJournalRecord(std::string_view payload)
+{
+    ByteReader reader(payload);
+    JournalRecord record;
+    const std::uint8_t type = reader.u8();
+    REF_REQUIRE(type <=
+                    static_cast<std::uint8_t>(
+                        JournalRecord::Type::Tick),
+                "journal record has unknown type " << int(type));
+    record.type = static_cast<JournalRecord::Type>(type);
+    record.epoch = reader.u64();
+    switch (record.type) {
+    case JournalRecord::Type::Begin:
+        record.elasticities = reader.doubles();
+        break;
+    case JournalRecord::Type::Admit:
+    case JournalRecord::Type::Update:
+        record.name = reader.str();
+        record.elasticities = reader.doubles();
+        break;
+    case JournalRecord::Type::Depart:
+        record.name = reader.str();
+        break;
+    case JournalRecord::Type::Tick:
+        break;
+    }
+    REF_REQUIRE(reader.atEnd(),
+                "journal record has " << reader.remaining()
+                                      << " trailing bytes");
+    return record;
+}
+
+Journal::Journal(JournalConfig config) : config_(std::move(config))
+{
+    stats_.enabled = config_.enabled();
+    retryBackoff_ = std::max<std::uint64_t>(
+        1, config_.retryBackoffStart);
+    if (config_.enabled()) {
+        // Best-effort: a directory that still cannot be opened just
+        // degrades the journal on first use, it never stops the
+        // service.
+        std::error_code ignored;
+        std::filesystem::create_directories(config_.directory,
+                                            ignored);
+    }
+}
+
+Journal::~Journal()
+{
+    io::closeFd(fd_);
+}
+
+std::string
+Journal::walPath() const
+{
+    return config_.directory + "/wal.ref";
+}
+
+std::string
+Journal::snapshotPath() const
+{
+    return config_.directory + "/snapshot.ref";
+}
+
+std::string
+Journal::snapshotTmpPath() const
+{
+    return config_.directory + "/snapshot.tmp";
+}
+
+Journal::WalReplay
+Journal::replay(std::uint64_t expectedGeneration) const
+{
+    WalReplay result;
+    std::string bytes;
+    if (!io::readFile(walPath(), bytes))
+        return result;
+    result.hadWal = true;
+
+    std::size_t offset = 0;
+    std::string_view payload;
+
+    // Frame 0 must be the Begin header naming the generation this
+    // wal extends. Anything else means the wal died mid-begin; its
+    // whole content is pre-compaction residue.
+    const FrameStatus headerStatus =
+        readFrame(bytes, offset, payload);
+    if (headerStatus != FrameStatus::Ok) {
+        result.truncatedTail = headerStatus != FrameStatus::End;
+        result.truncatedBytes = bytes.size();
+        return result;
+    }
+    JournalRecord header;
+    try {
+        header = decodeJournalRecord(payload);
+    } catch (const FatalError &) {
+        result.truncatedTail = true;
+        result.truncatedBytes = bytes.size();
+        return result;
+    }
+    if (header.type != JournalRecord::Type::Begin ||
+        header.epoch != expectedGeneration) {
+        result.discardedStale = true;
+        result.generation = header.epoch;
+        result.truncatedBytes = bytes.size();
+        return result;
+    }
+    result.generation = header.epoch;
+
+    while (true) {
+        const FrameStatus status = readFrame(bytes, offset, payload);
+        if (status == FrameStatus::End)
+            break;
+        if (status != FrameStatus::Ok) {
+            // Torn or corrupt tail: truncate here, keep the prefix.
+            result.truncatedTail = true;
+            result.truncatedBytes = bytes.size() - offset;
+            break;
+        }
+        try {
+            result.records.push_back(decodeJournalRecord(payload));
+        } catch (const FatalError &) {
+            // CRC-valid but unparseable: treat like a corrupt tail.
+            result.truncatedTail = true;
+            result.truncatedBytes = bytes.size() - offset;
+            break;
+        }
+    }
+    return result;
+}
+
+bool
+Journal::begin(std::uint64_t generation,
+               const std::vector<double> &capacities)
+{
+    if (!config_.enabled())
+        return false;
+    io::closeFd(fd_);
+    if (const int err =
+            io::openTrunc(walPath(), fd_, "journal.open")) {
+        enterDegraded("journal.open", err);
+        return false;
+    }
+
+    JournalRecord header;
+    header.type = JournalRecord::Type::Begin;
+    header.epoch = generation;
+    header.elasticities = capacities;
+    const std::string frame =
+        frameRecord(encodeJournalRecord(header));
+    if (const int err =
+            io::writeAll(fd_, frame, "journal.write")) {
+        enterDegraded("journal.write", err);
+        return false;
+    }
+    if (const int err = io::syncFd(fd_, "journal.fsync")) {
+        enterDegraded("journal.fsync", err);
+        return false;
+    }
+    stats_.bytes += frame.size();
+    ++stats_.fsyncs;
+    recordsSinceBegin_ = 0;
+    sinceFsync_ = 0;
+    return true;
+}
+
+bool
+Journal::append(const JournalRecord &record)
+{
+    if (!config_.enabled() || degraded_ || fd_ < 0)
+        return false;
+    const std::string frame =
+        frameRecord(encodeJournalRecord(record));
+    if (const int err =
+            io::writeAll(fd_, frame, "journal.write")) {
+        enterDegraded("journal.write", err);
+        return false;
+    }
+    stats_.bytes += frame.size();
+    ++stats_.records;
+    ++recordsSinceBegin_;
+    ++sinceFsync_;
+    if (config_.fsyncEvery != 0 &&
+        sinceFsync_ >= config_.fsyncEvery) {
+        if (const int err = io::syncFd(fd_, "journal.fsync")) {
+            enterDegraded("journal.fsync", err);
+            return false;
+        }
+        ++stats_.fsyncs;
+        sinceFsync_ = 0;
+    }
+    return true;
+}
+
+void
+Journal::sync()
+{
+    if (!config_.enabled() || degraded_ || fd_ < 0 ||
+        sinceFsync_ == 0)
+        return;
+    if (const int err = io::syncFd(fd_, "journal.fsync")) {
+        enterDegraded("journal.fsync", err);
+        return;
+    }
+    ++stats_.fsyncs;
+    sinceFsync_ = 0;
+}
+
+void
+Journal::enterDegraded(const char *site, int errnoValue)
+{
+    ++stats_.appendErrors;
+    io::closeFd(fd_);
+    if (!degraded_) {
+        // First failure: start the backoff clock from scratch.
+        // Failed reopens keep the widened backoff set by
+        // noteSkippedAndMaybeRetry instead.
+        degraded_ = true;
+        stats_.degraded = true;
+        retryBackoff_ = std::max<std::uint64_t>(
+            1, config_.retryBackoffStart);
+    }
+    retryIn_ = retryBackoff_;
+    REF_WARN("journal degraded at "
+             << site << ": " << std::strerror(errnoValue)
+             << "; service continues without durability, reopen in "
+             << retryIn_ << " records");
+}
+
+bool
+Journal::noteSkippedAndMaybeRetry()
+{
+    ++stats_.degradedSkipped;
+    if (retryIn_ > 1) {
+        --retryIn_;
+        return false;
+    }
+    // Time to try again; widen the backoff first so a failing disk
+    // is probed geometrically less often (a failed reopen keeps the
+    // widened value — enterDegraded only resets it on the first
+    // failure of a healthy journal).
+    const std::uint64_t next =
+        std::min(retryBackoff_ * 2,
+                 std::max<std::uint64_t>(1,
+                                         config_.retryBackoffMax));
+    retryBackoff_ = next;
+    retryIn_ = next;
+    return true;
+}
+
+void
+Journal::noteReopened()
+{
+    degraded_ = false;
+    stats_.degraded = false;
+    ++stats_.reopens;
+    retryBackoff_ = std::max<std::uint64_t>(
+        1, config_.retryBackoffStart);
+    retryIn_ = retryBackoff_;
+}
+
+void
+Journal::noteSnapshot(bool success)
+{
+    if (success)
+        ++stats_.snapshots;
+    else
+        ++stats_.snapshotFailures;
+}
+
+} // namespace ref::svc

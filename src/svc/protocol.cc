@@ -1,6 +1,7 @@
 #include "protocol.hh"
 
 #include <charconv>
+#include <cmath>
 #include <istream>
 #include <limits>
 #include <ostream>
@@ -36,20 +37,27 @@ tokenize(const std::string &line)
 }
 
 /**
- * Parse one elasticity token. Unparseable text (including trailing
- * junk) is a protocol error; the VALUE itself is validated by the
- * registry so that zero/negative/inf/NaN all produce the registry's
- * uniform diagnostics.
+ * Parse one numeric token. Unparseable text (including trailing
+ * junk) and values that are not finite doubles — literal "inf"/"nan"
+ * as well as decimals like 1e999 that overflow std::stod — are
+ * protocol errors; finite VALUES are still validated by the registry
+ * so that zero/negative produce the registry's uniform diagnostics.
  */
 double
-parseElasticity(const std::string &token)
+parseNumber(const std::string &token)
 {
     try {
         std::size_t consumed = 0;
         const double value = std::stod(token, &consumed);
         REF_REQUIRE(consumed == token.size(),
                     "'" << token << "' is not a number");
+        REF_REQUIRE(std::isfinite(value),
+                    "'" << token << "' is not a finite number");
         return value;
+    } catch (const std::out_of_range &) {
+        // The token is numeric but overflows a double (e.g. 1e999):
+        // same rejection as a parsed-to-inf value.
+        REF_FATAL("'" << token << "' is not a finite number");
     } catch (const std::logic_error &) {
         REF_FATAL("'" << token << "' is not a number");
     }
@@ -61,7 +69,7 @@ parseElasticities(const std::vector<std::string> &tokens,
 {
     linalg::Vector elasticities;
     for (std::size_t i = first; i < tokens.size(); ++i)
-        elasticities.push_back(parseElasticity(tokens[i]));
+        elasticities.push_back(parseNumber(tokens[i]));
     return elasticities;
 }
 
@@ -126,6 +134,10 @@ runSession(AllocationService &service, std::istream &in,
     SessionResult result;
     std::string line;
     while (std::getline(in, line)) {
+        if (options.stopFlag && *options.stopFlag != 0) {
+            result.shutdown = true;
+            break;
+        }
         if (!line.empty() && line.back() == '\r')
             line.pop_back();
         const auto tokens = tokenize(line);
@@ -161,15 +173,14 @@ runSession(AllocationService &service, std::istream &in,
                             "usage: TICK [count]");
                 std::uint64_t count = 1;
                 if (tokens.size() == 2) {
-                    const double parsed =
-                        parseElasticity(tokens[1]);
-                    REF_REQUIRE(parsed >= 1 && parsed <= 1e9 &&
-                                    parsed ==
-                                        static_cast<std::uint64_t>(
-                                            parsed),
-                                "TICK count must be a positive "
-                                "integer, got '"
-                                    << tokens[1] << "'");
+                    const double parsed = parseNumber(tokens[1]);
+                    REF_REQUIRE(
+                        parsed >= 1 && parsed <= kMaxTickCount &&
+                            parsed ==
+                                static_cast<std::uint64_t>(parsed),
+                        "TICK count must be an integer in [1, "
+                            << kMaxTickCount << "], got '"
+                            << tokens[1] << "'");
                     count = static_cast<std::uint64_t>(parsed);
                 }
                 for (std::uint64_t i = 0; i < count; ++i) {
@@ -210,6 +221,12 @@ runSession(AllocationService &service, std::istream &in,
             } else if (command == "STATS") {
                 REF_REQUIRE(tokens.size() == 1, "usage: STATS");
                 printMetrics(out, service.metrics());
+            } else if (command == "SHUTDOWN") {
+                REF_REQUIRE(tokens.size() == 1, "usage: SHUTDOWN");
+                service.syncJournal();
+                out << "OK shutdown\n";
+                result.shutdown = true;
+                break;
             } else {
                 REF_FATAL("unknown command '" << command << "'");
             }

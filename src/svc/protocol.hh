@@ -16,6 +16,7 @@
  *   PLAN                         print the enforcement artifacts of
  *                                the last enforced epoch
  *   STATS                        print service metrics
+ *   SHUTDOWN                     reply OK and end the session
  *   # ...                        comment; blank lines are ignored
  *
  * Replies: "OK ..." / "EPOCH ..." / "SHARE ..." data lines, or
@@ -27,6 +28,7 @@
 #ifndef REF_SVC_PROTOCOL_HH
 #define REF_SVC_PROTOCOL_HH
 
+#include <csignal>
 #include <cstdint>
 #include <iosfwd>
 
@@ -34,12 +36,21 @@
 
 namespace ref::svc {
 
+/** Largest count one TICK command may request. */
+inline constexpr std::uint64_t kMaxTickCount = 100000;
+
 /** Protocol-session knobs. */
 struct SessionOptions
 {
     /** Echo each command line, prefixed "> ", before its reply —
      *  turns a piped session into a readable transcript. */
     bool echo = false;
+    /**
+     * Optional async stop flag (a signal handler's sig_atomic_t).
+     * When it becomes non-zero the session stops before the next
+     * command, as if the stream had hit EOF.
+     */
+    const volatile std::sig_atomic_t *stopFlag = nullptr;
 };
 
 /** What happened over one session. */
@@ -50,6 +61,9 @@ struct SessionResult
     /** Epochs whose SI or EF check failed or whose incremental
      *  allocation diverged from the from-scratch recompute. */
     std::uint64_t epochFailures = 0;
+    /** True when the session ended via SHUTDOWN or the stop flag
+     *  rather than EOF. */
+    bool shutdown = false;
 
     bool clean() const { return errors == 0 && epochFailures == 0; }
 };

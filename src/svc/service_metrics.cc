@@ -112,6 +112,24 @@ printMetrics(std::ostream &os, const MetricsSnapshot &snapshot)
        << "epoch_latency_ns_max=" << snapshot.latencyMaxNs << "\n"
        << "epoch_latency_ns_mean="
        << static_cast<std::uint64_t>(snapshot.meanLatencyNs()) << "\n";
+    const JournalStats &j = snapshot.journal;
+    os << "journal_enabled=" << (j.enabled ? 1 : 0) << "\n"
+       << "journal_records=" << j.records << "\n"
+       << "journal_bytes=" << j.bytes << "\n"
+       << "journal_fsyncs=" << j.fsyncs << "\n"
+       << "journal_append_errors=" << j.appendErrors << "\n"
+       << "journal_degraded=" << (j.degraded ? 1 : 0) << "\n"
+       << "journal_degraded_skipped=" << j.degradedSkipped << "\n"
+       << "journal_reopens=" << j.reopens << "\n"
+       << "journal_snapshots=" << j.snapshots << "\n"
+       << "journal_snapshot_failures=" << j.snapshotFailures << "\n";
+    const RecoveryInfo &r = snapshot.recovery;
+    os << "recovery_outcome=" << toString(r.outcome) << "\n"
+       << "recovery_snapshot_loaded=" << (r.snapshotLoaded ? 1 : 0)
+       << "\n"
+       << "recovery_generation=" << r.generation << "\n"
+       << "recovery_replayed_records=" << r.replayedRecords << "\n"
+       << "recovery_truncated_bytes=" << r.truncatedBytes << "\n";
 }
 
 } // namespace ref::svc

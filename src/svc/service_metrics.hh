@@ -18,6 +18,8 @@
 #include <iosfwd>
 #include <mutex>
 
+#include "svc/journal.hh"
+
 namespace ref::svc {
 
 struct EpochResult;
@@ -46,6 +48,11 @@ struct MetricsSnapshot
     std::uint64_t latencyMinNs = 0;
     std::uint64_t latencyMaxNs = 0;
     std::uint64_t latencyTotalNs = 0;
+
+    /** Durability counters (all zero for a memory-only service). */
+    JournalStats journal;
+    /** How construction-time recovery went. */
+    RecoveryInfo recovery;
 
     /** Mean epoch latency in nanoseconds; 0 before the first epoch. */
     double meanLatencyNs() const

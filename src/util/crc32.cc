@@ -1,0 +1,38 @@
+#include "crc32.hh"
+
+#include <array>
+
+namespace ref {
+namespace {
+
+/** The 256-entry table for the reflected IEEE polynomial. */
+constexpr std::array<std::uint32_t, 256>
+makeTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t value = i;
+        for (int bit = 0; bit < 8; ++bit) {
+            value = (value >> 1) ^
+                    ((value & 1u) ? 0xedb88320u : 0u);
+        }
+        table[i] = value;
+    }
+    return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = makeTable();
+
+} // namespace
+
+std::uint32_t
+crc32(const void *data, std::size_t size, std::uint32_t seed)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    std::uint32_t crc = ~seed;
+    for (std::size_t i = 0; i < size; ++i)
+        crc = (crc >> 8) ^ kTable[(crc ^ bytes[i]) & 0xffu];
+    return ~crc;
+}
+
+} // namespace ref

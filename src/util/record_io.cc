@@ -1,0 +1,183 @@
+#include "record_io.hh"
+
+#include <bit>
+#include <cstring>
+
+#include "util/crc32.hh"
+#include "util/logging.hh"
+
+namespace ref {
+namespace {
+
+template <typename Int>
+void
+appendLe(std::string &bytes, Int value)
+{
+    for (std::size_t i = 0; i < sizeof(Int); ++i)
+        bytes.push_back(static_cast<char>(
+            (value >> (8 * i)) & 0xffu));
+}
+
+template <typename Int>
+Int
+loadLe(const char *data)
+{
+    Int value = 0;
+    for (std::size_t i = 0; i < sizeof(Int); ++i)
+        value |= static_cast<Int>(
+                     static_cast<unsigned char>(data[i]))
+                 << (8 * i);
+    return value;
+}
+
+} // namespace
+
+void
+ByteWriter::u8(std::uint8_t value)
+{
+    bytes_.push_back(static_cast<char>(value));
+}
+
+void
+ByteWriter::u32(std::uint32_t value)
+{
+    appendLe(bytes_, value);
+}
+
+void
+ByteWriter::u64(std::uint64_t value)
+{
+    appendLe(bytes_, value);
+}
+
+void
+ByteWriter::f64(double value)
+{
+    appendLe(bytes_, std::bit_cast<std::uint64_t>(value));
+}
+
+void
+ByteWriter::str(std::string_view value)
+{
+    REF_REQUIRE(value.size() < kMaxFrameBytes,
+                "string field of " << value.size()
+                                   << " bytes is too large");
+    u32(static_cast<std::uint32_t>(value.size()));
+    bytes_.append(value);
+}
+
+void
+ByteWriter::doubles(const std::vector<double> &values)
+{
+    REF_REQUIRE(values.size() < kMaxFrameBytes / sizeof(double),
+                "double array of " << values.size()
+                                   << " entries is too large");
+    u32(static_cast<std::uint32_t>(values.size()));
+    for (double value : values)
+        f64(value);
+}
+
+void
+ByteReader::need(std::size_t count) const
+{
+    REF_REQUIRE(remaining() >= count,
+                "record payload truncated: need " << count
+                    << " bytes, have " << remaining());
+}
+
+std::uint8_t
+ByteReader::u8()
+{
+    need(1);
+    return static_cast<std::uint8_t>(
+        static_cast<unsigned char>(bytes_[pos_++]));
+}
+
+std::uint32_t
+ByteReader::u32()
+{
+    need(4);
+    const auto value = loadLe<std::uint32_t>(bytes_.data() + pos_);
+    pos_ += 4;
+    return value;
+}
+
+std::uint64_t
+ByteReader::u64()
+{
+    need(8);
+    const auto value = loadLe<std::uint64_t>(bytes_.data() + pos_);
+    pos_ += 8;
+    return value;
+}
+
+double
+ByteReader::f64()
+{
+    return std::bit_cast<double>(u64());
+}
+
+std::string
+ByteReader::str()
+{
+    const std::uint32_t size = u32();
+    need(size);
+    std::string value(bytes_.substr(pos_, size));
+    pos_ += size;
+    return value;
+}
+
+std::vector<double>
+ByteReader::doubles()
+{
+    const std::uint32_t count = u32();
+    need(std::size_t{count} * sizeof(double));
+    std::vector<double> values;
+    values.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i)
+        values.push_back(f64());
+    return values;
+}
+
+std::string
+frameRecord(std::string_view payload)
+{
+    REF_REQUIRE(payload.size() <= kMaxFrameBytes,
+                "record payload of " << payload.size()
+                                     << " bytes exceeds the frame cap");
+    std::string frame;
+    frame.reserve(8 + payload.size());
+    appendLe(frame,
+             static_cast<std::uint32_t>(payload.size()));
+    appendLe(frame, crc32(payload));
+    frame.append(payload);
+    return frame;
+}
+
+FrameStatus
+readFrame(std::string_view bytes, std::size_t &offset,
+          std::string_view &payload)
+{
+    REF_ASSERT(offset <= bytes.size(), "frame offset out of range");
+    const std::size_t available = bytes.size() - offset;
+    if (available == 0)
+        return FrameStatus::End;
+    if (available < 8)
+        return FrameStatus::Torn;
+    const auto length =
+        loadLe<std::uint32_t>(bytes.data() + offset);
+    const auto expected =
+        loadLe<std::uint32_t>(bytes.data() + offset + 4);
+    if (length > kMaxFrameBytes)
+        return FrameStatus::Corrupt;
+    if (available - 8 < length)
+        return FrameStatus::Torn;
+    const std::string_view body = bytes.substr(offset + 8, length);
+    if (crc32(body) != expected)
+        return FrameStatus::Corrupt;
+    payload = body;
+    offset += 8 + length;
+    return FrameStatus::Ok;
+}
+
+} // namespace ref

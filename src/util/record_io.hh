@@ -1,0 +1,103 @@
+/**
+ * @file
+ * CRC32-framed binary records.
+ *
+ * One serialization idiom for every durable byte the repository
+ * writes: the svc write-ahead journal, svc snapshots, and the sim
+ * profile disk cache all store little-endian fields (doubles as raw
+ * IEEE-754 bits, so values round-trip bit-identically) inside frames
+ * of the form
+ *
+ *     u32 payload length | u32 crc32(payload) | payload bytes
+ *
+ * A reader walking a byte stream classifies each position as a whole
+ * valid frame, a clean end-of-stream, a torn frame (the stream ends
+ * mid-frame — the tail a crashed writer leaves behind), or a corrupt
+ * frame (bit rot: CRC mismatch or an absurd length). Torn and corrupt
+ * tails are recoverable by truncation; everything before them is
+ * trustworthy.
+ */
+
+#ifndef REF_UTIL_RECORD_IO_HH
+#define REF_UTIL_RECORD_IO_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ref {
+
+/** Appends little-endian fields to a byte buffer. */
+class ByteWriter
+{
+  public:
+    void u8(std::uint8_t value);
+    void u32(std::uint32_t value);
+    void u64(std::uint64_t value);
+    /** Raw IEEE-754 bits; NaN payloads and -0.0 survive intact. */
+    void f64(double value);
+    /** u32 length followed by the bytes. */
+    void str(std::string_view value);
+    void doubles(const std::vector<double> &values);
+
+    const std::string &bytes() const { return bytes_; }
+    std::string take() { return std::move(bytes_); }
+
+  private:
+    std::string bytes_;
+};
+
+/**
+ * Reads little-endian fields off a byte range. All accessors throw
+ * FatalError on underrun or (for str/doubles) absurd lengths, so a
+ * CRC-valid but semantically short payload is a loud error, never an
+ * out-of-bounds read.
+ */
+class ByteReader
+{
+  public:
+    explicit ByteReader(std::string_view bytes) : bytes_(bytes) {}
+
+    std::uint8_t u8();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    double f64();
+    std::string str();
+    std::vector<double> doubles();
+
+    std::size_t remaining() const { return bytes_.size() - pos_; }
+    bool atEnd() const { return remaining() == 0; }
+
+  private:
+    void need(std::size_t count) const;
+
+    std::string_view bytes_;
+    std::size_t pos_ = 0;
+};
+
+/** Frame classification while scanning a byte stream. */
+enum class FrameStatus {
+    Ok,       //!< A whole frame with a matching CRC.
+    End,      //!< Clean end of stream: no bytes left.
+    Torn,     //!< Stream ends mid-frame (crashed writer's tail).
+    Corrupt,  //!< CRC mismatch or implausible length (bit rot).
+};
+
+/** Frames longer than this are treated as Corrupt, not allocated. */
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 30;
+
+/** Wrap @p payload in a length+CRC frame. */
+std::string frameRecord(std::string_view payload);
+
+/**
+ * Scan one frame at @p offset of @p bytes. On Ok, @p payload is the
+ * frame's payload view (into @p bytes) and @p offset advances past
+ * the frame; on any other status both are left untouched.
+ */
+FrameStatus readFrame(std::string_view bytes, std::size_t &offset,
+                      std::string_view &payload);
+
+} // namespace ref
+
+#endif // REF_UTIL_RECORD_IO_HH

@@ -11,6 +11,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 
@@ -217,6 +220,100 @@ TEST(sweep_determinism, SweepEndLogsCacheEffectiveness)
                                   "hits=25 misses=0 evictions=0"),
               std::string::npos)
         << captured.str();
+}
+
+/** A fresh, empty disk-cache directory under the test temp root. */
+std::string
+freshCacheDir(const std::string &name)
+{
+    const std::filesystem::path dir =
+        std::filesystem::path(testing::TempDir()) /
+        ("ref_sweep_disk_cache_" + name);
+    std::filesystem::remove_all(dir);
+    return dir.string();
+}
+
+std::vector<std::filesystem::path>
+cellFiles(const std::string &dir)
+{
+    std::vector<std::filesystem::path> files;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir))
+        files.push_back(entry.path());
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+TEST(sweep_determinism, DiskCacheSharesCellsAcrossRunners)
+{
+    const auto &workload = workloadByName("dedup");
+    const std::string dir = freshCacheDir("share");
+
+    // First runner simulates everything and persists each cell.
+    SweepRunner writer(PlatformConfig::table1(), kOps,
+                       {.jobs = 1, .cacheDir = dir});
+    const auto first = writer.sweep(workload);
+    auto stats = writer.cacheStats();
+    EXPECT_EQ(stats.diskHits, 0u);
+    EXPECT_EQ(stats.diskWrites, 25u);
+    EXPECT_EQ(stats.diskBadEntries, 0u);
+    EXPECT_EQ(cellFiles(dir).size(), 25u);
+
+    // A brand-new runner (cold memory tier) reloads every cell from
+    // disk, bit-identically, without simulating anything.
+    SweepRunner reader(PlatformConfig::table1(), kOps,
+                       {.jobs = 4, .cacheDir = dir});
+    const auto second = reader.sweep(workload);
+    stats = reader.cacheStats();
+    EXPECT_EQ(stats.diskHits, 25u);
+    EXPECT_EQ(stats.diskWrites, 0u);
+    EXPECT_EQ(stats.diskBadEntries, 0u);
+    expectIdenticalPoints(first, second);
+
+    // And disk hits match a from-scratch run with no cache at all.
+    SweepRunner uncached(PlatformConfig::table1(), kOps,
+                         {.jobs = 1, .cacheCells = 0});
+    expectIdenticalPoints(uncached.sweep(workload), second);
+}
+
+TEST(sweep_determinism, DiskCacheIgnoresCorruptEntries)
+{
+    const auto &workload = workloadByName("canneal");
+    const std::string dir = freshCacheDir("corrupt");
+
+    SweepRunner writer(PlatformConfig::table1(), kOps,
+                       {.jobs = 1, .cacheDir = dir});
+    const auto first = writer.sweep(workload);
+    auto files = cellFiles(dir);
+    ASSERT_EQ(files.size(), 25u);
+
+    // Bit-rot one entry and tear another mid-frame.
+    {
+        std::fstream rot(files[3], std::ios::binary | std::ios::in |
+                                       std::ios::out);
+        rot.seekp(10);
+        rot.put('\x5a');
+    }
+    const auto torn_size = std::filesystem::file_size(files[17]);
+    std::filesystem::resize_file(files[17], torn_size / 2);
+
+    // A fresh runner quietly recomputes exactly the two bad cells
+    // (rewriting them) and still produces identical results.
+    SweepRunner reader(PlatformConfig::table1(), kOps,
+                       {.jobs = 1, .cacheDir = dir});
+    const auto second = reader.sweep(workload);
+    const auto stats = reader.cacheStats();
+    EXPECT_EQ(stats.diskBadEntries, 2u);
+    EXPECT_EQ(stats.diskHits, 23u);
+    EXPECT_EQ(stats.diskWrites, 2u);
+    expectIdenticalPoints(first, second);
+
+    // The rewrites healed the directory for the next runner.
+    SweepRunner healed(PlatformConfig::table1(), kOps,
+                       {.jobs = 1, .cacheDir = dir});
+    healed.sweep(workload);
+    EXPECT_EQ(healed.cacheStats().diskHits, 25u);
+    EXPECT_EQ(healed.cacheStats().diskBadEntries, 0u);
 }
 
 TEST(sweep_determinism, ProfilerFacadeSharesRunnerAcrossCopies)

@@ -1,0 +1,238 @@
+#include "svc/failpoints.hh"
+
+#include <cerrno>
+#include <filesystem>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "svc/protocol.hh"
+#include "util/logging.hh"
+
+namespace {
+
+using namespace ref;
+using svc::AllocationService;
+using svc::FailAction;
+using svc::Failpoints;
+using svc::FailpointSpec;
+using svc::ServiceConfig;
+
+class FailpointTest : public testing::Test
+{
+  protected:
+    void SetUp() override { Failpoints::instance().clearAll(); }
+    void TearDown() override { Failpoints::instance().clearAll(); }
+};
+
+TEST_F(FailpointTest, UnarmedSiteProceeds)
+{
+    EXPECT_FALSE(Failpoints::instance().check("journal.write"));
+}
+
+TEST_F(FailpointTest, SkipAndCountSemantics)
+{
+    FailpointSpec spec;
+    spec.action = FailAction::Error;
+    spec.errnoValue = ENOSPC;
+    spec.skip = 2;
+    spec.count = 2;
+    Failpoints::instance().arm("journal.write", spec);
+
+    auto &fp = Failpoints::instance();
+    EXPECT_FALSE(fp.check("journal.write"));  // pass 1 (skipped)
+    EXPECT_FALSE(fp.check("journal.write"));  // pass 2 (skipped)
+    const auto hit = fp.check("journal.write");
+    ASSERT_TRUE(hit);                         // fires
+    EXPECT_EQ(hit->errnoValue, ENOSPC);
+    EXPECT_TRUE(fp.check("journal.write"));   // fires again
+    EXPECT_FALSE(fp.check("journal.write"));  // count exhausted
+    EXPECT_EQ(fp.firedCount(), 2u);
+}
+
+TEST_F(FailpointTest, ClearDisarms)
+{
+    FailpointSpec spec;
+    spec.count = 0;  // forever
+    Failpoints::instance().arm("journal.fsync", spec);
+    EXPECT_TRUE(Failpoints::instance().check("journal.fsync"));
+    Failpoints::instance().clear("journal.fsync");
+    EXPECT_FALSE(Failpoints::instance().check("journal.fsync"));
+}
+
+TEST_F(FailpointTest, SpecStringParsing)
+{
+    Failpoints::instance().armFromSpec(
+        "journal.write=enospc@3x2,snapshot.fsync=eio");
+    auto &fp = Failpoints::instance();
+    for (int i = 0; i < 3; ++i)
+        EXPECT_FALSE(fp.check("journal.write"));
+    const auto hit = fp.check("journal.write");
+    ASSERT_TRUE(hit);
+    EXPECT_EQ(hit->errnoValue, ENOSPC);
+    EXPECT_EQ(hit->action, FailAction::Error);
+
+    const auto eio = fp.check("snapshot.fsync");
+    ASSERT_TRUE(eio);
+    EXPECT_EQ(eio->errnoValue, EIO);
+
+    Failpoints::instance().armFromSpec("journal.open=short");
+    const auto shortHit = fp.check("journal.open");
+    ASSERT_TRUE(shortHit);
+    EXPECT_EQ(shortHit->action, FailAction::ShortWrite);
+
+    Failpoints::instance().armFromSpec("journal.fsync=crash");
+    const auto crash = fp.check("journal.fsync");
+    ASSERT_TRUE(crash);
+    EXPECT_EQ(crash->action, FailAction::Crash);
+    EXPECT_FALSE(crash->exitProcess);
+
+    Failpoints::instance().armFromSpec("journal.write=exit");
+    const auto exitHit = fp.check("journal.write");
+    ASSERT_TRUE(exitHit);
+    EXPECT_EQ(exitHit->action, FailAction::Crash);
+    EXPECT_TRUE(exitHit->exitProcess);
+}
+
+TEST_F(FailpointTest, MalformedSpecThrows)
+{
+    EXPECT_THROW(Failpoints::instance().armFromSpec("nonsense"),
+                 FatalError);
+    EXPECT_THROW(Failpoints::instance().armFromSpec("a=frobnicate"),
+                 FatalError);
+    EXPECT_THROW(Failpoints::instance().armFromSpec("a=eio@x"),
+                 FatalError);
+}
+
+/** End-to-end: IO faults degrade the service, never kill it. */
+class DegradedServiceTest : public FailpointTest
+{
+  protected:
+    void SetUp() override
+    {
+        FailpointTest::SetUp();
+        dir_ = testing::TempDir() + "ref_degraded_test_" +
+               testing::UnitTest::GetInstance()
+                   ->current_test_info()
+                   ->name();
+        std::filesystem::remove_all(dir_);
+    }
+
+    void TearDown() override
+    {
+        std::filesystem::remove_all(dir_);
+        FailpointTest::TearDown();
+    }
+
+    ServiceConfig journaledConfig()
+    {
+        ServiceConfig config;
+        config.epoch.verifyIncremental = true;
+        config.journal.directory = dir_;
+        config.journal.retryBackoffStart = 2;
+        config.journal.retryBackoffMax = 4;
+        return config;
+    }
+
+    std::string dir_;
+};
+
+TEST_F(DegradedServiceTest, WriteErrorsDegradeGracefullyAndRecover)
+{
+    AllocationService service(journaledConfig());
+    service.admit("a", {0.6, 0.4});
+    service.tick();
+
+    // Disk starts failing every write, indefinitely.
+    FailpointSpec spec;
+    spec.action = FailAction::Error;
+    spec.errnoValue = EIO;
+    spec.count = 0;
+    Failpoints::instance().arm("journal.write", spec);
+    // Resync snapshots fail too (same disk).
+    Failpoints::instance().arm("snapshot.write", spec);
+
+    // The service keeps accepting work — no throw, no ERR storm.
+    service.admit("b", {0.2, 0.8});
+    for (int i = 0; i < 10; ++i)
+        EXPECT_NO_THROW(service.tick());
+
+    auto metrics = service.metrics();
+    EXPECT_TRUE(metrics.journal.degraded);
+    EXPECT_GE(metrics.journal.appendErrors, 1u);
+    EXPECT_GT(metrics.journal.degradedSkipped, 0u);
+    EXPECT_EQ(metrics.journal.reopens, 0u);
+    EXPECT_EQ(metrics.epochs, 11u);  // Every tick still ran.
+
+    // Disk heals: the next backoff-elapsed append resyncs via a
+    // fresh snapshot and journaling resumes.
+    Failpoints::instance().clearAll();
+    for (int i = 0; i < 10; ++i)
+        service.tick();
+
+    metrics = service.metrics();
+    EXPECT_FALSE(metrics.journal.degraded);
+    EXPECT_EQ(metrics.journal.reopens, 1u);
+    EXPECT_GT(metrics.journal.snapshots, 0u);
+
+    // And the journaled state is recoverable: a restart sees both
+    // agents and the exact epoch.
+    const std::uint64_t epochBefore = service.snapshot()->epoch;
+    service.syncJournal();
+    AllocationService recovered(journaledConfig());
+    EXPECT_EQ(recovered.liveAgents(), 2u);
+    EXPECT_EQ(recovered.snapshot()->epoch, epochBefore);
+}
+
+TEST_F(DegradedServiceTest, FsyncErrorDegradesAndStatsExposeIt)
+{
+    AllocationService service(journaledConfig());
+    service.admit("a", {0.5, 0.5});
+
+    FailpointSpec spec;
+    spec.action = FailAction::Error;
+    spec.count = 1;
+    Failpoints::instance().arm("journal.fsync", spec);
+    service.tick();  // Append's fsync fails: degraded.
+
+    std::istringstream in("STATS\n");
+    std::ostringstream out;
+    svc::runSession(service, in, out);
+    EXPECT_NE(out.str().find("journal_degraded=1"),
+              std::string::npos);
+    EXPECT_NE(out.str().find("journal_append_errors=1"),
+              std::string::npos);
+}
+
+TEST_F(DegradedServiceTest, SnapshotFailureKeepsWalGrowing)
+{
+    ServiceConfig config = journaledConfig();
+    config.journal.snapshotEvery = 4;
+    AllocationService service(config);
+    service.admit("a", {0.5, 0.5});
+
+    // Snapshots fail but the wal is healthy: compaction is skipped,
+    // journaling continues on the old generation.
+    FailpointSpec spec;
+    spec.action = FailAction::Error;
+    spec.errnoValue = ENOSPC;
+    spec.count = 0;
+    Failpoints::instance().arm("snapshot.write", spec);
+    for (int i = 0; i < 10; ++i)
+        service.tick();
+
+    const auto metrics = service.metrics();
+    EXPECT_FALSE(metrics.journal.degraded);
+    EXPECT_GE(metrics.journal.snapshotFailures, 2u);
+    EXPECT_EQ(metrics.epochs, 10u);
+
+    // Still recoverable from the wal alone.
+    Failpoints::instance().clearAll();
+    service.syncJournal();
+    AllocationService recovered(config);
+    EXPECT_EQ(recovered.snapshot()->epoch,
+              service.snapshot()->epoch);
+}
+
+} // namespace

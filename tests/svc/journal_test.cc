@@ -1,0 +1,324 @@
+#include "svc/journal.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "svc/failpoints.hh"
+#include "util/logging.hh"
+#include "util/record_io.hh"
+
+namespace {
+
+using namespace ref;
+using svc::Journal;
+using svc::JournalConfig;
+using svc::JournalRecord;
+
+/** Fresh per-test journal directory under the gtest temp root. */
+class JournalTest : public testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        dir_ = testing::TempDir() + "ref_journal_test_" +
+               testing::UnitTest::GetInstance()
+                   ->current_test_info()
+                   ->name();
+        std::filesystem::remove_all(dir_);
+        svc::Failpoints::instance().clearAll();
+    }
+
+    void TearDown() override
+    {
+        svc::Failpoints::instance().clearAll();
+        std::filesystem::remove_all(dir_);
+    }
+
+    JournalConfig config(std::uint64_t fsyncEvery = 1) const
+    {
+        JournalConfig config;
+        config.directory = dir_;
+        config.fsyncEvery = fsyncEvery;
+        return config;
+    }
+
+    std::string readWal() const
+    {
+        std::ifstream file(dir_ + "/wal.ref", std::ios::binary);
+        std::stringstream buffer;
+        buffer << file.rdbuf();
+        return buffer.str();
+    }
+
+    void writeWal(const std::string &bytes) const
+    {
+        std::ofstream file(dir_ + "/wal.ref",
+                           std::ios::binary | std::ios::trunc);
+        file << bytes;
+    }
+
+    std::string dir_;
+};
+
+JournalRecord
+admitRecord(const std::string &name, std::uint64_t epoch)
+{
+    JournalRecord record;
+    record.type = JournalRecord::Type::Admit;
+    record.name = name;
+    record.elasticities = {0.6, 0.4};
+    record.epoch = epoch;
+    return record;
+}
+
+JournalRecord
+tickRecord(std::uint64_t epoch)
+{
+    JournalRecord record;
+    record.type = JournalRecord::Type::Tick;
+    record.epoch = epoch;
+    return record;
+}
+
+TEST(JournalRecordCodec, AllTypesRoundTrip)
+{
+    for (const auto type : {JournalRecord::Type::Begin,
+                            JournalRecord::Type::Admit,
+                            JournalRecord::Type::Update,
+                            JournalRecord::Type::Depart,
+                            JournalRecord::Type::Tick}) {
+        JournalRecord record;
+        record.type = type;
+        record.epoch = 42;
+        if (type == JournalRecord::Type::Admit ||
+            type == JournalRecord::Type::Update ||
+            type == JournalRecord::Type::Depart)
+            record.name = "agent-7";
+        if (type == JournalRecord::Type::Begin ||
+            type == JournalRecord::Type::Admit ||
+            type == JournalRecord::Type::Update)
+            record.elasticities = {0.6 / 0.8 * 24.0, 0.4};
+
+        const JournalRecord decoded = svc::decodeJournalRecord(
+            svc::encodeJournalRecord(record));
+        EXPECT_EQ(decoded.type, record.type);
+        EXPECT_EQ(decoded.name, record.name);
+        EXPECT_EQ(decoded.elasticities, record.elasticities);
+        EXPECT_EQ(decoded.epoch, record.epoch);
+    }
+}
+
+TEST(JournalRecordCodec, RejectsUnknownTypeAndTrailingBytes)
+{
+    ByteWriter unknown;
+    unknown.u8(9);
+    unknown.u64(1);
+    EXPECT_THROW(svc::decodeJournalRecord(unknown.bytes()),
+                 FatalError);
+
+    std::string trailing =
+        svc::encodeJournalRecord(tickRecord(1));
+    trailing += "x";
+    EXPECT_THROW(svc::decodeJournalRecord(trailing), FatalError);
+}
+
+TEST_F(JournalTest, BeginAppendReplayRoundTrip)
+{
+    Journal journal(config());
+    ASSERT_TRUE(journal.begin(3, {24.0, 12.0}));
+    ASSERT_TRUE(journal.append(admitRecord("a", 0)));
+    ASSERT_TRUE(journal.append(tickRecord(1)));
+
+    const auto replay = journal.replay(3);
+    EXPECT_TRUE(replay.hadWal);
+    EXPECT_FALSE(replay.discardedStale);
+    EXPECT_FALSE(replay.truncatedTail);
+    ASSERT_EQ(replay.records.size(), 2u);
+    EXPECT_EQ(replay.records[0].type, JournalRecord::Type::Admit);
+    EXPECT_EQ(replay.records[0].name, "a");
+    EXPECT_EQ(replay.records[1].type, JournalRecord::Type::Tick);
+    EXPECT_EQ(replay.records[1].epoch, 1u);
+
+    EXPECT_EQ(journal.stats().records, 2u);
+    EXPECT_GT(journal.stats().bytes, 0u);
+    EXPECT_EQ(journal.stats().fsyncs, 3u);  // begin + 2 appends
+}
+
+TEST_F(JournalTest, MissingWalIsNotAnError)
+{
+    Journal journal(config());
+    const auto replay = journal.replay(0);
+    EXPECT_FALSE(replay.hadWal);
+    EXPECT_TRUE(replay.records.empty());
+}
+
+TEST_F(JournalTest, StaleGenerationWalIsDiscarded)
+{
+    {
+        Journal journal(config());
+        ASSERT_TRUE(journal.begin(3, {24.0, 12.0}));
+        ASSERT_TRUE(journal.append(admitRecord("a", 0)));
+    }
+    // A later snapshot advanced to generation 4 but the process died
+    // before restarting the wal: its records are already in the
+    // snapshot and must not be applied again.
+    Journal journal(config());
+    const auto replay = journal.replay(4);
+    EXPECT_TRUE(replay.hadWal);
+    EXPECT_TRUE(replay.discardedStale);
+    EXPECT_TRUE(replay.records.empty());
+    EXPECT_EQ(replay.generation, 3u);
+}
+
+TEST_F(JournalTest, TornTailIsTruncatedPrefixSurvives)
+{
+    {
+        Journal journal(config());
+        ASSERT_TRUE(journal.begin(1, {24.0, 12.0}));
+        ASSERT_TRUE(journal.append(admitRecord("a", 0)));
+        ASSERT_TRUE(journal.append(tickRecord(1)));
+    }
+    const std::string whole = readWal();
+    // Chop the final record mid-frame, as a crash mid-write would.
+    writeWal(whole.substr(0, whole.size() - 3));
+
+    Journal journal(config());
+    const auto replay = journal.replay(1);
+    EXPECT_TRUE(replay.truncatedTail);
+    EXPECT_GT(replay.truncatedBytes, 0u);
+    ASSERT_EQ(replay.records.size(), 1u);
+    EXPECT_EQ(replay.records[0].name, "a");
+}
+
+TEST_F(JournalTest, BitFlippedRecordTruncatesFromThere)
+{
+    {
+        Journal journal(config());
+        ASSERT_TRUE(journal.begin(1, {24.0, 12.0}));
+        ASSERT_TRUE(journal.append(admitRecord("a", 0)));
+        ASSERT_TRUE(journal.append(admitRecord("b", 0)));
+        ASSERT_TRUE(journal.append(tickRecord(1)));
+    }
+    std::string bytes = readWal();
+    // Flip one bit two records from the end: record "b"'s payload.
+    const auto replayAll = Journal(config()).replay(1);
+    ASSERT_EQ(replayAll.records.size(), 3u);
+    bytes[bytes.size() / 2] ^= 0x10;
+    writeWal(bytes);
+
+    Journal journal(config());
+    const auto replay = journal.replay(1);
+    EXPECT_TRUE(replay.truncatedTail);
+    EXPECT_LT(replay.records.size(), 3u);
+    // Whatever survives is a strict prefix of the original history.
+    for (std::size_t i = 0; i < replay.records.size(); ++i)
+        EXPECT_EQ(replay.records[i].name, replayAll.records[i].name);
+}
+
+TEST_F(JournalTest, FsyncPolicyBatchesSyncs)
+{
+    Journal journal(config(/*fsyncEvery=*/3));
+    ASSERT_TRUE(journal.begin(1, {24.0, 12.0}));
+    const std::uint64_t afterBegin = journal.stats().fsyncs;
+    ASSERT_TRUE(journal.append(tickRecord(1)));
+    ASSERT_TRUE(journal.append(tickRecord(2)));
+    EXPECT_EQ(journal.stats().fsyncs, afterBegin);
+    ASSERT_TRUE(journal.append(tickRecord(3)));
+    EXPECT_EQ(journal.stats().fsyncs, afterBegin + 1);
+
+    // An explicit sync() flushes a pending partial batch once.
+    ASSERT_TRUE(journal.append(tickRecord(4)));
+    journal.sync();
+    EXPECT_EQ(journal.stats().fsyncs, afterBegin + 2);
+    journal.sync();  // Nothing pending: no extra fsync.
+    EXPECT_EQ(journal.stats().fsyncs, afterBegin + 2);
+}
+
+TEST_F(JournalTest, WriteErrorEntersDegradedModeAndBackoffWidens)
+{
+    JournalConfig cfg = config();
+    cfg.retryBackoffStart = 2;
+    cfg.retryBackoffMax = 8;
+    Journal journal(cfg);
+    ASSERT_TRUE(journal.begin(1, {24.0, 12.0}));
+
+    svc::FailpointSpec spec;
+    spec.action = svc::FailAction::Error;
+    spec.errnoValue = ENOSPC;
+    svc::Failpoints::instance().arm("journal.write", spec);
+
+    EXPECT_FALSE(journal.append(tickRecord(1)));
+    EXPECT_TRUE(journal.degraded());
+    EXPECT_EQ(journal.stats().appendErrors, 1u);
+
+    // Backoff: 2 skips to the first retry, then 4, then 8, capped.
+    int retries = 0;
+    std::vector<int> gaps;
+    int gap = 0;
+    for (int i = 0; i < 40; ++i) {
+        ++gap;
+        if (journal.noteSkippedAndMaybeRetry()) {
+            gaps.push_back(gap);
+            gap = 0;
+            if (++retries == 4)
+                break;
+        }
+    }
+    ASSERT_EQ(gaps.size(), 4u);
+    EXPECT_EQ(gaps[0], 2);
+    EXPECT_EQ(gaps[1], 4);
+    EXPECT_EQ(gaps[2], 8);
+    EXPECT_EQ(gaps[3], 8);  // Capped at retryBackoffMax.
+    EXPECT_EQ(journal.stats().degradedSkipped, 22u);
+}
+
+TEST_F(JournalTest, ReopenAfterDegradedResumesJournaling)
+{
+    Journal journal(config());
+    ASSERT_TRUE(journal.begin(1, {24.0, 12.0}));
+
+    svc::FailpointSpec spec;
+    spec.action = svc::FailAction::Error;
+    spec.count = 1;  // Only the next IO call fails.
+    svc::Failpoints::instance().arm("journal.fsync", spec);
+    EXPECT_FALSE(journal.append(tickRecord(1)));
+    EXPECT_TRUE(journal.degraded());
+
+    // The failpoint has cleared; the owner resyncs with begin() on
+    // the next generation and marks the journal reopened.
+    ASSERT_TRUE(journal.begin(2, {24.0, 12.0}));
+    journal.noteReopened();
+    EXPECT_FALSE(journal.degraded());
+    EXPECT_EQ(journal.stats().reopens, 1u);
+    EXPECT_TRUE(journal.append(tickRecord(2)));
+
+    const auto replay = journal.replay(2);
+    ASSERT_EQ(replay.records.size(), 1u);
+    EXPECT_EQ(replay.records[0].epoch, 2u);
+}
+
+TEST_F(JournalTest, ShortWriteLeavesTornFrameNotGarbage)
+{
+    Journal journal(config());
+    ASSERT_TRUE(journal.begin(1, {24.0, 12.0}));
+    ASSERT_TRUE(journal.append(admitRecord("a", 0)));
+
+    svc::FailpointSpec spec;
+    spec.action = svc::FailAction::ShortWrite;
+    svc::Failpoints::instance().arm("journal.write", spec);
+    EXPECT_FALSE(journal.append(admitRecord("b", 0)));
+    EXPECT_TRUE(journal.degraded());
+
+    // Replay sees the half-written frame as a torn tail and keeps
+    // the good prefix.
+    const auto replay = journal.replay(1);
+    EXPECT_TRUE(replay.truncatedTail);
+    ASSERT_EQ(replay.records.size(), 1u);
+    EXPECT_EQ(replay.records[0].name, "a");
+}
+
+} // namespace

@@ -143,4 +143,107 @@ TEST(Protocol, EchoProducesTranscript)
     EXPECT_NE(output.find("> ADMIT a 0.5 0.5"), std::string::npos);
 }
 
+TEST(Protocol, ShutdownRepliesOkAndEndsSession)
+{
+    AllocationService service;
+    std::string output;
+    const auto result = run(service,
+                            "ADMIT a 0.5 0.5\n"
+                            "SHUTDOWN\n"
+                            "TICK\n",  // Never reached.
+                            output);
+    EXPECT_TRUE(result.shutdown);
+    EXPECT_TRUE(result.clean());
+    EXPECT_EQ(result.commands, 2u);
+    EXPECT_NE(output.find("OK shutdown"), std::string::npos);
+    EXPECT_EQ(output.find("EPOCH"), std::string::npos);
+    EXPECT_EQ(service.metrics().epochs, 0u);
+
+    // With arguments it is rejected and the session continues.
+    const auto bad = run(service, "SHUTDOWN now\nTICK\n", output);
+    EXPECT_FALSE(bad.shutdown);
+    EXPECT_EQ(bad.errors, 1u);
+    EXPECT_EQ(service.metrics().epochs, 1u);
+}
+
+TEST(Protocol, StopFlagEndsSessionBetweenCommands)
+{
+    AllocationService service;
+    volatile std::sig_atomic_t stop = 0;
+    SessionOptions options;
+    options.stopFlag = &stop;
+    std::string output;
+    auto result =
+        run(service, "ADMIT a 0.5 0.5\nTICK\n", output, options);
+    EXPECT_FALSE(result.shutdown);  // Flag never raised.
+
+    stop = 1;
+    result = run(service, "TICK\nTICK\n", output, options);
+    EXPECT_TRUE(result.shutdown);
+    EXPECT_EQ(result.commands, 0u);  // Stopped before any command.
+    EXPECT_EQ(service.metrics().epochs, 1u);
+}
+
+TEST(Protocol, TickCountIsCapped)
+{
+    AllocationService service;
+    std::string output;
+    const auto result = run(service,
+                            "ADMIT a 0.5 0.5\n"
+                            "TICK 100001\n"
+                            "TICK 1000000000\n",
+                            output);
+    EXPECT_EQ(result.errors, 2u);
+    EXPECT_EQ(service.metrics().epochs, 0u);
+
+    // The cap itself is accepted territory: a count of 2 works and
+    // the boundary value parses as valid (not exercised in full).
+    const auto ok = run(service, "TICK 2\n", output);
+    EXPECT_TRUE(ok.clean());
+    EXPECT_EQ(service.metrics().epochs, 2u);
+}
+
+TEST(Protocol, NonFiniteNumbersAreRejectedEverywhere)
+{
+    AllocationService service;
+    std::string output;
+    const auto result = run(service,
+                            "ADMIT a 1e999 0.4\n"   // stod overflow
+                            "ADMIT b inf 0.4\n"     // literal inf
+                            "ADMIT c 0.5 nan\n"     // literal nan
+                            "ADMIT d -inf 0.4\n"
+                            "TICK inf\n"
+                            "TICK 1e999\n"
+                            "ADMIT ok 0.5 0.5\n"
+                            "TICK\n",
+                            output);
+    EXPECT_EQ(result.errors, 6u);
+    EXPECT_EQ(result.epochFailures, 0u);
+    EXPECT_EQ(service.liveAgents(), 1u);
+    EXPECT_NE(output.find("EPOCH 1 agents=1"), std::string::npos);
+    // Overflowing decimals and inf report the finite-number error.
+    EXPECT_NE(output.find("'1e999' is not a finite number"),
+              std::string::npos);
+    EXPECT_NE(output.find("'inf' is not a finite number"),
+              std::string::npos);
+}
+
+TEST(Protocol, DuplicateAdmitAndUnknownNamesAreErrors)
+{
+    AllocationService service;
+    std::string output;
+    const auto result = run(service,
+                            "ADMIT a 0.5 0.5\n"
+                            "ADMIT a 0.6 0.4\n"   // duplicate
+                            "UPDATE ghost 0.5 0.5\n"
+                            "DEPART phantom\n"
+                            "TICK\n"
+                            "QUERY a\n",
+                            output);
+    EXPECT_EQ(result.errors, 3u);
+    // The duplicate ADMIT did not clobber a's elasticities.
+    EXPECT_NE(output.find("SHARE a 24 12"), std::string::npos);
+    EXPECT_EQ(service.metrics().rejected, 3u);
+}
+
 } // namespace

@@ -1,0 +1,48 @@
+#include "util/crc32.hh"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace ref;
+
+TEST(Crc32, KnownVectors)
+{
+    // The standard CRC-32/ISO-HDLC check value.
+    EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+    EXPECT_EQ(crc32(""), 0u);
+    EXPECT_EQ(crc32("a"), 0xE8B7BE43u);
+    EXPECT_EQ(crc32("abc"), 0x352441C2u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot)
+{
+    const std::string data =
+        "the journal frames every record with this checksum";
+    const std::uint32_t oneShot = crc32(data);
+    for (std::size_t split = 0; split <= data.size(); ++split) {
+        const std::uint32_t first =
+            crc32(data.data(), split);
+        const std::uint32_t both =
+            crc32(data.data() + split, data.size() - split, first);
+        EXPECT_EQ(both, oneShot) << "split at " << split;
+    }
+}
+
+TEST(Crc32, DetectsSingleBitFlips)
+{
+    std::string data = "sensitive payload bytes";
+    const std::uint32_t good = crc32(data);
+    for (std::size_t byte = 0; byte < data.size(); ++byte) {
+        for (int bit = 0; bit < 8; ++bit) {
+            data[byte] ^= static_cast<char>(1 << bit);
+            EXPECT_NE(crc32(data), good)
+                << "missed flip at byte " << byte << " bit " << bit;
+            data[byte] ^= static_cast<char>(1 << bit);
+        }
+    }
+}
+
+} // namespace

@@ -1,0 +1,135 @@
+#include "util/record_io.hh"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace {
+
+using namespace ref;
+
+TEST(RecordIo, FieldsRoundTripBitIdentically)
+{
+    ByteWriter writer;
+    writer.u8(0x7F);
+    writer.u32(0xDEADBEEF);
+    writer.u64(0x0123456789ABCDEFull);
+    writer.f64(0.6 / 0.8 * 24.0);  // Not exactly 18.
+    writer.f64(-0.0);
+    writer.f64(std::numeric_limits<double>::quiet_NaN());
+    writer.str("agent name");
+    writer.doubles({0.1, 0.2, 0.7});
+
+    ByteReader reader(writer.bytes());
+    EXPECT_EQ(reader.u8(), 0x7F);
+    EXPECT_EQ(reader.u32(), 0xDEADBEEFu);
+    EXPECT_EQ(reader.u64(), 0x0123456789ABCDEFull);
+    EXPECT_EQ(reader.f64(), 0.6 / 0.8 * 24.0);
+    const double negZero = reader.f64();
+    EXPECT_EQ(negZero, 0.0);
+    EXPECT_TRUE(std::signbit(negZero));
+    EXPECT_TRUE(std::isnan(reader.f64()));
+    EXPECT_EQ(reader.str(), "agent name");
+    EXPECT_EQ(reader.doubles(), (std::vector<double>{0.1, 0.2, 0.7}));
+    EXPECT_TRUE(reader.atEnd());
+}
+
+TEST(RecordIo, ReaderThrowsOnUnderrun)
+{
+    ByteWriter writer;
+    writer.u32(7);
+    ByteReader reader(writer.bytes());
+    EXPECT_THROW(reader.u64(), FatalError);
+
+    // A str length that claims more bytes than exist.
+    ByteWriter lying;
+    lying.u32(1000);
+    ByteReader bad(lying.bytes());
+    EXPECT_THROW(bad.str(), FatalError);
+}
+
+TEST(RecordIo, FrameRoundTrip)
+{
+    const std::string framed = frameRecord("payload");
+    std::size_t offset = 0;
+    std::string_view payload;
+    EXPECT_EQ(readFrame(framed, offset, payload), FrameStatus::Ok);
+    EXPECT_EQ(payload, "payload");
+    EXPECT_EQ(offset, framed.size());
+    EXPECT_EQ(readFrame(framed, offset, payload), FrameStatus::End);
+}
+
+TEST(RecordIo, StreamOfFramesScansInOrder)
+{
+    std::string stream = frameRecord("one");
+    stream += frameRecord("two");
+    stream += frameRecord("");
+    std::size_t offset = 0;
+    std::string_view payload;
+    ASSERT_EQ(readFrame(stream, offset, payload), FrameStatus::Ok);
+    EXPECT_EQ(payload, "one");
+    ASSERT_EQ(readFrame(stream, offset, payload), FrameStatus::Ok);
+    EXPECT_EQ(payload, "two");
+    ASSERT_EQ(readFrame(stream, offset, payload), FrameStatus::Ok);
+    EXPECT_EQ(payload, "");
+    EXPECT_EQ(readFrame(stream, offset, payload), FrameStatus::End);
+}
+
+TEST(RecordIo, EveryTruncationOfAFrameIsTorn)
+{
+    const std::string framed = frameRecord("crash tail bytes");
+    for (std::size_t keep = 1; keep < framed.size(); ++keep) {
+        std::size_t offset = 0;
+        std::string_view payload;
+        EXPECT_EQ(readFrame(framed.substr(0, keep), offset, payload),
+                  FrameStatus::Torn)
+            << "kept " << keep << " of " << framed.size();
+        EXPECT_EQ(offset, 0u);
+    }
+}
+
+TEST(RecordIo, EveryBitFlipIsCorrupt)
+{
+    // Flip each bit of a whole frame in turn: the reader must never
+    // hand back an Ok frame with wrong bytes. (A flip inside the
+    // length field may also read as Torn when it claims more bytes
+    // than the stream holds — equally safe.)
+    const std::string good = frameRecord("checksummed payload");
+    for (std::size_t byte = 0; byte < good.size(); ++byte) {
+        for (int bit = 0; bit < 8; ++bit) {
+            std::string bad = good;
+            bad[byte] ^= static_cast<char>(1 << bit);
+            std::size_t offset = 0;
+            std::string_view payload;
+            const FrameStatus status =
+                readFrame(bad, offset, payload);
+            if (status == FrameStatus::Ok) {
+                EXPECT_EQ(payload, "checksummed payload")
+                    << "byte " << byte << " bit " << bit;
+                ADD_FAILURE() << "bit flip accepted as Ok";
+            } else {
+                EXPECT_TRUE(status == FrameStatus::Corrupt ||
+                            status == FrameStatus::Torn)
+                    << "byte " << byte << " bit " << bit;
+            }
+        }
+    }
+}
+
+TEST(RecordIo, AbsurdLengthIsCorruptNotAllocated)
+{
+    ByteWriter writer;
+    writer.u32(kMaxFrameBytes + 1);  // Length field.
+    writer.u32(0);                   // CRC field.
+    writer.u32(0);                   // Some "payload" bytes.
+    std::size_t offset = 0;
+    std::string_view payload;
+    EXPECT_EQ(readFrame(writer.bytes(), offset, payload),
+              FrameStatus::Corrupt);
+}
+
+} // namespace

@@ -8,7 +8,8 @@
  *   ref_profile --workload dedup | ref_fit --profile -
  *
  * Usage:
- *   ref_profile --workload NAME [--ops N] [--jobs N] [--list]
+ *   ref_profile --workload NAME [--ops N] [--jobs N]
+ *               [--cache-dir DIR] [--list]
  */
 
 #include <iostream>
@@ -27,13 +28,18 @@ usage(const char *argv0, const std::string &error = "")
     if (!error.empty())
         std::cerr << "error: " << error << "\n\n";
     std::cerr << "usage: " << argv0
-              << " --workload NAME [--ops N] [--jobs N] [--list]\n\n"
+              << " --workload NAME [--ops N] [--jobs N]"
+                 " [--cache-dir DIR] [--list]\n\n"
                  "Profiles a cataloged synthetic workload over the "
                  "Table 1 sweep\nand writes the profile CSV to "
                  "stdout. --list prints the catalog.\n\n"
                  "--jobs N fans the sweep out over N worker threads "
                  "(default:\nREF_JOBS, else all hardware threads); "
-                 "results are bit-identical\nfor every N.\n";
+                 "results are bit-identical\nfor every N.\n\n"
+                 "--cache-dir DIR persists each simulated cell as a "
+                 "CRC32-framed\nrecord so later runs (any process) "
+                 "reuse it; corrupt entries are\nignored and "
+                 "recomputed.\n";
     std::exit(2);
 }
 
@@ -70,6 +76,7 @@ main(int argc, char **argv)
     std::string workload_name;
     std::size_t ops = 80000;
     std::size_t jobs = 0;  // 0: REF_JOBS, else hardware threads.
+    std::string cache_dir;
     bool list = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -86,6 +93,10 @@ main(int argc, char **argv)
             jobs = parseCount(argv[0], arg, next());
             if (jobs == 0)
                 usage(argv[0], "--jobs must be positive");
+        } else if (arg == "--cache-dir") {
+            cache_dir = next();
+            if (cache_dir.empty())
+                usage(argv[0], "--cache-dir needs a directory");
         } else if (arg == "--list") {
             list = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -107,15 +118,22 @@ main(int argc, char **argv)
             usage(argv[0], "--workload is required");
 
         const auto &workload = sim::workloadByName(workload_name);
-        const sim::Profiler profiler(sim::PlatformConfig::table1(),
-                                     ops, {.jobs = jobs});
+        const sim::Profiler profiler(
+            sim::PlatformConfig::table1(), ops,
+            {.jobs = jobs, .cacheDir = cache_dir});
         const auto profile = sim::Profiler::toPerformanceProfile(
             profiler.sweep(workload));
         core::writeProfileCsv(std::cout, profile);
         const auto stats = profiler.runner().cacheStats();
         std::cerr << "sweep cache: hits=" << stats.hits
                   << " misses=" << stats.misses
-                  << " evictions=" << stats.evictions << "\n";
+                  << " evictions=" << stats.evictions;
+        if (!cache_dir.empty()) {
+            std::cerr << " disk_hits=" << stats.diskHits
+                      << " disk_writes=" << stats.diskWrites
+                      << " disk_bad=" << stats.diskBadEntries;
+        }
+        std::cerr << "\n";
         return 0;
     } catch (const std::exception &error) {
         std::cerr << "error: " << error.what() << "\n";

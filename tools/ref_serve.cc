@@ -7,6 +7,7 @@
  *
  * Usage:
  *   ref_serve [--capacity C0,C1] [--hysteresis H] [--assoc N]
+ *             [--journal DIR] [--fsync-every N] [--snapshot-every N]
  *             [--selfcheck] [--strict] [--echo] [--file PATH]
  *
  * Example session:
@@ -17,13 +18,28 @@
  * bit-for-bit against a from-scratch recompute; --strict exits
  * non-zero when any command was rejected or any epoch failed a
  * property or self check (soak harnesses run with both).
+ *
+ * --journal DIR makes every accepted command durable in a
+ * CRC32-framed write-ahead log under DIR; a restarted server on the
+ * same DIR recovers the registry and epoch state bit-for-bit before
+ * reading its first command. SIGINT/SIGTERM flush and fsync the
+ * journal, print the final STATS to stderr, and exit cleanly; the
+ * SHUTDOWN protocol command does the same from the session itself.
+ *
+ * The REF_FAILPOINTS environment variable arms fault injection in
+ * the journal IO layer (svc/failpoints.hh), e.g.
+ * REF_FAILPOINTS='journal.fsync=eio@2x1' — test harnesses use this
+ * to exercise degraded mode and crash recovery on a real process.
  */
 
+#include <csignal>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 
+#include "svc/failpoints.hh"
 #include "svc/protocol.hh"
 #include "util/logging.hh"
 
@@ -31,11 +47,38 @@ namespace {
 
 using namespace ref;
 
+volatile std::sig_atomic_t gStopRequested = 0;
+
+extern "C" void
+handleStopSignal(int)
+{
+    gStopRequested = 1;
+}
+
+/**
+ * Install SIGINT/SIGTERM handlers WITHOUT SA_RESTART so a blocking
+ * getline on stdin fails with EINTR and the session loop exits,
+ * letting main run the flush + final-STATS shutdown path.
+ */
+void
+installSignalHandlers()
+{
+    struct sigaction action{};
+    action.sa_handler = handleStopSignal;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = 0;
+    sigaction(SIGINT, &action, nullptr);
+    sigaction(SIGTERM, &action, nullptr);
+}
+
 struct CliOptions
 {
     std::string capacityList = "24,12";
     std::string sessionFile;  //!< Empty: read stdin.
+    std::string journalDir;   //!< Empty: memory-only.
     double hysteresis = 0.0;
+    std::uint64_t fsyncEvery = 1;
+    std::uint64_t snapshotEvery = 1024;
     unsigned associativity = 16;
     bool selfcheck = false;
     bool strict = false;
@@ -50,14 +93,19 @@ usage(const char *argv0, const std::string &error = "")
     std::cerr
         << "usage: " << argv0
         << " [--capacity C0,C1] [--hysteresis H] [--assoc N]\n"
+           "          [--journal DIR] [--fsync-every N] "
+           "[--snapshot-every N]\n"
            "          [--selfcheck] [--strict] [--echo] "
            "[--file PATH]\n\n"
            "Runs the online REF allocation service over a line\n"
            "protocol on stdin (or PATH): ADMIT/UPDATE/DEPART agents,\n"
            "TICK epochs, QUERY shares, PLAN enforcement, STATS\n"
-           "metrics. --selfcheck verifies each epoch's incremental\n"
-           "allocation against a from-scratch recompute; --strict\n"
-           "exits non-zero on any rejected command or failed check.\n";
+           "metrics, SHUTDOWN to stop. --journal DIR journals every\n"
+           "accepted command to a crash-safe write-ahead log and\n"
+           "recovers DIR's state on startup. --selfcheck verifies\n"
+           "each epoch's incremental allocation against a\n"
+           "from-scratch recompute; --strict exits non-zero on any\n"
+           "rejected command or failed check.\n";
     std::exit(2);
 }
 
@@ -91,6 +139,14 @@ parseArgs(int argc, char **argv)
             options.capacityList = next();
         } else if (arg == "--file") {
             options.sessionFile = next();
+        } else if (arg == "--journal") {
+            options.journalDir = next();
+        } else if (arg == "--fsync-every") {
+            options.fsyncEvery = static_cast<std::uint64_t>(
+                parseNumber(argv[0], arg, next()));
+        } else if (arg == "--snapshot-every") {
+            options.snapshotEvery = static_cast<std::uint64_t>(
+                parseNumber(argv[0], arg, next()));
         } else if (arg == "--hysteresis") {
             options.hysteresis = parseNumber(argv[0], arg, next());
         } else if (arg == "--assoc") {
@@ -129,16 +185,36 @@ main(int argc, char **argv)
 {
     const CliOptions options = parseArgs(argc, argv);
     try {
+        if (const char *spec = std::getenv("REF_FAILPOINTS"))
+            svc::Failpoints::instance().armFromSpec(spec);
+
         svc::ServiceConfig config;
         config.capacity = parseCapacity(options.capacityList);
         config.epoch.hysteresis = options.hysteresis;
         config.epoch.verifyIncremental = options.selfcheck;
         config.associativity = options.associativity;
         config.buildEnforcement = config.capacity.count() == 2;
+        config.journal.directory = options.journalDir;
+        config.journal.fsyncEvery = options.fsyncEvery;
+        config.journal.snapshotEvery = options.snapshotEvery;
         svc::AllocationService service(config);
+
+        if (config.journal.enabled()) {
+            const svc::RecoveryInfo &recovery = service.recovery();
+            std::cerr << "recovery: outcome="
+                      << svc::toString(recovery.outcome)
+                      << " generation=" << recovery.generation
+                      << " replayed=" << recovery.replayedRecords
+                      << " truncated_bytes="
+                      << recovery.truncatedBytes
+                      << " agents=" << service.liveAgents() << "\n";
+        }
+
+        installSignalHandlers();
 
         svc::SessionOptions session;
         session.echo = options.echo;
+        session.stopFlag = &gStopRequested;
 
         svc::SessionResult result;
         if (options.sessionFile.empty()) {
@@ -153,9 +229,20 @@ main(int argc, char **argv)
                                      session);
         }
 
+        service.syncJournal();
+
         std::cerr << "session: " << result.commands << " commands, "
                   << result.errors << " rejected, "
-                  << result.epochFailures << " epoch check failures\n";
+                  << result.epochFailures << " epoch check failures";
+        if (result.shutdown || gStopRequested)
+            std::cerr << " (shutdown)";
+        std::cerr << "\n";
+        if (gStopRequested) {
+            // Signal path: the operator can't send STATS any more,
+            // so print the final counters where logs will have them.
+            std::cerr << "final stats:\n";
+            svc::printMetrics(std::cerr, service.metrics());
+        }
         return options.strict && !result.clean() ? 1 : 0;
     } catch (const std::exception &error) {
         std::cerr << "error: " << error.what() << "\n";
