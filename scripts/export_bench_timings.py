@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Normalize google-benchmark JSON into standardized BENCH_*.json files.
+
+Each benchmark in the input becomes one small file,
+``BENCH_<sanitized name>.json``, holding exactly::
+
+    {"name": ..., "wall_ns": ..., "iterations": ...}
+
+so the perf trajectory can be tracked across commits without parsing
+google-benchmark's full schema. ``wall_ns`` is real (wall-clock) time
+per iteration, converted from whatever time_unit the run used.
+
+Usage: export_bench_timings.py <benchmark_out.json>... [--out-dir DIR]
+"""
+
+import argparse
+import json
+import pathlib
+import re
+import sys
+
+_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def sanitize(name):
+    return re.sub(r"[^A-Za-z0-9_.-]+", "_", name).strip("_")
+
+
+def export(path, out_dir):
+    doc = json.loads(pathlib.Path(path).read_text())
+    written = []
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        scale = _TO_NS[bench.get("time_unit", "ns")]
+        record = {
+            "name": bench["name"],
+            "wall_ns": bench["real_time"] * scale,
+            "iterations": bench["iterations"],
+        }
+        out = out_dir / f"BENCH_{sanitize(bench['name'])}.json"
+        out.write_text(json.dumps(record, indent=2) + "\n")
+        written.append(out)
+    return written
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("inputs", nargs="+",
+                        help="google-benchmark --benchmark_out files")
+    parser.add_argument("--out-dir", default=".",
+                        help="directory for BENCH_*.json (default: .)")
+    args = parser.parse_args(argv)
+
+    out_dir = pathlib.Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written = []
+    for path in args.inputs:
+        written.extend(export(path, out_dir))
+    if not written:
+        print("error: no benchmarks found in inputs", file=sys.stderr)
+        return 1
+    for out in written:
+        print(out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

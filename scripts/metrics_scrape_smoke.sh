@@ -1,0 +1,124 @@
+#!/usr/bin/env bash
+# Telemetry scrape smoke: run a short journaled ref_serve session
+# with every exporter on, then assert the whole observability surface
+# holds together — the Prometheus exposition parses, the JSON
+# exposition parses, METRICS agrees with STATS, the fairness CSV has
+# one row per epoch with SI/EF margins >= 1, and the Chrome trace
+# loads as JSON with the expected span names.
+set -u
+
+REF_SERVE=${1:?usage: metrics_scrape_smoke.sh <ref_serve> <workdir> [epochs]}
+WORKDIR=${2:?usage: metrics_scrape_smoke.sh <ref_serve> <workdir> [epochs]}
+EPOCHS=${3:-120}
+
+PYTHON=${PYTHON:-python3}
+
+rm -rf "$WORKDIR"
+mkdir -p "$WORKDIR"
+
+fail() {
+    echo "FAIL: $1" >&2
+    echo "--- stderr ---" >&2
+    cat "$WORKDIR/serve.err" >&2 2>/dev/null || true
+    exit 1
+}
+
+# The paper's worked example, soaked for $EPOCHS epochs with mild
+# churn in the middle so the drift column moves at least once.
+{
+    printf 'ADMIT user1 0.6 0.4\n'
+    printf 'ADMIT user2 0.2 0.8\n'
+    printf 'TICK %d\n' "$((EPOCHS / 2))"
+    printf 'ADMIT user3 0.5 0.5\n'
+    printf 'TICK %d\n' "$((EPOCHS - EPOCHS / 2))"
+    printf 'STATS\n'
+    printf 'METRICS\n'
+    printf 'METRICS json\n'
+    printf 'SHUTDOWN\n'
+} > "$WORKDIR/session.txt"
+
+"$REF_SERVE" --capacity 24,12 --selfcheck --strict \
+    --file "$WORKDIR/session.txt" \
+    --journal "$WORKDIR/journal" \
+    --metrics-out "$WORKDIR/metrics.prom" \
+    --fairness-out "$WORKDIR/fairness.csv" \
+    --trace-out "$WORKDIR/trace.json" \
+    > "$WORKDIR/session.out" 2> "$WORKDIR/serve.err" \
+    || fail "ref_serve exited non-zero"
+
+for f in metrics.prom fairness.csv trace.json; do
+    [ -s "$WORKDIR/$f" ] || fail "$f missing or empty"
+done
+
+# One pass over everything that must parse. The inline METRICS
+# expositions are cross-checked against STATS (one source of truth)
+# and the --metrics-out file against the session transcript.
+"$PYTHON" - "$WORKDIR" "$EPOCHS" <<'EOF' || fail "telemetry validation failed"
+import json, re, sys
+
+workdir, epochs = sys.argv[1], int(sys.argv[2])
+out = open(f"{workdir}/session.out").read()
+
+# STATS: key=value lines.
+stats = dict(m.groups() for m in re.finditer(r"^(\w+)=(\S+)$", out, re.M))
+assert int(stats["epochs"]) == epochs, stats["epochs"]
+
+# Prometheus exposition (both inline and the --metrics-out file):
+# every non-comment line must be `name[{labels}] value`.
+prom_line = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9].*$|^#.*$")
+def parse_prom(text):
+    values = {}
+    for line in text.splitlines():
+        if not line:
+            continue
+        assert prom_line.match(line), f"bad prometheus line: {line!r}"
+        if not line.startswith("#"):
+            name, value = line.rsplit(" ", 1)
+            values[name] = value
+    return values
+
+inline = parse_prom(out[out.index("# HELP"):out.index("{\"counters\"")])
+scraped = parse_prom(open(f"{workdir}/metrics.prom").read())
+for values in (inline, scraped):
+    assert float(values["ref_epochs_total"]) == epochs
+    assert float(values["ref_admits_total"]) == 3
+    assert float(values["ref_journal_enabled"]) == 1
+    assert float(values["ref_fairness_si_margin"]) >= 1.0
+    assert float(values["ref_fairness_ef_margin"]) >= 1.0
+# METRICS and STATS must agree — they read the same registry.
+for stat, metric in [
+    ("epochs", "ref_epochs_total"),
+    ("admits", "ref_admits_total"),
+    ("journal_records", "ref_journal_records"),
+    ("recovery_generation", "ref_recovery_generation"),
+]:
+    assert float(stats[stat]) == float(inline[metric]), (stat, metric)
+
+# JSON exposition.
+doc = json.loads(out[out.index("{\"counters\""):].splitlines()[0])
+assert doc["counters"]["ref_epochs_total"] == epochs
+assert doc["histograms"]["ref_epoch_latency_ns"]["count"] == epochs
+
+# Fairness series: header + one row per epoch, margins >= 1.
+rows = open(f"{workdir}/fairness.csv").read().splitlines()
+header = rows[0].split(",")
+assert header[0] == "epoch" and len(rows) == 1 + epochs, len(rows)
+si, ef = header.index("si_margin"), header.index("ef_margin")
+for row in rows[1:]:
+    cells = row.split(",")
+    assert float(cells[si]) >= 1.0 and float(cells[ef]) >= 1.0, row
+
+# Chrome trace: valid JSON, complete events, expected span names.
+trace = json.load(open(f"{workdir}/trace.json"))
+names = {e["name"] for e in trace["traceEvents"]}
+for expected in ("epoch.tick", "cmd.tick", "cmd.metrics",
+                 "journal.append", "journal.fsync"):
+    assert expected in names, (expected, names)
+assert all(e["ph"] == "X" for e in trace["traceEvents"])
+print(f"ok: {epochs} epochs, {len(trace['traceEvents'])} spans, "
+      f"si_margin={inline['ref_fairness_si_margin']} "
+      f"ef_margin={inline['ref_fairness_ef_margin']}")
+EOF
+
+echo "PASS: telemetry scrape smoke ($EPOCHS epochs) in $WORKDIR"

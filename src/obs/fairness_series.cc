@@ -1,0 +1,140 @@
+#include "fairness_series.hh"
+
+#include <charconv>
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+
+namespace ref::obs {
+namespace {
+
+/** Shortest decimal that round-trips; inf/nan spelled out (CSV) —
+ *  the JSON writer quotes them. */
+std::string
+formatDouble(double value)
+{
+    char buffer[32];
+    const auto [end, ec] =
+        std::to_chars(buffer, buffer + sizeof(buffer), value);
+    if (ec != std::errc())
+        throw std::logic_error("fairness value formatting failed");
+    return std::string(buffer, end);
+}
+
+std::string
+formatJsonDouble(double value)
+{
+    if (std::isnan(value) || std::isinf(value))
+        return "\"" + formatDouble(value) + "\"";
+    return formatDouble(value);
+}
+
+} // namespace
+
+FairnessSeries::FairnessSeries(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity)
+{}
+
+void
+FairnessSeries::append(const FairnessSample &sample)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (ring_.size() < capacity_) {
+        // Grow lazily toward the cap instead of reserving a million
+        // slots for short sessions.
+        ring_.push_back(sample);
+        head_ = ring_.size() % capacity_;
+        ++count_;
+    } else {
+        ring_[head_] = sample;
+        head_ = (head_ + 1) % capacity_;
+        if (count_ < capacity_)
+            ++count_;
+    }
+    ++appended_;
+}
+
+std::vector<FairnessSample>
+FairnessSeries::samples() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<FairnessSample> out;
+    out.reserve(count_);
+    if (count_ == 0)
+        return out;
+    const std::size_t size = ring_.size();
+    const std::size_t first = (head_ + size - count_) % size;
+    for (std::size_t i = 0; i < count_; ++i)
+        out.push_back(ring_[(first + i) % size]);
+    return out;
+}
+
+std::size_t
+FairnessSeries::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return count_;
+}
+
+std::uint64_t
+FairnessSeries::totalAppended() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return appended_;
+}
+
+const char *
+FairnessSeries::csvHeader()
+{
+    return "epoch,agents,checked,si_margin,ef_margin,l1_drift,"
+           "enforced,max_rel_change,latency_ns";
+}
+
+void
+FairnessSeries::writeCsvRow(std::ostream &os,
+                            const FairnessSample &sample)
+{
+    os << sample.epoch << "," << sample.agents << ","
+       << (sample.checked ? 1 : 0) << ","
+       << formatDouble(sample.siMargin) << ","
+       << formatDouble(sample.efMargin) << ","
+       << formatDouble(sample.l1Drift) << ","
+       << (sample.enforced ? 1 : 0) << ","
+       << formatDouble(sample.maxRelativeChange) << ","
+       << sample.latencyNs;
+}
+
+void
+FairnessSeries::writeCsv(std::ostream &os) const
+{
+    os << csvHeader() << "\n";
+    for (const FairnessSample &sample : samples()) {
+        writeCsvRow(os, sample);
+        os << "\n";
+    }
+}
+
+void
+FairnessSeries::writeJson(std::ostream &os) const
+{
+    os << "[";
+    const std::vector<FairnessSample> buffered = samples();
+    for (std::size_t i = 0; i < buffered.size(); ++i) {
+        const FairnessSample &sample = buffered[i];
+        if (i)
+            os << ",";
+        os << "{\"epoch\":" << sample.epoch
+           << ",\"agents\":" << sample.agents << ",\"checked\":"
+           << (sample.checked ? "true" : "false")
+           << ",\"si_margin\":" << formatJsonDouble(sample.siMargin)
+           << ",\"ef_margin\":" << formatJsonDouble(sample.efMargin)
+           << ",\"l1_drift\":" << formatJsonDouble(sample.l1Drift)
+           << ",\"enforced\":" << (sample.enforced ? "true" : "false")
+           << ",\"max_rel_change\":"
+           << formatJsonDouble(sample.maxRelativeChange)
+           << ",\"latency_ns\":" << sample.latencyNs << "}";
+    }
+    os << "]";
+}
+
+} // namespace ref::obs

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Per-epoch fairness time series for the online allocation service.
+ *
+ * The paper's SI/EF checks are point-in-time booleans; an online
+ * service needs the *quantitative* margins tracked across epochs so
+ * fairness erosion shows up as a trend, not a surprise violation
+ * (cf. Zahedi & Freeman, "Credit Fairness: Online Fairness In Shared
+ * Resource Pools": online fairness must be measured across periods).
+ * Each sample records:
+ *
+ *  - si_margin: min over agents of u_i(REF) / u_i(equal split) —
+ *    the sharing-incentives ratio; >= 1 means SI holds with margin.
+ *  - ef_margin: min over ordered pairs of u_i(x_i) / u_i(x_j) — the
+ *    envy-freeness ratio; >= 1 means nobody envies anyone.
+ *  - l1_drift: sum of |share(t) - share(t-1)| over the union of both
+ *    epochs' agents (an agent absent from one side contributes its
+ *    whole share), i.e. how much allocation mass moved this epoch.
+ *  - the hysteresis decision (enforced or held) and the relative
+ *    change that drove it, plus the epoch's compute latency.
+ *
+ * Storage is a bounded ring (oldest samples drop first) guarded by a
+ * mutex; exports are CSV (one row per epoch, plottable directly) and
+ * JSON (array of objects).
+ */
+
+#ifndef REF_OBS_FAIRNESS_SERIES_HH
+#define REF_OBS_FAIRNESS_SERIES_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <vector>
+
+namespace ref::obs {
+
+/** One epoch's fairness record. */
+struct FairnessSample
+{
+    std::uint64_t epoch = 0;
+    std::uint64_t agents = 0;
+    /** True when si/ef margins were computed this epoch (property
+     *  checks on and at least one agent live). */
+    bool checked = false;
+    double siMargin = 1.0;
+    double efMargin = 1.0;
+    double l1Drift = 0.0;
+    bool enforced = false;  //!< False: hysteresis held the old plan.
+    /** Largest relative per-share change vs the enforced allocation
+     *  (+inf when the agent set changed). */
+    double maxRelativeChange = 0.0;
+    std::uint64_t latencyNs = 0;
+};
+
+/** Bounded, thread-safe per-epoch series (see file comment). */
+class FairnessSeries
+{
+  public:
+    static constexpr std::size_t kDefaultCapacity = 1 << 20;
+
+    explicit FairnessSeries(
+        std::size_t capacity = kDefaultCapacity);
+
+    void append(const FairnessSample &sample);
+
+    /** Buffered samples, oldest first. */
+    std::vector<FairnessSample> samples() const;
+
+    std::size_t size() const;
+    std::size_t capacity() const { return capacity_; }
+    /** Lifetime appends, including samples the ring since dropped. */
+    std::uint64_t totalAppended() const;
+
+    /** CSV column header (no trailing newline). */
+    static const char *csvHeader();
+
+    /** One sample as a CSV row (no trailing newline). */
+    static void writeCsvRow(std::ostream &os,
+                            const FairnessSample &sample);
+
+    /** Header plus every buffered sample, newline-terminated. */
+    void writeCsv(std::ostream &os) const;
+
+    /** JSON array of sample objects. */
+    void writeJson(std::ostream &os) const;
+
+  private:
+    std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::vector<FairnessSample> ring_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+    std::uint64_t appended_ = 0;
+};
+
+} // namespace ref::obs
+
+#endif // REF_OBS_FAIRNESS_SERIES_HH

@@ -1,0 +1,312 @@
+#include "metrics.hh"
+
+#include <bit>
+#include <charconv>
+#include <cmath>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace ref::obs {
+namespace {
+
+/** Shortest decimal that round-trips the exact double; integral
+ *  values inside the exact-double range print without a fraction. */
+std::string
+formatNumber(double value)
+{
+    if (std::isnan(value))
+        return "NaN";
+    if (std::isinf(value))
+        return value > 0 ? "+Inf" : "-Inf";
+    if (value == std::floor(value) &&
+        std::abs(value) <= 9007199254740992.0) {  // 2^53.
+        char buffer[32];
+        const auto [end, ec] = std::to_chars(
+            buffer, buffer + sizeof(buffer),
+            static_cast<long long>(value));
+        if (ec == std::errc())
+            return std::string(buffer, end);
+    }
+    char buffer[32];
+    const auto [end, ec] =
+        std::to_chars(buffer, buffer + sizeof(buffer), value);
+    if (ec != std::errc())
+        throw std::logic_error("metric value formatting failed");
+    return std::string(buffer, end);
+}
+
+/** JSON has no Inf/NaN literals; represent them as strings. */
+std::string
+formatJsonNumber(double value)
+{
+    if (std::isnan(value) || std::isinf(value))
+        return "\"" + formatNumber(value) + "\"";
+    return formatNumber(value);
+}
+
+bool
+validNameChar(char c, bool first)
+{
+    const bool alpha = (c >= 'a' && c <= 'z') ||
+                       (c >= 'A' && c <= 'Z') || c == '_' || c == ':';
+    return first ? alpha : (alpha || (c >= '0' && c <= '9'));
+}
+
+void
+requireValidName(const std::string &name)
+{
+    bool ok = !name.empty();
+    for (std::size_t i = 0; ok && i < name.size(); ++i)
+        ok = validNameChar(name[i], i == 0);
+    if (!ok)
+        throw std::invalid_argument(
+            "'" + name + "' is not a valid metric name");
+}
+
+} // namespace
+
+void
+Gauge::set(double value) noexcept
+{
+    bits_.store(std::bit_cast<std::uint64_t>(value),
+                std::memory_order_relaxed);
+}
+
+double
+Gauge::value() const noexcept
+{
+    return std::bit_cast<double>(
+        bits_.load(std::memory_order_relaxed));
+}
+
+void
+Gauge::updateMin(double candidate) noexcept
+{
+    std::uint64_t observed = bits_.load(std::memory_order_relaxed);
+    while (candidate < std::bit_cast<double>(observed) &&
+           !bits_.compare_exchange_weak(
+               observed, std::bit_cast<std::uint64_t>(candidate),
+               std::memory_order_relaxed))
+        ;
+}
+
+void
+Gauge::updateMax(double candidate) noexcept
+{
+    std::uint64_t observed = bits_.load(std::memory_order_relaxed);
+    while (candidate > std::bit_cast<double>(observed) &&
+           !bits_.compare_exchange_weak(
+               observed, std::bit_cast<std::uint64_t>(candidate),
+               std::memory_order_relaxed))
+        ;
+}
+
+Histogram::Histogram(std::size_t buckets) : counts_(buckets)
+{
+    if (buckets < 2 || buckets > 64)
+        throw std::invalid_argument(
+            "histogram needs between 2 and 64 buckets");
+}
+
+std::size_t
+Histogram::bucketFor(std::uint64_t value,
+                     std::size_t buckets) noexcept
+{
+    const std::size_t width =
+        static_cast<std::size_t>(std::bit_width(value));
+    return width < buckets ? width : buckets - 1;
+}
+
+std::uint64_t
+Histogram::bucketUpperInclusive(std::size_t bucket,
+                                std::size_t buckets)
+{
+    if (bucket + 1 >= buckets)
+        return UINT64_MAX;
+    // Bucket b covers [2^(b-1), 2^b), so its largest member is
+    // 2^b - 1; bucket 0 covers exactly {0}.
+    return (std::uint64_t{1} << bucket) - 1;
+}
+
+void
+Histogram::observe(std::uint64_t value) noexcept
+{
+    counts_[bucketFor(value, counts_.size())].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    std::uint64_t seen = min_.load(std::memory_order_relaxed);
+    while (value < seen &&
+           !min_.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed))
+        ;
+    seen = max_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !max_.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed))
+        ;
+}
+
+Histogram::Snapshot
+Histogram::snapshot() const
+{
+    Snapshot snap;
+    snap.counts.reserve(counts_.size());
+    for (const auto &count : counts_)
+        snap.counts.push_back(count.load(std::memory_order_relaxed));
+    snap.count = count_.load(std::memory_order_relaxed);
+    snap.sum = sum_.load(std::memory_order_relaxed);
+    const std::uint64_t min = min_.load(std::memory_order_relaxed);
+    snap.min = min == UINT64_MAX ? 0 : min;
+    snap.max = max_.load(std::memory_order_relaxed);
+    return snap;
+}
+
+MetricsRegistry::Entry &
+MetricsRegistry::entry(const std::string &name,
+                       const std::string &help, Kind kind,
+                       std::size_t buckets)
+{
+    requireValidName(name);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto found = metrics_.find(name);
+    if (found == metrics_.end()) {
+        Entry fresh;
+        fresh.kind = kind;
+        fresh.help = help;
+        switch (kind) {
+        case Kind::Counter:
+            fresh.counter = std::make_unique<Counter>();
+            break;
+        case Kind::Gauge:
+            fresh.gauge = std::make_unique<Gauge>();
+            break;
+        case Kind::Histogram:
+            fresh.histogram = std::make_unique<Histogram>(buckets);
+            break;
+        }
+        found = metrics_.emplace(name, std::move(fresh)).first;
+    } else if (found->second.kind != kind) {
+        throw std::invalid_argument(
+            "metric '" + name +
+            "' is already registered with a different kind");
+    }
+    return found->second;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name,
+                         const std::string &help)
+{
+    return *entry(name, help, Kind::Counter, 0).counter;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name,
+                       const std::string &help)
+{
+    return *entry(name, help, Kind::Gauge, 0).gauge;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name,
+                           const std::string &help,
+                           std::size_t buckets)
+{
+    return *entry(name, help, Kind::Histogram, buckets).histogram;
+}
+
+std::size_t
+MetricsRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return metrics_.size();
+}
+
+void
+MetricsRegistry::writePrometheus(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &[name, entry] : metrics_) {
+        os << "# HELP " << name << " " << entry.help << "\n";
+        switch (entry.kind) {
+        case Kind::Counter:
+            os << "# TYPE " << name << " counter\n"
+               << name << " " << entry.counter->value() << "\n";
+            break;
+        case Kind::Gauge:
+            os << "# TYPE " << name << " gauge\n"
+               << name << " " << formatNumber(entry.gauge->value())
+               << "\n";
+            break;
+        case Kind::Histogram: {
+            const Histogram::Snapshot snap =
+                entry.histogram->snapshot();
+            os << "# TYPE " << name << " histogram\n";
+            std::uint64_t cumulative = 0;
+            for (std::size_t b = 0; b < snap.counts.size(); ++b) {
+                cumulative += snap.counts[b];
+                os << name << "_bucket{le=\"";
+                if (b + 1 == snap.counts.size())
+                    os << "+Inf";
+                else
+                    os << Histogram::bucketUpperInclusive(
+                        b, snap.counts.size());
+                os << "\"} " << cumulative << "\n";
+            }
+            os << name << "_sum " << snap.sum << "\n"
+               << name << "_count " << snap.count << "\n";
+            break;
+        }
+        }
+    }
+}
+
+void
+MetricsRegistry::writeJson(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    os << "{\"counters\":{";
+    const char *separator = "";
+    for (const auto &[name, entry] : metrics_) {
+        if (entry.kind != Kind::Counter)
+            continue;
+        os << separator << "\"" << name
+           << "\":" << entry.counter->value();
+        separator = ",";
+    }
+    os << "},\"gauges\":{";
+    separator = "";
+    for (const auto &[name, entry] : metrics_) {
+        if (entry.kind != Kind::Gauge)
+            continue;
+        os << separator << "\"" << name
+           << "\":" << formatJsonNumber(entry.gauge->value());
+        separator = ",";
+    }
+    os << "},\"histograms\":{";
+    separator = "";
+    for (const auto &[name, entry] : metrics_) {
+        if (entry.kind != Kind::Histogram)
+            continue;
+        const Histogram::Snapshot snap = entry.histogram->snapshot();
+        os << separator << "\"" << name << "\":{\"buckets\":[";
+        for (std::size_t b = 0; b < snap.counts.size(); ++b)
+            os << (b ? "," : "") << snap.counts[b];
+        os << "],\"count\":" << snap.count << ",\"sum\":" << snap.sum
+           << ",\"min\":" << snap.min << ",\"max\":" << snap.max
+           << "}";
+        separator = ",";
+    }
+    os << "}}";
+}
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+} // namespace ref::obs

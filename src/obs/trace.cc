@@ -1,0 +1,167 @@
+#include "trace.hh"
+
+#include <chrono>
+#include <ostream>
+
+namespace ref::obs {
+namespace {
+
+std::uint64_t
+steadyNowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/** Small dense thread ids, assigned in first-record order, so trace
+ *  rows are stable and readable ("tid 0..N" instead of opaque
+ *  pthread handles). */
+std::uint32_t
+currentTid()
+{
+    static std::atomic<std::uint32_t> next{0};
+    thread_local std::uint32_t tid =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return tid;
+}
+
+/** Microseconds with nanosecond fraction, as Chrome's "ts" wants. */
+void
+writeMicros(std::ostream &os, std::uint64_t ns)
+{
+    os << ns / 1000 << "." << static_cast<char>('0' + ns % 1000 / 100)
+       << static_cast<char>('0' + ns % 100 / 10)
+       << static_cast<char>('0' + ns % 10);
+}
+
+} // namespace
+
+void
+Tracer::enable(std::size_t capacity, std::uint64_t sampleEvery)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ring_.assign(capacity == 0 ? kDefaultCapacity : capacity,
+                 TraceEvent{});
+    head_ = 0;
+    count_ = 0;
+    sampleEvery_ = sampleEvery == 0 ? 1 : sampleEvery;
+    sampleCounter_ = 0;
+    recorded_ = 0;
+    overwritten_ = 0;
+    sampledOut_ = 0;
+    baseNs_ = steadyNowNs();
+    enabled_.store(true, std::memory_order_relaxed);
+}
+
+void
+Tracer::disable()
+{
+    enabled_.store(false, std::memory_order_relaxed);
+}
+
+std::uint64_t
+Tracer::nowNs() const
+{
+    const std::uint64_t now = steadyNowNs();
+    return now >= baseNs_ ? now - baseNs_ : 0;
+}
+
+void
+Tracer::record(const char *name, const char *category,
+               std::uint64_t start_ns, std::uint64_t duration_ns)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (ring_.empty())
+        return;
+    if (sampleCounter_++ % sampleEvery_ != 0) {
+        ++sampledOut_;
+        return;
+    }
+    if (count_ == ring_.size())
+        ++overwritten_;
+    else
+        ++count_;
+    ring_[head_] = TraceEvent{name, category, start_ns, duration_ns,
+                              currentTid()};
+    head_ = (head_ + 1) % ring_.size();
+    ++recorded_;
+}
+
+std::vector<TraceEvent>
+Tracer::events() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<TraceEvent> out;
+    out.reserve(count_);
+    const std::size_t first =
+        (head_ + ring_.size() - count_) % (ring_.empty()
+                                               ? 1
+                                               : ring_.size());
+    for (std::size_t i = 0; i < count_; ++i)
+        out.push_back(ring_[(first + i) % ring_.size()]);
+    return out;
+}
+
+TracerStats
+Tracer::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    TracerStats stats;
+    stats.enabled = enabled_.load(std::memory_order_relaxed);
+    stats.capacity = ring_.size();
+    stats.sampleEvery = sampleEvery_;
+    stats.recorded = recorded_;
+    stats.overwritten = overwritten_;
+    stats.sampledOut = sampledOut_;
+    return stats;
+}
+
+void
+Tracer::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    head_ = 0;
+    count_ = 0;
+    sampleCounter_ = 0;
+    recorded_ = 0;
+    overwritten_ = 0;
+    sampledOut_ = 0;
+}
+
+void
+Tracer::writeChromeTrace(std::ostream &os) const
+{
+    const std::vector<TraceEvent> buffered = events();
+    const TracerStats meta = stats();
+    os << "{\"traceEvents\":[";
+    for (std::size_t i = 0; i < buffered.size(); ++i) {
+        const TraceEvent &event = buffered[i];
+        if (i)
+            os << ",";
+        os << "{\"name\":\"" << event.name << "\",\"cat\":\""
+           << event.category << "\",\"ph\":\"X\",\"pid\":1,\"tid\":"
+           << event.tid << ",\"ts\":";
+        writeMicros(os, event.startNs);
+        os << ",\"dur\":";
+        writeMicros(os, event.durationNs);
+        os << "}";
+    }
+    os << "],\"displayTimeUnit\":\"ms\",\"otherData\":{"
+       << "\"sample_every\":" << meta.sampleEvery
+       << ",\"recorded\":" << meta.recorded
+       << ",\"overwritten\":" << meta.overwritten
+       << ",\"sampled_out\":" << meta.sampledOut << "}}\n";
+}
+
+Tracer &
+Tracer::global()
+{
+    static Tracer tracer;
+    return tracer;
+}
+
+} // namespace ref::obs

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * RAII span tracing with Chrome trace-event JSON export.
+ *
+ * A Span marks one timed region (an epoch tick, a journal fsync, a
+ * sweep-cell simulation). Spans report into the process-wide Tracer,
+ * which keeps a bounded in-memory ring buffer — old events are
+ * overwritten, never reallocated — and can down-sample (record every
+ * Nth span) so long soaks stay cheap. The buffer exports as Chrome
+ * trace-event JSON ("traceEvents" array of "ph":"X" complete
+ * events), loadable directly in Perfetto (ui.perfetto.dev) or
+ * chrome://tracing.
+ *
+ * Disabled cost: one relaxed atomic load per span — the Tracer
+ * starts disabled, so instrumented hot paths pay nothing until a
+ * tool opts in (ref_serve/ref_profile --trace-out).
+ *
+ * Span names and categories must be string literals (or otherwise
+ * outlive the Tracer): the ring stores the pointers, not copies.
+ */
+
+#ifndef REF_OBS_TRACE_HH
+#define REF_OBS_TRACE_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <vector>
+
+namespace ref::obs {
+
+/** One completed span. */
+struct TraceEvent
+{
+    const char *name = "";
+    const char *category = "";
+    std::uint64_t startNs = 0;  //!< Since Tracer::enable().
+    std::uint64_t durationNs = 0;
+    std::uint32_t tid = 0;  //!< Small per-thread id, first-use order.
+};
+
+/** Tracer bookkeeping for tests and trace metadata. */
+struct TracerStats
+{
+    bool enabled = false;
+    std::size_t capacity = 0;
+    std::uint64_t sampleEvery = 1;
+    std::uint64_t recorded = 0;    //!< Events written to the ring.
+    std::uint64_t overwritten = 0; //!< Ring-full overwrites.
+    std::uint64_t sampledOut = 0;  //!< Dropped by down-sampling.
+};
+
+/** Process-wide span sink (see file comment). */
+class Tracer
+{
+  public:
+    static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+    Tracer() = default;
+    Tracer(const Tracer &) = delete;
+    Tracer &operator=(const Tracer &) = delete;
+
+    /**
+     * Start recording: allocates the ring, resets counters, and
+     * makes "now" timestamp zero. @p sampleEvery records every Nth
+     * span (1 records all); 0 is treated as 1.
+     */
+    void enable(std::size_t capacity = kDefaultCapacity,
+                std::uint64_t sampleEvery = 1);
+
+    /** Stop recording; the buffered events stay readable. */
+    void disable();
+
+    bool enabled() const noexcept
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Nanoseconds since enable() on the steady clock. */
+    std::uint64_t nowNs() const;
+
+    /** Record one completed span (used by Span; tests may call it
+     *  directly). No-op when disabled. */
+    void record(const char *name, const char *category,
+                std::uint64_t start_ns, std::uint64_t duration_ns);
+
+    /** Buffered events, oldest first. */
+    std::vector<TraceEvent> events() const;
+
+    TracerStats stats() const;
+
+    /** Drop all buffered events (counters reset too). */
+    void clear();
+
+    /**
+     * Chrome trace-event JSON of the buffered events. Metadata about
+     * sampling/overwrites rides along in "otherData" so a sampled
+     * trace is self-describing.
+     */
+    void writeChromeTrace(std::ostream &os) const;
+
+    /** The process-wide tracer every Span reports to. */
+    static Tracer &global();
+
+  private:
+    std::atomic<bool> enabled_{false};
+    mutable std::mutex mutex_;
+    std::vector<TraceEvent> ring_;
+    std::size_t head_ = 0;   //!< Next slot to write.
+    std::size_t count_ = 0;  //!< Valid events in the ring.
+    std::uint64_t sampleEvery_ = 1;
+    std::uint64_t sampleCounter_ = 0;
+    std::uint64_t recorded_ = 0;
+    std::uint64_t overwritten_ = 0;
+    std::uint64_t sampledOut_ = 0;
+    std::uint64_t baseNs_ = 0;  //!< Steady-clock origin of ts 0.
+};
+
+/**
+ * RAII span: times construction to destruction and reports to
+ * Tracer::global(). Name/category must be string literals.
+ */
+class Span
+{
+  public:
+    explicit Span(const char *name, const char *category = "ref")
+        : name_(name), category_(category),
+          active_(Tracer::global().enabled()),
+          startNs_(active_ ? Tracer::global().nowNs() : 0)
+    {}
+
+    ~Span()
+    {
+        if (!active_)
+            return;
+        Tracer &tracer = Tracer::global();
+        tracer.record(name_, category_, startNs_,
+                      tracer.nowNs() - startNs_);
+    }
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+  private:
+    const char *name_;
+    const char *category_;
+    bool active_;
+    std::uint64_t startNs_;
+};
+
+} // namespace ref::obs
+
+#endif // REF_OBS_TRACE_HH

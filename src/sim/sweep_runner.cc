@@ -10,11 +10,50 @@
 #include <type_traits>
 #include <utility>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "util/logging.hh"
 #include "util/record_io.hh"
 
 namespace ref::sim {
 namespace {
+
+/**
+ * Process-wide sweep-cache telemetry, shared by every SweepRunner
+ * (the per-runner ProfileCacheStats stay authoritative for the
+ * sweep-summary log; these feed metrics scrapes).
+ */
+struct SweepCacheCounters
+{
+    obs::Counter &hits;
+    obs::Counter &misses;
+    obs::Counter &evictions;
+    obs::Counter &diskHits;
+    obs::Counter &diskWrites;
+    obs::Counter &diskBad;
+};
+
+SweepCacheCounters &
+sweepCacheCounters()
+{
+    auto &registry = obs::MetricsRegistry::global();
+    static SweepCacheCounters counters{
+        registry.counter("ref_sweep_cache_hits_total",
+                         "Sweep cells served from the memory cache"),
+        registry.counter("ref_sweep_cache_misses_total",
+                         "Sweep cells absent from the memory cache"),
+        registry.counter("ref_sweep_cache_evictions_total",
+                         "Sweep cells evicted by the LRU"),
+        registry.counter("ref_sweep_cache_disk_hits_total",
+                         "Sweep cells served from the disk tier"),
+        registry.counter("ref_sweep_cache_disk_writes_total",
+                         "Sweep cells persisted to the disk tier"),
+        registry.counter(
+            "ref_sweep_cache_disk_bad_total",
+            "Corrupt or incompatible disk cells recomputed"),
+    };
+    return counters;
+}
 
 /** Leading share of each trace used only to warm caches. */
 constexpr double kWarmupFraction = 0.35;
@@ -238,11 +277,13 @@ ProfileCache::lookup(const SweepCellKey &key, SweepPoint &point)
     const auto found = index_.find(key);
     if (found == index_.end()) {
         ++stats_.misses;
+        sweepCacheCounters().misses.add();
         return false;
     }
     lru_.splice(lru_.begin(), lru_, found->second);
     point = found->second->second;
     ++stats_.hits;
+    sweepCacheCounters().hits.add();
     return true;
 }
 
@@ -265,6 +306,7 @@ ProfileCache::insert(const SweepCellKey &key, const SweepPoint &point)
         index_.erase(lru_.back().first);
         lru_.pop_back();
         ++stats_.evictions;
+        sweepCacheCounters().evictions.add();
     }
 }
 
@@ -287,6 +329,7 @@ ProfileCache::noteDiskHit()
 {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.diskHits;
+    sweepCacheCounters().diskHits.add();
 }
 
 void
@@ -294,6 +337,7 @@ ProfileCache::noteDiskWrite()
 {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.diskWrites;
+    sweepCacheCounters().diskWrites.add();
 }
 
 void
@@ -301,6 +345,7 @@ ProfileCache::noteDiskBadEntry()
 {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.diskBadEntries;
+    sweepCacheCounters().diskBad.add();
 }
 
 SweepRunner::SweepRunner(PlatformConfig base, std::size_t trace_ops,
@@ -363,9 +408,13 @@ SweepRunner::runCell(const WorkloadSpec &workload, const Trace &trace,
         return point;
     }
 
-    point = simulateSweepCell(
-        trace, config, workload.timing, kWarmupFraction,
-        sweepCellSeed(workload.trace.seed, bandwidth, cache_bytes));
+    {
+        obs::Span span("sweep.cell", "sim");
+        point = simulateSweepCell(
+            trace, config, workload.timing, kWarmupFraction,
+            sweepCellSeed(workload.trace.seed, bandwidth,
+                          cache_bytes));
+    }
     cache_.insert(key, point);
     storeCellToDisk(key, point);
     return point;

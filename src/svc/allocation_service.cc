@@ -1,5 +1,9 @@
 #include "allocation_service.hh"
 
+#include <cmath>
+#include <ostream>
+
+#include "obs/trace.hh"
 #include "util/logging.hh"
 
 namespace ref::svc {
@@ -77,15 +81,94 @@ AllocationService::update(const std::string &name,
 EpochResult
 AllocationService::tick()
 {
+    obs::Span span("epoch.tick", "svc");
     std::lock_guard<std::mutex> lock(writeMutex_);
+    const auto previous = snapshot();
     EpochResult result = driver_.tick();
     metrics_.recordEpoch(result);
     publishEpochLocked(result);
+    recordFairnessLocked(*previous, result);
     JournalRecord record;
     record.type = JournalRecord::Type::Tick;
     record.epoch = result.epoch;
     journalAppendLocked(record);
     return result;
+}
+
+namespace {
+
+/** Sum of |row| over one agent's bundle. */
+double
+bundleMass(const core::Allocation &allocation, std::size_t row)
+{
+    double mass = 0;
+    for (std::size_t r = 0; r < allocation.resources(); ++r)
+        mass += std::abs(allocation.at(row, r));
+    return mass;
+}
+
+/**
+ * L1 distance between two epochs' allocations over the union of
+ * their agents; an agent present in only one epoch contributes its
+ * whole bundle (it went from something to nothing or vice versa).
+ */
+double
+allocationDrift(const std::vector<std::string> &old_names,
+                const core::Allocation &old_alloc,
+                const std::vector<std::string> &new_names,
+                const core::Allocation &new_alloc)
+{
+    double drift = 0;
+    std::vector<bool> matched(old_names.size(), false);
+    for (std::size_t i = 0; i < new_names.size(); ++i) {
+        std::size_t j = 0;
+        while (j < old_names.size() && old_names[j] != new_names[i])
+            ++j;
+        if (j == old_names.size()) {
+            drift += bundleMass(new_alloc, i);
+            continue;
+        }
+        matched[j] = true;
+        const std::size_t resources =
+            std::min(old_alloc.resources(), new_alloc.resources());
+        for (std::size_t r = 0; r < resources; ++r)
+            drift +=
+                std::abs(new_alloc.at(i, r) - old_alloc.at(j, r));
+    }
+    for (std::size_t j = 0; j < old_names.size(); ++j)
+        if (!matched[j])
+            drift += bundleMass(old_alloc, j);
+    return drift;
+}
+
+} // namespace
+
+void
+AllocationService::recordFairnessLocked(
+    const ServiceSnapshot &previous, const EpochResult &result)
+{
+    obs::FairnessSample sample;
+    sample.epoch = result.epoch;
+    sample.agents = result.agentNames.size();
+    sample.checked = result.propertiesChecked;
+    if (result.propertiesChecked) {
+        // worstSlack is in log-utility units, so exp() turns it into
+        // the paper's multiplicative margin (>= 1 iff satisfied).
+        sample.siMargin =
+            std::exp(result.sharingIncentives.worstSlack);
+        sample.efMargin = std::exp(result.envyFreeness.worstSlack);
+    }
+    sample.l1Drift = allocationDrift(
+        previous.agents, previous.allocation, result.agentNames,
+        result.allocation);
+    sample.enforced = result.enforcementChanged;
+    sample.maxRelativeChange = result.maxRelativeChange;
+    sample.latencyNs = static_cast<std::uint64_t>(
+        std::max<std::chrono::nanoseconds::rep>(
+            result.latency.count(), 0));
+    series_.append(sample);
+    metrics_.setFairnessGauges(sample.siMargin, sample.efMargin,
+                               sample.l1Drift);
 }
 
 void
@@ -134,15 +217,38 @@ AllocationService::liveAgents() const
     return registry_.size();
 }
 
+void
+AllocationService::refreshRegistryLocked() const
+{
+    metrics_.setJournal(journal_ ? journal_->stats()
+                                 : JournalStats{});
+    metrics_.setRecovery(recovery_);
+}
+
 MetricsSnapshot
 AllocationService::metrics() const
 {
-    MetricsSnapshot snapshot = metrics_.snapshot();
     std::lock_guard<std::mutex> lock(writeMutex_);
-    if (journal_)
-        snapshot.journal = journal_->stats();
-    snapshot.recovery = recovery_;
-    return snapshot;
+    refreshRegistryLocked();
+    return metrics_.snapshot();
+}
+
+void
+AllocationService::writeMetrics(std::ostream &os,
+                                MetricsFormat format) const
+{
+    {
+        std::lock_guard<std::mutex> lock(writeMutex_);
+        refreshRegistryLocked();
+    }
+    switch (format) {
+    case MetricsFormat::Prometheus:
+        metrics_.registry().writePrometheus(os);
+        break;
+    case MetricsFormat::Json:
+        metrics_.registry().writeJson(os);
+        break;
+    }
 }
 
 void

@@ -25,11 +25,13 @@
 #define REF_SVC_ALLOCATION_SERVICE_HH
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "obs/fairness_series.hh"
 #include "svc/agent_registry.hh"
 #include "svc/enforcement_bridge.hh"
 #include "svc/epoch_driver.hh"
@@ -73,6 +75,13 @@ struct ServiceSnapshot
     std::size_t indexOf(const std::string &name) const;
 };
 
+/** Exposition formats served by the METRICS command. */
+enum class MetricsFormat
+{
+    Prometheus,
+    Json,
+};
+
 /** Long-lived allocation service: registry + epochs + metrics. */
 class AllocationService
 {
@@ -106,6 +115,19 @@ class AllocationService
     /** Service metrics, journal/durability counters included. */
     MetricsSnapshot metrics() const;
 
+    /**
+     * Write the full metrics registry in the requested exposition
+     * format. Journal and recovery counters are refreshed into the
+     * registry first, so this always agrees with metrics()/STATS.
+     */
+    void writeMetrics(std::ostream &os, MetricsFormat format) const;
+
+    /** Per-epoch fairness time series (ticks only, never replay). */
+    const obs::FairnessSeries &fairnessSeries() const
+    {
+        return series_;
+    }
+
     /** Count a command rejected at the protocol layer. */
     void noteRejected() { metrics_.recordRejected(); }
 
@@ -135,12 +157,18 @@ class AllocationService
     bool compactLocked();
     /** Full service state for a snapshot. */
     ServiceState captureStateLocked() const;
+    /** Mirror live journal/recovery state into the registry. */
+    void refreshRegistryLocked() const;
+    /** Append the epoch's fairness sample and update the gauges. */
+    void recordFairnessLocked(const ServiceSnapshot &previous,
+                              const EpochResult &result);
 
     ServiceConfig config_;
     mutable std::mutex writeMutex_;  //!< Serializes churn and ticks.
     AgentRegistry registry_;
     EpochDriver driver_;
-    ServiceMetrics metrics_;
+    mutable ServiceMetrics metrics_;
+    obs::FairnessSeries series_;
 
     std::unique_ptr<Journal> journal_;  //!< Null when disabled.
     RecoveryInfo recovery_;

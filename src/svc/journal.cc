@@ -12,6 +12,7 @@
 #include <optional>
 #include <utility>
 
+#include "obs/trace.hh"
 #include "svc/failpoints.hh"
 #include "util/logging.hh"
 #include "util/record_io.hh"
@@ -380,6 +381,7 @@ Journal::append(const JournalRecord &record)
 {
     if (!config_.enabled() || degraded_ || fd_ < 0)
         return false;
+    obs::Span span("journal.append", "journal");
     const std::string frame =
         frameRecord(encodeJournalRecord(record));
     if (const int err =
@@ -393,6 +395,7 @@ Journal::append(const JournalRecord &record)
     ++sinceFsync_;
     if (config_.fsyncEvery != 0 &&
         sinceFsync_ >= config_.fsyncEvery) {
+        obs::Span fsyncSpan("journal.fsync", "journal");
         if (const int err = io::syncFd(fd_, "journal.fsync")) {
             enterDegraded("journal.fsync", err);
             return false;
@@ -409,6 +412,7 @@ Journal::sync()
     if (!config_.enabled() || degraded_ || fd_ < 0 ||
         sinceFsync_ == 0)
         return;
+    obs::Span span("journal.fsync", "journal");
     if (const int err = io::syncFd(fd_, "journal.fsync")) {
         enterDegraded("journal.fsync", err);
         return;

@@ -2,6 +2,7 @@
 
 #include <charconv>
 #include <cmath>
+#include <fstream>
 #include <istream>
 #include <limits>
 #include <ostream>
@@ -9,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hh"
 #include "util/logging.hh"
 
 namespace ref::svc {
@@ -125,6 +127,84 @@ printPlan(std::ostream &out, const EnforcementPlan &plan)
         out << "NOTE " << plan.partitionNote << "\n";
 }
 
+/** Static-lifetime span name for one command (Span keeps the
+ *  pointer, so these must be literals). */
+const char *
+commandSpanName(const std::string &command)
+{
+    if (command == "ADMIT")
+        return "cmd.admit";
+    if (command == "UPDATE")
+        return "cmd.update";
+    if (command == "DEPART")
+        return "cmd.depart";
+    if (command == "TICK")
+        return "cmd.tick";
+    if (command == "QUERY")
+        return "cmd.query";
+    if (command == "PLAN")
+        return "cmd.plan";
+    if (command == "STATS")
+        return "cmd.stats";
+    if (command == "METRICS")
+        return "cmd.metrics";
+    if (command == "SHUTDOWN")
+        return "cmd.shutdown";
+    return "cmd.other";
+}
+
+/** Incremental-flush cursor for the fairness CSV file. */
+struct FairnessFlushState
+{
+    bool headerWritten = false;
+    std::uint64_t rowsFlushed = 0;
+};
+
+/**
+ * Rewrite the metrics exposition file and append any fairness rows
+ * produced since the last flush. Output files are observability
+ * side-channels: IO failures are ignored (the session's protocol
+ * stream is the product, the files are best-effort exports).
+ */
+void
+flushObservability(AllocationService &service,
+                   const SessionOptions &options,
+                   FairnessFlushState &fairness)
+{
+    if (!options.metricsOutPath.empty()) {
+        std::ofstream file(options.metricsOutPath,
+                           std::ios::trunc);
+        if (file)
+            service.writeMetrics(file, MetricsFormat::Prometheus);
+    }
+    if (options.fairnessOutPath.empty())
+        return;
+    const obs::FairnessSeries &series = service.fairnessSeries();
+    const std::uint64_t total = series.totalAppended();
+    if (fairness.headerWritten && total == fairness.rowsFlushed)
+        return;
+    std::ofstream file(options.fairnessOutPath,
+                       fairness.headerWritten ? std::ios::app
+                                              : std::ios::trunc);
+    if (!file)
+        return;
+    if (!fairness.headerWritten) {
+        file << obs::FairnessSeries::csvHeader() << "\n";
+        fairness.headerWritten = true;
+    }
+    const auto samples = series.samples();
+    // The ring holds the lifetime range [total - size, total); rows
+    // before rowsFlushed are already on disk.
+    const std::uint64_t first = total - samples.size();
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        if (first + i < fairness.rowsFlushed)
+            continue;
+        obs::FairnessSeries::writeCsvRow(file, samples[i]);
+        file << "\n";
+    }
+    fairness.rowsFlushed = total;
+}
+
 } // namespace
 
 SessionResult
@@ -132,6 +212,7 @@ runSession(AllocationService &service, std::istream &in,
            std::ostream &out, const SessionOptions &options)
 {
     SessionResult result;
+    FairnessFlushState fairness;
     std::string line;
     while (std::getline(in, line)) {
         if (options.stopFlag && *options.stopFlag != 0) {
@@ -148,6 +229,7 @@ runSession(AllocationService &service, std::istream &in,
         ++result.commands;
 
         const std::string &command = tokens.front();
+        obs::Span span(commandSpanName(command), "proto");
         try {
             if (command == "ADMIT") {
                 REF_REQUIRE(tokens.size() >= 3,
@@ -192,6 +274,7 @@ runSession(AllocationService &service, std::istream &in,
                         ++result.epochFailures;
                     printEpoch(out, epoch);
                 }
+                flushObservability(service, options, fairness);
             } else if (command == "QUERY") {
                 REF_REQUIRE(tokens.size() <= 2,
                             "usage: QUERY [name]");
@@ -221,6 +304,29 @@ runSession(AllocationService &service, std::istream &in,
             } else if (command == "STATS") {
                 REF_REQUIRE(tokens.size() == 1, "usage: STATS");
                 printMetrics(out, service.metrics());
+            } else if (command == "METRICS") {
+                REF_REQUIRE(
+                    tokens.size() <= 2,
+                    "usage: METRICS [prom|json|fairness]");
+                const std::string format =
+                    tokens.size() == 2 ? tokens[1]
+                                       : std::string("prom");
+                if (format == "prom")
+                    service.writeMetrics(out,
+                                         MetricsFormat::Prometheus);
+                else if (format == "json") {
+                    // writeJson ends at the closing brace; the line
+                    // protocol needs every reply newline-terminated.
+                    service.writeMetrics(out, MetricsFormat::Json);
+                    out << "\n";
+                }
+                else if (format == "fairness")
+                    service.fairnessSeries().writeCsv(out);
+                else
+                    REF_FATAL("unknown METRICS format '"
+                              << format
+                              << "' (expected prom, json, or "
+                                 "fairness)");
             } else if (command == "SHUTDOWN") {
                 REF_REQUIRE(tokens.size() == 1, "usage: SHUTDOWN");
                 service.syncJournal();
@@ -236,6 +342,7 @@ runSession(AllocationService &service, std::istream &in,
             out << "ERR " << error.what() << "\n";
         }
     }
+    flushObservability(service, options, fairness);
     return result;
 }
 

@@ -16,6 +16,10 @@
  *   PLAN                         print the enforcement artifacts of
  *                                the last enforced epoch
  *   STATS                        print service metrics
+ *   METRICS [prom|json|fairness] print the metrics registry in
+ *                                Prometheus (default) or JSON
+ *                                exposition, or the per-epoch
+ *                                fairness time series as CSV
  *   SHUTDOWN                     reply OK and end the session
  *   # ...                        comment; blank lines are ignored
  *
@@ -31,6 +35,7 @@
 #include <csignal>
 #include <cstdint>
 #include <iosfwd>
+#include <string>
 
 #include "svc/allocation_service.hh"
 
@@ -51,6 +56,12 @@ struct SessionOptions
      * command, as if the stream had hit EOF.
      */
     const volatile std::sig_atomic_t *stopFlag = nullptr;
+    /** When non-empty, rewrite this file with the Prometheus
+     *  exposition after every TICK command and at session end. */
+    std::string metricsOutPath;
+    /** When non-empty, append new fairness-series CSV rows to this
+     *  file after every TICK command and at session end. */
+    std::string fairnessOutPath;
 };
 
 /** What happened over one session. */

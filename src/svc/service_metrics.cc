@@ -7,39 +7,100 @@
 
 namespace ref::svc {
 
-void
-ServiceMetrics::recordAdmit()
+ServiceMetrics::ServiceMetrics()
+    : admits_(registry_.counter("ref_admits_total",
+                                "Agents admitted")),
+      departs_(registry_.counter("ref_departs_total",
+                                 "Agents departed")),
+      updates_(registry_.counter("ref_updates_total",
+                                 "Elasticity updates applied")),
+      queries_(registry_.counter("ref_queries_total",
+                                 "Snapshot queries served")),
+      rejected_(registry_.counter(
+          "ref_rejected_total",
+          "Commands rejected at the protocol layer")),
+      epochs_(registry_.counter("ref_epochs_total",
+                                "Epoch ticks completed")),
+      enforcementUpdates_(registry_.counter(
+          "ref_enforcement_updates_total",
+          "Epochs that re-programmed enforcement")),
+      hysteresisHolds_(registry_.counter(
+          "ref_hysteresis_holds_total",
+          "Epochs held on the previous enforcement by hysteresis")),
+      siViolations_(registry_.counter(
+          "ref_si_violations_total",
+          "Epochs whose sharing-incentives check failed")),
+      efViolations_(registry_.counter(
+          "ref_ef_violations_total",
+          "Epochs whose envy-freeness check failed")),
+      selfCheckFailures_(registry_.counter(
+          "ref_selfcheck_failures_total",
+          "Epochs whose incremental allocation diverged from the "
+          "from-scratch recompute")),
+      latencyUs_(registry_.histogram(
+          "ref_epoch_latency_us",
+          "Epoch compute latency in microseconds (log-2 buckets)",
+          MetricsSnapshot::kLatencyBuckets)),
+      latencyNs_(registry_.histogram(
+          "ref_epoch_latency_ns",
+          "Epoch compute latency in nanoseconds (log-2 buckets)",
+          48)),
+      journalEnabled_(registry_.gauge(
+          "ref_journal_enabled", "1 when a write-ahead log is on")),
+      journalRecords_(registry_.gauge(
+          "ref_journal_records",
+          "Records committed to the write-ahead log")),
+      journalBytes_(registry_.gauge(
+          "ref_journal_bytes", "Framed bytes written to the wal")),
+      journalFsyncs_(registry_.gauge("ref_journal_fsyncs",
+                                     "fsync calls on the wal")),
+      journalAppendErrors_(registry_.gauge(
+          "ref_journal_append_errors",
+          "IO failures on wal append or fsync")),
+      journalDegraded_(registry_.gauge(
+          "ref_journal_degraded",
+          "1 while the journal is degraded (IO errors)")),
+      journalDegradedSkipped_(registry_.gauge(
+          "ref_journal_degraded_skipped",
+          "Accepted records skipped while degraded")),
+      journalReopens_(registry_.gauge(
+          "ref_journal_reopens",
+          "Successful degraded-mode recoveries")),
+      journalSnapshots_(registry_.gauge(
+          "ref_journal_snapshots", "Snapshot compactions completed")),
+      journalSnapshotFailures_(registry_.gauge(
+          "ref_journal_snapshot_failures",
+          "Snapshot compactions that failed")),
+      recoveryOutcome_(registry_.gauge(
+          "ref_recovery_outcome_code",
+          "Recovery outcome: 0 disabled, 1 fresh, 2 clean, "
+          "3 truncated tail, 4 discarded wal")),
+      recoverySnapshotLoaded_(registry_.gauge(
+          "ref_recovery_snapshot_loaded",
+          "1 when recovery loaded a snapshot file")),
+      recoveryGeneration_(registry_.gauge(
+          "ref_recovery_generation",
+          "Journal generation active after recovery")),
+      recoveryReplayedRecords_(registry_.gauge(
+          "ref_recovery_replayed_records",
+          "Wal records replayed during recovery")),
+      recoveryTruncatedBytes_(registry_.gauge(
+          "ref_recovery_truncated_bytes",
+          "Torn/corrupt wal tail bytes discarded during recovery")),
+      fairnessSiMargin_(registry_.gauge(
+          "ref_fairness_si_margin",
+          "Last epoch's min over agents of u_i(REF)/u_i(equal "
+          "split); >= 1 means sharing incentives hold")),
+      fairnessEfMargin_(registry_.gauge(
+          "ref_fairness_ef_margin",
+          "Last epoch's min over agent pairs of u_i(x_i)/u_i(x_j); "
+          ">= 1 means the allocation is envy-free")),
+      fairnessL1Drift_(registry_.gauge(
+          "ref_fairness_l1_drift",
+          "L1 distance between the last two epochs' allocations"))
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++data_.admits;
-}
-
-void
-ServiceMetrics::recordDepart()
-{
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++data_.departs;
-}
-
-void
-ServiceMetrics::recordUpdate()
-{
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++data_.updates;
-}
-
-void
-ServiceMetrics::recordQuery()
-{
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++data_.queries;
-}
-
-void
-ServiceMetrics::recordRejected()
-{
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++data_.rejected;
+    fairnessSiMargin_.set(1.0);
+    fairnessEfMargin_.set(1.0);
 }
 
 void
@@ -49,40 +110,116 @@ ServiceMetrics::recordEpoch(const EpochResult &result)
         std::max<std::chrono::nanoseconds::rep>(
             result.latency.count(), 0));
 
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++data_.epochs;
+    epochs_.add();
     if (result.enforcementChanged)
-        ++data_.enforcementUpdates;
+        enforcementUpdates_.add();
     else
-        ++data_.hysteresisHolds;
+        hysteresisHolds_.add();
     if (result.propertiesChecked) {
         if (!result.sharingIncentives.satisfied)
-            ++data_.siViolations;
+            siViolations_.add();
         if (!result.envyFreeness.satisfied)
-            ++data_.efViolations;
+            efViolations_.add();
     }
     if (!result.incrementalMatchesScratch)
-        ++data_.selfCheckFailures;
+        selfCheckFailures_.add();
 
-    const std::uint64_t microseconds = nanoseconds / 1000;
-    std::size_t bucket = 0;
-    while (bucket + 1 < MetricsSnapshot::kLatencyBuckets &&
-           microseconds >= (std::uint64_t{1} << bucket))
-        ++bucket;
-    ++data_.latencyBuckets[bucket];
-    data_.latencyTotalNs += nanoseconds;
-    data_.latencyMaxNs = std::max(data_.latencyMaxNs, nanoseconds);
-    data_.latencyMinNs = data_.epochs == 1
-                             ? nanoseconds
-                             : std::min(data_.latencyMinNs,
-                                        nanoseconds);
+    latencyUs_.observe(nanoseconds / 1000);
+    latencyNs_.observe(nanoseconds);
+}
+
+void
+ServiceMetrics::setJournal(const JournalStats &stats)
+{
+    journalEnabled_.set(stats.enabled ? 1 : 0);
+    journalRecords_.set(static_cast<double>(stats.records));
+    journalBytes_.set(static_cast<double>(stats.bytes));
+    journalFsyncs_.set(static_cast<double>(stats.fsyncs));
+    journalAppendErrors_.set(
+        static_cast<double>(stats.appendErrors));
+    journalDegraded_.set(stats.degraded ? 1 : 0);
+    journalDegradedSkipped_.set(
+        static_cast<double>(stats.degradedSkipped));
+    journalReopens_.set(static_cast<double>(stats.reopens));
+    journalSnapshots_.set(static_cast<double>(stats.snapshots));
+    journalSnapshotFailures_.set(
+        static_cast<double>(stats.snapshotFailures));
+}
+
+void
+ServiceMetrics::setRecovery(const RecoveryInfo &info)
+{
+    recoveryOutcome_.set(static_cast<double>(info.outcome));
+    recoverySnapshotLoaded_.set(info.snapshotLoaded ? 1 : 0);
+    recoveryGeneration_.set(static_cast<double>(info.generation));
+    recoveryReplayedRecords_.set(
+        static_cast<double>(info.replayedRecords));
+    recoveryTruncatedBytes_.set(
+        static_cast<double>(info.truncatedBytes));
+}
+
+void
+ServiceMetrics::setFairnessGauges(double si_margin, double ef_margin,
+                                  double l1_drift)
+{
+    fairnessSiMargin_.set(si_margin);
+    fairnessEfMargin_.set(ef_margin);
+    fairnessL1Drift_.set(l1_drift);
 }
 
 MetricsSnapshot
 ServiceMetrics::snapshot() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return data_;
+    MetricsSnapshot data;
+    data.admits = admits_.value();
+    data.departs = departs_.value();
+    data.updates = updates_.value();
+    data.queries = queries_.value();
+    data.rejected = rejected_.value();
+    data.epochs = epochs_.value();
+    data.enforcementUpdates = enforcementUpdates_.value();
+    data.hysteresisHolds = hysteresisHolds_.value();
+    data.siViolations = siViolations_.value();
+    data.efViolations = efViolations_.value();
+    data.selfCheckFailures = selfCheckFailures_.value();
+
+    const obs::Histogram::Snapshot us = latencyUs_.snapshot();
+    for (std::size_t b = 0;
+         b < MetricsSnapshot::kLatencyBuckets && b < us.counts.size();
+         ++b)
+        data.latencyBuckets[b] = us.counts[b];
+    const obs::Histogram::Snapshot ns = latencyNs_.snapshot();
+    data.latencyMinNs = ns.min;
+    data.latencyMaxNs = ns.max;
+    data.latencyTotalNs = ns.sum;
+
+    JournalStats &j = data.journal;
+    j.enabled = journalEnabled_.value() != 0;
+    j.records = static_cast<std::uint64_t>(journalRecords_.value());
+    j.bytes = static_cast<std::uint64_t>(journalBytes_.value());
+    j.fsyncs = static_cast<std::uint64_t>(journalFsyncs_.value());
+    j.appendErrors =
+        static_cast<std::uint64_t>(journalAppendErrors_.value());
+    j.degraded = journalDegraded_.value() != 0;
+    j.degradedSkipped =
+        static_cast<std::uint64_t>(journalDegradedSkipped_.value());
+    j.reopens = static_cast<std::uint64_t>(journalReopens_.value());
+    j.snapshots =
+        static_cast<std::uint64_t>(journalSnapshots_.value());
+    j.snapshotFailures = static_cast<std::uint64_t>(
+        journalSnapshotFailures_.value());
+
+    RecoveryInfo &r = data.recovery;
+    r.outcome = static_cast<RecoveryOutcome>(
+        static_cast<int>(recoveryOutcome_.value()));
+    r.snapshotLoaded = recoverySnapshotLoaded_.value() != 0;
+    r.generation =
+        static_cast<std::uint64_t>(recoveryGeneration_.value());
+    r.replayedRecords = static_cast<std::uint64_t>(
+        recoveryReplayedRecords_.value());
+    r.truncatedBytes = static_cast<std::uint64_t>(
+        recoveryTruncatedBytes_.value());
+    return data;
 }
 
 void

@@ -7,6 +7,13 @@
  * aggregates the per-epoch SI/EF property-check and incremental
  * self-check outcomes so a long-running service surfaces fairness
  * regressions as metrics rather than silent drift.
+ *
+ * Every value lives in an obs::MetricsRegistry owned by this object:
+ * the legacy STATS key=value dump (printMetrics), the Prometheus and
+ * JSON METRICS expositions, and MetricsSnapshot all read the same
+ * registry, so they can never disagree. Journal and recovery
+ * counters are mirrored into the registry (setJournal/setRecovery)
+ * before any read, keeping one source of truth.
  */
 
 #ifndef REF_SVC_SERVICE_METRICS_HH
@@ -16,8 +23,8 @@
 #include <chrono>
 #include <cstdint>
 #include <iosfwd>
-#include <mutex>
 
+#include "obs/metrics.hh"
 #include "svc/journal.hh"
 
 namespace ref::svc {
@@ -45,6 +52,8 @@ struct MetricsSnapshot
      */
     static constexpr std::size_t kLatencyBuckets = 16;
     std::array<std::uint64_t, kLatencyBuckets> latencyBuckets{};
+    /** 0 until the first epoch (the registry histogram keeps a
+     *  sentinel internally so the true first minimum is recorded). */
     std::uint64_t latencyMinNs = 0;
     std::uint64_t latencyMaxNs = 0;
     std::uint64_t latencyTotalNs = 0;
@@ -71,22 +80,72 @@ struct MetricsSnapshot
  */
 void printMetrics(std::ostream &os, const MetricsSnapshot &snapshot);
 
-/** Thread-safe metrics sink. */
+/** Thread-safe metrics sink backed by an obs::MetricsRegistry. */
 class ServiceMetrics
 {
   public:
-    void recordAdmit();
-    void recordDepart();
-    void recordUpdate();
-    void recordQuery();
-    void recordRejected();
+    ServiceMetrics();
+
+    void recordAdmit() { admits_.add(); }
+    void recordDepart() { departs_.add(); }
+    void recordUpdate() { updates_.add(); }
+    void recordQuery() { queries_.add(); }
+    void recordRejected() { rejected_.add(); }
     void recordEpoch(const EpochResult &result);
+
+    /** Mirror the journal's counters into the registry (gauges,
+     *  absolute values) so expositions include durability state. */
+    void setJournal(const JournalStats &stats);
+
+    /** Mirror recovery info into the registry. */
+    void setRecovery(const RecoveryInfo &info);
+
+    /** Current fairness margins/drift as scrapeable gauges. */
+    void setFairnessGauges(double si_margin, double ef_margin,
+                           double l1_drift);
 
     MetricsSnapshot snapshot() const;
 
+    /** The backing registry, for the METRICS expositions. */
+    const obs::MetricsRegistry &registry() const { return registry_; }
+
   private:
-    mutable std::mutex mutex_;
-    MetricsSnapshot data_;
+    obs::MetricsRegistry registry_;
+
+    obs::Counter &admits_;
+    obs::Counter &departs_;
+    obs::Counter &updates_;
+    obs::Counter &queries_;
+    obs::Counter &rejected_;
+    obs::Counter &epochs_;
+    obs::Counter &enforcementUpdates_;
+    obs::Counter &hysteresisHolds_;
+    obs::Counter &siViolations_;
+    obs::Counter &efViolations_;
+    obs::Counter &selfCheckFailures_;
+    obs::Histogram &latencyUs_;  //!< Legacy 16-bucket STATS shape.
+    obs::Histogram &latencyNs_;  //!< ns min/max/sum source of truth.
+
+    obs::Gauge &journalEnabled_;
+    obs::Gauge &journalRecords_;
+    obs::Gauge &journalBytes_;
+    obs::Gauge &journalFsyncs_;
+    obs::Gauge &journalAppendErrors_;
+    obs::Gauge &journalDegraded_;
+    obs::Gauge &journalDegradedSkipped_;
+    obs::Gauge &journalReopens_;
+    obs::Gauge &journalSnapshots_;
+    obs::Gauge &journalSnapshotFailures_;
+
+    obs::Gauge &recoveryOutcome_;
+    obs::Gauge &recoverySnapshotLoaded_;
+    obs::Gauge &recoveryGeneration_;
+    obs::Gauge &recoveryReplayedRecords_;
+    obs::Gauge &recoveryTruncatedBytes_;
+
+    obs::Gauge &fairnessSiMargin_;
+    obs::Gauge &fairnessEfMargin_;
+    obs::Gauge &fairnessL1Drift_;
 };
 
 } // namespace ref::svc

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <string_view>
 
+#include "obs/trace.hh"
 #include "svc/journal.hh"
 #include "util/logging.hh"
 #include "util/record_io.hh"
@@ -147,6 +148,7 @@ writeSnapshotFile(const std::string &directory,
                   const std::string &finalPath,
                   const ServiceState &state, std::string &error)
 {
+    obs::Span span("snapshot.write", "journal");
     std::string bytes(kMagic);
     bytes += frameRecord(encodeServiceState(state));
 

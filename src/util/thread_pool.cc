@@ -3,9 +3,45 @@
 #include <cstdlib>
 #include <string>
 
+#include "obs/metrics.hh"
 #include "util/logging.hh"
 
 namespace ref {
+namespace {
+
+/**
+ * Process-wide pool telemetry. All ThreadPool instances share these
+ * counters (get-or-create registry semantics), which is what a scrape
+ * wants: total work through the process, not per-pool shards.
+ */
+obs::Counter &
+submittedCounter()
+{
+    static obs::Counter &counter = obs::MetricsRegistry::global().counter(
+        "ref_threadpool_tasks_submitted_total",
+        "Tasks enqueued across all thread pools");
+    return counter;
+}
+
+obs::Counter &
+executedCounter()
+{
+    static obs::Counter &counter = obs::MetricsRegistry::global().counter(
+        "ref_threadpool_tasks_executed_total",
+        "Tasks completed across all thread pools");
+    return counter;
+}
+
+obs::Counter &
+stolenCounter()
+{
+    static obs::Counter &counter = obs::MetricsRegistry::global().counter(
+        "ref_threadpool_tasks_stolen_total",
+        "Tasks taken from a sibling worker's queue");
+    return counter;
+}
+
+} // namespace
 
 ThreadPool::ThreadPool(std::size_t threads)
 {
@@ -52,6 +88,7 @@ ThreadPool::enqueue(Task task)
         std::lock_guard<std::mutex> lock(queues_[index]->mutex);
         queues_[index]->tasks.push_back(std::move(task));
     }
+    submittedCounter().add();
     wakeup_.notify_one();
 }
 
@@ -78,6 +115,7 @@ ThreadPool::popTask(std::size_t self, Task &task)
             task = std::move(victim.tasks.back());
             victim.tasks.pop_back();
             queued_.fetch_sub(1, std::memory_order_relaxed);
+            stolenCounter().add();
             return true;
         }
     }
@@ -91,6 +129,7 @@ ThreadPool::workerLoop(std::size_t self)
         Task task;
         if (popTask(self, task)) {
             task();
+            executedCounter().add();
             continue;
         }
         std::unique_lock<std::mutex> lock(sleepMutex_);

@@ -1,0 +1,218 @@
+#include "obs/metrics.hh"
+
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "util/thread_pool.hh"
+
+namespace {
+
+using namespace ref;
+using obs::Counter;
+using obs::Gauge;
+using obs::Histogram;
+using obs::MetricsRegistry;
+
+TEST(Counter, StartsAtZeroAndAccumulates)
+{
+    Counter counter;
+    EXPECT_EQ(counter.value(), 0u);
+    counter.add();
+    counter.add(41);
+    EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(Gauge, SetAndExtremes)
+{
+    Gauge gauge;
+    EXPECT_EQ(gauge.value(), 0.0);
+    gauge.set(3.5);
+    EXPECT_EQ(gauge.value(), 3.5);
+    gauge.set(-2.0);
+    EXPECT_EQ(gauge.value(), -2.0);
+
+    Gauge max;
+    max.updateMax(1.0);
+    max.updateMax(0.5);
+    max.updateMax(2.0);
+    EXPECT_EQ(max.value(), 2.0);
+}
+
+TEST(Histogram, BucketBoundariesAtExactPowersOfTwo)
+{
+    // Bucket 0 holds only 0; bucket b holds [2^(b-1), 2^b). An
+    // exact power of two 2^k is the LOWER bound of bucket k+1.
+    EXPECT_EQ(Histogram::bucketFor(0, 16), 0u);
+    EXPECT_EQ(Histogram::bucketFor(1, 16), 1u);
+    EXPECT_EQ(Histogram::bucketFor(2, 16), 2u);
+    EXPECT_EQ(Histogram::bucketFor(3, 16), 2u);
+    EXPECT_EQ(Histogram::bucketFor(4, 16), 3u);
+    EXPECT_EQ(Histogram::bucketFor(7, 16), 3u);
+    EXPECT_EQ(Histogram::bucketFor(8, 16), 4u);
+    for (std::size_t k = 0; k + 2 < 16; ++k) {
+        const std::uint64_t power = std::uint64_t{1} << k;
+        EXPECT_EQ(Histogram::bucketFor(power, 16), k + 1)
+            << "2^" << k << " must open bucket " << k + 1;
+        EXPECT_EQ(Histogram::bucketFor(power - 1, 16),
+                  k == 0 ? 0u : k)
+            << "2^" << k << "-1 must close bucket " << k;
+    }
+}
+
+TEST(Histogram, LastBucketIsUnboundedAbove)
+{
+    // 16 buckets cover [0, 2^15) exactly; everything at or above
+    // 2^15 clamps into bucket 15, including UINT64_MAX.
+    EXPECT_EQ(Histogram::bucketFor((1u << 15) - 1, 16), 15u);
+    EXPECT_EQ(Histogram::bucketFor(1u << 15, 16), 15u);
+    EXPECT_EQ(Histogram::bucketFor(1u << 20, 16), 15u);
+    EXPECT_EQ(Histogram::bucketFor(
+                  std::numeric_limits<std::uint64_t>::max(), 16),
+              15u);
+    EXPECT_EQ(Histogram::bucketUpperInclusive(15, 16),
+              std::numeric_limits<std::uint64_t>::max());
+    EXPECT_EQ(Histogram::bucketUpperInclusive(0, 16), 0u);
+    EXPECT_EQ(Histogram::bucketUpperInclusive(3, 16), 7u);
+
+    Histogram histogram(16);
+    histogram.observe(std::numeric_limits<std::uint64_t>::max());
+    const auto snapshot = histogram.snapshot();
+    EXPECT_EQ(snapshot.counts[15], 1u);
+    EXPECT_EQ(snapshot.count, 1u);
+}
+
+TEST(Histogram, SentinelMinNeverLeaks)
+{
+    Histogram histogram(16);
+    EXPECT_EQ(histogram.snapshot().min, 0u)
+        << "empty histogram exposes min 0, not the sentinel";
+    histogram.observe(900);
+    EXPECT_EQ(histogram.snapshot().min, 900u)
+        << "the first sample must become the minimum";
+    histogram.observe(30);
+    EXPECT_EQ(histogram.snapshot().min, 30u);
+    EXPECT_EQ(histogram.snapshot().max, 900u);
+    EXPECT_EQ(histogram.snapshot().sum, 930u);
+}
+
+TEST(MetricsRegistry, GetOrCreateReturnsSameInstance)
+{
+    MetricsRegistry registry;
+    Counter &first = registry.counter("ref_test_total", "help");
+    Counter &second = registry.counter("ref_test_total", "other");
+    EXPECT_EQ(&first, &second);
+    EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(MetricsRegistry, RejectsKindMismatchAndBadNames)
+{
+    MetricsRegistry registry;
+    registry.counter("ref_test_total", "help");
+    EXPECT_THROW(registry.gauge("ref_test_total", "help"),
+                 std::invalid_argument);
+    EXPECT_THROW(registry.counter("0starts_with_digit", "help"),
+                 std::invalid_argument);
+    EXPECT_THROW(registry.counter("has space", "help"),
+                 std::invalid_argument);
+    EXPECT_THROW(registry.counter("", "help"),
+                 std::invalid_argument);
+}
+
+TEST(MetricsRegistry, PrometheusExpositionShape)
+{
+    MetricsRegistry registry;
+    registry.counter("ref_b_total", "second").add(7);
+    registry.gauge("ref_a_gauge", "first").set(1.5);
+    Histogram &histogram =
+        registry.histogram("ref_lat", "latency", 4);
+    histogram.observe(0);
+    histogram.observe(2);
+    histogram.observe(100);
+
+    std::ostringstream out;
+    registry.writePrometheus(out);
+    const std::string text = out.str();
+
+    EXPECT_NE(text.find("# HELP ref_a_gauge first"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE ref_a_gauge gauge"),
+              std::string::npos);
+    EXPECT_NE(text.find("ref_a_gauge 1.5"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE ref_b_total counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("ref_b_total 7"), std::string::npos);
+    // Histogram: cumulative buckets ending in +Inf, plus sum/count.
+    EXPECT_NE(text.find("ref_lat_bucket{le=\"0\"} 1"),
+              std::string::npos);
+    EXPECT_NE(text.find("ref_lat_bucket{le=\"+Inf\"} 3"),
+              std::string::npos);
+    EXPECT_NE(text.find("ref_lat_sum 102"), std::string::npos);
+    EXPECT_NE(text.find("ref_lat_count 3"), std::string::npos);
+    // Sorted by name: a before b before lat.
+    EXPECT_LT(text.find("ref_a_gauge"), text.find("ref_b_total"));
+    EXPECT_LT(text.find("ref_b_total"), text.find("ref_lat"));
+}
+
+TEST(MetricsRegistry, JsonExpositionParsesStructurally)
+{
+    MetricsRegistry registry;
+    registry.counter("ref_c_total", "c").add(3);
+    registry.gauge("ref_g", "g").set(0.25);
+    registry.histogram("ref_h", "h", 4).observe(5);
+
+    std::ostringstream out;
+    registry.writeJson(out);
+    const std::string text = out.str();
+    EXPECT_EQ(text.front(), '{');
+    EXPECT_EQ(text.back(), '}');
+    EXPECT_NE(text.find("\"counters\""), std::string::npos);
+    EXPECT_NE(text.find("\"ref_c_total\":3"), std::string::npos);
+    EXPECT_NE(text.find("\"ref_g\":0.25"), std::string::npos);
+    EXPECT_NE(text.find("\"histograms\""), std::string::npos);
+    EXPECT_NE(text.find("\"count\":1"), std::string::npos);
+}
+
+TEST(MetricsRegistry, ConcurrentIncrementsUnderThreadPool)
+{
+    // The registry's hot path must be exact under contention: fan a
+    // few thousand increments out over the work-stealing pool and
+    // demand a perfect total.
+    MetricsRegistry registry;
+    Counter &counter =
+        registry.counter("ref_concurrent_total", "contended");
+    Histogram &histogram =
+        registry.histogram("ref_concurrent_hist", "contended", 16);
+
+    constexpr int kTasks = 64;
+    constexpr int kPerTask = 500;
+    {
+        ThreadPool pool(4);
+        std::vector<std::future<void>> futures;
+        futures.reserve(kTasks);
+        for (int t = 0; t < kTasks; ++t) {
+            futures.push_back(pool.submit([&counter, &histogram] {
+                for (int i = 0; i < kPerTask; ++i) {
+                    counter.add();
+                    histogram.observe(
+                        static_cast<std::uint64_t>(i));
+                }
+            }));
+        }
+        for (auto &future : futures)
+            future.get();
+    }
+
+    EXPECT_EQ(counter.value(),
+              static_cast<std::uint64_t>(kTasks) * kPerTask);
+    const auto snapshot = histogram.snapshot();
+    EXPECT_EQ(snapshot.count,
+              static_cast<std::uint64_t>(kTasks) * kPerTask);
+    EXPECT_EQ(snapshot.min, 0u);
+    EXPECT_EQ(snapshot.max, kPerTask - 1u);
+}
+
+} // namespace

@@ -1,0 +1,113 @@
+#include "obs/trace.hh"
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace ref;
+using obs::Span;
+using obs::Tracer;
+
+TEST(Tracer, DisabledRecordsNothing)
+{
+    Tracer &tracer = Tracer::global();
+    tracer.disable();
+    tracer.clear();
+    {
+        Span span("test.disabled", "test");
+    }
+    EXPECT_FALSE(tracer.enabled());
+    EXPECT_TRUE(tracer.events().empty());
+}
+
+TEST(Tracer, RecordsSpansOldestFirst)
+{
+    Tracer &tracer = Tracer::global();
+    tracer.enable(16, 1);
+    tracer.record("first", "test", 10, 5);
+    tracer.record("second", "test", 20, 7);
+    tracer.disable();
+
+    const auto events = tracer.events();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_STREQ(events[0].name, "first");
+    EXPECT_EQ(events[0].startNs, 10u);
+    EXPECT_EQ(events[0].durationNs, 5u);
+    EXPECT_STREQ(events[1].name, "second");
+    tracer.clear();
+}
+
+TEST(Tracer, RingOverwritesOldestWhenFull)
+{
+    Tracer &tracer = Tracer::global();
+    tracer.enable(4, 1);
+    for (int i = 0; i < 10; ++i)
+        tracer.record("ring", "test",
+                      static_cast<std::uint64_t>(i), 1);
+    tracer.disable();
+
+    const auto events = tracer.events();
+    ASSERT_EQ(events.size(), 4u);
+    // Oldest first: the survivors are spans 6..9.
+    EXPECT_EQ(events.front().startNs, 6u);
+    EXPECT_EQ(events.back().startNs, 9u);
+    EXPECT_EQ(tracer.stats().overwritten, 6u);
+    tracer.clear();
+}
+
+TEST(Tracer, SamplingKeepsEveryNth)
+{
+    Tracer &tracer = Tracer::global();
+    tracer.enable(64, 3);
+    for (int i = 0; i < 9; ++i)
+        tracer.record("sampled", "test",
+                      static_cast<std::uint64_t>(i), 1);
+    tracer.disable();
+
+    EXPECT_EQ(tracer.events().size(), 3u);
+    EXPECT_EQ(tracer.stats().sampledOut, 6u);
+    tracer.clear();
+}
+
+TEST(Tracer, SpanReportsWhenEnabled)
+{
+    Tracer &tracer = Tracer::global();
+    tracer.enable(16, 1);
+    {
+        Span span("test.span", "test");
+    }
+    tracer.disable();
+    const auto events = tracer.events();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_STREQ(events[0].name, "test.span");
+    EXPECT_STREQ(events[0].category, "test");
+    tracer.clear();
+}
+
+TEST(Tracer, ChromeTraceJsonShape)
+{
+    Tracer &tracer = Tracer::global();
+    tracer.enable(16, 1);
+    tracer.record("epoch.tick", "svc", 1500, 2500);
+    tracer.disable();
+
+    std::ostringstream out;
+    tracer.writeChromeTrace(out);
+    const std::string json = out.str();
+    // Chrome trace-event format: complete events with microsecond
+    // timestamps (1500ns -> 1.5us), loadable in Perfetto.
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"epoch.tick\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"cat\":\"svc\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ts\":1.500"), std::string::npos);
+    EXPECT_NE(json.find("\"dur\":2.500"), std::string::npos);
+    EXPECT_NE(json.find("\"otherData\""), std::string::npos);
+    tracer.clear();
+}
+
+} // namespace

@@ -1,6 +1,8 @@
 #include "svc/protocol.hh"
 
+#include <filesystem>
 #include <sstream>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -244,6 +246,89 @@ TEST(Protocol, DuplicateAdmitAndUnknownNamesAreErrors)
     // The duplicate ADMIT did not clobber a's elasticities.
     EXPECT_NE(output.find("SHARE a 24 12"), std::string::npos);
     EXPECT_EQ(service.metrics().rejected, 3u);
+}
+
+/** Pull "name value" from a Prometheus exposition; "" when absent. */
+std::string
+promValue(const std::string &text, const std::string &name)
+{
+    const std::string needle = "\n" + name + " ";
+    const std::size_t at = text.find(needle);
+    if (at == std::string::npos)
+        return "";
+    const std::size_t start = at + needle.size();
+    return text.substr(start, text.find('\n', start) - start);
+}
+
+TEST(Protocol, MetricsCommandServesRegistryExpositions)
+{
+    AllocationService service;
+    std::string output;
+    const auto result = run(service,
+                            "ADMIT a 0.5 0.5\n"
+                            "TICK 3\n"
+                            "METRICS\n"
+                            "METRICS json\n"
+                            "METRICS fairness\n"
+                            "METRICS yaml\n",
+                            output);
+    EXPECT_EQ(result.errors, 1u);  // yaml is not a format.
+    EXPECT_NE(output.find("# TYPE ref_epochs_total counter"),
+              std::string::npos);
+    EXPECT_EQ(promValue(output, "ref_epochs_total"), "3");
+    EXPECT_EQ(promValue(output, "ref_admits_total"), "1");
+    EXPECT_NE(output.find("\"counters\""), std::string::npos);
+    // One fairness CSV row per epoch, margins computed.
+    EXPECT_NE(output.find(obs::FairnessSeries::csvHeader()),
+              std::string::npos);
+    EXPECT_EQ(service.fairnessSeries().size(), 3u);
+    EXPECT_NE(output.find("ERR"), std::string::npos);
+}
+
+TEST(Protocol, MetricsAgreesWithStatsAfterRecovery)
+{
+    // recovery_* must be one source of truth: STATS (legacy
+    // key=value) and METRICS (registry exposition) read the same
+    // numbers on a service that just recovered a journal.
+    const std::string dir = testing::TempDir() +
+                            "ref_protocol_metrics_recovery";
+    std::filesystem::remove_all(dir);
+    svc::ServiceConfig config;
+    config.journal.directory = dir;
+
+    {
+        AllocationService service(config);
+        std::string output;
+        run(service,
+            "ADMIT a 0.5 0.5\nADMIT b 0.7 0.3\nTICK 2\nSHUTDOWN\n",
+            output);
+    }
+
+    AllocationService recovered(config);
+    std::string output;
+    const auto result =
+        run(recovered, "STATS\nMETRICS\n", output);
+    EXPECT_TRUE(result.clean());
+
+    const auto metrics = recovered.metrics();
+    EXPECT_EQ(metrics.recovery.outcome,
+              svc::RecoveryOutcome::Clean);
+    // STATS line and registry gauge must agree exactly.
+    EXPECT_NE(output.find("recovery_outcome=clean"),
+              std::string::npos);
+    EXPECT_EQ(promValue(output, "ref_recovery_outcome_code"), "2");
+    EXPECT_NE(output.find("recovery_snapshot_loaded=1"),
+              std::string::npos);
+    EXPECT_EQ(promValue(output, "ref_recovery_snapshot_loaded"),
+              "1");
+    EXPECT_EQ(promValue(output, "ref_recovery_generation"),
+              std::to_string(metrics.recovery.generation));
+    EXPECT_EQ(promValue(output, "ref_recovery_replayed_records"),
+              std::to_string(metrics.recovery.replayedRecords));
+    EXPECT_EQ(promValue(output, "ref_journal_enabled"), "1");
+    EXPECT_EQ(promValue(output, "ref_journal_records"),
+              std::to_string(metrics.journal.records));
+    std::filesystem::remove_all(dir);
 }
 
 } // namespace

@@ -67,6 +67,31 @@ TEST(ServiceMetrics, TracksLatencyHistogramAndExtremes)
                 1e-9);
 }
 
+TEST(ServiceMetrics, FirstEpochSetsMinMaxAndTotalExactly)
+{
+    // Regression: the minimum must start from a sentinel, not 0 —
+    // otherwise the first epoch's latency can never raise it and
+    // min stays 0 forever.
+    ServiceMetrics metrics;
+    EXPECT_EQ(metrics.snapshot().latencyMinNs, 0u)
+        << "no epochs yet: exposed min is 0";
+
+    metrics.recordEpoch(
+        cleanEpoch(1, std::chrono::nanoseconds(7321)));
+    const auto snapshot = metrics.snapshot();
+    EXPECT_EQ(snapshot.latencyMinNs, 7321u);
+    EXPECT_EQ(snapshot.latencyMaxNs, 7321u);
+    EXPECT_EQ(snapshot.latencyTotalNs, 7321u);
+
+    // A faster second epoch must lower the min.
+    metrics.recordEpoch(
+        cleanEpoch(2, std::chrono::nanoseconds(41)));
+    const auto after = metrics.snapshot();
+    EXPECT_EQ(after.latencyMinNs, 41u);
+    EXPECT_EQ(after.latencyMaxNs, 7321u);
+    EXPECT_EQ(after.latencyTotalNs, 7321u + 41u);
+}
+
 TEST(ServiceMetrics, HugeLatencyLandsInLastBucket)
 {
     ServiceMetrics metrics;

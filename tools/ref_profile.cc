@@ -9,13 +9,21 @@
  *
  * Usage:
  *   ref_profile --workload NAME [--ops N] [--jobs N]
- *               [--cache-dir DIR] [--list]
+ *               [--cache-dir DIR] [--list] [--quiet]
+ *               [--trace-out PATH]
+ *
+ * Status chatter (the sweep-cache summary) goes through the library
+ * logger at inform level; --quiet drops to warnings only.
+ * --trace-out records a span per simulated sweep cell and writes
+ * Chrome trace-event JSON on exit (load it at ui.perfetto.dev).
  */
 
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "core/profile_io.hh"
+#include "obs/trace.hh"
 #include "sim/profiler.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
@@ -29,7 +37,8 @@ usage(const char *argv0, const std::string &error = "")
         std::cerr << "error: " << error << "\n\n";
     std::cerr << "usage: " << argv0
               << " --workload NAME [--ops N] [--jobs N]"
-                 " [--cache-dir DIR] [--list]\n\n"
+                 " [--cache-dir DIR] [--list] [--quiet]"
+                 " [--trace-out PATH]\n\n"
                  "Profiles a cataloged synthetic workload over the "
                  "Table 1 sweep\nand writes the profile CSV to "
                  "stdout. --list prints the catalog.\n\n"
@@ -39,7 +48,11 @@ usage(const char *argv0, const std::string &error = "")
                  "--cache-dir DIR persists each simulated cell as a "
                  "CRC32-framed\nrecord so later runs (any process) "
                  "reuse it; corrupt entries are\nignored and "
-                 "recomputed.\n";
+                 "recomputed.\n\n"
+                 "--quiet silences the sweep-cache status line "
+                 "(warnings still\nprint). --trace-out PATH records "
+                 "per-cell spans and writes\nChrome trace-event JSON "
+                 "to PATH.\n";
     std::exit(2);
 }
 
@@ -77,7 +90,9 @@ main(int argc, char **argv)
     std::size_t ops = 80000;
     std::size_t jobs = 0;  // 0: REF_JOBS, else hardware threads.
     std::string cache_dir;
+    std::string trace_out;
     bool list = false;
+    bool quiet = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         const auto next = [&]() -> std::string {
@@ -97,14 +112,22 @@ main(int argc, char **argv)
             cache_dir = next();
             if (cache_dir.empty())
                 usage(argv[0], "--cache-dir needs a directory");
+        } else if (arg == "--trace-out") {
+            trace_out = next();
         } else if (arg == "--list") {
             list = true;
+        } else if (arg == "--quiet") {
+            quiet = true;
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
         } else {
             usage(argv[0], "unknown argument " + arg);
         }
     }
+
+    // Status chatter is inform-level; a CLI wants it by default and
+    // silent with --quiet (warnings always print).
+    setLogLevel(quiet ? LogLevel::Warn : LogLevel::Inform);
 
     try {
         if (list) {
@@ -118,6 +141,8 @@ main(int argc, char **argv)
             usage(argv[0], "--workload is required");
 
         const auto &workload = sim::workloadByName(workload_name);
+        if (!trace_out.empty())
+            obs::Tracer::global().enable();
         const sim::Profiler profiler(
             sim::PlatformConfig::table1(), ops,
             {.jobs = jobs, .cacheDir = cache_dir});
@@ -125,15 +150,31 @@ main(int argc, char **argv)
             profiler.sweep(workload));
         core::writeProfileCsv(std::cout, profile);
         const auto stats = profiler.runner().cacheStats();
-        std::cerr << "sweep cache: hits=" << stats.hits
-                  << " misses=" << stats.misses
-                  << " evictions=" << stats.evictions;
-        if (!cache_dir.empty()) {
-            std::cerr << " disk_hits=" << stats.diskHits
-                      << " disk_writes=" << stats.diskWrites
-                      << " disk_bad=" << stats.diskBadEntries;
+        {
+            detail::MessageBuilder message;
+            message << "sweep cache: hits=" << stats.hits
+                    << " misses=" << stats.misses
+                    << " evictions=" << stats.evictions;
+            if (!cache_dir.empty()) {
+                message << " disk_hits=" << stats.diskHits
+                        << " disk_writes=" << stats.diskWrites
+                        << " disk_bad=" << stats.diskBadEntries;
+            }
+            REF_INFORM(message.str());
         }
-        std::cerr << "\n";
+        if (!trace_out.empty()) {
+            obs::Tracer &tracer = obs::Tracer::global();
+            tracer.disable();
+            std::ofstream trace(trace_out);
+            if (trace.good()) {
+                tracer.writeChromeTrace(trace);
+                REF_INFORM("trace: " << tracer.stats().recorded
+                                     << " spans -> " << trace_out);
+            } else {
+                REF_WARN("cannot write trace to '" << trace_out
+                                                   << "'");
+            }
+        }
         return 0;
     } catch (const std::exception &error) {
         std::cerr << "error: " << error.what() << "\n";

@@ -9,6 +9,16 @@
  *   ref_serve [--capacity C0,C1] [--hysteresis H] [--assoc N]
  *             [--journal DIR] [--fsync-every N] [--snapshot-every N]
  *             [--selfcheck] [--strict] [--echo] [--file PATH]
+ *             [--metrics-out PATH] [--fairness-out PATH]
+ *             [--trace-out PATH] [--trace-sample N]
+ *
+ * Observability: --metrics-out rewrites PATH with the Prometheus
+ * exposition of the metrics registry after every TICK command (the
+ * METRICS protocol command serves the same registry inline);
+ * --fairness-out appends the per-epoch SI/EF-margin CSV rows as they
+ * are produced; --trace-out enables span tracing and writes a Chrome
+ * trace-event JSON on exit — load it at ui.perfetto.dev.
+ * --trace-sample N keeps every Nth span for long soaks.
  *
  * Example session:
  *   printf 'ADMIT user1 0.6 0.4\nADMIT user2 0.2 0.8\nTICK\nQUERY\n' \
@@ -39,6 +49,7 @@
 #include <sstream>
 #include <string>
 
+#include "obs/trace.hh"
 #include "svc/failpoints.hh"
 #include "svc/protocol.hh"
 #include "util/logging.hh"
@@ -76,6 +87,10 @@ struct CliOptions
     std::string capacityList = "24,12";
     std::string sessionFile;  //!< Empty: read stdin.
     std::string journalDir;   //!< Empty: memory-only.
+    std::string metricsOut;   //!< Empty: no exposition file.
+    std::string fairnessOut;  //!< Empty: no fairness CSV file.
+    std::string traceOut;     //!< Empty: tracing stays disabled.
+    std::uint64_t traceSample = 1;
     double hysteresis = 0.0;
     std::uint64_t fsyncEvery = 1;
     std::uint64_t snapshotEvery = 1024;
@@ -96,7 +111,9 @@ usage(const char *argv0, const std::string &error = "")
            "          [--journal DIR] [--fsync-every N] "
            "[--snapshot-every N]\n"
            "          [--selfcheck] [--strict] [--echo] "
-           "[--file PATH]\n\n"
+           "[--file PATH]\n"
+           "          [--metrics-out PATH] [--fairness-out PATH]\n"
+           "          [--trace-out PATH] [--trace-sample N]\n\n"
            "Runs the online REF allocation service over a line\n"
            "protocol on stdin (or PATH): ADMIT/UPDATE/DEPART agents,\n"
            "TICK epochs, QUERY shares, PLAN enforcement, STATS\n"
@@ -105,7 +122,12 @@ usage(const char *argv0, const std::string &error = "")
            "recovers DIR's state on startup. --selfcheck verifies\n"
            "each epoch's incremental allocation against a\n"
            "from-scratch recompute; --strict exits non-zero on any\n"
-           "rejected command or failed check.\n";
+           "rejected command or failed check. --metrics-out rewrites\n"
+           "PATH with the Prometheus exposition after every TICK;\n"
+           "--fairness-out appends per-epoch fairness-margin CSV\n"
+           "rows; --trace-out records spans and writes Chrome\n"
+           "trace-event JSON on exit (every Nth span with\n"
+           "--trace-sample N).\n";
     std::exit(2);
 }
 
@@ -141,6 +163,17 @@ parseArgs(int argc, char **argv)
             options.sessionFile = next();
         } else if (arg == "--journal") {
             options.journalDir = next();
+        } else if (arg == "--metrics-out") {
+            options.metricsOut = next();
+        } else if (arg == "--fairness-out") {
+            options.fairnessOut = next();
+        } else if (arg == "--trace-out") {
+            options.traceOut = next();
+        } else if (arg == "--trace-sample") {
+            options.traceSample = static_cast<std::uint64_t>(
+                parseNumber(argv[0], arg, next()));
+            if (options.traceSample == 0)
+                usage(argv[0], "--trace-sample must be positive");
         } else if (arg == "--fsync-every") {
             options.fsyncEvery = static_cast<std::uint64_t>(
                 parseNumber(argv[0], arg, next()));
@@ -212,9 +245,15 @@ main(int argc, char **argv)
 
         installSignalHandlers();
 
+        if (!options.traceOut.empty())
+            obs::Tracer::global().enable(
+                obs::Tracer::kDefaultCapacity, options.traceSample);
+
         svc::SessionOptions session;
         session.echo = options.echo;
         session.stopFlag = &gStopRequested;
+        session.metricsOutPath = options.metricsOut;
+        session.fairnessOutPath = options.fairnessOut;
 
         svc::SessionResult result;
         if (options.sessionFile.empty()) {
@@ -230,6 +269,24 @@ main(int argc, char **argv)
         }
 
         service.syncJournal();
+
+        if (!options.traceOut.empty()) {
+            obs::Tracer &tracer = obs::Tracer::global();
+            tracer.disable();
+            std::ofstream trace(options.traceOut);
+            if (trace.good()) {
+                tracer.writeChromeTrace(trace);
+                const obs::TracerStats stats = tracer.stats();
+                std::cerr << "trace: " << stats.recorded
+                          << " spans -> " << options.traceOut
+                          << " (sample_every=" << stats.sampleEvery
+                          << " overwritten=" << stats.overwritten
+                          << ")\n";
+            } else {
+                REF_WARN("cannot write trace to '"
+                         << options.traceOut << "'");
+            }
+        }
 
         std::cerr << "session: " << result.commands << " commands, "
                   << result.errors << " rejected, "
