@@ -1,0 +1,148 @@
+#!/usr/bin/env bash
+# Socket front-end soak: N concurrent TCP clients churn agents and
+# drive epochs against one journaled ref_serve, the server is killed
+# with -9 mid-run and restarted on the same journal, the clients
+# reconnect, and the run must end with a strict self-checked epoch, a
+# parseable Prometheus scrape of the ref_net_* series, and zero
+# leaked fds (the server's fd table returns to its post-accept
+# baseline once every client disconnects).
+set -u
+
+REF_SERVE=${1:?usage: serve_socket_soak.sh <ref_serve> <workdir> [epochs] [clients]}
+WORKDIR=${2:?usage: serve_socket_soak.sh <ref_serve> <workdir> [epochs] [clients]}
+EPOCHS=${3:-120}
+CLIENTS=${4:-8}
+
+rm -rf "$WORKDIR"
+mkdir -p "$WORKDIR"
+JOURNAL="$WORKDIR/journal"
+# Epochs split across two phases (before and after the kill), spread
+# over the clients; the post-restart phase is never interrupted, so
+# at least half the budget is guaranteed to land.
+TICKS_PER_CLIENT=$(((EPOCHS + 2 * CLIENTS - 1) / (2 * CLIENTS)))
+
+fail() {
+    echo "FAIL: $1" >&2
+    echo "--- server stderr ---" >&2
+    tail -40 "$WORKDIR"/server*.err >&2 2>/dev/null || true
+    kill -9 "$SRV" 2>/dev/null
+    exit 1
+}
+
+start_server() {
+    # $1: stderr log name. Port 0 = ephemeral, announced on stderr.
+    "$REF_SERVE" --capacity 24,12 --journal "$JOURNAL" \
+        --selfcheck --listen 127.0.0.1:0 --max-clients 32 \
+        > "$WORKDIR/server.out" 2> "$WORKDIR/$1" &
+    SRV=$!
+    PORT=
+    for _ in $(seq 1 100); do
+        PORT=$(sed -n 's/^listen: tcp=.*:\([0-9]*\)$/\1/p' \
+            "$WORKDIR/$1" 2>/dev/null)
+        [ -n "$PORT" ] && break
+        kill -0 "$SRV" 2>/dev/null || fail "server died on startup"
+        sleep 0.05
+    done
+    [ -n "$PORT" ] || fail "no listen banner in $1"
+}
+
+drive_client() {
+    # $1: phase tag, $2: client id. Lock-step (send one command,
+    # read its one reply line) so a dead server surfaces as a failed
+    # read, not a hang.
+    local phase=$1 id=$2 j
+    exec 3<>"/dev/tcp/127.0.0.1/$PORT" || return 1
+    for ((j = 1; j <= TICKS_PER_CLIENT; ++j)); do
+        printf 'ADMIT %s_c%s_%s 0.6 0.4\n' "$phase" "$id" "$j" >&3 \
+            || return 1
+        read -r _ <&3 || return 1
+        printf 'TICK\n' >&3 || return 1
+        read -r _ <&3 || return 1
+        if [ $((j % 3)) -eq 0 ]; then
+            printf 'DEPART %s_c%s_%s\n' "$phase" "$id" "$j" >&3 \
+                || return 1
+            read -r _ <&3 || return 1
+        fi
+    done
+    exec 3<&- 3>&-
+    return 0
+}
+
+run_phase() {
+    # $1: phase tag, $2: 1 if client failures are tolerated (the
+    # phase the kill -9 lands in).
+    local phase=$1 tolerate=$2 pids=() id ok=0
+    for ((id = 1; id <= CLIENTS; ++id)); do
+        drive_client "$phase" "$id" &
+        pids+=($!)
+    done
+    for pid in "${pids[@]}"; do
+        wait "$pid" && ok=$((ok + 1))
+    done
+    if [ "$tolerate" -eq 0 ] && [ "$ok" -ne "$CLIENTS" ]; then
+        fail "$phase: only $ok/$CLIENTS clients finished cleanly"
+    fi
+}
+
+fd_count() {
+    ls "/proc/$SRV/fd" 2>/dev/null | wc -l
+}
+
+# --- Phase 1: concurrent churn, then kill -9 mid-run. ---
+start_server server1.err
+run_phase pre 1 &
+PHASE=$!
+sleep 0.4  # Let churn land so the kill interrupts a live stream.
+kill -9 "$SRV" 2>/dev/null || fail "server already gone before kill"
+wait "$SRV" 2>/dev/null
+wait "$PHASE" 2>/dev/null
+
+# --- Phase 2: restart on the same journal, reconnect, finish. ---
+start_server server2.err
+grep -q 'recovery: outcome=' "$WORKDIR/server2.err" ||
+    fail "restarted server reported no journal recovery"
+BASELINE_FD=$(fd_count)
+run_phase post 0
+
+# All clients disconnected: the fd table must return to baseline
+# (give the poll loop a moment to observe the EOFs).
+LEAK_OK=0
+for _ in $(seq 1 50); do
+    [ "$(fd_count)" -le "$BASELINE_FD" ] && { LEAK_OK=1; break; }
+    sleep 0.1
+done
+[ "$LEAK_OK" -eq 1 ] ||
+    fail "leaked fds: $(fd_count) open vs baseline $BASELINE_FD"
+
+# --- Final strict verification + metrics scrape over the socket. ---
+exec 3<>"/dev/tcp/127.0.0.1/$PORT" || fail "control connect failed"
+printf 'TICK\nQUERY\nSTATS\nMETRICS prom\nSHUTDOWN\n' >&3
+cat <&3 > "$WORKDIR/final_transcript.txt"
+exec 3<&- 3>&-
+wait "$SRV"
+[ $? -eq 0 ] || fail "server exited non-zero after SHUTDOWN"
+
+grep -q 'selfcheck=ok' "$WORKDIR/final_transcript.txt" ||
+    fail "final epoch failed the incremental self-check"
+grep -q 'OK shutdown' "$WORKDIR/final_transcript.txt" ||
+    fail "missing SHUTDOWN acknowledgement"
+FINAL_EPOCH=$(sed -n 's/^EPOCH \([0-9]*\).*/\1/p' \
+    "$WORKDIR/final_transcript.txt" | tail -1)
+[ -n "$FINAL_EPOCH" ] || fail "no EPOCH reply in the final session"
+[ "$FINAL_EPOCH" -ge $((EPOCHS / 2)) ] ||
+    fail "only $FINAL_EPOCH epochs survived (wanted >= $((EPOCHS / 2)))"
+
+# The scrape artifact: exposition text with the ref_net_ series.
+sed -n '/^# HELP/,$p' "$WORKDIR/final_transcript.txt" \
+    > "$WORKDIR/metrics.prom"
+for series in ref_net_accepted_total ref_net_bytes_in_total \
+    ref_net_bytes_out_total ref_net_lines_total; do
+    grep -q "^$series " "$WORKDIR/metrics.prom" ||
+        fail "metrics scrape is missing $series"
+done
+grep -q 'server: .* accepted' "$WORKDIR/server2.err" ||
+    fail "missing server summary line"
+
+echo "ok: $CLIENTS clients, final epoch $FINAL_EPOCH," \
+    "kill -9 + journal recovery, fds back to $BASELINE_FD," \
+    "scrape at $WORKDIR/metrics.prom"

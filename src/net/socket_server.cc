@@ -1,0 +1,674 @@
+#include "socket_server.hh"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "svc/failpoints.hh"
+#include "util/logging.hh"
+
+namespace ref::net {
+namespace {
+
+std::int64_t
+nowMs()
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+void
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    REF_REQUIRE(flags >= 0 &&
+                    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+                "cannot set O_NONBLOCK: " << std::strerror(errno));
+}
+
+/** Per-run handles into the process-wide registry; get-or-create,
+ *  so several servers in one process share the series. */
+struct NetMetrics
+{
+    obs::Counter &accepted;
+    obs::Counter &dropped;
+    obs::Counter &idleTimeouts;
+    obs::Counter &writeTimeouts;
+    obs::Counter &bytesIn;
+    obs::Counter &bytesOut;
+    obs::Counter &lines;
+    obs::Counter &overlongLines;
+    obs::Gauge &active;
+
+    NetMetrics()
+        : accepted(obs::MetricsRegistry::global().counter(
+              "ref_net_accepted_total",
+              "Client connections accepted by the socket server")),
+          dropped(obs::MetricsRegistry::global().counter(
+              "ref_net_dropped_total",
+              "Client connections dropped (timeout, overflow, IO "
+              "error, or server full)")),
+          idleTimeouts(obs::MetricsRegistry::global().counter(
+              "ref_net_idle_timeouts_total",
+              "Connections dropped by the idle timeout")),
+          writeTimeouts(obs::MetricsRegistry::global().counter(
+              "ref_net_write_timeouts_total",
+              "Connections dropped by the write timeout (slow "
+              "readers)")),
+          bytesIn(obs::MetricsRegistry::global().counter(
+              "ref_net_bytes_in_total",
+              "Bytes read from socket clients")),
+          bytesOut(obs::MetricsRegistry::global().counter(
+              "ref_net_bytes_out_total",
+              "Bytes written to socket clients")),
+          lines(obs::MetricsRegistry::global().counter(
+              "ref_net_lines_total",
+              "Complete protocol lines framed off sockets")),
+          overlongLines(obs::MetricsRegistry::global().counter(
+              "ref_net_overlong_lines_total",
+              "Lines rejected for exceeding the byte bound")),
+          active(obs::MetricsRegistry::global().gauge(
+              "ref_net_active_connections",
+              "Currently connected socket clients"))
+    {}
+
+    static NetMetrics &instance()
+    {
+        static NetMetrics metrics;
+        return metrics;
+    }
+};
+
+/**
+ * Failpoint shim for the socket syscall sites ("net.accept",
+ * "net.read", "net.write"). Error actions surface as the injected
+ * errno — the caller handles it exactly like a real failed syscall
+ * (connection drop, accept retry). ShortWrite halves the byte count
+ * the caller may move this pass, exercising the partial-IO paths
+ * without an error. Crash actions behave as in the journal shim.
+ */
+struct NetInject
+{
+    bool fail = false;
+    int errnoValue = 0;
+    bool shortIo = false;
+};
+
+NetInject
+injectNetIo(const char *site)
+{
+    const auto hit = svc::Failpoints::instance().check(site);
+    if (!hit)
+        return {};
+    if (hit->action == svc::FailAction::Crash) {
+        if (hit->exitProcess)
+            std::_Exit(svc::kCrashExitCode);
+        throw svc::CrashInjected(site);
+    }
+    if (hit->action == svc::FailAction::ShortWrite)
+        return {false, 0, true};
+    return {true, hit->errnoValue, false};
+}
+
+} // namespace
+
+/** One client connection: fd + framing buffers + protocol session. */
+struct SocketServer::Connection
+{
+    int fd = -1;
+    std::unique_ptr<svc::CommandSession> session;
+    std::string inbuf;       //!< Bytes read, not yet framed.
+    std::string outbuf;      //!< Reply bytes not yet written.
+    std::size_t outOffset = 0;  //!< Flushed prefix of outbuf.
+    bool discardingOverlong = false;
+    bool dead = false;
+    std::int64_t lastInboundMs = 0;   //!< Last byte read.
+    std::int64_t lastProgressMs = 0;  //!< Last outbuf progress.
+
+    std::size_t pending() const { return outbuf.size() - outOffset; }
+};
+
+SocketServer::SocketServer(svc::AllocationService &service,
+                           ServerOptions options)
+    : service_(service), options_(std::move(options))
+{
+    // One socket scrape covers service and transport: METRICS prom
+    // from a connection also renders the ref_net_* global series.
+    options_.session.includeGlobalMetrics = true;
+}
+
+SocketServer::~SocketServer()
+{
+    for (auto &conn : connections_)
+        if (conn->fd >= 0)
+            ::close(conn->fd);
+    if (tcpListenFd_ >= 0)
+        ::close(tcpListenFd_);
+    if (unixListenFd_ >= 0)
+        ::close(unixListenFd_);
+    if (!boundUnixPath_.empty())
+        ::unlink(boundUnixPath_.c_str());
+}
+
+void
+SocketServer::start()
+{
+    REF_REQUIRE(!options_.listenAddress.empty() ||
+                    !options_.unixPath.empty(),
+                "socket server needs --listen and/or --unix");
+    REF_REQUIRE(options_.maxLineBytes >= 16,
+                "line bound must be at least 16 bytes");
+
+    if (!options_.listenAddress.empty()) {
+        const std::string &spec = options_.listenAddress;
+        const std::size_t colon = spec.rfind(':');
+        REF_REQUIRE(colon != std::string::npos && colon > 0,
+                    "--listen wants addr:port, got '" << spec << "'");
+        const std::string host = spec.substr(0, colon);
+        const std::string portText = spec.substr(colon + 1);
+        int port = 0;
+        try {
+            std::size_t consumed = 0;
+            port = std::stoi(portText, &consumed);
+            REF_REQUIRE(consumed == portText.size() && port >= 0 &&
+                            port <= 65535,
+                        "bad port '" << portText << "'");
+        } catch (const std::logic_error &) {
+            REF_FATAL("bad port '" << portText << "'");
+        }
+
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(static_cast<std::uint16_t>(port));
+        REF_REQUIRE(::inet_pton(AF_INET, host.c_str(),
+                                &addr.sin_addr) == 1,
+                    "--listen wants a numeric IPv4 address, got '"
+                        << host << "'");
+
+        tcpListenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        REF_REQUIRE(tcpListenFd_ >= 0, "socket: "
+                                           << std::strerror(errno));
+        const int one = 1;
+        ::setsockopt(tcpListenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+        REF_REQUIRE(::bind(tcpListenFd_,
+                           reinterpret_cast<sockaddr *>(&addr),
+                           sizeof(addr)) == 0,
+                    "bind " << spec << ": " << std::strerror(errno));
+        REF_REQUIRE(::listen(tcpListenFd_, SOMAXCONN) == 0,
+                    "listen: " << std::strerror(errno));
+        setNonBlocking(tcpListenFd_);
+
+        sockaddr_in bound{};
+        socklen_t length = sizeof(bound);
+        REF_REQUIRE(::getsockname(
+                        tcpListenFd_,
+                        reinterpret_cast<sockaddr *>(&bound),
+                        &length) == 0,
+                    "getsockname: " << std::strerror(errno));
+        tcpPort_ = ntohs(bound.sin_port);
+    }
+
+    if (!options_.unixPath.empty()) {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        REF_REQUIRE(options_.unixPath.size() <
+                        sizeof(addr.sun_path),
+                    "--unix path too long: " << options_.unixPath);
+        std::strncpy(addr.sun_path, options_.unixPath.c_str(),
+                     sizeof(addr.sun_path) - 1);
+
+        unixListenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        REF_REQUIRE(unixListenFd_ >= 0,
+                    "socket: " << std::strerror(errno));
+        ::unlink(options_.unixPath.c_str());
+        REF_REQUIRE(::bind(unixListenFd_,
+                           reinterpret_cast<sockaddr *>(&addr),
+                           sizeof(addr)) == 0,
+                    "bind " << options_.unixPath << ": "
+                            << std::strerror(errno));
+        REF_REQUIRE(::listen(unixListenFd_, SOMAXCONN) == 0,
+                    "listen: " << std::strerror(errno));
+        setNonBlocking(unixListenFd_);
+        boundUnixPath_ = options_.unixPath;
+    }
+}
+
+bool
+SocketServer::stopFlagSet() const
+{
+    if (stopRequested_.load(std::memory_order_relaxed))
+        return true;
+    const volatile std::sig_atomic_t *flag =
+        options_.session.stopFlag;
+    return flag != nullptr && *flag != 0;
+}
+
+void
+SocketServer::acceptPending(int listenFd)
+{
+    for (;;) {
+        obs::Span span("net.accept", "net");
+        const NetInject inject = injectNetIo("net.accept");
+        int fd = -1;
+        if (inject.fail) {
+            errno = inject.errnoValue;
+        } else {
+            fd = ::accept(listenFd, nullptr, nullptr);
+        }
+        if (fd < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return;
+            if (errno == EINTR)
+                continue;
+            // EMFILE/ECONNABORTED/injected EIO: count and keep
+            // serving; the listener stays armed.
+            ++stats_.ioErrors;
+            return;
+        }
+        setNonBlocking(fd);
+
+        if (connections_.size() >= options_.maxClients) {
+            static constexpr char kFull[] = "ERR server full\n";
+            // Best effort: a blocked turnaway write is not worth
+            // waiting on.
+            const ssize_t ignored [[maybe_unused]] = ::send(
+                fd, kFull, sizeof(kFull) - 1, MSG_NOSIGNAL);
+            ::close(fd);
+            ++stats_.acceptRejects;
+            ++stats_.dropped;
+            NetMetrics::instance().dropped.add();
+            continue;
+        }
+
+        auto conn = std::make_unique<Connection>();
+        conn->fd = fd;
+        conn->session = std::make_unique<svc::CommandSession>(
+            service_, options_.session);
+        conn->lastInboundMs = nowMs();
+        conn->lastProgressMs = conn->lastInboundMs;
+        connections_.push_back(std::move(conn));
+        ++stats_.accepted;
+        NetMetrics::instance().accepted.add();
+        NetMetrics::instance().active.set(
+            static_cast<double>(connections_.size()));
+    }
+}
+
+/** The one ERR a line beyond the byte bound draws; counted as a
+ *  rejected command so STATS agrees with the transcript. */
+void
+SocketServer::rejectOverlong(Connection &conn)
+{
+    ++stats_.overlongLines;
+    NetMetrics::instance().overlongLines.add();
+    service_.noteRejected();
+    ++conn.session->result().commands;
+    ++conn.session->result().errors;
+    std::ostringstream reply;
+    reply << "ERR line exceeds " << options_.maxLineBytes
+          << " byte bound\n";
+    conn.outbuf += reply.str();
+}
+
+void
+SocketServer::dispatchLine(Connection &conn, const std::string &line)
+{
+    obs::Span span("net.dispatch", "net");
+    ++stats_.lines;
+    NetMetrics::instance().lines.add();
+    std::ostringstream reply;
+    const auto status = conn.session->executeLine(line, reply);
+    conn.outbuf += reply.str();
+    if (status == svc::CommandSession::LineStatus::Shutdown) {
+        stats_.shutdown = true;
+        draining_ = true;
+    }
+}
+
+void
+SocketServer::handleReadable(Connection &conn)
+{
+    obs::Span span("net.read", "net");
+    char chunk[4096];
+    // Cap one connection's reads per loop pass so a firehose client
+    // cannot monopolize the single-threaded loop.
+    std::size_t budget = 64 * sizeof(chunk);
+    while (budget > 0 && !conn.dead && !draining_) {
+        const NetInject inject = injectNetIo("net.read");
+        ssize_t got = -1;
+        if (inject.fail) {
+            errno = inject.errnoValue;
+        } else {
+            const std::size_t want =
+                inject.shortIo ? 1 : std::min(budget, sizeof(chunk));
+            got = ::read(conn.fd, chunk, want);
+        }
+        if (got < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return;
+            if (errno == EINTR)
+                continue;
+            ++stats_.ioErrors;
+            dropConnection(conn, "read error");
+            return;
+        }
+        if (got == 0) {  // Peer EOF: end of that session.
+            closeConnection(conn);
+            return;
+        }
+        budget -= static_cast<std::size_t>(got);
+        conn.lastInboundMs = nowMs();
+        stats_.bytesIn += static_cast<std::uint64_t>(got);
+        NetMetrics::instance().bytesIn.add(
+            static_cast<std::uint64_t>(got));
+        conn.inbuf.append(chunk, static_cast<std::size_t>(got));
+
+        // Frame complete lines; enforce the byte bound both on
+        // complete lines and on an incomplete remainder.
+        std::size_t begin = 0;
+        for (;;) {
+            const std::size_t newline =
+                conn.inbuf.find('\n', begin);
+            if (newline == std::string::npos)
+                break;
+            if (conn.discardingOverlong) {
+                // Tail of an overlong line: already answered with
+                // its one ERR, swallow through the newline.
+                conn.discardingOverlong = false;
+            } else if (newline - begin > options_.maxLineBytes) {
+                rejectOverlong(conn);
+            } else {
+                const std::string line =
+                    conn.inbuf.substr(begin, newline - begin);
+                dispatchLine(conn, line);
+            }
+            begin = newline + 1;
+            if (draining_)
+                break;
+        }
+        conn.inbuf.erase(0, begin);
+        if (conn.discardingOverlong) {
+            conn.inbuf.clear();
+        } else if (conn.inbuf.size() > options_.maxLineBytes) {
+            // One ERR per bad line, never a disconnect: reject now,
+            // swallow until the newline arrives.
+            rejectOverlong(conn);
+            conn.inbuf.clear();
+            conn.discardingOverlong = true;
+        }
+        if (conn.pending() > options_.maxPendingBytes) {
+            ++stats_.overflowDrops;
+            dropConnection(conn, "reply backlog overflow");
+            return;
+        }
+    }
+}
+
+void
+SocketServer::flushWrites(Connection &conn)
+{
+    while (conn.pending() > 0) {
+        const NetInject inject = injectNetIo("net.write");
+        ssize_t wrote = -1;
+        if (inject.fail) {
+            errno = inject.errnoValue;
+        } else {
+            std::size_t count = conn.pending();
+            if (inject.shortIo)
+                count = std::max<std::size_t>(1, count / 2);
+            // MSG_NOSIGNAL: a vanished peer must surface as EPIPE,
+            // not a process-killing SIGPIPE.
+            wrote = ::send(conn.fd,
+                           conn.outbuf.data() + conn.outOffset,
+                           count, MSG_NOSIGNAL);
+        }
+        if (wrote < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return;
+            if (errno == EINTR)
+                continue;
+            // EPIPE/ECONNRESET/injected EIO: the peer is gone or
+            // the path is broken; the allocator already applied the
+            // command, only this client's transcript ends early.
+            ++stats_.ioErrors;
+            dropConnection(conn, "write error");
+            return;
+        }
+        conn.outOffset += static_cast<std::size_t>(wrote);
+        conn.lastProgressMs = nowMs();
+        stats_.bytesOut += static_cast<std::uint64_t>(wrote);
+        NetMetrics::instance().bytesOut.add(
+            static_cast<std::uint64_t>(wrote));
+        if (inject.shortIo)
+            return;  // Model one short write per armed pass.
+    }
+    if (conn.outOffset > 0) {
+        conn.outbuf.erase(0, conn.outOffset);
+        conn.outOffset = 0;
+    }
+}
+
+void
+SocketServer::dropConnection(Connection &conn, const char *reason)
+{
+    if (conn.dead)
+        return;
+    ++stats_.dropped;
+    NetMetrics::instance().dropped.add();
+    REF_WARN("dropping client: " << reason);
+    // A drop is abortive: linger(0) turns the close into an RST so
+    // the kernel reclaims the socket now instead of trickling
+    // megabytes of buffered replies to a peer that will not read
+    // them. Clean closes (EOF, drain) keep the graceful FIN.
+    const linger abort{1, 0};
+    ::setsockopt(conn.fd, SOL_SOCKET, SO_LINGER, &abort,
+                 sizeof(abort));
+    closeConnection(conn);
+}
+
+void
+SocketServer::closeConnection(Connection &conn)
+{
+    if (conn.dead)
+        return;
+    conn.dead = true;
+    ::close(conn.fd);
+    conn.fd = -1;
+    conn.session->finish();
+    const svc::SessionResult &result = conn.session->result();
+    stats_.protocol.commands += result.commands;
+    stats_.protocol.errors += result.errors;
+    stats_.protocol.epochFailures += result.epochFailures;
+    stats_.protocol.shutdown |= result.shutdown;
+}
+
+int
+SocketServer::sweepTimeouts()
+{
+    const std::int64_t now = nowMs();
+    std::int64_t nextDeadline = -1;
+    const auto consider = [&](std::int64_t deadline) {
+        if (nextDeadline < 0 || deadline < nextDeadline)
+            nextDeadline = deadline;
+    };
+    for (auto &conn : connections_) {
+        if (conn->dead)
+            continue;
+        if (conn->pending() > 0 && options_.writeTimeoutMs > 0) {
+            const std::int64_t deadline =
+                conn->lastProgressMs + options_.writeTimeoutMs;
+            if (now >= deadline) {
+                ++stats_.writeTimeouts;
+                NetMetrics::instance().writeTimeouts.add();
+                dropConnection(*conn, "write timeout");
+                continue;
+            }
+            consider(deadline);
+        } else if (conn->pending() == 0 &&
+                   options_.idleTimeoutMs > 0) {
+            const std::int64_t deadline =
+                conn->lastInboundMs + options_.idleTimeoutMs;
+            if (now >= deadline) {
+                ++stats_.idleTimeouts;
+                NetMetrics::instance().idleTimeouts.add();
+                dropConnection(*conn, "idle timeout");
+                continue;
+            }
+            consider(deadline);
+        }
+    }
+    if (nextDeadline < 0)
+        return -1;
+    return static_cast<int>(std::max<std::int64_t>(
+        1, nextDeadline - now));
+}
+
+void
+SocketServer::drainAndClose()
+{
+    const std::int64_t deadline =
+        nowMs() + std::max(0, options_.drainTimeoutMs);
+    for (;;) {
+        std::vector<pollfd> fds;
+        for (auto &conn : connections_) {
+            if (conn->dead || conn->pending() == 0)
+                continue;
+            fds.push_back({conn->fd, POLLOUT, 0});
+        }
+        if (fds.empty())
+            break;
+        const std::int64_t left = deadline - nowMs();
+        if (left <= 0)
+            break;
+        const int ready = ::poll(fds.data(), fds.size(),
+                                 static_cast<int>(left));
+        if (ready < 0 && errno != EINTR)
+            break;
+        for (auto &conn : connections_) {
+            if (!conn->dead && conn->pending() > 0)
+                flushWrites(*conn);
+        }
+    }
+    for (auto &conn : connections_)
+        closeConnection(*conn);
+    connections_.clear();
+    NetMetrics::instance().active.set(0);
+    if (tcpListenFd_ >= 0) {
+        ::close(tcpListenFd_);
+        tcpListenFd_ = -1;
+    }
+    if (unixListenFd_ >= 0) {
+        ::close(unixListenFd_);
+        unixListenFd_ = -1;
+    }
+    if (!boundUnixPath_.empty()) {
+        ::unlink(boundUnixPath_.c_str());
+        boundUnixPath_.clear();
+    }
+}
+
+ServerStats
+SocketServer::run()
+{
+    REF_REQUIRE(tcpListenFd_ >= 0 || unixListenFd_ >= 0,
+                "run() before start()");
+    while (!draining_) {
+        if (stopFlagSet()) {
+            stats_.shutdown = true;
+            break;
+        }
+
+        // Reap connections closed during the previous pass.
+        connections_.erase(
+            std::remove_if(connections_.begin(),
+                           connections_.end(),
+                           [](const auto &conn) {
+                               return conn->dead;
+                           }),
+            connections_.end());
+        NetMetrics::instance().active.set(
+            static_cast<double>(connections_.size()));
+
+        const int timeoutMs = sweepTimeouts();
+
+        std::vector<pollfd> fds;
+        std::vector<Connection *> polled;
+        if (tcpListenFd_ >= 0)
+            fds.push_back({tcpListenFd_, POLLIN, 0});
+        if (unixListenFd_ >= 0)
+            fds.push_back({unixListenFd_, POLLIN, 0});
+        const std::size_t firstConn = fds.size();
+        for (auto &conn : connections_) {
+            if (conn->dead)
+                continue;
+            short events = POLLIN;
+            if (conn->pending() > 0)
+                events |= POLLOUT;
+            fds.push_back({conn->fd, events, 0});
+            polled.push_back(conn.get());
+        }
+
+        const int ready =
+            ::poll(fds.data(), fds.size(),
+                   timeoutMs < 0 ? 1000 : std::min(timeoutMs, 1000));
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;  // Signal: loop re-checks the stop flag.
+            REF_FATAL("poll: " << std::strerror(errno));
+        }
+        if (ready == 0)
+            continue;  // Timeout pass: sweepTimeouts sees it next.
+
+        for (std::size_t i = 0; i < firstConn; ++i)
+            if (fds[i].revents & POLLIN)
+                acceptPending(fds[i].fd);
+
+        for (std::size_t i = firstConn;
+             i < fds.size() && !draining_; ++i) {
+            Connection &conn = *polled[i - firstConn];
+            if (conn.dead)
+                continue;
+            if (fds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) {
+                // Peer reset with no clean EOF; a read would error.
+                if (fds[i].revents & POLLHUP) {
+                    // Drain what the kernel still buffers first —
+                    // HUP with readable data is a normal close.
+                    handleReadable(conn);
+                    if (!conn.dead)
+                        closeConnection(conn);
+                } else {
+                    ++stats_.ioErrors;
+                    dropConnection(conn, "socket error");
+                }
+                continue;
+            }
+            if (fds[i].revents & POLLOUT)
+                flushWrites(conn);
+            if (conn.dead)
+                continue;
+            if (fds[i].revents & POLLIN)
+                handleReadable(conn);
+            if (!conn.dead && conn.pending() > 0)
+                flushWrites(conn);
+        }
+    }
+    drainAndClose();
+    return stats_;
+}
+
+} // namespace ref::net

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "util/logging.hh"
 
@@ -153,12 +154,17 @@ commandSpanName(const std::string &command)
     return "cmd.other";
 }
 
-/** Incremental-flush cursor for the fairness CSV file. */
-struct FairnessFlushState
+} // namespace
+
+CommandSession::CommandSession(AllocationService &service,
+                               const SessionOptions &options)
+    : service_(service), options_(options)
+{}
+
+CommandSession::~CommandSession()
 {
-    bool headerWritten = false;
-    std::uint64_t rowsFlushed = 0;
-};
+    finish();
+}
 
 /**
  * Rewrite the metrics exposition file and append any fairness rows
@@ -167,23 +173,22 @@ struct FairnessFlushState
  * stream is the product, the files are best-effort exports).
  */
 void
-flushObservability(AllocationService &service,
-                   const SessionOptions &options,
-                   FairnessFlushState &fairness)
+CommandSession::flushObservability()
 {
-    if (!options.metricsOutPath.empty()) {
-        std::ofstream file(options.metricsOutPath,
+    FlushState &fairness = fairness_;
+    if (!options_.metricsOutPath.empty()) {
+        std::ofstream file(options_.metricsOutPath,
                            std::ios::trunc);
         if (file)
-            service.writeMetrics(file, MetricsFormat::Prometheus);
+            service_.writeMetrics(file, MetricsFormat::Prometheus);
     }
-    if (options.fairnessOutPath.empty())
+    if (options_.fairnessOutPath.empty())
         return;
-    const obs::FairnessSeries &series = service.fairnessSeries();
+    const obs::FairnessSeries &series = service_.fairnessSeries();
     const std::uint64_t total = series.totalAppended();
     if (fairness.headerWritten && total == fairness.rowsFlushed)
         return;
-    std::ofstream file(options.fairnessOutPath,
+    std::ofstream file(options_.fairnessOutPath,
                        fairness.headerWritten ? std::ios::app
                                               : std::ios::trunc);
     if (!file)
@@ -205,145 +210,169 @@ flushObservability(AllocationService &service,
     fairness.rowsFlushed = total;
 }
 
-} // namespace
+void
+CommandSession::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    flushObservability();
+}
+
+CommandSession::LineStatus
+CommandSession::executeLine(const std::string &rawLine,
+                            std::ostream &out)
+{
+    AllocationService &service = service_;
+    SessionResult &result = result_;
+    std::string line = rawLine;
+    if (!line.empty() && line.back() == '\r')
+        line.pop_back();
+    const auto tokens = tokenize(line);
+    if (tokens.empty() || tokens.front().front() == '#')
+        return LineStatus::Idle;
+    if (options_.echo)
+        out << "> " << line << "\n";
+    ++result.commands;
+
+    const std::string &command = tokens.front();
+    obs::Span span(commandSpanName(command), "proto");
+    try {
+        if (command == "ADMIT") {
+            REF_REQUIRE(tokens.size() >= 3,
+                        "usage: ADMIT <name> <e0> <e1> ...");
+            service.admit(tokens[1],
+                          parseElasticities(tokens, 2));
+            out << "OK admitted " << tokens[1] << " agents="
+                << service.liveAgents() << "\n";
+        } else if (command == "UPDATE") {
+            REF_REQUIRE(tokens.size() >= 3,
+                        "usage: UPDATE <name> <e0> <e1> ...");
+            service.update(tokens[1],
+                           parseElasticities(tokens, 2));
+            out << "OK updated " << tokens[1] << "\n";
+        } else if (command == "DEPART") {
+            REF_REQUIRE(tokens.size() == 2,
+                        "usage: DEPART <name>");
+            service.depart(tokens[1]);
+            out << "OK departed " << tokens[1] << " agents="
+                << service.liveAgents() << "\n";
+        } else if (command == "TICK") {
+            REF_REQUIRE(tokens.size() <= 2,
+                        "usage: TICK [count]");
+            std::uint64_t count = 1;
+            if (tokens.size() == 2) {
+                const double parsed = parseNumber(tokens[1]);
+                REF_REQUIRE(
+                    parsed >= 1 && parsed <= kMaxTickCount &&
+                        parsed ==
+                            static_cast<std::uint64_t>(parsed),
+                    "TICK count must be an integer in [1, "
+                        << kMaxTickCount << "], got '"
+                        << tokens[1] << "'");
+                count = static_cast<std::uint64_t>(parsed);
+            }
+            for (std::uint64_t i = 0; i < count; ++i) {
+                const EpochResult epoch = service.tick();
+                if (!epoch.incrementalMatchesScratch ||
+                    (epoch.propertiesChecked &&
+                     (!epoch.sharingIncentives.satisfied ||
+                      !epoch.envyFreeness.satisfied)))
+                    ++result.epochFailures;
+                printEpoch(out, epoch);
+            }
+            flushObservability();
+        } else if (command == "QUERY") {
+            REF_REQUIRE(tokens.size() <= 2,
+                        "usage: QUERY [name]");
+            service.noteQuery();
+            const auto snapshot = service.snapshot();
+            if (tokens.size() == 2) {
+                const std::size_t row =
+                    snapshot->indexOf(tokens[1]);
+                REF_REQUIRE(row < snapshot->agents.size(),
+                            "agent '" << tokens[1]
+                                << "' is not in the epoch "
+                                << snapshot->epoch
+                                << " snapshot");
+                printShares(out, *snapshot, row);
+            } else {
+                out << "SNAPSHOT epoch=" << snapshot->epoch
+                    << " agents=" << snapshot->agents.size()
+                    << "\n";
+                for (std::size_t i = 0;
+                     i < snapshot->agents.size(); ++i)
+                    printShares(out, *snapshot, i);
+            }
+        } else if (command == "PLAN") {
+            REF_REQUIRE(tokens.size() == 1, "usage: PLAN");
+            service.noteQuery();
+            printPlan(out, service.snapshot()->enforcement);
+        } else if (command == "STATS") {
+            REF_REQUIRE(tokens.size() == 1, "usage: STATS");
+            printMetrics(out, service.metrics());
+        } else if (command == "METRICS") {
+            REF_REQUIRE(
+                tokens.size() <= 2,
+                "usage: METRICS [prom|json|fairness]");
+            const std::string format =
+                tokens.size() == 2 ? tokens[1]
+                                   : std::string("prom");
+            if (format == "prom") {
+                service.writeMetrics(out,
+                                     MetricsFormat::Prometheus);
+                if (options_.includeGlobalMetrics)
+                    obs::MetricsRegistry::global()
+                        .writePrometheus(out);
+            }
+            else if (format == "json") {
+                // writeJson ends at the closing brace; the line
+                // protocol needs every reply newline-terminated.
+                service.writeMetrics(out, MetricsFormat::Json);
+                out << "\n";
+            }
+            else if (format == "fairness")
+                service.fairnessSeries().writeCsv(out);
+            else
+                REF_FATAL("unknown METRICS format '"
+                          << format
+                          << "' (expected prom, json, or "
+                             "fairness)");
+        } else if (command == "SHUTDOWN") {
+            REF_REQUIRE(tokens.size() == 1, "usage: SHUTDOWN");
+            service.syncJournal();
+            out << "OK shutdown\n";
+            result.shutdown = true;
+            return LineStatus::Shutdown;
+        } else {
+            REF_FATAL("unknown command '" << command << "'");
+        }
+    } catch (const FatalError &error) {
+        service.noteRejected();
+        ++result.errors;
+        out << "ERR " << error.what() << "\n";
+        return LineStatus::Rejected;
+    }
+    return LineStatus::Executed;
+}
 
 SessionResult
 runSession(AllocationService &service, std::istream &in,
            std::ostream &out, const SessionOptions &options)
 {
-    SessionResult result;
-    FairnessFlushState fairness;
+    CommandSession session(service, options);
     std::string line;
     while (std::getline(in, line)) {
         if (options.stopFlag && *options.stopFlag != 0) {
-            result.shutdown = true;
+            session.result().shutdown = true;
             break;
         }
-        if (!line.empty() && line.back() == '\r')
-            line.pop_back();
-        const auto tokens = tokenize(line);
-        if (tokens.empty() || tokens.front().front() == '#')
-            continue;
-        if (options.echo)
-            out << "> " << line << "\n";
-        ++result.commands;
-
-        const std::string &command = tokens.front();
-        obs::Span span(commandSpanName(command), "proto");
-        try {
-            if (command == "ADMIT") {
-                REF_REQUIRE(tokens.size() >= 3,
-                            "usage: ADMIT <name> <e0> <e1> ...");
-                service.admit(tokens[1],
-                              parseElasticities(tokens, 2));
-                out << "OK admitted " << tokens[1] << " agents="
-                    << service.liveAgents() << "\n";
-            } else if (command == "UPDATE") {
-                REF_REQUIRE(tokens.size() >= 3,
-                            "usage: UPDATE <name> <e0> <e1> ...");
-                service.update(tokens[1],
-                               parseElasticities(tokens, 2));
-                out << "OK updated " << tokens[1] << "\n";
-            } else if (command == "DEPART") {
-                REF_REQUIRE(tokens.size() == 2,
-                            "usage: DEPART <name>");
-                service.depart(tokens[1]);
-                out << "OK departed " << tokens[1] << " agents="
-                    << service.liveAgents() << "\n";
-            } else if (command == "TICK") {
-                REF_REQUIRE(tokens.size() <= 2,
-                            "usage: TICK [count]");
-                std::uint64_t count = 1;
-                if (tokens.size() == 2) {
-                    const double parsed = parseNumber(tokens[1]);
-                    REF_REQUIRE(
-                        parsed >= 1 && parsed <= kMaxTickCount &&
-                            parsed ==
-                                static_cast<std::uint64_t>(parsed),
-                        "TICK count must be an integer in [1, "
-                            << kMaxTickCount << "], got '"
-                            << tokens[1] << "'");
-                    count = static_cast<std::uint64_t>(parsed);
-                }
-                for (std::uint64_t i = 0; i < count; ++i) {
-                    const EpochResult epoch = service.tick();
-                    if (!epoch.incrementalMatchesScratch ||
-                        (epoch.propertiesChecked &&
-                         (!epoch.sharingIncentives.satisfied ||
-                          !epoch.envyFreeness.satisfied)))
-                        ++result.epochFailures;
-                    printEpoch(out, epoch);
-                }
-                flushObservability(service, options, fairness);
-            } else if (command == "QUERY") {
-                REF_REQUIRE(tokens.size() <= 2,
-                            "usage: QUERY [name]");
-                service.noteQuery();
-                const auto snapshot = service.snapshot();
-                if (tokens.size() == 2) {
-                    const std::size_t row =
-                        snapshot->indexOf(tokens[1]);
-                    REF_REQUIRE(row < snapshot->agents.size(),
-                                "agent '" << tokens[1]
-                                    << "' is not in the epoch "
-                                    << snapshot->epoch
-                                    << " snapshot");
-                    printShares(out, *snapshot, row);
-                } else {
-                    out << "SNAPSHOT epoch=" << snapshot->epoch
-                        << " agents=" << snapshot->agents.size()
-                        << "\n";
-                    for (std::size_t i = 0;
-                         i < snapshot->agents.size(); ++i)
-                        printShares(out, *snapshot, i);
-                }
-            } else if (command == "PLAN") {
-                REF_REQUIRE(tokens.size() == 1, "usage: PLAN");
-                service.noteQuery();
-                printPlan(out, service.snapshot()->enforcement);
-            } else if (command == "STATS") {
-                REF_REQUIRE(tokens.size() == 1, "usage: STATS");
-                printMetrics(out, service.metrics());
-            } else if (command == "METRICS") {
-                REF_REQUIRE(
-                    tokens.size() <= 2,
-                    "usage: METRICS [prom|json|fairness]");
-                const std::string format =
-                    tokens.size() == 2 ? tokens[1]
-                                       : std::string("prom");
-                if (format == "prom")
-                    service.writeMetrics(out,
-                                         MetricsFormat::Prometheus);
-                else if (format == "json") {
-                    // writeJson ends at the closing brace; the line
-                    // protocol needs every reply newline-terminated.
-                    service.writeMetrics(out, MetricsFormat::Json);
-                    out << "\n";
-                }
-                else if (format == "fairness")
-                    service.fairnessSeries().writeCsv(out);
-                else
-                    REF_FATAL("unknown METRICS format '"
-                              << format
-                              << "' (expected prom, json, or "
-                                 "fairness)");
-            } else if (command == "SHUTDOWN") {
-                REF_REQUIRE(tokens.size() == 1, "usage: SHUTDOWN");
-                service.syncJournal();
-                out << "OK shutdown\n";
-                result.shutdown = true;
-                break;
-            } else {
-                REF_FATAL("unknown command '" << command << "'");
-            }
-        } catch (const FatalError &error) {
-            service.noteRejected();
-            ++result.errors;
-            out << "ERR " << error.what() << "\n";
-        }
+        if (session.executeLine(line, out) ==
+            CommandSession::LineStatus::Shutdown)
+            break;
     }
-    flushObservability(service, options, fairness);
-    return result;
+    session.finish();
+    return session.result();
 }
 
 } // namespace ref::svc

@@ -62,6 +62,13 @@ struct SessionOptions
     /** When non-empty, append new fairness-series CSV rows to this
      *  file after every TICK command and at session end. */
     std::string fairnessOutPath;
+    /**
+     * Append the process-global registry (ref_net_* transport
+     * counters, pool counters) to METRICS prom output. The socket
+     * front-end turns this on so one scrape covers service and
+     * transport; stdio sessions keep their exposition byte-stable.
+     */
+    bool includeGlobalMetrics = false;
 };
 
 /** What happened over one session. */
@@ -77,6 +84,76 @@ struct SessionResult
     bool shutdown = false;
 
     bool clean() const { return errors == 0 && epochFailures == 0; }
+};
+
+/**
+ * Transport-independent session core: executes one protocol line at
+ * a time against the service, writing the reply block for that line
+ * to the ostream handed in. runSession() wraps it in a getline loop
+ * for the stdio transport; the socket front-end (net/socket_server)
+ * feeds it lines as they are framed off each connection, one
+ * CommandSession per client, all sharing one AllocationService.
+ *
+ * Behaviour is byte-for-byte the stdio protocol: CR stripping,
+ * comment/blank skipping, optional echo, ERR-per-bad-line, and the
+ * observability flushes after TICK ride inside executeLine().
+ */
+class CommandSession
+{
+  public:
+    /** What one line did to the session. */
+    enum class LineStatus
+    {
+        Idle,      //!< Blank line or comment; nothing counted.
+        Executed,  //!< Command ran and replied (OK/EPOCH/... lines).
+        Rejected,  //!< Command rejected with one ERR line.
+        Shutdown,  //!< SHUTDOWN accepted; the session is over.
+    };
+
+    CommandSession(AllocationService &service,
+                   const SessionOptions &options = {});
+    ~CommandSession();
+    CommandSession(const CommandSession &) = delete;
+    CommandSession &operator=(const CommandSession &) = delete;
+
+    /**
+     * Execute one protocol line (no trailing newline required; a
+     * trailing CR is stripped). Writes the complete reply block for
+     * the line to @p out. Invalid input never throws — it produces
+     * one ERR reply and LineStatus::Rejected.
+     */
+    LineStatus executeLine(const std::string &line,
+                           std::ostream &out);
+
+    /**
+     * Final observability flush (metrics exposition rewrite +
+     * fairness CSV append). runSession calls it at EOF; transports
+     * call it when the connection ends. Idempotent; also run by the
+     * destructor so an abandoned session still flushes.
+     */
+    void finish();
+
+    /** Running totals (mutable: transports set .shutdown on an
+     *  async stop, mirroring the stdio stop-flag path). */
+    SessionResult &result() { return result_; }
+    const SessionResult &result() const { return result_; }
+
+  private:
+    struct FlushState
+    {
+        bool headerWritten = false;
+        std::uint64_t rowsFlushed = 0;
+    };
+
+    /** Metrics exposition rewrite + fairness CSV append (after each
+     *  TICK and at finish()); IO failures are ignored. */
+    void flushObservability();
+
+    AllocationService &service_;
+    SessionOptions options_;
+    SessionResult result_;
+    FlushState fairness_;
+    bool finished_ = false;
 };
 
 /**

@@ -1,0 +1,250 @@
+/**
+ * Adversarial protocol fuzzing against a live socket server: a
+ * seeded deterministic client replays malformed framing — oversized
+ * lines beyond the bound, NUL / CR-LF / split-UTF-8 bytes, commands
+ * split across many 1-byte writes, garbage between valid commands —
+ * and asserts the server's contract: exactly one ERR per bad line,
+ * no disconnect of the fuzzed client or of an innocent bystander,
+ * and a byte-identical transcript across two runs of the same seed.
+ */
+
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net_test_util.hh"
+
+namespace {
+
+using namespace ref;
+
+constexpr std::size_t kLineBound = 512;
+
+/** One generated session: the raw byte stream plus the reply-line
+ *  bookkeeping needed to read it back deterministically. */
+struct FuzzScript
+{
+    std::string bytes;
+    std::size_t replyLines = 0;  //!< Total lines the server owes.
+    std::size_t badLines = 0;    //!< Lines owed exactly one ERR.
+    std::size_t goodLines = 0;   //!< Valid commands (OK/EPOCH).
+};
+
+/** Deterministic malformed-session generator. Every event appends
+ *  one line (possibly overlong, possibly CRLF-terminated) and
+ *  records how many reply lines it earns. */
+FuzzScript
+generateScript(std::uint32_t seed, std::size_t events)
+{
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> elasticity(0.05, 4.0);
+    FuzzScript script;
+    std::vector<std::string> live;
+    std::size_t nextId = 0;
+
+    const auto lineEnd = [&]() {
+        return rng() % 4 == 0 ? "\r\n" : "\n";
+    };
+
+    for (std::size_t i = 0; i < events; ++i) {
+        // The first event admits so TICKs always have an agent.
+        const int roll = i == 0 ? 0 : static_cast<int>(rng() % 10);
+        std::ostringstream line;
+        switch (roll) {
+        case 0:
+        case 1: {  // Valid ADMIT.
+            const std::string name = "f" + std::to_string(nextId++);
+            line << "ADMIT " << name << " " << elasticity(rng)
+                 << " " << elasticity(rng);
+            live.push_back(name);
+            ++script.goodLines;
+            ++script.replyLines;
+            break;
+        }
+        case 2: {  // Valid TICK.
+            line << "TICK";
+            ++script.goodLines;
+            ++script.replyLines;
+            break;
+        }
+        case 3: {  // Valid DEPART (keep at least one live agent).
+            if (live.size() > 1) {
+                const std::size_t victim = rng() % live.size();
+                line << "DEPART " << live[victim];
+                live.erase(live.begin() +
+                           static_cast<std::ptrdiff_t>(victim));
+            } else {
+                line << "TICK";
+            }
+            ++script.goodLines;
+            ++script.replyLines;
+            break;
+        }
+        case 4: {  // Comment / blank noise: no reply owed.
+            line << (rng() % 2 == 0 ? "# noise" : "");
+            break;
+        }
+        case 5: {  // Bad elasticities (inf / overflow / trailing junk).
+            static const char *kBad[] = {"inf", "1e999", "0.x4",
+                                         "nan"};
+            line << "ADMIT cheat " << kBad[rng() % 4] << " 0.4";
+            ++script.badLines;
+            ++script.replyLines;
+            break;
+        }
+        case 6: {  // Binary garbage: NULs and a split-up UTF-8 pair.
+            line << "@@";
+            const std::size_t len = 1 + rng() % 12;
+            for (std::size_t b = 0; b < len; ++b) {
+                switch (rng() % 4) {
+                case 0: line << '\0'; break;
+                case 1: line << "\xE2\x82"; break;  // Truncated '€'.
+                case 2: line << static_cast<char>('a' + rng() % 26);
+                        break;
+                default: line << ' '; break;
+                }
+            }
+            ++script.badLines;
+            ++script.replyLines;
+            break;
+        }
+        case 7: {  // Oversized line: one ERR, bound enforced.
+            line << "@@";
+            const std::size_t len = kLineBound + 1 + rng() % 512;
+            for (std::size_t b = 0; b < len; ++b)
+                line << static_cast<char>('A' + rng() % 26);
+            ++script.badLines;
+            ++script.replyLines;
+            break;
+        }
+        default: {  // Unknown command / usage errors.
+            static const char *kJunk[] = {"FROB a b", "TICK 0",
+                                          "QUERY nobody",
+                                          "ADMIT lonely"};
+            line << kJunk[rng() % 4];
+            ++script.badLines;
+            ++script.replyLines;
+            break;
+        }
+        }
+        script.bytes += line.str();
+        script.bytes += lineEnd();
+    }
+    return script;
+}
+
+/** Drive one fuzz session; returns the fuzzed client's transcript. */
+std::string
+runFuzzSession(std::uint32_t seed, const FuzzScript &script)
+{
+    svc::ServiceConfig config;
+    config.epoch.verifyIncremental = true;
+    net::ServerOptions options;
+    options.maxLineBytes = kLineBound;
+    test::ServerHarness harness(config, options);
+
+    test::TestClient bystander(harness.port());
+    test::TestClient fuzzer(harness.port());
+
+    // Replay the byte stream in adversarial chunkings: often 1-byte
+    // writes (commands split across many packets), sometimes large
+    // bursts — seeded, so both runs chunk identically.
+    std::mt19937 rng(seed ^ 0x9e3779b9u);
+    std::size_t sent = 0;
+    while (sent < script.bytes.size()) {
+        std::size_t chunk;
+        switch (rng() % 4) {
+        case 0: chunk = 1; break;
+        case 1: chunk = 1 + rng() % 7; break;
+        default: chunk = 1 + rng() % 512; break;
+        }
+        chunk = std::min(chunk, script.bytes.size() - sent);
+        fuzzer.sendAll(
+            std::string_view(script.bytes).substr(sent, chunk));
+        sent += chunk;
+    }
+
+    const std::string transcript =
+        fuzzer.readLines(script.replyLines, 20000);
+    // No reply may follow the owed ones (one ERR per bad line, not
+    // several).
+    EXPECT_EQ(fuzzer.readLines(1, 150), "");
+
+    // The bystander's session must be untouched by the abuse.
+    bystander.sendAll("ADMIT innocent 0.5 0.5\nTICK\n");
+    const std::string bystanderReply = bystander.readLines(2);
+    EXPECT_NE(bystanderReply.find("OK admitted innocent"),
+              std::string::npos);
+    EXPECT_NE(bystanderReply.find("selfcheck=ok"),
+              std::string::npos);
+
+    const net::ServerStats &stats = harness.stop();
+    EXPECT_EQ(stats.accepted, 2u);
+    EXPECT_EQ(stats.dropped, 0u) << "fuzzing must never disconnect";
+    EXPECT_EQ(stats.overlongLines,
+              test::countPrefixed(transcript,
+                                  "ERR line exceeds"));
+    return transcript;
+}
+
+TEST(AdversarialClient, OneErrPerBadLineAndNoDisconnect)
+{
+    const FuzzScript script = generateScript(20140301u, 220);
+    const std::string transcript =
+        runFuzzSession(20140301u, script);
+
+    EXPECT_EQ(test::countPrefixed(transcript, "ERR "),
+              script.badLines);
+    EXPECT_EQ(test::countPrefixed(transcript, "OK ") +
+                  test::countPrefixed(transcript, "EPOCH "),
+              script.goodLines);
+}
+
+TEST(AdversarialClient, TranscriptIsByteIdenticalAcrossRuns)
+{
+    const std::uint32_t seed = 77003917u;
+    const FuzzScript script = generateScript(seed, 180);
+    const std::string first = runFuzzSession(seed, script);
+    const std::string second = runFuzzSession(seed, script);
+    ASSERT_FALSE(first.empty());
+    EXPECT_EQ(first, second);
+}
+
+// A command sliced into nothing but 1-byte writes still parses, and
+// an overlong line draws its single ERR even when the bytes arrive
+// one at a time with garbage on both sides.
+TEST(AdversarialClient, OneByteWritesAndOversizedLine)
+{
+    net::ServerOptions options;
+    options.maxLineBytes = 64;
+    test::ServerHarness harness({}, options);
+    test::TestClient client(harness.port());
+
+    std::string bytes = "@@pre-garbage\nADMIT solo 0.6 0.4\n";
+    bytes += std::string(300, 'X');  // Way past the 64-byte bound.
+    bytes += "\nTICK\n@@post\n";
+    for (char byte : bytes)
+        client.sendAll(std::string_view(&byte, 1));
+
+    const std::string transcript = client.readLines(5);
+    const std::vector<std::string> expectedStarts = {
+        "ERR ", "OK admitted solo", "ERR line exceeds 64",
+        "EPOCH 1", "ERR "};
+    std::istringstream lines(transcript);
+    std::string line;
+    for (const std::string &expected : expectedStarts) {
+        ASSERT_TRUE(std::getline(lines, line)) << transcript;
+        EXPECT_EQ(line.substr(0, expected.size()), expected)
+            << transcript;
+    }
+    EXPECT_EQ(client.readLines(1, 150), "");
+
+    const net::ServerStats &stats = harness.stop();
+    EXPECT_EQ(stats.overlongLines, 1u);
+    EXPECT_EQ(stats.dropped, 0u);
+}
+
+} // namespace

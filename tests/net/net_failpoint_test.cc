@@ -1,0 +1,165 @@
+/**
+ * Fault injection at the socket syscall sites ("net.accept",
+ * "net.read", "net.write") through the svc::Failpoints registry:
+ * injected EIO on read drops only the afflicted connection, injected
+ * EIO on write loses the reply but never the already-applied
+ * command, persistent short writes still deliver a byte-exact
+ * transcript, and an injected accept failure is counted and retried
+ * without losing the queued client.
+ */
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "net_test_util.hh"
+#include "svc/failpoints.hh"
+
+namespace {
+
+using namespace ref;
+
+class NetFailpoint : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        svc::Failpoints::instance().clearAll();
+    }
+    void TearDown() override
+    {
+        svc::Failpoints::instance().clearAll();
+    }
+
+    static svc::FailpointSpec eioOnce()
+    {
+        svc::FailpointSpec spec;
+        spec.action = svc::FailAction::Error;
+        spec.errnoValue = EIO;
+        spec.count = 1;
+        return spec;
+    }
+};
+
+TEST_F(NetFailpoint, ReadEioDropsOnlyTheAfflictedConnection)
+{
+    test::ServerHarness harness;
+
+    test::TestClient healthy(harness.port());
+    healthy.sendAll("ADMIT steady 0.6 0.4\n");
+    ASSERT_NE(healthy.readLines(1).find("OK admitted"),
+              std::string::npos);
+
+    // Arm while the only readable socket will be the victim's.
+    svc::Failpoints::instance().arm("net.read", eioOnce());
+    test::TestClient victim(harness.port());
+    victim.sendAll("TICK\n");
+    EXPECT_TRUE(victim.waitForClose(2000))
+        << "injected read EIO must drop the connection";
+    svc::Failpoints::instance().clearAll();
+
+    // The bystander's session survives and the allocator is intact:
+    // the victim's TICK never dispatched, so this is epoch 1.
+    healthy.sendAll("TICK\nQUERY steady\n");
+    const std::string replies = healthy.readLines(2);
+    EXPECT_NE(replies.find("EPOCH 1"), std::string::npos) << replies;
+    EXPECT_NE(replies.find("SHARE steady"), std::string::npos)
+        << replies;
+
+    const net::ServerStats &stats = harness.stop();
+    EXPECT_GE(stats.ioErrors, 1u);
+    EXPECT_GE(stats.dropped, 1u);
+}
+
+TEST_F(NetFailpoint, WriteEioLosesTheReplyButNotTheCommand)
+{
+    test::ServerHarness harness;
+
+    test::TestClient writer(harness.port());
+    test::TestClient reader(harness.port());
+    writer.sendAll("ADMIT first 0.6 0.4\n");
+    ASSERT_NE(writer.readLines(1).find("OK admitted"),
+              std::string::npos);
+
+    // The next reply write fails with EIO after the command has
+    // already gone through the allocation service.
+    svc::Failpoints::instance().arm("net.write", eioOnce());
+    writer.sendAll("ADMIT applied 0.3 0.7\n");
+    EXPECT_TRUE(writer.waitForClose(2000))
+        << "injected write EIO must drop the connection";
+    svc::Failpoints::instance().clearAll();
+
+    // A different client observes the applied mutation.
+    reader.sendAll("TICK\nQUERY applied\n");
+    const std::string replies = reader.readLines(2);
+    EXPECT_NE(replies.find("EPOCH 1"), std::string::npos) << replies;
+    EXPECT_NE(replies.find("SHARE applied"), std::string::npos)
+        << "the command must be applied even when its reply is lost: "
+        << replies;
+
+    const net::ServerStats &stats = harness.stop();
+    EXPECT_GE(stats.ioErrors, 1u);
+    EXPECT_GE(stats.dropped, 1u);
+}
+
+TEST_F(NetFailpoint, PersistentShortWritesKeepTranscriptExact)
+{
+    // Reference transcript with no fault armed; the SHUTDOWN makes
+    // the server drain and close, so readToEof is deterministic.
+    const std::string script = "ADMIT a 0.6 0.4\nADMIT b 0.2 0.8\n"
+                               "TICK\nQUERY\nPLAN\nSHUTDOWN\n";
+    std::string clean;
+    {
+        test::ServerHarness harness;
+        test::TestClient client(harness.port());
+        client.sendAll(script);
+        clean = client.readToEof();
+    }
+
+    // Same session with every write cut short forever: each pass
+    // moves at least one byte, so the full transcript must still
+    // arrive, byte for byte.
+    svc::FailpointSpec shortForever;
+    shortForever.action = svc::FailAction::ShortWrite;
+    shortForever.count = 0;  // Never disarm.
+    svc::Failpoints::instance().arm("net.write", shortForever);
+
+    std::string stuttered;
+    {
+        test::ServerHarness harness;
+        test::TestClient client(harness.port());
+        client.sendAll(script);
+        stuttered = client.readToEof(10000);
+        svc::Failpoints::instance().clearAll();
+        const net::ServerStats &stats = harness.stop();
+        EXPECT_EQ(stats.dropped, 0u)
+            << "short writes are progress, not errors";
+    }
+
+    ASSERT_FALSE(stuttered.empty());
+    EXPECT_EQ(stuttered, clean);
+    EXPECT_GE(test::countPrefixed(stuttered, "SHARE "), 2u);
+}
+
+TEST_F(NetFailpoint, AcceptEioIsCountedAndTheClientStillLands)
+{
+    test::ServerHarness harness;
+
+    // The injected accept failure leaves the queued connection in
+    // the kernel backlog; the level-triggered loop retries on the
+    // next pass and the client never notices.
+    svc::Failpoints::instance().arm("net.accept", eioOnce());
+    test::TestClient client(harness.port());
+    client.sendAll("ADMIT landed 0.5 0.5\nTICK\n");
+    const std::string replies = client.readLines(2);
+    EXPECT_NE(replies.find("OK admitted landed"), std::string::npos)
+        << replies;
+    EXPECT_NE(replies.find("EPOCH 1"), std::string::npos) << replies;
+
+    const net::ServerStats &stats = harness.stop();
+    EXPECT_GE(stats.ioErrors, 1u);
+    EXPECT_EQ(stats.accepted, 1u);
+    EXPECT_EQ(stats.dropped, 0u);
+}
+
+} // namespace

@@ -11,6 +11,19 @@
  *             [--selfcheck] [--strict] [--echo] [--file PATH]
  *             [--metrics-out PATH] [--fairness-out PATH]
  *             [--trace-out PATH] [--trace-sample N]
+ *             [--listen ADDR:PORT] [--unix PATH] [--max-clients N]
+ *             [--idle-timeout MS] [--write-timeout MS]
+ *             [--max-line-bytes N]
+ *
+ * Transports: with no --listen/--unix the protocol runs over
+ * stdin/stdout exactly as before (stdio stays the default so every
+ * script and test pipeline keeps working). --listen and/or --unix
+ * switch to the poll-driven socket front-end (net/socket_server.hh):
+ * many concurrent clients fan into the one service, each speaking
+ * the same line protocol; the bound endpoints are announced on
+ * stderr as "listen: tcp=ADDR:PORT unix=PATH" (port 0 picks an
+ * ephemeral port, which scripts parse from that line). SHUTDOWN
+ * from any client — or SIGTERM — drains and stops the server.
  *
  * Observability: --metrics-out rewrites PATH with the Prometheus
  * exposition of the metrics registry after every TICK command (the
@@ -49,6 +62,7 @@
 #include <sstream>
 #include <string>
 
+#include "net/socket_server.hh"
 #include "obs/trace.hh"
 #include "svc/failpoints.hh"
 #include "svc/protocol.hh"
@@ -90,7 +104,13 @@ struct CliOptions
     std::string metricsOut;   //!< Empty: no exposition file.
     std::string fairnessOut;  //!< Empty: no fairness CSV file.
     std::string traceOut;     //!< Empty: tracing stays disabled.
+    std::string listenAddress;  //!< Empty: no TCP listener.
+    std::string unixPath;       //!< Empty: no Unix listener.
     std::uint64_t traceSample = 1;
+    std::size_t maxClients = 64;
+    std::size_t maxLineBytes = 65536;
+    int idleTimeoutMs = 30000;
+    int writeTimeoutMs = 10000;
     double hysteresis = 0.0;
     std::uint64_t fsyncEvery = 1;
     std::uint64_t snapshotEvery = 1024;
@@ -113,7 +133,10 @@ usage(const char *argv0, const std::string &error = "")
            "          [--selfcheck] [--strict] [--echo] "
            "[--file PATH]\n"
            "          [--metrics-out PATH] [--fairness-out PATH]\n"
-           "          [--trace-out PATH] [--trace-sample N]\n\n"
+           "          [--trace-out PATH] [--trace-sample N]\n"
+           "          [--listen ADDR:PORT] [--unix PATH]\n"
+           "          [--max-clients N] [--idle-timeout MS]\n"
+           "          [--write-timeout MS] [--max-line-bytes N]\n\n"
            "Runs the online REF allocation service over a line\n"
            "protocol on stdin (or PATH): ADMIT/UPDATE/DEPART agents,\n"
            "TICK epochs, QUERY shares, PLAN enforcement, STATS\n"
@@ -127,7 +150,13 @@ usage(const char *argv0, const std::string &error = "")
            "--fairness-out appends per-epoch fairness-margin CSV\n"
            "rows; --trace-out records spans and writes Chrome\n"
            "trace-event JSON on exit (every Nth span with\n"
-           "--trace-sample N).\n";
+           "--trace-sample N). --listen/--unix serve the protocol\n"
+           "over TCP / Unix-domain sockets to many concurrent\n"
+           "clients instead of stdio (port 0 binds an ephemeral\n"
+           "port, announced on stderr); --max-clients caps the\n"
+           "fan-in, --idle-timeout/--write-timeout drop stuck or\n"
+           "slow-reading peers, --max-line-bytes bounds one\n"
+           "protocol line.\n";
     std::exit(2);
 }
 
@@ -169,6 +198,24 @@ parseArgs(int argc, char **argv)
             options.fairnessOut = next();
         } else if (arg == "--trace-out") {
             options.traceOut = next();
+        } else if (arg == "--listen") {
+            options.listenAddress = next();
+        } else if (arg == "--unix") {
+            options.unixPath = next();
+        } else if (arg == "--max-clients") {
+            options.maxClients = static_cast<std::size_t>(
+                parseNumber(argv[0], arg, next()));
+            if (options.maxClients == 0)
+                usage(argv[0], "--max-clients must be positive");
+        } else if (arg == "--max-line-bytes") {
+            options.maxLineBytes = static_cast<std::size_t>(
+                parseNumber(argv[0], arg, next()));
+        } else if (arg == "--idle-timeout") {
+            options.idleTimeoutMs = static_cast<int>(
+                parseNumber(argv[0], arg, next()));
+        } else if (arg == "--write-timeout") {
+            options.writeTimeoutMs = static_cast<int>(
+                parseNumber(argv[0], arg, next()));
         } else if (arg == "--trace-sample") {
             options.traceSample = static_cast<std::uint64_t>(
                 parseNumber(argv[0], arg, next()));
@@ -255,8 +302,47 @@ main(int argc, char **argv)
         session.metricsOutPath = options.metricsOut;
         session.fairnessOutPath = options.fairnessOut;
 
+        const bool socketMode = !options.listenAddress.empty() ||
+                                !options.unixPath.empty();
+        if (socketMode && !options.sessionFile.empty())
+            usage(argv[0],
+                  "--file is a stdio-mode flag; use --listen/--unix "
+                  "without it");
+
         svc::SessionResult result;
-        if (options.sessionFile.empty()) {
+        if (socketMode) {
+            net::ServerOptions server;
+            server.listenAddress = options.listenAddress;
+            server.unixPath = options.unixPath;
+            server.maxClients = options.maxClients;
+            server.maxLineBytes = options.maxLineBytes;
+            server.idleTimeoutMs = options.idleTimeoutMs;
+            server.writeTimeoutMs = options.writeTimeoutMs;
+            server.session = session;
+            net::SocketServer front(service, server);
+            front.start();
+            std::cerr << "listen:";
+            if (!options.listenAddress.empty()) {
+                const std::string &spec = options.listenAddress;
+                std::cerr << " tcp="
+                          << spec.substr(0, spec.rfind(':')) << ":"
+                          << front.tcpPort();
+            }
+            if (!options.unixPath.empty())
+                std::cerr << " unix=" << options.unixPath;
+            std::cerr << "\n";
+            const net::ServerStats stats = front.run();
+            result = stats.protocol;
+            result.shutdown = stats.shutdown;
+            std::cerr << "server: " << stats.accepted
+                      << " accepted, " << stats.dropped
+                      << " dropped (" << stats.idleTimeouts
+                      << " idle, " << stats.writeTimeouts
+                      << " write-timeout, " << stats.acceptRejects
+                      << " full), " << stats.bytesIn << " bytes in, "
+                      << stats.bytesOut << " bytes out, "
+                      << stats.overlongLines << " overlong lines\n";
+        } else if (options.sessionFile.empty()) {
             result = svc::runSession(service, std::cin, std::cout,
                                      session);
         } else {
