@@ -10,7 +10,14 @@ so the perf trajectory can be tracked across commits without parsing
 google-benchmark's full schema. ``wall_ns`` is real (wall-clock) time
 per iteration, converted from whatever time_unit the run used.
 
-Usage: export_bench_timings.py <benchmark_out.json>... [--out-dir DIR]
+Records produced elsewhere (ref_bomb, bench_socket.sh) share the same
+schema, optionally extended with ``ops_per_sec`` and ``p50_ns`` /
+``p90_ns`` / ``p99_ns`` latency quantiles; a BENCH file may hold one
+record or a JSON array of them.
+
+Usage:
+  export_bench_timings.py <benchmark_out.json>... [--out-dir DIR]
+  export_bench_timings.py --check <BENCH_*.json>...
 """
 
 import argparse
@@ -21,9 +28,72 @@ import sys
 
 _TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
+#: Required fields of one BENCH record and their validators.
+_REQUIRED = {
+    "name": lambda v: isinstance(v, str) and v != "",
+    "wall_ns": lambda v: isinstance(v, (int, float))
+    and not isinstance(v, bool) and v >= 0,
+    "iterations": lambda v: isinstance(v, int)
+    and not isinstance(v, bool) and v >= 1,
+}
+
+#: Optional extensions (load generators add these).
+_OPTIONAL = {
+    "ops_per_sec": lambda v: isinstance(v, (int, float))
+    and not isinstance(v, bool) and v >= 0,
+    "p50_ns": lambda v: isinstance(v, (int, float))
+    and not isinstance(v, bool) and v >= 0,
+    "p90_ns": lambda v: isinstance(v, (int, float))
+    and not isinstance(v, bool) and v >= 0,
+    "p99_ns": lambda v: isinstance(v, (int, float))
+    and not isinstance(v, bool) and v >= 0,
+}
+
 
 def sanitize(name):
     return re.sub(r"[^A-Za-z0-9_.-]+", "_", name).strip("_")
+
+
+def record_errors(record, where):
+    """Schema violations in one BENCH record, as human-readable strings."""
+    errors = []
+    if not isinstance(record, dict):
+        return [f"{where}: record is not a JSON object"]
+    for key, valid in _REQUIRED.items():
+        if key not in record:
+            errors.append(f"{where}: missing required field '{key}'")
+        elif not valid(record[key]):
+            errors.append(
+                f"{where}: field '{key}' has invalid value "
+                f"{record[key]!r}")
+    for key, valid in _OPTIONAL.items():
+        if key in record and not valid(record[key]):
+            errors.append(
+                f"{where}: field '{key}' has invalid value "
+                f"{record[key]!r}")
+    known = set(_REQUIRED) | set(_OPTIONAL)
+    for key in record:
+        if key not in known:
+            errors.append(f"{where}: unknown field '{key}'")
+    return errors
+
+
+def check(paths):
+    """Validate BENCH files; a list of error strings (empty when clean)."""
+    errors = []
+    for path in paths:
+        try:
+            doc = json.loads(pathlib.Path(path).read_text())
+        except (OSError, ValueError) as exc:
+            errors.append(f"{path}: unreadable or not JSON ({exc})")
+            continue
+        records = doc if isinstance(doc, list) else [doc]
+        if not records:
+            errors.append(f"{path}: empty record array")
+        for index, record in enumerate(records):
+            where = f"{path}[{index}]" if isinstance(doc, list) else str(path)
+            errors.extend(record_errors(record, where))
+    return errors
 
 
 def export(path, out_dir):
@@ -47,10 +117,23 @@ def export(path, out_dir):
 def main(argv):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("inputs", nargs="+",
-                        help="google-benchmark --benchmark_out files")
+                        help="google-benchmark --benchmark_out files, "
+                             "or BENCH_*.json files with --check")
     parser.add_argument("--out-dir", default=".",
                         help="directory for BENCH_*.json (default: .)")
+    parser.add_argument("--check", action="store_true",
+                        help="validate BENCH_*.json files against the "
+                             "schema instead of exporting")
     args = parser.parse_args(argv)
+
+    if args.check:
+        errors = check(args.inputs)
+        for error in errors:
+            print(f"error: {error}", file=sys.stderr)
+        if not errors:
+            print(f"{len(args.inputs)} file(s) conform to the BENCH "
+                  "schema")
+        return 1 if errors else 0
 
     out_dir = pathlib.Path(args.out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Unit tests for export_bench_timings.py: the google-benchmark export
+path and the BENCH schema validator (--check)."""
+
+import json
+import pathlib
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+import export_bench_timings as ebt
+
+
+def write(directory, name, payload):
+    path = pathlib.Path(directory) / name
+    path.write_text(json.dumps(payload))
+    return path
+
+
+GOOD = {"name": "socket_text_1shard", "wall_ns": 51234.5,
+        "iterations": 8000}
+GOOD_FULL = {"name": "socket_binary_4shard", "wall_ns": 9876.0,
+             "iterations": 64000, "ops_per_sec": 101234.2,
+             "p50_ns": 8000, "p90_ns": 15000, "p99_ns": 40000}
+
+
+class CheckTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self.dir.cleanup)
+
+    def test_minimal_and_extended_records_pass(self):
+        path = write(self.dir.name, "BENCH_a.json", GOOD)
+        full = write(self.dir.name, "BENCH_b.json", GOOD_FULL)
+        self.assertEqual(ebt.check([path, full]), [])
+
+    def test_array_of_records_passes(self):
+        path = write(self.dir.name, "BENCH_arr.json",
+                     [GOOD, GOOD_FULL])
+        self.assertEqual(ebt.check([path]), [])
+
+    def test_missing_required_field_fails(self):
+        for field in ("name", "wall_ns", "iterations"):
+            record = dict(GOOD)
+            del record[field]
+            path = write(self.dir.name, "BENCH_m.json", record)
+            errors = ebt.check([path])
+            self.assertEqual(len(errors), 1, errors)
+            self.assertIn(field, errors[0])
+
+    def test_wrong_types_fail(self):
+        cases = [
+            {**GOOD, "name": 7},
+            {**GOOD, "wall_ns": "fast"},
+            {**GOOD, "wall_ns": -1},
+            {**GOOD, "iterations": 0},
+            {**GOOD, "iterations": 2.5},
+            {**GOOD, "iterations": True},
+            {**GOOD, "p99_ns": "slow"},
+        ]
+        for record in cases:
+            path = write(self.dir.name, "BENCH_t.json", record)
+            self.assertNotEqual(ebt.check([path]), [], record)
+
+    def test_unknown_field_fails(self):
+        path = write(self.dir.name, "BENCH_u.json",
+                     {**GOOD, "surprise": 1})
+        errors = ebt.check([path])
+        self.assertEqual(len(errors), 1)
+        self.assertIn("surprise", errors[0])
+
+    def test_non_json_and_empty_array_fail(self):
+        garbled = pathlib.Path(self.dir.name) / "BENCH_g.json"
+        garbled.write_text("{not json")
+        empty = write(self.dir.name, "BENCH_e.json", [])
+        self.assertEqual(len(ebt.check([garbled])), 1)
+        self.assertEqual(len(ebt.check([empty])), 1)
+
+    def test_array_errors_carry_index(self):
+        path = write(self.dir.name, "BENCH_i.json",
+                     [GOOD, {"name": "x"}])
+        errors = ebt.check([path])
+        self.assertTrue(all("[1]" in error for error in errors),
+                        errors)
+
+    def test_main_exit_codes(self):
+        good = write(self.dir.name, "BENCH_ok.json", GOOD)
+        bad = write(self.dir.name, "BENCH_bad.json", {"name": "x"})
+        self.assertEqual(ebt.main(["--check", str(good)]), 0)
+        self.assertEqual(ebt.main(["--check", str(good), str(bad)]), 1)
+
+
+class ExportTest(unittest.TestCase):
+    def test_exports_per_iteration_nanoseconds(self):
+        with tempfile.TemporaryDirectory() as directory:
+            source = write(directory, "gbench.json", {
+                "benchmarks": [
+                    {"name": "BM_solve/8", "real_time": 2.5,
+                     "time_unit": "us", "iterations": 1000},
+                    {"name": "BM_solve/8_mean", "real_time": 2.5,
+                     "time_unit": "us", "iterations": 3,
+                     "run_type": "aggregate"},
+                ]})
+            written = ebt.export(source, pathlib.Path(directory))
+            self.assertEqual(len(written), 1)
+            record = json.loads(written[0].read_text())
+            self.assertEqual(record["wall_ns"], 2500.0)
+            self.assertEqual(record["iterations"], 1000)
+            # The exporter's own output must satisfy its own checker.
+            self.assertEqual(ebt.check(written), [])
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -37,13 +37,14 @@ start_server() {
     SRV=$!
     PORT=
     for _ in $(seq 1 100); do
-        PORT=$(sed -n 's/^listen: tcp=.*:\([0-9]*\)$/\1/p' \
+        PORT=$(sed -n \
+            's/^LISTENING .*addr=[^ ]*:\([0-9][0-9]*\).*$/\1/p' \
             "$WORKDIR/$1" 2>/dev/null)
         [ -n "$PORT" ] && break
         kill -0 "$SRV" 2>/dev/null || fail "server died on startup"
         sleep 0.05
     done
-    [ -n "$PORT" ] || fail "no listen banner in $1"
+    [ -n "$PORT" ] || fail "no LISTENING line in $1"
 }
 
 drive_client() {

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Multi-shard socket front-end: N SocketServer event loops on
+ * SO_REUSEPORT listeners bound to one TCP address.
+ *
+ * Each shard is one SocketServer (socket_server.hh) running its own
+ * single-threaded poll loop on its own thread; the kernel's
+ * SO_REUSEPORT hashing spreads incoming connections across the
+ * shards' listeners, so accept load and per-connection framing/IO
+ * scale with cores while every command still lands on the one
+ * thread-safe AllocationService (writers serialize on its mutex,
+ * reads take lock-free snapshots — the same contract the stdio
+ * transport relies on).
+ *
+ * What changes versus one shard: state-mutating commands from
+ * *different* connections are serialized by the service's write
+ * mutex, not by loop arrival order — the same interleaving freedom
+ * concurrent stdio sessions already have. Per-connection ordering is
+ * untouched (one connection lives on exactly one shard for its whole
+ * life).
+ *
+ * Shutdown: a SHUTDOWN command on any shard (or requestStop, or the
+ * signal stop flag) stops every shard — the first shard to leave its
+ * run() loop calls requestStop() on the rest, whose self-pipes wake
+ * their polls immediately. Stats are aggregated after every shard
+ * thread has joined, so reading them is race-free.
+ *
+ * The Unix-domain listener (when configured) lives on shard 0 only:
+ * SO_REUSEPORT is a TCP/UDP facility and one path can hold one
+ * socket. Shards label their ref_net_* metric series {shard="i"}.
+ */
+
+#ifndef REF_NET_SHARDED_SERVER_HH
+#define REF_NET_SHARDED_SERVER_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/socket_server.hh"
+
+namespace ref::net {
+
+/** Per-shard results plus their sum. */
+struct ShardedStats
+{
+    std::vector<ServerStats> shards;
+    /** Counter sums across shards; shutdown is the OR. */
+    ServerStats total;
+};
+
+/**
+ * Use mirrors SocketServer:
+ *
+ *   ShardedServer server(service, options, shardCount);
+ *   server.start();                 // binds every shard
+ *   ShardedStats stats = server.run();  // blocks until all drain
+ *
+ * shardCount == 1 degenerates to exactly one SocketServer with the
+ * unlabeled metric series and no SO_REUSEPORT — the pre-shard
+ * behaviour. shardCount > 1 requires a TCP listen address (port 0 is
+ * fine: shard 0 binds first and the rest join its concrete port).
+ */
+class ShardedServer
+{
+  public:
+    ShardedServer(svc::AllocationService &service,
+                  ServerOptions options, std::size_t shardCount);
+    ~ShardedServer() = default;
+    ShardedServer(const ShardedServer &) = delete;
+    ShardedServer &operator=(const ShardedServer &) = delete;
+
+    /** Bind + listen every shard (throws on error). */
+    void start();
+
+    /** Concrete TCP port all shards share; 0 when TCP is off. */
+    std::uint16_t tcpPort() const;
+
+    /** Run every shard on its own thread; block until all drained. */
+    ShardedStats run();
+
+    /** Thread-safe: stop every shard promptly. */
+    void requestStop();
+
+    std::size_t shardCount() const { return shards_.size(); }
+
+  private:
+    svc::AllocationService &service_;
+    ServerOptions options_;
+    std::size_t requestedShards_;
+    std::vector<std::unique_ptr<SocketServer>> shards_;
+};
+
+} // namespace ref::net
+
+#endif // REF_NET_SHARDED_SERVER_HH

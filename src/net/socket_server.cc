@@ -18,7 +18,10 @@
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "svc/failpoints.hh"
+#include "svc/wire.hh"
+#include "util/crc32.hh"
 #include "util/logging.hh"
+#include "util/record_io.hh"
 
 namespace ref::net {
 namespace {
@@ -40,9 +43,15 @@ setNonBlocking(int fd)
                 "cannot set O_NONBLOCK: " << std::strerror(errno));
 }
 
-/** Per-run handles into the process-wide registry; get-or-create,
- *  so several servers in one process share the series. */
-struct NetMetrics
+} // namespace
+
+/**
+ * Per-shard handles into the process-wide registry; get-or-create,
+ * so several single-shard servers in one process share the unlabeled
+ * series (the pre-shard behaviour), while a multi-shard server gives
+ * each shard its own {shard="i"}-labelled series.
+ */
+struct SocketServer::Metrics
 {
     obs::Counter &accepted;
     obs::Counter &dropped;
@@ -52,46 +61,68 @@ struct NetMetrics
     obs::Counter &bytesOut;
     obs::Counter &lines;
     obs::Counter &overlongLines;
+    obs::Counter &frames;
+    obs::Counter &badFrames;
+    obs::Counter &binaryConnections;
     obs::Gauge &active;
 
-    NetMetrics()
+    static std::string series(const char *base,
+                              const std::string &label)
+    {
+        return base + label;
+    }
+
+    Metrics(std::size_t shardIndex, std::size_t shardCount)
+        : Metrics(shardCount > 1
+                      ? "{shard=\"" + std::to_string(shardIndex) +
+                            "\"}"
+                      : std::string())
+    {}
+
+    explicit Metrics(const std::string &label)
         : accepted(obs::MetricsRegistry::global().counter(
-              "ref_net_accepted_total",
+              series("ref_net_accepted_total", label),
               "Client connections accepted by the socket server")),
           dropped(obs::MetricsRegistry::global().counter(
-              "ref_net_dropped_total",
+              series("ref_net_dropped_total", label),
               "Client connections dropped (timeout, overflow, IO "
               "error, or server full)")),
           idleTimeouts(obs::MetricsRegistry::global().counter(
-              "ref_net_idle_timeouts_total",
+              series("ref_net_idle_timeouts_total", label),
               "Connections dropped by the idle timeout")),
           writeTimeouts(obs::MetricsRegistry::global().counter(
-              "ref_net_write_timeouts_total",
+              series("ref_net_write_timeouts_total", label),
               "Connections dropped by the write timeout (slow "
               "readers)")),
           bytesIn(obs::MetricsRegistry::global().counter(
-              "ref_net_bytes_in_total",
+              series("ref_net_bytes_in_total", label),
               "Bytes read from socket clients")),
           bytesOut(obs::MetricsRegistry::global().counter(
-              "ref_net_bytes_out_total",
+              series("ref_net_bytes_out_total", label),
               "Bytes written to socket clients")),
           lines(obs::MetricsRegistry::global().counter(
-              "ref_net_lines_total",
+              series("ref_net_lines_total", label),
               "Complete protocol lines framed off sockets")),
           overlongLines(obs::MetricsRegistry::global().counter(
-              "ref_net_overlong_lines_total",
+              series("ref_net_overlong_lines_total", label),
               "Lines rejected for exceeding the byte bound")),
+          frames(obs::MetricsRegistry::global().counter(
+              series("ref_net_frames_total", label),
+              "Binary request frames served")),
+          badFrames(obs::MetricsRegistry::global().counter(
+              series("ref_net_bad_frames_total", label),
+              "Binary frames rejected (oversized, bad CRC, or torn "
+              "at end of stream)")),
+          binaryConnections(obs::MetricsRegistry::global().counter(
+              series("ref_net_binary_connections_total", label),
+              "Connections that negotiated the binary protocol")),
           active(obs::MetricsRegistry::global().gauge(
-              "ref_net_active_connections",
+              series("ref_net_active_connections", label),
               "Currently connected socket clients"))
     {}
-
-    static NetMetrics &instance()
-    {
-        static NetMetrics metrics;
-        return metrics;
-    }
 };
+
+namespace {
 
 /**
  * Failpoint shim for the socket syscall sites ("net.accept",
@@ -129,12 +160,27 @@ injectNetIo(const char *site)
 /** One client connection: fd + framing buffers + protocol session. */
 struct SocketServer::Connection
 {
+    /** How this connection's inbound bytes are framed. Every
+     *  connection starts in Detect until its first bytes either
+     *  match the binary hello magic or rule it out. */
+    enum class Mode
+    {
+        Detect,
+        Text,
+        Binary,
+    };
+
     int fd = -1;
     std::unique_ptr<svc::CommandSession> session;
+    Mode mode = Mode::Detect;
     std::string inbuf;       //!< Bytes read, not yet framed.
     std::string outbuf;      //!< Reply bytes not yet written.
     std::size_t outOffset = 0;  //!< Flushed prefix of outbuf.
     bool discardingOverlong = false;
+    /** Binary resync: bytes of an already-rejected frame still to
+     *  swallow (the declared length of an oversized or CRC-corrupt
+     *  frame), consumed as they arrive — bounded memory, one ERR. */
+    std::uint64_t discardBytes = 0;
     bool dead = false;
     std::int64_t lastInboundMs = 0;   //!< Last byte read.
     std::int64_t lastProgressMs = 0;  //!< Last outbuf progress.
@@ -144,7 +190,9 @@ struct SocketServer::Connection
 
 SocketServer::SocketServer(svc::AllocationService &service,
                            ServerOptions options)
-    : service_(service), options_(std::move(options))
+    : service_(service), options_(std::move(options)),
+      metrics_(std::make_unique<Metrics>(options_.shardIndex,
+                                         options_.shardCount))
 {
     // One socket scrape covers service and transport: METRICS prom
     // from a connection also renders the ref_net_* global series.
@@ -160,6 +208,9 @@ SocketServer::~SocketServer()
         ::close(tcpListenFd_);
     if (unixListenFd_ >= 0)
         ::close(unixListenFd_);
+    for (const int fd : wakeFds_)
+        if (fd >= 0)
+            ::close(fd);
     if (!boundUnixPath_.empty())
         ::unlink(boundUnixPath_.c_str());
 }
@@ -205,6 +256,11 @@ SocketServer::start()
         const int one = 1;
         ::setsockopt(tcpListenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
                      sizeof(one));
+        if (options_.reusePort)
+            REF_REQUIRE(::setsockopt(tcpListenFd_, SOL_SOCKET,
+                                     SO_REUSEPORT, &one,
+                                     sizeof(one)) == 0,
+                        "SO_REUSEPORT: " << std::strerror(errno));
         REF_REQUIRE(::bind(tcpListenFd_,
                            reinterpret_cast<sockaddr *>(&addr),
                            sizeof(addr)) == 0,
@@ -246,6 +302,27 @@ SocketServer::start()
         setNonBlocking(unixListenFd_);
         boundUnixPath_ = options_.unixPath;
     }
+
+    // Self-pipe: requestStop() from another thread writes one byte
+    // so an idle poll wakes immediately instead of at its timeout.
+    if (wakeFds_[0] < 0) {
+        REF_REQUIRE(::pipe(wakeFds_) == 0,
+                    "pipe: " << std::strerror(errno));
+        setNonBlocking(wakeFds_[0]);
+        setNonBlocking(wakeFds_[1]);
+    }
+}
+
+void
+SocketServer::requestStop()
+{
+    stopRequested_.store(true, std::memory_order_relaxed);
+    if (wakeFds_[1] >= 0) {
+        const char byte = 1;
+        // A full pipe means a wakeup is already pending.
+        const ssize_t ignored [[maybe_unused]] =
+            ::write(wakeFds_[1], &byte, 1);
+    }
 }
 
 bool
@@ -281,6 +358,14 @@ SocketServer::acceptPending(int listenFd)
             return;
         }
         setNonBlocking(fd);
+        if (listenFd == tcpListenFd_) {
+            // Replies are small and latency-bound; Nagle coalescing
+            // against delayed ACKs costs tens of milliseconds per
+            // window. Best effort: Unix sockets ignore it anyway.
+            const int one = 1;
+            ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                         sizeof(one));
+        }
 
         if (connections_.size() >= options_.maxClients) {
             static constexpr char kFull[] = "ERR server full\n";
@@ -291,7 +376,7 @@ SocketServer::acceptPending(int listenFd)
             ::close(fd);
             ++stats_.acceptRejects;
             ++stats_.dropped;
-            NetMetrics::instance().dropped.add();
+            metrics_->dropped.add();
             continue;
         }
 
@@ -303,8 +388,8 @@ SocketServer::acceptPending(int listenFd)
         conn->lastProgressMs = conn->lastInboundMs;
         connections_.push_back(std::move(conn));
         ++stats_.accepted;
-        NetMetrics::instance().accepted.add();
-        NetMetrics::instance().active.set(
+        metrics_->accepted.add();
+        metrics_->active.set(
             static_cast<double>(connections_.size()));
     }
 }
@@ -315,7 +400,7 @@ void
 SocketServer::rejectOverlong(Connection &conn)
 {
     ++stats_.overlongLines;
-    NetMetrics::instance().overlongLines.add();
+    metrics_->overlongLines.add();
     service_.noteRejected();
     ++conn.session->result().commands;
     ++conn.session->result().errors;
@@ -330,7 +415,7 @@ SocketServer::dispatchLine(Connection &conn, const std::string &line)
 {
     obs::Span span("net.dispatch", "net");
     ++stats_.lines;
-    NetMetrics::instance().lines.add();
+    metrics_->lines.add();
     std::ostringstream reply;
     const auto status = conn.session->executeLine(line, reply);
     conn.outbuf += reply.str();
@@ -368,55 +453,197 @@ SocketServer::handleReadable(Connection &conn)
             return;
         }
         if (got == 0) {  // Peer EOF: end of that session.
+            if (conn.mode == Connection::Mode::Binary &&
+                !conn.inbuf.empty() && conn.discardBytes == 0) {
+                // The stream ends mid-frame — the transport analogue
+                // of a journal's torn tail: one ERR, best-effort
+                // flush, then the close.
+                rejectBadFrame(conn, "torn frame at end of stream");
+            }
+            if (conn.pending() > 0)
+                flushWrites(conn);
             closeConnection(conn);
             return;
         }
         budget -= static_cast<std::size_t>(got);
         conn.lastInboundMs = nowMs();
         stats_.bytesIn += static_cast<std::uint64_t>(got);
-        NetMetrics::instance().bytesIn.add(
+        metrics_->bytesIn.add(
             static_cast<std::uint64_t>(got));
         conn.inbuf.append(chunk, static_cast<std::size_t>(got));
 
-        // Frame complete lines; enforce the byte bound both on
-        // complete lines and on an incomplete remainder.
-        std::size_t begin = 0;
-        for (;;) {
-            const std::size_t newline =
-                conn.inbuf.find('\n', begin);
-            if (newline == std::string::npos)
-                break;
-            if (conn.discardingOverlong) {
-                // Tail of an overlong line: already answered with
-                // its one ERR, swallow through the newline.
-                conn.discardingOverlong = false;
-            } else if (newline - begin > options_.maxLineBytes) {
-                rejectOverlong(conn);
-            } else {
-                const std::string line =
-                    conn.inbuf.substr(begin, newline - begin);
-                dispatchLine(conn, line);
-            }
-            begin = newline + 1;
-            if (draining_)
-                break;
-        }
-        conn.inbuf.erase(0, begin);
-        if (conn.discardingOverlong) {
-            conn.inbuf.clear();
-        } else if (conn.inbuf.size() > options_.maxLineBytes) {
-            // One ERR per bad line, never a disconnect: reject now,
-            // swallow until the newline arrives.
-            rejectOverlong(conn);
-            conn.inbuf.clear();
-            conn.discardingOverlong = true;
-        }
+        processInput(conn);
+        if (conn.dead)
+            return;
         if (conn.pending() > options_.maxPendingBytes) {
             ++stats_.overflowDrops;
             dropConnection(conn, "reply backlog overflow");
             return;
         }
     }
+}
+
+void
+SocketServer::processInput(Connection &conn)
+{
+    if (conn.mode == Connection::Mode::Detect)
+        detectMode(conn);
+    if (conn.mode == Connection::Mode::Text)
+        processText(conn);
+    else if (conn.mode == Connection::Mode::Binary)
+        processBinary(conn);
+}
+
+void
+SocketServer::detectMode(Connection &conn)
+{
+    if (!options_.enableBinary) {
+        conn.mode = Connection::Mode::Text;
+        return;
+    }
+    const std::string_view magic = svc::wire::helloMagic();
+    const std::size_t have =
+        std::min(conn.inbuf.size(), magic.size());
+    if (std::string_view(conn.inbuf).substr(0, have) !=
+        magic.substr(0, have)) {
+        conn.mode = Connection::Mode::Text;
+        return;
+    }
+    if (have < magic.size())
+        return;  // Prefix of the magic so far: wait for more bytes.
+    conn.inbuf.erase(0, magic.size());
+    conn.mode = Connection::Mode::Binary;
+    ++stats_.binaryConnections;
+    metrics_->binaryConnections.add();
+    conn.outbuf += frameRecord(svc::wire::encodeHelloAck());
+}
+
+void
+SocketServer::processText(Connection &conn)
+{
+    // Frame complete lines; enforce the byte bound both on
+    // complete lines and on an incomplete remainder.
+    std::size_t begin = 0;
+    for (;;) {
+        const std::size_t newline = conn.inbuf.find('\n', begin);
+        if (newline == std::string::npos)
+            break;
+        if (conn.discardingOverlong) {
+            // Tail of an overlong line: already answered with
+            // its one ERR, swallow through the newline.
+            conn.discardingOverlong = false;
+        } else if (newline - begin > options_.maxLineBytes) {
+            rejectOverlong(conn);
+        } else {
+            const std::string line =
+                conn.inbuf.substr(begin, newline - begin);
+            dispatchLine(conn, line);
+        }
+        begin = newline + 1;
+        if (draining_)
+            break;
+    }
+    conn.inbuf.erase(0, begin);
+    if (conn.discardingOverlong) {
+        conn.inbuf.clear();
+    } else if (conn.inbuf.size() > options_.maxLineBytes) {
+        // One ERR per bad line, never a disconnect: reject now,
+        // swallow until the newline arrives.
+        rejectOverlong(conn);
+        conn.inbuf.clear();
+        conn.discardingOverlong = true;
+    }
+}
+
+void
+SocketServer::processBinary(Connection &conn)
+{
+    for (;;) {
+        if (conn.discardBytes > 0) {
+            // Swallowing an already-rejected frame's payload as it
+            // arrives: bounded memory however absurd the declared
+            // length was.
+            const std::uint64_t eat = std::min<std::uint64_t>(
+                conn.discardBytes, conn.inbuf.size());
+            conn.inbuf.erase(0, static_cast<std::size_t>(eat));
+            conn.discardBytes -= eat;
+            if (conn.discardBytes > 0)
+                return;
+        }
+        if (conn.inbuf.size() < 8 || draining_)
+            return;  // Torn: wait for at least a whole header.
+        ByteReader header(std::string_view(conn.inbuf.data(), 8));
+        const std::uint32_t length = header.u32();
+        const std::uint32_t expected = header.u32();
+        if (length > options_.maxFrameBytes) {
+            conn.inbuf.erase(0, 8);
+            conn.discardBytes = length;
+            rejectBadFrame(conn, "frame exceeds byte bound");
+            continue;
+        }
+        if (conn.inbuf.size() <
+            8 + static_cast<std::size_t>(length))
+            return;  // Torn: bounded above by maxFrameBytes.
+        const std::string_view payload(conn.inbuf.data() + 8,
+                                       length);
+        if (crc32(payload) != expected) {
+            conn.inbuf.erase(
+                0, 8 + static_cast<std::size_t>(length));
+            rejectBadFrame(conn, "frame CRC mismatch");
+            continue;
+        }
+        dispatchFrame(conn, payload);
+        conn.inbuf.erase(0, 8 + static_cast<std::size_t>(length));
+        if (draining_)
+            return;
+    }
+}
+
+void
+SocketServer::dispatchFrame(Connection &conn,
+                            std::string_view payload)
+{
+    obs::Span span("net.dispatch", "net");
+    svc::Command command;
+    try {
+        command = svc::wire::decodeCommand(payload);
+    } catch (const FatalError &error) {
+        // CRC-valid but undecodable (unknown opcode, truncated
+        // fields, trailing bytes): one framed ERR, the stream
+        // stays up — same contract as a corrupt frame.
+        rejectBadFrame(conn,
+                       std::string("bad frame: ") + error.what());
+        return;
+    }
+    ++stats_.frames;
+    metrics_->frames.add();
+    svc::wire::ReplyStatus status = svc::wire::ReplyStatus::Ok;
+    std::ostringstream reply;
+    const auto line = conn.session->executeCommand(command, reply);
+    if (line == svc::CommandSession::LineStatus::Shutdown) {
+        status = svc::wire::ReplyStatus::Shutdown;
+        stats_.shutdown = true;
+        draining_ = true;
+    } else if (line == svc::CommandSession::LineStatus::Rejected) {
+        status = svc::wire::ReplyStatus::Err;
+    }
+    conn.outbuf +=
+        frameRecord(svc::wire::encodeReply(status, reply.str()));
+}
+
+/** The one framed ERR a bad binary frame draws; counted as a
+ *  rejected command so STATS agrees across framings. */
+void
+SocketServer::rejectBadFrame(Connection &conn,
+                             const std::string &reason)
+{
+    ++stats_.badFrames;
+    metrics_->badFrames.add();
+    service_.noteRejected();
+    ++conn.session->result().commands;
+    ++conn.session->result().errors;
+    conn.outbuf += frameRecord(svc::wire::encodeReply(
+        svc::wire::ReplyStatus::Err, "ERR " + reason + "\n"));
 }
 
 void
@@ -452,7 +679,7 @@ SocketServer::flushWrites(Connection &conn)
         conn.outOffset += static_cast<std::size_t>(wrote);
         conn.lastProgressMs = nowMs();
         stats_.bytesOut += static_cast<std::uint64_t>(wrote);
-        NetMetrics::instance().bytesOut.add(
+        metrics_->bytesOut.add(
             static_cast<std::uint64_t>(wrote));
         if (inject.shortIo)
             return;  // Model one short write per armed pass.
@@ -469,7 +696,7 @@ SocketServer::dropConnection(Connection &conn, const char *reason)
     if (conn.dead)
         return;
     ++stats_.dropped;
-    NetMetrics::instance().dropped.add();
+    metrics_->dropped.add();
     REF_WARN("dropping client: " << reason);
     // A drop is abortive: linger(0) turns the close into an RST so
     // the kernel reclaims the socket now instead of trickling
@@ -514,7 +741,7 @@ SocketServer::sweepTimeouts()
                 conn->lastProgressMs + options_.writeTimeoutMs;
             if (now >= deadline) {
                 ++stats_.writeTimeouts;
-                NetMetrics::instance().writeTimeouts.add();
+                metrics_->writeTimeouts.add();
                 dropConnection(*conn, "write timeout");
                 continue;
             }
@@ -525,7 +752,7 @@ SocketServer::sweepTimeouts()
                 conn->lastInboundMs + options_.idleTimeoutMs;
             if (now >= deadline) {
                 ++stats_.idleTimeouts;
-                NetMetrics::instance().idleTimeouts.add();
+                metrics_->idleTimeouts.add();
                 dropConnection(*conn, "idle timeout");
                 continue;
             }
@@ -567,7 +794,7 @@ SocketServer::drainAndClose()
     for (auto &conn : connections_)
         closeConnection(*conn);
     connections_.clear();
-    NetMetrics::instance().active.set(0);
+    metrics_->active.set(0);
     if (tcpListenFd_ >= 0) {
         ::close(tcpListenFd_);
         tcpListenFd_ = -1;
@@ -601,7 +828,7 @@ SocketServer::run()
                                return conn->dead;
                            }),
             connections_.end());
-        NetMetrics::instance().active.set(
+        metrics_->active.set(
             static_cast<double>(connections_.size()));
 
         const int timeoutMs = sweepTimeouts();
@@ -612,6 +839,8 @@ SocketServer::run()
             fds.push_back({tcpListenFd_, POLLIN, 0});
         if (unixListenFd_ >= 0)
             fds.push_back({unixListenFd_, POLLIN, 0});
+        if (wakeFds_[0] >= 0)
+            fds.push_back({wakeFds_[0], POLLIN, 0});
         const std::size_t firstConn = fds.size();
         for (auto &conn : connections_) {
             if (conn->dead)
@@ -634,9 +863,20 @@ SocketServer::run()
         if (ready == 0)
             continue;  // Timeout pass: sweepTimeouts sees it next.
 
-        for (std::size_t i = 0; i < firstConn; ++i)
-            if (fds[i].revents & POLLIN)
+        for (std::size_t i = 0; i < firstConn; ++i) {
+            if (!(fds[i].revents & POLLIN))
+                continue;
+            if (fds[i].fd == wakeFds_[0]) {
+                // Drain the self-pipe; the loop condition re-checks
+                // the stop flag at the top.
+                char drain[64];
+                while (::read(wakeFds_[0], drain,
+                              sizeof(drain)) > 0)
+                    ;
+            } else {
                 acceptPending(fds[i].fd);
+            }
+        }
 
         for (std::size_t i = firstConn;
              i < fds.size() && !draining_; ++i) {

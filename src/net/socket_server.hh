@@ -43,6 +43,23 @@
  * read/write error behaves like a peer reset (the connection is
  * dropped, the allocator state stays consistent); an injected short
  * write exercises the partial-write path.
+ *
+ * Binary framing (opt-in per connection): a client whose FIRST bytes
+ * are the svc/wire hello magic switches its connection to the
+ * length-prefixed CRC32 binary protocol — the same frame the journal
+ * uses — and every request/reply from then on is one frame. The
+ * sniff is unambiguous (the magic starts with NUL; no text command
+ * does), so text clients and stdio transcripts are untouched. A bad
+ * frame mirrors the text transport's bad-line contract: an oversized
+ * declared length or a CRC mismatch draws exactly one framed ERR and
+ * the stream resyncs past the declared length — never a disconnect.
+ *
+ * Sharding: one SocketServer is one event-loop shard. ShardedServer
+ * (sharded_server.hh) runs N of them on SO_REUSEPORT listeners
+ * bound to the same address, one thread per shard, all fanning into
+ * the one thread-safe AllocationService; options.shardIndex/
+ * shardCount label this shard's ref_net_* metric series
+ * (`{shard="i"}`) so per-shard load is visible in one scrape.
  */
 
 #ifndef REF_NET_SOCKET_SERVER_HH
@@ -54,6 +71,7 @@
 #include <deque>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "svc/protocol.hh"
@@ -91,6 +109,19 @@ struct ServerOptions
     /** Per-connection protocol options (echo, metrics/fairness out
      *  files, stop flag shared with the signal handler). */
     svc::SessionOptions session;
+    /** Accept the binary hello (svc/wire.hh) and serve framed
+     *  requests on connections that send it. */
+    bool enableBinary = true;
+    /** Largest binary request-frame payload accepted; a frame
+     *  declaring more draws one ERR and is skipped. */
+    std::size_t maxFrameBytes = 1 << 20;
+    /** Bind the TCP listener with SO_REUSEPORT (the multi-shard
+     *  path; the kernel load-balances accepts across shards). */
+    bool reusePort = false;
+    /** This event loop's shard identity. shardCount > 1 labels the
+     *  ref_net_* series with {shard="<index>"}. */
+    std::size_t shardIndex = 0;
+    std::size_t shardCount = 1;
 };
 
 /** Lifetime counters for one server run (mirrored onto
@@ -108,6 +139,9 @@ struct ServerStats
     std::uint64_t bytesOut = 0;
     std::uint64_t lines = 0;         //!< Complete lines framed.
     std::uint64_t overlongLines = 0; //!< Lines beyond maxLineBytes.
+    std::uint64_t frames = 0;        //!< Binary request frames served.
+    std::uint64_t badFrames = 0;     //!< Oversized/corrupt/torn frames.
+    std::uint64_t binaryConnections = 0;  //!< Hellos negotiated.
     /** Aggregated per-session protocol totals of every connection
      *  that finished (plus, after run(), the ones open at drain). */
     svc::SessionResult protocol;
@@ -148,23 +182,34 @@ class SocketServer
     /** Event loop: serve until SHUTDOWN / stop, then drain. */
     ServerStats run();
 
-    /** Thread-safe asynchronous stop: the loop notices on its next
-     *  wakeup and drains. */
-    void requestStop() { stopRequested_.store(true); }
+    /** Thread-safe asynchronous stop: wakes the poll loop (via the
+     *  self-pipe) so the drain starts promptly even when idle. */
+    void requestStop();
 
     const ServerStats &stats() const { return stats_; }
 
   private:
     struct Connection;
+    struct Metrics;
 
     void acceptPending(int listenFd);
-    /** Read whatever is available; frame and dispatch lines. */
+    /** Read whatever is available; frame and dispatch. */
     void handleReadable(Connection &conn);
+    /** Mode-aware framing over whatever inbuf holds. */
+    void processInput(Connection &conn);
+    /** Sniff the hello magic; settles the connection's mode. */
+    void detectMode(Connection &conn);
+    void processText(Connection &conn);
+    void processBinary(Connection &conn);
     /** Flush as much pending output as the socket accepts. */
     void flushWrites(Connection &conn);
     void dispatchLine(Connection &conn, const std::string &line);
+    /** Decode + execute one binary request frame; frame the reply. */
+    void dispatchFrame(Connection &conn, std::string_view payload);
     /** Reply the one line-too-long ERR and count the rejection. */
     void rejectOverlong(Connection &conn);
+    /** Reply one framed ERR for a bad binary frame; never drops. */
+    void rejectBadFrame(Connection &conn, const std::string &reason);
     void dropConnection(Connection &conn, const char *reason);
     void closeConnection(Connection &conn);
     /** Sweep idle/write timeouts; returns ms until the next
@@ -176,11 +221,13 @@ class SocketServer
     svc::AllocationService &service_;
     ServerOptions options_;
     ServerStats stats_;
+    std::unique_ptr<Metrics> metrics_;  //!< Shard-labelled series.
     std::atomic<bool> stopRequested_{false};
     bool draining_ = false;
 
     int tcpListenFd_ = -1;
     int unixListenFd_ = -1;
+    int wakeFds_[2] = {-1, -1};  //!< Self-pipe: requestStop wakeup.
     std::uint16_t tcpPort_ = 0;
     std::string boundUnixPath_;  //!< Unlinked on close.
 

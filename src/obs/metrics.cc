@@ -6,6 +6,7 @@
 #include <limits>
 #include <ostream>
 #include <stdexcept>
+#include <string_view>
 
 namespace ref::obs {
 namespace {
@@ -53,15 +54,91 @@ validNameChar(char c, bool first)
     return first ? alpha : (alpha || (c >= '0' && c <= '9'));
 }
 
+/** Validate `key="value"` label pairs between braces. Values may
+ *  hold anything but '"', '\\' and newline (no escape support —
+ *  registrants control their own label values). */
+bool
+validLabelBlock(const std::string &name, std::size_t open)
+{
+    if (name.back() != '}' || open + 2 >= name.size())
+        return false;
+    std::size_t pos = open + 1;
+    const std::size_t end = name.size() - 1;  // The '}'.
+    while (pos < end) {
+        std::size_t key = pos;
+        while (key < end && validNameChar(name[key], key == pos))
+            ++key;
+        if (key == pos || key + 1 >= end || name[key] != '=' ||
+            name[key + 1] != '"')
+            return false;
+        pos = key + 2;
+        while (pos < end && name[pos] != '"' && name[pos] != '\\' &&
+               name[pos] != '\n')
+            ++pos;
+        if (pos >= end || name[pos] != '"')
+            return false;
+        ++pos;
+        if (pos < end) {
+            if (name[pos] != ',')
+                return false;
+            ++pos;
+        }
+    }
+    return true;
+}
+
+/**
+ * A metric name, optionally carrying a Prometheus label block:
+ * `ref_net_accepted_total` or `ref_net_accepted_total{shard="0"}`.
+ * Labeled series of one base name sort adjacently in the registry
+ * map, so the expositions can group them under one HELP/TYPE.
+ */
 void
 requireValidName(const std::string &name)
 {
-    bool ok = !name.empty();
-    for (std::size_t i = 0; ok && i < name.size(); ++i)
+    const std::size_t open = name.find('{');
+    const std::size_t baseEnd =
+        open == std::string::npos ? name.size() : open;
+    bool ok = baseEnd > 0;
+    for (std::size_t i = 0; ok && i < baseEnd; ++i)
         ok = validNameChar(name[i], i == 0);
+    if (ok && open != std::string::npos)
+        ok = validLabelBlock(name, open);
     if (!ok)
         throw std::invalid_argument(
             "'" + name + "' is not a valid metric name");
+}
+
+/** Series name without its label block. */
+std::string_view
+baseName(const std::string &name)
+{
+    const std::size_t open = name.find('{');
+    return std::string_view(name).substr(
+        0, open == std::string::npos ? name.size() : open);
+}
+
+/** Label block contents (between the braces), empty when absent. */
+std::string_view
+labelBlock(const std::string &name)
+{
+    const std::size_t open = name.find('{');
+    if (open == std::string::npos)
+        return {};
+    return std::string_view(name).substr(open + 1,
+                                         name.size() - open - 2);
+}
+
+/** `base_bucket{labels,le="N"}` — merges a histogram series' own
+ *  labels with the bucket's le label. */
+void
+writeBucketSeries(std::ostream &os, std::string_view base,
+                  std::string_view labels)
+{
+    os << base << "_bucket{";
+    if (!labels.empty())
+        os << labels << ",";
+    os << "le=\"";
 }
 
 } // namespace
@@ -172,6 +249,22 @@ MetricsRegistry::entry(const std::string &name,
     std::lock_guard<std::mutex> lock(mutex_);
     auto found = metrics_.find(name);
     if (found == metrics_.end()) {
+        // Every series of one base name (labeled or not) must agree
+        // on kind, or the exposition's shared TYPE header would lie.
+        const std::string_view base = baseName(name);
+        for (auto it = metrics_.lower_bound(std::string(base));
+             it != metrics_.end() &&
+             std::string_view(it->first).substr(0, base.size()) ==
+                 base;
+             ++it) {
+            const bool sameSeries =
+                it->first.size() == base.size() ||
+                it->first[base.size()] == '{';
+            if (sameSeries && it->second.kind != kind)
+                throw std::invalid_argument(
+                    "metric '" + name +
+                    "' is already registered with a different kind");
+        }
         Entry fresh;
         fresh.kind = kind;
         fresh.help = help;
@@ -228,26 +321,42 @@ void
 MetricsRegistry::writePrometheus(std::ostream &os) const
 {
     std::lock_guard<std::mutex> lock(mutex_);
+    // Labeled series of one base name (adjacent in the sorted map)
+    // share a single HELP/TYPE header, per the exposition format.
+    std::string_view lastBase;
     for (const auto &[name, entry] : metrics_) {
-        os << "# HELP " << name << " " << entry.help << "\n";
+        const std::string_view base = baseName(name);
+        const std::string_view labels = labelBlock(name);
+        if (base != lastBase) {
+            os << "# HELP " << base << " " << entry.help << "\n";
+            lastBase = base;
+            switch (entry.kind) {
+            case Kind::Counter:
+                os << "# TYPE " << base << " counter\n";
+                break;
+            case Kind::Gauge:
+                os << "# TYPE " << base << " gauge\n";
+                break;
+            case Kind::Histogram:
+                os << "# TYPE " << base << " histogram\n";
+                break;
+            }
+        }
         switch (entry.kind) {
         case Kind::Counter:
-            os << "# TYPE " << name << " counter\n"
-               << name << " " << entry.counter->value() << "\n";
+            os << name << " " << entry.counter->value() << "\n";
             break;
         case Kind::Gauge:
-            os << "# TYPE " << name << " gauge\n"
-               << name << " " << formatNumber(entry.gauge->value())
+            os << name << " " << formatNumber(entry.gauge->value())
                << "\n";
             break;
         case Kind::Histogram: {
             const Histogram::Snapshot snap =
                 entry.histogram->snapshot();
-            os << "# TYPE " << name << " histogram\n";
             std::uint64_t cumulative = 0;
             for (std::size_t b = 0; b < snap.counts.size(); ++b) {
                 cumulative += snap.counts[b];
-                os << name << "_bucket{le=\"";
+                writeBucketSeries(os, base, labels);
                 if (b + 1 == snap.counts.size())
                     os << "+Inf";
                 else
@@ -255,8 +364,13 @@ MetricsRegistry::writePrometheus(std::ostream &os) const
                         b, snap.counts.size());
                 os << "\"} " << cumulative << "\n";
             }
-            os << name << "_sum " << snap.sum << "\n"
-               << name << "_count " << snap.count << "\n";
+            os << base << "_sum";
+            if (!labels.empty())
+                os << "{" << labels << "}";
+            os << " " << snap.sum << "\n" << base << "_count";
+            if (!labels.empty())
+                os << "{" << labels << "}";
+            os << " " << snap.count << "\n";
             break;
         }
         }

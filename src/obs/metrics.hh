@@ -136,10 +136,13 @@ class MetricsRegistry
 
     /**
      * Get or create a metric. The name must be a valid Prometheus
-     * metric name; re-registering an existing name returns the same
-     * instance (the help text of the first registration wins) and
-     * throws std::invalid_argument if the existing metric is of a
-     * different kind.
+     * metric name, optionally carrying a label block — e.g.
+     * `ref_net_accepted_total{shard="0"}` — in which case the
+     * labeled series of one base name share a single HELP/TYPE
+     * header in the Prometheus exposition. Re-registering an
+     * existing name returns the same instance (the help text of the
+     * first registration wins) and throws std::invalid_argument if
+     * the existing metric is of a different kind.
      */
     Counter &counter(const std::string &name,
                      const std::string &help);

@@ -131,27 +131,101 @@ printPlan(std::ostream &out, const EnforcementPlan &plan)
 /** Static-lifetime span name for one command (Span keeps the
  *  pointer, so these must be literals). */
 const char *
-commandSpanName(const std::string &command)
+commandSpanName(Command::Op op)
 {
-    if (command == "ADMIT")
+    switch (op) {
+    case Command::Op::Admit:
         return "cmd.admit";
-    if (command == "UPDATE")
+    case Command::Op::Update:
         return "cmd.update";
-    if (command == "DEPART")
+    case Command::Op::Depart:
         return "cmd.depart";
-    if (command == "TICK")
+    case Command::Op::Tick:
         return "cmd.tick";
-    if (command == "QUERY")
+    case Command::Op::Query:
         return "cmd.query";
-    if (command == "PLAN")
+    case Command::Op::Plan:
         return "cmd.plan";
-    if (command == "STATS")
+    case Command::Op::Stats:
         return "cmd.stats";
-    if (command == "METRICS")
+    case Command::Op::Metrics:
         return "cmd.metrics";
-    if (command == "SHUTDOWN")
+    case Command::Op::Shutdown:
         return "cmd.shutdown";
+    }
     return "cmd.other";
+}
+
+/**
+ * Tokens -> Command. Throws FatalError with the text protocol's
+ * exact diagnostics on arity or numeric-parse errors; semantic
+ * validation (registry rules, TICK range, METRICS format) happens in
+ * executeCommand so text and binary transports reject identically.
+ */
+Command
+parseCommand(const std::vector<std::string> &tokens)
+{
+    Command parsed;
+    const std::string &command = tokens.front();
+    if (command == "ADMIT") {
+        REF_REQUIRE(tokens.size() >= 3,
+                    "usage: ADMIT <name> <e0> <e1> ...");
+        parsed.op = Command::Op::Admit;
+        parsed.name = tokens[1];
+        parsed.elasticities = parseElasticities(tokens, 2);
+    } else if (command == "UPDATE") {
+        REF_REQUIRE(tokens.size() >= 3,
+                    "usage: UPDATE <name> <e0> <e1> ...");
+        parsed.op = Command::Op::Update;
+        parsed.name = tokens[1];
+        parsed.elasticities = parseElasticities(tokens, 2);
+    } else if (command == "DEPART") {
+        REF_REQUIRE(tokens.size() == 2, "usage: DEPART <name>");
+        parsed.op = Command::Op::Depart;
+        parsed.name = tokens[1];
+    } else if (command == "TICK") {
+        REF_REQUIRE(tokens.size() <= 2, "usage: TICK [count]");
+        parsed.op = Command::Op::Tick;
+        if (tokens.size() == 2) {
+            // Only representability is checked here; the [1, max]
+            // range guard lives in executeCommand so text and binary
+            // clients draw byte-identical diagnostics from one site.
+            const double count = parseNumber(tokens[1]);
+            REF_REQUIRE(
+                count >= 0 &&
+                    count < 18446744073709551616.0 &&  // 2^64
+                    count == static_cast<std::uint64_t>(count),
+                "TICK count must be an integer in [1, "
+                    << kMaxTickCount << "], got '" << tokens[1]
+                    << "'");
+            parsed.tickCount = static_cast<std::uint64_t>(count);
+        }
+    } else if (command == "QUERY") {
+        REF_REQUIRE(tokens.size() <= 2, "usage: QUERY [name]");
+        parsed.op = Command::Op::Query;
+        if (tokens.size() == 2) {
+            parsed.hasName = true;
+            parsed.name = tokens[1];
+        }
+    } else if (command == "PLAN") {
+        REF_REQUIRE(tokens.size() == 1, "usage: PLAN");
+        parsed.op = Command::Op::Plan;
+    } else if (command == "STATS") {
+        REF_REQUIRE(tokens.size() == 1, "usage: STATS");
+        parsed.op = Command::Op::Stats;
+    } else if (command == "METRICS") {
+        REF_REQUIRE(tokens.size() <= 2,
+                    "usage: METRICS [prom|json|fairness]");
+        parsed.op = Command::Op::Metrics;
+        if (tokens.size() == 2)
+            parsed.metricsFormat = tokens[1];
+    } else if (command == "SHUTDOWN") {
+        REF_REQUIRE(tokens.size() == 1, "usage: SHUTDOWN");
+        parsed.op = Command::Op::Shutdown;
+    } else {
+        REF_FATAL("unknown command '" << command << "'");
+    }
+    return parsed;
 }
 
 } // namespace
@@ -223,8 +297,6 @@ CommandSession::LineStatus
 CommandSession::executeLine(const std::string &rawLine,
                             std::ostream &out)
 {
-    AllocationService &service = service_;
-    SessionResult &result = result_;
     std::string line = rawLine;
     if (!line.empty() && line.back() == '\r')
         line.pop_back();
@@ -233,46 +305,55 @@ CommandSession::executeLine(const std::string &rawLine,
         return LineStatus::Idle;
     if (options_.echo)
         out << "> " << line << "\n";
+
+    Command command;
+    try {
+        command = parseCommand(tokens);
+    } catch (const FatalError &error) {
+        ++result_.commands;
+        service_.noteRejected();
+        ++result_.errors;
+        out << "ERR " << error.what() << "\n";
+        return LineStatus::Rejected;
+    }
+    return executeCommand(command, out);
+}
+
+CommandSession::LineStatus
+CommandSession::executeCommand(const Command &command,
+                               std::ostream &out)
+{
+    AllocationService &service = service_;
+    SessionResult &result = result_;
     ++result.commands;
 
-    const std::string &command = tokens.front();
-    obs::Span span(commandSpanName(command), "proto");
+    obs::Span span(commandSpanName(command.op), "proto");
     try {
-        if (command == "ADMIT") {
-            REF_REQUIRE(tokens.size() >= 3,
-                        "usage: ADMIT <name> <e0> <e1> ...");
-            service.admit(tokens[1],
-                          parseElasticities(tokens, 2));
-            out << "OK admitted " << tokens[1] << " agents="
+        switch (command.op) {
+        case Command::Op::Admit:
+            service.admit(command.name, command.elasticities);
+            out << "OK admitted " << command.name << " agents="
                 << service.liveAgents() << "\n";
-        } else if (command == "UPDATE") {
-            REF_REQUIRE(tokens.size() >= 3,
-                        "usage: UPDATE <name> <e0> <e1> ...");
-            service.update(tokens[1],
-                           parseElasticities(tokens, 2));
-            out << "OK updated " << tokens[1] << "\n";
-        } else if (command == "DEPART") {
-            REF_REQUIRE(tokens.size() == 2,
-                        "usage: DEPART <name>");
-            service.depart(tokens[1]);
-            out << "OK departed " << tokens[1] << " agents="
+            break;
+        case Command::Op::Update:
+            service.update(command.name, command.elasticities);
+            out << "OK updated " << command.name << "\n";
+            break;
+        case Command::Op::Depart:
+            service.depart(command.name);
+            out << "OK departed " << command.name << " agents="
                 << service.liveAgents() << "\n";
-        } else if (command == "TICK") {
-            REF_REQUIRE(tokens.size() <= 2,
-                        "usage: TICK [count]");
-            std::uint64_t count = 1;
-            if (tokens.size() == 2) {
-                const double parsed = parseNumber(tokens[1]);
-                REF_REQUIRE(
-                    parsed >= 1 && parsed <= kMaxTickCount &&
-                        parsed ==
-                            static_cast<std::uint64_t>(parsed),
-                    "TICK count must be an integer in [1, "
-                        << kMaxTickCount << "], got '"
-                        << tokens[1] << "'");
-                count = static_cast<std::uint64_t>(parsed);
-            }
-            for (std::uint64_t i = 0; i < count; ++i) {
+            break;
+        case Command::Op::Tick: {
+            // The one range guard for both framings: text parsing
+            // only checks representability, so out-of-range counts
+            // from either transport produce this exact diagnostic.
+            REF_REQUIRE(command.tickCount >= 1 &&
+                            command.tickCount <= kMaxTickCount,
+                        "TICK count must be an integer in [1, "
+                            << kMaxTickCount << "], got '"
+                            << command.tickCount << "'");
+            for (std::uint64_t i = 0; i < command.tickCount; ++i) {
                 const EpochResult epoch = service.tick();
                 if (!epoch.incrementalMatchesScratch ||
                     (epoch.propertiesChecked &&
@@ -282,16 +363,16 @@ CommandSession::executeLine(const std::string &rawLine,
                 printEpoch(out, epoch);
             }
             flushObservability();
-        } else if (command == "QUERY") {
-            REF_REQUIRE(tokens.size() <= 2,
-                        "usage: QUERY [name]");
+            break;
+        }
+        case Command::Op::Query: {
             service.noteQuery();
             const auto snapshot = service.snapshot();
-            if (tokens.size() == 2) {
+            if (command.hasName) {
                 const std::size_t row =
-                    snapshot->indexOf(tokens[1]);
+                    snapshot->indexOf(command.name);
                 REF_REQUIRE(row < snapshot->agents.size(),
-                            "agent '" << tokens[1]
+                            "agent '" << command.name
                                 << "' is not in the epoch "
                                 << snapshot->epoch
                                 << " snapshot");
@@ -304,20 +385,17 @@ CommandSession::executeLine(const std::string &rawLine,
                      i < snapshot->agents.size(); ++i)
                     printShares(out, *snapshot, i);
             }
-        } else if (command == "PLAN") {
-            REF_REQUIRE(tokens.size() == 1, "usage: PLAN");
+            break;
+        }
+        case Command::Op::Plan:
             service.noteQuery();
             printPlan(out, service.snapshot()->enforcement);
-        } else if (command == "STATS") {
-            REF_REQUIRE(tokens.size() == 1, "usage: STATS");
+            break;
+        case Command::Op::Stats:
             printMetrics(out, service.metrics());
-        } else if (command == "METRICS") {
-            REF_REQUIRE(
-                tokens.size() <= 2,
-                "usage: METRICS [prom|json|fairness]");
-            const std::string format =
-                tokens.size() == 2 ? tokens[1]
-                                   : std::string("prom");
+            break;
+        case Command::Op::Metrics: {
+            const std::string &format = command.metricsFormat;
             if (format == "prom") {
                 service.writeMetrics(out,
                                      MetricsFormat::Prometheus);
@@ -338,14 +416,13 @@ CommandSession::executeLine(const std::string &rawLine,
                           << format
                           << "' (expected prom, json, or "
                              "fairness)");
-        } else if (command == "SHUTDOWN") {
-            REF_REQUIRE(tokens.size() == 1, "usage: SHUTDOWN");
+            break;
+        }
+        case Command::Op::Shutdown:
             service.syncJournal();
             out << "OK shutdown\n";
             result.shutdown = true;
             return LineStatus::Shutdown;
-        } else {
-            REF_FATAL("unknown command '" << command << "'");
         }
     } catch (const FatalError &error) {
         service.noteRejected();

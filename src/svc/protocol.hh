@@ -44,6 +44,46 @@ namespace ref::svc {
 /** Largest count one TICK command may request. */
 inline constexpr std::uint64_t kMaxTickCount = 100000;
 
+/**
+ * One parsed protocol command, transport-independent: the text
+ * transport produces it from a tokenized line, the binary transport
+ * (svc/wire.hh) decodes it from a CRC32 frame. Executing a Command
+ * produces the exact same reply bytes either way — that equivalence
+ * is what lets the binary wire format ride the text protocol's
+ * entire test surface.
+ */
+struct Command
+{
+    /** Values are the binary wire opcodes (svc/wire.hh); keep them
+     *  stable. */
+    enum class Op : std::uint8_t
+    {
+        Admit = 1,
+        Update = 2,
+        Depart = 3,
+        Tick = 4,
+        Query = 5,
+        Plan = 6,
+        Stats = 7,
+        Metrics = 8,
+        Shutdown = 9,
+    };
+
+    Op op = Op::Stats;
+    /** Agent name for Admit/Update/Depart, and for Query when
+     *  hasName is set. */
+    std::string name;
+    /** Raw elasticities for Admit/Update. */
+    linalg::Vector elasticities;
+    /** Epochs one Tick advances (validated against kMaxTickCount at
+     *  execution). */
+    std::uint64_t tickCount = 1;
+    /** Query: true = one agent (name), false = whole snapshot. */
+    bool hasName = false;
+    /** Metrics exposition format: prom, json, or fairness. */
+    std::string metricsFormat = "prom";
+};
+
 /** Protocol-session knobs. */
 struct SessionOptions
 {
@@ -124,6 +164,17 @@ class CommandSession
      */
     LineStatus executeLine(const std::string &line,
                            std::ostream &out);
+
+    /**
+     * Execute one already-parsed command (the binary transport's
+     * entry point; executeLine funnels here after tokenizing).
+     * Counts the command, writes the identical reply block the text
+     * transport would produce, and never throws: semantic errors
+     * (bad elasticities, unknown agents, out-of-range TICK counts)
+     * produce one ERR reply and LineStatus::Rejected.
+     */
+    LineStatus executeCommand(const Command &command,
+                              std::ostream &out);
 
     /**
      * Final observability flush (metrics exposition rewrite +

@@ -1,0 +1,133 @@
+#include "wire.hh"
+
+#include "util/logging.hh"
+#include "util/record_io.hh"
+
+namespace ref::svc::wire {
+namespace {
+
+/** Validate and narrow a decoded opcode byte. */
+Command::Op
+opFromByte(std::uint8_t byte)
+{
+    switch (static_cast<Command::Op>(byte)) {
+    case Command::Op::Admit:
+    case Command::Op::Update:
+    case Command::Op::Depart:
+    case Command::Op::Tick:
+    case Command::Op::Query:
+    case Command::Op::Plan:
+    case Command::Op::Stats:
+    case Command::Op::Metrics:
+    case Command::Op::Shutdown:
+        return static_cast<Command::Op>(byte);
+    }
+    REF_FATAL("unknown binary opcode "
+              << static_cast<unsigned>(byte));
+}
+
+} // namespace
+
+std::string
+encodeCommand(const Command &command)
+{
+    ByteWriter writer;
+    writer.u8(static_cast<std::uint8_t>(command.op));
+    switch (command.op) {
+    case Command::Op::Admit:
+    case Command::Op::Update:
+        writer.str(command.name);
+        writer.doubles(command.elasticities);
+        break;
+    case Command::Op::Depart:
+        writer.str(command.name);
+        break;
+    case Command::Op::Tick:
+        writer.u64(command.tickCount);
+        break;
+    case Command::Op::Query:
+        writer.u8(command.hasName ? 1 : 0);
+        writer.str(command.hasName ? command.name
+                                   : std::string_view());
+        break;
+    case Command::Op::Metrics:
+        writer.str(command.metricsFormat);
+        break;
+    case Command::Op::Plan:
+    case Command::Op::Stats:
+    case Command::Op::Shutdown:
+        break;
+    }
+    return writer.take();
+}
+
+Command
+decodeCommand(std::string_view payload)
+{
+    ByteReader reader(payload);
+    Command command;
+    command.op = opFromByte(reader.u8());
+    switch (command.op) {
+    case Command::Op::Admit:
+    case Command::Op::Update:
+        command.name = reader.str();
+        command.elasticities = reader.doubles();
+        break;
+    case Command::Op::Depart:
+        command.name = reader.str();
+        break;
+    case Command::Op::Tick:
+        command.tickCount = reader.u64();
+        break;
+    case Command::Op::Query:
+        command.hasName = reader.u8() != 0;
+        command.name = reader.str();
+        break;
+    case Command::Op::Metrics:
+        command.metricsFormat = reader.str();
+        break;
+    case Command::Op::Plan:
+    case Command::Op::Stats:
+    case Command::Op::Shutdown:
+        break;
+    }
+    REF_REQUIRE(reader.atEnd(), "request frame has "
+                                    << reader.remaining()
+                                    << " trailing bytes");
+    return command;
+}
+
+std::string
+encodeReply(ReplyStatus status, std::string_view text)
+{
+    ByteWriter writer;
+    writer.u8(static_cast<std::uint8_t>(status));
+    writer.str(text);
+    return writer.take();
+}
+
+Reply
+decodeReply(std::string_view payload)
+{
+    ByteReader reader(payload);
+    Reply reply;
+    const std::uint8_t status = reader.u8();
+    REF_REQUIRE(status <=
+                    static_cast<std::uint8_t>(ReplyStatus::Hello),
+                "unknown reply status "
+                    << static_cast<unsigned>(status));
+    reply.status = static_cast<ReplyStatus>(status);
+    reply.text = reader.str();
+    REF_REQUIRE(reader.atEnd(), "reply frame has "
+                                    << reader.remaining()
+                                    << " trailing bytes");
+    return reply;
+}
+
+std::string
+encodeHelloAck()
+{
+    return encodeReply(ReplyStatus::Hello, "REF binary protocol v1");
+}
+
+} // namespace ref::svc::wire

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Binary wire format for the allocation-service protocol.
+ *
+ * The text line protocol (svc/protocol.hh) stays the default and is
+ * byte-for-byte untouched; this header defines the opt-in binary
+ * framing a client negotiates by sending an 8-byte magic hello as
+ * its very first bytes. The magic begins with NUL, which no text
+ * command can start with, so the server can sniff the first bytes of
+ * a connection and route it without ambiguity — text clients, shell
+ * pipelines and old tooling never notice the binary path exists.
+ *
+ * Frames reuse the util/record_io CRC32 record format — the exact
+ * frame the write-ahead journal and snapshots use — so the wire
+ * format IS the journal format:
+ *
+ *     u32 payload length | u32 crc32(payload) | payload bytes
+ *
+ * and the torn/corrupt classification semantics (and their tests)
+ * carry over to the transport: a short frame is "torn" (wait for
+ * more bytes), a CRC mismatch is "corrupt" (one ERR reply, resync
+ * past the declared length, never a disconnect).
+ *
+ * Request payloads encode a svc::Command (little-endian fields via
+ * ByteWriter): one u8 opcode — the Command::Op value — followed by
+ * the op's fields. Reply payloads are a u8 status followed by the
+ * *identical reply text* the text transport would have produced for
+ * the same command, so binary and text transcripts are bit-equal by
+ * construction and every reply-format test covers both framings.
+ */
+
+#ifndef REF_SVC_WIRE_HH
+#define REF_SVC_WIRE_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "svc/protocol.hh"
+
+namespace ref::svc::wire {
+
+/** Bytes a binary client sends first: NUL "REFBIN" version. The
+ *  leading NUL guarantees no text-protocol stream ever matches. */
+inline constexpr char kHelloMagic[8] = {'\0', 'R', 'E', 'F',
+                                        'B',  'I', 'N', '\x01'};
+inline constexpr std::size_t kHelloBytes = sizeof(kHelloMagic);
+
+/** The magic as a string_view (embedded NUL included). */
+inline std::string_view
+helloMagic()
+{
+    return std::string_view(kHelloMagic, kHelloBytes);
+}
+
+/** Largest request frame payload a server accepts by default; the
+ *  reply direction is bounded by the server's backlog cap. */
+inline constexpr std::uint32_t kDefaultMaxFrameBytes = 1u << 20;
+
+/** First payload byte of every reply frame. */
+enum class ReplyStatus : std::uint8_t
+{
+    Ok = 0,        //!< Command executed (OK/EPOCH/SHARE/... text).
+    Err = 1,       //!< Command rejected; text is the one ERR line.
+    Shutdown = 2,  //!< SHUTDOWN accepted; the server is draining.
+    Hello = 3,     //!< Negotiation ack (first frame of a session).
+};
+
+/** A decoded reply frame. */
+struct Reply
+{
+    ReplyStatus status = ReplyStatus::Ok;
+    /** The text-protocol reply block, byte-identical to what the
+     *  same command produces over stdio/text sockets. */
+    std::string text;
+};
+
+/** Encode @p command into a request payload (not yet framed — wrap
+ *  with ref::frameRecord for the wire). */
+std::string encodeCommand(const Command &command);
+
+/** Decode a request payload. Throws FatalError on an unknown opcode,
+ *  a truncated payload, or trailing bytes. */
+Command decodeCommand(std::string_view payload);
+
+/** Encode a reply payload (status + reply text; frame before
+ *  sending). */
+std::string encodeReply(ReplyStatus status, std::string_view text);
+
+/** Decode a reply payload. Throws FatalError on a truncated payload
+ *  or an unknown status byte. */
+Reply decodeReply(std::string_view payload);
+
+/** The hello-ack payload the server sends once after the magic. */
+std::string encodeHelloAck();
+
+} // namespace ref::svc::wire
+
+#endif // REF_SVC_WIRE_HH

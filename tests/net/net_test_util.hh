@@ -25,6 +25,8 @@
 
 #include "net/socket_server.hh"
 #include "svc/allocation_service.hh"
+#include "svc/wire.hh"
+#include "util/record_io.hh"
 
 namespace ref::test {
 
@@ -169,6 +171,51 @@ class TestClient
         std::string all;
         all.swap(buffer_);
         return all;
+    }
+
+    /** Half-close: no more bytes from us, reads stay open — how a
+     *  binary test hands the server a torn frame at EOF. */
+    void shutdownWrite() { ::shutdown(fd_, SHUT_WR); }
+
+    /** Send the binary hello and consume the ack frame; true when
+     *  the server acknowledged the negotiation. */
+    bool negotiateBinary(int timeoutMs = 5000)
+    {
+        sendAll(svc::wire::helloMagic());
+        std::string payload;
+        if (!readFrameUnit(payload, timeoutMs))
+            return false;
+        return svc::wire::decodeReply(payload).status ==
+               svc::wire::ReplyStatus::Hello;
+    }
+
+    /** Frame and send one binary request payload. */
+    void sendFrame(std::string_view payload)
+    {
+        sendAll(frameRecord(payload));
+    }
+
+    /** Read one whole CRC32 frame; false on timeout, EOF, or a
+     *  corrupt frame from the server (tests treat all as failure). */
+    bool readFrameUnit(std::string &payload, int timeoutMs = 5000)
+    {
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::milliseconds(timeoutMs);
+        for (;;) {
+            std::size_t at = 0;
+            std::string_view view;
+            const FrameStatus status =
+                ref::readFrame(buffer_, at, view);
+            if (status == FrameStatus::Ok) {
+                payload.assign(view);
+                buffer_.erase(0, at);
+                return true;
+            }
+            if (status == FrameStatus::Corrupt)
+                return false;
+            if (eof_ || !fillBuffer(deadline))
+                return false;
+        }
     }
 
     /** True when the server closed this connection within the

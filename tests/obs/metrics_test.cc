@@ -157,6 +157,54 @@ TEST(MetricsRegistry, PrometheusExpositionShape)
     EXPECT_LT(text.find("ref_b_total"), text.find("ref_lat"));
 }
 
+TEST(MetricsRegistry, LabeledSeriesShareOneHeader)
+{
+    MetricsRegistry registry;
+    registry.counter("ref_s_total", "sharded").add(1);
+    registry.counter("ref_s_total{shard=\"0\"}", "sharded").add(2);
+    registry.counter("ref_s_total{shard=\"1\"}", "sharded").add(3);
+
+    std::ostringstream out;
+    registry.writePrometheus(out);
+    const std::string text = out.str();
+
+    // All three series appear...
+    EXPECT_NE(text.find("ref_s_total 1"), std::string::npos);
+    EXPECT_NE(text.find("ref_s_total{shard=\"0\"} 2"),
+              std::string::npos);
+    EXPECT_NE(text.find("ref_s_total{shard=\"1\"} 3"),
+              std::string::npos);
+    // ...under exactly one HELP/TYPE header for the base name.
+    const std::string help = "# HELP ref_s_total";
+    const std::size_t first = text.find(help);
+    ASSERT_NE(first, std::string::npos);
+    EXPECT_EQ(text.find(help, first + 1), std::string::npos);
+    const std::string type = "# TYPE ref_s_total";
+    const std::size_t firstType = text.find(type);
+    ASSERT_NE(firstType, std::string::npos);
+    EXPECT_EQ(text.find(type, firstType + 1), std::string::npos);
+}
+
+TEST(MetricsRegistry, RejectsMalformedLabelBlocks)
+{
+    MetricsRegistry registry;
+    // Unterminated block, empty block, bad label name, missing
+    // quotes: all rejected up front rather than corrupting the
+    // exposition.
+    EXPECT_THROW(registry.counter("ref_x_total{shard=\"0\"", "h"),
+                 std::invalid_argument);
+    EXPECT_THROW(registry.counter("ref_x_total{}", "h"),
+                 std::invalid_argument);
+    EXPECT_THROW(registry.counter("ref_x_total{0bad=\"v\"}", "h"),
+                 std::invalid_argument);
+    EXPECT_THROW(registry.counter("ref_x_total{shard=0}", "h"),
+                 std::invalid_argument);
+    // A kind mismatch across series of one base name is also a bug.
+    registry.counter("ref_y_total{shard=\"0\"}", "h");
+    EXPECT_THROW(registry.gauge("ref_y_total{shard=\"1\"}", "h"),
+                 std::invalid_argument);
+}
+
 TEST(MetricsRegistry, JsonExpositionParsesStructurally)
 {
     MetricsRegistry registry;

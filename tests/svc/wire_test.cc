@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Unit tests for the binary wire codec (svc/wire.hh): command and
+ * reply payloads round-trip losslessly, every decode failure mode is
+ * a loud FatalError (unknown opcode, truncation, trailing bytes),
+ * and the hello magic has the properties the transport sniff relies
+ * on (fixed size, leading NUL).
+ */
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "svc/wire.hh"
+#include "util/logging.hh"
+#include "util/record_io.hh"
+
+namespace ref::svc {
+namespace {
+
+Command
+roundTrip(const Command &command)
+{
+    return wire::decodeCommand(wire::encodeCommand(command));
+}
+
+TEST(WireCodec, HelloMagicStartsWithNulAndIsEightBytes)
+{
+    const std::string_view magic = wire::helloMagic();
+    EXPECT_EQ(magic.size(), 8u);
+    // The leading NUL is the whole sniffing argument: no text
+    // protocol line can begin with it.
+    EXPECT_EQ(magic[0], '\0');
+    EXPECT_EQ(magic.substr(1, 6), "REFBIN");
+}
+
+TEST(WireCodec, AdmitRoundTripsNameAndElasticities)
+{
+    Command admit;
+    admit.op = Command::Op::Admit;
+    admit.name = "tenant_a";
+    admit.elasticities = {0.6, 0.4, 1e-9, 0.999999};
+    const Command decoded = roundTrip(admit);
+    EXPECT_EQ(decoded.op, Command::Op::Admit);
+    EXPECT_EQ(decoded.name, "tenant_a");
+    ASSERT_EQ(decoded.elasticities.size(), 4u);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(decoded.elasticities[i], admit.elasticities[i]);
+}
+
+TEST(WireCodec, DoublesRoundTripBitExactly)
+{
+    Command update;
+    update.op = Command::Op::Update;
+    update.name = "x";
+    // Bit-exactness matters: -0.0, subnormals, inf and NaN must
+    // arrive exactly as sent so server-side validation sees what the
+    // client sent, not a lossy decimal detour.
+    update.elasticities = {-0.0, 5e-324,
+                           std::numeric_limits<double>::infinity(),
+                           std::nan("")};
+    const Command decoded = roundTrip(update);
+    ASSERT_EQ(decoded.elasticities.size(), 4u);
+    EXPECT_TRUE(std::signbit(decoded.elasticities[0]));
+    EXPECT_EQ(decoded.elasticities[1], 5e-324);
+    EXPECT_TRUE(std::isinf(decoded.elasticities[2]));
+    EXPECT_TRUE(std::isnan(decoded.elasticities[3]));
+}
+
+TEST(WireCodec, TickCarriesCount)
+{
+    Command tick;
+    tick.op = Command::Op::Tick;
+    tick.tickCount = 77;
+    EXPECT_EQ(roundTrip(tick).tickCount, 77u);
+}
+
+TEST(WireCodec, QueryDistinguishesNamedFromFull)
+{
+    Command full;
+    full.op = Command::Op::Query;
+    full.hasName = false;
+    EXPECT_FALSE(roundTrip(full).hasName);
+
+    Command named;
+    named.op = Command::Op::Query;
+    named.hasName = true;
+    named.name = "agent7";
+    const Command decoded = roundTrip(named);
+    EXPECT_TRUE(decoded.hasName);
+    EXPECT_EQ(decoded.name, "agent7");
+}
+
+TEST(WireCodec, MetricsCarriesFormat)
+{
+    Command metrics;
+    metrics.op = Command::Op::Metrics;
+    metrics.metricsFormat = "fairness";
+    EXPECT_EQ(roundTrip(metrics).metricsFormat, "fairness");
+}
+
+TEST(WireCodec, BareOpsRoundTrip)
+{
+    for (const Command::Op op :
+         {Command::Op::Plan, Command::Op::Stats,
+          Command::Op::Shutdown}) {
+        Command command;
+        command.op = op;
+        EXPECT_EQ(roundTrip(command).op, op);
+    }
+}
+
+TEST(WireCodec, UnknownOpcodeThrows)
+{
+    ByteWriter writer;
+    writer.u8(0);  // No opcode 0.
+    EXPECT_THROW(wire::decodeCommand(writer.bytes()), FatalError);
+    ByteWriter writer2;
+    writer2.u8(200);
+    EXPECT_THROW(wire::decodeCommand(writer2.bytes()), FatalError);
+}
+
+TEST(WireCodec, TruncatedPayloadThrows)
+{
+    Command admit;
+    admit.op = Command::Op::Admit;
+    admit.name = "abc";
+    admit.elasticities = {0.5, 0.5};
+    const std::string whole = wire::encodeCommand(admit);
+    for (std::size_t cut = 0; cut < whole.size(); ++cut)
+        EXPECT_THROW(wire::decodeCommand(
+                         std::string_view(whole).substr(0, cut)),
+                     FatalError)
+            << "prefix of " << cut << " bytes decoded";
+}
+
+TEST(WireCodec, TrailingBytesThrow)
+{
+    Command tick;
+    tick.op = Command::Op::Tick;
+    const std::string extra = wire::encodeCommand(tick) + "x";
+    EXPECT_THROW(wire::decodeCommand(extra), FatalError);
+}
+
+TEST(WireCodec, EmptyPayloadThrows)
+{
+    EXPECT_THROW(wire::decodeCommand(std::string_view()),
+                 FatalError);
+}
+
+TEST(WireCodec, ReplyRoundTrips)
+{
+    const std::string text = "OK admitted a agents=1\n";
+    const wire::Reply reply = wire::decodeReply(
+        wire::encodeReply(wire::ReplyStatus::Ok, text));
+    EXPECT_EQ(reply.status, wire::ReplyStatus::Ok);
+    EXPECT_EQ(reply.text, text);
+}
+
+TEST(WireCodec, ReplyStatusesRoundTrip)
+{
+    for (const wire::ReplyStatus status :
+         {wire::ReplyStatus::Ok, wire::ReplyStatus::Err,
+          wire::ReplyStatus::Shutdown, wire::ReplyStatus::Hello})
+        EXPECT_EQ(wire::decodeReply(wire::encodeReply(status, ""))
+                      .status,
+                  status);
+}
+
+TEST(WireCodec, BadReplyStatusThrows)
+{
+    ByteWriter writer;
+    writer.u8(99);
+    writer.str("text");
+    EXPECT_THROW(wire::decodeReply(writer.bytes()), FatalError);
+}
+
+TEST(WireCodec, HelloAckIsAHelloReply)
+{
+    const wire::Reply ack = wire::decodeReply(wire::encodeHelloAck());
+    EXPECT_EQ(ack.status, wire::ReplyStatus::Hello);
+    EXPECT_FALSE(ack.text.empty());
+}
+
+TEST(WireCodec, FramedCommandSurvivesRecordIo)
+{
+    // The wire contract: frames are util/record_io frames, so the
+    // journal's reader walks wire bytes unchanged.
+    Command depart;
+    depart.op = Command::Op::Depart;
+    depart.name = "gone";
+    const std::string framed =
+        frameRecord(wire::encodeCommand(depart));
+    std::size_t offset = 0;
+    std::string_view payload;
+    ASSERT_EQ(readFrame(framed, offset, payload), FrameStatus::Ok);
+    EXPECT_EQ(offset, framed.size());
+    EXPECT_EQ(wire::decodeCommand(payload).name, "gone");
+}
+
+} // namespace
+} // namespace ref::svc

@@ -1,0 +1,684 @@
+/**
+ * @file
+ * Deterministic socket load generator for ref_serve.
+ *
+ * Drives N concurrent TCP connections at a running ref_serve with a
+ * seeded, reproducible stream of protocol commands — text lines or
+ * binary frames (svc/wire.hh), closed- or open-loop — and reports
+ * throughput plus p50/p90/p99 request latency as one BENCH-schema
+ * JSON record on stdout:
+ *
+ *   {"name": ..., "wall_ns": <ns per op>, "iterations": <ops>,
+ *    "ops_per_sec": ..., "p50_ns": ..., "p90_ns": ..., "p99_ns": ...}
+ *
+ * the same shape scripts/export_bench_timings.py emits for the
+ * google-benchmark suites, so CI tracks socket throughput in the
+ * same BENCH_*.json trail as every other perf number.
+ *
+ * Usage:
+ *   ref_bomb --connect ADDR:PORT [--binary] [--connections N]
+ *            [--ops N] [--seed S] [--mode closed|open] [--window W]
+ *            [--rate OPS_PER_SEC] [--mix A:U:D:T:Q] [--name NAME]
+ *
+ * Determinism: connection c's command stream is a pure function of
+ * (seed, c) — agent names are connection-local ("b<c>_<k>") so runs
+ * against a fresh server visit the same states regardless of how the
+ * kernel interleaves connections. The mix weights choose between
+ * ADMIT : UPDATE : DEPART : TICK 1 : QUERY <name>, all single-reply
+ * commands, so closed-loop accounting is exact: one request unit in,
+ * one reply unit out (a line in text framing, a frame in binary).
+ *
+ * Closed loop (--mode closed): each connection keeps --window
+ * requests outstanding and sends the next only after a reply, so
+ * measured latency includes queueing behind at most W-1 siblings.
+ * Open loop (--mode open): a sender thread per connection paces
+ * requests at --rate/connections per second off an absolute schedule
+ * (no coordinated omission: a slow server makes latencies grow, not
+ * the schedule slip), while the receiver thread times replies;
+ * outstanding requests are capped at 4096 to bound memory, and any
+ * pacing stall is reported on stderr.
+ *
+ * ref_bomb never sends SHUTDOWN — the server outlives the run so a
+ * bench script can interleave several configurations against one
+ * process (scripts/bench_socket.sh does exactly that).
+ */
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <iostream>
+#include <mutex>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/protocol.hh"
+#include "svc/wire.hh"
+#include "util/logging.hh"
+#include "util/record_io.hh"
+
+namespace {
+
+using namespace ref;
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t
+nowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now().time_since_epoch())
+            .count());
+}
+
+struct CliOptions
+{
+    std::string connect;       //!< "addr:port", required.
+    std::string name = "socket";
+    bool binary = false;
+    std::size_t connections = 4;
+    std::uint64_t ops = 2000;  //!< Per connection.
+    std::uint64_t seed = 42;
+    bool openLoop = false;
+    std::size_t window = 8;    //!< Closed-loop outstanding cap.
+    double rate = 5000.0;      //!< Open-loop total ops/sec.
+    /** ADMIT : UPDATE : DEPART : TICK : QUERY weights. */
+    std::array<std::uint32_t, 5> mix = {3, 3, 1, 2, 3};
+    /**
+     * Per-connection live-agent cap. An admit-heavy mix would
+     * otherwise grow the population without bound over a long run,
+     * and each TICK's epoch solve scales with live agents — the run
+     * would measure solver growth, not transport. At the cap an
+     * ADMIT pick degrades to DEPART (mirror of the empty-set rule,
+     * equally deterministic).
+     */
+    std::size_t maxLive = 64;
+};
+
+[[noreturn]] void
+usage(const char *argv0, const std::string &error = "")
+{
+    if (!error.empty())
+        std::cerr << "error: " << error << "\n\n";
+    std::cerr
+        << "usage: " << argv0
+        << " --connect ADDR:PORT [--binary] [--connections N]\n"
+           "          [--ops N] [--seed S] [--mode closed|open]\n"
+           "          [--window W] [--rate OPS_PER_SEC]\n"
+           "          [--mix A:U:D:T:Q] [--max-live N]\n"
+           "          [--name NAME]\n\n"
+           "Seeded load generator for ref_serve's socket front-end:\n"
+           "N connections send a deterministic ADMIT/UPDATE/DEPART/\n"
+           "TICK/QUERY stream (text lines, or binary frames with\n"
+           "--binary), closed-loop with --window outstanding or\n"
+           "open-loop paced at --rate ops/sec total, and print one\n"
+           "BENCH-schema JSON record (throughput + p50/p90/p99\n"
+           "latency) on stdout.\n";
+    std::exit(2);
+}
+
+std::uint64_t
+parseCount(const char *argv0, const std::string &arg,
+           const std::string &value)
+{
+    try {
+        std::size_t consumed = 0;
+        const long long parsed = std::stoll(value, &consumed);
+        if (consumed != value.size() || parsed < 0)
+            usage(argv0, arg + " needs a non-negative integer, got '"
+                             + value + "'");
+        return static_cast<std::uint64_t>(parsed);
+    } catch (const std::logic_error &) {
+        usage(argv0, arg + " needs a non-negative integer, got '" +
+                         value + "'");
+    }
+}
+
+CliOptions
+parseArgs(int argc, char **argv)
+{
+    CliOptions options;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(argv[0], "missing value for " + arg);
+            return argv[++i];
+        };
+        if (arg == "--connect") {
+            options.connect = next();
+        } else if (arg == "--name") {
+            options.name = next();
+        } else if (arg == "--binary") {
+            options.binary = true;
+        } else if (arg == "--connections") {
+            options.connections = static_cast<std::size_t>(
+                parseCount(argv[0], arg, next()));
+            if (options.connections == 0)
+                usage(argv[0], "--connections must be positive");
+        } else if (arg == "--ops") {
+            options.ops = parseCount(argv[0], arg, next());
+            if (options.ops == 0)
+                usage(argv[0], "--ops must be positive");
+        } else if (arg == "--seed") {
+            options.seed = parseCount(argv[0], arg, next());
+        } else if (arg == "--mode") {
+            const std::string mode = next();
+            if (mode == "closed")
+                options.openLoop = false;
+            else if (mode == "open")
+                options.openLoop = true;
+            else
+                usage(argv[0],
+                      "--mode wants closed or open, got '" + mode +
+                          "'");
+        } else if (arg == "--window") {
+            options.window = static_cast<std::size_t>(
+                parseCount(argv[0], arg, next()));
+            if (options.window == 0)
+                usage(argv[0], "--window must be positive");
+        } else if (arg == "--rate") {
+            try {
+                options.rate = std::stod(next());
+            } catch (const std::logic_error &) {
+                usage(argv[0], "--rate needs a number");
+            }
+            if (options.rate <= 0)
+                usage(argv[0], "--rate must be positive");
+        } else if (arg == "--mix") {
+            const std::string spec = next();
+            std::stringstream stream(spec);
+            std::string cell;
+            std::size_t slot = 0;
+            while (std::getline(stream, cell, ':') && slot < 5)
+                options.mix[slot++] = static_cast<std::uint32_t>(
+                    parseCount(argv[0], arg, cell));
+            std::uint32_t total = 0;
+            for (const std::uint32_t weight : options.mix)
+                total += weight;
+            if (slot != 5 || total == 0)
+                usage(argv[0],
+                      "--mix wants five ':'-separated weights with a "
+                      "positive sum, got '" +
+                          spec + "'");
+        } else if (arg == "--max-live") {
+            options.maxLive = static_cast<std::size_t>(
+                parseCount(argv[0], arg, next()));
+            if (options.maxLive == 0)
+                usage(argv[0], "--max-live must be positive");
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+        } else {
+            usage(argv[0], "unknown argument " + arg);
+        }
+    }
+    if (options.connect.empty())
+        usage(argv[0], "--connect is required");
+    return options;
+}
+
+/** Blocking TCP connect to "addr:port". */
+int
+connectTo(const std::string &spec)
+{
+    const std::size_t colon = spec.rfind(':');
+    REF_REQUIRE(colon != std::string::npos && colon > 0,
+                "--connect wants addr:port, got '" << spec << "'");
+    const std::string host = spec.substr(0, colon);
+    const int port = std::stoi(spec.substr(colon + 1));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    REF_REQUIRE(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) ==
+                    1,
+                "--connect wants a numeric IPv4 address, got '"
+                    << host << "'");
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    REF_REQUIRE(fd >= 0, "socket: " << std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    REF_REQUIRE(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                          sizeof(addr)) == 0,
+                "connect " << spec << ": " << std::strerror(errno));
+    return fd;
+}
+
+void
+sendAll(int fd, std::string_view bytes)
+{
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+        const ssize_t wrote =
+            ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                   MSG_NOSIGNAL);
+        if (wrote < 0) {
+            if (errno == EINTR)
+                continue;
+            REF_FATAL("send: " << std::strerror(errno));
+        }
+        sent += static_cast<std::size_t>(wrote);
+    }
+}
+
+/** Buffered reply reader: one unit = one line (text) or one frame
+ *  (binary). */
+struct ReplyStream
+{
+    int fd = -1;
+    std::string buffer;
+    std::size_t offset = 0;  //!< Consumed prefix of buffer.
+
+    bool fill()
+    {
+        if (offset > 0 && offset == buffer.size()) {
+            buffer.clear();
+            offset = 0;
+        }
+        char chunk[4096];
+        for (;;) {
+            const ssize_t got = ::read(fd, chunk, sizeof(chunk));
+            if (got < 0 && errno == EINTR)
+                continue;
+            if (got <= 0)
+                return false;  // EOF or error: server went away.
+            buffer.append(chunk, static_cast<std::size_t>(got));
+            return true;
+        }
+    }
+
+    /** Consume one '\n'-terminated line (the newline discarded). */
+    bool readLine(std::string &line)
+    {
+        for (;;) {
+            const std::size_t newline = buffer.find('\n', offset);
+            if (newline != std::string::npos) {
+                line.assign(buffer, offset, newline - offset);
+                offset = newline + 1;
+                return true;
+            }
+            if (!fill())
+                return false;
+        }
+    }
+
+    /** Consume one CRC32 frame; the payload is copied out. */
+    bool readFrameUnit(std::string &payload)
+    {
+        for (;;) {
+            std::size_t at = offset;
+            std::string_view view;
+            const FrameStatus status = readFrame(buffer, at, view);
+            if (status == FrameStatus::Ok) {
+                payload.assign(view);
+                offset = at;
+                return true;
+            }
+            REF_REQUIRE(status != FrameStatus::Corrupt,
+                        "corrupt reply frame from server");
+            if (!fill())
+                return false;
+        }
+    }
+};
+
+/** Deterministic per-connection command stream. */
+class CommandStream
+{
+  public:
+    CommandStream(const CliOptions &options, std::size_t conn)
+        : options_(options), conn_(conn),
+          rng_(options.seed * 1000003ull + conn)
+    {
+        std::uint32_t total = 0;
+        for (const std::uint32_t weight : options.mix)
+            total += weight;
+        weightTotal_ = total;
+    }
+
+    /** Next command; all ops produce exactly one reply unit. */
+    svc::Command next()
+    {
+        svc::Command command;
+        std::uint32_t pick = static_cast<std::uint32_t>(
+            rng_() % weightTotal_);
+        std::size_t op = 0;
+        while (pick >= options_.mix[op]) {
+            pick -= options_.mix[op];
+            ++op;
+        }
+        // UPDATE/DEPART/QUERY need a live agent; degrade to ADMIT
+        // until one exists (deterministic: depends only on the
+        // stream so far). Symmetrically, ADMIT degrades to DEPART
+        // at the live-agent cap so the population — and with it the
+        // epoch-solve cost every TICK pays — stays bounded.
+        if (live_.empty() && (op == 1 || op == 2 || op == 4))
+            op = 0;
+        else if (op == 0 && live_.size() >= options_.maxLive)
+            op = 2;
+        switch (op) {
+        case 0: {
+            command.op = svc::Command::Op::Admit;
+            command.name = "b" + std::to_string(conn_) + "_" +
+                           std::to_string(admitted_++);
+            command.elasticities = {elasticity(), elasticity()};
+            live_.push_back(command.name);
+            break;
+        }
+        case 1:
+            command.op = svc::Command::Op::Update;
+            command.name = live_[rng_() % live_.size()];
+            command.elasticities = {elasticity(), elasticity()};
+            break;
+        case 2: {
+            const std::size_t victim = rng_() % live_.size();
+            command.op = svc::Command::Op::Depart;
+            command.name = live_[victim];
+            live_.erase(live_.begin() +
+                        static_cast<std::ptrdiff_t>(victim));
+            break;
+        }
+        case 3:
+            command.op = svc::Command::Op::Tick;
+            command.tickCount = 1;
+            break;
+        default:
+            command.op = svc::Command::Op::Query;
+            command.hasName = true;
+            command.name = live_[rng_() % live_.size()];
+            break;
+        }
+        return command;
+    }
+
+    /** The command as a text protocol line (newline included). */
+    static std::string toLine(const svc::Command &command)
+    {
+        std::ostringstream line;
+        switch (command.op) {
+        case svc::Command::Op::Admit:
+        case svc::Command::Op::Update:
+            line << (command.op == svc::Command::Op::Admit
+                         ? "ADMIT "
+                         : "UPDATE ")
+                 << command.name;
+            for (const double e : command.elasticities)
+                line << " " << e;
+            break;
+        case svc::Command::Op::Depart:
+            line << "DEPART " << command.name;
+            break;
+        case svc::Command::Op::Tick:
+            line << "TICK " << command.tickCount;
+            break;
+        case svc::Command::Op::Query:
+            line << "QUERY " << command.name;
+            break;
+        default:
+            REF_FATAL("unsupported load-mix op");
+        }
+        line << "\n";
+        return line.str();
+    }
+
+  private:
+    double elasticity()
+    {
+        // (0, 1) open interval: 0-elasticity rows are rejected.
+        return (static_cast<double>(rng_() % 1000) + 1.0) / 1002.0;
+    }
+
+    const CliOptions &options_;
+    std::size_t conn_;
+    std::mt19937_64 rng_;
+    std::uint32_t weightTotal_ = 1;
+    std::uint64_t admitted_ = 0;
+    std::vector<std::string> live_;
+};
+
+/** One connection's measured results. */
+struct ConnResult
+{
+    std::vector<std::uint64_t> latenciesNs;
+    std::uint64_t errors = 0;   //!< ERR replies (QUERY races etc).
+    std::uint64_t stalls = 0;   //!< Open-loop pacing stalls.
+    bool failed = false;        //!< Connect/IO failure.
+};
+
+/** Did this reply unit carry an ERR? (Sanity accounting only.) */
+bool
+replyIsError(const CliOptions &options, const std::string &unit)
+{
+    if (!options.binary)
+        return unit.rfind("ERR", 0) == 0;
+    const svc::wire::Reply reply = svc::wire::decodeReply(unit);
+    return reply.status == svc::wire::ReplyStatus::Err;
+}
+
+void
+runClosedLoop(const CliOptions &options, std::size_t conn,
+              ConnResult &result)
+{
+    const int fd = connectTo(options.connect);
+    ReplyStream replies{fd, {}, 0};
+    CommandStream stream(options, conn);
+    std::string unit;
+
+    if (options.binary) {
+        sendAll(fd, svc::wire::helloMagic());
+        REF_REQUIRE(replies.readFrameUnit(unit),
+                    "no hello ack from server");
+        REF_REQUIRE(svc::wire::decodeReply(unit).status ==
+                        svc::wire::ReplyStatus::Hello,
+                    "bad hello ack from server");
+    }
+
+    result.latenciesNs.reserve(options.ops);
+    std::deque<std::uint64_t> sentAt;
+    std::uint64_t sent = 0;
+    std::uint64_t done = 0;
+    while (done < options.ops) {
+        while (sent < options.ops &&
+               sentAt.size() < options.window) {
+            const svc::Command command = stream.next();
+            const std::string bytes =
+                options.binary
+                    ? frameRecord(svc::wire::encodeCommand(command))
+                    : CommandStream::toLine(command);
+            sentAt.push_back(nowNs());
+            sendAll(fd, bytes);
+            ++sent;
+        }
+        const bool ok = options.binary
+                            ? replies.readFrameUnit(unit)
+                            : replies.readLine(unit);
+        if (!ok) {
+            result.failed = true;
+            break;
+        }
+        result.latenciesNs.push_back(nowNs() - sentAt.front());
+        sentAt.pop_front();
+        if (replyIsError(options, unit))
+            ++result.errors;
+        ++done;
+    }
+    ::close(fd);
+}
+
+void
+runOpenLoop(const CliOptions &options, std::size_t conn,
+            ConnResult &result)
+{
+    const int fd = connectTo(options.connect);
+    ReplyStream replies{fd, {}, 0};
+    CommandStream stream(options, conn);
+    std::string unit;
+
+    if (options.binary) {
+        sendAll(fd, svc::wire::helloMagic());
+        REF_REQUIRE(replies.readFrameUnit(unit),
+                    "no hello ack from server");
+    }
+
+    constexpr std::size_t kMaxOutstanding = 4096;
+    std::mutex mutex;
+    std::condition_variable spaceFreed;
+    std::deque<std::uint64_t> sentAt;
+    bool senderDone = false;
+
+    const double perConnRate =
+        options.rate / static_cast<double>(options.connections);
+    const std::uint64_t intervalNs = static_cast<std::uint64_t>(
+        1e9 / perConnRate);
+
+    std::thread sender([&] {
+        const Clock::time_point start = Clock::now();
+        for (std::uint64_t k = 0; k < options.ops; ++k) {
+            // Absolute schedule: no coordinated omission.
+            std::this_thread::sleep_until(
+                start + std::chrono::nanoseconds(k * intervalNs));
+            const svc::Command command = stream.next();
+            const std::string bytes =
+                options.binary
+                    ? frameRecord(svc::wire::encodeCommand(command))
+                    : CommandStream::toLine(command);
+            {
+                std::unique_lock<std::mutex> lock(mutex);
+                if (sentAt.size() >= kMaxOutstanding) {
+                    ++result.stalls;
+                    spaceFreed.wait(lock, [&] {
+                        return sentAt.size() < kMaxOutstanding;
+                    });
+                }
+                sentAt.push_back(nowNs());
+            }
+            sendAll(fd, bytes);
+        }
+        std::lock_guard<std::mutex> lock(mutex);
+        senderDone = true;
+    });
+
+    result.latenciesNs.reserve(options.ops);
+    for (std::uint64_t done = 0; done < options.ops; ++done) {
+        const bool ok = options.binary
+                            ? replies.readFrameUnit(unit)
+                            : replies.readLine(unit);
+        if (!ok) {
+            result.failed = true;
+            break;
+        }
+        const std::uint64_t now = nowNs();
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            result.latenciesNs.push_back(now - sentAt.front());
+            sentAt.pop_front();
+        }
+        spaceFreed.notify_one();
+        if (replyIsError(options, unit))
+            ++result.errors;
+    }
+    sender.join();
+    ::close(fd);
+}
+
+/** Nearest-rank percentile of a sorted sample. */
+std::uint64_t
+percentile(const std::vector<std::uint64_t> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0;
+    const std::size_t rank = static_cast<std::size_t>(
+        std::max<double>(1.0, std::ceil(q * static_cast<double>(
+                                                sorted.size()))));
+    return sorted[rank - 1];
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliOptions options = parseArgs(argc, argv);
+    try {
+        std::vector<ConnResult> results(options.connections);
+        std::vector<std::thread> threads;
+        threads.reserve(options.connections);
+
+        const std::uint64_t startNs = nowNs();
+        for (std::size_t c = 0; c < options.connections; ++c) {
+            threads.emplace_back([&, c] {
+                try {
+                    if (options.openLoop)
+                        runOpenLoop(options, c, results[c]);
+                    else
+                        runClosedLoop(options, c, results[c]);
+                } catch (const std::exception &error) {
+                    std::cerr << "connection " << c << ": "
+                              << error.what() << "\n";
+                    results[c].failed = true;
+                }
+            });
+        }
+        for (auto &thread : threads)
+            thread.join();
+        const std::uint64_t wallNs =
+            std::max<std::uint64_t>(1, nowNs() - startNs);
+
+        std::vector<std::uint64_t> latencies;
+        std::uint64_t errors = 0;
+        std::uint64_t stalls = 0;
+        bool failed = false;
+        for (const ConnResult &result : results) {
+            latencies.insert(latencies.end(),
+                             result.latenciesNs.begin(),
+                             result.latenciesNs.end());
+            errors += result.errors;
+            stalls += result.stalls;
+            failed |= result.failed;
+        }
+        std::sort(latencies.begin(), latencies.end());
+        REF_REQUIRE(!latencies.empty(),
+                    "no replies measured — is the server up?");
+
+        const std::uint64_t iterations = latencies.size();
+        const double opsPerSec = static_cast<double>(iterations) *
+                                 1e9 /
+                                 static_cast<double>(wallNs);
+        std::cerr << "bomb: " << options.connections
+                  << " connections, " << iterations << " ops ("
+                  << errors << " ERR replies), "
+                  << (options.binary ? "binary" : "text") << " "
+                  << (options.openLoop ? "open" : "closed")
+                  << "-loop";
+        if (stalls > 0)
+            std::cerr << ", " << stalls << " pacing stalls";
+        std::cerr << "\n";
+
+        std::cout << "{\"name\": \"" << options.name
+                  << "\", \"wall_ns\": "
+                  << static_cast<double>(wallNs) /
+                         static_cast<double>(iterations)
+                  << ", \"iterations\": " << iterations
+                  << ", \"ops_per_sec\": " << opsPerSec
+                  << ", \"p50_ns\": " << percentile(latencies, 0.50)
+                  << ", \"p90_ns\": " << percentile(latencies, 0.90)
+                  << ", \"p99_ns\": " << percentile(latencies, 0.99)
+                  << "}\n";
+        return failed ? 1 : 0;
+    } catch (const std::exception &error) {
+        std::cerr << "error: " << error.what() << "\n";
+        return 2;
+    }
+}

@@ -11,17 +11,25 @@
  *             [--selfcheck] [--strict] [--echo] [--file PATH]
  *             [--metrics-out PATH] [--fairness-out PATH]
  *             [--trace-out PATH] [--trace-sample N]
- *             [--listen ADDR:PORT] [--unix PATH] [--max-clients N]
- *             [--idle-timeout MS] [--write-timeout MS]
- *             [--max-line-bytes N]
+ *             [--listen ADDR:PORT] [--unix PATH] [--shards N]
+ *             [--max-clients N] [--idle-timeout MS]
+ *             [--write-timeout MS] [--max-line-bytes N]
  *
  * Transports: with no --listen/--unix the protocol runs over
  * stdin/stdout exactly as before (stdio stays the default so every
  * script and test pipeline keeps working). --listen and/or --unix
  * switch to the poll-driven socket front-end (net/socket_server.hh):
  * many concurrent clients fan into the one service, each speaking
- * the same line protocol; the bound endpoints are announced on
- * stderr as "listen: tcp=ADDR:PORT unix=PATH" (port 0 picks an
+ * the same line protocol — or, per connection, the opt-in binary
+ * framing (svc/wire.hh) negotiated by a magic hello. --shards N runs
+ * N event-loop shards on SO_REUSEPORT listeners
+ * (net/sharded_server.hh) so accept and IO load scale with cores.
+ * The bound endpoints are announced once on stderr as a single
+ * machine-parseable line:
+ *
+ *   LISTENING addr=ADDR:PORT unix=PATH shards=N
+ *
+ * (addr / unix appear only for configured endpoints; port 0 picks an
  * ephemeral port, which scripts parse from that line). SHUTDOWN
  * from any client — or SIGTERM — drains and stops the server.
  *
@@ -62,7 +70,7 @@
 #include <sstream>
 #include <string>
 
-#include "net/socket_server.hh"
+#include "net/sharded_server.hh"
 #include "obs/trace.hh"
 #include "svc/failpoints.hh"
 #include "svc/protocol.hh"
@@ -107,6 +115,7 @@ struct CliOptions
     std::string listenAddress;  //!< Empty: no TCP listener.
     std::string unixPath;       //!< Empty: no Unix listener.
     std::uint64_t traceSample = 1;
+    std::size_t shards = 1;
     std::size_t maxClients = 64;
     std::size_t maxLineBytes = 65536;
     int idleTimeoutMs = 30000;
@@ -135,8 +144,9 @@ usage(const char *argv0, const std::string &error = "")
            "          [--metrics-out PATH] [--fairness-out PATH]\n"
            "          [--trace-out PATH] [--trace-sample N]\n"
            "          [--listen ADDR:PORT] [--unix PATH]\n"
-           "          [--max-clients N] [--idle-timeout MS]\n"
-           "          [--write-timeout MS] [--max-line-bytes N]\n\n"
+           "          [--shards N] [--max-clients N]\n"
+           "          [--idle-timeout MS] [--write-timeout MS]\n"
+           "          [--max-line-bytes N]\n\n"
            "Runs the online REF allocation service over a line\n"
            "protocol on stdin (or PATH): ADMIT/UPDATE/DEPART agents,\n"
            "TICK epochs, QUERY shares, PLAN enforcement, STATS\n"
@@ -153,10 +163,12 @@ usage(const char *argv0, const std::string &error = "")
            "--trace-sample N). --listen/--unix serve the protocol\n"
            "over TCP / Unix-domain sockets to many concurrent\n"
            "clients instead of stdio (port 0 binds an ephemeral\n"
-           "port, announced on stderr); --max-clients caps the\n"
-           "fan-in, --idle-timeout/--write-timeout drop stuck or\n"
-           "slow-reading peers, --max-line-bytes bounds one\n"
-           "protocol line.\n";
+           "port, announced on stderr as 'LISTENING addr=...');\n"
+           "--shards N serves TCP from N SO_REUSEPORT event-loop\n"
+           "shards (one thread each); --max-clients caps the\n"
+           "fan-in per shard, --idle-timeout/--write-timeout drop\n"
+           "stuck or slow-reading peers, --max-line-bytes bounds\n"
+           "one protocol line.\n";
     std::exit(2);
 }
 
@@ -202,6 +214,11 @@ parseArgs(int argc, char **argv)
             options.listenAddress = next();
         } else if (arg == "--unix") {
             options.unixPath = next();
+        } else if (arg == "--shards") {
+            options.shards = static_cast<std::size_t>(
+                parseNumber(argv[0], arg, next()));
+            if (options.shards == 0)
+                usage(argv[0], "--shards must be positive");
         } else if (arg == "--max-clients") {
             options.maxClients = static_cast<std::size_t>(
                 parseNumber(argv[0], arg, next()));
@@ -319,29 +336,37 @@ main(int argc, char **argv)
             server.idleTimeoutMs = options.idleTimeoutMs;
             server.writeTimeoutMs = options.writeTimeoutMs;
             server.session = session;
-            net::SocketServer front(service, server);
+            net::ShardedServer front(service, server,
+                                     options.shards);
             front.start();
-            std::cerr << "listen:";
+            // One machine-parseable announcement line; scripts and
+            // tests key off the "LISTENING " prefix to learn the
+            // ephemeral port.
+            std::cerr << "LISTENING";
             if (!options.listenAddress.empty()) {
                 const std::string &spec = options.listenAddress;
-                std::cerr << " tcp="
+                std::cerr << " addr="
                           << spec.substr(0, spec.rfind(':')) << ":"
                           << front.tcpPort();
             }
             if (!options.unixPath.empty())
                 std::cerr << " unix=" << options.unixPath;
-            std::cerr << "\n";
-            const net::ServerStats stats = front.run();
+            std::cerr << " shards=" << front.shardCount() << "\n";
+            const net::ShardedStats sharded = front.run();
+            const net::ServerStats &stats = sharded.total;
             result = stats.protocol;
             result.shutdown = stats.shutdown;
             std::cerr << "server: " << stats.accepted
-                      << " accepted, " << stats.dropped
+                      << " accepted (" << stats.binaryConnections
+                      << " binary), " << stats.dropped
                       << " dropped (" << stats.idleTimeouts
                       << " idle, " << stats.writeTimeouts
                       << " write-timeout, " << stats.acceptRejects
                       << " full), " << stats.bytesIn << " bytes in, "
                       << stats.bytesOut << " bytes out, "
-                      << stats.overlongLines << " overlong lines\n";
+                      << stats.overlongLines << " overlong lines, "
+                      << stats.frames << " frames ("
+                      << stats.badFrames << " bad)\n";
         } else if (options.sessionFile.empty()) {
             result = svc::runSession(service, std::cin, std::cout,
                                      session);
