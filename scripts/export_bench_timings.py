@@ -10,10 +10,12 @@ so the perf trajectory can be tracked across commits without parsing
 google-benchmark's full schema. ``wall_ns`` is real (wall-clock) time
 per iteration, converted from whatever time_unit the run used.
 
-Records produced elsewhere (ref_bomb, bench_socket.sh) share the same
-schema, optionally extended with ``ops_per_sec`` and ``p50_ns`` /
-``p90_ns`` / ``p99_ns`` latency quantiles; a BENCH file may hold one
-record or a JSON array of them.
+Records produced elsewhere (ref_bomb, bench_socket.sh,
+bench_pool_scale.sh) share the same schema, optionally extended with
+``ops_per_sec``, ``p50_ns`` / ``p90_ns`` / ``p99_ns`` latency
+quantiles, and — for pooled scale runs — ``agents``, ``pools``, and
+TICK-only ``tick_p50_ns`` / ``tick_p99_ns``; a BENCH file may hold
+one record or a JSON array of them.
 
 Usage:
   export_bench_timings.py <benchmark_out.json>... [--out-dir DIR]
@@ -46,6 +48,14 @@ _OPTIONAL = {
     "p90_ns": lambda v: isinstance(v, (int, float))
     and not isinstance(v, bool) and v >= 0,
     "p99_ns": lambda v: isinstance(v, (int, float))
+    and not isinstance(v, bool) and v >= 0,
+    "agents": lambda v: isinstance(v, int)
+    and not isinstance(v, bool) and v >= 0,
+    "pools": lambda v: isinstance(v, int)
+    and not isinstance(v, bool) and v >= 0,
+    "tick_p50_ns": lambda v: isinstance(v, (int, float))
+    and not isinstance(v, bool) and v >= 0,
+    "tick_p99_ns": lambda v: isinstance(v, (int, float))
     and not isinstance(v, bool) and v >= 0,
 }
 

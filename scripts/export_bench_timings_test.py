@@ -24,6 +24,9 @@ GOOD = {"name": "socket_text_1shard", "wall_ns": 51234.5,
 GOOD_FULL = {"name": "socket_binary_4shard", "wall_ns": 9876.0,
              "iterations": 64000, "ops_per_sec": 101234.2,
              "p50_ns": 8000, "p90_ns": 15000, "p99_ns": 40000}
+GOOD_POOLED = {**GOOD_FULL, "name": "pool_scale_P100000",
+               "agents": 100000, "pools": 64,
+               "tick_p50_ns": 120000, "tick_p99_ns": 900000}
 
 
 class CheckTest(unittest.TestCase):
@@ -34,7 +37,8 @@ class CheckTest(unittest.TestCase):
     def test_minimal_and_extended_records_pass(self):
         path = write(self.dir.name, "BENCH_a.json", GOOD)
         full = write(self.dir.name, "BENCH_b.json", GOOD_FULL)
-        self.assertEqual(ebt.check([path, full]), [])
+        pooled = write(self.dir.name, "BENCH_p.json", GOOD_POOLED)
+        self.assertEqual(ebt.check([path, full, pooled]), [])
 
     def test_array_of_records_passes(self):
         path = write(self.dir.name, "BENCH_arr.json",
@@ -59,6 +63,9 @@ class CheckTest(unittest.TestCase):
             {**GOOD, "iterations": 2.5},
             {**GOOD, "iterations": True},
             {**GOOD, "p99_ns": "slow"},
+            {**GOOD, "agents": 1.5},
+            {**GOOD, "pools": -1},
+            {**GOOD, "tick_p99_ns": "slow"},
         ]
         for record in cases:
             path = write(self.dir.name, "BENCH_t.json", record)

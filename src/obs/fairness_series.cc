@@ -36,57 +36,129 @@ FairnessSeries::FairnessSeries(std::size_t capacity)
 {}
 
 void
+FairnessSeries::Ring::push(const FairnessSample &sample,
+                           std::size_t capacity)
+{
+    if (ring.size() < capacity) {
+        // Grow lazily toward the cap instead of reserving a million
+        // slots for short sessions.
+        ring.push_back(sample);
+        head = ring.size() % capacity;
+        ++count;
+    } else {
+        ring[head] = sample;
+        head = (head + 1) % capacity;
+        if (count < capacity)
+            ++count;
+    }
+    ++appended;
+}
+
+std::vector<FairnessSample>
+FairnessSeries::Ring::snapshot() const
+{
+    std::vector<FairnessSample> out;
+    out.reserve(count);
+    if (count == 0)
+        return out;
+    const std::size_t size = ring.size();
+    const std::size_t first = (head + size - count) % size;
+    for (std::size_t i = 0; i < count; ++i)
+        out.push_back(ring[(first + i) % size]);
+    return out;
+}
+
+void
 FairnessSeries::append(const FairnessSample &sample)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (ring_.size() < capacity_) {
-        // Grow lazily toward the cap instead of reserving a million
-        // slots for short sessions.
-        ring_.push_back(sample);
-        head_ = ring_.size() % capacity_;
-        ++count_;
-    } else {
-        ring_[head_] = sample;
-        head_ = (head_ + 1) % capacity_;
-        if (count_ < capacity_)
-            ++count_;
+    main_.push(sample, capacity_);
+}
+
+void
+FairnessSeries::appendLabelled(const std::string &label,
+                               const FairnessSample &sample)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto found = labelled_.find(label);
+    if (found == labelled_.end()) {
+        if (labelled_.size() >= kMaxLabels) {
+            ++droppedLabelled_;
+            return;
+        }
+        found = labelled_.emplace(label, Ring{}).first;
     }
-    ++appended_;
+    found->second.push(sample, capacity_);
+    ++labelledAppended_;
 }
 
 std::vector<FairnessSample>
 FairnessSeries::samples() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    std::vector<FairnessSample> out;
-    out.reserve(count_);
-    if (count_ == 0)
-        return out;
-    const std::size_t size = ring_.size();
-    const std::size_t first = (head_ + size - count_) % size;
-    for (std::size_t i = 0; i < count_; ++i)
-        out.push_back(ring_[(first + i) % size]);
+    return main_.snapshot();
+}
+
+std::vector<std::string>
+FairnessSeries::labels() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(labelled_.size());
+    for (const auto &entry : labelled_)
+        out.push_back(entry.first);
     return out;
+}
+
+std::vector<FairnessSample>
+FairnessSeries::labelledSamples(const std::string &label) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto found = labelled_.find(label);
+    if (found == labelled_.end())
+        return {};
+    return found->second.snapshot();
 }
 
 std::size_t
 FairnessSeries::size() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return count_;
+    return main_.count;
 }
 
 std::uint64_t
 FairnessSeries::totalAppended() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return appended_;
+    return main_.appended;
+}
+
+std::uint64_t
+FairnessSeries::totalLabelledAppended() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return labelledAppended_;
+}
+
+std::uint64_t
+FairnessSeries::droppedLabelled() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return droppedLabelled_;
 }
 
 const char *
 FairnessSeries::csvHeader()
 {
     return "epoch,agents,checked,si_margin,ef_margin,l1_drift,"
+           "enforced,max_rel_change,latency_ns";
+}
+
+const char *
+FairnessSeries::labelledCsvHeader()
+{
+    return "pool,epoch,agents,checked,si_margin,ef_margin,l1_drift,"
            "enforced,max_rel_change,latency_ns";
 }
 
@@ -111,6 +183,26 @@ FairnessSeries::writeCsv(std::ostream &os) const
     for (const FairnessSample &sample : samples()) {
         writeCsvRow(os, sample);
         os << "\n";
+    }
+}
+
+void
+FairnessSeries::writeLabelledCsv(std::ostream &os) const
+{
+    os << labelledCsvHeader() << "\n";
+    // The pool tree reserves the literal path "_total", so the
+    // global series cannot collide with a pool's label.
+    for (const FairnessSample &sample : samples()) {
+        os << "_total,";
+        writeCsvRow(os, sample);
+        os << "\n";
+    }
+    for (const std::string &label : labels()) {
+        for (const FairnessSample &sample : labelledSamples(label)) {
+            os << label << ",";
+            writeCsvRow(os, sample);
+            os << "\n";
+        }
     }
 }
 

@@ -30,7 +30,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <mutex>
+#include <string>
 #include <vector>
 
 namespace ref::obs {
@@ -59,21 +61,49 @@ class FairnessSeries
   public:
     static constexpr std::size_t kDefaultCapacity = 1 << 20;
 
+    /** Distinct labelled sub-series the series will hold; appends
+     *  for labels beyond the cap are dropped (and counted), so a
+     *  runaway pool population cannot exhaust memory. */
+    static constexpr std::size_t kMaxLabels = 4096;
+
     explicit FairnessSeries(
         std::size_t capacity = kDefaultCapacity);
 
     void append(const FairnessSample &sample);
 
+    /**
+     * Append to the labelled sub-series @p label (pooled mode: one
+     * per pool path). Labelled rings share the main ring's capacity
+     * and grow lazily.
+     */
+    void appendLabelled(const std::string &label,
+                        const FairnessSample &sample);
+
     /** Buffered samples, oldest first. */
     std::vector<FairnessSample> samples() const;
+
+    /** Labels with at least one sample, sorted. */
+    std::vector<std::string> labels() const;
+
+    /** Buffered samples of @p label, oldest first (empty when the
+     *  label is unknown). */
+    std::vector<FairnessSample>
+    labelledSamples(const std::string &label) const;
 
     std::size_t size() const;
     std::size_t capacity() const { return capacity_; }
     /** Lifetime appends, including samples the ring since dropped. */
     std::uint64_t totalAppended() const;
+    /** Lifetime labelled appends across all labels. */
+    std::uint64_t totalLabelledAppended() const;
+    /** Labelled appends dropped by the kMaxLabels cap. */
+    std::uint64_t droppedLabelled() const;
 
     /** CSV column header (no trailing newline). */
     static const char *csvHeader();
+
+    /** Labelled CSV header: a leading "pool" column. */
+    static const char *labelledCsvHeader();
 
     /** One sample as a CSV row (no trailing newline). */
     static void writeCsvRow(std::ostream &os,
@@ -82,16 +112,35 @@ class FairnessSeries
     /** Header plus every buffered sample, newline-terminated. */
     void writeCsv(std::ostream &os) const;
 
+    /**
+     * Labelled export: header, then the main series as label
+     * "_total", then every labelled series in sorted label order.
+     */
+    void writeLabelledCsv(std::ostream &os) const;
+
     /** JSON array of sample objects. */
     void writeJson(std::ostream &os) const;
 
   private:
+    /** One bounded ring (storage grows lazily toward capacity). */
+    struct Ring
+    {
+        std::vector<FairnessSample> ring;
+        std::size_t head = 0;
+        std::size_t count = 0;
+        std::uint64_t appended = 0;
+
+        void push(const FairnessSample &sample,
+                  std::size_t capacity);
+        std::vector<FairnessSample> snapshot() const;
+    };
+
     std::size_t capacity_;
     mutable std::mutex mutex_;
-    std::vector<FairnessSample> ring_;
-    std::size_t head_ = 0;
-    std::size_t count_ = 0;
-    std::uint64_t appended_ = 0;
+    Ring main_;
+    std::map<std::string, Ring> labelled_;  //!< Sorted by label.
+    std::uint64_t labelledAppended_ = 0;
+    std::uint64_t droppedLabelled_ = 0;
 };
 
 } // namespace ref::obs

@@ -1,0 +1,522 @@
+#include "pool_tree.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <functional>
+
+#include "util/logging.hh"
+#include "util/math.hh"
+
+namespace ref::pool {
+
+PoolTree::PoolTree(core::SystemCapacity capacity, std::size_t shards)
+    : capacity_(std::move(capacity))
+{
+    REF_REQUIRE(shards >= 1, "pool tree needs at least one shard");
+    Node root;
+    root.path = kRootPath;
+    root.subtree.resize(capacity_.count());
+    nodeIndex_.emplace(root.path, 0);
+    nodes_.push_back(std::move(root));
+    shards_.resize(shards);
+    for (auto &shard : shards_)
+        shard.sums.resize(capacity_.count());
+}
+
+void
+PoolTree::validatePath(const std::string &path)
+{
+    REF_REQUIRE(!path.empty(), "pool path must not be empty");
+    REF_REQUIRE(path.size() <= kMaxPoolPathLength,
+                "pool path exceeds " << kMaxPoolPathLength
+                                     << " characters");
+    if (path == kRootPath)
+        return;
+    REF_REQUIRE(path != "_total",
+                "pool path '_total' is reserved for the global "
+                "fairness series");
+    REF_REQUIRE(path.front() != '/' && path.back() != '/',
+                "pool path '" << path
+                              << "' must not start or end with '/'");
+    std::size_t segment = 0;
+    std::size_t depth = 1;
+    for (char c : path) {
+        if (c == '/') {
+            REF_REQUIRE(segment > 0, "pool path '"
+                                         << path
+                                         << "' has an empty segment");
+            segment = 0;
+            ++depth;
+            continue;
+        }
+        const auto uc = static_cast<unsigned char>(c);
+        REF_REQUIRE(std::isprint(uc) && !std::isspace(uc),
+                    "pool path '" << path
+                                  << "' contains whitespace or "
+                                     "non-printable characters");
+        // Paths become CSV cells and metric label values verbatim;
+        // keep the characters those syntaxes reserve out entirely.
+        REF_REQUIRE(c != ',' && c != '"' && c != '\\' && c != '{' &&
+                        c != '}' && c != '=',
+                    "pool path '" << path << "' contains '" << c
+                                  << "', reserved for exports");
+        ++segment;
+    }
+    REF_REQUIRE(depth <= kMaxPoolDepth,
+                "pool path '" << path << "' exceeds the maximum "
+                              << "depth of " << kMaxPoolDepth);
+}
+
+void
+PoolTree::createPool(const std::string &path, double weight,
+                     std::uint64_t epoch)
+{
+    validatePath(path);
+    REF_REQUIRE(std::isfinite(weight) && weight > 0,
+                "pool '" << path << "' weight " << weight
+                         << " must be positive and finite");
+    const auto found = nodeIndex_.find(path);
+    if (found != nodeIndex_.end()) {
+        // Idempotent re-create: racing clients and journal replays
+        // that repeat the same CREATE converge instead of erroring.
+        REF_REQUIRE(nodes_[found->second].weight == weight,
+                    "pool '" << path << "' already exists with weight "
+                             << nodes_[found->second].weight);
+        return;
+    }
+    REF_REQUIRE(path != kRootPath, "the root pool always exists");
+
+    const std::size_t slash = path.rfind('/');
+    const std::string parentPath =
+        slash == std::string::npos ? kRootPath : path.substr(0, slash);
+    const auto parent = nodeIndex_.find(parentPath);
+    REF_REQUIRE(parent != nodeIndex_.end(),
+                "pool '" << path << "' needs parent '" << parentPath
+                         << "' to exist first");
+
+    Node node;
+    node.path = path;
+    node.parent = parent->second;
+    node.weight = weight;
+    node.gain = nodes_[parent->second].gain * weight;
+    node.depth = nodes_[parent->second].depth + 1;
+    node.createdEpoch = epoch;
+    node.subtree.resize(capacity_.count());
+    REF_REQUIRE(std::isfinite(node.gain) && node.gain > 0,
+                "pool '" << path << "' cumulative gain " << node.gain
+                         << " is out of range");
+    nodeIndex_.emplace(path, static_cast<std::uint32_t>(nodes_.size()));
+    maxDepth_ = std::max<std::size_t>(maxDepth_, node.depth);
+    nodes_.push_back(std::move(node));
+    ++churnEvents_;
+}
+
+bool
+PoolTree::hasPool(const std::string &path) const
+{
+    return nodeIndex_.find(path) != nodeIndex_.end();
+}
+
+std::uint32_t
+PoolTree::resolve(const std::string &path) const
+{
+    const auto found = nodeIndex_.find(path);
+    REF_REQUIRE(found != nodeIndex_.end(),
+                "pool '" << path << "' does not exist");
+    return found->second;
+}
+
+void
+PoolTree::validateAgent(const std::string &name,
+                        const linalg::Vector &elasticities) const
+{
+    REF_REQUIRE(!name.empty(), "agent name must not be empty");
+    for (char c : name) {
+        REF_REQUIRE(!std::isspace(static_cast<unsigned char>(c)),
+                    "agent name '" << name
+                                   << "' must not contain whitespace");
+    }
+    REF_REQUIRE(elasticities.size() == capacity_.count(),
+                "agent '" << name << "' reports "
+                          << elasticities.size()
+                          << " elasticities, system has "
+                          << capacity_.count() << " resources");
+    for (std::size_t r = 0; r < elasticities.size(); ++r) {
+        REF_REQUIRE(std::isfinite(elasticities[r]) &&
+                        elasticities[r] > 0,
+                    "agent '" << name << "' reports elasticity "
+                              << elasticities[r] << " for resource "
+                              << r
+                              << "; elasticities must be positive "
+                                 "and finite");
+    }
+}
+
+PoolTree::Shard &
+PoolTree::shardFor(const std::string &name)
+{
+    return shards_[std::hash<std::string>{}(name) % shards_.size()];
+}
+
+const PoolTree::Shard &
+PoolTree::shardFor(const std::string &name) const
+{
+    return shards_[std::hash<std::string>{}(name) % shards_.size()];
+}
+
+PooledAgent &
+PoolTree::entryOf(const std::string &name)
+{
+    auto &shard = shardFor(name);
+    const auto found = shard.agents.find(name);
+    REF_REQUIRE(found != shard.agents.end(),
+                "agent '" << name << "' is not registered");
+    return found->second;
+}
+
+const PooledAgent &
+PoolTree::entryOf(const std::string &name) const
+{
+    const auto &shard = shardFor(name);
+    const auto found = shard.agents.find(name);
+    REF_REQUIRE(found != shard.agents.end(),
+                "agent '" << name << "' is not registered");
+    return found->second;
+}
+
+linalg::Vector
+PoolTree::effectiveFor(const linalg::Vector &rescaled,
+                       std::uint32_t pool) const
+{
+    // gain == 1.0 multiplies exactly, so unweighted trees keep
+    // effective bit-identical to the flat registry's rescaled values.
+    const double gain = nodes_[pool].gain;
+    linalg::Vector effective(rescaled.size());
+    for (std::size_t r = 0; r < rescaled.size(); ++r)
+        effective[r] = gain * rescaled[r];
+    return effective;
+}
+
+void
+PoolTree::applyAlongPath(std::uint32_t pool,
+                         const linalg::Vector &effective, int direction)
+{
+    std::uint32_t node = pool;
+    for (;;) {
+        auto &sums = nodes_[node].subtree;
+        for (std::size_t r = 0; r < effective.size(); ++r) {
+            if (direction > 0)
+                sums[r].add(effective[r]);
+            else
+                sums[r].subtract(effective[r]);
+        }
+        if (node == 0)
+            break;
+        node = nodes_[node].parent;
+    }
+}
+
+void
+PoolTree::admit(const std::string &name,
+                const linalg::Vector &elasticities,
+                const std::string &poolPath, std::uint64_t epoch)
+{
+    validateAgent(name, elasticities);
+    REF_REQUIRE(!contains(name),
+                "agent '" << name << "' is already registered");
+    const std::uint32_t pool = resolve(poolPath);
+
+    PooledAgent agent;
+    agent.name = name;
+    agent.elasticities = elasticities;
+    agent.rescaled = normalizeToUnitSum(elasticities);
+    agent.effective = effectiveFor(agent.rescaled, pool);
+    agent.admittedEpoch = epoch;
+    agent.seq = nextSeq_++;
+    agent.pool = pool;
+
+    auto &shard = shardFor(name);
+    for (std::size_t r = 0; r < agent.effective.size(); ++r)
+        shard.sums[r].add(agent.effective[r]);
+    applyAlongPath(pool, agent.effective, +1);
+    for (std::uint32_t node = pool;;) {
+        ++nodes_[node].agentsInSubtree;
+        if (node == 0)
+            break;
+        node = nodes_[node].parent;
+    }
+    ++nodes_[pool].directAgents;
+    shard.agents.emplace(name, std::move(agent));
+    ++agentCount_;
+    ++churnEvents_;
+}
+
+void
+PoolTree::update(const std::string &name,
+                 const linalg::Vector &elasticities)
+{
+    validateAgent(name, elasticities);
+    PooledAgent &agent = entryOf(name);
+    auto &shard = shardFor(name);
+    const linalg::Vector rescaled = normalizeToUnitSum(elasticities);
+    const linalg::Vector effective = effectiveFor(rescaled, agent.pool);
+    for (std::size_t r = 0; r < effective.size(); ++r) {
+        shard.sums[r].subtract(agent.effective[r]);
+        shard.sums[r].add(effective[r]);
+    }
+    applyAlongPath(agent.pool, agent.effective, -1);
+    applyAlongPath(agent.pool, effective, +1);
+    agent.elasticities = elasticities;
+    agent.rescaled = rescaled;
+    agent.effective = effective;
+    ++churnEvents_;
+}
+
+void
+PoolTree::assign(const std::string &name, const std::string &poolPath)
+{
+    const std::uint32_t pool = resolve(poolPath);
+    PooledAgent &agent = entryOf(name);
+    if (agent.pool == pool)
+        return; // Idempotent: already resident.
+    auto &shard = shardFor(name);
+
+    const linalg::Vector effective = effectiveFor(agent.rescaled, pool);
+    for (std::size_t r = 0; r < effective.size(); ++r) {
+        shard.sums[r].subtract(agent.effective[r]);
+        shard.sums[r].add(effective[r]);
+    }
+    applyAlongPath(agent.pool, agent.effective, -1);
+    applyAlongPath(pool, effective, +1);
+    for (std::uint32_t node = agent.pool;;) {
+        --nodes_[node].agentsInSubtree;
+        if (node == 0)
+            break;
+        node = nodes_[node].parent;
+    }
+    for (std::uint32_t node = pool;;) {
+        ++nodes_[node].agentsInSubtree;
+        if (node == 0)
+            break;
+        node = nodes_[node].parent;
+    }
+    --nodes_[agent.pool].directAgents;
+    ++nodes_[pool].directAgents;
+    agent.pool = pool;
+    agent.effective = effective;
+    ++churnEvents_;
+}
+
+void
+PoolTree::depart(const std::string &name)
+{
+    PooledAgent &agent = entryOf(name);
+    auto &shard = shardFor(name);
+    for (std::size_t r = 0; r < agent.effective.size(); ++r)
+        shard.sums[r].subtract(agent.effective[r]);
+    applyAlongPath(agent.pool, agent.effective, -1);
+    for (std::uint32_t node = agent.pool;;) {
+        --nodes_[node].agentsInSubtree;
+        if (node == 0)
+            break;
+        node = nodes_[node].parent;
+    }
+    --nodes_[agent.pool].directAgents;
+    shard.agents.erase(name);
+    --agentCount_;
+    ++churnEvents_;
+}
+
+bool
+PoolTree::contains(const std::string &name) const
+{
+    const auto &shard = shardFor(name);
+    return shard.agents.find(name) != shard.agents.end();
+}
+
+const std::string &
+PoolTree::poolOf(const std::string &name) const
+{
+    return nodes_[entryOf(name).pool].path;
+}
+
+double
+PoolTree::denominator(std::size_t r) const
+{
+    return nodes_[0].subtree[r].round();
+}
+
+linalg::Vector
+PoolTree::sharesOf(const std::string &name) const
+{
+    const PooledAgent &agent = entryOf(name);
+    linalg::Vector shares(capacity_.count());
+    for (std::size_t r = 0; r < capacity_.count(); ++r) {
+        const double d = denominator(r);
+        REF_ASSERT(d > 0,
+                   "effective claims sum to zero for resource " << r);
+        shares[r] = agent.effective[r] / d * capacity_.capacity(r);
+    }
+    return shares;
+}
+
+linalg::Vector
+PoolTree::poolShareFractions(const std::string &path) const
+{
+    const Node &node = nodes_[resolve(path)];
+    linalg::Vector fractions(capacity_.count(), 0.0);
+    if (empty())
+        return fractions;
+    for (std::size_t r = 0; r < capacity_.count(); ++r) {
+        const double d = denominator(r);
+        REF_ASSERT(d > 0,
+                   "effective claims sum to zero for resource " << r);
+        fractions[r] = node.subtree[r].round() / d;
+    }
+    return fractions;
+}
+
+std::vector<PoolView>
+PoolTree::pools() const
+{
+    std::vector<PoolView> views;
+    views.reserve(nodes_.size());
+    for (const Node &node : nodes_) {
+        PoolView view;
+        view.path = node.path;
+        view.weight = node.weight;
+        view.gain = node.gain;
+        view.agents = node.agentsInSubtree;
+        view.directAgents = node.directAgents;
+        view.createdEpoch = node.createdEpoch;
+        views.push_back(std::move(view));
+    }
+    return views;
+}
+
+std::vector<const PooledAgent *>
+PoolTree::denseOrder() const
+{
+    std::vector<const PooledAgent *> order;
+    order.reserve(agentCount_);
+    for (const auto &shard : shards_)
+        for (const auto &entry : shard.agents)
+            order.push_back(&entry.second);
+    std::sort(order.begin(), order.end(),
+              [](const PooledAgent *a, const PooledAgent *b) {
+                  return a->seq < b->seq;
+              });
+    return order;
+}
+
+core::Allocation
+PoolTree::allocateWith(const std::vector<const PooledAgent *> &order,
+                       const std::vector<double> &denominators,
+                       std::vector<std::string> *names) const
+{
+    core::Allocation allocation(order.size(), capacity_.count());
+    for (std::size_t r = 0; r < capacity_.count(); ++r) {
+        const double d = denominators[r];
+        REF_ASSERT(d > 0,
+                   "effective claims sum to zero for resource " << r);
+        // Same expression as the flat registry, applied to the same
+        // doubles: exact denominators make the paths bit-identical.
+        for (std::size_t i = 0; i < order.size(); ++i) {
+            allocation.at(i, r) =
+                order[i]->effective[r] / d * capacity_.capacity(r);
+        }
+    }
+    if (names != nullptr) {
+        names->clear();
+        names->reserve(order.size());
+        for (const PooledAgent *agent : order)
+            names->push_back(agent->name);
+    }
+    return allocation;
+}
+
+core::Allocation
+PoolTree::allocateDense(std::vector<std::string> *names) const
+{
+    REF_REQUIRE(!empty(), "no agents to allocate to");
+    std::vector<double> denominators(capacity_.count());
+    for (std::size_t r = 0; r < capacity_.count(); ++r)
+        denominators[r] = denominator(r);
+    return allocateWith(denseOrder(), denominators, names);
+}
+
+core::Allocation
+PoolTree::allocateFromScratchDense(std::vector<std::string> *names) const
+{
+    REF_REQUIRE(!empty(), "no agents to allocate to");
+    // Flat rebuild in arbitrary (shard) order: ExactSum's
+    // order-independence makes this round identically to the
+    // incrementally maintained root sums.
+    std::vector<ExactSum> sums(capacity_.count());
+    for (const auto &shard : shards_)
+        for (const auto &entry : shard.agents)
+            for (std::size_t r = 0; r < capacity_.count(); ++r)
+                sums[r].add(entry.second.effective[r]);
+    std::vector<double> denominators(capacity_.count());
+    for (std::size_t r = 0; r < capacity_.count(); ++r)
+        denominators[r] = sums[r].round();
+    return allocateWith(denseOrder(), denominators, names);
+}
+
+core::AgentList
+PoolTree::agentList() const
+{
+    core::AgentList list;
+    list.reserve(agentCount_);
+    for (const PooledAgent *agent : denseOrder()) {
+        list.emplace_back(agent->name,
+                          core::CobbDouglasUtility(agent->elasticities));
+    }
+    return list;
+}
+
+bool
+PoolTree::selfCheck() const
+{
+    for (std::size_t r = 0; r < capacity_.count(); ++r) {
+        const double incremental = nodes_[0].subtree[r].round();
+
+        ExactSum merged;
+        for (const auto &shard : shards_)
+            merged.merge(shard.sums[r]);
+
+        ExactSum scratch;
+        for (const auto &shard : shards_)
+            for (const auto &entry : shard.agents)
+                scratch.add(entry.second.effective[r]);
+
+        if (incremental != merged.round() ||
+            incremental != scratch.round())
+            return false;
+    }
+    if (empty())
+        return true;
+
+    const core::Allocation fast = allocateDense();
+    const core::Allocation slow = allocateFromScratchDense();
+    if (fast.agents() != slow.agents() ||
+        fast.resources() != slow.resources())
+        return false;
+    for (std::size_t i = 0; i < fast.agents(); ++i)
+        for (std::size_t r = 0; r < fast.resources(); ++r)
+            if (fast.at(i, r) != slow.at(i, r))
+                return false;
+    return true;
+}
+
+bool
+PoolTree::allUnitGains() const
+{
+    for (const Node &node : nodes_)
+        if (node.gain != 1.0)
+            return false;
+    return true;
+}
+
+} // namespace ref::pool

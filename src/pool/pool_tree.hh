@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Hierarchical fair-share pool tree with sharded leaf registries.
+ *
+ * The flat AgentRegistry keeps one global per-resource denominator,
+ * so every epoch's cost is bounded by the live population. The pool
+ * tree applies REF recursively instead: pools form a weighted tree
+ * rooted at "/", every agent lives in exactly one pool, and an
+ * agent's claim on resource r is its re-scaled elasticity (Eq. 12)
+ * multiplied by the product of its ancestor pools' weights (the
+ * pool's "gain"). Resource r is then divided in proportion to these
+ * effective claims — the flat REF closed form (Eq. 13) over the
+ * effective values:
+ *
+ *     share_i[r] = eff_i[r] / D[r] * C_r,
+ *     eff_i[r]   = gain(pool(i)) * rescaled_i[r],
+ *     D[r]       = sum_j eff_j[r].
+ *
+ * With all-unit weights every gain is exactly 1.0 and IEEE-754
+ * multiplication by 1.0 is exact, so eff_i == rescaled_i bit for bit
+ * and the pooled allocation is bit-identical to the flat solve.
+ *
+ * Incrementality: every tree node keeps the per-resource ExactSum of
+ * the effective claims in its subtree, and the leaf agent registry is
+ * split into S hash shards that each keep the same per-resource
+ * ExactSum over their resident agents. An admit / update / depart /
+ * re-assign therefore touches exactly one shard plus the root-to-leaf
+ * path — O(depth x resources) ExactSum operations, independent of the
+ * population. Because ExactSums hold the exact real sum as
+ * non-overlapping partials, merging the shard sums (or summing the
+ * subtree sums bottom-up) rounds to the very same double as one flat
+ * from-scratch sum over all agents, in any order — the property
+ * selfCheck() asserts three ways (incremental root vs shard merge vs
+ * scratch rebuild) plus a bitwise dense-allocation compare.
+ */
+
+#ifndef REF_POOL_POOL_TREE_HH
+#define REF_POOL_POOL_TREE_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/agent.hh"
+#include "core/allocation.hh"
+#include "core/resource.hh"
+#include "util/exact_sum.hh"
+
+namespace ref::pool {
+
+/** Canonical path of the root pool. */
+inline constexpr const char *kRootPath = "/";
+
+/** Maximum pool-tree depth (segments below the root). */
+inline constexpr std::size_t kMaxPoolDepth = 16;
+
+/** Maximum length of a pool path in characters. */
+inline constexpr std::size_t kMaxPoolPathLength = 256;
+
+/** One agent resident in a pool-tree shard. */
+struct PooledAgent
+{
+    std::string name;
+    /** Reported elasticities, as admitted/updated. */
+    linalg::Vector elasticities;
+    /** Re-scaled to unit sum (Eq. 12). */
+    linalg::Vector rescaled;
+    /** gain(pool) * rescaled — the values the ExactSums hold. */
+    linalg::Vector effective;
+    std::uint64_t admittedEpoch = 0;
+    /** Global admission sequence number (dense-allocation order). */
+    std::uint64_t seq = 0;
+    /** Node id of the owning pool. */
+    std::uint32_t pool = 0;
+};
+
+/** Read-only view of one pool for snapshots, metrics and QUERY. */
+struct PoolView
+{
+    std::string path;
+    double weight = 1.0;
+    /** Product of weights from the root down to this pool. */
+    double gain = 1.0;
+    /** Live agents in this pool's whole subtree. */
+    std::uint64_t agents = 0;
+    /** Live agents directly resident in this pool. */
+    std::uint64_t directAgents = 0;
+    std::uint64_t createdEpoch = 0;
+};
+
+/**
+ * Weighted pool tree with per-node exact subtree denominators and
+ * hash-sharded leaf agent storage.
+ *
+ * Not thread-safe on its own; the AllocationService facade
+ * serializes mutation, exactly as it does for the flat registry.
+ */
+class PoolTree
+{
+  public:
+    /** @pre shards >= 1. */
+    explicit PoolTree(core::SystemCapacity capacity,
+                      std::size_t shards = 8);
+
+    /**
+     * Create a pool at @p path ("a" or "a/b"; the parent must already
+     * exist, the root "/" always does). Creating an existing pool
+     * with the identical weight is a no-op (idempotent, so racing
+     * clients and journal replays converge); a differing weight
+     * throws. Weights are fixed at creation. Throws FatalError on
+     * malformed paths, unknown parents, non-positive / non-finite
+     * weights, or excessive depth.
+     */
+    void createPool(const std::string &path, double weight,
+                    std::uint64_t epoch = 0);
+
+    bool hasPool(const std::string &path) const;
+
+    /** Number of pools, including the root. */
+    std::size_t poolCount() const { return nodes_.size(); }
+
+    /** Deepest pool level (root = 0). */
+    std::size_t maxDepth() const { return maxDepth_; }
+
+    /**
+     * Admit an agent into @p poolPath (default: the root). Same
+     * validation and error messages as the flat registry, plus an
+     * unknown-pool error.
+     */
+    void admit(const std::string &name,
+               const linalg::Vector &elasticities,
+               const std::string &poolPath = kRootPath,
+               std::uint64_t epoch = 0);
+
+    /** Replace an agent's elasticities. Throws when unknown. */
+    void update(const std::string &name,
+                const linalg::Vector &elasticities);
+
+    /** Move an agent to @p poolPath. Throws when either is unknown. */
+    void assign(const std::string &name, const std::string &poolPath);
+
+    /** Remove an agent. Throws when unknown. */
+    void depart(const std::string &name);
+
+    std::size_t size() const { return agentCount_; }
+    bool empty() const { return agentCount_ == 0; }
+    bool contains(const std::string &name) const;
+
+    /** Owning pool path of @p name. Throws when unknown. */
+    const std::string &poolOf(const std::string &name) const;
+
+    /** Path of the pool with node id @p node (PooledAgent::pool). */
+    const std::string &poolPath(std::uint32_t node) const
+    {
+        return nodes_[node].path;
+    }
+
+    const core::SystemCapacity &capacity() const { return capacity_; }
+    std::size_t shards() const { return shards_.size(); }
+
+    /**
+     * Incrementally maintained root denominator D[r] — the correctly
+     * rounded sum of every live agent's effective claim.
+     */
+    double denominator(std::size_t r) const;
+
+    /**
+     * Agent @p name's current share of each resource, computed lazily
+     * from its effective claim and the root denominators: O(R), no
+     * dense allocation. @pre the agent exists.
+     */
+    linalg::Vector sharesOf(const std::string &name) const;
+
+    /**
+     * Fraction of each resource's capacity held collectively by the
+     * subtree rooted at @p path. @pre pool exists; zero vector while
+     * the tree is empty.
+     */
+    linalg::Vector poolShareFractions(const std::string &path) const;
+
+    /** All pools in creation order (root first). */
+    std::vector<PoolView> pools() const;
+
+    /** Visit every live agent (shard order — unspecified). */
+    template <typename Fn>
+    void forEachAgent(Fn &&fn) const
+    {
+        for (const auto &shard : shards_)
+            for (const auto &entry : shard.agents)
+                fn(entry.second);
+    }
+
+    /**
+     * Dense N x R allocation over all live agents in admission
+     * order, with the matching names. O(N log N) — verification and
+     * small-population use only. @pre !empty().
+     */
+    core::Allocation allocateDense(
+        std::vector<std::string> *names = nullptr) const;
+
+    /**
+     * Verification path: rebuild flat per-resource ExactSums from
+     * scratch over all live agents and allocate with them.
+     * Bit-identical to allocateDense() by construction. @pre !empty().
+     */
+    core::Allocation allocateFromScratchDense(
+        std::vector<std::string> *names = nullptr) const;
+
+    /** The live agents as a core::AgentList (admission order). */
+    core::AgentList agentList() const;
+
+    /**
+     * The tree-wide bit-identity invariant, checked three ways per
+     * resource: the incremental root subtree sum, the merge of the
+     * per-shard sums, and a from-scratch flat rebuild must all round
+     * to the same double, and the dense incremental allocation must
+     * equal the from-scratch one bitwise. O(N) — verification only.
+     */
+    bool selfCheck() const;
+
+    /** True when every pool's gain is exactly 1.0 (unweighted). */
+    bool allUnitGains() const;
+
+    /** Total admits + departs + updates + assigns + pool creates. */
+    std::uint64_t churnEvents() const { return churnEvents_; }
+
+    /** Recovery only: restore the lifetime churn counter. */
+    void restoreChurnEvents(std::uint64_t events)
+    {
+        churnEvents_ = events;
+    }
+
+  private:
+    struct Node
+    {
+        std::string path;
+        std::uint32_t parent = 0;
+        double weight = 1.0;
+        double gain = 1.0;
+        std::uint32_t depth = 0;
+        std::uint64_t createdEpoch = 0;
+        std::uint64_t agentsInSubtree = 0;
+        std::uint64_t directAgents = 0;
+        /** Per-resource exact sums of every descendant's effective. */
+        std::vector<ExactSum> subtree;
+    };
+
+    struct Shard
+    {
+        std::unordered_map<std::string, PooledAgent> agents;
+        /** Per-resource exact sums over this shard's residents. */
+        std::vector<ExactSum> sums;
+    };
+
+    void validateAgent(const std::string &name,
+                       const linalg::Vector &elasticities) const;
+    static void validatePath(const std::string &path);
+    /** Node id for @p path; throws when the pool does not exist. */
+    std::uint32_t resolve(const std::string &path) const;
+    Shard &shardFor(const std::string &name);
+    const Shard &shardFor(const std::string &name) const;
+    PooledAgent &entryOf(const std::string &name);
+    const PooledAgent &entryOf(const std::string &name) const;
+    /** Add (+1) or subtract (-1) @p effective along root..pool. */
+    void applyAlongPath(std::uint32_t pool,
+                        const linalg::Vector &effective, int direction);
+    linalg::Vector effectiveFor(const linalg::Vector &rescaled,
+                                std::uint32_t pool) const;
+    /** Live agents sorted by admission sequence. */
+    std::vector<const PooledAgent *> denseOrder() const;
+    core::Allocation allocateWith(
+        const std::vector<const PooledAgent *> &order,
+        const std::vector<double> &denominators,
+        std::vector<std::string> *names) const;
+
+    core::SystemCapacity capacity_;
+    std::vector<Node> nodes_;  //!< Creation order; nodes_[0] is "/".
+    std::unordered_map<std::string, std::uint32_t> nodeIndex_;
+    std::vector<Shard> shards_;
+    std::size_t agentCount_ = 0;
+    std::size_t maxDepth_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t churnEvents_ = 0;
+};
+
+} // namespace ref::pool
+
+#endif // REF_POOL_POOL_TREE_HH

@@ -1,6 +1,8 @@
 #include "allocation_service.hh"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <ostream>
 
 #include "obs/trace.hh"
@@ -20,9 +22,20 @@ ServiceSnapshot::indexOf(const std::string &name) const
 AllocationService::AllocationService(ServiceConfig config)
     : config_(std::move(config)),
       registry_(config_.capacity),
-      driver_(registry_, config_.epoch),
+      tree_(config_.pooled
+                ? std::make_unique<pool::PoolTree>(config_.capacity,
+                                                   config_.poolShards)
+                : nullptr),
+      driver_(tree_ ? EpochDriver(*tree_, config_.epoch)
+                    : EpochDriver(registry_, config_.epoch)),
       snapshot_(std::make_shared<const ServiceSnapshot>())
 {
+    if (config_.pooled) {
+        REF_REQUIRE(!config_.buildEnforcement,
+                    "pooled mode never materializes dense "
+                    "allocations, so enforcement cannot run; disable "
+                    "buildEnforcement for pooled services");
+    }
     if (config_.buildEnforcement) {
         REF_REQUIRE(config_.capacity.count() == 2,
                     "enforcement requires the bandwidth+cache pair; "
@@ -42,7 +55,10 @@ AllocationService::admit(const std::string &name,
 {
     std::lock_guard<std::mutex> lock(writeMutex_);
     const std::uint64_t epoch = driver_.epoch();
-    registry_.admit(name, elasticities, epoch);
+    if (tree_)
+        tree_->admit(name, elasticities, pool::kRootPath, epoch);
+    else
+        registry_.admit(name, elasticities, epoch);
     metrics_.recordAdmit();
     JournalRecord record;
     record.type = JournalRecord::Type::Admit;
@@ -56,7 +72,10 @@ void
 AllocationService::depart(const std::string &name)
 {
     std::lock_guard<std::mutex> lock(writeMutex_);
-    registry_.depart(name);
+    if (tree_)
+        tree_->depart(name);
+    else
+        registry_.depart(name);
     metrics_.recordDepart();
     JournalRecord record;
     record.type = JournalRecord::Type::Depart;
@@ -69,7 +88,10 @@ AllocationService::update(const std::string &name,
                           const linalg::Vector &elasticities)
 {
     std::lock_guard<std::mutex> lock(writeMutex_);
-    registry_.update(name, elasticities);
+    if (tree_)
+        tree_->update(name, elasticities);
+    else
+        registry_.update(name, elasticities);
     metrics_.recordUpdate();
     JournalRecord record;
     record.type = JournalRecord::Type::Update;
@@ -93,6 +115,93 @@ AllocationService::tick()
     record.epoch = result.epoch;
     journalAppendLocked(record);
     return result;
+}
+
+namespace {
+
+void
+requirePooled(const std::unique_ptr<pool::PoolTree> &tree)
+{
+    REF_REQUIRE(tree != nullptr,
+                "POOL commands require a pooled service (--pooled)");
+}
+
+} // namespace
+
+void
+AllocationService::createPool(const std::string &path, double weight)
+{
+    std::lock_guard<std::mutex> lock(writeMutex_);
+    requirePooled(tree_);
+    const bool existed = tree_->hasPool(path);
+    const std::uint64_t epoch = driver_.epoch();
+    // Throws on a weight mismatch even when the pool exists, so the
+    // idempotent-create check below only passes for true no-ops.
+    tree_->createPool(path, weight, epoch);
+    if (existed)
+        return;
+    metrics_.recordPoolCreate();
+    JournalRecord record;
+    record.type = JournalRecord::Type::PoolCreate;
+    record.name = path;
+    record.weight = weight;
+    record.epoch = epoch;
+    journalAppendLocked(record);
+}
+
+void
+AllocationService::assignPool(const std::string &name,
+                              const std::string &path)
+{
+    std::lock_guard<std::mutex> lock(writeMutex_);
+    requirePooled(tree_);
+    tree_->assign(name, path);
+    metrics_.recordPoolAssign();
+    JournalRecord record;
+    record.type = JournalRecord::Type::PoolAssign;
+    record.name = name;
+    record.pool = path;
+    journalAppendLocked(record);
+}
+
+linalg::Vector
+AllocationService::agentShares(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(writeMutex_);
+    requirePooled(tree_);
+    return tree_->sharesOf(name);
+}
+
+std::string
+AllocationService::agentPool(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(writeMutex_);
+    requirePooled(tree_);
+    return tree_->poolOf(name);
+}
+
+std::vector<pool::PoolView>
+AllocationService::pools() const
+{
+    std::lock_guard<std::mutex> lock(writeMutex_);
+    requirePooled(tree_);
+    return tree_->pools();
+}
+
+linalg::Vector
+AllocationService::poolShareFractions(const std::string &path) const
+{
+    std::lock_guard<std::mutex> lock(writeMutex_);
+    requirePooled(tree_);
+    return tree_->poolShareFractions(path);
+}
+
+std::size_t
+AllocationService::poolCount() const
+{
+    std::lock_guard<std::mutex> lock(writeMutex_);
+    requirePooled(tree_);
+    return tree_->poolCount();
 }
 
 namespace {
@@ -144,9 +253,85 @@ allocationDrift(const std::vector<std::string> &old_names,
 } // namespace
 
 void
+AllocationService::recordPooledFairnessLocked(
+    const EpochResult &result)
+{
+    const std::vector<pool::PoolView> views = tree_->pools();
+    const std::uint64_t population = result.liveAgents;
+    const auto latencyNs = static_cast<std::uint64_t>(
+        std::max<std::chrono::nanoseconds::rep>(
+            result.latency.count(), 0));
+
+    obs::FairnessSample global;
+    global.epoch = result.epoch;
+    global.agents = population;
+    global.checked = result.propertiesChecked;
+    if (result.propertiesChecked) {
+        global.siMargin =
+            std::exp(result.sharingIncentives.worstSlack);
+        global.efMargin = std::exp(result.envyFreeness.worstSlack);
+    }
+    global.maxRelativeChange = result.maxRelativeChange;
+    global.latencyNs = latencyNs;
+
+    // Pools are append-only, so creation order indexes both the last
+    // epoch's fractions and this epoch's views stably.
+    lastPoolShares_.resize(views.size());
+    double totalDrift = 0;
+    for (std::size_t p = 0; p < views.size(); ++p) {
+        const linalg::Vector fractions =
+            tree_->poolShareFractions(views[p].path);
+        const linalg::Vector &last = lastPoolShares_[p];
+        double drift = 0;
+        for (std::size_t r = 0; r < fractions.size(); ++r) {
+            const double before = r < last.size() ? last[r] : 0.0;
+            drift += std::abs(fractions[r] - before);
+        }
+        // Every tree level contributes, so one agent moving between
+        // sibling subtrees counts once per ancestor it crossed —
+        // deeper reshuffles read as larger drift by design.
+        totalDrift += drift;
+
+        obs::FairnessSample sample;
+        sample.epoch = result.epoch;
+        sample.agents = views[p].agents;
+        sample.checked = population > 0 && views[p].agents > 0;
+        if (sample.checked) {
+            // Population-proportional isolation margin: the pool's
+            // worst resource fraction over its head-count share;
+            // >= 1 means the subtree collectively holds at least
+            // its proportional slice of every resource.
+            const double fairShare =
+                static_cast<double>(views[p].agents) /
+                static_cast<double>(population);
+            double margin =
+                std::numeric_limits<double>::infinity();
+            for (std::size_t r = 0; r < fractions.size(); ++r)
+                margin = std::min(margin, fractions[r] / fairShare);
+            sample.siMargin = margin;
+        }
+        // Envy is agent-granular; at pool granularity the column is
+        // reserved (identically 1).
+        sample.l1Drift = drift;
+        sample.latencyNs = latencyNs;
+        series_.appendLabelled(views[p].path, sample);
+        lastPoolShares_[p] = fractions;
+    }
+    global.l1Drift = totalDrift;
+    series_.append(global);
+    metrics_.setFairnessGauges(global.siMargin, global.efMargin,
+                               global.l1Drift);
+    metrics_.setPoolGauges(views, lastPoolShares_);
+}
+
+void
 AllocationService::recordFairnessLocked(
     const ServiceSnapshot &previous, const EpochResult &result)
 {
+    if (tree_) {
+        recordPooledFairnessLocked(result);
+        return;
+    }
     obs::FairnessSample sample;
     sample.epoch = result.epoch;
     sample.agents = result.agentNames.size();
@@ -214,7 +399,7 @@ std::size_t
 AllocationService::liveAgents() const
 {
     std::lock_guard<std::mutex> lock(writeMutex_);
-    return registry_.size();
+    return tree_ ? tree_->size() : registry_.size();
 }
 
 void
@@ -264,12 +449,44 @@ AllocationService::captureStateLocked() const
 {
     ServiceState state;
     state.capacities = config_.capacity.capacities();
-    state.agents.reserve(registry_.size());
-    for (const auto &agent : registry_.agents()) {
-        state.agents.push_back(PersistedAgent{
-            agent.name, agent.elasticities, agent.admittedEpoch});
+    if (tree_) {
+        state.pooled = true;
+        for (const pool::PoolView &view : tree_->pools())
+            state.pools.push_back(PersistedPool{
+                view.path, view.weight, view.createdEpoch});
+        // Persist agents in admission (seq) order so re-admission
+        // reproduces the dense-allocation order bit for bit.
+        struct Ordered
+        {
+            std::uint64_t seq;
+            PersistedAgent agent;
+        };
+        std::vector<Ordered> ordered;
+        ordered.reserve(tree_->size());
+        tree_->forEachAgent([&](const pool::PooledAgent &agent) {
+            ordered.push_back(Ordered{
+                agent.seq,
+                PersistedAgent{agent.name, agent.elasticities,
+                               agent.admittedEpoch,
+                               tree_->poolPath(agent.pool)}});
+        });
+        std::sort(ordered.begin(), ordered.end(),
+                  [](const Ordered &a, const Ordered &b) {
+                      return a.seq < b.seq;
+                  });
+        state.agents.reserve(ordered.size());
+        for (Ordered &entry : ordered)
+            state.agents.push_back(std::move(entry.agent));
+        state.churnEvents = tree_->churnEvents();
+    } else {
+        state.agents.reserve(registry_.size());
+        for (const auto &agent : registry_.agents()) {
+            state.agents.push_back(PersistedAgent{
+                agent.name, agent.elasticities,
+                agent.admittedEpoch, std::string()});
+        }
+        state.churnEvents = registry_.churnEvents();
     }
-    state.churnEvents = registry_.churnEvents();
     state.epoch = driver_.epoch();
     state.lastEnforcedEpoch = driver_.lastEnforcedEpoch();
     state.enforcedNames = driver_.enforcedNames();
@@ -290,14 +507,38 @@ AllocationService::applyRecordLocked(const JournalRecord &record)
 {
     switch (record.type) {
     case JournalRecord::Type::Admit:
-        registry_.admit(record.name, record.elasticities,
-                        record.epoch);
+        // Pooled admits land at the root; the PoolAssign record
+        // that may follow replays the move, exactly as it happened.
+        if (tree_)
+            tree_->admit(record.name, record.elasticities,
+                         pool::kRootPath, record.epoch);
+        else
+            registry_.admit(record.name, record.elasticities,
+                            record.epoch);
         break;
     case JournalRecord::Type::Update:
-        registry_.update(record.name, record.elasticities);
+        if (tree_)
+            tree_->update(record.name, record.elasticities);
+        else
+            registry_.update(record.name, record.elasticities);
         break;
     case JournalRecord::Type::Depart:
-        registry_.depart(record.name);
+        if (tree_)
+            tree_->depart(record.name);
+        else
+            registry_.depart(record.name);
+        break;
+    case JournalRecord::Type::PoolCreate:
+        REF_REQUIRE(tree_ != nullptr,
+                    "wal holds pool records but the service is not "
+                    "pooled; restart with pooled mode on");
+        tree_->createPool(record.name, record.weight, record.epoch);
+        break;
+    case JournalRecord::Type::PoolAssign:
+        REF_REQUIRE(tree_ != nullptr,
+                    "wal holds pool records but the service is not "
+                    "pooled; restart with pooled mode on");
+        tree_->assign(record.name, record.pool);
         break;
     case JournalRecord::Type::Tick: {
         const EpochResult result = driver_.tick();
@@ -336,10 +577,32 @@ AllocationService::recoverLocked()
                         << config_.journal.directory
                         << "' was written for a different capacity "
                            "configuration");
-        for (const auto &agent : state.agents)
-            registry_.admit(agent.name, agent.elasticities,
-                            agent.admittedEpoch);
-        registry_.restoreChurnEvents(state.churnEvents);
+        REF_REQUIRE(state.pooled == config_.pooled,
+                    "journal directory '"
+                        << config_.journal.directory
+                        << "' was written by a "
+                        << (state.pooled ? "pooled" : "flat")
+                        << " service; restart with the matching "
+                           "mode");
+        if (tree_) {
+            for (const PersistedPool &pool : state.pools) {
+                if (pool.path == pool::kRootPath)
+                    continue;  // The ctor already made the root.
+                tree_->createPool(pool.path, pool.weight,
+                                  pool.createdEpoch);
+            }
+            for (const auto &agent : state.agents)
+                tree_->admit(agent.name, agent.elasticities,
+                             agent.pool.empty() ? pool::kRootPath
+                                                : agent.pool,
+                             agent.admittedEpoch);
+            tree_->restoreChurnEvents(state.churnEvents);
+        } else {
+            for (const auto &agent : state.agents)
+                registry_.admit(agent.name, agent.elasticities,
+                                agent.admittedEpoch);
+            registry_.restoreChurnEvents(state.churnEvents);
+        }
         driver_.restore(state.epoch, state.lastEnforcedEpoch,
                         state.enforced, state.enforcedNames);
 

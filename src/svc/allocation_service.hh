@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "obs/fairness_series.hh"
+#include "pool/pool_tree.hh"
 #include "svc/agent_registry.hh"
 #include "svc/enforcement_bridge.hh"
 #include "svc/epoch_driver.hh"
@@ -55,6 +56,15 @@ struct ServiceConfig
     /** Durability; journal.directory empty keeps the service
      *  memory-only. */
     JournalConfig journal;
+    /**
+     * Run the hierarchical pool tree instead of the flat registry.
+     * Pooled mode keeps epochs O(changed paths): ticks never build a
+     * dense allocation, QUERY answers from the live tree, and
+     * enforcement must be off (incompatible with lazy shares).
+     */
+    bool pooled = false;
+    /** Leaf-registry hash shards for the pooled tree. */
+    std::size_t poolShards = 8;
 };
 
 /** Immutable view of the service after some epoch. */
@@ -105,6 +115,27 @@ class AllocationService
 
     /** Advance one epoch, publish a fresh snapshot. */
     EpochResult tick();
+
+    /** @name Pooled mode (throw unless config.pooled). */
+    ///@{
+    /** Create a pool (idempotent for an identical weight). */
+    void createPool(const std::string &path, double weight);
+    /** Move an agent into a pool. */
+    void assignPool(const std::string &name,
+                    const std::string &path);
+    /** Agent @p name's live shares (current tree, not the published
+     *  snapshot — pooled ticks never materialize allocations). */
+    linalg::Vector agentShares(const std::string &name) const;
+    /** Owning pool path of @p name. */
+    std::string agentPool(const std::string &name) const;
+    /** All pools in creation order (root first). */
+    std::vector<pool::PoolView> pools() const;
+    /** Capacity fraction held by the subtree at @p path. */
+    linalg::Vector poolShareFractions(const std::string &path) const;
+    std::size_t poolCount() const;
+    ///@}
+
+    bool pooled() const { return tree_ != nullptr; }
 
     /**
      * Current snapshot (never null; epoch 0 snapshot before the
@@ -162,13 +193,23 @@ class AllocationService
     /** Append the epoch's fairness sample and update the gauges. */
     void recordFairnessLocked(const ServiceSnapshot &previous,
                               const EpochResult &result);
+    /** Pooled variant: global + per-pool labelled samples, with
+     *  drift computed over pool share fractions (O(pools), never
+     *  O(agents)). */
+    void recordPooledFairnessLocked(const EpochResult &result);
 
     ServiceConfig config_;
     mutable std::mutex writeMutex_;  //!< Serializes churn and ticks.
     AgentRegistry registry_;
+    /** Pooled mode only; flat mode leaves this null and the
+     *  registry carries the population. */
+    std::unique_ptr<pool::PoolTree> tree_;
     EpochDriver driver_;
     mutable ServiceMetrics metrics_;
     obs::FairnessSeries series_;
+    /** Last epoch's per-pool share fractions, indexed by pool
+     *  creation order (pools are append-only), for pooled drift. */
+    std::vector<linalg::Vector> lastPoolShares_;
 
     std::unique_ptr<Journal> journal_;  //!< Null when disabled.
     RecoveryInfo recovery_;

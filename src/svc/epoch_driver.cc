@@ -51,7 +51,16 @@ maxRelativeChange(const core::Allocation &current,
 } // namespace
 
 EpochDriver::EpochDriver(AgentRegistry &registry, EpochConfig config)
-    : registry_(registry), config_(config)
+    : registry_(&registry), config_(config)
+{
+    REF_REQUIRE(config_.hysteresis >= 0 &&
+                    std::isfinite(config_.hysteresis),
+                "hysteresis must be a finite non-negative fraction, "
+                "got " << config_.hysteresis);
+}
+
+EpochDriver::EpochDriver(pool::PoolTree &tree, EpochConfig config)
+    : tree_(&tree), config_(config)
 {
     REF_REQUIRE(config_.hysteresis >= 0 &&
                     std::isfinite(config_.hysteresis),
@@ -60,17 +69,57 @@ EpochDriver::EpochDriver(AgentRegistry &registry, EpochConfig config)
 }
 
 EpochResult
-EpochDriver::tick()
+EpochDriver::pooledTick()
 {
     const auto start = std::chrono::steady_clock::now();
 
     EpochResult result;
     result.epoch = ++epoch_;
-    result.agentNames.reserve(registry_.size());
-    for (const auto &agent : registry_.agents())
-        result.agentNames.push_back(agent.name);
+    result.pooled = true;
+    result.liveAgents = tree_->size();
+    result.pools = tree_->poolCount();
 
-    if (registry_.empty()) {
+    if (config_.verifyIncremental)
+        result.incrementalMatchesScratch = tree_->selfCheck();
+
+    // Property checks need the dense allocation and (for EF) an
+    // O(N^2) pairwise sweep, so they only run while the population is
+    // small and the tree is unweighted — exactly the regime where the
+    // flat-REF SI/EF guarantees are the ones being promised.
+    if (config_.checkProperties && !tree_->empty() &&
+        tree_->size() <= kPooledPropertyCheckCap &&
+        tree_->allUnitGains()) {
+        const core::Allocation allocation = tree_->allocateDense();
+        const core::AgentList agents = tree_->agentList();
+        result.sharingIncentives = core::checkSharingIncentives(
+            agents, tree_->capacity(), allocation, config_.tolerance);
+        result.envyFreeness = core::checkEnvyFreeness(
+            agents, allocation, config_.tolerance);
+        result.propertiesChecked = true;
+    }
+
+    // No dense allocation, no enforcement plan: pooled epochs always
+    // "hold" and enforcement stays at pool granularity (out of scope
+    // for the dense bridge).
+    result.latency = std::chrono::steady_clock::now() - start;
+    return result;
+}
+
+EpochResult
+EpochDriver::tick()
+{
+    if (tree_ != nullptr)
+        return pooledTick();
+    const auto start = std::chrono::steady_clock::now();
+
+    EpochResult result;
+    result.epoch = ++epoch_;
+    result.agentNames.reserve(registry_->size());
+    for (const auto &agent : registry_->agents())
+        result.agentNames.push_back(agent.name);
+    result.liveAgents = result.agentNames.size();
+
+    if (registry_->empty()) {
         // Idle system: publish the empty allocation and drop any
         // stale enforcement.
         result.enforcementChanged = !enforcedNames_.empty();
@@ -82,17 +131,17 @@ EpochDriver::tick()
         return result;
     }
 
-    result.allocation = registry_.allocate();
+    result.allocation = registry_->allocate();
 
     if (config_.verifyIncremental) {
         result.incrementalMatchesScratch = bitIdentical(
-            result.allocation, registry_.allocateFromScratch());
+            result.allocation, registry_->allocateFromScratch());
     }
 
     if (config_.checkProperties) {
-        const core::AgentList agents = registry_.agentList();
+        const core::AgentList agents = registry_->agentList();
         result.sharingIncentives = core::checkSharingIncentives(
-            agents, registry_.capacity(), result.allocation,
+            agents, registry_->capacity(), result.allocation,
             config_.tolerance);
         result.envyFreeness = core::checkEnvyFreeness(
             agents, result.allocation, config_.tolerance);

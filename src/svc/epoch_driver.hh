@@ -22,9 +22,19 @@
 #include <vector>
 
 #include "core/fairness.hh"
+#include "pool/pool_tree.hh"
 #include "svc/agent_registry.hh"
 
 namespace ref::svc {
+
+/**
+ * Pooled ticks skip the SI/EF property checks above this population
+ * (the EF check is O(N^2) pairwise — exactly the full-population cost
+ * pooled mode exists to avoid) and when any pool carries a non-unit
+ * weight (weighted trees intentionally favour heavy pools, so the
+ * flat equal-split baselines no longer apply).
+ */
+inline constexpr std::size_t kPooledPropertyCheckCap = 1024;
 
 /** Epoch policy knobs. */
 struct EpochConfig
@@ -53,9 +63,18 @@ struct EpochConfig
 struct EpochResult
 {
     std::uint64_t epoch = 0;
-    /** Live agents this epoch, admission order (allocation rows). */
+    /** True for a pool-tree tick: agentNames/allocation stay empty
+     *  (no dense enumeration) and liveAgents/pools carry the scale. */
+    bool pooled = false;
+    /** Live population (equals agentNames.size() when not pooled). */
+    std::uint64_t liveAgents = 0;
+    /** Pool count including the root (pooled ticks only). */
+    std::uint64_t pools = 0;
+    /** Live agents this epoch, admission order (allocation rows).
+     *  Empty on pooled ticks. */
     std::vector<std::string> agentNames;
-    /** The epoch's allocation (empty when no agents are live). */
+    /** The epoch's allocation (empty when no agents are live and on
+     *  pooled ticks, which never build the dense matrix). */
     core::Allocation allocation;
     /** False when hysteresis kept the previous enforcement. */
     bool enforcementChanged = false;
@@ -80,6 +99,17 @@ class EpochDriver
     /** @param registry Live-agent state; must outlive the driver. */
     explicit EpochDriver(AgentRegistry &registry,
                          EpochConfig config = {});
+
+    /**
+     * Pooled mode: drive a pool tree instead of the flat registry.
+     * Ticks never build the dense allocation (shares are computed
+     * lazily per query), so the per-epoch cost is O(pools), not
+     * O(population); verifyIncremental runs the tree's three-way
+     * denominator self-check plus the dense bitwise compare, and the
+     * property checks run only for small unweighted populations (see
+     * kPooledPropertyCheckCap). @param tree must outlive the driver.
+     */
+    explicit EpochDriver(pool::PoolTree &tree, EpochConfig config = {});
 
     /** Advance one epoch and reallocate. */
     EpochResult tick();
@@ -116,7 +146,10 @@ class EpochDriver
                  std::vector<std::string> enforced_names);
 
   private:
-    AgentRegistry &registry_;
+    EpochResult pooledTick();
+
+    AgentRegistry *registry_ = nullptr;  //!< Null in pooled mode.
+    pool::PoolTree *tree_ = nullptr;     //!< Null in flat mode.
     EpochConfig config_;
     std::uint64_t epoch_ = 0;
     std::uint64_t lastEnforcedEpoch_ = 0;

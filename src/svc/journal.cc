@@ -194,6 +194,10 @@ encodeJournalRecord(const JournalRecord &record)
     switch (record.type) {
     case JournalRecord::Type::Begin:
         writer.doubles(record.elasticities);
+        // The version rides after the capacity echo so v1 readers
+        // (which required the payload to end there) see it as
+        // trailing bytes rather than silently misparsing.
+        writer.u32(record.version);
         break;
     case JournalRecord::Type::Admit:
     case JournalRecord::Type::Update:
@@ -204,6 +208,14 @@ encodeJournalRecord(const JournalRecord &record)
         writer.str(record.name);
         break;
     case JournalRecord::Type::Tick:
+        break;
+    case JournalRecord::Type::PoolCreate:
+        writer.str(record.name);
+        writer.f64(record.weight);
+        break;
+    case JournalRecord::Type::PoolAssign:
+        writer.str(record.name);
+        writer.str(record.pool);
         break;
     }
     return writer.take();
@@ -217,13 +229,16 @@ decodeJournalRecord(std::string_view payload)
     const std::uint8_t type = reader.u8();
     REF_REQUIRE(type <=
                     static_cast<std::uint8_t>(
-                        JournalRecord::Type::Tick),
+                        JournalRecord::Type::PoolAssign),
                 "journal record has unknown type " << int(type));
     record.type = static_cast<JournalRecord::Type>(type);
     record.epoch = reader.u64();
     switch (record.type) {
     case JournalRecord::Type::Begin:
         record.elasticities = reader.doubles();
+        // Legacy (v1) Begin records end right after the capacity
+        // echo; the explicit version field arrived in v2.
+        record.version = reader.atEnd() ? 1 : reader.u32();
         break;
     case JournalRecord::Type::Admit:
     case JournalRecord::Type::Update:
@@ -234,6 +249,14 @@ decodeJournalRecord(std::string_view payload)
         record.name = reader.str();
         break;
     case JournalRecord::Type::Tick:
+        break;
+    case JournalRecord::Type::PoolCreate:
+        record.name = reader.str();
+        record.weight = reader.f64();
+        break;
+    case JournalRecord::Type::PoolAssign:
+        record.name = reader.str();
+        record.pool = reader.str();
         break;
     }
     REF_REQUIRE(reader.atEnd(),
@@ -317,7 +340,18 @@ Journal::replay(std::uint64_t expectedGeneration) const
         result.truncatedBytes = bytes.size();
         return result;
     }
+    // Downgrade refusal: a newer writer may have appended record
+    // types these semantics would misapply (or skip as "corrupt
+    // tail", silently losing accepted mutations). Refuse loudly.
+    REF_REQUIRE(header.version <= kJournalFormatVersion,
+                "wal '" << walPath() << "' has format version "
+                        << header.version
+                        << ", newer than the supported version "
+                        << kJournalFormatVersion
+                        << "; refusing to replay with older "
+                           "semantics");
     result.generation = header.epoch;
+    result.formatVersion = header.version;
 
     while (true) {
         const FrameStatus status = readFrame(bytes, offset, payload);

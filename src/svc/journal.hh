@@ -97,6 +97,20 @@ struct RecoveryInfo
     std::uint64_t truncatedBytes = 0;   //!< Tail bytes discarded.
 };
 
+/**
+ * Version stamped into every Begin record this build writes.
+ * History:
+ *   1  ADMIT/UPDATE/DEPART/TICK records (implicit: v1 Begin records
+ *      carry no version field; decode infers 1 from the payload
+ *      ending right after the capacity echo).
+ *   2  adds the POOL CREATE / POOL ASSIGN record types and the
+ *      explicit version field.
+ * Old wals (v1) replay unchanged; replay refuses a wal whose Begin
+ * names a version newer than this constant, because the wal may hold
+ * record types these semantics would silently misapply.
+ */
+inline constexpr std::uint32_t kJournalFormatVersion = 2;
+
 /** One journal record. */
 struct JournalRecord
 {
@@ -106,15 +120,27 @@ struct JournalRecord
         Update = 2,
         Depart = 3,
         Tick = 4,
+        PoolCreate = 5,  //!< v2: POOL CREATE path/weight.
+        PoolAssign = 6,  //!< v2: POOL ASSIGN agent/path.
     };
 
     Type type = Type::Tick;
-    std::string name;                   //!< Admit/Update/Depart.
+    std::string name;                   //!< Admit/Update/Depart
+                                        //!< agent; PoolCreate path;
+                                        //!< PoolAssign agent.
     std::vector<double> elasticities;   //!< Admit/Update; Begin:
                                         //!< capacity echo.
     /** Admit: admission epoch. Tick: epoch number after the tick
-     *  (replay cross-check). Begin: generation. */
+     *  (replay cross-check). Begin: generation. PoolCreate: epoch
+     *  the pool was created at. */
     std::uint64_t epoch = 0;
+    /** PoolAssign: destination pool path. */
+    std::string pool;
+    /** PoolCreate: the pool's weight. */
+    double weight = 1.0;
+    /** Begin only: the wal's format version (see
+     *  kJournalFormatVersion); decode infers 1 for legacy wals. */
+    std::uint32_t version = kJournalFormatVersion;
 };
 
 /** Serialize a record to a frame payload. */
@@ -162,11 +188,16 @@ class Journal
         bool truncatedTail = false;     //!< Torn/corrupt tail cut.
         std::uint64_t truncatedBytes = 0;
         std::uint64_t generation = 0;   //!< Wal's own generation.
+        /** Format version from the Begin record (1 for legacy). */
+        std::uint32_t formatVersion = 0;
     };
 
     /**
      * Read the wal and return the records that survive framing and
-     * the generation check. Pure read — call before begin().
+     * the generation check. Pure read — call before begin(). Throws
+     * FatalError when the wal's Begin record names a format version
+     * newer than kJournalFormatVersion: a downgrade must refuse
+     * rather than misread record types it does not know.
      */
     WalReplay replay(std::uint64_t expectedGeneration) const;
 

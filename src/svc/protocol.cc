@@ -80,8 +80,10 @@ void
 printEpoch(std::ostream &out, const EpochResult &result)
 {
     out << "EPOCH " << result.epoch
-        << " agents=" << result.agentNames.size()
-        << " enforce=" << (result.enforcementChanged ? "update"
+        << " agents=" << result.liveAgents;
+    if (result.pooled)
+        out << " pools=" << result.pools;
+    out << " enforce=" << (result.enforcementChanged ? "update"
                                                      : "hold");
     if (result.propertiesChecked) {
         out << " si=" << (result.sharingIncentives.satisfied
@@ -100,6 +102,24 @@ printShares(std::ostream &out, const ServiceSnapshot &snapshot,
     out << "SHARE " << snapshot.agents[row];
     for (std::size_t r = 0; r < snapshot.allocation.resources(); ++r)
         out << " " << formatShare(snapshot.allocation.at(row, r));
+    out << "\n";
+}
+
+void
+printPool(std::ostream &out, AllocationService &service,
+          const pool::PoolView &view)
+{
+    const linalg::Vector fractions =
+        service.poolShareFractions(view.path);
+    out << "POOL " << view.path
+        << " weight=" << formatShare(view.weight)
+        << " agents=" << view.agents;
+    out << " share=";
+    for (std::size_t r = 0; r < fractions.size(); ++r) {
+        if (r > 0)
+            out << ",";
+        out << formatShare(fractions[r]);
+    }
     out << "\n";
 }
 
@@ -152,6 +172,8 @@ commandSpanName(Command::Op op)
         return "cmd.metrics";
     case Command::Op::Shutdown:
         return "cmd.shutdown";
+    case Command::Op::Pool:
+        return "cmd.pool";
     }
     return "cmd.other";
 }
@@ -219,6 +241,35 @@ parseCommand(const std::vector<std::string> &tokens)
         parsed.op = Command::Op::Metrics;
         if (tokens.size() == 2)
             parsed.metricsFormat = tokens[1];
+    } else if (command == "POOL") {
+        REF_REQUIRE(tokens.size() >= 2,
+                    "usage: POOL CREATE|ASSIGN|QUERY ...");
+        parsed.op = Command::Op::Pool;
+        const std::string &sub = tokens[1];
+        if (sub == "CREATE") {
+            REF_REQUIRE(tokens.size() == 3 || tokens.size() == 4,
+                        "usage: POOL CREATE <path> [weight]");
+            parsed.poolOp = Command::PoolOp::Create;
+            parsed.poolPath = tokens[2];
+            if (tokens.size() == 4)
+                parsed.poolWeight = parseNumber(tokens[3]);
+        } else if (sub == "ASSIGN") {
+            REF_REQUIRE(tokens.size() == 4,
+                        "usage: POOL ASSIGN <name> <path>");
+            parsed.poolOp = Command::PoolOp::Assign;
+            parsed.name = tokens[2];
+            parsed.poolPath = tokens[3];
+        } else if (sub == "QUERY") {
+            REF_REQUIRE(tokens.size() <= 3,
+                        "usage: POOL QUERY [path]");
+            parsed.poolOp = Command::PoolOp::Query;
+            if (tokens.size() == 3)
+                parsed.poolPath = tokens[2];
+        } else {
+            REF_FATAL("unknown POOL subcommand '"
+                      << sub
+                      << "' (expected CREATE, ASSIGN, or QUERY)");
+        }
     } else if (command == "SHUTDOWN") {
         REF_REQUIRE(tokens.size() == 1, "usage: SHUTDOWN");
         parsed.op = Command::Op::Shutdown;
@@ -259,6 +310,23 @@ CommandSession::flushObservability()
     if (options_.fairnessOutPath.empty())
         return;
     const obs::FairnessSeries &series = service_.fairnessSeries();
+    if (service_.pooled()) {
+        // Labelled rows interleave per-pool series, so the export is
+        // a full rewrite per flush rather than an append.
+        const std::uint64_t total =
+            series.totalAppended() + series.totalLabelledAppended();
+        if (fairness_.headerWritten &&
+            total == fairness_.rowsFlushed)
+            return;
+        std::ofstream file(options_.fairnessOutPath,
+                           std::ios::trunc);
+        if (!file)
+            return;
+        series.writeLabelledCsv(file);
+        fairness_.headerWritten = true;
+        fairness_.rowsFlushed = total;
+        return;
+    }
     const std::uint64_t total = series.totalAppended();
     if (fairness.headerWritten && total == fairness.rowsFlushed)
         return;
@@ -367,6 +435,27 @@ CommandSession::executeCommand(const Command &command,
         }
         case Command::Op::Query: {
             service.noteQuery();
+            if (service.pooled()) {
+                // Live-tree answers (see the grammar note): pooled
+                // ticks never build a dense allocation to publish.
+                if (command.hasName) {
+                    const linalg::Vector shares =
+                        service.agentShares(command.name);
+                    out << "SHARE " << command.name;
+                    for (std::size_t r = 0; r < shares.size(); ++r)
+                        out << " " << formatShare(shares[r]);
+                    out << "\n";
+                } else {
+                    const auto views = service.pools();
+                    out << "SNAPSHOT epoch="
+                        << service.snapshot()->epoch
+                        << " agents=" << service.liveAgents()
+                        << " pools=" << views.size() << "\n";
+                    for (const pool::PoolView &view : views)
+                        printPool(out, service, view);
+                }
+                break;
+            }
             const auto snapshot = service.snapshot();
             if (command.hasName) {
                 const std::size_t row =
@@ -409,8 +498,12 @@ CommandSession::executeCommand(const Command &command,
                 service.writeMetrics(out, MetricsFormat::Json);
                 out << "\n";
             }
-            else if (format == "fairness")
-                service.fairnessSeries().writeCsv(out);
+            else if (format == "fairness") {
+                if (service.pooled())
+                    service.fairnessSeries().writeLabelledCsv(out);
+                else
+                    service.fairnessSeries().writeCsv(out);
+            }
             else
                 REF_FATAL("unknown METRICS format '"
                           << format
@@ -423,6 +516,42 @@ CommandSession::executeCommand(const Command &command,
             out << "OK shutdown\n";
             result.shutdown = true;
             return LineStatus::Shutdown;
+        case Command::Op::Pool:
+            switch (command.poolOp) {
+            case Command::PoolOp::Create:
+                service.createPool(command.poolPath,
+                                   command.poolWeight);
+                out << "OK pool " << command.poolPath
+                    << " weight=" << formatShare(command.poolWeight)
+                    << " pools=" << service.poolCount() << "\n";
+                break;
+            case Command::PoolOp::Assign:
+                service.assignPool(command.name, command.poolPath);
+                out << "OK assigned " << command.name
+                    << " pool=" << command.poolPath << "\n";
+                break;
+            case Command::PoolOp::Query: {
+                service.noteQuery();
+                const auto views = service.pools();
+                if (!command.poolPath.empty()) {
+                    const pool::PoolView *match = nullptr;
+                    for (const pool::PoolView &view : views)
+                        if (view.path == command.poolPath)
+                            match = &view;
+                    REF_REQUIRE(match != nullptr,
+                                "pool '" << command.poolPath
+                                         << "' does not exist");
+                    printPool(out, service, *match);
+                    break;
+                }
+                out << "POOLS count=" << views.size()
+                    << " agents=" << service.liveAgents() << "\n";
+                for (const pool::PoolView &view : views)
+                    printPool(out, service, view);
+                break;
+            }
+            }
+            break;
         }
     } catch (const FatalError &error) {
         service.noteRejected();

@@ -19,9 +19,21 @@
  *   METRICS [prom|json|fairness] print the metrics registry in
  *                                Prometheus (default) or JSON
  *                                exposition, or the per-epoch
- *                                fairness time series as CSV
+ *                                fairness time series as CSV (a
+ *                                pooled service emits the labelled
+ *                                variant with a leading pool column)
+ *   POOL CREATE <path> [weight]  create a pool (pooled mode only;
+ *                                weight defaults to 1)
+ *   POOL ASSIGN <name> <path>    move an agent into a pool
+ *   POOL QUERY [path]            print one pool or all pools
  *   SHUTDOWN                     reply OK and end the session
  *   # ...                        comment; blank lines are ignored
+ *
+ * Pooled QUERY semantics: a pooled service never materializes dense
+ * allocations, so QUERY answers from the *live* tree (shares as of
+ * the last mutation), not the published epoch snapshot — the pooled
+ * SNAPSHOT header reports live agents/pools with per-pool rows
+ * instead of per-agent SHARE rows.
  *
  * Replies: "OK ..." / "EPOCH ..." / "SHARE ..." data lines, or
  * "ERR <reason>" — invalid input never aborts the session (the
@@ -67,6 +79,15 @@ struct Command
         Stats = 7,
         Metrics = 8,
         Shutdown = 9,
+        Pool = 10,
+    };
+
+    /** Pool sub-operation; values are wire bytes, keep them stable. */
+    enum class PoolOp : std::uint8_t
+    {
+        Create = 1,
+        Assign = 2,
+        Query = 3,
     };
 
     Op op = Op::Stats;
@@ -82,6 +103,14 @@ struct Command
     bool hasName = false;
     /** Metrics exposition format: prom, json, or fairness. */
     std::string metricsFormat = "prom";
+    /** Pool sub-operation for Op::Pool. */
+    PoolOp poolOp = PoolOp::Query;
+    /** Pool path for Create/Assign; for PoolOp::Query, empty means
+     *  "all pools" (paths are validated non-empty, so this is
+     *  unambiguous). */
+    std::string poolPath;
+    /** Pool weight for PoolOp::Create. */
+    double poolWeight = 1.0;
 };
 
 /** Protocol-session knobs. */

@@ -37,6 +37,13 @@ ServiceMetrics::ServiceMetrics()
           "ref_selfcheck_failures_total",
           "Epochs whose incremental allocation diverged from the "
           "from-scratch recompute")),
+      poolCreates_(registry_.counter("ref_pool_creates_total",
+                                     "Pools created")),
+      poolAssigns_(registry_.counter(
+          "ref_pool_assigns_total",
+          "Agent-to-pool assignments applied")),
+      pools_(registry_.gauge("ref_pools",
+                             "Live pools, the root included")),
       latencyUs_(registry_.histogram(
           "ref_epoch_latency_us",
           "Epoch compute latency in microseconds (log-2 buckets)",
@@ -129,6 +136,39 @@ ServiceMetrics::recordEpoch(const EpochResult &result)
 }
 
 void
+ServiceMetrics::setPoolGauges(
+    const std::vector<pool::PoolView> &views,
+    const std::vector<linalg::Vector> &fractions)
+{
+    pools_.set(static_cast<double>(views.size()));
+    const std::size_t limit =
+        std::min(views.size(), kMaxPoolGauges);
+    for (std::size_t i = 0; i < limit; ++i) {
+        const pool::PoolView &view = views[i];
+        const std::string label = "{pool=\"" + view.path + "\"}";
+        registry_
+            .gauge("ref_pool_agents" + label,
+                   "Live agents in the pool's subtree")
+            .set(static_cast<double>(view.agents));
+        registry_
+            .gauge("ref_pool_weight" + label,
+                   "The pool's configured weight")
+            .set(view.weight);
+        if (i >= fractions.size())
+            continue;
+        for (std::size_t r = 0; r < fractions[i].size(); ++r) {
+            registry_
+                .gauge("ref_pool_share{pool=\"" + view.path +
+                           "\",resource=\"r" + std::to_string(r) +
+                           "\"}",
+                       "Capacity fraction held by the pool's "
+                       "subtree")
+                .set(fractions[i][r]);
+        }
+    }
+}
+
+void
 ServiceMetrics::setJournal(const JournalStats &stats)
 {
     journalEnabled_.set(stats.enabled ? 1 : 0);
@@ -182,6 +222,9 @@ ServiceMetrics::snapshot() const
     data.siViolations = siViolations_.value();
     data.efViolations = efViolations_.value();
     data.selfCheckFailures = selfCheckFailures_.value();
+    data.poolCreates = poolCreates_.value();
+    data.poolAssigns = poolAssigns_.value();
+    data.pools = static_cast<std::uint64_t>(pools_.value());
 
     const obs::Histogram::Snapshot us = latencyUs_.snapshot();
     for (std::size_t b = 0;
@@ -236,7 +279,10 @@ printMetrics(std::ostream &os, const MetricsSnapshot &snapshot)
        << "hysteresis_holds=" << snapshot.hysteresisHolds << "\n"
        << "si_violations=" << snapshot.siViolations << "\n"
        << "ef_violations=" << snapshot.efViolations << "\n"
-       << "selfcheck_failures=" << snapshot.selfCheckFailures << "\n";
+       << "selfcheck_failures=" << snapshot.selfCheckFailures << "\n"
+       << "pool_creates=" << snapshot.poolCreates << "\n"
+       << "pool_assigns=" << snapshot.poolAssigns << "\n"
+       << "pools=" << snapshot.pools << "\n";
     os << "epoch_latency_us_histogram=";
     for (std::size_t b = 0; b < MetricsSnapshot::kLatencyBuckets;
          ++b) {

@@ -23,8 +23,10 @@
 #include <chrono>
 #include <cstdint>
 #include <iosfwd>
+#include <vector>
 
 #include "obs/metrics.hh"
+#include "pool/pool_tree.hh"
 #include "svc/journal.hh"
 
 namespace ref::svc {
@@ -45,6 +47,9 @@ struct MetricsSnapshot
     std::uint64_t siViolations = 0;
     std::uint64_t efViolations = 0;
     std::uint64_t selfCheckFailures = 0;
+    std::uint64_t poolCreates = 0;  //!< POOL CREATEs accepted.
+    std::uint64_t poolAssigns = 0;  //!< POOL ASSIGNs accepted.
+    std::uint64_t pools = 0;        //!< Live pools (root included).
 
     /**
      * Epoch latency histogram: bucket b counts epochs that took
@@ -91,7 +96,23 @@ class ServiceMetrics
     void recordUpdate() { updates_.add(); }
     void recordQuery() { queries_.add(); }
     void recordRejected() { rejected_.add(); }
+    void recordPoolCreate() { poolCreates_.add(); }
+    void recordPoolAssign() { poolAssigns_.add(); }
     void recordEpoch(const EpochResult &result);
+
+    /** Labelled series beyond this many pools are not exported
+     *  (counts and the first pools still are). */
+    static constexpr std::size_t kMaxPoolGauges = 256;
+
+    /**
+     * Publish per-pool gauges: ref_pool_agents/ref_pool_weight
+     * labelled {pool="<path>"} and ref_pool_share additionally
+     * labelled by resource. @p fractions parallels @p views (pool
+     * creation order). Pool paths need no label-escaping: the tree
+     * rejects '"', '\', '{', '}' and '=' at validation.
+     */
+    void setPoolGauges(const std::vector<pool::PoolView> &views,
+                       const std::vector<linalg::Vector> &fractions);
 
     /** Mirror the journal's counters into the registry (gauges,
      *  absolute values) so expositions include durability state. */
@@ -123,6 +144,9 @@ class ServiceMetrics
     obs::Counter &siViolations_;
     obs::Counter &efViolations_;
     obs::Counter &selfCheckFailures_;
+    obs::Counter &poolCreates_;
+    obs::Counter &poolAssigns_;
+    obs::Gauge &pools_;
     obs::Histogram &latencyUs_;  //!< Legacy 16-bucket STATS shape.
     obs::Histogram &latencyNs_;  //!< ns min/max/sum source of truth.
 

@@ -103,6 +103,24 @@ encodeServiceState(const ServiceState &state)
     writer.u8(state.propertiesChecked ? 1 : 0);
     putCheck(writer, state.sharingIncentives);
     putCheck(writer, state.envyFreeness);
+
+    // v2 section. Appended after everything v1 decoded (v1 readers
+    // required the payload to end above, so they fail loudly on a v2
+    // snapshot instead of misreading it); v2 readers treat an
+    // early end as a v1 payload with the section defaulted.
+    writer.u32(kSnapshotFormatVersion);
+    writer.u8(state.pooled ? 1 : 0);
+    writer.u32(static_cast<std::uint32_t>(state.pools.size()));
+    for (const auto &pool : state.pools) {
+        writer.str(pool.path);
+        writer.f64(pool.weight);
+        writer.u64(pool.createdEpoch);
+    }
+    std::vector<std::string> agentPools;
+    agentPools.reserve(state.agents.size());
+    for (const auto &agent : state.agents)
+        agentPools.push_back(agent.pool);
+    putStrings(writer, agentPools);
     return writer.take();
 }
 
@@ -136,6 +154,32 @@ decodeServiceState(std::string_view payload)
     state.propertiesChecked = reader.u8() != 0;
     state.sharingIncentives = getCheck(reader);
     state.envyFreeness = getCheck(reader);
+
+    if (reader.atEnd())
+        return state;  // v1 payload: no pooled section.
+    const std::uint32_t version = reader.u32();
+    REF_REQUIRE(version >= 2 && version <= kSnapshotFormatVersion,
+                "snapshot format version "
+                    << version << " is outside the supported range "
+                    << "[2, " << kSnapshotFormatVersion
+                    << "]; refusing to load with older semantics");
+    state.pooled = reader.u8() != 0;
+    const std::uint32_t pools = reader.u32();
+    state.pools.reserve(pools);
+    for (std::uint32_t i = 0; i < pools; ++i) {
+        PersistedPool pool;
+        pool.path = reader.str();
+        pool.weight = reader.f64();
+        pool.createdEpoch = reader.u64();
+        state.pools.push_back(std::move(pool));
+    }
+    const std::vector<std::string> agentPools = getStrings(reader);
+    REF_REQUIRE(agentPools.size() == state.agents.size(),
+                "snapshot has " << agentPools.size()
+                                << " agent pool paths for "
+                                << state.agents.size() << " agents");
+    for (std::size_t i = 0; i < agentPools.size(); ++i)
+        state.agents[i].pool = agentPools[i];
     REF_REQUIRE(reader.atEnd(),
                 "snapshot has " << reader.remaining()
                                 << " trailing bytes");

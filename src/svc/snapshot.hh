@@ -30,12 +30,30 @@
 
 namespace ref::svc {
 
+/**
+ * Snapshot payload version this build writes. v1 payloads end after
+ * the property checks; v2 appends the pooled-mode section (pooled
+ * flag, pool table, per-agent pool paths). Decode accepts v1 (the
+ * appended section simply defaults) and refuses anything newer.
+ */
+inline constexpr std::uint32_t kSnapshotFormatVersion = 2;
+
 /** One registry agent as persisted. */
 struct PersistedAgent
 {
     std::string name;
     linalg::Vector elasticities;  //!< Raw reported values.
     std::uint64_t admittedEpoch = 0;
+    /** Owning pool path; empty for non-pooled services. */
+    std::string pool;
+};
+
+/** One pool-tree node as persisted (creation order, root included). */
+struct PersistedPool
+{
+    std::string path;
+    double weight = 1.0;
+    std::uint64_t createdEpoch = 0;
 };
 
 /** Everything a snapshot must capture to resume bit-identically. */
@@ -62,6 +80,11 @@ struct ServiceState
     bool propertiesChecked = false;
     core::PropertyCheck sharingIncentives;
     core::PropertyCheck envyFreeness;
+
+    /** Pooled-mode section (v2): present when the writing service
+     *  ran a pool tree. Recovery refuses a mode mismatch. */
+    bool pooled = false;
+    std::vector<PersistedPool> pools;  //!< Creation order.
 };
 
 /** Serialize to a frame payload (no framing/magic). */

@@ -20,9 +20,24 @@ opFromByte(std::uint8_t byte)
     case Command::Op::Stats:
     case Command::Op::Metrics:
     case Command::Op::Shutdown:
+    case Command::Op::Pool:
         return static_cast<Command::Op>(byte);
     }
     REF_FATAL("unknown binary opcode "
+              << static_cast<unsigned>(byte));
+}
+
+/** Validate and narrow a decoded pool sub-op byte. */
+Command::PoolOp
+poolOpFromByte(std::uint8_t byte)
+{
+    switch (static_cast<Command::PoolOp>(byte)) {
+    case Command::PoolOp::Create:
+    case Command::PoolOp::Assign:
+    case Command::PoolOp::Query:
+        return static_cast<Command::PoolOp>(byte);
+    }
+    REF_FATAL("unknown pool sub-opcode "
               << static_cast<unsigned>(byte));
 }
 
@@ -52,6 +67,23 @@ encodeCommand(const Command &command)
         break;
     case Command::Op::Metrics:
         writer.str(command.metricsFormat);
+        break;
+    case Command::Op::Pool:
+        writer.u8(static_cast<std::uint8_t>(command.poolOp));
+        switch (command.poolOp) {
+        case Command::PoolOp::Create:
+            writer.str(command.poolPath);
+            writer.f64(command.poolWeight);
+            break;
+        case Command::PoolOp::Assign:
+            writer.str(command.name);
+            writer.str(command.poolPath);
+            break;
+        case Command::PoolOp::Query:
+            // Empty path means "all pools", as in the text grammar.
+            writer.str(command.poolPath);
+            break;
+        }
         break;
     case Command::Op::Plan:
     case Command::Op::Stats:
@@ -85,6 +117,22 @@ decodeCommand(std::string_view payload)
         break;
     case Command::Op::Metrics:
         command.metricsFormat = reader.str();
+        break;
+    case Command::Op::Pool:
+        command.poolOp = poolOpFromByte(reader.u8());
+        switch (command.poolOp) {
+        case Command::PoolOp::Create:
+            command.poolPath = reader.str();
+            command.poolWeight = reader.f64();
+            break;
+        case Command::PoolOp::Assign:
+            command.name = reader.str();
+            command.poolPath = reader.str();
+            break;
+        case Command::PoolOp::Query:
+            command.poolPath = reader.str();
+            break;
+        }
         break;
     case Command::Op::Plan:
     case Command::Op::Stats:

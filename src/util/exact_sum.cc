@@ -32,6 +32,16 @@ ExactSum::add(double value)
         partials_.push_back(value);
 }
 
+void
+ExactSum::merge(const ExactSum &other)
+{
+    // Copy first: merging a sum into itself must still double it.
+    const std::vector<double> partials = other.partials_;
+    for (double partial : partials)
+        if (partial != 0.0)
+            add(partial);
+}
+
 double
 ExactSum::round() const
 {

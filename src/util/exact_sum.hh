@@ -48,11 +48,26 @@ class ExactSum
      */
     double round() const;
 
+    /**
+     * Fold @p other into this sum, exactly. Each of the other sum's
+     * partials is itself a double whose real values add up to the
+     * other sum's exact total, so adding them one by one keeps this
+     * sum's invariant: afterwards round() equals the correctly
+     * rounded sum of BOTH multisets of added values. This is what
+     * makes sharded sub-sums composable — merging per-shard (or
+     * per-pool-subtree) ExactSums yields bit-identical results to a
+     * single flat sum over all values, in any merge order.
+     */
+    void merge(const ExactSum &other);
+
     /** Reset to an empty (zero) sum. */
     void clear() { partials_.clear(); }
 
     /** Number of non-overlapping partials currently held. */
     std::size_t partials() const { return partials_.size(); }
+
+    /** The non-overlapping partials (increasing magnitude). */
+    const std::vector<double> &partialValues() const { return partials_; }
 
   private:
     /** Non-overlapping partials in increasing magnitude order. */

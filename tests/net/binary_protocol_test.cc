@@ -62,6 +62,24 @@ toLine(const Command &command)
     case Command::Op::Metrics:
         line << "METRICS " << command.metricsFormat;
         break;
+    case Command::Op::Pool:
+        line << "POOL ";
+        switch (command.poolOp) {
+        case Command::PoolOp::Create:
+            line << "CREATE " << command.poolPath << " "
+                 << command.poolWeight;
+            break;
+        case Command::PoolOp::Assign:
+            line << "ASSIGN " << command.name << " "
+                 << command.poolPath;
+            break;
+        case Command::PoolOp::Query:
+            line << "QUERY";
+            if (!command.poolPath.empty())
+                line << " " << command.poolPath;
+            break;
+        }
+        break;
     }
     line << "\n";
     return line.str();
@@ -140,12 +158,77 @@ makeScript(std::uint64_t seed, std::size_t ops)
     return script;
 }
 
+/**
+ * A pooled variant: the flat mix plus POOL CREATE / ASSIGN / QUERY
+ * traffic, ghost assigns and weight conflicts included, so the
+ * transcript-equality property covers the whole pool grammar.
+ */
+std::vector<Command>
+makePooledScript(std::uint64_t seed, std::size_t ops)
+{
+    std::mt19937_64 rng(seed);
+    std::vector<Command> base = makeScript(seed, ops);
+    std::vector<Command> script;
+    std::size_t pools = 0;
+    for (Command &command : base) {
+        if (rng() % 4 == 0) {
+            Command pool;
+            pool.op = Command::Op::Pool;
+            switch (rng() % 3) {
+            case 0:
+                pool.poolOp = Command::PoolOp::Create;
+                if (pools > 0 && rng() % 4 == 0) {
+                    // Re-create with a conflicting weight: ERR path.
+                    pool.poolPath = "p0";
+                    pool.poolWeight = 7.0;
+                } else {
+                    pool.poolPath =
+                        "p" + std::to_string(pools++);
+                    pool.poolWeight = 1.0;
+                }
+                break;
+            case 1:
+                pool.poolOp = Command::PoolOp::Assign;
+                // The agent may be live, departed, or never admitted;
+                // ghost pools too. All four outcomes must match.
+                pool.name = "a" + std::to_string(rng() % (ops / 2));
+                pool.poolPath =
+                    pools > 0 && rng() % 3 != 0
+                        ? "p" + std::to_string(rng() % pools)
+                        : "ghost";
+                break;
+            default:
+                pool.poolOp = Command::PoolOp::Query;
+                if (pools > 0 && rng() % 2 == 0)
+                    pool.poolPath =
+                        "p" + std::to_string(rng() % pools);
+                break;
+            }
+            script.push_back(std::move(pool));
+        }
+        if (command.op == Command::Op::Plan)
+            command.op = Command::Op::Query;  // No pooled PLAN.
+        script.push_back(std::move(command));
+    }
+    return script;
+}
+
+svc::ServiceConfig
+pooledConfig()
+{
+    svc::ServiceConfig config;
+    config.pooled = true;
+    config.buildEnforcement = false;
+    return config;
+}
+
 /** Run the script over a text connection; the full reply transcript
  *  (server closes after SHUTDOWN). */
 std::string
-runText(const std::vector<Command> &script)
+runText(const std::vector<Command> &script,
+        svc::ServiceConfig config = {})
 {
-    ServerHarness harness;
+    ServerHarness harness(config);
     TestClient client(harness.port());
     std::string lines;
     for (const Command &command : script)
@@ -161,9 +244,10 @@ runText(const std::vector<Command> &script)
  *  every reply frame's text. */
 std::string
 runBinary(const std::vector<Command> &script,
-          std::vector<wire::ReplyStatus> *statuses = nullptr)
+          std::vector<wire::ReplyStatus> *statuses = nullptr,
+          svc::ServiceConfig config = {})
 {
-    ServerHarness harness;
+    ServerHarness harness(config);
     TestClient client(harness.port());
     EXPECT_TRUE(client.negotiateBinary());
     for (const Command &command : script)
@@ -274,6 +358,20 @@ TEST(BinaryProtocol, SeededTranscriptsAreBitIdenticalAcrossFramings)
             ++errs;
     EXPECT_GT(errs, 0u);
     EXPECT_EQ(errs, countPrefixed(text, "ERR"));
+}
+
+TEST(BinaryProtocol, PooledSeededTranscriptsMatchAcrossFramings)
+{
+    const std::vector<Command> script = makePooledScript(77, 120);
+    std::vector<wire::ReplyStatus> statuses;
+    const std::string text = runText(script, pooledConfig());
+    const std::string binary =
+        runBinary(script, &statuses, pooledConfig());
+    ASSERT_EQ(text, binary);
+    // The pool grammar was actually exercised, happy and ERR paths.
+    EXPECT_NE(text.find("OK pool "), std::string::npos);
+    EXPECT_NE(text.find("POOLS count="), std::string::npos);
+    EXPECT_GT(countPrefixed(text, "ERR"), 0u);
 }
 
 TEST(BinaryProtocol, MixedClientsShareOneService)

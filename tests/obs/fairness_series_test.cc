@@ -109,4 +109,83 @@ TEST(FairnessSeries, JsonArrayShape)
     EXPECT_NE(json.find("\"si_margin\":1.25"), std::string::npos);
 }
 
+TEST(FairnessSeries, LabelledRingsAreIndependentAndSorted)
+{
+    FairnessSeries series(4);
+    series.appendLabelled("p1", sampleAt(1));
+    series.appendLabelled("p0", sampleAt(1));
+    series.appendLabelled("p0", sampleAt(2));
+    series.appendLabelled("/", sampleAt(2));
+
+    // Labelled appends never touch the main ring.
+    EXPECT_EQ(series.size(), 0u);
+    EXPECT_EQ(series.totalAppended(), 0u);
+    EXPECT_EQ(series.totalLabelledAppended(), 4u);
+    EXPECT_EQ(series.droppedLabelled(), 0u);
+
+    EXPECT_EQ(series.labels(),
+              (std::vector<std::string>{"/", "p0", "p1"}));
+    const auto p0 = series.labelledSamples("p0");
+    ASSERT_EQ(p0.size(), 2u);
+    EXPECT_EQ(p0[0].epoch, 1u);
+    EXPECT_EQ(p0[1].epoch, 2u);
+    ASSERT_EQ(series.labelledSamples("p1").size(), 1u);
+    EXPECT_TRUE(series.labelledSamples("ghost").empty());
+}
+
+TEST(FairnessSeries, LabelledRingsShareTheBoundedCapacity)
+{
+    FairnessSeries series(3);
+    for (std::uint64_t e = 1; e <= 9; ++e)
+        series.appendLabelled("p", sampleAt(e));
+    const auto samples = series.labelledSamples("p");
+    ASSERT_EQ(samples.size(), 3u);
+    EXPECT_EQ(samples.front().epoch, 7u);
+    EXPECT_EQ(samples.back().epoch, 9u);
+    EXPECT_EQ(series.totalLabelledAppended(), 9u);
+}
+
+TEST(FairnessSeries, LabelCapDropsNewLabelsButNotOldOnes)
+{
+    FairnessSeries series(2);
+    for (std::size_t i = 0; i < FairnessSeries::kMaxLabels + 6; ++i)
+        series.appendLabelled("p" + std::to_string(i), sampleAt(1));
+
+    EXPECT_EQ(series.labels().size(), FairnessSeries::kMaxLabels);
+    EXPECT_EQ(series.droppedLabelled(), 6u);
+    // Labels admitted before the cap keep accepting appends...
+    series.appendLabelled("p0", sampleAt(2));
+    EXPECT_EQ(series.labelledSamples("p0").size(), 2u);
+    // ...while appends past the cap stay dropped.
+    const std::string over =
+        "p" + std::to_string(FairnessSeries::kMaxLabels);
+    series.appendLabelled(over, sampleAt(2));
+    EXPECT_TRUE(series.labelledSamples(over).empty());
+    EXPECT_EQ(series.droppedLabelled(), 7u);
+}
+
+TEST(FairnessSeries, LabelledCsvPutsTotalFirstThenSortedLabels)
+{
+    FairnessSeries series(4);
+    series.append(sampleAt(1));
+    series.appendLabelled("p0", sampleAt(2));
+    series.appendLabelled("/", sampleAt(2));
+
+    std::ostringstream out;
+    series.writeLabelledCsv(out);
+    const std::string csv = out.str();
+    EXPECT_EQ(csv.find("pool,epoch,agents,checked,si_margin,"
+                       "ef_margin,l1_drift,enforced,max_rel_change,"
+                       "latency_ns\n"),
+              0u);
+    const std::size_t total = csv.find("\n_total,1,");
+    const std::size_t root = csv.find("\n/,2,");
+    const std::size_t p0 = csv.find("\np0,2,");
+    ASSERT_NE(total, std::string::npos) << csv;
+    ASSERT_NE(root, std::string::npos) << csv;
+    ASSERT_NE(p0, std::string::npos) << csv;
+    EXPECT_LT(total, root);
+    EXPECT_LT(root, p0);
+}
+
 } // namespace

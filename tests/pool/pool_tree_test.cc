@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Pool-tree unit and property tests.
+ *
+ * The load-bearing claim: with all-unit weights, a pool tree under
+ * arbitrary churn (admits, updates, departs, re-assigns, pool
+ * creates, any shard count) allocates BIT-IDENTICALLY to the flat
+ * REF closed form over the same agents — checked against
+ * ProportionalElasticityMechanism directly and through the tree's
+ * own three-way ExactSum self-check.
+ */
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/proportional_elasticity.hh"
+#include "pool/pool_tree.hh"
+#include "util/logging.hh"
+
+namespace {
+
+using namespace ref;
+using pool::PoolTree;
+
+core::SystemCapacity
+capacity()
+{
+    return core::SystemCapacity::fromCapacities({24.0, 12.0});
+}
+
+/** Bitwise equality of two allocations, cell by cell. */
+void
+expectBitwiseEqual(const core::Allocation &a,
+                   const core::Allocation &b)
+{
+    ASSERT_EQ(a.agents(), b.agents());
+    ASSERT_EQ(a.resources(), b.resources());
+    for (std::size_t i = 0; i < a.agents(); ++i)
+        for (std::size_t r = 0; r < a.resources(); ++r)
+            EXPECT_EQ(a.at(i, r), b.at(i, r))
+                << "agent " << i << " resource " << r;
+}
+
+TEST(PoolTree, RootExistsAndNestedCreationNeedsParents)
+{
+    PoolTree tree(capacity());
+    EXPECT_TRUE(tree.hasPool(pool::kRootPath));
+    EXPECT_EQ(tree.poolCount(), 1u);
+
+    tree.createPool("a", 1.0);
+    tree.createPool("a/b", 1.0, /*epoch=*/3);
+    EXPECT_TRUE(tree.hasPool("a/b"));
+    EXPECT_EQ(tree.poolCount(), 3u);
+    EXPECT_EQ(tree.maxDepth(), 2u);
+
+    // Idempotent re-create with the identical weight...
+    tree.createPool("a", 1.0);
+    EXPECT_EQ(tree.poolCount(), 3u);
+    // ...but a differing weight is a configuration conflict.
+    EXPECT_THROW(tree.createPool("a", 2.0), FatalError);
+    // The parent must exist first.
+    EXPECT_THROW(tree.createPool("ghost/child", 1.0), FatalError);
+
+    const auto views = tree.pools();
+    ASSERT_EQ(views.size(), 3u);
+    EXPECT_EQ(views[0].path, pool::kRootPath);
+    EXPECT_EQ(views[2].path, "a/b");
+    EXPECT_EQ(views[2].createdEpoch, 3u);
+}
+
+TEST(PoolTree, PathValidationRejectsMalformedAndReservedNames)
+{
+    PoolTree tree(capacity());
+    for (const std::string bad :
+         {"", "/a", "a/", "a//b", "has space", "com,ma", "qu\"ote",
+          "back\\slash", "br{ace", "br}ace", "eq=ual", "_total"})
+        EXPECT_THROW(tree.createPool(bad, 1.0), FatalError) << bad;
+
+    // "/" is the ever-present root: re-creating it with its weight
+    // is the usual idempotent no-op, any other weight conflicts.
+    tree.createPool(pool::kRootPath, 1.0);
+    EXPECT_THROW(tree.createPool(pool::kRootPath, 2.0), FatalError);
+
+    EXPECT_THROW(tree.createPool("w", 0.0), FatalError);
+    EXPECT_THROW(tree.createPool("w", -1.0), FatalError);
+    EXPECT_THROW(tree.createPool("w", 1.0 / 0.0), FatalError);
+
+    // Depth cap: a chain one past kMaxPoolDepth must throw.
+    std::string path = "d";
+    for (std::size_t depth = 1; depth <= pool::kMaxPoolDepth;
+         ++depth) {
+        tree.createPool(path, 1.0);
+        path += "/d";
+    }
+    EXPECT_THROW(tree.createPool(path, 1.0), FatalError);
+
+    // Length cap.
+    EXPECT_THROW(
+        tree.createPool(std::string(pool::kMaxPoolPathLength + 1,
+                                    'x'),
+                        1.0),
+        FatalError);
+}
+
+TEST(PoolTree, AgentErrorPathsMatchFlatSemantics)
+{
+    PoolTree tree(capacity());
+    tree.createPool("p", 1.0);
+    tree.admit("a", {0.6, 0.4}, "p");
+    EXPECT_THROW(tree.admit("a", {0.5, 0.5}), FatalError);
+    EXPECT_THROW(tree.admit("b", {0.5, 0.5}, "ghost"), FatalError);
+    EXPECT_THROW(tree.update("ghost", {0.5, 0.5}), FatalError);
+    EXPECT_THROW(tree.depart("ghost"), FatalError);
+    EXPECT_THROW(tree.assign("ghost", "p"), FatalError);
+    EXPECT_THROW(tree.assign("a", "ghost"), FatalError);
+    EXPECT_THROW(tree.poolOf("ghost"), FatalError);
+    EXPECT_EQ(tree.poolOf("a"), "p");
+    EXPECT_EQ(tree.size(), 1u);
+}
+
+/** Seeded churn over a small pool forest, self-checking as it goes
+ *  and ending on the bitwise flat-equality compare. */
+void
+churnAndVerify(std::size_t shards, std::uint32_t seed)
+{
+    PoolTree tree(capacity(), shards);
+    tree.createPool("p0", 1.0);
+    tree.createPool("p1", 1.0);
+    tree.createPool("p1/nested", 1.0);
+
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> elasticity(0.05, 1.0);
+    const std::vector<std::string> poolPaths = {
+        pool::kRootPath, "p0", "p1", "p1/nested"};
+    std::vector<std::string> live;
+    int nextId = 0;
+    for (int op = 0; op < 300; ++op) {
+        const std::uint32_t roll = rng() % 10;
+        if (roll < 4 || live.empty()) {
+            const std::string name =
+                "agent" + std::to_string(nextId++);
+            tree.admit(name, {elasticity(rng), elasticity(rng)},
+                       poolPaths[rng() % poolPaths.size()]);
+            live.push_back(name);
+        } else if (roll < 6) {
+            tree.update(live[rng() % live.size()],
+                        {elasticity(rng), elasticity(rng)});
+        } else if (roll < 8) {
+            tree.assign(live[rng() % live.size()],
+                        poolPaths[rng() % poolPaths.size()]);
+        } else if (live.size() > 1) {
+            const std::size_t victim = rng() % live.size();
+            tree.depart(live[victim]);
+            live.erase(live.begin() +
+                       static_cast<std::ptrdiff_t>(victim));
+        }
+        if (op % 37 == 0) {
+            ASSERT_TRUE(tree.selfCheck()) << "op " << op;
+        }
+    }
+    ASSERT_TRUE(tree.selfCheck());
+    ASSERT_TRUE(tree.allUnitGains());
+
+    // The pooled dense allocation equals the flat closed form over
+    // the same agents, bit for bit.
+    std::vector<std::string> names;
+    const core::Allocation pooled = tree.allocateDense(&names);
+    const core::Allocation flat =
+        core::ProportionalElasticityMechanism().allocate(
+            tree.agentList(), tree.capacity());
+    expectBitwiseEqual(pooled, flat);
+
+    // And every lazily computed per-agent share is the dense row.
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const linalg::Vector shares = tree.sharesOf(names[i]);
+        for (std::size_t r = 0; r < shares.size(); ++r)
+            EXPECT_EQ(shares[r], pooled.at(i, r)) << names[i];
+    }
+}
+
+TEST(PoolTree, ChurnIsBitIdenticalToFlatSolve)
+{
+    churnAndVerify(/*shards=*/8, /*seed=*/11);
+}
+
+TEST(PoolTree, ShardCountNeverChangesTheAllocation)
+{
+    // The same churn stream through 1, 3 and 8 shards: ExactSum
+    // shard-merge makes the shard layout unobservable.
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{3},
+                                     std::size_t{8}})
+        churnAndVerify(shards, /*seed=*/23);
+}
+
+TEST(PoolTree, DenseOrderIsAdmissionOrderAcrossReadmission)
+{
+    PoolTree tree(capacity(), 4);
+    tree.admit("c", {0.5, 0.5});
+    tree.admit("b", {0.6, 0.4});
+    tree.admit("a", {0.7, 0.3});
+    std::vector<std::string> names;
+    tree.allocateDense(&names);
+    EXPECT_EQ(names, (std::vector<std::string>{"c", "b", "a"}));
+
+    tree.depart("b");
+    tree.admit("b", {0.6, 0.4});
+    tree.allocateDense(&names);
+    EXPECT_EQ(names, (std::vector<std::string>{"c", "a", "b"}));
+}
+
+TEST(PoolTree, WeightedPoolsScaleSharesByGain)
+{
+    PoolTree tree(capacity());
+    tree.createPool("hi", 2.0);
+    tree.createPool("lo", 1.0);
+    tree.admit("rich", {0.5, 0.5}, "hi");
+    tree.admit("poor", {0.5, 0.5}, "lo");
+    EXPECT_FALSE(tree.allUnitGains());
+    ASSERT_TRUE(tree.selfCheck());
+
+    const linalg::Vector rich = tree.sharesOf("rich");
+    const linalg::Vector poor = tree.sharesOf("poor");
+    for (std::size_t r = 0; r < rich.size(); ++r) {
+        EXPECT_NEAR(rich[r] / poor[r], 2.0, 1e-12);
+    }
+
+    // Subtree fractions: hi gets 2/3 of each resource, lo 1/3, and
+    // the root holds everything exactly.
+    const linalg::Vector hi = tree.poolShareFractions("hi");
+    const linalg::Vector lo = tree.poolShareFractions("lo");
+    const linalg::Vector root =
+        tree.poolShareFractions(pool::kRootPath);
+    for (std::size_t r = 0; r < hi.size(); ++r) {
+        EXPECT_NEAR(hi[r], 2.0 / 3.0, 1e-12);
+        EXPECT_NEAR(lo[r], 1.0 / 3.0, 1e-12);
+        EXPECT_EQ(root[r], 1.0);
+    }
+}
+
+TEST(PoolTree, PoolViewsTrackSubtreeAndDirectCounts)
+{
+    PoolTree tree(capacity());
+    tree.createPool("a", 1.0);
+    tree.createPool("a/b", 1.0);
+    tree.admit("x", {0.5, 0.5}, "a");
+    tree.admit("y", {0.5, 0.5}, "a/b");
+    tree.admit("z", {0.5, 0.5});
+
+    const auto views = tree.pools();
+    ASSERT_EQ(views.size(), 3u);
+    EXPECT_EQ(views[0].agents, 3u);       // Root subtree: everyone.
+    EXPECT_EQ(views[0].directAgents, 1u); // z only.
+    EXPECT_EQ(views[1].agents, 2u);       // a's subtree: x and y.
+    EXPECT_EQ(views[1].directAgents, 1u);
+    EXPECT_EQ(views[2].agents, 1u);
+    EXPECT_EQ(views[2].directAgents, 1u);
+
+    tree.assign("y", pool::kRootPath);
+    const auto moved = tree.pools();
+    EXPECT_EQ(moved[1].agents, 1u);
+    EXPECT_EQ(moved[2].agents, 0u);
+    EXPECT_EQ(moved[0].directAgents, 2u);
+    ASSERT_TRUE(tree.selfCheck());
+}
+
+} // namespace

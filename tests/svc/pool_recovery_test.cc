@@ -1,0 +1,396 @@
+/**
+ * @file
+ * Durability of the pool tree: seeded crash-at-op recovery over POOL
+ * mutations, journal format versioning (v1 replay, downgrade
+ * refusal), pooled snapshot round-trips, and the pooled/flat mode
+ * mismatch guard.
+ */
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "pool/pool_tree.hh"
+#include "svc/failpoints.hh"
+#include "svc/journal.hh"
+#include "svc/protocol.hh"
+#include "util/logging.hh"
+#include "util/record_io.hh"
+
+namespace {
+
+using namespace ref;
+using svc::AllocationService;
+using svc::CrashInjected;
+using svc::FailAction;
+using svc::Failpoints;
+using svc::FailpointSpec;
+using svc::JournalRecord;
+using svc::RecoveryOutcome;
+using svc::ServiceConfig;
+
+class PoolRecoveryTest : public testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        dir_ = testing::TempDir() + "ref_pool_recovery_test_" +
+               testing::UnitTest::GetInstance()
+                   ->current_test_info()
+                   ->name();
+        std::filesystem::remove_all(dir_);
+        Failpoints::instance().clearAll();
+    }
+
+    void TearDown() override
+    {
+        Failpoints::instance().clearAll();
+        std::filesystem::remove_all(dir_);
+    }
+
+    ServiceConfig pooled(bool journaled = true,
+                         std::uint64_t snapshotEvery = 0) const
+    {
+        ServiceConfig config;
+        config.pooled = true;
+        config.buildEnforcement = false;
+        config.epoch.verifyIncremental = true;
+        if (journaled) {
+            config.journal.directory = dir_;
+            config.journal.snapshotEvery = snapshotEvery;
+        }
+        return config;
+    }
+
+    ServiceConfig flat(bool journaled = true) const
+    {
+        ServiceConfig config;
+        config.epoch.verifyIncremental = true;
+        if (journaled)
+            config.journal.directory = dir_;
+        return config;
+    }
+
+    std::string walPath() const { return dir_ + "/wal.ref"; }
+
+    std::string readWal() const
+    {
+        std::ifstream file(walPath(), std::ios::binary);
+        std::stringstream buffer;
+        buffer << file.rdbuf();
+        return buffer.str();
+    }
+
+    void writeWal(const std::string &bytes) const
+    {
+        std::ofstream file(walPath(),
+                           std::ios::binary | std::ios::trunc);
+        file << bytes;
+    }
+
+    /** Re-frame the wal with its Begin record transformed. */
+    void rewriteBegin(
+        const std::function<std::string(std::string_view)> &transform)
+        const
+    {
+        const std::string whole = readWal();
+        std::string rebuilt;
+        std::size_t at = 0;
+        bool first = true;
+        for (;;) {
+            std::string_view payload;
+            if (readFrame(whole, at, payload) != FrameStatus::Ok)
+                break;
+            rebuilt += frameRecord(first ? transform(payload)
+                                         : std::string(payload));
+            first = false;
+        }
+        writeWal(rebuilt);
+    }
+
+    std::string dir_;
+};
+
+/**
+ * Deterministic pooled op stream. Every op journals exactly one
+ * record (pool creates never repeat a path), so crash-at-op k tears
+ * the k-th wal append exactly as the flat property test does.
+ */
+struct PoolOp
+{
+    enum class Kind { Admit, Update, Depart, Assign, Create, Tick };
+    Kind kind;
+    std::string name;
+    std::string pool;
+    linalg::Vector elasticities;
+    double weight = 1.0;
+};
+
+std::vector<PoolOp>
+generateOps(std::uint32_t seed, std::size_t count)
+{
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> elasticity(0.05, 1.0);
+    std::vector<std::string> live;
+    std::vector<std::string> pools = {pool::kRootPath};
+    std::vector<PoolOp> ops;
+    int nextAgent = 0;
+    int nextPool = 0;
+    while (ops.size() < count) {
+        const std::uint32_t roll = rng() % 12;
+        PoolOp op;
+        if (roll < 2 && nextPool < 6) {
+            op.kind = PoolOp::Kind::Create;
+            op.name = "q" + std::to_string(nextPool++);
+            op.weight = 1.0;
+            pools.push_back(op.name);
+        } else if (roll < 5 || live.empty()) {
+            op.kind = PoolOp::Kind::Admit;
+            op.name = "agent" + std::to_string(nextAgent++);
+            op.elasticities = {elasticity(rng), elasticity(rng)};
+            live.push_back(op.name);
+        } else if (roll < 7) {
+            op.kind = PoolOp::Kind::Update;
+            op.name = live[rng() % live.size()];
+            op.elasticities = {elasticity(rng), elasticity(rng)};
+        } else if (roll < 9) {
+            op.kind = PoolOp::Kind::Assign;
+            op.name = live[rng() % live.size()];
+            op.pool = pools[rng() % pools.size()];
+        } else if (roll < 10 && live.size() > 1) {
+            const std::size_t victim = rng() % live.size();
+            op.kind = PoolOp::Kind::Depart;
+            op.name = live[victim];
+            live.erase(live.begin() +
+                       static_cast<std::ptrdiff_t>(victim));
+        } else {
+            op.kind = PoolOp::Kind::Tick;
+        }
+        ops.push_back(std::move(op));
+    }
+    return ops;
+}
+
+void
+applyOp(AllocationService &service, const PoolOp &op)
+{
+    switch (op.kind) {
+    case PoolOp::Kind::Admit:
+        service.admit(op.name, op.elasticities);
+        break;
+    case PoolOp::Kind::Update:
+        service.update(op.name, op.elasticities);
+        break;
+    case PoolOp::Kind::Depart:
+        service.depart(op.name);
+        break;
+    case PoolOp::Kind::Assign:
+        service.assignPool(op.name, op.pool);
+        break;
+    case PoolOp::Kind::Create:
+        service.createPool(op.name, op.weight);
+        break;
+    case PoolOp::Kind::Tick:
+        service.tick();
+        break;
+    }
+}
+
+/** Pooled observation transcript (no PLAN: enforcement is off). */
+std::string
+observe(AllocationService &service)
+{
+    std::istringstream in("TICK\nQUERY\nPOOL QUERY\n");
+    std::ostringstream out;
+    const auto result = svc::runSession(service, in, out);
+    EXPECT_EQ(result.errors, 0u);
+    EXPECT_EQ(result.epochFailures, 0u);
+    return out.str();
+}
+
+/** The recovered pooled service matches the reference everywhere it
+ *  can be observed: population, tree shape, live shares bit for bit,
+ *  and the full protocol transcript. */
+void
+expectBitIdentical(AllocationService &recovered,
+                   AllocationService &reference)
+{
+    EXPECT_EQ(recovered.liveAgents(), reference.liveAgents());
+    EXPECT_EQ(recovered.poolCount(), reference.poolCount());
+    EXPECT_EQ(recovered.snapshot()->epoch,
+              reference.snapshot()->epoch);
+    const auto got = recovered.pools();
+    const auto want = reference.pools();
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(got[i].path, want[i].path);
+        EXPECT_EQ(got[i].weight, want[i].weight) << want[i].path;
+        EXPECT_EQ(got[i].agents, want[i].agents) << want[i].path;
+        EXPECT_EQ(got[i].directAgents, want[i].directAgents)
+            << want[i].path;
+    }
+    EXPECT_EQ(observe(recovered), observe(reference));
+}
+
+class PooledCrashRecoveryProperty
+    : public PoolRecoveryTest,
+      public testing::WithParamInterface<std::tuple<int, int>>
+{};
+
+TEST_P(PooledCrashRecoveryProperty, RecoversJournaledPrefixExactly)
+{
+    const auto [seed, crashAtOp] = GetParam();
+    const auto ops = generateOps(static_cast<std::uint32_t>(seed),
+                                 /*count=*/50);
+    ASSERT_LT(static_cast<std::size_t>(crashAtOp), ops.size());
+
+    AllocationService service(pooled());
+    FailpointSpec crash;
+    crash.action = FailAction::Crash;
+    crash.skip = static_cast<std::uint64_t>(crashAtOp);
+    Failpoints::instance().arm("journal.write", crash);
+
+    std::size_t applied = 0;
+    try {
+        for (const auto &op : ops) {
+            applyOp(service, op);
+            ++applied;
+        }
+        FAIL() << "crash failpoint never fired";
+    } catch (const CrashInjected &) {
+        EXPECT_EQ(applied, static_cast<std::size_t>(crashAtOp));
+    }
+    Failpoints::instance().clearAll();
+
+    AllocationService recovered(pooled());
+    EXPECT_TRUE(recovered.recovery().outcome ==
+                    RecoveryOutcome::TruncatedTail ||
+                recovered.recovery().outcome ==
+                    RecoveryOutcome::Clean)
+        << svc::toString(recovered.recovery().outcome);
+    EXPECT_EQ(recovered.recovery().replayedRecords,
+              static_cast<std::uint64_t>(crashAtOp));
+
+    AllocationService reference(pooled(/*journaled=*/false));
+    std::vector<std::string> live;
+    for (int i = 0; i < crashAtOp; ++i) {
+        const PoolOp &op = ops[static_cast<std::size_t>(i)];
+        applyOp(reference, op);
+        if (op.kind == PoolOp::Kind::Admit)
+            live.push_back(op.name);
+        else if (op.kind == PoolOp::Kind::Depart)
+            live.erase(std::find(live.begin(), live.end(), op.name));
+    }
+    expectBitIdentical(recovered, reference);
+    // Live shares are the real payload: compare them bitwise.
+    for (const std::string &name : live) {
+        const linalg::Vector a = recovered.agentShares(name);
+        const linalg::Vector b = reference.agentShares(name);
+        ASSERT_EQ(a.size(), b.size());
+        for (std::size_t r = 0; r < a.size(); ++r)
+            EXPECT_EQ(a[r], b[r]) << name;
+        EXPECT_EQ(recovered.agentPool(name),
+                  reference.agentPool(name));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeededCrashes, PooledCrashRecoveryProperty,
+    testing::Combine(testing::Values(1, 2, 3),
+                     testing::Values(0, 5, 21, 49)));
+
+TEST_F(PoolRecoveryTest, PooledSnapshotRoundTripThroughCompaction)
+{
+    const auto ops = generateOps(9, 60);
+    {
+        AllocationService service(pooled(/*journaled=*/true,
+                                         /*snapshotEvery=*/7));
+        for (const auto &op : ops)
+            applyOp(service, op);
+        service.syncJournal();
+    }
+    AllocationService recovered(pooled(/*journaled=*/true,
+                                       /*snapshotEvery=*/7));
+    EXPECT_TRUE(recovered.recovery().snapshotLoaded);
+
+    AllocationService reference(pooled(/*journaled=*/false));
+    for (const auto &op : ops)
+        applyOp(reference, op);
+    expectBitIdentical(recovered, reference);
+}
+
+TEST_F(PoolRecoveryTest, LegacyV1WalReplaysUnchanged)
+{
+    {
+        AllocationService service(flat());
+        service.admit("a", {0.6, 0.4});
+        service.admit("b", {0.2, 0.8});
+        service.tick();
+        service.syncJournal();
+    }
+    // Rewrite the Begin record as a v1 wal: the version field is the
+    // trailing u32, and v1 Begins simply end after the capacity echo.
+    rewriteBegin([](std::string_view payload) {
+        return std::string(payload.substr(0, payload.size() - 4));
+    });
+
+    AllocationService recovered(flat());
+    EXPECT_EQ(recovered.recovery().outcome, RecoveryOutcome::Clean);
+    EXPECT_EQ(recovered.recovery().replayedRecords, 3u);
+
+    AllocationService reference(flat(/*journaled=*/false));
+    reference.admit("a", {0.6, 0.4});
+    reference.admit("b", {0.2, 0.8});
+    reference.tick();
+    EXPECT_EQ(recovered.liveAgents(), reference.liveAgents());
+    EXPECT_EQ(recovered.snapshot()->epoch,
+              reference.snapshot()->epoch);
+}
+
+TEST_F(PoolRecoveryTest, NewerWalVersionIsRefused)
+{
+    {
+        AllocationService service(flat());
+        service.admit("a", {0.6, 0.4});
+        service.syncJournal();
+    }
+    // A wal from a build two versions ahead: replay must refuse — it
+    // could hold record types these semantics would misapply.
+    rewriteBegin([](std::string_view payload) {
+        JournalRecord begin = svc::decodeJournalRecord(payload);
+        begin.version = svc::kJournalFormatVersion + 1;
+        return svc::encodeJournalRecord(begin);
+    });
+    EXPECT_THROW(AllocationService service(flat()), FatalError);
+}
+
+TEST_F(PoolRecoveryTest, PooledWalIntoFlatServiceIsRefused)
+{
+    {
+        AllocationService service(pooled());
+        service.createPool("p", 1.0);
+        service.admit("a", {0.6, 0.4});
+        service.assignPool("a", "p");
+        service.syncJournal();
+    }
+    EXPECT_THROW(AllocationService service(flat()), FatalError);
+}
+
+TEST_F(PoolRecoveryTest, FlatWalIntoPooledServiceIsRefused)
+{
+    {
+        AllocationService service(flat());
+        service.admit("a", {0.6, 0.4});
+        service.syncJournal();
+    }
+    EXPECT_THROW(AllocationService service(pooled()), FatalError);
+}
+
+} // namespace

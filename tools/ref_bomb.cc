@@ -19,6 +19,18 @@
  *   ref_bomb --connect ADDR:PORT [--binary] [--connections N]
  *            [--ops N] [--seed S] [--mode closed|open] [--window W]
  *            [--rate OPS_PER_SEC] [--mix A:U:D:T:Q] [--name NAME]
+ *            [--pools N] [--pool-skew uniform|zipf] [--preload K]
+ *
+ * Pooled runs (--pools N, against ref_serve --pooled): an untimed
+ * prologue per connection first issues idempotent POOL CREATE p0..p<N-1>
+ * (racing connections converge by design) and --preload K pipelined
+ * ADMIT+ASSIGN pairs, so the measured window starts on a populated
+ * tree. In the measured mix every ADMIT is followed by a POOL ASSIGN
+ * into a pool drawn uniformly or Zipf(1)-skewed (seeded, per
+ * connection). TICK replies are additionally timed on their own:
+ * the BENCH record carries tick_p50_ns/tick_p99_ns plus the final
+ * live-agent count and the pool count, which is what the pool-scale
+ * bench gates on (TICK latency bounded while the population grows).
  *
  * Determinism: connection c's command stream is a pure function of
  * (seed, c) — agent names are connection-local ("b<c>_<k>") so runs
@@ -103,9 +115,16 @@ struct CliOptions
      * and each TICK's epoch solve scales with live agents — the run
      * would measure solver growth, not transport. At the cap an
      * ADMIT pick degrades to DEPART (mirror of the empty-set rule,
-     * equally deterministic).
+     * equally deterministic). Preloaded agents are exempt: they are
+     * the population under test, not mix-generated churn.
      */
     std::size_t maxLive = 64;
+    /** Pools to create and assign into; 0 = flat (no POOL ops). */
+    std::size_t pools = 0;
+    /** Zipf(1)-skew pool choice instead of uniform. */
+    bool zipfSkew = false;
+    /** Untimed ADMIT(+ASSIGN) pairs per connection before timing. */
+    std::uint64_t preload = 0;
 };
 
 [[noreturn]] void
@@ -119,14 +138,19 @@ usage(const char *argv0, const std::string &error = "")
            "          [--ops N] [--seed S] [--mode closed|open]\n"
            "          [--window W] [--rate OPS_PER_SEC]\n"
            "          [--mix A:U:D:T:Q] [--max-live N]\n"
-           "          [--name NAME]\n\n"
+           "          [--pools N] [--pool-skew uniform|zipf]\n"
+           "          [--preload K] [--name NAME]\n\n"
            "Seeded load generator for ref_serve's socket front-end:\n"
            "N connections send a deterministic ADMIT/UPDATE/DEPART/\n"
            "TICK/QUERY stream (text lines, or binary frames with\n"
            "--binary), closed-loop with --window outstanding or\n"
            "open-loop paced at --rate ops/sec total, and print one\n"
            "BENCH-schema JSON record (throughput + p50/p90/p99\n"
-           "latency) on stdout.\n";
+           "latency, plus TICK-only percentiles) on stdout.\n"
+           "--pools N targets a pooled server: an untimed prologue\n"
+           "creates p0..p<N-1> and preloads --preload agents per\n"
+           "connection, then every measured ADMIT pairs with a POOL\n"
+           "ASSIGN into a uniform or Zipf(1)-skewed pool.\n";
     std::exit(2);
 }
 
@@ -219,6 +243,21 @@ parseArgs(int argc, char **argv)
                 parseCount(argv[0], arg, next()));
             if (options.maxLive == 0)
                 usage(argv[0], "--max-live must be positive");
+        } else if (arg == "--pools") {
+            options.pools = static_cast<std::size_t>(
+                parseCount(argv[0], arg, next()));
+        } else if (arg == "--pool-skew") {
+            const std::string skew = next();
+            if (skew == "uniform")
+                options.zipfSkew = false;
+            else if (skew == "zipf")
+                options.zipfSkew = true;
+            else
+                usage(argv[0],
+                      "--pool-skew wants uniform or zipf, got '" +
+                          skew + "'");
+        } else if (arg == "--preload") {
+            options.preload = parseCount(argv[0], arg, next());
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
         } else {
@@ -346,11 +385,69 @@ class CommandStream
         for (const std::uint32_t weight : options.mix)
             total += weight;
         weightTotal_ = total;
+        if (options.pools > 0 && options.zipfSkew) {
+            // Zipf(1) CDF over p0..p<N-1>: mass(j) ∝ 1/(j+1).
+            zipfCdf_.reserve(options.pools);
+            double mass = 0.0;
+            for (std::size_t j = 0; j < options.pools; ++j) {
+                mass += 1.0 / static_cast<double>(j + 1);
+                zipfCdf_.push_back(mass);
+            }
+            for (double &cumulative : zipfCdf_)
+                cumulative /= mass;
+        }
+    }
+
+    /** Untimed session prologue: idempotent POOL CREATEs. Every
+     *  connection creates the same pools; the server treats a
+     *  same-path same-weight re-create as OK, so racing connections
+     *  converge without coordination. */
+    std::vector<svc::Command> setupCommands() const
+    {
+        std::vector<svc::Command> setup;
+        setup.reserve(options_.pools);
+        for (std::size_t j = 0; j < options_.pools; ++j) {
+            svc::Command create;
+            create.op = svc::Command::Op::Pool;
+            create.poolOp = svc::Command::PoolOp::Create;
+            create.poolPath = poolName(j);
+            create.poolWeight = 1.0;
+            setup.push_back(std::move(create));
+        }
+        return setup;
+    }
+
+    /** Untimed preload: --preload ADMITs (each trailed by its POOL
+     *  ASSIGN in pooled runs). The preloaded agents become the floor
+     *  population — DEPART never picks them and the --max-live cap
+     *  applies on top of them, so a scale run measures TICK against
+     *  a stable large tree while churn plays out above it. */
+    std::vector<svc::Command> preloadCommands()
+    {
+        std::vector<svc::Command> commands;
+        commands.reserve(options_.preload * 2);
+        for (std::uint64_t k = 0; k < options_.preload; ++k) {
+            commands.push_back(makeAdmit());
+            while (!pending_.empty()) {
+                commands.push_back(std::move(pending_.front()));
+                pending_.pop_front();
+            }
+        }
+        preloadCount_ = live_.size();
+        return commands;
     }
 
     /** Next command; all ops produce exactly one reply unit. */
     svc::Command next()
     {
+        // A paired command (the POOL ASSIGN following an ADMIT)
+        // drains before the mix picks again, so the assign lands
+        // while its agent is certainly live.
+        if (!pending_.empty()) {
+            svc::Command command = std::move(pending_.front());
+            pending_.pop_front();
+            return command;
+        }
         svc::Command command;
         std::uint32_t pick = static_cast<std::uint32_t>(
             rng_() % weightTotal_);
@@ -363,27 +460,28 @@ class CommandStream
         // until one exists (deterministic: depends only on the
         // stream so far). Symmetrically, ADMIT degrades to DEPART
         // at the live-agent cap so the population — and with it the
-        // epoch-solve cost every TICK pays — stays bounded.
-        if (live_.empty() && (op == 1 || op == 2 || op == 4))
+        // epoch-solve cost every TICK pays — stays bounded. The
+        // preloaded floor is exempt on both sides: DEPART only picks
+        // churn agents, and the cap counts churn agents only.
+        if (live_.empty() && (op == 1 || op == 4))
             op = 0;
-        else if (op == 0 && live_.size() >= options_.maxLive)
+        else if (op == 2 && live_.size() <= preloadCount_)
+            op = 0;
+        else if (op == 0 && live_.size() >=
+                                options_.maxLive + preloadCount_)
             op = 2;
         switch (op) {
-        case 0: {
-            command.op = svc::Command::Op::Admit;
-            command.name = "b" + std::to_string(conn_) + "_" +
-                           std::to_string(admitted_++);
-            command.elasticities = {elasticity(), elasticity()};
-            live_.push_back(command.name);
-            break;
-        }
+        case 0:
+            return makeAdmit();
         case 1:
             command.op = svc::Command::Op::Update;
             command.name = live_[rng_() % live_.size()];
             command.elasticities = {elasticity(), elasticity()};
             break;
         case 2: {
-            const std::size_t victim = rng_() % live_.size();
+            const std::size_t victim =
+                preloadCount_ +
+                rng_() % (live_.size() - preloadCount_);
             command.op = svc::Command::Op::Depart;
             command.name = live_[victim];
             live_.erase(live_.begin() +
@@ -402,6 +500,9 @@ class CommandStream
         }
         return command;
     }
+
+    /** Live agents at end of run (preload + surviving churn). */
+    std::size_t liveCount() const { return live_.size(); }
 
     /** The command as a text protocol line (newline included). */
     static std::string toLine(const svc::Command &command)
@@ -426,6 +527,17 @@ class CommandStream
         case svc::Command::Op::Query:
             line << "QUERY " << command.name;
             break;
+        case svc::Command::Op::Pool:
+            line << "POOL ";
+            if (command.poolOp == svc::Command::PoolOp::Create)
+                line << "CREATE " << command.poolPath << " "
+                     << command.poolWeight;
+            else if (command.poolOp == svc::Command::PoolOp::Assign)
+                line << "ASSIGN " << command.name << " "
+                     << command.poolPath;
+            else
+                REF_FATAL("unsupported load-mix pool sub-op");
+            break;
         default:
             REF_FATAL("unsupported load-mix op");
         }
@@ -440,20 +552,63 @@ class CommandStream
         return (static_cast<double>(rng_() % 1000) + 1.0) / 1002.0;
     }
 
+    static std::string poolName(std::size_t index)
+    {
+        return "p" + std::to_string(index);
+    }
+
+    /** Seeded pool pick: uniform, or Zipf(1) via CDF bisection. */
+    std::size_t samplePool()
+    {
+        if (zipfCdf_.empty())
+            return rng_() % options_.pools;
+        const double u =
+            static_cast<double>(rng_() % 1000000) / 1000000.0;
+        const std::size_t index = static_cast<std::size_t>(
+            std::lower_bound(zipfCdf_.begin(), zipfCdf_.end(), u) -
+            zipfCdf_.begin());
+        return std::min(index, options_.pools - 1);
+    }
+
+    /** An ADMIT; in pooled runs its POOL ASSIGN queues behind it. */
+    svc::Command makeAdmit()
+    {
+        svc::Command command;
+        command.op = svc::Command::Op::Admit;
+        command.name = "b" + std::to_string(conn_) + "_" +
+                       std::to_string(admitted_++);
+        command.elasticities = {elasticity(), elasticity()};
+        live_.push_back(command.name);
+        if (options_.pools > 0) {
+            svc::Command assign;
+            assign.op = svc::Command::Op::Pool;
+            assign.poolOp = svc::Command::PoolOp::Assign;
+            assign.name = command.name;
+            assign.poolPath = poolName(samplePool());
+            pending_.push_back(std::move(assign));
+        }
+        return command;
+    }
+
     const CliOptions &options_;
     std::size_t conn_;
     std::mt19937_64 rng_;
     std::uint32_t weightTotal_ = 1;
     std::uint64_t admitted_ = 0;
     std::vector<std::string> live_;
+    std::size_t preloadCount_ = 0;
+    std::deque<svc::Command> pending_;
+    std::vector<double> zipfCdf_;
 };
 
 /** One connection's measured results. */
 struct ConnResult
 {
     std::vector<std::uint64_t> latenciesNs;
+    std::vector<std::uint64_t> tickLatenciesNs;
     std::uint64_t errors = 0;   //!< ERR replies (QUERY races etc).
     std::uint64_t stalls = 0;   //!< Open-loop pacing stalls.
+    std::size_t liveAtEnd = 0;  //!< Stream's live agents after run.
     bool failed = false;        //!< Connect/IO failure.
 };
 
@@ -465,6 +620,48 @@ replyIsError(const CliOptions &options, const std::string &unit)
         return unit.rfind("ERR", 0) == 0;
     const svc::wire::Reply reply = svc::wire::decodeReply(unit);
     return reply.status == svc::wire::ReplyStatus::Err;
+}
+
+/** Untimed prologue: pool creates plus preload admits, pipelined
+ *  with a fixed window and fully drained before timing starts. Any
+ *  ERR here is a configuration mistake (e.g. --pools against a flat
+ *  server), not load noise — fail loudly. */
+void
+runSetup(const CliOptions &options, int fd, ReplyStream &replies,
+         CommandStream &stream)
+{
+    std::vector<svc::Command> setup = stream.setupCommands();
+    {
+        std::vector<svc::Command> preload = stream.preloadCommands();
+        setup.insert(setup.end(),
+                     std::make_move_iterator(preload.begin()),
+                     std::make_move_iterator(preload.end()));
+    }
+    constexpr std::size_t kSetupWindow = 64;
+    std::string unit;
+    std::size_t sent = 0;
+    std::size_t done = 0;
+    while (done < setup.size()) {
+        while (sent < setup.size() && sent - done < kSetupWindow) {
+            const std::string bytes =
+                options.binary
+                    ? frameRecord(
+                          svc::wire::encodeCommand(setup[sent]))
+                    : CommandStream::toLine(setup[sent]);
+            sendAll(fd, bytes);
+            ++sent;
+        }
+        const bool ok = options.binary ? replies.readFrameUnit(unit)
+                                       : replies.readLine(unit);
+        REF_REQUIRE(ok, "server closed during setup");
+        if (replyIsError(options, unit)) {
+            const std::string text =
+                options.binary ? svc::wire::decodeReply(unit).text
+                               : unit + "\n";
+            REF_FATAL("setup command rejected: " << text);
+        }
+        ++done;
+    }
 }
 
 void
@@ -484,9 +681,10 @@ runClosedLoop(const CliOptions &options, std::size_t conn,
                         svc::wire::ReplyStatus::Hello,
                     "bad hello ack from server");
     }
+    runSetup(options, fd, replies, stream);
 
     result.latenciesNs.reserve(options.ops);
-    std::deque<std::uint64_t> sentAt;
+    std::deque<std::pair<std::uint64_t, bool>> sentAt;
     std::uint64_t sent = 0;
     std::uint64_t done = 0;
     while (done < options.ops) {
@@ -497,7 +695,9 @@ runClosedLoop(const CliOptions &options, std::size_t conn,
                 options.binary
                     ? frameRecord(svc::wire::encodeCommand(command))
                     : CommandStream::toLine(command);
-            sentAt.push_back(nowNs());
+            sentAt.emplace_back(nowNs(),
+                                command.op ==
+                                    svc::Command::Op::Tick);
             sendAll(fd, bytes);
             ++sent;
         }
@@ -508,12 +708,16 @@ runClosedLoop(const CliOptions &options, std::size_t conn,
             result.failed = true;
             break;
         }
-        result.latenciesNs.push_back(nowNs() - sentAt.front());
+        const std::uint64_t latency = nowNs() - sentAt.front().first;
+        result.latenciesNs.push_back(latency);
+        if (sentAt.front().second)
+            result.tickLatenciesNs.push_back(latency);
         sentAt.pop_front();
         if (replyIsError(options, unit))
             ++result.errors;
         ++done;
     }
+    result.liveAtEnd = stream.liveCount();
     ::close(fd);
 }
 
@@ -531,11 +735,12 @@ runOpenLoop(const CliOptions &options, std::size_t conn,
         REF_REQUIRE(replies.readFrameUnit(unit),
                     "no hello ack from server");
     }
+    runSetup(options, fd, replies, stream);
 
     constexpr std::size_t kMaxOutstanding = 4096;
     std::mutex mutex;
     std::condition_variable spaceFreed;
-    std::deque<std::uint64_t> sentAt;
+    std::deque<std::pair<std::uint64_t, bool>> sentAt;
     bool senderDone = false;
 
     const double perConnRate =
@@ -562,7 +767,9 @@ runOpenLoop(const CliOptions &options, std::size_t conn,
                         return sentAt.size() < kMaxOutstanding;
                     });
                 }
-                sentAt.push_back(nowNs());
+                sentAt.emplace_back(nowNs(),
+                                    command.op ==
+                                        svc::Command::Op::Tick);
             }
             sendAll(fd, bytes);
         }
@@ -582,7 +789,11 @@ runOpenLoop(const CliOptions &options, std::size_t conn,
         const std::uint64_t now = nowNs();
         {
             std::lock_guard<std::mutex> lock(mutex);
-            result.latenciesNs.push_back(now - sentAt.front());
+            const std::uint64_t latency =
+                now - sentAt.front().first;
+            result.latenciesNs.push_back(latency);
+            if (sentAt.front().second)
+                result.tickLatenciesNs.push_back(latency);
             sentAt.pop_front();
         }
         spaceFreed.notify_one();
@@ -590,6 +801,7 @@ runOpenLoop(const CliOptions &options, std::size_t conn,
             ++result.errors;
     }
     sender.join();
+    result.liveAtEnd = stream.liveCount();
     ::close(fd);
 }
 
@@ -637,18 +849,25 @@ main(int argc, char **argv)
             std::max<std::uint64_t>(1, nowNs() - startNs);
 
         std::vector<std::uint64_t> latencies;
+        std::vector<std::uint64_t> tickLatencies;
         std::uint64_t errors = 0;
         std::uint64_t stalls = 0;
+        std::size_t agents = 0;
         bool failed = false;
         for (const ConnResult &result : results) {
             latencies.insert(latencies.end(),
                              result.latenciesNs.begin(),
                              result.latenciesNs.end());
+            tickLatencies.insert(tickLatencies.end(),
+                                 result.tickLatenciesNs.begin(),
+                                 result.tickLatenciesNs.end());
             errors += result.errors;
             stalls += result.stalls;
+            agents += result.liveAtEnd;
             failed |= result.failed;
         }
         std::sort(latencies.begin(), latencies.end());
+        std::sort(tickLatencies.begin(), tickLatencies.end());
         REF_REQUIRE(!latencies.empty(),
                     "no replies measured — is the server up?");
 
@@ -675,6 +894,12 @@ main(int argc, char **argv)
                   << ", \"p50_ns\": " << percentile(latencies, 0.50)
                   << ", \"p90_ns\": " << percentile(latencies, 0.90)
                   << ", \"p99_ns\": " << percentile(latencies, 0.99)
+                  << ", \"agents\": " << agents
+                  << ", \"pools\": " << options.pools
+                  << ", \"tick_p50_ns\": "
+                  << percentile(tickLatencies, 0.50)
+                  << ", \"tick_p99_ns\": "
+                  << percentile(tickLatencies, 0.99)
                   << "}\n";
         return failed ? 1 : 0;
     } catch (const std::exception &error) {

@@ -7,6 +7,7 @@
  *
  * Usage:
  *   ref_serve [--capacity C0,C1] [--hysteresis H] [--assoc N]
+ *             [--pooled] [--pool-shards N]
  *             [--journal DIR] [--fsync-every N] [--snapshot-every N]
  *             [--selfcheck] [--strict] [--echo] [--file PATH]
  *             [--metrics-out PATH] [--fairness-out PATH]
@@ -124,6 +125,8 @@ struct CliOptions
     std::uint64_t fsyncEvery = 1;
     std::uint64_t snapshotEvery = 1024;
     unsigned associativity = 16;
+    std::size_t poolShards = 8;
+    bool pooled = false;
     bool selfcheck = false;
     bool strict = false;
     bool echo = false;
@@ -137,6 +140,7 @@ usage(const char *argv0, const std::string &error = "")
     std::cerr
         << "usage: " << argv0
         << " [--capacity C0,C1] [--hysteresis H] [--assoc N]\n"
+           "          [--pooled] [--pool-shards N]\n"
            "          [--journal DIR] [--fsync-every N] "
            "[--snapshot-every N]\n"
            "          [--selfcheck] [--strict] [--echo] "
@@ -168,7 +172,10 @@ usage(const char *argv0, const std::string &error = "")
            "shards (one thread each); --max-clients caps the\n"
            "fan-in per shard, --idle-timeout/--write-timeout drop\n"
            "stuck or slow-reading peers, --max-line-bytes bounds\n"
-           "one protocol line.\n";
+           "one protocol line. --pooled runs the hierarchical pool\n"
+           "tree (POOL CREATE/ASSIGN/QUERY; epochs stay O(changed\n"
+           "paths), QUERY answers from the live tree, enforcement\n"
+           "off); --pool-shards N sets its leaf-registry shards.\n";
     std::exit(2);
 }
 
@@ -249,6 +256,13 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--assoc") {
             options.associativity = static_cast<unsigned>(
                 parseNumber(argv[0], arg, next()));
+        } else if (arg == "--pooled") {
+            options.pooled = true;
+        } else if (arg == "--pool-shards") {
+            options.poolShards = static_cast<std::size_t>(
+                parseNumber(argv[0], arg, next()));
+            if (options.poolShards == 0)
+                usage(argv[0], "--pool-shards must be positive");
         } else if (arg == "--selfcheck") {
             options.selfcheck = true;
         } else if (arg == "--strict") {
@@ -290,7 +304,10 @@ main(int argc, char **argv)
         config.epoch.hysteresis = options.hysteresis;
         config.epoch.verifyIncremental = options.selfcheck;
         config.associativity = options.associativity;
-        config.buildEnforcement = config.capacity.count() == 2;
+        config.buildEnforcement =
+            !options.pooled && config.capacity.count() == 2;
+        config.pooled = options.pooled;
+        config.poolShards = options.poolShards;
         config.journal.directory = options.journalDir;
         config.journal.fsyncEvery = options.fsyncEvery;
         config.journal.snapshotEvery = options.snapshotEvery;
