@@ -16,7 +16,7 @@ mkfifo "$FIFO"
 fail() {
     echo "FAIL: $1" >&2
     echo "--- server stderr ---" >&2
-    cat "$WORKDIR/err" >&2 || true
+    cat "$WORKDIR"/err* >&2 || true
     exit 1
 }
 
@@ -45,4 +45,53 @@ grep -q 'final stats:' "$WORKDIR/err" || fail "missing final stats dump"
 grep -q 'journal_fsyncs=' "$WORKDIR/err" || fail "missing journal stats"
 grep -q 'journal_enabled=1' "$WORKDIR/err" || fail "journal not enabled"
 
-echo "ok: SIGTERM flushed the journal and exited cleanly"
+# Group-commit drain order: with flush thresholds the session can
+# never reach (1 MiB / 10 s), the ADMIT+TICK batch is still pending
+# when SIGTERM lands. The final STATS must describe a fully drained
+# journal — the in-flight batch fsynced BEFORE the dump — so
+# journal_pending is 0 and the commit watermark covers every record.
+FIFO2="$WORKDIR/stdin2.fifo"
+mkfifo "$FIFO2"
+"$REF_SERVE" --capacity 24,12 --journal "$WORKDIR/journal2" \
+    --fsync-policy group:1048576,10000000 \
+    < "$FIFO2" > "$WORKDIR/out2" 2> "$WORKDIR/err2" &
+SERVER=$!
+exec 3> "$FIFO2"
+printf 'ADMIT user2 0.6 0.4\nTICK\n' >&3
+
+for _ in $(seq 1 200); do
+    grep -q 'EPOCH 1' "$WORKDIR/out2" 2>/dev/null && break
+    sleep 0.05
+done
+grep -q 'EPOCH 1' "$WORKDIR/out2" ||
+    fail "group-commit server never processed TICK"
+kill -TERM "$SERVER"
+wait "$SERVER"
+STATUS=$?
+exec 3>&-
+[ "$STATUS" -eq 0 ] ||
+    fail "expected exit 0 after group-commit SIGTERM, got $STATUS"
+
+records=$(grep -o 'journal_records=[0-9]*' "$WORKDIR/err2" |
+    tail -1 | cut -d= -f2)
+committed=$(grep -o 'journal_committed=[0-9]*' "$WORKDIR/err2" |
+    tail -1 | cut -d= -f2)
+pending=$(grep -o 'journal_pending=[0-9]*' "$WORKDIR/err2" |
+    tail -1 | cut -d= -f2)
+[ -n "$records" ] && [ "$records" -gt 0 ] ||
+    fail "group-commit run journaled nothing"
+[ "$pending" = "0" ] ||
+    fail "final STATS printed before the batch flushed (pending=$pending)"
+[ "$committed" = "$records" ] ||
+    fail "commit watermark short of the WAL ($committed < $records)"
+
+# And the flushed batch is really on disk: a strict restart replays it.
+printf 'QUERY\n' |
+    "$REF_SERVE" --capacity 24,12 --journal "$WORKDIR/journal2" \
+        --strict > "$WORKDIR/verify2.out" 2> "$WORKDIR/verify2.err" ||
+    fail "restart on the group-commit journal failed"
+grep -q 'user2' "$WORKDIR/verify2.out" ||
+    fail "drained batch lost across restart"
+
+echo "ok: SIGTERM flushed the journal (group-commit batch drained" \
+    "before final stats) and exited cleanly"

@@ -112,6 +112,7 @@ ShardedServer::run()
         total.frames += shard.frames;
         total.badFrames += shard.badFrames;
         total.binaryConnections += shard.binaryConnections;
+        total.replicas += shard.replicas;
         total.protocol.commands += shard.protocol.commands;
         total.protocol.errors += shard.protocol.errors;
         total.protocol.epochFailures += shard.protocol.epochFailures;

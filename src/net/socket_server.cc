@@ -17,6 +17,8 @@
 
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "repl/repl_protocol.hh"
+#include "repl/replication_hub.hh"
 #include "svc/failpoints.hh"
 #include "svc/wire.hh"
 #include "util/crc32.hh"
@@ -32,6 +34,15 @@ nowMs()
     return std::chrono::duration_cast<std::chrono::milliseconds>(
                std::chrono::steady_clock::now().time_since_epoch())
         .count();
+}
+
+std::uint64_t
+wallClockNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
 }
 
 void
@@ -184,6 +195,16 @@ struct SocketServer::Connection
     bool dead = false;
     std::int64_t lastInboundMs = 0;   //!< Last byte read.
     std::int64_t lastProgressMs = 0;  //!< Last outbuf progress.
+    /** Replica subscription (a binary connection whose SYNC was
+     *  accepted): pumpReplicas ships records after replCursor and
+     *  inbound frames are Acks, not commands. */
+    bool replica = false;
+    std::uint64_t replCursor = 0;
+    /** Stream identity the cursor belongs to; when the hub mints a
+     *  new stream (chained follower adopted a snapshot) the cursor
+     *  is meaningless and the replica gets a fresh snapshot. */
+    std::uint64_t replStreamId = 0;
+    std::int64_t lastHeartbeatMs = 0;
 
     std::size_t pending() const { return outbuf.size() - outOffset; }
 };
@@ -311,6 +332,20 @@ SocketServer::start()
         setNonBlocking(wakeFds_[0]);
         setNonBlocking(wakeFds_[1]);
     }
+
+    // Records appended off-loop (the stdio transport, another
+    // shard) must reach replicas promptly: the hub pokes the
+    // self-pipe so a poll-blocked loop pumps without waiting for
+    // its timeout. The hub outlives the server (ServerOptions
+    // contract), but the write fd is process-long-lived anyway.
+    if (options_.replicationHub != nullptr) {
+        const int wakeFd = wakeFds_[1];
+        options_.replicationHub->addWakeCallback([wakeFd] {
+            const char byte = 1;
+            const ssize_t ignored [[maybe_unused]] =
+                ::write(wakeFd, &byte, 1);
+        });
+    }
 }
 
 void
@@ -418,6 +453,7 @@ SocketServer::dispatchLine(Connection &conn, const std::string &line)
     metrics_->lines.add();
     std::ostringstream reply;
     const auto status = conn.session->executeLine(line, reply);
+    barrierPending_ = true;
     conn.outbuf += reply.str();
     if (status == svc::CommandSession::LineStatus::Shutdown) {
         stats_.shutdown = true;
@@ -475,7 +511,11 @@ SocketServer::handleReadable(Connection &conn)
         processInput(conn);
         if (conn.dead)
             return;
-        if (conn.pending() > options_.maxPendingBytes) {
+        // Replicas are exempt: a queued snapshot legitimately
+        // exceeds the interactive backlog bound (the write timeout
+        // still catches a reader that stops draining it).
+        if (!conn.replica &&
+            conn.pending() > options_.maxPendingBytes) {
             ++stats_.overflowDrops;
             dropConnection(conn, "reply backlog overflow");
             return;
@@ -593,6 +633,8 @@ SocketServer::processBinary(Connection &conn)
             continue;
         }
         dispatchFrame(conn, payload);
+        if (conn.dead)
+            return;  // A replica dropped mid-buffer stays dropped.
         conn.inbuf.erase(0, 8 + static_cast<std::size_t>(length));
         if (draining_)
             return;
@@ -604,6 +646,10 @@ SocketServer::dispatchFrame(Connection &conn,
                             std::string_view payload)
 {
     obs::Span span("net.dispatch", "net");
+    if (conn.replica) {
+        handleReplicaFrame(conn, payload);
+        return;
+    }
     svc::Command command;
     try {
         command = svc::wire::decodeCommand(payload);
@@ -617,9 +663,16 @@ SocketServer::dispatchFrame(Connection &conn,
     }
     ++stats_.frames;
     metrics_->frames.add();
+    if (command.op == svc::Command::Op::Sync) {
+        // The transport intercepts SYNC: subscription is a channel
+        // mode change, not a service command.
+        handleSync(conn, command);
+        return;
+    }
     svc::wire::ReplyStatus status = svc::wire::ReplyStatus::Ok;
     std::ostringstream reply;
     const auto line = conn.session->executeCommand(command, reply);
+    barrierPending_ = true;
     if (line == svc::CommandSession::LineStatus::Shutdown) {
         status = svc::wire::ReplyStatus::Shutdown;
         stats_.shutdown = true;
@@ -629,6 +682,142 @@ SocketServer::dispatchFrame(Connection &conn,
     }
     conn.outbuf +=
         frameRecord(svc::wire::encodeReply(status, reply.str()));
+}
+
+void
+SocketServer::handleSync(Connection &conn,
+                         const svc::Command &command)
+{
+    repl::ReplicationHub *hub = options_.replicationHub;
+    if (hub == nullptr) {
+        ++conn.session->result().commands;
+        ++conn.session->result().errors;
+        service_.noteRejected();
+        conn.outbuf += frameRecord(svc::wire::encodeReply(
+            svc::wire::ReplyStatus::Err,
+            "ERR replication not enabled\n"));
+        return;
+    }
+
+    // Resume from the offered cursor when it names this stream and
+    // the tail is still on the ring; anything else gets a full
+    // snapshot (primary restarted, or the follower is too far
+    // behind — same answer either way).
+    std::vector<repl::ReplicationHub::Entry> probe;
+    const bool tailResume =
+        command.syncStreamId == hub->streamId() &&
+        hub->fetchAfter(command.syncSeq, 0, probe);
+
+    std::ostringstream reply;
+    reply << "OK sync stream=" << hub->streamId()
+          << " from=" << (tailResume ? command.syncSeq : 0)
+          << " snapshot=" << (tailResume ? 0 : 1) << "\n";
+    conn.outbuf += frameRecord(svc::wire::encodeReply(
+        svc::wire::ReplyStatus::Ok, reply.str()));
+
+    conn.replica = true;
+    conn.lastHeartbeatMs = nowMs();
+    ++stats_.replicas;
+    hub->noteSubscribe();
+    if (tailResume) {
+        conn.replCursor = command.syncSeq;
+        conn.replStreamId = command.syncStreamId;
+    } else {
+        queueSnapshot(conn);
+    }
+}
+
+void
+SocketServer::queueSnapshot(Connection &conn)
+{
+    repl::ReplicationHub *hub = options_.replicationHub;
+    std::uint64_t atSeq = 0;
+    repl::ReplMessage message;
+    message.kind = repl::MessageKind::Snapshot;
+    // captureReplicationSnapshot pins (state, headSeq) atomically:
+    // records after atSeq are exactly what the state lacks.
+    message.payload = service_.captureReplicationSnapshot(atSeq);
+    message.streamId = hub->streamId();
+    message.seq = atSeq;
+    conn.outbuf += frameRecord(repl::encodeReplMessage(message));
+    conn.replCursor = atSeq;
+    conn.replStreamId = message.streamId;
+    hub->noteSnapshotSync();
+}
+
+void
+SocketServer::handleReplicaFrame(Connection &conn,
+                                 std::string_view payload)
+{
+    repl::ReplicationHub *hub = options_.replicationHub;
+    try {
+        const repl::ReplMessage message =
+            repl::decodeReplMessage(payload);
+        REF_REQUIRE(message.kind == repl::MessageKind::Ack,
+                    "replica sent frame kind "
+                        << static_cast<unsigned>(message.kind));
+        if (hub != nullptr)
+            hub->noteAck(message.seq, message.timestampNs);
+    } catch (const FatalError &error) {
+        // A replica that stops speaking Ack is broken; drop it and
+        // let the follower's reconnect path resync.
+        ++stats_.badFrames;
+        metrics_->badFrames.add();
+        dropConnection(conn, "bad replica frame");
+    }
+}
+
+void
+SocketServer::pumpReplicas()
+{
+    repl::ReplicationHub *hub = options_.replicationHub;
+    if (hub == nullptr)
+        return;
+    const std::int64_t now = nowMs();
+    for (auto &connPtr : connections_) {
+        Connection &conn = *connPtr;
+        if (conn.dead || !conn.replica)
+            continue;
+        // Bound one pass's batch; the ring holds the rest (and a
+        // cursor that falls off it just resyncs from a snapshot).
+        std::vector<repl::ReplicationHub::Entry> entries;
+        if (conn.replStreamId != hub->streamId() ||
+            !hub->fetchAfter(conn.replCursor, 256, entries)) {
+            queueSnapshot(conn);
+            entries.clear();
+            hub->fetchAfter(conn.replCursor, 256, entries);
+        }
+        if (!entries.empty()) {
+            for (const auto &entry : entries) {
+                repl::ReplMessage message;
+                message.kind = repl::MessageKind::Record;
+                message.seq = entry.seq;
+                message.timestampNs = entry.shipTimestampNs;
+                message.stateHash = entry.stateHash;
+                message.payload = entry.payload;
+                conn.outbuf +=
+                    frameRecord(repl::encodeReplMessage(message));
+            }
+            conn.replCursor = entries.back().seq;
+            conn.lastHeartbeatMs = now;
+            // Durable-before-wire: the flush below barriers the
+            // journal before these records leave the process.
+            barrierPending_ = true;
+        } else if (options_.heartbeatIntervalMs > 0 &&
+                   now - conn.lastHeartbeatMs >=
+                       options_.heartbeatIntervalMs) {
+            repl::ReplMessage heartbeat;
+            heartbeat.kind = repl::MessageKind::Heartbeat;
+            heartbeat.seq = hub->headSeq();
+            heartbeat.timestampNs = wallClockNs();
+            conn.outbuf +=
+                frameRecord(repl::encodeReplMessage(heartbeat));
+            conn.lastHeartbeatMs = now;
+            hub->noteHeartbeat();
+        }
+        if (conn.pending() > 0)
+            flushWrites(conn);
+    }
 }
 
 /** The one framed ERR a bad binary frame draws; counted as a
@@ -649,6 +838,13 @@ SocketServer::rejectBadFrame(Connection &conn,
 void
 SocketServer::flushWrites(Connection &conn)
 {
+    if (barrierPending_) {
+        // Ack-after-durable: everything queued this pass — replies
+        // and shipped records alike — waits on one group-commit
+        // fsync before any byte reaches a socket.
+        barrierPending_ = false;
+        service_.journalBarrier();
+    }
     while (conn.pending() > 0) {
         const NetInject inject = injectNetIo("net.write");
         ssize_t wrote = -1;
@@ -714,6 +910,8 @@ SocketServer::closeConnection(Connection &conn)
     if (conn.dead)
         return;
     conn.dead = true;
+    if (conn.replica && options_.replicationHub != nullptr)
+        options_.replicationHub->noteUnsubscribe();
     ::close(conn.fd);
     conn.fd = -1;
     conn.session->finish();
@@ -906,6 +1104,11 @@ SocketServer::run()
             if (!conn.dead && conn.pending() > 0)
                 flushWrites(conn);
         }
+
+        // Ship whatever this pass appended (plus heartbeats) to
+        // every subscribed replica before blocking again.
+        if (!draining_)
+            pumpReplicas();
     }
     drainAndClose();
     return stats_;

@@ -76,6 +76,10 @@
 
 #include "svc/protocol.hh"
 
+namespace ref::repl {
+class ReplicationHub;
+}
+
 namespace ref::net {
 
 /** Socket-server knobs (svc::SessionOptions rides along so echo and
@@ -122,6 +126,15 @@ struct ServerOptions
      *  ref_net_* series with {shard="<index>"}. */
     std::size_t shardIndex = 0;
     std::size_t shardCount = 1;
+    /** WAL shipping fan-out (repl/replication_hub.hh). Non-null
+     *  turns binary-protocol SYNC commands into replica
+     *  subscriptions on this server; the hub must outlive the
+     *  server (ref_serve wires the same hub in as the service's
+     *  replication sink). */
+    repl::ReplicationHub *replicationHub = nullptr;
+    /** Heartbeat cadence to caught-up replicas (liveness signal the
+     *  follower's promote timeout watches). 0 disables. */
+    int heartbeatIntervalMs = 1000;
 };
 
 /** Lifetime counters for one server run (mirrored onto
@@ -142,6 +155,7 @@ struct ServerStats
     std::uint64_t frames = 0;        //!< Binary request frames served.
     std::uint64_t badFrames = 0;     //!< Oversized/corrupt/torn frames.
     std::uint64_t binaryConnections = 0;  //!< Hellos negotiated.
+    std::uint64_t replicas = 0;  //!< SYNC subscriptions accepted.
     /** Aggregated per-session protocol totals of every connection
      *  that finished (plus, after run(), the ones open at drain). */
     svc::SessionResult protocol;
@@ -206,6 +220,15 @@ class SocketServer
     void dispatchLine(Connection &conn, const std::string &line);
     /** Decode + execute one binary request frame; frame the reply. */
     void dispatchFrame(Connection &conn, std::string_view payload);
+    /** Turn a binary connection into a replica subscription. */
+    void handleSync(Connection &conn, const svc::Command &command);
+    /** Inbound frame on a replica connection (Ack expected). */
+    void handleReplicaFrame(Connection &conn,
+                            std::string_view payload);
+    /** Queue a full-state Snapshot frame and reset the cursor. */
+    void queueSnapshot(Connection &conn);
+    /** Ship new records / heartbeats to every replica connection. */
+    void pumpReplicas();
     /** Reply the one line-too-long ERR and count the rejection. */
     void rejectOverlong(Connection &conn);
     /** Reply one framed ERR for a bad binary frame; never drops. */
@@ -224,6 +247,11 @@ class SocketServer
     std::unique_ptr<Metrics> metrics_;  //!< Shard-labelled series.
     std::atomic<bool> stopRequested_{false};
     bool draining_ = false;
+    /** Ack-after-durable across framings: set when a dispatched
+     *  command (or a shipped record) may have journaled; the next
+     *  flushWrites runs one journal barrier first, so one fsync
+     *  amortizes every reply queued this poll pass. */
+    bool barrierPending_ = false;
 
     int tcpListenFd_ = -1;
     int unixListenFd_ = -1;

@@ -225,6 +225,48 @@ Histogram::observe(std::uint64_t value) noexcept
         ;
 }
 
+std::uint64_t
+Histogram::quantile(const Snapshot &snap, double q)
+{
+    if (snap.count == 0)
+        return 0;
+    if (q <= 0)
+        return snap.min;
+    if (q > 1)
+        q = 1;
+    // Rank of the requested quantile, 1-based: the smallest sample
+    // index whose cumulative share reaches q.
+    const std::uint64_t rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::ceil(q * static_cast<double>(snap.count))));
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < snap.counts.size(); ++b) {
+        if (snap.counts[b] == 0)
+            continue;
+        if (cumulative + snap.counts[b] < rank) {
+            cumulative += snap.counts[b];
+            continue;
+        }
+        // The rank lands in bucket b: interpolate linearly between
+        // the bucket's bounds, with the unbounded last bucket (and
+        // any bucket edge beyond the data) clamped to the observed
+        // extremes.
+        const std::uint64_t rawLo =
+            b == 0 ? 0 : (std::uint64_t{1} << (b - 1));
+        const std::uint64_t rawHi =
+            bucketUpperInclusive(b, snap.counts.size());
+        const std::uint64_t lo = std::max(rawLo, snap.min);
+        const std::uint64_t hi =
+            std::max(lo, std::min(rawHi, snap.max));
+        const double within =
+            static_cast<double>(rank - cumulative) /
+            static_cast<double>(snap.counts[b]);
+        return lo + static_cast<std::uint64_t>(
+                        within * static_cast<double>(hi - lo));
+    }
+    return snap.max;
+}
+
 Histogram::Snapshot
 Histogram::snapshot() const
 {
@@ -371,6 +413,19 @@ MetricsRegistry::writePrometheus(std::ostream &os) const
             if (!labels.empty())
                 os << "{" << labels << "}";
             os << " " << snap.count << "\n";
+            // Pre-computed quantiles as untyped companion series:
+            // log-2 buckets are too coarse for dashboards to
+            // histogram_quantile() well, the interpolated estimate
+            // here is clamped to real observed extremes.
+            for (const auto &[suffix, q] :
+                 {std::pair<const char *, double>{"_p50", 0.50},
+                  {"_p90", 0.90},
+                  {"_p99", 0.99}}) {
+                os << base << suffix;
+                if (!labels.empty())
+                    os << "{" << labels << "}";
+                os << " " << Histogram::quantile(snap, q) << "\n";
+            }
             break;
         }
         }
@@ -410,6 +465,9 @@ MetricsRegistry::writeJson(std::ostream &os) const
             os << (b ? "," : "") << snap.counts[b];
         os << "],\"count\":" << snap.count << ",\"sum\":" << snap.sum
            << ",\"min\":" << snap.min << ",\"max\":" << snap.max
+           << ",\"p50\":" << Histogram::quantile(snap, 0.50)
+           << ",\"p90\":" << Histogram::quantile(snap, 0.90)
+           << ",\"p99\":" << Histogram::quantile(snap, 0.99)
            << "}";
         separator = ",";
     }

@@ -115,6 +115,17 @@ class Histogram
 
     Snapshot snapshot() const;
 
+    /**
+     * Estimate the @p q quantile (0 < q <= 1) of @p snap by linear
+     * interpolation inside the log-2 bucket the rank lands in,
+     * clamped to the exact observed [min, max] (so p0-ish and
+     * p100-ish asks never invent values outside the data, and the
+     * unbounded last bucket tops out at the true max instead of
+     * +inf). 0 when the histogram is empty. Feeds the p50/p90/p99
+     * series of the expositions and the replication-lag gauges.
+     */
+    static std::uint64_t quantile(const Snapshot &snap, double q);
+
   private:
     std::vector<std::atomic<std::uint64_t>> counts_;
     std::atomic<std::uint64_t> count_{0};

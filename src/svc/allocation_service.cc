@@ -6,6 +6,7 @@
 #include <ostream>
 
 #include "obs/trace.hh"
+#include "util/crc32.hh"
 #include "util/logging.hh"
 
 namespace ref::svc {
@@ -444,6 +445,99 @@ AllocationService::syncJournal()
         journal_->sync();
 }
 
+void
+AllocationService::journalBarrier()
+{
+    std::lock_guard<std::mutex> lock(writeMutex_);
+    if (journal_)
+        journal_->barrier();
+}
+
+void
+AllocationService::setReplicationSink(ReplicationSink *sink)
+{
+    std::lock_guard<std::mutex> lock(writeMutex_);
+    sink_ = sink;
+}
+
+void
+AllocationService::applyShipped(const JournalRecord &record)
+{
+    std::lock_guard<std::mutex> lock(writeMutex_);
+    applyRecordLocked(record);
+    // Re-journal locally: the follower keeps its own durable
+    // history (and re-ships to any chained sink), so a promoted
+    // follower restarts from its own snapshot + wal like any
+    // primary.
+    journalAppendLocked(record);
+}
+
+std::uint32_t
+AllocationService::stateHashLocked() const
+{
+    ServiceState state = captureStateLocked();
+    // Generations are process-local lineage counters; the primary
+    // and a bit-identical follower legitimately differ there.
+    state.generation = 0;
+    return crc32(encodeServiceState(state));
+}
+
+std::uint32_t
+AllocationService::stateHash() const
+{
+    std::lock_guard<std::mutex> lock(writeMutex_);
+    return stateHashLocked();
+}
+
+std::string
+AllocationService::captureReplicationSnapshot(
+    std::uint64_t &atSeq) const
+{
+    std::lock_guard<std::mutex> lock(writeMutex_);
+    // Both reads sit under the write mutex, and every sink notify
+    // happens under it too, so the state reflects exactly the
+    // records up to and including atSeq.
+    atSeq = sink_ ? sink_->headSeq() : 0;
+    return encodeServiceState(captureStateLocked());
+}
+
+void
+AllocationService::resetRuntimeLocked()
+{
+    registry_ = AgentRegistry(config_.capacity);
+    if (tree_)
+        tree_ = std::make_unique<pool::PoolTree>(
+            config_.capacity, config_.poolShards);
+    // The driver holds raw pointers into the registry/tree, so it
+    // must be rebuilt right after they are.
+    driver_ = tree_ ? EpochDriver(*tree_, config_.epoch)
+                    : EpochDriver(registry_, config_.epoch);
+    lastPoolShares_.clear();
+    publish(std::make_shared<const ServiceSnapshot>());
+}
+
+void
+AllocationService::adoptState(const ServiceState &state)
+{
+    std::lock_guard<std::mutex> lock(writeMutex_);
+    resetRuntimeLocked();
+    restoreStateLocked(state);
+    if (journal_)
+        compactLocked();  // Adopted state durable, fresh generation.
+    // Any chained followers were replaying the pre-adoption
+    // history; force them onto a fresh stream so they resync.
+    if (sink_)
+        sink_->onStateAdopted();
+}
+
+void
+AllocationService::promote()
+{
+    std::lock_guard<std::mutex> lock(writeMutex_);
+    if (journal_)
+        compactLocked();
+}
+
 ServiceState
 AllocationService::captureStateLocked() const
 {
@@ -558,6 +652,61 @@ AllocationService::applyRecordLocked(const JournalRecord &record)
 }
 
 void
+AllocationService::restoreStateLocked(const ServiceState &state)
+{
+    REF_REQUIRE(state.capacities == config_.capacity.capacities(),
+                "journal directory '"
+                    << config_.journal.directory
+                    << "' was written for a different capacity "
+                       "configuration");
+    REF_REQUIRE(state.pooled == config_.pooled,
+                "journal directory '"
+                    << config_.journal.directory
+                    << "' was written by a "
+                    << (state.pooled ? "pooled" : "flat")
+                    << " service; restart with the matching "
+                       "mode");
+    if (tree_) {
+        for (const PersistedPool &pool : state.pools) {
+            if (pool.path == pool::kRootPath)
+                continue;  // The ctor already made the root.
+            tree_->createPool(pool.path, pool.weight,
+                              pool.createdEpoch);
+        }
+        for (const auto &agent : state.agents)
+            tree_->admit(agent.name, agent.elasticities,
+                         agent.pool.empty() ? pool::kRootPath
+                                            : agent.pool,
+                         agent.admittedEpoch);
+        tree_->restoreChurnEvents(state.churnEvents);
+    } else {
+        for (const auto &agent : state.agents)
+            registry_.admit(agent.name, agent.elasticities,
+                            agent.admittedEpoch);
+        registry_.restoreChurnEvents(state.churnEvents);
+    }
+    driver_.restore(state.epoch, state.lastEnforcedEpoch,
+                    state.enforced, state.enforcedNames);
+
+    auto published = std::make_shared<ServiceSnapshot>();
+    published->epoch = state.publishedEpoch;
+    published->agents = state.publishedAgents;
+    published->allocation = state.publishedAllocation;
+    published->propertiesChecked = state.propertiesChecked;
+    published->sharingIncentives = state.sharingIncentives;
+    published->envyFreeness = state.envyFreeness;
+    if (config_.buildEnforcement && !state.enforcedNames.empty()) {
+        // The plan is a pure function of the enforced
+        // allocation, so re-deriving it beats persisting it.
+        published->enforcement = buildEnforcementPlan(
+            state.enforcedNames, state.enforced, config_.capacity,
+            config_.associativity);
+        published->enforcement.epoch = state.lastEnforcedEpoch;
+    }
+    publish(std::move(published));
+}
+
+void
 AllocationService::recoverLocked()
 {
     // 1. Snapshot, if any.
@@ -571,58 +720,7 @@ AllocationService::recoverLocked()
 
     std::uint64_t generation = 0;
     if (status == SnapshotReadStatus::Ok) {
-        REF_REQUIRE(state.capacities ==
-                        config_.capacity.capacities(),
-                    "journal directory '"
-                        << config_.journal.directory
-                        << "' was written for a different capacity "
-                           "configuration");
-        REF_REQUIRE(state.pooled == config_.pooled,
-                    "journal directory '"
-                        << config_.journal.directory
-                        << "' was written by a "
-                        << (state.pooled ? "pooled" : "flat")
-                        << " service; restart with the matching "
-                           "mode");
-        if (tree_) {
-            for (const PersistedPool &pool : state.pools) {
-                if (pool.path == pool::kRootPath)
-                    continue;  // The ctor already made the root.
-                tree_->createPool(pool.path, pool.weight,
-                                  pool.createdEpoch);
-            }
-            for (const auto &agent : state.agents)
-                tree_->admit(agent.name, agent.elasticities,
-                             agent.pool.empty() ? pool::kRootPath
-                                                : agent.pool,
-                             agent.admittedEpoch);
-            tree_->restoreChurnEvents(state.churnEvents);
-        } else {
-            for (const auto &agent : state.agents)
-                registry_.admit(agent.name, agent.elasticities,
-                                agent.admittedEpoch);
-            registry_.restoreChurnEvents(state.churnEvents);
-        }
-        driver_.restore(state.epoch, state.lastEnforcedEpoch,
-                        state.enforced, state.enforcedNames);
-
-        auto published = std::make_shared<ServiceSnapshot>();
-        published->epoch = state.publishedEpoch;
-        published->agents = state.publishedAgents;
-        published->allocation = state.publishedAllocation;
-        published->propertiesChecked = state.propertiesChecked;
-        published->sharingIncentives = state.sharingIncentives;
-        published->envyFreeness = state.envyFreeness;
-        if (config_.buildEnforcement &&
-            !state.enforcedNames.empty()) {
-            // The plan is a pure function of the enforced
-            // allocation, so re-deriving it beats persisting it.
-            published->enforcement = buildEnforcementPlan(
-                state.enforcedNames, state.enforced,
-                config_.capacity, config_.associativity);
-            published->enforcement.epoch = state.lastEnforcedEpoch;
-        }
-        publish(std::move(published));
+        restoreStateLocked(state);
         generation = state.generation;
         recovery_.snapshotLoaded = true;
     }
@@ -653,6 +751,17 @@ AllocationService::recoverLocked()
 void
 AllocationService::journalAppendLocked(const JournalRecord &record)
 {
+    if (sink_) {
+        // Ship the exact WAL byte stream. Ticks carry the post-tick
+        // state hash so the follower can prove bit-identity after
+        // applying each epoch (restore-is-bit-identical makes any
+        // divergence a hard fault, never silent drift).
+        const bool isTick =
+            record.type == JournalRecord::Type::Tick;
+        sink_->onRecord(encodeJournalRecord(record), isTick,
+                        record.epoch,
+                        isTick ? stateHashLocked() : 0);
+    }
     if (!journal_)
         return;
     if (journal_->degraded()) {

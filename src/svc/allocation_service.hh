@@ -37,6 +37,7 @@
 #include "svc/enforcement_bridge.hh"
 #include "svc/epoch_driver.hh"
 #include "svc/journal.hh"
+#include "svc/replication.hh"
 #include "svc/service_metrics.hh"
 #include "svc/snapshot.hh"
 
@@ -171,6 +172,65 @@ class AllocationService
     /** Flush + fsync the journal now (shutdown/signal path). */
     void syncJournal();
 
+    /**
+     * Group-commit ack barrier: make every appended journal record
+     * durable before client replies leave the process. One barrier
+     * covers every record appended since the last — the transport
+     * calls this once per flush pass, amortizing the fsync across
+     * all connections' batched replies.
+     */
+    void journalBarrier();
+
+    /** @name Replication (see svc/replication.hh, src/repl). */
+    ///@{
+    /**
+     * Attach the shipping sink. Every journaled record is handed to
+     * it, encoded, in WAL order, under the write mutex. Must be set
+     * before traffic; pass nullptr to detach.
+     */
+    void setReplicationSink(ReplicationSink *sink);
+
+    /**
+     * Apply one shipped record through the live mutation paths —
+     * exactly the wal-replay code, so a follower's state is
+     * bit-identical to the primary's by the same argument as crash
+     * recovery. The record is re-journaled locally (the follower
+     * keeps its own durable history) and re-shipped to any chained
+     * sink.
+     */
+    void applyShipped(const JournalRecord &record);
+
+    /**
+     * Replace the entire service state with @p state (snapshot
+     * resync): reset the registry/tree/driver, restore, and — when
+     * journaling — compact so the adopted state is durable under a
+     * fresh local generation.
+     */
+    void adoptState(const ServiceState &state);
+
+    /**
+     * CRC32 of the full encoded service state with the generation
+     * zeroed: generations are process-local (a follower runs its
+     * own), everything else must match the primary bit for bit.
+     */
+    std::uint32_t stateHash() const;
+
+    /**
+     * Encode the full state for a snapshot resync, atomically with
+     * the sink's head sequence (@p atSeq): records after atSeq are
+     * exactly the ones not reflected in the returned state, so a
+     * subscriber resumes from atSeq with no gap and no repeat.
+     */
+    std::string captureReplicationSnapshot(std::uint64_t &atSeq) const;
+
+    /**
+     * Promotion: the follower stops replaying and starts serving.
+     * Compacts onto a fresh generation so the promoted history is
+     * distinguishable from the dead primary's.
+     */
+    void promote();
+    ///@}
+
     std::size_t liveAgents() const;
     const ServiceConfig &config() const { return config_; }
 
@@ -180,6 +240,12 @@ class AllocationService
     void publishEpochLocked(const EpochResult &result);
     /** Recover snapshot + wal from the journal directory. */
     void recoverLocked();
+    /** Restore @p state into registry/tree/driver + publish. */
+    void restoreStateLocked(const ServiceState &state);
+    /** Drop all live state: fresh registry/tree/driver/snapshot. */
+    void resetRuntimeLocked();
+    /** CRC32 of the encoded state, generation zeroed. */
+    std::uint32_t stateHashLocked() const;
     /** Apply one replayed wal record through the normal paths. */
     void applyRecordLocked(const JournalRecord &record);
     /** Journal one accepted record; handles degraded mode. */
@@ -214,6 +280,7 @@ class AllocationService
     std::unique_ptr<Journal> journal_;  //!< Null when disabled.
     RecoveryInfo recovery_;
     std::uint64_t generation_ = 0;  //!< Current snapshot generation.
+    ReplicationSink *sink_ = nullptr;  //!< Shipping edge; unowned.
 
     mutable std::mutex snapshotMutex_;  //!< Guards the pointer only.
     std::shared_ptr<const ServiceSnapshot> snapshot_;

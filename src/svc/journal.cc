@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -265,11 +266,29 @@ decodeJournalRecord(std::string_view payload)
     return record;
 }
 
+namespace {
+
+std::uint64_t
+steadyNowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
 Journal::Journal(JournalConfig config) : config_(std::move(config))
 {
     stats_.enabled = config_.enabled();
     retryBackoff_ = std::max<std::uint64_t>(
         1, config_.retryBackoffStart);
+    // Seed the re-probe jitter from the wall clock so two degraded
+    // journals on one box do not hammer a recovering disk in
+    // lockstep; determinism of the journal *content* is unaffected
+    // (jitter only shifts when a reopen is attempted).
+    jitterState_ = steadyNowNs() | 1;
     if (config_.enabled()) {
         // Best-effort: a directory that still cannot be opened just
         // degrades the journal on first use, it never stops the
@@ -407,7 +426,32 @@ Journal::begin(std::uint64_t generation,
     ++stats_.fsyncs;
     recordsSinceBegin_ = 0;
     sinceFsync_ = 0;
+    pendingBytes_ = 0;
+    noteCommitted();
     return true;
+}
+
+bool
+Journal::syncNow(const char *reason [[maybe_unused]])
+{
+    obs::Span span("journal.fsync", "journal");
+    if (const int err = io::syncFd(fd_, "journal.fsync")) {
+        enterDegraded("journal.fsync", err);
+        return false;
+    }
+    ++stats_.fsyncs;
+    sinceFsync_ = 0;
+    pendingBytes_ = 0;
+    noteCommitted();
+    return true;
+}
+
+void
+Journal::noteCommitted()
+{
+    // Commit watermark: everything appended so far is now durable.
+    stats_.committed = stats_.records;
+    stats_.pending = 0;
 }
 
 bool
@@ -426,17 +470,28 @@ Journal::append(const JournalRecord &record)
     stats_.bytes += frame.size();
     ++stats_.records;
     ++recordsSinceBegin_;
+    if (sinceFsync_ == 0)
+        oldestPendingNs_ = steadyNowNs();
     ++sinceFsync_;
-    if (config_.fsyncEvery != 0 &&
-        sinceFsync_ >= config_.fsyncEvery) {
-        obs::Span fsyncSpan("journal.fsync", "journal");
-        if (const int err = io::syncFd(fd_, "journal.fsync")) {
-            enterDegraded("journal.fsync", err);
+    stats_.pending = sinceFsync_;
+    if (config_.groupCommit()) {
+        // Group commit: batch until a size or age threshold, or
+        // until the owner's barrier() — whichever comes first.
+        pendingBytes_ += frame.size();
+        const bool full = config_.groupBytes != 0 &&
+                          pendingBytes_ >= config_.groupBytes;
+        const bool old =
+            config_.groupUsec != 0 &&
+            steadyNowNs() - oldestPendingNs_ >=
+                config_.groupUsec * 1000;
+        if ((full || old) && !syncNow("group"))
             return false;
-        }
-        ++stats_.fsyncs;
-        sinceFsync_ = 0;
+        return true;
     }
+    if (config_.fsyncEvery != 0 &&
+        sinceFsync_ >= config_.fsyncEvery &&
+        !syncNow("every"))
+        return false;
     return true;
 }
 
@@ -446,13 +501,17 @@ Journal::sync()
     if (!config_.enabled() || degraded_ || fd_ < 0 ||
         sinceFsync_ == 0)
         return;
-    obs::Span span("journal.fsync", "journal");
-    if (const int err = io::syncFd(fd_, "journal.fsync")) {
-        enterDegraded("journal.fsync", err);
-        return;
-    }
-    ++stats_.fsyncs;
-    sinceFsync_ = 0;
+    syncNow("sync");
+}
+
+bool
+Journal::barrier()
+{
+    if (!config_.enabled() || degraded_ || fd_ < 0)
+        return !config_.enabled();
+    if (sinceFsync_ == 0)
+        return true;
+    return syncNow("barrier");
 }
 
 void
@@ -460,6 +519,12 @@ Journal::enterDegraded(const char *site, int errnoValue)
 {
     ++stats_.appendErrors;
     io::closeFd(fd_);
+    // Any in-flight group-commit batch died with the fd; it was
+    // never acked (barrier() had not succeeded), so dropping the
+    // watermark bookkeeping is honest, not lossy.
+    sinceFsync_ = 0;
+    pendingBytes_ = 0;
+    stats_.pending = 0;
     if (!degraded_) {
         // First failure: start the backoff clock from scratch.
         // Failed reopens keep the widened backoff set by
@@ -487,13 +552,21 @@ Journal::noteSkippedAndMaybeRetry()
     // Time to try again; widen the backoff first so a failing disk
     // is probed geometrically less often (a failed reopen keeps the
     // widened value — enterDegraded only resets it on the first
-    // failure of a healthy journal).
+    // failure of a healthy journal). The width is capped at
+    // retryBackoffMax, so a recovered disk is always re-probed
+    // within one bounded window, and jittered (up to a quarter
+    // early) so co-located degraded journals spread their probes.
     const std::uint64_t next =
         std::min(retryBackoff_ * 2,
                  std::max<std::uint64_t>(1,
                                          config_.retryBackoffMax));
     retryBackoff_ = next;
-    retryIn_ = next;
+    jitterState_ ^= jitterState_ << 13;
+    jitterState_ ^= jitterState_ >> 7;
+    jitterState_ ^= jitterState_ << 17;
+    const std::uint64_t jitter =
+        next >= 4 ? jitterState_ % (next / 4) : 0;
+    retryIn_ = std::max<std::uint64_t>(1, next - jitter);
     return true;
 }
 

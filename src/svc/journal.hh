@@ -20,9 +20,12 @@
  * Runtime IO errors (EIO/ENOSPC on write or fsync, injectable via
  * svc/failpoints.hh) never take the service down: the journal enters
  * a degraded mode — appends are skipped and counted — and retries
- * re-opening with exponential backoff. Because skipped records are
- * lost, re-opening goes through a fresh snapshot (compaction), which
- * re-captures the full state before journaling resumes.
+ * re-opening with exponential backoff (capped at retryBackoffMax and
+ * jittered, so a recovered disk is re-probed within one bounded
+ * window and a fleet of degraded journals does not probe in
+ * lockstep). Because skipped records are lost, re-opening goes
+ * through a fresh snapshot (compaction), which re-captures the full
+ * state before journaling resumes.
  */
 
 #ifndef REF_SVC_JOURNAL_HH
@@ -54,8 +57,23 @@ struct JournalConfig
     std::uint64_t retryBackoffStart = 4;
     /** Backoff doubles per failed reopen up to this cap. */
     std::uint64_t retryBackoffMax = 512;
+    /**
+     * Group commit: appended bytes that force an fsync. Non-zero
+     * (either group knob) switches the journal into group-commit
+     * mode — append() never syncs inline on fsyncEvery; instead the
+     * batch is flushed when it reaches @ref groupBytes, when the
+     * oldest pending record reaches @ref groupUsec of age, or when
+     * the owner calls barrier() before acknowledging clients.
+     */
+    std::uint64_t groupBytes = 0;
+    /** Group commit: max age (µs) of an unsynced record. */
+    std::uint64_t groupUsec = 0;
 
     bool enabled() const { return !directory.empty(); }
+    bool groupCommit() const
+    {
+        return groupBytes > 0 || groupUsec > 0;
+    }
 };
 
 /** Journal-side counters surfaced through ServiceMetrics/STATS. */
@@ -73,6 +91,13 @@ struct JournalStats
     std::uint64_t reopens = 0;    //!< Successful degraded recoveries.
     std::uint64_t snapshots = 0;  //!< Compactions completed.
     std::uint64_t snapshotFailures = 0;
+    /**
+     * Commit-index watermark: records known durable (covered by an
+     * fsync). `records - committed` is the in-flight group-commit
+     * batch; barrier() drives it to zero before any client ack.
+     */
+    std::uint64_t committed = 0;
+    std::uint64_t pending = 0;  //!< records - committed, for STATS.
 };
 
 /** How the last recovery ended. */
@@ -219,6 +244,20 @@ class Journal
     /** Flush: fsync the wal now (shutdown/signal path). */
     void sync();
 
+    /**
+     * Group-commit ack barrier: make every appended record durable
+     * before replies leave the process. True when nothing was
+     * pending or the fsync succeeded; false when the flush failed
+     * (the journal is now degraded and the batch is lost).
+     */
+    bool barrier();
+
+    /** Records appended but not yet covered by an fsync. */
+    std::uint64_t pendingRecords() const { return sinceFsync_; }
+
+    /** Commit-index watermark: records known durable. */
+    std::uint64_t commitIndex() const { return stats_.committed; }
+
     bool degraded() const { return degraded_; }
 
     /**
@@ -248,6 +287,8 @@ class Journal
 
   private:
     void enterDegraded(const char *site, int errnoValue);
+    bool syncNow(const char *reason);
+    void noteCommitted();
 
     JournalConfig config_;
     int fd_ = -1;
@@ -257,6 +298,10 @@ class Journal
     std::uint64_t sinceFsync_ = 0;
     std::uint64_t retryIn_ = 0;       //!< Skips until next reopen try.
     std::uint64_t retryBackoff_ = 0;  //!< Current backoff width.
+    std::uint64_t pendingBytes_ = 0;  //!< Unsynced group-batch bytes.
+    /** steady_clock ns when the oldest pending record landed. */
+    std::uint64_t oldestPendingNs_ = 0;
+    std::uint64_t jitterState_;       //!< xorshift64 for S1 jitter.
 };
 
 } // namespace ref::svc

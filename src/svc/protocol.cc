@@ -174,8 +174,29 @@ commandSpanName(Command::Op op)
         return "cmd.shutdown";
     case Command::Op::Pool:
         return "cmd.pool";
+    case Command::Op::Sync:
+        return "cmd.sync";
+    case Command::Op::Promote:
+        return "cmd.promote";
     }
     return "cmd.other";
+}
+
+/** Commands a read-only warm-standby follower must refuse. */
+bool
+isMutating(const Command &command)
+{
+    switch (command.op) {
+    case Command::Op::Admit:
+    case Command::Op::Update:
+    case Command::Op::Depart:
+    case Command::Op::Tick:
+        return true;
+    case Command::Op::Pool:
+        return command.poolOp != Command::PoolOp::Query;
+    default:
+        return false;
+    }
 }
 
 /**
@@ -270,6 +291,22 @@ parseCommand(const std::vector<std::string> &tokens)
                       << sub
                       << "' (expected CREATE, ASSIGN, or QUERY)");
         }
+    } else if (command == "SYNC") {
+        REF_REQUIRE(tokens.size() == 3,
+                    "usage: SYNC <streamId> <seq>");
+        parsed.op = Command::Op::Sync;
+        const double stream = parseNumber(tokens[1]);
+        const double seq = parseNumber(tokens[2]);
+        REF_REQUIRE(stream >= 0 && seq >= 0 &&
+                        stream ==
+                            static_cast<std::uint64_t>(stream) &&
+                        seq == static_cast<std::uint64_t>(seq),
+                    "SYNC arguments must be non-negative integers");
+        parsed.syncStreamId = static_cast<std::uint64_t>(stream);
+        parsed.syncSeq = static_cast<std::uint64_t>(seq);
+    } else if (command == "PROMOTE") {
+        REF_REQUIRE(tokens.size() == 1, "usage: PROMOTE");
+        parsed.op = Command::Op::Promote;
     } else if (command == "SHUTDOWN") {
         REF_REQUIRE(tokens.size() == 1, "usage: SHUTDOWN");
         parsed.op = Command::Op::Shutdown;
@@ -397,6 +434,13 @@ CommandSession::executeCommand(const Command &command,
 
     obs::Span span(commandSpanName(command.op), "proto");
     try {
+        // A warm-standby follower is read-only: its state is the
+        // primary's WAL, so a local mutation would fork history and
+        // fail the next divergence check. Queries stay open.
+        REF_REQUIRE(!(options_.follower &&
+                      options_.follower->following() &&
+                      isMutating(command)),
+                    "read-only follower (PROMOTE to serve)");
         switch (command.op) {
         case Command::Op::Admit:
             service.admit(command.name, command.elasticities);
@@ -482,6 +526,12 @@ CommandSession::executeCommand(const Command &command,
             break;
         case Command::Op::Stats:
             printMetrics(out, service.metrics());
+            // Generation-independent CRC32 of the full service
+            // state: the fingerprint the replication divergence
+            // check compares, exposed so an operator (or the
+            // failover soak) can assert two servers are bit-equal
+            // without dumping either one.
+            out << "state_hash=" << service.stateHash() << "\n";
             break;
         case Command::Op::Metrics: {
             const std::string &format = command.metricsFormat;
@@ -516,6 +566,22 @@ CommandSession::executeCommand(const Command &command,
             out << "OK shutdown\n";
             result.shutdown = true;
             return LineStatus::Shutdown;
+        case Command::Op::Sync:
+            // The WAL stream is CRC32 frames; only the binary
+            // transport can carry it. The socket front-end
+            // intercepts Sync on binary connections before this
+            // point, so reaching here means a text/stdio client.
+            REF_FATAL("SYNC requires the binary protocol "
+                      "(negotiate with the REFBIN hello)");
+        case Command::Op::Promote: {
+            REF_REQUIRE(options_.follower != nullptr,
+                        "not a follower (started without --follow)");
+            std::string message;
+            REF_REQUIRE(options_.follower->promote(message),
+                        "promotion failed: " << message);
+            out << "OK promoted " << message << "\n";
+            break;
+        }
         case Command::Op::Pool:
             switch (command.poolOp) {
             case Command::PoolOp::Create:

@@ -26,6 +26,12 @@
  *                                weight defaults to 1)
  *   POOL ASSIGN <name> <path>    move an agent into a pool
  *   POOL QUERY [path]            print one pool or all pools
+ *   SYNC <streamId> <seq>        subscribe to the WAL stream (binary
+ *                                transport only; over text it draws
+ *                                an ERR pointing at the framing)
+ *   PROMOTE                      flip a warm-standby follower to
+ *                                serving (fresh generation); an ERR
+ *                                on a non-follower
  *   SHUTDOWN                     reply OK and end the session
  *   # ...                        comment; blank lines are ignored
  *
@@ -52,6 +58,23 @@
 #include "svc/allocation_service.hh"
 
 namespace ref::svc {
+
+/**
+ * Session-side view of a warm-standby follower (implemented by
+ * repl::FollowerClient; abstract here so ref_svc never depends on
+ * the replication layer). While following() is true every mutating
+ * command draws "ERR read-only follower"; PROMOTE calls promote().
+ */
+class FollowerControl
+{
+  public:
+    virtual ~FollowerControl() = default;
+    /** True while the service replays a primary (read-only). */
+    virtual bool following() const = 0;
+    /** Stop following and start serving; @p message gets the OK
+     *  detail line. False when promotion is impossible. */
+    virtual bool promote(std::string &message) = 0;
+};
 
 /** Largest count one TICK command may request. */
 inline constexpr std::uint64_t kMaxTickCount = 100000;
@@ -80,6 +103,12 @@ struct Command
         Metrics = 8,
         Shutdown = 9,
         Pool = 10,
+        /** Follower pull: subscribe this connection to the WAL
+         *  stream (binary transport only — the reply is a stream of
+         *  repl frames, which the text framing cannot carry). */
+        Sync = 11,
+        /** Flip a follower to serving (fresh generation). */
+        Promote = 12,
     };
 
     /** Pool sub-operation; values are wire bytes, keep them stable. */
@@ -111,6 +140,12 @@ struct Command
     std::string poolPath;
     /** Pool weight for PoolOp::Create. */
     double poolWeight = 1.0;
+    /** Sync: the primary stream identity the follower last saw (0
+     *  on a cold start — forces a snapshot resync). */
+    std::uint64_t syncStreamId = 0;
+    /** Sync: last record sequence the follower holds; streaming
+     *  resumes at syncSeq + 1 when the ring still covers it. */
+    std::uint64_t syncSeq = 0;
 };
 
 /** Protocol-session knobs. */
@@ -138,6 +173,12 @@ struct SessionOptions
      * transport; stdio sessions keep their exposition byte-stable.
      */
     bool includeGlobalMetrics = false;
+    /**
+     * Warm-standby state, shared by every session of a follower
+     * process. Null on a normal primary: PROMOTE then answers "ERR
+     * not a follower" and nothing is read-only.
+     */
+    FollowerControl *follower = nullptr;
 };
 
 /** What happened over one session. */

@@ -78,6 +78,12 @@ ServiceMetrics::ServiceMetrics()
       journalSnapshotFailures_(registry_.gauge(
           "ref_journal_snapshot_failures",
           "Snapshot compactions that failed")),
+      journalCommitted_(registry_.gauge(
+          "ref_journal_committed",
+          "Records known durable (group-commit watermark)")),
+      journalPending_(registry_.gauge(
+          "ref_journal_pending",
+          "Appended records awaiting their group-commit fsync")),
       recoveryOutcome_(registry_.gauge(
           "ref_recovery_outcome_code",
           "Recovery outcome: 0 disabled, 1 fresh, 2 clean, "
@@ -184,6 +190,8 @@ ServiceMetrics::setJournal(const JournalStats &stats)
     journalSnapshots_.set(static_cast<double>(stats.snapshots));
     journalSnapshotFailures_.set(
         static_cast<double>(stats.snapshotFailures));
+    journalCommitted_.set(static_cast<double>(stats.committed));
+    journalPending_.set(static_cast<double>(stats.pending));
 }
 
 void
@@ -251,6 +259,9 @@ ServiceMetrics::snapshot() const
         static_cast<std::uint64_t>(journalSnapshots_.value());
     j.snapshotFailures = static_cast<std::uint64_t>(
         journalSnapshotFailures_.value());
+    j.committed =
+        static_cast<std::uint64_t>(journalCommitted_.value());
+    j.pending = static_cast<std::uint64_t>(journalPending_.value());
 
     RecoveryInfo &r = data.recovery;
     r.outcome = static_cast<RecoveryOutcome>(
@@ -305,7 +316,9 @@ printMetrics(std::ostream &os, const MetricsSnapshot &snapshot)
        << "journal_degraded_skipped=" << j.degradedSkipped << "\n"
        << "journal_reopens=" << j.reopens << "\n"
        << "journal_snapshots=" << j.snapshots << "\n"
-       << "journal_snapshot_failures=" << j.snapshotFailures << "\n";
+       << "journal_snapshot_failures=" << j.snapshotFailures << "\n"
+       << "journal_committed=" << j.committed << "\n"
+       << "journal_pending=" << j.pending << "\n";
     const RecoveryInfo &r = snapshot.recovery;
     os << "recovery_outcome=" << toString(r.outcome) << "\n"
        << "recovery_snapshot_loaded=" << (r.snapshotLoaded ? 1 : 0)

@@ -160,6 +160,8 @@ class ServiceMetrics
     obs::Gauge &journalReopens_;
     obs::Gauge &journalSnapshots_;
     obs::Gauge &journalSnapshotFailures_;
+    obs::Gauge &journalCommitted_;
+    obs::Gauge &journalPending_;
 
     obs::Gauge &recoveryOutcome_;
     obs::Gauge &recoverySnapshotLoaded_;

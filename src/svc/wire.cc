@@ -21,6 +21,8 @@ opFromByte(std::uint8_t byte)
     case Command::Op::Metrics:
     case Command::Op::Shutdown:
     case Command::Op::Pool:
+    case Command::Op::Sync:
+    case Command::Op::Promote:
         return static_cast<Command::Op>(byte);
     }
     REF_FATAL("unknown binary opcode "
@@ -85,9 +87,14 @@ encodeCommand(const Command &command)
             break;
         }
         break;
+    case Command::Op::Sync:
+        writer.u64(command.syncStreamId);
+        writer.u64(command.syncSeq);
+        break;
     case Command::Op::Plan:
     case Command::Op::Stats:
     case Command::Op::Shutdown:
+    case Command::Op::Promote:
         break;
     }
     return writer.take();
@@ -134,9 +141,14 @@ decodeCommand(std::string_view payload)
             break;
         }
         break;
+    case Command::Op::Sync:
+        command.syncStreamId = reader.u64();
+        command.syncSeq = reader.u64();
+        break;
     case Command::Op::Plan:
     case Command::Op::Stats:
     case Command::Op::Shutdown:
+    case Command::Op::Promote:
         break;
     }
     REF_REQUIRE(reader.atEnd(), "request frame has "

@@ -13,6 +13,8 @@
 #include <string>
 
 #include "net_test_util.hh"
+#include "repl/repl_protocol.hh"
+#include "repl/replication_hub.hh"
 #include "svc/wire.hh"
 #include "util/crc32.hh"
 #include "util/record_io.hh"
@@ -250,6 +252,198 @@ TEST(BinaryFuzz, SeededCorruptionStormAccountsExactly)
     EXPECT_EQ(stats.dropped, 0u);
     EXPECT_EQ(stats.protocol.errors, expectErr);
     EXPECT_EQ(sent, expectOk + expectErr);
+}
+
+// --- Replication (SYNC) channel -----------------------------------
+//
+// The WAL shipping stream rides the same CRC framing, so it owes the
+// same adversarial contract: a torn or corrupt frame in either
+// direction draws one ERR (or a clean drop that the follower's
+// reconnect heals via snapshot) — never a silently divergent replica.
+
+std::string
+syncFrame(std::uint64_t streamId = 0, std::uint64_t seq = 0)
+{
+    Command sync;
+    sync.op = Command::Op::Sync;
+    sync.syncStreamId = streamId;
+    sync.syncSeq = seq;
+    return wire::encodeCommand(sync);
+}
+
+/** Next wire Reply, skipping interleaved replication frames (the
+ *  primary may slot a heartbeat between our request and its answer). */
+bool
+nextReply(TestClient &client, wire::Reply &out, int timeoutMs = 5000)
+{
+    std::string payload;
+    while (client.readFrameUnit(payload, timeoutMs)) {
+        if (!repl::isReplMessage(payload)) {
+            out = wire::decodeReply(payload);
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Next replication frame of @p kind, skipping heartbeats and
+ *  replies. */
+bool
+nextReplFrame(TestClient &client, repl::MessageKind kind,
+              repl::ReplMessage &out, int timeoutMs = 5000)
+{
+    std::string payload;
+    while (client.readFrameUnit(payload, timeoutMs)) {
+        if (!repl::isReplMessage(payload))
+            continue;
+        out = repl::decodeReplMessage(payload);
+        if (out.kind == kind)
+            return true;
+    }
+    return false;
+}
+
+TEST(BinaryFuzz, TornSyncHelloDrawsOneErrThenCloses)
+{
+    repl::ReplicationHub hub;
+    net::ServerOptions options;
+    options.replicationHub = &hub;
+    ServerHarness harness({}, options);
+    TestClient client(harness.port());
+    ASSERT_TRUE(client.negotiateBinary());
+
+    // The subscription hello torn mid-frame, then EOF: the server
+    // must answer the torn-tail ERR and never register a replica.
+    const std::string whole = frameRecord(syncFrame());
+    client.sendAll(
+        std::string_view(whole).substr(0, whole.size() - 3));
+    client.shutdownWrite();
+    wire::Reply err;
+    ASSERT_TRUE(nextReply(client, err));
+    EXPECT_EQ(err.status, wire::ReplyStatus::Err);
+    EXPECT_NE(err.text.find("torn"), std::string::npos) << err.text;
+    EXPECT_TRUE(client.waitForClose());
+    const net::ServerStats &stats = harness.stop();
+    EXPECT_EQ(stats.badFrames, 1u);
+    EXPECT_EQ(stats.replicas, 0u);
+}
+
+TEST(BinaryFuzz, CorruptSyncHelloDrawsOneErrThenCleanSubscribe)
+{
+    repl::ReplicationHub hub;
+    net::ServerOptions options;
+    options.replicationHub = &hub;
+    ServerHarness harness({}, options);
+    TestClient client(harness.port());
+    ASSERT_TRUE(client.negotiateBinary());
+
+    // CRC-flipped SYNC: one ERR, the channel survives.
+    client.sendAll(corruptCrcFrame(syncFrame()));
+    wire::Reply err;
+    ASSERT_TRUE(nextReply(client, err));
+    EXPECT_EQ(err.status, wire::ReplyStatus::Err);
+    EXPECT_NE(err.text.find("CRC"), std::string::npos) << err.text;
+
+    // The retried SYNC subscribes cleanly: OK hello, then the full
+    // snapshot (cursor 0 on a fresh stream always resyncs).
+    client.sendFrame(syncFrame());
+    wire::Reply ok;
+    ASSERT_TRUE(nextReply(client, ok));
+    EXPECT_EQ(ok.status, wire::ReplyStatus::Ok);
+    EXPECT_NE(ok.text.find("sync"), std::string::npos) << ok.text;
+    repl::ReplMessage snapshot;
+    ASSERT_TRUE(nextReplFrame(client, repl::MessageKind::Snapshot,
+                              snapshot));
+    EXPECT_EQ(snapshot.streamId, hub.streamId());
+    client.close();
+    const net::ServerStats &stats = harness.stop();
+    EXPECT_EQ(stats.badFrames, 1u);
+    EXPECT_EQ(stats.replicas, 1u);
+}
+
+TEST(BinaryFuzz, CorruptAckMidStreamKeepsRecordsFlowing)
+{
+    repl::ReplicationHub hub;
+    net::ServerOptions options;
+    options.replicationHub = &hub;
+    options.heartbeatIntervalMs = 50;
+    ServerHarness harness({}, options);
+    harness.service().setReplicationSink(&hub);
+
+    TestClient follower(harness.port());
+    ASSERT_TRUE(follower.negotiateBinary());
+    follower.sendFrame(syncFrame());
+    wire::Reply ok;
+    ASSERT_TRUE(nextReply(follower, ok));
+    ASSERT_EQ(ok.status, wire::ReplyStatus::Ok);
+    repl::ReplMessage snapshot;
+    ASSERT_TRUE(nextReplFrame(follower, repl::MessageKind::Snapshot,
+                              snapshot));
+
+    // A CRC-corrupt Ack mid-stream: framing-level damage draws the
+    // standard one ERR and the subscription stays live.
+    repl::ReplMessage ack;
+    ack.kind = repl::MessageKind::Ack;
+    follower.sendAll(
+        corruptCrcFrame(repl::encodeReplMessage(ack)));
+    wire::Reply err;
+    ASSERT_TRUE(nextReply(follower, err));
+    EXPECT_EQ(err.status, wire::ReplyStatus::Err);
+
+    // New WAL records still reach the surviving subscription.
+    TestClient driver(harness.port());
+    driver.sendAll("ADMIT web 1.0 0.4\nTICK 1\n");
+    driver.readLines(2);
+    repl::ReplMessage record;
+    ASSERT_TRUE(nextReplFrame(follower, repl::MessageKind::Record,
+                              record));
+    EXPECT_GE(record.seq, 1u);
+
+    follower.close();
+    driver.close();
+    harness.service().setReplicationSink(nullptr);
+    const net::ServerStats &stats = harness.stop();
+    EXPECT_EQ(stats.badFrames, 1u);
+    EXPECT_EQ(stats.replicas, 1u);
+    EXPECT_EQ(stats.dropped, 0u);
+}
+
+TEST(BinaryFuzz, UndecodableReplicaFrameDropsThenResyncHeals)
+{
+    repl::ReplicationHub hub;
+    net::ServerOptions options;
+    options.replicationHub = &hub;
+    ServerHarness harness({}, options);
+    harness.service().setReplicationSink(&hub);
+
+    TestClient broken(harness.port());
+    ASSERT_TRUE(broken.negotiateBinary());
+    broken.sendFrame(syncFrame());
+    wire::Reply ok;
+    ASSERT_TRUE(nextReply(broken, ok));
+    ASSERT_EQ(ok.status, wire::ReplyStatus::Ok);
+
+    // CRC-valid but not an Ack (a truncated Record kind byte): a
+    // replica off-protocol is dropped — the reconnect path owns the
+    // repair, so a lying peer can never feed the gauges garbage.
+    broken.sendFrame(std::string("\x41", 1));
+    EXPECT_TRUE(broken.waitForClose());
+
+    // The drop healed, not hid: a fresh subscription resyncs from a
+    // snapshot as if nothing happened.
+    TestClient again(harness.port());
+    ASSERT_TRUE(again.negotiateBinary());
+    again.sendFrame(syncFrame());
+    ASSERT_TRUE(nextReply(again, ok));
+    EXPECT_EQ(ok.status, wire::ReplyStatus::Ok);
+    repl::ReplMessage snapshot;
+    ASSERT_TRUE(nextReplFrame(again, repl::MessageKind::Snapshot,
+                              snapshot));
+    again.close();
+    harness.service().setReplicationSink(nullptr);
+    const net::ServerStats &stats = harness.stop();
+    EXPECT_EQ(stats.badFrames, 1u);
+    EXPECT_EQ(stats.replicas, 2u);
 }
 
 } // namespace

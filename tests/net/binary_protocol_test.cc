@@ -62,6 +62,13 @@ toLine(const Command &command)
     case Command::Op::Metrics:
         line << "METRICS " << command.metricsFormat;
         break;
+    case Command::Op::Sync:
+        line << "SYNC " << command.syncStreamId << " "
+             << command.syncSeq;
+        break;
+    case Command::Op::Promote:
+        line << "PROMOTE";
+        break;
     case Command::Op::Pool:
         line << "POOL ";
         switch (command.poolOp) {

@@ -99,6 +99,65 @@ TEST(Histogram, SentinelMinNeverLeaks)
     EXPECT_EQ(histogram.snapshot().sum, 930u);
 }
 
+TEST(Histogram, QuantileEmptyAndSingleSample)
+{
+    Histogram histogram(16);
+    EXPECT_EQ(Histogram::quantile(histogram.snapshot(), 0.5), 0u);
+
+    histogram.observe(42);
+    const auto snap = histogram.snapshot();
+    // One sample: every quantile is that sample, clamped by the
+    // observed extremes regardless of the bucket's span.
+    EXPECT_EQ(Histogram::quantile(snap, 0.5), 42u);
+    EXPECT_EQ(Histogram::quantile(snap, 0.99), 42u);
+}
+
+TEST(Histogram, QuantileInterpolatesWithinBucket)
+{
+    Histogram histogram(16);
+    // 100 samples spread across bucket 7 ([64, 128)): quantiles
+    // must be monotone and stay inside the observed range.
+    for (int i = 0; i < 100; ++i)
+        histogram.observe(64 + static_cast<std::uint64_t>(i) % 64);
+    const auto snap = histogram.snapshot();
+    const std::uint64_t p50 = Histogram::quantile(snap, 0.50);
+    const std::uint64_t p90 = Histogram::quantile(snap, 0.90);
+    const std::uint64_t p99 = Histogram::quantile(snap, 0.99);
+    EXPECT_GE(p50, snap.min);
+    EXPECT_LE(p99, snap.max);
+    EXPECT_LE(p50, p90);
+    EXPECT_LE(p90, p99);
+    EXPECT_GT(p99, p50) << "interpolation must spread quantiles "
+                           "inside one bucket";
+}
+
+TEST(Histogram, QuantileAcrossBuckets)
+{
+    Histogram histogram(16);
+    // 90 small samples and 10 large ones: p50 stays small, p99
+    // lands in the large cluster.
+    for (int i = 0; i < 90; ++i)
+        histogram.observe(3);
+    for (int i = 0; i < 10; ++i)
+        histogram.observe(1000);
+    const auto snap = histogram.snapshot();
+    EXPECT_EQ(Histogram::quantile(snap, 0.50), 3u);
+    const std::uint64_t p99 = Histogram::quantile(snap, 0.99);
+    EXPECT_GE(p99, 512u);
+    EXPECT_LE(p99, 1000u);
+}
+
+TEST(Histogram, QuantileClampsUnboundedLastBucketToMax)
+{
+    Histogram histogram(4);  // Buckets: {0}, [1,2), [2,4), [4,inf).
+    histogram.observe(5);
+    histogram.observe(700);
+    const auto snap = histogram.snapshot();
+    EXPECT_LE(Histogram::quantile(snap, 0.99), 700u)
+        << "the unbounded bucket must clamp to the observed max";
+    EXPECT_GE(Histogram::quantile(snap, 0.01), 5u);
+}
+
 TEST(MetricsRegistry, GetOrCreateReturnsSameInstance)
 {
     MetricsRegistry registry;
@@ -152,6 +211,11 @@ TEST(MetricsRegistry, PrometheusExpositionShape)
               std::string::npos);
     EXPECT_NE(text.find("ref_lat_sum 102"), std::string::npos);
     EXPECT_NE(text.find("ref_lat_count 3"), std::string::npos);
+    // Quantile companion series follow sum/count.
+    EXPECT_NE(text.find("ref_lat_p50 "), std::string::npos);
+    EXPECT_NE(text.find("ref_lat_p90 "), std::string::npos);
+    EXPECT_NE(text.find("ref_lat_p99 "), std::string::npos);
+    EXPECT_LT(text.find("ref_lat_count"), text.find("ref_lat_p50"));
     // Sorted by name: a before b before lat.
     EXPECT_LT(text.find("ref_a_gauge"), text.find("ref_b_total"));
     EXPECT_LT(text.find("ref_b_total"), text.find("ref_lat"));
@@ -222,6 +286,8 @@ TEST(MetricsRegistry, JsonExpositionParsesStructurally)
     EXPECT_NE(text.find("\"ref_g\":0.25"), std::string::npos);
     EXPECT_NE(text.find("\"histograms\""), std::string::npos);
     EXPECT_NE(text.find("\"count\":1"), std::string::npos);
+    EXPECT_NE(text.find("\"p50\":5"), std::string::npos);
+    EXPECT_NE(text.find("\"p99\":5"), std::string::npos);
 }
 
 TEST(MetricsRegistry, ConcurrentIncrementsUnderThreadPool)

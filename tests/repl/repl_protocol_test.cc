@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Replication frame codec: round-trips, kind-range discrimination
+ * against command/reply payloads, and malformed-byte rejection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "repl/repl_protocol.hh"
+#include "svc/wire.hh"
+#include "util/logging.hh"
+
+namespace ref::repl {
+namespace {
+
+TEST(ReplProtocol, SnapshotRoundTrip)
+{
+    ReplMessage message;
+    message.kind = MessageKind::Snapshot;
+    message.streamId = 0xfeedfacecafebeefULL;
+    message.seq = 42;
+    message.payload = std::string("state\0bytes", 11);
+
+    const ReplMessage decoded =
+        decodeReplMessage(encodeReplMessage(message));
+    EXPECT_EQ(decoded.kind, MessageKind::Snapshot);
+    EXPECT_EQ(decoded.streamId, message.streamId);
+    EXPECT_EQ(decoded.seq, 42u);
+    EXPECT_EQ(decoded.payload, message.payload);
+}
+
+TEST(ReplProtocol, RecordRoundTrip)
+{
+    ReplMessage message;
+    message.kind = MessageKind::Record;
+    message.seq = 7;
+    message.timestampNs = 123456789;
+    message.stateHash = 0xdeadbeef;
+    message.payload = "journal-record-bytes";
+
+    const ReplMessage decoded =
+        decodeReplMessage(encodeReplMessage(message));
+    EXPECT_EQ(decoded.kind, MessageKind::Record);
+    EXPECT_EQ(decoded.seq, 7u);
+    EXPECT_EQ(decoded.timestampNs, 123456789u);
+    EXPECT_EQ(decoded.stateHash, 0xdeadbeefu);
+    EXPECT_EQ(decoded.payload, "journal-record-bytes");
+}
+
+TEST(ReplProtocol, HeartbeatAndAckRoundTrip)
+{
+    for (const MessageKind kind :
+         {MessageKind::Heartbeat, MessageKind::Ack}) {
+        ReplMessage message;
+        message.kind = kind;
+        message.seq = 99;
+        message.timestampNs = 5000;
+        const ReplMessage decoded =
+            decodeReplMessage(encodeReplMessage(message));
+        EXPECT_EQ(decoded.kind, kind);
+        EXPECT_EQ(decoded.seq, 99u);
+        EXPECT_EQ(decoded.timestampNs, 5000u);
+        EXPECT_TRUE(decoded.payload.empty());
+    }
+}
+
+TEST(ReplProtocol, KindRangeIsDisjointFromCommandsAndReplies)
+{
+    // Replication kinds occupy 0x40..0x43; command payloads start
+    // with an opcode (1..12) and replies with a status (0..3). A
+    // misrouted payload must never sniff as a replication frame.
+    svc::Command command;
+    command.op = svc::Command::Op::Sync;
+    EXPECT_FALSE(isReplMessage(svc::wire::encodeCommand(command)));
+    EXPECT_FALSE(isReplMessage(
+        svc::wire::encodeReply(svc::wire::ReplyStatus::Ok, "OK\n")));
+
+    ReplMessage heartbeat;
+    heartbeat.kind = MessageKind::Heartbeat;
+    EXPECT_TRUE(isReplMessage(encodeReplMessage(heartbeat)));
+    EXPECT_FALSE(isReplMessage(""));
+    EXPECT_FALSE(isReplMessage("\x44"));
+}
+
+TEST(ReplProtocol, RejectsUnknownKind)
+{
+    EXPECT_THROW(decodeReplMessage("\x39"), FatalError);
+    EXPECT_THROW(decodeReplMessage("\x7f"), FatalError);
+}
+
+TEST(ReplProtocol, RejectsTruncatedAndTrailingBytes)
+{
+    ReplMessage message;
+    message.kind = MessageKind::Record;
+    message.seq = 1;
+    message.payload = "x";
+    const std::string encoded = encodeReplMessage(message);
+
+    EXPECT_THROW(
+        decodeReplMessage(std::string_view(encoded).substr(
+            0, encoded.size() - 1)),
+        FatalError);
+    EXPECT_THROW(decodeReplMessage(encoded + "!"), FatalError);
+}
+
+/** Every truncation point of every kind must throw, never crash or
+ *  silently succeed — the torn-frame contract of the channel. */
+TEST(ReplProtocol, EveryTruncationThrows)
+{
+    ReplMessage snapshot;
+    snapshot.kind = MessageKind::Snapshot;
+    snapshot.streamId = 1;
+    snapshot.seq = 2;
+    snapshot.payload = "payload";
+    ReplMessage record;
+    record.kind = MessageKind::Record;
+    record.seq = 3;
+    record.timestampNs = 4;
+    record.stateHash = 5;
+    record.payload = "r";
+    ReplMessage ack;
+    ack.kind = MessageKind::Ack;
+    ack.seq = 6;
+    ack.timestampNs = 7;
+
+    for (const ReplMessage &message : {snapshot, record, ack}) {
+        const std::string encoded = encodeReplMessage(message);
+        for (std::size_t cut = 1; cut < encoded.size(); ++cut)
+            EXPECT_THROW(
+                decodeReplMessage(
+                    std::string_view(encoded).substr(0, cut)),
+                FatalError)
+                << "kind " << static_cast<int>(message.kind)
+                << " cut at " << cut;
+    }
+}
+
+} // namespace
+} // namespace ref::repl

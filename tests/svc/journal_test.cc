@@ -1,9 +1,11 @@
 #include "svc/journal.hh"
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -248,32 +250,199 @@ TEST_F(JournalTest, WriteErrorEntersDegradedModeAndBackoffWidens)
 
     svc::FailpointSpec spec;
     spec.action = svc::FailAction::Error;
-    spec.errnoValue = ENOSPC;
+    spec.errnoValue = EIO;
     svc::Failpoints::instance().arm("journal.write", spec);
 
     EXPECT_FALSE(journal.append(tickRecord(1)));
     EXPECT_TRUE(journal.degraded());
     EXPECT_EQ(journal.stats().appendErrors, 1u);
 
-    // Backoff: 2 skips to the first retry, then 4, then 8, capped.
+    // Backoff doubles: 2 skips to the first retry, then 4, then 8
+    // capped. Widths of 4+ are jittered up to a quarter early, so
+    // assert windows, not exact positions.
     int retries = 0;
     std::vector<int> gaps;
     int gap = 0;
-    for (int i = 0; i < 40; ++i) {
+    for (int i = 0; i < 60 && retries < 4; ++i) {
         ++gap;
         if (journal.noteSkippedAndMaybeRetry()) {
             gaps.push_back(gap);
             gap = 0;
-            if (++retries == 4)
-                break;
+            ++retries;
         }
     }
     ASSERT_EQ(gaps.size(), 4u);
     EXPECT_EQ(gaps[0], 2);
-    EXPECT_EQ(gaps[1], 4);
-    EXPECT_EQ(gaps[2], 8);
-    EXPECT_EQ(gaps[3], 8);  // Capped at retryBackoffMax.
-    EXPECT_EQ(journal.stats().degradedSkipped, 22u);
+    EXPECT_EQ(gaps[1], 4);  // Width 4: jitter range collapses to 0.
+    EXPECT_GE(gaps[2], 6);  // Width 8, up to a quarter early.
+    EXPECT_LE(gaps[2], 8);
+    EXPECT_GE(gaps[3], 6);  // Capped at retryBackoffMax.
+    EXPECT_LE(gaps[3], 8);
+}
+
+TEST_F(JournalTest, DegradedBackoffIsCappedAndJitterBounded)
+{
+    // S1 regression: under a persistent eio failpoint the re-probe
+    // cadence must stay inside one bounded window forever — the cap
+    // keeps a recovered disk from waiting unboundedly, the jitter
+    // keeps a fleet of degraded journals from probing in lockstep.
+    JournalConfig cfg = config();
+    cfg.retryBackoffStart = 4;
+    cfg.retryBackoffMax = 64;
+    Journal journal(cfg);
+    ASSERT_TRUE(journal.begin(1, {24.0, 12.0}));
+
+    svc::FailpointSpec spec;
+    spec.action = svc::FailAction::Error;
+    spec.errnoValue = EIO;
+    svc::Failpoints::instance().arm("journal.write", spec);
+    EXPECT_FALSE(journal.append(tickRecord(1)));
+    ASSERT_TRUE(journal.degraded());
+
+    std::vector<int> gaps;
+    int gap = 0;
+    // 4 doubling rounds (4->8->16->32->64), then 20 capped rounds.
+    const int wantRetries = 24;
+    for (int i = 0; i < 64 * (wantRetries + 2) &&
+                    static_cast<int>(gaps.size()) < wantRetries;
+         ++i) {
+        ++gap;
+        if (journal.noteSkippedAndMaybeRetry()) {
+            gaps.push_back(gap);
+            gap = 0;
+        }
+    }
+    ASSERT_EQ(static_cast<int>(gaps.size()), wantRetries);
+    for (std::size_t i = 0; i < gaps.size(); ++i) {
+        // Never slower than the cap, never more than a quarter
+        // early relative to the cap once widened past the start.
+        EXPECT_LE(gaps[i], 64) << "retry " << i;
+        EXPECT_GE(gaps[i], 1) << "retry " << i;
+    }
+    // Once capped, every window sits in [3/4 * max, max].
+    bool sawJitter = false;
+    for (std::size_t i = 5; i < gaps.size(); ++i) {
+        EXPECT_GE(gaps[i], 48) << "capped retry " << i;
+        EXPECT_LE(gaps[i], 64) << "capped retry " << i;
+        if (gaps[i] != 64)
+            sawJitter = true;
+    }
+    // 19 draws from a 16-wide window: all landing on the rightmost
+    // point means the jitter is dead (probability ~1e-23).
+    EXPECT_TRUE(sawJitter);
+}
+
+TEST_F(JournalTest, GroupCommitBatchesUntilBarrier)
+{
+    JournalConfig cfg = config();
+    cfg.groupBytes = 1 << 20;  // Unreachable: barrier-driven only.
+    Journal journal(cfg);
+    ASSERT_TRUE(journal.begin(1, {24.0, 12.0}));
+    const std::uint64_t afterBegin = journal.stats().fsyncs;
+
+    for (std::uint64_t epoch = 1; epoch <= 5; ++epoch)
+        ASSERT_TRUE(journal.append(tickRecord(epoch)));
+    // Nothing synced yet: the batch is pending, not committed.
+    EXPECT_EQ(journal.stats().fsyncs, afterBegin);
+    EXPECT_EQ(journal.stats().pending, 5u);
+    EXPECT_EQ(journal.pendingRecords(), 5u);
+    EXPECT_LT(journal.commitIndex(), journal.stats().records);
+
+    // One barrier makes the whole batch durable at one fsync.
+    ASSERT_TRUE(journal.barrier());
+    EXPECT_EQ(journal.stats().fsyncs, afterBegin + 1);
+    EXPECT_EQ(journal.stats().pending, 0u);
+    EXPECT_EQ(journal.commitIndex(), journal.stats().records);
+
+    // An idle barrier is free.
+    ASSERT_TRUE(journal.barrier());
+    EXPECT_EQ(journal.stats().fsyncs, afterBegin + 1);
+}
+
+TEST_F(JournalTest, GroupCommitFlushesOnByteThreshold)
+{
+    JournalConfig cfg = config();
+    cfg.groupBytes = 1;  // Every append crosses the threshold.
+    Journal journal(cfg);
+    ASSERT_TRUE(journal.begin(1, {24.0, 12.0}));
+    const std::uint64_t afterBegin = journal.stats().fsyncs;
+    ASSERT_TRUE(journal.append(tickRecord(1)));
+    EXPECT_EQ(journal.stats().fsyncs, afterBegin + 1);
+    EXPECT_EQ(journal.stats().pending, 0u);
+}
+
+TEST_F(JournalTest, GroupCommitFlushesOnAge)
+{
+    JournalConfig cfg = config();
+    cfg.groupUsec = 1;  // Any measurable age forces the flush.
+    Journal journal(cfg);
+    ASSERT_TRUE(journal.begin(1, {24.0, 12.0}));
+    ASSERT_TRUE(journal.append(tickRecord(1)));
+    // The first append starts the age clock; by the second append
+    // the oldest pending record is past 1 µs and must flush.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    const std::uint64_t before = journal.stats().fsyncs;
+    ASSERT_TRUE(journal.append(tickRecord(2)));
+    EXPECT_GT(journal.stats().fsyncs, before);
+    EXPECT_EQ(journal.stats().pending, 0u);
+}
+
+TEST_F(JournalTest, GroupCommitBarrierFailureDegradesNotAcks)
+{
+    // Ack-after-durable: when the barrier's fsync dies, barrier()
+    // must report failure (the owner withholds/decorates acks) and
+    // the journal must enter degraded mode — never pretend the
+    // batch committed.
+    JournalConfig cfg = config();
+    cfg.groupBytes = 1 << 20;
+    Journal journal(cfg);
+    ASSERT_TRUE(journal.begin(1, {24.0, 12.0}));
+    ASSERT_TRUE(journal.append(tickRecord(1)));
+    ASSERT_TRUE(journal.append(tickRecord(2)));
+    const std::uint64_t committedBefore = journal.commitIndex();
+
+    svc::FailpointSpec spec;
+    spec.action = svc::FailAction::Error;
+    spec.errnoValue = EIO;
+    spec.count = 1;
+    svc::Failpoints::instance().arm("journal.fsync", spec);
+
+    EXPECT_FALSE(journal.barrier());
+    EXPECT_TRUE(journal.degraded());
+    // The watermark never advanced past what an fsync covered.
+    EXPECT_EQ(journal.commitIndex(), committedBefore);
+    EXPECT_EQ(journal.stats().pending, 0u);  // Batch died unacked.
+}
+
+TEST_F(JournalTest, GroupCommitCrashNeverLosesBarrieredRecords)
+{
+    // The durability-ack contract under a crash: everything a
+    // successful barrier() covered must replay; only the tail the
+    // caller never got an ack for is at the crash's mercy.
+    JournalConfig cfg = config();
+    cfg.groupBytes = 1 << 20;
+    {
+        Journal journal(cfg);
+        ASSERT_TRUE(journal.begin(7, {24.0, 12.0}));
+        for (std::uint64_t epoch = 1; epoch <= 3; ++epoch)
+            ASSERT_TRUE(journal.append(tickRecord(epoch)));
+        ASSERT_TRUE(journal.barrier());  // Acked through epoch 3.
+        ASSERT_TRUE(journal.append(tickRecord(4)));  // Never acked.
+        svc::Failpoints::instance().armFromSpec(
+            "journal.fsync=crash");
+        EXPECT_THROW(journal.barrier(), svc::CrashInjected);
+    }
+    svc::Failpoints::instance().clearAll();
+
+    Journal reopened(config());
+    const auto replay = reopened.replay(7);
+    ASSERT_TRUE(replay.hadWal);
+    ASSERT_GE(replay.records.size(), 3u);
+    for (std::uint64_t epoch = 1; epoch <= 3; ++epoch) {
+        EXPECT_EQ(replay.records[epoch - 1].type,
+                  JournalRecord::Type::Tick);
+        EXPECT_EQ(replay.records[epoch - 1].epoch, epoch);
+    }
 }
 
 TEST_F(JournalTest, ReopenAfterDegradedResumesJournaling)

@@ -125,6 +125,18 @@ struct CliOptions
     bool zipfSkew = false;
     /** Untimed ADMIT(+ASSIGN) pairs per connection before timing. */
     std::uint64_t preload = 0;
+    /**
+     * Tolerate one mid-run server loss per connection: reconnect —
+     * to --failover-to if given, else the same address — probe with
+     * untimed TICKs until the peer accepts writes (a warm standby
+     * refuses them until PROMOTE), and finish the run there. The
+     * requests in flight at the loss are not retried; their effects
+     * may or may not have replicated, so later commands touching
+     * those agents can draw ERRs (counted, never fatal). Closed
+     * loop only.
+     */
+    bool expectFailover = false;
+    std::string failoverTo;  //!< Standby addr:port for the retry.
 };
 
 [[noreturn]] void
@@ -139,7 +151,8 @@ usage(const char *argv0, const std::string &error = "")
            "          [--window W] [--rate OPS_PER_SEC]\n"
            "          [--mix A:U:D:T:Q] [--max-live N]\n"
            "          [--pools N] [--pool-skew uniform|zipf]\n"
-           "          [--preload K] [--name NAME]\n\n"
+           "          [--preload K] [--name NAME]\n"
+           "          [--expect-failover] [--failover-to ADDR:PORT]\n\n"
            "Seeded load generator for ref_serve's socket front-end:\n"
            "N connections send a deterministic ADMIT/UPDATE/DEPART/\n"
            "TICK/QUERY stream (text lines, or binary frames with\n"
@@ -150,7 +163,12 @@ usage(const char *argv0, const std::string &error = "")
            "--pools N targets a pooled server: an untimed prologue\n"
            "creates p0..p<N-1> and preloads --preload agents per\n"
            "connection, then every measured ADMIT pairs with a POOL\n"
-           "ASSIGN into a uniform or Zipf(1)-skewed pool.\n";
+           "ASSIGN into a uniform or Zipf(1)-skewed pool.\n"
+           "--expect-failover tolerates one server loss per\n"
+           "connection (closed loop only): reconnect to\n"
+           "--failover-to (default: the same address), probe with\n"
+           "untimed TICKs until writes are accepted, continue, and\n"
+           "report the write-outage gap on stderr.\n";
     std::exit(2);
 }
 
@@ -258,6 +276,11 @@ parseArgs(int argc, char **argv)
                           skew + "'");
         } else if (arg == "--preload") {
             options.preload = parseCount(argv[0], arg, next());
+        } else if (arg == "--expect-failover") {
+            options.expectFailover = true;
+        } else if (arg == "--failover-to") {
+            options.failoverTo = next();
+            options.expectFailover = true;
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
         } else {
@@ -266,6 +289,11 @@ parseArgs(int argc, char **argv)
     }
     if (options.connect.empty())
         usage(argv[0], "--connect is required");
+    if (options.expectFailover && options.openLoop)
+        usage(argv[0],
+              "--expect-failover supports closed loop only (open-"
+              "loop pacing across an outage measures the schedule, "
+              "not the server)");
     return options;
 }
 
@@ -609,6 +637,8 @@ struct ConnResult
     std::uint64_t errors = 0;   //!< ERR replies (QUERY races etc).
     std::uint64_t stalls = 0;   //!< Open-loop pacing stalls.
     std::size_t liveAtEnd = 0;  //!< Stream's live agents after run.
+    std::uint64_t failovers = 0;     //!< Server losses survived.
+    std::uint64_t failoverGapNs = 0; //!< Loss to first accepted write.
     bool failed = false;        //!< Connect/IO failure.
 };
 
@@ -668,43 +698,108 @@ void
 runClosedLoop(const CliOptions &options, std::size_t conn,
               ConnResult &result)
 {
-    const int fd = connectTo(options.connect);
-    ReplyStream replies{fd, {}, 0};
     CommandStream stream(options, conn);
+    std::string target = options.connect;
     std::string unit;
+    int fd = -1;
+    ReplyStream replies;
 
-    if (options.binary) {
-        sendAll(fd, svc::wire::helloMagic());
-        REF_REQUIRE(replies.readFrameUnit(unit),
-                    "no hello ack from server");
-        REF_REQUIRE(svc::wire::decodeReply(unit).status ==
-                        svc::wire::ReplyStatus::Hello,
-                    "bad hello ack from server");
-    }
+    const auto openSession = [&] {
+        fd = connectTo(target);
+        replies = ReplyStream{fd, {}, 0};
+        if (options.binary) {
+            sendAll(fd, svc::wire::helloMagic());
+            REF_REQUIRE(replies.readFrameUnit(unit),
+                        "no hello ack from server");
+            REF_REQUIRE(svc::wire::decodeReply(unit).status ==
+                            svc::wire::ReplyStatus::Hello,
+                        "bad hello ack from server");
+        }
+    };
+    openSession();
     runSetup(options, fd, replies, stream);
 
     result.latenciesNs.reserve(options.ops);
     std::deque<std::pair<std::uint64_t, bool>> sentAt;
     std::uint64_t sent = 0;
     std::uint64_t done = 0;
-    while (done < options.ops) {
-        while (sent < options.ops &&
-               sentAt.size() < options.window) {
-            const svc::Command command = stream.next();
-            const std::string bytes =
-                options.binary
-                    ? frameRecord(svc::wire::encodeCommand(command))
-                    : CommandStream::toLine(command);
-            sentAt.emplace_back(nowNs(),
-                                command.op ==
-                                    svc::Command::Op::Tick);
-            sendAll(fd, bytes);
-            ++sent;
+
+    // The server went away mid-run: reconnect to the standby and
+    // keep going, once. The in-flight window died with the old
+    // server (those ops never get replies); the probe loop rides
+    // out the promotion gap, during which a warm standby still
+    // refuses writes.
+    const auto failOver = [&]() -> bool {
+        if (!options.expectFailover || result.failovers > 0)
+            return false;
+        ++result.failovers;
+        if (fd >= 0)
+            ::close(fd);
+        fd = -1;
+        sent -= sentAt.size();
+        sentAt.clear();
+        if (!options.failoverTo.empty())
+            target = options.failoverTo;
+        const std::uint64_t gapStart = nowNs();
+        constexpr std::uint64_t kGiveUpNs = 30'000'000'000ull;
+        svc::Command probe;
+        probe.op = svc::Command::Op::Tick;
+        probe.tickCount = 1;
+        while (nowNs() - gapStart < kGiveUpNs) {
+            try {
+                openSession();
+                sendAll(fd, options.binary
+                                ? frameRecord(svc::wire::encodeCommand(
+                                      probe))
+                                : CommandStream::toLine(probe));
+                const bool ok = options.binary
+                                    ? replies.readFrameUnit(unit)
+                                    : replies.readLine(unit);
+                if (ok && !replyIsError(options, unit)) {
+                    result.failoverGapNs = nowNs() - gapStart;
+                    return true;
+                }
+            } catch (const std::exception &) {
+                // Connect refused / reset: the standby is not
+                // serving yet.
+            }
+            if (fd >= 0)
+                ::close(fd);
+            fd = -1;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
         }
-        const bool ok = options.binary
-                            ? replies.readFrameUnit(unit)
-                            : replies.readLine(unit);
-        if (!ok) {
+        return false;
+    };
+
+    while (done < options.ops) {
+        try {
+            while (sent < options.ops &&
+                   sentAt.size() < options.window) {
+                const svc::Command command = stream.next();
+                const std::string bytes =
+                    options.binary
+                        ? frameRecord(
+                              svc::wire::encodeCommand(command))
+                        : CommandStream::toLine(command);
+                sentAt.emplace_back(nowNs(),
+                                    command.op ==
+                                        svc::Command::Op::Tick);
+                sendAll(fd, bytes);
+                ++sent;
+            }
+            const bool ok = options.binary
+                                ? replies.readFrameUnit(unit)
+                                : replies.readLine(unit);
+            if (!ok) {
+                if (failOver())
+                    continue;
+                result.failed = true;
+                break;
+            }
+        } catch (const std::exception &) {
+            if (failOver())
+                continue;
             result.failed = true;
             break;
         }
@@ -718,7 +813,8 @@ runClosedLoop(const CliOptions &options, std::size_t conn,
         ++done;
     }
     result.liveAtEnd = stream.liveCount();
-    ::close(fd);
+    if (fd >= 0)
+        ::close(fd);
 }
 
 void
@@ -853,6 +949,8 @@ main(int argc, char **argv)
         std::uint64_t errors = 0;
         std::uint64_t stalls = 0;
         std::size_t agents = 0;
+        std::uint64_t failovers = 0;
+        std::uint64_t failoverGapNs = 0;
         bool failed = false;
         for (const ConnResult &result : results) {
             latencies.insert(latencies.end(),
@@ -864,6 +962,9 @@ main(int argc, char **argv)
             errors += result.errors;
             stalls += result.stalls;
             agents += result.liveAtEnd;
+            failovers += result.failovers;
+            failoverGapNs =
+                std::max(failoverGapNs, result.failoverGapNs);
             failed |= result.failed;
         }
         std::sort(latencies.begin(), latencies.end());
@@ -883,6 +984,11 @@ main(int argc, char **argv)
                   << "-loop";
         if (stalls > 0)
             std::cerr << ", " << stalls << " pacing stalls";
+        if (failovers > 0)
+            // Machine-greppable: the failover soak parses this line
+            // for its BENCH failover-time record.
+            std::cerr << ", failovers=" << failovers
+                      << " failover_gap_ns=" << failoverGapNs;
         std::cerr << "\n";
 
         std::cout << "{\"name\": \"" << options.name

@@ -9,12 +9,15 @@
  *   ref_serve [--capacity C0,C1] [--hysteresis H] [--assoc N]
  *             [--pooled] [--pool-shards N]
  *             [--journal DIR] [--fsync-every N] [--snapshot-every N]
+ *             [--fsync-policy every:N|group:BYTES,USEC]
  *             [--selfcheck] [--strict] [--echo] [--file PATH]
  *             [--metrics-out PATH] [--fairness-out PATH]
  *             [--trace-out PATH] [--trace-sample N]
  *             [--listen ADDR:PORT] [--unix PATH] [--shards N]
  *             [--max-clients N] [--idle-timeout MS]
  *             [--write-timeout MS] [--max-line-bytes N]
+ *             [--follow HOST:PORT] [--promote-timeout MS]
+ *             [--heartbeat-interval MS]
  *
  * Transports: with no --listen/--unix the protocol runs over
  * stdin/stdout exactly as before (stdio stays the default so every
@@ -62,6 +65,20 @@
  * the journal IO layer (svc/failpoints.hh), e.g.
  * REF_FAILPOINTS='journal.fsync=eio@2x1' — test harnesses use this
  * to exercise degraded mode and crash recovery on a real process.
+ *
+ * Replication (DESIGN.md "Replication & failover"): a socket-mode
+ * server is always a potential primary — any binary-protocol client
+ * that sends SYNC becomes a warm-standby subscriber and receives the
+ * WAL as it is written. --fsync-policy group:BYTES,USEC batches
+ * journal fsyncs (group commit) while the transport's ack-after-
+ * durable barrier keeps every reply and every shipped record behind
+ * a completed fsync. --follow HOST:PORT starts this server as the
+ * standby instead: it syncs a snapshot + WAL tail from the primary,
+ * replays every record through the live service code paths
+ * (read-only to clients until promoted), cross-checks its state
+ * hash on every shipped TICK, and takes over — PROMOTE command or
+ * --promote-timeout MS of primary silence — on a fresh journal
+ * generation.
  */
 
 #include <csignal>
@@ -71,8 +88,12 @@
 #include <sstream>
 #include <string>
 
+#include <memory>
+
 #include "net/sharded_server.hh"
 #include "obs/trace.hh"
+#include "repl/follower.hh"
+#include "repl/replication_hub.hh"
 #include "svc/failpoints.hh"
 #include "svc/protocol.hh"
 #include "util/logging.hh"
@@ -123,7 +144,12 @@ struct CliOptions
     int writeTimeoutMs = 10000;
     double hysteresis = 0.0;
     std::uint64_t fsyncEvery = 1;
+    std::uint64_t groupBytes = 0;
+    std::uint64_t groupUsec = 0;
     std::uint64_t snapshotEvery = 1024;
+    std::string followAddress;  //!< Empty: not a follower.
+    int promoteTimeoutMs = 0;   //!< 0: explicit PROMOTE only.
+    int heartbeatIntervalMs = 1000;
     unsigned associativity = 16;
     std::size_t poolShards = 8;
     bool pooled = false;
@@ -143,6 +169,9 @@ usage(const char *argv0, const std::string &error = "")
            "          [--pooled] [--pool-shards N]\n"
            "          [--journal DIR] [--fsync-every N] "
            "[--snapshot-every N]\n"
+           "          [--fsync-policy every:N|group:BYTES,USEC]\n"
+           "          [--follow HOST:PORT] [--promote-timeout MS]\n"
+           "          [--heartbeat-interval MS]\n"
            "          [--selfcheck] [--strict] [--echo] "
            "[--file PATH]\n"
            "          [--metrics-out PATH] [--fairness-out PATH]\n"
@@ -175,7 +204,17 @@ usage(const char *argv0, const std::string &error = "")
            "one protocol line. --pooled runs the hierarchical pool\n"
            "tree (POOL CREATE/ASSIGN/QUERY; epochs stay O(changed\n"
            "paths), QUERY answers from the live tree, enforcement\n"
-           "off); --pool-shards N sets its leaf-registry shards.\n";
+           "off); --pool-shards N sets its leaf-registry shards.\n"
+           "--fsync-policy group:BYTES,USEC batches journal fsyncs\n"
+           "(group commit): a batch commits when it reaches BYTES\n"
+           "or its oldest record ages USEC microseconds, and socket\n"
+           "replies still wait for durability (ack-after-durable).\n"
+           "A socket-mode server ships its WAL to any binary client\n"
+           "that subscribes with SYNC; --follow HOST:PORT runs this\n"
+           "process as that warm standby instead (read-only until\n"
+           "PROMOTE, or automatically after --promote-timeout MS of\n"
+           "primary silence); --heartbeat-interval MS paces primary\n"
+           "liveness frames to caught-up followers.\n";
     std::exit(2);
 }
 
@@ -248,6 +287,44 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--fsync-every") {
             options.fsyncEvery = static_cast<std::uint64_t>(
                 parseNumber(argv[0], arg, next()));
+        } else if (arg == "--fsync-policy") {
+            const std::string value = next();
+            if (value.rfind("every:", 0) == 0) {
+                options.fsyncEvery = static_cast<std::uint64_t>(
+                    parseNumber(argv[0], arg, value.substr(6)));
+                options.groupBytes = 0;
+                options.groupUsec = 0;
+            } else if (value.rfind("group:", 0) == 0) {
+                const std::string spec = value.substr(6);
+                const std::size_t comma = spec.find(',');
+                if (comma == std::string::npos)
+                    usage(argv[0],
+                          "--fsync-policy group wants BYTES,USEC, "
+                          "got '" + value + "'");
+                options.groupBytes = static_cast<std::uint64_t>(
+                    parseNumber(argv[0], arg,
+                                spec.substr(0, comma)));
+                options.groupUsec = static_cast<std::uint64_t>(
+                    parseNumber(argv[0], arg,
+                                spec.substr(comma + 1)));
+                if (options.groupBytes == 0 &&
+                    options.groupUsec == 0)
+                    usage(argv[0],
+                          "--fsync-policy group needs BYTES or "
+                          "USEC > 0");
+            } else {
+                usage(argv[0],
+                      "--fsync-policy wants every:N or "
+                      "group:BYTES,USEC, got '" + value + "'");
+            }
+        } else if (arg == "--follow") {
+            options.followAddress = next();
+        } else if (arg == "--promote-timeout") {
+            options.promoteTimeoutMs = static_cast<int>(
+                parseNumber(argv[0], arg, next()));
+        } else if (arg == "--heartbeat-interval") {
+            options.heartbeatIntervalMs = static_cast<int>(
+                parseNumber(argv[0], arg, next()));
         } else if (arg == "--snapshot-every") {
             options.snapshotEvery = static_cast<std::uint64_t>(
                 parseNumber(argv[0], arg, next()));
@@ -310,6 +387,8 @@ main(int argc, char **argv)
         config.poolShards = options.poolShards;
         config.journal.directory = options.journalDir;
         config.journal.fsyncEvery = options.fsyncEvery;
+        config.journal.groupBytes = options.groupBytes;
+        config.journal.groupUsec = options.groupUsec;
         config.journal.snapshotEvery = options.snapshotEvery;
         svc::AllocationService service(config);
 
@@ -343,8 +422,36 @@ main(int argc, char **argv)
                   "--file is a stdio-mode flag; use --listen/--unix "
                   "without it");
 
+        // Warm-standby mode: replay the primary's WAL in the
+        // background; the session gate keeps clients read-only
+        // until PROMOTE (or the primary-silence timeout) flips us.
+        std::unique_ptr<repl::FollowerClient> follower;
+        if (!options.followAddress.empty()) {
+            repl::FollowerClient::Options followOptions;
+            followOptions.address = options.followAddress;
+            followOptions.promoteTimeoutMs =
+                options.promoteTimeoutMs;
+            follower = std::make_unique<repl::FollowerClient>(
+                service, followOptions);
+            session.follower = follower.get();
+            follower->start();
+            std::cerr << "FOLLOWING addr=" << options.followAddress
+                      << " promote_timeout_ms="
+                      << options.promoteTimeoutMs << "\n";
+        }
+
+        // Any socket-mode server is a potential replication
+        // primary: the hub turns every journaled record into a
+        // shippable stream frame, and binary clients subscribe
+        // with SYNC. (A follower keeps a hub too — promoting it
+        // makes it a primary its old peers can re-follow.)
+        std::unique_ptr<repl::ReplicationHub> hub;
+        if (socketMode)
+            hub = std::make_unique<repl::ReplicationHub>();
+
         svc::SessionResult result;
         if (socketMode) {
+            service.setReplicationSink(hub.get());
             net::ServerOptions server;
             server.listenAddress = options.listenAddress;
             server.unixPath = options.unixPath;
@@ -353,6 +460,9 @@ main(int argc, char **argv)
             server.idleTimeoutMs = options.idleTimeoutMs;
             server.writeTimeoutMs = options.writeTimeoutMs;
             server.session = session;
+            server.replicationHub = hub.get();
+            server.heartbeatIntervalMs =
+                options.heartbeatIntervalMs;
             net::ShardedServer front(service, server,
                                      options.shards);
             front.start();
@@ -383,7 +493,9 @@ main(int argc, char **argv)
                       << stats.bytesOut << " bytes out, "
                       << stats.overlongLines << " overlong lines, "
                       << stats.frames << " frames ("
-                      << stats.badFrames << " bad)\n";
+                      << stats.badFrames << " bad), "
+                      << stats.replicas << " replicas\n";
+            service.setReplicationSink(nullptr);
         } else if (options.sessionFile.empty()) {
             result = svc::runSession(service, std::cin, std::cout,
                                      session);
@@ -396,6 +508,12 @@ main(int argc, char **argv)
                                      session);
         }
 
+        if (follower)
+            follower->stop();
+
+        // S2 drain order: flush any in-flight group-commit batch
+        // BEFORE the final STATS print, so the journal counters in
+        // the log describe a fully durable WAL (journal_pending=0).
         service.syncJournal();
 
         if (!options.traceOut.empty()) {
