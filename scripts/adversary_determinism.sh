@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Transcript determinism for the strategic fleet: the same seed must
+# produce byte-identical ref_adversary stdout across the text and
+# binary framings and across server shard counts (1 and 4). That is
+# the contract that makes the committed strategy-proofness bench
+# reproducible: elasticities are a pure function of (seed, index),
+# QUERY reads the published epoch snapshot, and the mechanism's
+# allocation is order-independent, so nothing about transport or
+# shard interleaving may leak into the measurement.
+set -u
+
+REF_SERVE=${1:?usage: adversary_determinism.sh <ref_serve> <ref_adversary> <workdir> [sweep] [seed]}
+REF_ADVERSARY=${2:?usage: adversary_determinism.sh <ref_serve> <ref_adversary> <workdir> [sweep] [seed]}
+WORKDIR=${3:?usage: adversary_determinism.sh <ref_serve> <ref_adversary> <workdir> [sweep] [seed]}
+SWEEP=${4:-2,4,8,16,32}
+SEED=${5:-42}
+
+rm -rf "$WORKDIR"
+mkdir -p "$WORKDIR"
+SRV=
+
+fail() {
+    echo "FAIL: $1" >&2
+    echo "--- server stderr ---" >&2
+    tail -20 "$WORKDIR"/server*.err >&2 2>/dev/null || true
+    [ -n "$SRV" ] && kill -9 "$SRV" 2>/dev/null
+    exit 1
+}
+
+start_server() {
+    # $1: shard count, $2: stderr log name.
+    "$REF_SERVE" --capacity 24,12 --selfcheck --strict \
+        --listen 127.0.0.1:0 --shards "$1" \
+        > "$WORKDIR/server.out" 2> "$WORKDIR/$2" &
+    SRV=$!
+    PORT=
+    for _ in $(seq 1 100); do
+        PORT=$(sed -n \
+            's/^LISTENING .*addr=[^ ]*:\([0-9][0-9]*\).*$/\1/p' \
+            "$WORKDIR/$2" 2>/dev/null)
+        [ -n "$PORT" ] && break
+        kill -0 "$SRV" 2>/dev/null || fail "server died on startup"
+        sleep 0.05
+    done
+    [ -n "$PORT" ] || fail "no LISTENING line in $2"
+}
+
+stop_server() {
+    kill "$SRV" 2>/dev/null
+    wait "$SRV" 2>/dev/null
+    SRV=
+}
+
+run_fleet() {
+    # $1: output name, $2...: extra ref_adversary flags.
+    local out=$1
+    shift
+    "$REF_ADVERSARY" --connect "127.0.0.1:$PORT" \
+        --sweep "$SWEEP" --liars 1 --seed "$SEED" "$@" \
+        > "$WORKDIR/$out" 2>> "$WORKDIR/adversary.err" ||
+        fail "ref_adversary failed for $out"
+}
+
+# One server per shard count; both framings share each server (the
+# fleet departs its agents, so runs are independent).
+start_server 1 server1.err
+run_fleet text_1shard.json
+run_fleet binary_1shard.json --binary
+stop_server
+
+start_server 4 server4.err
+run_fleet text_4shard.json
+run_fleet binary_4shard.json --binary
+stop_server
+
+for variant in binary_1shard text_4shard binary_4shard; do
+    cmp -s "$WORKDIR/text_1shard.json" "$WORKDIR/$variant.json" ||
+        fail "$variant.json differs from text_1shard.json"
+done
+
+RECORDS=$(wc -l < "$WORKDIR/text_1shard.json")
+EXPECTED=$(echo "$SWEEP" | tr ',' '\n' | wc -l)
+[ "$RECORDS" -eq "$EXPECTED" ] ||
+    fail "expected $EXPECTED records, got $RECORDS"
+
+echo "ok: $RECORDS records byte-identical across" \
+    "text/binary x 1/4 shards (sweep $SWEEP, seed $SEED)"

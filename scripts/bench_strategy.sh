@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Strategy-proofness sweep: ref_adversary drives one live ref_serve
+# through population sizes N with K strategic clients each, producing
+# one BENCH artifact in out_dir:
+#
+#   BENCH_strategyproofness.json   one record per N (gain-from-lying
+#                                  ratio, utilization loss, honest
+#                                  cohort SI/EF margins)
+#
+# Records are BENCH-schema (export_bench_timings.py --check) with
+# deterministic measurements: wall_ns counts epochs consumed, not
+# wall-clock, so the committed baseline is byte-reproducible and the
+# regression gate tracks convergence cost. The run then feeds
+# check_strategyproofness.py, which enforces the paper's SPL claim:
+# gain >= 1 everywhere, decaying toward 1 as N grows, honest SI
+# margins never below 1.
+set -u
+
+usage="usage: bench_strategy.sh <ref_serve> <ref_adversary> <workdir> \
+[sweep] [liars] [seed] [out_dir]"
+REF_SERVE=${1:?$usage}
+REF_ADVERSARY=${2:?$usage}
+WORKDIR=${3:?$usage}
+SWEEP=${4:-2,4,8,16,32,64,128,256,512,1024}
+LIARS=${5:-1}
+SEED=${6:-42}
+OUT_DIR=${7:-$WORKDIR}
+
+rm -rf "$WORKDIR"
+mkdir -p "$WORKDIR" "$OUT_DIR"
+SRV=
+
+fail() {
+    echo "FAIL: $1" >&2
+    tail -20 "$WORKDIR"/server*.err >&2 2>/dev/null || true
+    [ -n "$SRV" ] && kill -9 "$SRV" 2>/dev/null
+    exit 1
+}
+
+# One self-checking server hosts the whole sweep (the fleet departs
+# its agents between steps). --strict makes any slipped ERR or failed
+# SI/EF/selfcheck epoch a non-zero exit below.
+"$REF_SERVE" --capacity 24,12 --selfcheck --strict \
+    --listen 127.0.0.1:0 \
+    > "$WORKDIR/server.out" 2> "$WORKDIR/server.err" &
+SRV=$!
+PORT=
+for _ in $(seq 1 100); do
+    PORT=$(sed -n \
+        's/^LISTENING .*addr=[^ ]*:\([0-9][0-9]*\).*$/\1/p' \
+        "$WORKDIR/server.err" 2>/dev/null)
+    [ -n "$PORT" ] && break
+    kill -0 "$SRV" 2>/dev/null || fail "server died on startup"
+    sleep 0.05
+done
+[ -n "$PORT" ] || fail "no LISTENING line in server.err"
+
+"$REF_ADVERSARY" --connect "127.0.0.1:$PORT" --sweep "$SWEEP" \
+    --liars "$LIARS" --seed "$SEED" \
+    > "$WORKDIR/strategy_records.jsonl" \
+    2> "$WORKDIR/adversary.err" ||
+    fail "ref_adversary sweep failed"
+
+# Graceful shutdown so --strict verdicts surface as the exit code.
+exec 3<>"/dev/tcp/127.0.0.1/$PORT" || fail "control connect failed"
+printf 'SHUTDOWN\n' >&3
+cat <&3 >/dev/null
+exec 3<&- 3>&-
+wait "$SRV" || fail "server exited non-zero (strict violation?)"
+SRV=
+
+python3 - "$WORKDIR/strategy_records.jsonl" \
+    "$OUT_DIR/BENCH_strategyproofness.json" <<'EOF' ||
+import json, sys
+records = [json.loads(line)
+           for line in open(sys.argv[1]) if line.strip()]
+if not records:
+    sys.exit("no records produced")
+with open(sys.argv[2], "w") as out:
+    out.write(json.dumps(records, indent=2) + "\n")
+EOF
+    fail "could not assemble strategy records"
+
+SCRIPTS_DIR=$(cd "$(dirname "$0")" && pwd)
+python3 "$SCRIPTS_DIR/export_bench_timings.py" --check \
+    "$OUT_DIR/BENCH_strategyproofness.json" ||
+    fail "generated BENCH file does not conform to the schema"
+python3 "$SCRIPTS_DIR/check_strategyproofness.py" \
+    "$OUT_DIR/BENCH_strategyproofness.json" ||
+    fail "strategy-proofness properties violated"
+
+echo "ok: $OUT_DIR/BENCH_strategyproofness.json" \
+    "(sweep $SWEEP, liars $LIARS, seed $SEED)"

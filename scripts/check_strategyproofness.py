@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Gate a strategy-proofness sweep on the paper's SPL claim.
+
+Reads BENCH-schema records produced by ref_adversary /
+bench_strategy.sh (one per population size N) and enforces, per
+liar-count series sorted by N:
+
+  1. Lying never loses: gain_ratio >= 1 - --gain-eps at every N (the
+     truthful report is always feasible, so a best response below it
+     is a search bug).
+  2. Monotone-trend decay: doubling the population never raises the
+     liar's edge beyond --trend-slack, and the largest N's gain is
+     within --max-final-gain of truthful (strategy-proofness in the
+     large, Section 4.3 / Appendix A).
+  3. The honest cohort is never pushed below its fairness
+     guarantees: honest_si_margin >= 1 and honest_ef_margin >= 1
+     (within --margin-eps) at every N.
+
+Exit status: 0 clean, 1 on any violated property, 2 on malformed
+inputs.
+
+Usage:
+  check_strategyproofness.py BENCH_strategyproofness.json...
+      [--max-final-gain 1.01] [--gain-eps 1e-9]
+      [--trend-slack 1e-6] [--margin-eps 1e-9]
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load_records(paths):
+    records = []
+    for path in paths:
+        doc = json.loads(pathlib.Path(path).read_text())
+        records.extend(doc if isinstance(doc, list) else [doc])
+    return records
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("inputs", nargs="+",
+                        help="BENCH files with strategy records")
+    parser.add_argument("--max-final-gain", type=float, default=1.01,
+                        help="largest-N gain ceiling (default 1.01: "
+                             "within 1%% of truthful)")
+    parser.add_argument("--gain-eps", type=float, default=1e-9,
+                        help="numerical slack below gain 1.0")
+    parser.add_argument("--trend-slack", type=float, default=1e-6,
+                        help="allowed relative gain increase between "
+                             "consecutive N")
+    parser.add_argument("--margin-eps", type=float, default=1e-9,
+                        help="numerical slack below margin 1.0")
+    args = parser.parse_args(argv)
+
+    try:
+        records = [r for r in load_records(args.inputs)
+                   if "gain_ratio" in r]
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: unreadable bench file: {exc}", file=sys.stderr)
+        return 2
+    if not records:
+        print("error: no strategy records in inputs", file=sys.stderr)
+        return 2
+
+    series = {}
+    for record in records:
+        try:
+            series.setdefault(record["liars"], []).append(record)
+        except KeyError:
+            print(f"error: record '{record.get('name')}' has no "
+                  "'liars' field", file=sys.stderr)
+            return 2
+
+    failures = []
+    for liars, group in sorted(series.items()):
+        group.sort(key=lambda r: r["agents"])
+        previous = None
+        for record in group:
+            name = record["name"]
+            gain = record["gain_ratio"]
+            si = record.get("honest_si_margin", 1.0)
+            ef = record.get("honest_ef_margin", 1.0)
+            print(f"{name}: N={record['agents']} K={liars} "
+                  f"gain={gain:.9f} honest_si={si:.9f} "
+                  f"honest_ef={ef:.9f} "
+                  f"rounds={record.get('rounds', '?')}")
+            if gain < 1.0 - args.gain_eps:
+                failures.append(
+                    f"'{name}': gain {gain} below 1 - lying lost, "
+                    "the best-response search is broken")
+            if previous is not None and \
+                    gain > previous["gain_ratio"] * \
+                    (1.0 + args.trend_slack):
+                failures.append(
+                    f"'{name}': gain {gain} rose above "
+                    f"'{previous['name']}''s "
+                    f"{previous['gain_ratio']} - decay is not "
+                    "monotone in trend")
+            if si < 1.0 - args.margin_eps:
+                failures.append(
+                    f"'{name}': honest SI margin {si} < 1 - lying "
+                    "pushed honest agents below their equal split")
+            if ef < 1.0 - args.margin_eps:
+                failures.append(
+                    f"'{name}': honest EF margin {ef} < 1")
+            previous = record
+        final = group[-1]
+        if final["gain_ratio"] > args.max_final_gain:
+            failures.append(
+                f"'{final['name']}': largest-N gain "
+                f"{final['gain_ratio']} exceeds the "
+                f"{args.max_final_gain} ceiling - SPL decay too "
+                "slow")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print(f"ok: {len(records)} record(s) in {len(series)} "
+              "series satisfy SPL decay and honest-cohort margins")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

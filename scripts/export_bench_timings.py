@@ -15,7 +15,11 @@ bench_pool_scale.sh) share the same schema, optionally extended with
 ``ops_per_sec``, ``p50_ns`` / ``p90_ns`` / ``p99_ns`` latency
 quantiles, and — for pooled scale runs — ``agents``, ``pools``, and
 TICK-only ``tick_p50_ns`` / ``tick_p99_ns``; a BENCH file may hold
-one record or a JSON array of them.
+one record or a JSON array of them. Strategy-proofness records
+(ref_adversary, bench_strategy.sh) add ``liars``, ``rounds``,
+``converged``, the ``gain_ratio`` family, ``utilization_loss`` (may
+be negative: lying can *raise* reported welfare), and the cohort
+margins.
 
 Usage:
   export_bench_timings.py <benchmark_out.json>... [--out-dir DIR]
@@ -56,6 +60,27 @@ _OPTIONAL = {
     "tick_p50_ns": lambda v: isinstance(v, (int, float))
     and not isinstance(v, bool) and v >= 0,
     "tick_p99_ns": lambda v: isinstance(v, (int, float))
+    and not isinstance(v, bool) and v >= 0,
+    # Strategy-proofness sweep records (ref_adversary).
+    "liars": lambda v: isinstance(v, int)
+    and not isinstance(v, bool) and v >= 0,
+    "rounds": lambda v: isinstance(v, int)
+    and not isinstance(v, bool) and v >= 0,
+    "converged": lambda v: v in (0, 1)
+    and not isinstance(v, bool),
+    "gain_ratio": lambda v: isinstance(v, (int, float))
+    and not isinstance(v, bool) and v >= 0,
+    "mean_gain_ratio": lambda v: isinstance(v, (int, float))
+    and not isinstance(v, bool) and v >= 0,
+    "report_deviation": lambda v: isinstance(v, (int, float))
+    and not isinstance(v, bool) and v >= 0,
+    "utilization_loss": lambda v: isinstance(v, (int, float))
+    and not isinstance(v, bool),
+    "honest_si_margin": lambda v: isinstance(v, (int, float))
+    and not isinstance(v, bool) and v >= 0,
+    "honest_ef_margin": lambda v: isinstance(v, (int, float))
+    and not isinstance(v, bool) and v >= 0,
+    "liar_si_margin": lambda v: isinstance(v, (int, float))
     and not isinstance(v, bool) and v >= 0,
 }
 

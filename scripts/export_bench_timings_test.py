@@ -27,6 +27,15 @@ GOOD_FULL = {"name": "socket_binary_4shard", "wall_ns": 9876.0,
 GOOD_POOLED = {**GOOD_FULL, "name": "pool_scale_P100000",
                "agents": 100000, "pools": 64,
                "tick_p50_ns": 120000, "tick_p99_ns": 900000}
+GOOD_STRATEGY = {"name": "strategy/n64_k1", "wall_ns": 8,
+                 "iterations": 500, "agents": 64, "liars": 1,
+                 "rounds": 7, "converged": 1,
+                 "gain_ratio": 1.0013, "mean_gain_ratio": 1.0013,
+                 "report_deviation": 0.021,
+                 "utilization_loss": -8.5e-05,
+                 "honest_si_margin": 1.002,
+                 "honest_ef_margin": 1.0003,
+                 "liar_si_margin": 1.125}
 
 
 class CheckTest(unittest.TestCase):
@@ -38,7 +47,10 @@ class CheckTest(unittest.TestCase):
         path = write(self.dir.name, "BENCH_a.json", GOOD)
         full = write(self.dir.name, "BENCH_b.json", GOOD_FULL)
         pooled = write(self.dir.name, "BENCH_p.json", GOOD_POOLED)
-        self.assertEqual(ebt.check([path, full, pooled]), [])
+        strategy = write(self.dir.name, "BENCH_s.json",
+                         GOOD_STRATEGY)
+        self.assertEqual(ebt.check([path, full, pooled, strategy]),
+                         [])
 
     def test_array_of_records_passes(self):
         path = write(self.dir.name, "BENCH_arr.json",
@@ -66,6 +78,13 @@ class CheckTest(unittest.TestCase):
             {**GOOD, "agents": 1.5},
             {**GOOD, "pools": -1},
             {**GOOD, "tick_p99_ns": "slow"},
+            {**GOOD_STRATEGY, "converged": 2},
+            {**GOOD_STRATEGY, "converged": True},
+            {**GOOD_STRATEGY, "gain_ratio": -0.5},
+            {**GOOD_STRATEGY, "rounds": 1.5},
+            {**GOOD_STRATEGY, "liars": -1},
+            {**GOOD_STRATEGY, "utilization_loss": "cheap"},
+            {**GOOD_STRATEGY, "honest_si_margin": -1},
         ]
         for record in cases:
             path = write(self.dir.name, "BENCH_t.json", record)

@@ -1,0 +1,272 @@
+#include "socket_client.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+
+#include "svc/wire.hh"
+#include "util/logging.hh"
+#include "util/record_io.hh"
+
+namespace ref::adv {
+namespace {
+
+/** Blocking TCP connect to "addr:port" (numeric IPv4). */
+int
+connectTo(const std::string &spec)
+{
+    const std::size_t colon = spec.rfind(':');
+    REF_REQUIRE(colon != std::string::npos && colon > 0,
+                "connect spec wants addr:port, got '" << spec << "'");
+    const std::string host = spec.substr(0, colon);
+    const int port = std::stoi(spec.substr(colon + 1));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    REF_REQUIRE(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) ==
+                    1,
+                "connect spec wants a numeric IPv4 address, got '"
+                    << host << "'");
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    REF_REQUIRE(fd >= 0, "socket: " << std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    REF_REQUIRE(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                          sizeof(addr)) == 0,
+                "connect " << spec << ": " << std::strerror(errno));
+    return fd;
+}
+
+void
+sendAll(int fd, std::string_view bytes)
+{
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+        const ssize_t wrote =
+            ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                   MSG_NOSIGNAL);
+        if (wrote < 0) {
+            if (errno == EINTR)
+                continue;
+            REF_FATAL("send: " << std::strerror(errno));
+        }
+        sent += static_cast<std::size_t>(wrote);
+    }
+}
+
+/** Shortest decimal that round-trips the exact double, so the text
+ *  framing carries the same bits as the binary one. */
+std::string
+formatDouble(double value)
+{
+    char buffer[32];
+    const auto [end, ec] =
+        std::to_chars(buffer, buffer + sizeof(buffer), value);
+    REF_ASSERT(ec == std::errc(), "to_chars failed");
+    return std::string(buffer, end);
+}
+
+/** Render a Command as one text-protocol line (no newline). Only
+ *  the command shapes the fleet issues are supported. */
+std::string
+textLine(const svc::Command &command)
+{
+    std::string line;
+    switch (command.op) {
+    case svc::Command::Op::Admit:
+    case svc::Command::Op::Update:
+        line = command.op == svc::Command::Op::Admit ? "ADMIT "
+                                                     : "UPDATE ";
+        line += command.name;
+        for (const double value : command.elasticities) {
+            line += ' ';
+            line += formatDouble(value);
+        }
+        return line;
+    case svc::Command::Op::Depart:
+        return "DEPART " + command.name;
+    case svc::Command::Op::Cohort:
+        return "COHORT " + command.name + " " + command.cohortLabel;
+    case svc::Command::Op::Tick:
+        return command.tickCount == 1
+                   ? std::string("TICK")
+                   : "TICK " + std::to_string(command.tickCount);
+    case svc::Command::Op::Query:
+        return command.hasName ? "QUERY " + command.name
+                               : std::string("QUERY");
+    case svc::Command::Op::Metrics:
+        return "METRICS " + command.metricsFormat;
+    default:
+        REF_FATAL("fleet client cannot serialize opcode "
+                  << static_cast<unsigned>(command.op));
+    }
+}
+
+} // namespace
+
+ServiceClient::ServiceClient(const std::string &addrPort, bool binary)
+    : fd_(connectTo(addrPort)), binary_(binary)
+{
+    if (!binary_)
+        return;
+    sendAll(fd_, svc::wire::helloMagic());
+    std::string payload;
+    REF_REQUIRE(readFrameUnit(payload),
+                "no hello ack from server");
+    const svc::wire::Reply ack = svc::wire::decodeReply(payload);
+    REF_REQUIRE(ack.status == svc::wire::ReplyStatus::Hello,
+                "bad hello ack from server");
+}
+
+ServiceClient::~ServiceClient()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+bool
+ServiceClient::fill()
+{
+    if (offset_ > 0 && offset_ == buffer_.size()) {
+        buffer_.clear();
+        offset_ = 0;
+    }
+    char chunk[4096];
+    for (;;) {
+        const ssize_t got = ::read(fd_, chunk, sizeof(chunk));
+        if (got < 0 && errno == EINTR)
+            continue;
+        if (got <= 0)
+            return false;  // EOF or error: server went away.
+        buffer_.append(chunk, static_cast<std::size_t>(got));
+        return true;
+    }
+}
+
+bool
+ServiceClient::readLine(std::string &line)
+{
+    for (;;) {
+        const std::size_t newline = buffer_.find('\n', offset_);
+        if (newline != std::string::npos) {
+            line.assign(buffer_, offset_, newline - offset_);
+            offset_ = newline + 1;
+            return true;
+        }
+        if (!fill())
+            return false;
+    }
+}
+
+bool
+ServiceClient::readFrameUnit(std::string &payload)
+{
+    for (;;) {
+        std::size_t at = offset_;
+        std::string_view view;
+        const FrameStatus status = readFrame(buffer_, at, view);
+        if (status == FrameStatus::Ok) {
+            payload.assign(view);
+            offset_ = at;
+            return true;
+        }
+        REF_REQUIRE(status != FrameStatus::Corrupt,
+                    "corrupt reply frame from server");
+        if (!fill())
+            return false;
+    }
+}
+
+void
+ServiceClient::send(const svc::Command &command)
+{
+    ++commands_;
+    if (binary_) {
+        sendAll(fd_,
+                frameRecord(svc::wire::encodeCommand(command)));
+        return;
+    }
+    sendAll(fd_, textLine(command) + "\n");
+}
+
+std::string
+ServiceClient::readReply()
+{
+    if (binary_) {
+        std::string payload;
+        REF_REQUIRE(readFrameUnit(payload),
+                    "server closed the connection mid-reply");
+        std::string text = svc::wire::decodeReply(payload).text;
+        if (!text.empty() && text.back() == '\n')
+            text.pop_back();
+        return text;
+    }
+    std::string line;
+    REF_REQUIRE(readLine(line),
+                "server closed the connection mid-reply");
+    return line;
+}
+
+std::string
+ServiceClient::roundTrip(const svc::Command &command)
+{
+    send(command);
+    return readReply();
+}
+
+std::vector<std::string>
+ServiceClient::roundTripAll(const std::vector<svc::Command> &commands)
+{
+    for (const svc::Command &command : commands)
+        send(command);
+    std::vector<std::string> replies;
+    replies.reserve(commands.size());
+    for (std::size_t i = 0; i < commands.size(); ++i)
+        replies.push_back(readReply());
+    return replies;
+}
+
+std::string
+ServiceClient::fairnessCsv(const std::string &sentinelAgent)
+{
+    svc::Command metrics;
+    metrics.op = svc::Command::Op::Metrics;
+    metrics.metricsFormat = "fairness";
+    if (binary_) {
+        send(metrics);
+        std::string payload;
+        REF_REQUIRE(readFrameUnit(payload),
+                    "server closed the connection mid-reply");
+        return svc::wire::decodeReply(payload).text;
+    }
+    // Text framing: the CSV block has no terminator, so a sentinel
+    // QUERY rides behind it — CSV rows never start with "SHARE" or
+    // "ERR", making the first such line an unambiguous end marker.
+    svc::Command sentinel;
+    sentinel.op = svc::Command::Op::Query;
+    sentinel.hasName = true;
+    sentinel.name = sentinelAgent;
+    send(metrics);
+    send(sentinel);
+    --commands_;  // The sentinel is a framing artifact, not work:
+                  // keep the command count framing-independent.
+    std::string csv;
+    for (;;) {
+        std::string line;
+        REF_REQUIRE(readLine(line),
+                    "server closed the connection mid-reply");
+        if (line.rfind("SHARE ", 0) == 0 ||
+            line.rfind("ERR ", 0) == 0)
+            return csv;
+        csv += line;
+        csv += '\n';
+    }
+}
+
+} // namespace ref::adv

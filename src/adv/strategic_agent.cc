@@ -1,0 +1,84 @@
+#include "strategic_agent.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/math.hh"
+
+namespace ref::adv {
+
+StrategicAgent::StrategicAgent(std::string name,
+                               linalg::Vector trueAlphas)
+    : name_(std::move(name)),
+      trueAlphas_(normalizeToUnitSum(trueAlphas)),
+      report_(trueAlphas_)
+{}
+
+double
+StrategicAgent::reportDeviation() const
+{
+    double deviation = 0;
+    for (std::size_t r = 0; r < report_.size(); ++r)
+        deviation = std::max(
+            deviation, std::abs(report_[r] - trueAlphas_[r]));
+    return deviation;
+}
+
+linalg::Vector
+StrategicAgent::inferOthers(const linalg::Vector &shares,
+                            const core::SystemCapacity &capacity) const
+{
+    REF_REQUIRE(shares.size() == capacity.count(),
+                "share vector does not span the capacity");
+    linalg::Vector others(shares.size(), 0.0);
+    for (std::size_t r = 0; r < shares.size(); ++r) {
+        REF_REQUIRE(shares[r] > 0,
+                    "agent '" << name_ << "' observed a zero share "
+                              << "of resource " << r);
+        // s_r = w_r / (w_r + o_r) * C_r  =>  o_r = w_r (C_r-s_r)/s_r.
+        // Alone in the system s_r == C_r and o_r is exactly 0.
+        others[r] = std::max(
+            0.0, report_[r] *
+                     (capacity.capacity(r) - shares[r]) / shares[r]);
+    }
+    return others;
+}
+
+bool
+StrategicAgent::respond(const linalg::Vector &shares,
+                        const core::SystemCapacity &capacity,
+                        double tolerance)
+{
+    const linalg::Vector others = inferOthers(shares, capacity);
+    const core::BestResponse best =
+        core::bestResponseAgainst(trueAlphas_, others, capacity);
+    lastGainRatio_ = best.gainRatio;
+
+    linalg::Vector next = best.report;
+    // The registry rejects non-positive elasticities; a best
+    // response that underflowed a coordinate to zero still means
+    // "as little as possible", so clamp and renormalize.
+    for (double &value : next)
+        value = std::max(value, 1e-12);
+    next = normalizeToUnitSum(next);
+
+    double moved = 0;
+    for (std::size_t r = 0; r < next.size(); ++r)
+        moved = std::max(moved, std::abs(next[r] - report_[r]));
+    if (moved <= tolerance)
+        return false;
+    report_ = next;
+    return true;
+}
+
+double
+StrategicAgent::utilityOf(const linalg::Vector &shares) const
+{
+    double log_utility = 0;
+    for (std::size_t r = 0; r < shares.size(); ++r)
+        log_utility += trueAlphas_[r] * std::log(shares[r]);
+    return std::exp(log_utility);
+}
+
+} // namespace ref::adv

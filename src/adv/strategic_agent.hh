@@ -1,0 +1,82 @@
+/**
+ * @file
+ * One strategic client: infers opponent elasticity mass from its
+ * own observed allocation and best-responds with the same search the
+ * offline analysis uses (core::bestResponseAgainst).
+ *
+ * Under proportional elasticity the agent's share of resource r is
+ *
+ *     s_r = w_r / (w_r + o_r) * C_r
+ *
+ * where w is its own reported rescaled elasticity vector and o_r the
+ * sum of everyone else's. The client knows w (it reported it) and
+ * observes s_r via QUERY, so it can solve for the only unknown:
+ *
+ *     o_r = w_r * (C_r - s_r) / s_r
+ *
+ * — no cooperation, no privileged telemetry, exactly the information
+ * any tenant of the live service holds. Each epoch it recomputes the
+ * best response against the inferred o and re-reports when the
+ * result moved; reports fix-point when the search returns the report
+ * it is already making.
+ */
+
+#ifndef REF_ADV_STRATEGIC_AGENT_HH
+#define REF_ADV_STRATEGIC_AGENT_HH
+
+#include <string>
+
+#include "core/resource.hh"
+#include "core/strategic.hh"
+
+namespace ref::adv {
+
+/** Client-side state of one strategic (or honest) agent. */
+class StrategicAgent
+{
+  public:
+    /** @p trueAlphas raw; stored rescaled (the mechanism's view). */
+    StrategicAgent(std::string name, linalg::Vector trueAlphas);
+
+    const std::string &name() const { return name_; }
+    /** Rescaled true elasticities. */
+    const linalg::Vector &trueAlphas() const { return trueAlphas_; }
+    /** Rescaled report currently on file with the service. */
+    const linalg::Vector &report() const { return report_; }
+    /** L-inf distance of the current report from the truth. */
+    double reportDeviation() const;
+
+    /**
+     * Per-resource opponent mass inferred from the observed share
+     * vector @p shares (capacity units, as QUERY prints them).
+     */
+    linalg::Vector
+    inferOthers(const linalg::Vector &shares,
+                const core::SystemCapacity &capacity) const;
+
+    /**
+     * One best-response step against @p shares: recompute the
+     * optimal report and adopt it when it moves more than
+     * @p tolerance (L-inf) from the current one. Returns true when
+     * the report changed (the caller must then UPDATE the service).
+     */
+    bool respond(const linalg::Vector &shares,
+                 const core::SystemCapacity &capacity,
+                 double tolerance);
+
+    /** True utility of a bundle under the rescaled true alphas. */
+    double utilityOf(const linalg::Vector &shares) const;
+
+    /** Gain ratio reported by the last respond() search. */
+    double lastGainRatio() const { return lastGainRatio_; }
+
+  private:
+    std::string name_;
+    linalg::Vector trueAlphas_;
+    linalg::Vector report_;
+    double lastGainRatio_ = 1.0;
+};
+
+} // namespace ref::adv
+
+#endif // REF_ADV_STRATEGIC_AGENT_HH

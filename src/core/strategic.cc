@@ -1,6 +1,8 @@
 #include "strategic.hh"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "solver/nelder_mead.hh"
 #include "solver/scalar.hh"
@@ -37,94 +39,171 @@ StrategicAnalysis::othersElasticitySum(std::size_t agent) const
     return sums;
 }
 
-double
-StrategicAnalysis::utilityFromReport(std::size_t agent,
-                                     const Vector &report) const
+namespace {
+
+/**
+ * Softmax over (0, z_1, ..., z_{R-1}) with the running maximum
+ * subtracted (log-sum-exp), so arbitrarily large logits — e.g. a
+ * truthful start with a near-zero pinned coordinate — never push
+ * exp() to infinity and poison the simplex with NaN.
+ */
+Vector
+softmaxSimplex(const Vector &z, std::size_t r_count)
 {
-    REF_REQUIRE(agent < agents_.size(), "agent index out of range");
-    REF_REQUIRE(report.size() == capacity_.count(),
-                "report size mismatch");
+    double z_max = 0.0;  // The pinned coordinate contributes logit 0.
+    for (double value : z)
+        z_max = std::max(z_max, value);
+    Vector report(r_count);
+    report[0] = std::exp(-z_max);
+    double total = report[0];
+    for (std::size_t r = 1; r < r_count; ++r) {
+        report[r] = std::exp(z[r - 1] - z_max);
+        total += report[r];
+    }
+    for (double &value : report)
+        value /= total;
+    return report;
+}
+
+/** Finite logit for a ratio that may underflow or be subnormal. */
+double
+clampedLogRatio(double numerator, double denominator)
+{
+    constexpr double limit = 40.0;  // exp(40) stays comfortably finite.
+    const double ratio = std::log(numerator / denominator);
+    if (!std::isfinite(ratio))
+        return ratio > 0 ? limit : -limit;
+    return std::min(limit, std::max(-limit, ratio));
+}
+
+} // namespace
+
+double
+utilityAgainst(const Vector &true_alphas, const Vector &others_sum,
+               const SystemCapacity &capacity, const Vector &report)
+{
+    const std::size_t r_count = capacity.count();
+    REF_REQUIRE(true_alphas.size() == r_count,
+                "true elasticity size mismatch");
+    REF_REQUIRE(others_sum.size() == r_count,
+                "others-sum size mismatch");
+    REF_REQUIRE(report.size() == r_count, "report size mismatch");
     const Vector rescaled_report = normalizeToUnitSum(report);
-    const Vector others = othersElasticitySum(agent);
-    const auto &true_alphas = agents_[agent].utility().elasticities();
 
     // Allocation share induced by the report, valued with the true
     // elasticities (Eq. 15).
     double log_utility = 0;
-    for (std::size_t r = 0; r < capacity_.count(); ++r) {
-        const double share = rescaled_report[r] /
-                             (rescaled_report[r] + others[r]) *
-                             capacity_.capacity(r);
+    for (std::size_t r = 0; r < r_count; ++r) {
+        if (true_alphas[r] == 0.0)
+            continue;  // No demand: the factor is share^0 = 1.
+        const double denominator = rescaled_report[r] + others_sum[r];
+        const double share =
+            denominator > 0
+                ? rescaled_report[r] / denominator * capacity.capacity(r)
+                : 0.0;
+        if (share <= 0)
+            return 0.0;  // Starving a needed resource: utility -> 0.
         log_utility += true_alphas[r] * std::log(share);
     }
     return std::exp(log_utility);
 }
 
 BestResponse
-StrategicAnalysis::bestResponse(std::size_t agent) const
+bestResponseAgainst(const Vector &true_alphas,
+                    const Vector &others_sum,
+                    const SystemCapacity &capacity)
 {
-    REF_REQUIRE(agent < agents_.size(), "agent index out of range");
-    const std::size_t r_count = capacity_.count();
-    const auto &true_alphas = agents_[agent].utility().elasticities();
+    const std::size_t r_count = capacity.count();
+    REF_REQUIRE(r_count >= 1, "capacity must span a resource");
+    const Vector truth = normalizeToUnitSum(true_alphas);
+    const auto realized = [&](const Vector &report) {
+        return utilityAgainst(truth, others_sum, capacity, report);
+    };
 
     BestResponse response;
-    response.truthfulUtility = utilityFromReport(agent, true_alphas);
+    response.truthfulUtility = realized(truth);
+    REF_REQUIRE(response.truthfulUtility > 0,
+                "truthful report must yield positive utility");
 
-    if (r_count == 2) {
-        // One free variable: the report is (t, 1 - t).
-        constexpr double edge = 1e-9;
-        const auto objective = [&](double t) {
-            return -utilityFromReport(agent, {t, 1.0 - t});
+    if (r_count == 1) {
+        // Every report rescales to the same point; lying is
+        // structurally impossible.
+        response.report = truth;
+        response.utility = response.truthfulUtility;
+    } else if (r_count == 2) {
+        // One free variable. Searching over the logit of t (report
+        // (t, 1-t)) keeps full floating-point resolution at both
+        // corners, where a truthful elasticity near 0 or 1 puts the
+        // optimum within ~1e-12 of the simplex edge.
+        const auto objective = [&](double logit) {
+            const double t = 1.0 / (1.0 + std::exp(-logit));
+            return -realized({t, 1.0 - t});
         };
+        constexpr double span = 36.0;  // sigmoid(+-36) ~ [2e-16, 1).
         const auto best =
-            solver::brentMinimize(objective, edge, 1.0 - edge, 1e-14);
-        response.report = {best.x, 1.0 - best.x};
+            solver::brentMinimize(objective, -span, span, 1e-14);
+        const double t = 1.0 / (1.0 + std::exp(-best.x));
+        response.report = {t, 1.0 - t};
         response.utility = -best.value;
     } else {
         // Softmax parameterization keeps the search unconstrained;
         // coordinate 0 is pinned to zero to remove the scale
-        // degeneracy.
-        const auto to_simplex = [r_count](const Vector &z) {
-            Vector report(r_count);
-            double total = 1.0;  // exp(0) for the pinned coordinate.
-            report[0] = 1.0;
-            for (std::size_t r = 1; r < r_count; ++r) {
-                report[r] = std::exp(z[r - 1]);
-                total += report[r];
-            }
-            for (double &value : report)
-                value /= total;
-            return report;
-        };
-
-        Vector start(r_count - 1);
-        for (std::size_t r = 1; r < r_count; ++r)
-            start[r - 1] = std::log(true_alphas[r] / true_alphas[0]);
-
+        // degeneracy. Two starts — the truthful report and the
+        // uniform report — guard against the simplex collapsing in
+        // a corner basin.
         const auto objective = [&](const Vector &z) {
-            return -utilityFromReport(agent, to_simplex(z));
+            return -realized(softmaxSimplex(z, r_count));
         };
+        Vector truthful_start(r_count - 1);
+        for (std::size_t r = 1; r < r_count; ++r)
+            truthful_start[r - 1] = clampedLogRatio(truth[r], truth[0]);
+        const Vector uniform_start(r_count - 1, 0.0);
+
         solver::NelderMeadOptions options;
         options.maxIterations = 5000;
         options.tolerance = 1e-14;
-        const auto best = solver::nelderMead(objective, start, options);
-        response.report = to_simplex(best.point);
-        response.utility = -best.value;
+        response.utility = -std::numeric_limits<double>::infinity();
+        for (const Vector &start : {truthful_start, uniform_start}) {
+            const auto best =
+                solver::nelderMead(objective, start, options);
+            if (-best.value > response.utility) {
+                response.report = softmaxSimplex(best.point, r_count);
+                response.utility = -best.value;
+            }
+        }
     }
 
     // Numerical search can end epsilon below truthful; lying never
     // loses relative to the truthful report it could always make.
-    if (response.utility < response.truthfulUtility) {
+    if (!(response.utility > response.truthfulUtility)) {
         response.utility = response.truthfulUtility;
-        response.report = true_alphas;
+        response.report = truth;
     }
     response.gainRatio = response.utility / response.truthfulUtility;
     for (std::size_t r = 0; r < r_count; ++r) {
         response.reportDeviation =
             std::max(response.reportDeviation,
-                     std::abs(response.report[r] - true_alphas[r]));
+                     std::abs(response.report[r] - truth[r]));
     }
     return response;
+}
+
+double
+StrategicAnalysis::utilityFromReport(std::size_t agent,
+                                     const Vector &report) const
+{
+    REF_REQUIRE(agent < agents_.size(), "agent index out of range");
+    return utilityAgainst(agents_[agent].utility().elasticities(),
+                          othersElasticitySum(agent), capacity_,
+                          report);
+}
+
+BestResponse
+StrategicAnalysis::bestResponse(std::size_t agent) const
+{
+    REF_REQUIRE(agent < agents_.size(), "agent index out of range");
+    return bestResponseAgainst(agents_[agent].utility().elasticities(),
+                               othersElasticitySum(agent), capacity_);
 }
 
 } // namespace ref::core

@@ -34,6 +34,35 @@ struct BestResponse
     double reportDeviation = 0;
 };
 
+/**
+ * True utility an agent with (rescaled) elasticities @p true_alphas
+ * realizes by reporting @p report when the per-resource sums of all
+ * other agents' reported rescaled elasticities are @p others_sum.
+ *
+ * This is Eq. 15 stated without a full agent list: @p others_sum is
+ * exactly what a strategic network client can infer from its own
+ * observed share s_r, since s_r = w_r / (w_r + others_r) * C_r.
+ * Returns 0 when the report starves a resource the agent truly
+ * needs (share -> 0 with a positive true elasticity).
+ */
+double utilityAgainst(const Vector &true_alphas,
+                      const Vector &others_sum,
+                      const SystemCapacity &capacity,
+                      const Vector &report);
+
+/**
+ * Numerically maximize one agent's utility over its report simplex
+ * against fixed opponent mass @p others_sum. Brent over a logit for
+ * two resources, multi-start Nelder-Mead over a log-sum-exp softmax
+ * otherwise; both stay finite at degenerate corners (true
+ * elasticities arbitrarily close to 0 or 1, opponents concentrated
+ * on one resource). The result never falls below the truthful
+ * report: lying is floored at honesty.
+ */
+BestResponse bestResponseAgainst(const Vector &true_alphas,
+                                 const Vector &others_sum,
+                                 const SystemCapacity &capacity);
+
 /** Analysis of strategic behaviour under proportional elasticity. */
 class StrategicAnalysis
 {

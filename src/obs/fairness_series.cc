@@ -158,7 +158,7 @@ FairnessSeries::csvHeader()
 const char *
 FairnessSeries::labelledCsvHeader()
 {
-    return "pool,epoch,agents,checked,si_margin,ef_margin,l1_drift,"
+    return "label,epoch,agents,checked,si_margin,ef_margin,l1_drift,"
            "enforced,max_rel_change,latency_ns";
 }
 

@@ -102,7 +102,8 @@ class FairnessSeries
     /** CSV column header (no trailing newline). */
     static const char *csvHeader();
 
-    /** Labelled CSV header: a leading "pool" column. */
+    /** Labelled CSV header: a leading "label" column (pool
+     *  path in pooled mode, cohort label in flat mode). */
     static const char *labelledCsvHeader();
 
     /** One sample as a CSV row (no trailing newline). */

@@ -1,6 +1,7 @@
 #include "allocation_service.hh"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <limits>
 #include <ostream>
@@ -77,6 +78,7 @@ AllocationService::depart(const std::string &name)
         tree_->depart(name);
     else
         registry_.depart(name);
+    cohorts_.erase(name);
     metrics_.recordDepart();
     JournalRecord record;
     record.type = JournalRecord::Type::Depart;
@@ -128,6 +130,37 @@ requirePooled(const std::unique_ptr<pool::PoolTree> &tree)
 }
 
 } // namespace
+
+void
+AllocationService::setCohort(const std::string &name,
+                             const std::string &label)
+{
+    std::lock_guard<std::mutex> lock(writeMutex_);
+    REF_REQUIRE(tree_ == nullptr,
+                "COHORT requires a flat service (pooled telemetry "
+                "is already labelled per pool)");
+    REF_REQUIRE(registry_.contains(name),
+                "agent '" << name << "' is not registered");
+    REF_REQUIRE(!label.empty(), "cohort label must not be empty");
+    for (const char c : label) {
+        REF_REQUIRE(
+            std::isgraph(static_cast<unsigned char>(c)) && c != ',',
+            "cohort label must be printable without spaces or "
+            "commas, got '"
+                << label << "'");
+    }
+    REF_REQUIRE(label != "_total",
+                "cohort label '_total' is reserved for the global "
+                "series");
+    cohorts_[name] = label;
+}
+
+bool
+AllocationService::hasCohorts() const
+{
+    std::lock_guard<std::mutex> lock(writeMutex_);
+    return !cohorts_.empty();
+}
 
 void
 AllocationService::createPool(const std::string &path, double weight)
@@ -355,6 +388,85 @@ AllocationService::recordFairnessLocked(
     series_.append(sample);
     metrics_.setFairnessGauges(sample.siMargin, sample.efMargin,
                                sample.l1Drift);
+    if (!cohorts_.empty() && result.propertiesChecked)
+        appendCohortFairnessLocked(result, sample);
+}
+
+/**
+ * One labelled sample per cohort. SI is each member against the
+ * equal split C/N; EF is each member against every agent's bundle —
+ * the same constraints the global check minimizes, re-minimized over
+ * the cohort only, so an honest cohort's margin isolates the damage
+ * strategic agents do to everyone else. Cost is O(members * N * R),
+ * bounded by the global EF check that already ran this epoch.
+ */
+void
+AllocationService::appendCohortFairnessLocked(
+    const EpochResult &result, const obs::FairnessSample &base)
+{
+    const std::size_t count = result.agentNames.size();
+    if (count == 0)
+        return;
+    const std::size_t resources = config_.capacity.count();
+
+    // Rescaled elasticities in allocation-row order; rows whose
+    // agent is unlabelled stay null.
+    std::map<std::string, std::vector<std::size_t>> members;
+    std::vector<const linalg::Vector *> rescaled(count, nullptr);
+    for (std::size_t i = 0; i < count; ++i) {
+        const auto labelled = cohorts_.find(result.agentNames[i]);
+        if (labelled == cohorts_.end())
+            continue;
+        const std::size_t row =
+            registry_.indexOf(result.agentNames[i]);
+        if (row >= registry_.agents().size())
+            continue;  // Departed between tick and label walk.
+        members[labelled->second].push_back(i);
+        rescaled[i] = &registry_.agents()[row].rescaled;
+    }
+    if (members.empty())
+        return;
+
+    const auto logUtility = [&](const linalg::Vector &alphas,
+                                const auto &bundleAt) {
+        double log_u = 0;
+        for (std::size_t r = 0; r < resources; ++r)
+            log_u += alphas[r] * std::log(bundleAt(r));
+        return log_u;
+    };
+
+    for (const auto &[label, rows] : members) {
+        double si_slack = std::numeric_limits<double>::infinity();
+        double ef_slack = std::numeric_limits<double>::infinity();
+        for (const std::size_t i : rows) {
+            const linalg::Vector &alphas = *rescaled[i];
+            const double own = logUtility(alphas, [&](std::size_t r) {
+                return result.allocation.at(i, r);
+            });
+            const double equal =
+                logUtility(alphas, [&](std::size_t r) {
+                    return config_.capacity.capacity(r) /
+                           static_cast<double>(count);
+                });
+            si_slack = std::min(si_slack, own - equal);
+            for (std::size_t j = 0; j < count; ++j) {
+                if (j == i)
+                    continue;
+                const double theirs =
+                    logUtility(alphas, [&](std::size_t r) {
+                        return result.allocation.at(j, r);
+                    });
+                ef_slack = std::min(ef_slack, own - theirs);
+            }
+        }
+        obs::FairnessSample sample = base;
+        sample.agents = rows.size();
+        sample.siMargin = std::exp(si_slack);
+        // A singleton population has no pairs; margin stays 1.
+        sample.efMargin =
+            std::isinf(ef_slack) ? 1.0 : std::exp(ef_slack);
+        series_.appendLabelled(label, sample);
+    }
 }
 
 void
@@ -513,6 +625,7 @@ AllocationService::resetRuntimeLocked()
     driver_ = tree_ ? EpochDriver(*tree_, config_.epoch)
                     : EpochDriver(registry_, config_.epoch);
     lastPoolShares_.clear();
+    cohorts_.clear();
     publish(std::make_shared<const ServiceSnapshot>());
 }
 

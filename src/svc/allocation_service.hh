@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -137,6 +138,26 @@ class AllocationService
     ///@}
 
     bool pooled() const { return tree_ != nullptr; }
+
+    /** @name Fairness cohorts (flat mode only).
+     *
+     * A cohort is an observability-only label over live agents: each
+     * checked epoch additionally appends one labelled fairness
+     * sample per cohort, whose SI margin is the minimum over the
+     * cohort's members (vs the equal split) and whose EF margin is
+     * the minimum over the cohort's members against the whole
+     * population. This is how the adversary fleet reads honest-agent
+     * damage separately from the liars' own series. Labels are not
+     * journaled, not replicated, and excluded from stateHash();
+     * departure drops the departing agent's label. */
+    ///@{
+    /** Label @p name (must be live). Throws FatalError on a pooled
+     *  service, an unknown agent, or a malformed label. */
+    void setCohort(const std::string &name,
+                   const std::string &label);
+    /** True when at least one live agent carries a label. */
+    bool hasCohorts() const;
+    ///@}
 
     /**
      * Current snapshot (never null; epoch 0 snapshot before the
@@ -263,6 +284,12 @@ class AllocationService
      *  drift computed over pool share fractions (O(pools), never
      *  O(agents)). */
     void recordPooledFairnessLocked(const EpochResult &result);
+    /** Flat-mode cohorts: one labelled sample per cohort with the
+     *  cohort's own worst SI/EF margins (members vs the whole
+     *  population). Only runs when cohorts exist and this epoch's
+     *  properties were checked. */
+    void appendCohortFairnessLocked(const EpochResult &result,
+                                    const obs::FairnessSample &base);
 
     ServiceConfig config_;
     mutable std::mutex writeMutex_;  //!< Serializes churn and ticks.
@@ -276,6 +303,9 @@ class AllocationService
     /** Last epoch's per-pool share fractions, indexed by pool
      *  creation order (pools are append-only), for pooled drift. */
     std::vector<linalg::Vector> lastPoolShares_;
+    /** Agent -> cohort label (flat mode, observability only; sorted
+     *  so per-epoch labelled appends iterate deterministically). */
+    std::map<std::string, std::string> cohorts_;
 
     std::unique_ptr<Journal> journal_;  //!< Null when disabled.
     RecoveryInfo recovery_;

@@ -178,6 +178,8 @@ commandSpanName(Command::Op op)
         return "cmd.sync";
     case Command::Op::Promote:
         return "cmd.promote";
+    case Command::Op::Cohort:
+        return "cmd.cohort";
     }
     return "cmd.other";
 }
@@ -304,6 +306,12 @@ parseCommand(const std::vector<std::string> &tokens)
                     "SYNC arguments must be non-negative integers");
         parsed.syncStreamId = static_cast<std::uint64_t>(stream);
         parsed.syncSeq = static_cast<std::uint64_t>(seq);
+    } else if (command == "COHORT") {
+        REF_REQUIRE(tokens.size() == 3,
+                    "usage: COHORT <name> <label>");
+        parsed.op = Command::Op::Cohort;
+        parsed.name = tokens[1];
+        parsed.cohortLabel = tokens[2];
     } else if (command == "PROMOTE") {
         REF_REQUIRE(tokens.size() == 1, "usage: PROMOTE");
         parsed.op = Command::Op::Promote;
@@ -347,9 +355,12 @@ CommandSession::flushObservability()
     if (options_.fairnessOutPath.empty())
         return;
     const obs::FairnessSeries &series = service_.fairnessSeries();
-    if (service_.pooled()) {
-        // Labelled rows interleave per-pool series, so the export is
-        // a full rewrite per flush rather than an append.
+    // Labelled mode sticks once any labelled history exists, so a
+    // departed cohort's rows survive in later flushes.
+    if (service_.pooled() || service_.hasCohorts() ||
+        !series.labels().empty()) {
+        // Labelled rows interleave per-label series, so the export
+        // is a full rewrite per flush rather than an append.
         const std::uint64_t total =
             series.totalAppended() + series.totalLabelledAppended();
         if (fairness_.headerWritten &&
@@ -549,7 +560,8 @@ CommandSession::executeCommand(const Command &command,
                 out << "\n";
             }
             else if (format == "fairness") {
-                if (service.pooled())
+                if (service.pooled() || service.hasCohorts() ||
+                    !service.fairnessSeries().labels().empty())
                     service.fairnessSeries().writeLabelledCsv(out);
                 else
                     service.fairnessSeries().writeCsv(out);
@@ -582,6 +594,11 @@ CommandSession::executeCommand(const Command &command,
             out << "OK promoted " << message << "\n";
             break;
         }
+        case Command::Op::Cohort:
+            service.setCohort(command.name, command.cohortLabel);
+            out << "OK cohort " << command.name
+                << " label=" << command.cohortLabel << "\n";
+            break;
         case Command::Op::Pool:
             switch (command.poolOp) {
             case Command::PoolOp::Create:

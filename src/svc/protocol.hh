@@ -20,8 +20,16 @@
  *                                Prometheus (default) or JSON
  *                                exposition, or the per-epoch
  *                                fairness time series as CSV (a
- *                                pooled service emits the labelled
- *                                variant with a leading pool column)
+ *                                pooled service, or a flat one with
+ *                                cohorts, emits the labelled variant
+ *                                with a leading label column)
+ *   COHORT <name> <label>        tag an agent into a labelled
+ *                                fairness cohort (flat mode only);
+ *                                per-cohort SI/EF margins then ride
+ *                                the labelled fairness series beside
+ *                                the _total row — how the adversary
+ *                                fleet separates honest-agent damage
+ *                                from the liars' own telemetry
  *   POOL CREATE <path> [weight]  create a pool (pooled mode only;
  *                                weight defaults to 1)
  *   POOL ASSIGN <name> <path>    move an agent into a pool
@@ -109,6 +117,8 @@ struct Command
         Sync = 11,
         /** Flip a follower to serving (fresh generation). */
         Promote = 12,
+        /** Tag an agent into a labelled fairness cohort. */
+        Cohort = 13,
     };
 
     /** Pool sub-operation; values are wire bytes, keep them stable. */
@@ -140,6 +150,8 @@ struct Command
     std::string poolPath;
     /** Pool weight for PoolOp::Create. */
     double poolWeight = 1.0;
+    /** Cohort label for Op::Cohort (agent goes in name). */
+    std::string cohortLabel;
     /** Sync: the primary stream identity the follower last saw (0
      *  on a cold start — forces a snapshot resync). */
     std::uint64_t syncStreamId = 0;

@@ -23,6 +23,7 @@ opFromByte(std::uint8_t byte)
     case Command::Op::Pool:
     case Command::Op::Sync:
     case Command::Op::Promote:
+    case Command::Op::Cohort:
         return static_cast<Command::Op>(byte);
     }
     REF_FATAL("unknown binary opcode "
@@ -58,6 +59,10 @@ encodeCommand(const Command &command)
         break;
     case Command::Op::Depart:
         writer.str(command.name);
+        break;
+    case Command::Op::Cohort:
+        writer.str(command.name);
+        writer.str(command.cohortLabel);
         break;
     case Command::Op::Tick:
         writer.u64(command.tickCount);
@@ -114,6 +119,10 @@ decodeCommand(std::string_view payload)
         break;
     case Command::Op::Depart:
         command.name = reader.str();
+        break;
+    case Command::Op::Cohort:
+        command.name = reader.str();
+        command.cohortLabel = reader.str();
         break;
     case Command::Op::Tick:
         command.tickCount = reader.u64();

@@ -1,10 +1,14 @@
 #include "core/strategic.hh"
 
 #include <cmath>
+#include <limits>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "util/logging.hh"
+#include "util/math.hh"
 #include "util/random.hh"
 
 namespace {
@@ -95,8 +99,9 @@ TEST_P(SplConvergence, GainShrinksWithPopulation)
     // Thresholds loose for small n, tight for the 64-task example.
     const double bound = n >= 64 ? 1.0005 : (n >= 16 ? 1.01 : 1.2);
     EXPECT_LT(best.gainRatio, bound) << "n = " << n;
-    if (n >= 64)
+    if (n >= 64) {
         EXPECT_LT(best.reportDeviation, 0.05);
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, SplConvergence,
@@ -116,6 +121,152 @@ TEST(Strategic, ThreeResourceBestResponseUsesSimplexSearch)
     for (double v : best.report)
         total += v;
     EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+/**
+ * SPL at finite N, quantified (Appendix A): lying always weakly
+ * gains, the gain decays monotonically in trend as the honest
+ * population grows from 2 to 256, and the best response itself
+ * converges to the truthful report.
+ */
+TEST(Strategic, FiniteNGainDecaysMonotonically)
+{
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    double previousGain = std::numeric_limits<double>::infinity();
+    double previousDeviation =
+        std::numeric_limits<double>::infinity();
+    for (const std::size_t n : {2, 4, 8, 16, 32, 64, 128, 256}) {
+        const auto agents = uniformRandomAgents(n, 2, 42);
+        const StrategicAnalysis analysis(agents, capacity);
+        const auto best = analysis.bestResponse(0);
+        // Lying never loses: the truthful report is always feasible.
+        EXPECT_GE(best.gainRatio, 1.0) << "n = " << n;
+        // Trend decay: doubling the population never increases the
+        // liar's edge by more than numerical slack.
+        EXPECT_LE(best.gainRatio, previousGain * (1.0 + 1e-9))
+            << "n = " << n;
+        EXPECT_LE(best.reportDeviation,
+                  previousDeviation + 1e-9)
+            << "n = " << n;
+        previousGain = best.gainRatio;
+        previousDeviation = best.reportDeviation;
+    }
+    // At n = 256 the mechanism is strategy-proof for all practical
+    // purposes: the report deviation has collapsed toward zero.
+    EXPECT_LT(previousGain, 1.00001);
+    EXPECT_LT(previousDeviation, 0.002);
+}
+
+/** The free-function form agrees with the registry-backed one. */
+TEST(Strategic, BestResponseAgainstMatchesAnalysis)
+{
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    const auto agents = uniformRandomAgents(5, 2, 9);
+    const StrategicAnalysis analysis(agents, capacity);
+    const auto viaAnalysis = analysis.bestResponse(2);
+
+    Vector others(2, 0.0);
+    for (std::size_t i = 0; i < agents.size(); ++i) {
+        if (i == 2)
+            continue;
+        const Vector rescaled =
+            ref::normalizeToUnitSum(agents[i].utility().elasticities());
+        for (std::size_t r = 0; r < 2; ++r)
+            others[r] += rescaled[r];
+    }
+    const auto direct = bestResponseAgainst(
+        agents[2].utility().elasticities(), others, capacity);
+    EXPECT_NEAR(direct.gainRatio, viaAnalysis.gainRatio, 1e-9);
+    EXPECT_NEAR(direct.utility, viaAnalysis.utility, 1e-9);
+}
+
+/**
+ * Degenerate simplex corners must not produce NaN/Inf reports: the
+ * search is parameterized in clamped log-ratios exactly so that
+ * near-zero elasticities and lopsided opponent mass stay finite.
+ */
+TEST(Strategic, BestResponseSurvivesDegenerateCorners)
+{
+    const auto capacity = SystemCapacity::cacheAndBandwidthExample();
+    const std::vector<std::pair<Vector, Vector>> corners = {
+        // Truth pinned at a simplex corner.
+        {{1e-12, 1.0}, {0.5, 0.5}},
+        {{1.0, 1e-12}, {0.5, 0.5}},
+        // Opponent mass entirely on one resource: the liar owns the
+        // other resource outright.
+        {{0.6, 0.4}, {0.0, 5.0}},
+        {{0.6, 0.4}, {5.0, 0.0}},
+        // No opponents at all: every report wins everything, so the
+        // search must floor back to the truth.
+        {{0.6, 0.4}, {0.0, 0.0}},
+        // Both degenerate at once.
+        {{1e-12, 1.0}, {0.0, 3.0}},
+    };
+    for (const auto &[alphas, others] : corners) {
+        const auto best =
+            bestResponseAgainst(alphas, others, capacity);
+        SCOPED_TRACE(::testing::Message()
+                     << "alphas = {" << alphas[0] << ", " << alphas[1]
+                     << "}, others = {" << others[0] << ", "
+                     << others[1] << "}");
+        EXPECT_TRUE(std::isfinite(best.utility));
+        EXPECT_TRUE(std::isfinite(best.gainRatio));
+        EXPECT_GE(best.gainRatio, 1.0);
+        double total = 0;
+        for (const double v : best.report) {
+            EXPECT_TRUE(std::isfinite(v));
+            EXPECT_GE(v, 0.0);
+            total += v;
+        }
+        EXPECT_NEAR(total, 1.0, 1e-9);
+    }
+}
+
+/** Same hardening on the 3-resource Nelder-Mead path. */
+TEST(Strategic, SimplexSearchSurvivesDegenerateCorners)
+{
+    const auto capacity =
+        SystemCapacity::fromCapacities({10.0, 20.0, 30.0});
+    const std::vector<std::pair<Vector, Vector>> corners = {
+        {{1e-12, 1e-12, 1.0}, {0.4, 0.3, 0.3}},
+        {{0.4, 0.3, 0.3}, {0.0, 0.0, 4.0}},
+        {{1e-12, 0.5, 0.5}, {2.0, 0.0, 0.0}},
+        {{0.3, 0.3, 0.4}, {0.0, 0.0, 0.0}},
+    };
+    for (const auto &[alphas, others] : corners) {
+        const auto best =
+            bestResponseAgainst(alphas, others, capacity);
+        SCOPED_TRACE(::testing::Message()
+                     << "alphas[2] = " << alphas[2]
+                     << ", others[2] = " << others[2]);
+        EXPECT_TRUE(std::isfinite(best.utility));
+        EXPECT_GE(best.gainRatio, 1.0);
+        double total = 0;
+        for (const double v : best.report) {
+            EXPECT_TRUE(std::isfinite(v));
+            total += v;
+        }
+        EXPECT_NEAR(total, 1.0, 1e-9);
+    }
+}
+
+/**
+ * Regression: the pre-hardening search seeded Nelder-Mead with raw
+ * log(a_r / a_0), which overflowed exp() for tiny a_0 and returned a
+ * NaN utility that then compared false against every alternative.
+ * The clamped parameterization must instead recover a finite answer
+ * that at least matches truth-telling.
+ */
+TEST(Strategic, TinyFirstElasticityDoesNotPoisonSearch)
+{
+    const auto capacity =
+        SystemCapacity::fromCapacities({10.0, 20.0, 30.0});
+    const Vector alphas = {1e-300, 0.5, 0.5};
+    const Vector others = {0.7, 0.9, 1.1};
+    const auto best = bestResponseAgainst(alphas, others, capacity);
+    EXPECT_TRUE(std::isfinite(best.utility));
+    EXPECT_TRUE(std::isfinite(best.truthfulUtility));
+    EXPECT_GE(best.utility, best.truthfulUtility);
 }
 
 TEST(Strategic, RejectsBadInput)

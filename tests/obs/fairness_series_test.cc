@@ -174,7 +174,7 @@ TEST(FairnessSeries, LabelledCsvPutsTotalFirstThenSortedLabels)
     std::ostringstream out;
     series.writeLabelledCsv(out);
     const std::string csv = out.str();
-    EXPECT_EQ(csv.find("pool,epoch,agents,checked,si_margin,"
+    EXPECT_EQ(csv.find("label,epoch,agents,checked,si_margin,"
                        "ef_margin,l1_drift,enforced,max_rel_change,"
                        "latency_ns\n"),
               0u);

@@ -143,7 +143,7 @@ TEST(PoolProtocol, PooledMetricsFairnessIsLabelled)
                                        "METRICS fairness\n");
     // Labelled CSV: a leading pool column, the global series under
     // "_total", and one sub-series per pool (root included).
-    EXPECT_NE(transcript.find("pool,epoch,agents,checked"),
+    EXPECT_NE(transcript.find("label,epoch,agents,checked"),
               std::string::npos)
         << transcript;
     EXPECT_NE(transcript.find("_total,1,"), std::string::npos)

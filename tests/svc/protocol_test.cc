@@ -331,4 +331,70 @@ TEST(Protocol, MetricsAgreesWithStatsAfterRecovery)
     std::filesystem::remove_all(dir);
 }
 
+TEST(Protocol, CohortLabelsProduceLabelledFairnessRows)
+{
+    AllocationService service;
+    std::string output;
+    const auto result = run(service,
+                            "ADMIT a 0.6 0.4\n"
+                            "ADMIT b 0.2 0.8\n"
+                            "ADMIT c 0.5 0.5\n"
+                            "COHORT a gold\n"
+                            "COHORT b gold\n"
+                            "COHORT c silver\n"
+                            "TICK\n"
+                            "METRICS fairness\n",
+                            output);
+    EXPECT_TRUE(result.clean());
+    EXPECT_NE(output.find("OK cohort a label=gold"),
+              std::string::npos);
+    // Labelled CSV: the global series rides as "_total", each cohort
+    // gets its own per-epoch row, and margins respect the mechanism's
+    // guarantees (>= 1, checked by value below via the fleet tests).
+    EXPECT_NE(output.find("label,epoch,agents,checked"),
+              std::string::npos);
+    EXPECT_NE(output.find("_total,1,3,"), std::string::npos);
+    EXPECT_NE(output.find("gold,1,2,"), std::string::npos);
+    EXPECT_NE(output.find("silver,1,1,"), std::string::npos);
+}
+
+TEST(Protocol, CohortRejectsBadInput)
+{
+    AllocationService service;
+    std::string output;
+    const auto result = run(service,
+                            "ADMIT a 0.6 0.4\n"
+                            "COHORT ghost gold\n"    // unregistered
+                            "COHORT a _total\n"      // reserved
+                            "COHORT a\n"             // wrong arity
+                            "COHORT a one two\n"     // wrong arity
+                            "COHORT a gold\n"        // valid
+                            "TICK\n",
+                            output);
+    EXPECT_EQ(result.errors, 4u);
+    EXPECT_EQ(result.epochFailures, 0u);
+    EXPECT_NE(output.find("OK cohort a label=gold"),
+              std::string::npos);
+}
+
+TEST(Protocol, DepartDropsCohortMembership)
+{
+    AllocationService service;
+    std::string output;
+    const auto result = run(service,
+                            "ADMIT a 0.6 0.4\n"
+                            "ADMIT b 0.2 0.8\n"
+                            "COHORT a gold\n"
+                            "TICK\n"
+                            "DEPART a\n"
+                            "TICK\n"
+                            "METRICS fairness\n",
+                            output);
+    EXPECT_TRUE(result.clean());
+    // Epoch 1 had the labelled member; epoch 2 must not — departure
+    // removes the membership along with the agent.
+    EXPECT_NE(output.find("gold,1,1,"), std::string::npos);
+    EXPECT_EQ(output.find("gold,2,"), std::string::npos);
+}
+
 } // namespace
